@@ -1,0 +1,245 @@
+//! The Hex winner oracle.
+//!
+//! "Our implementation of the Boolean Formula algorithm uses an oracle that
+//! determines the winner for a given final position in the game of Hex. It
+//! uses a flood-fill algorithm, which we implemented as a functional program
+//! and converted to a circuit using the circuit lifting operation. The
+//! resulting oracle consists of 2.8 million gates." (paper §4.6.1)
+//!
+//! A Hex board is a parallelogram of hexagonal cells; in a *final* position
+//! every cell is owned by red or blue, so one bit per cell suffices (1 =
+//! red). Red wins iff red cells connect the top edge to the bottom edge
+//! (and, by the Hex theorem, blue wins otherwise). The winner is computed
+//! by flood fill: seed the top row, expand through red-owned hex neighbors
+//! for `rows·cols` rounds (enough for any path), and test the bottom row.
+
+use quipper::classical::{CDag, Dag, BExpr};
+
+/// A Hex board size.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct HexBoard {
+    /// Rows (the direction red connects).
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+}
+
+impl HexBoard {
+    /// Creates a board.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty board.
+    pub fn new(rows: usize, cols: usize) -> HexBoard {
+        assert!(rows >= 1 && cols >= 1, "board must be nonempty");
+        HexBoard { rows, cols }
+    }
+
+    /// Number of cells.
+    pub fn cells(self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Cell index of (row, col).
+    pub fn index(self, row: usize, col: usize) -> usize {
+        row * self.cols + col
+    }
+
+    /// The six hex neighbors of (row, col) that exist on the board.
+    ///
+    /// Offset convention: neighbors are (r, c±1), (r±1, c), (r−1, c+1),
+    /// (r+1, c−1) — the standard rhombic Hex embedding.
+    pub fn neighbors(self, row: usize, col: usize) -> Vec<(usize, usize)> {
+        let deltas: [(isize, isize); 6] = [(0, -1), (0, 1), (-1, 0), (1, 0), (-1, 1), (1, -1)];
+        let mut out = Vec::with_capacity(6);
+        for (dr, dc) in deltas {
+            let r = row as isize + dr;
+            let c = col as isize + dc;
+            if r >= 0 && c >= 0 && (r as usize) < self.rows && (c as usize) < self.cols {
+                out.push((r as usize, c as usize));
+            }
+        }
+        out
+    }
+
+    /// Classical reference: does red (cells with bit 1) connect top to
+    /// bottom?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `red` has the wrong length.
+    pub fn red_wins(self, red: &[bool]) -> bool {
+        assert_eq!(red.len(), self.cells(), "one bit per cell");
+        let mut reached = vec![false; self.cells()];
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        for c in 0..self.cols {
+            if red[self.index(0, c)] {
+                reached[self.index(0, c)] = true;
+                stack.push((0, c));
+            }
+        }
+        while let Some((r, c)) = stack.pop() {
+            for (nr, nc) in self.neighbors(r, c) {
+                let i = self.index(nr, nc);
+                if red[i] && !reached[i] {
+                    reached[i] = true;
+                    stack.push((nr, nc));
+                }
+            }
+        }
+        (0..self.cols).any(|c| reached[self.index(self.rows - 1, c)])
+    }
+}
+
+/// Builds the flood-fill winner oracle as a classical DAG: `cells()` input
+/// bits (1 = red) to one output bit (red wins).
+///
+/// `sharing` toggles hash-consing in the DSL; the sharing ablation
+/// benchmark compares both. `rounds` bounds the flood-fill iteration count
+/// (defaults to `cells()` when `None`, which is always sufficient).
+pub fn hex_winner_dag(board: HexBoard, sharing: bool, rounds: Option<usize>) -> CDag {
+    let n = board.cells() as u32;
+    let dag = if sharing { Dag::new(n) } else { Dag::new_without_sharing(n) };
+    let red = dag.inputs();
+    let rounds = rounds.unwrap_or(board.cells());
+
+    // reached₀: the top row's red cells.
+    let mut reached: Vec<BExpr> = (0..board.cells()).map(|_| dag.constant(false)).collect();
+    for c in 0..board.cols {
+        reached[board.index(0, c)] = red[board.index(0, c)].clone();
+    }
+    // Expansion rounds: reached'ᵢ = redᵢ ∧ (reachedᵢ ∨ ⋁ⱼ∈N(i) reachedⱼ).
+    for _ in 0..rounds {
+        let mut next = reached.clone();
+        for r in 0..board.rows {
+            for col in 0..board.cols {
+                let i = board.index(r, col);
+                let mut any = reached[i].clone();
+                for (nr, nc) in board.neighbors(r, col) {
+                    any = any | reached[board.index(nr, nc)].clone();
+                }
+                next[i] = red[i].clone() & any;
+            }
+        }
+        reached = next;
+    }
+    let mut win = dag.constant(false);
+    for c in 0..board.cols {
+        win = win | reached[board.index(board.rows - 1, c)].clone();
+    }
+    dag.finish(&[win])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn vertical_red_column_wins() {
+        let b = HexBoard::new(3, 3);
+        let mut red = vec![false; 9];
+        for r in 0..3 {
+            red[b.index(r, 1)] = true;
+        }
+        assert!(b.red_wins(&red));
+    }
+
+    #[test]
+    fn horizontal_blue_wall_blocks_red() {
+        let b = HexBoard::new(3, 3);
+        // Everything red except the middle row.
+        let mut red = vec![true; 9];
+        for c in 0..3 {
+            red[b.index(1, c)] = false;
+        }
+        assert!(!b.red_wins(&red));
+    }
+
+    #[test]
+    fn diagonal_path_uses_hex_adjacency() {
+        // (0,2) → (1,1) → (2,0) is connected in hex (via (r+1, c−1)).
+        let b = HexBoard::new(3, 3);
+        let mut red = vec![false; 9];
+        red[b.index(0, 2)] = true;
+        red[b.index(1, 1)] = true;
+        red[b.index(2, 0)] = true;
+        assert!(b.red_wins(&red));
+        // The opposite diagonal (r+1, c+1) is NOT adjacent in this
+        // embedding.
+        let mut red = vec![false; 9];
+        red[b.index(0, 0)] = true;
+        red[b.index(1, 1)] = true;
+        red[b.index(2, 2)] = true;
+        assert!(!b.red_wins(&red));
+    }
+
+    #[test]
+    fn dag_matches_classical_flood_fill_exhaustively_2x2() {
+        let b = HexBoard::new(2, 2);
+        let dag = hex_winner_dag(b, true, None);
+        for bits in 0..16u32 {
+            let red: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(
+                dag.eval(&red),
+                vec![b.red_wins(&red)],
+                "board pattern {bits:04b}"
+            );
+        }
+    }
+
+    #[test]
+    fn dag_matches_classical_flood_fill_random_3x3() {
+        let b = HexBoard::new(3, 3);
+        let dag = hex_winner_dag(b, true, None);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let red: Vec<bool> = (0..9).map(|_| rng.gen()).collect();
+            assert_eq!(dag.eval(&red), vec![b.red_wins(&red)]);
+        }
+    }
+
+    #[test]
+    fn hex_theorem_holds_someone_always_wins() {
+        // In a final position exactly one player connects their edges. Red
+        // top–bottom failing means blue connects left–right; spot-check by
+        // complementing: on fully colored boards, red loses ⇒ blue's cells
+        // (complement) connect left-right. We verify via the transposed
+        // board with complemented cells.
+        let b = HexBoard::new(3, 3);
+        let dag = hex_winner_dag(b, true, None);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let red: Vec<bool> = (0..9).map(|_| rng.gen()).collect();
+            let red_wins = dag.eval(&red)[0];
+            // Blue board: transpose (swap row/col roles) and complement.
+            let mut blue_t = vec![false; 9];
+            for r in 0..3 {
+                for c in 0..3 {
+                    blue_t[b.index(c, r)] = !red[b.index(r, c)];
+                }
+            }
+            let blue_wins = b.red_wins(&blue_t);
+            assert_ne!(red_wins, blue_wins, "exactly one player wins: {red:?}");
+        }
+    }
+
+    #[test]
+    fn sharing_shrinks_the_dag() {
+        let b = HexBoard::new(3, 3);
+        let shared = hex_winner_dag(b, true, None);
+        let unshared = hex_winner_dag(b, false, None);
+        assert!(
+            shared.num_nodes() < unshared.num_nodes(),
+            "hash-consing must shrink the flood-fill DAG: {} vs {}",
+            shared.num_nodes(),
+            unshared.num_nodes()
+        );
+        // Same semantics.
+        for bits in [0u32, 0b101010101, 0b111000111, 0b010111010] {
+            let red: Vec<bool> = (0..9).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(shared.eval(&red), unshared.eval(&red));
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Boolean Formula evaluation (Ambainis, Childs, Reichardt, Špalek, Zhang
+//! \[2\]).
+//!
+//! "Any AND-OR formula of size n can be evaluated in time n^{1/2+o(1)} on a
+//! quantum computer." The version implemented in the paper "computes a
+//! winning strategy for the game of Hex": the formula's leaves are final
+//! Hex positions, evaluated by the flood-fill winner oracle of [`hex`]
+//! (§4.6.1, 2.8 million gates in the paper's build).
+//!
+//! This module provides:
+//!
+//! * [`NandTree`] — classical balanced NAND-tree formulas (the game tree:
+//!   NAND alternation is exactly min/max game search);
+//! * [`hex_strategy_wins`] — the classical game-tree search over final Hex
+//!   positions, i.e. the function the quantum algorithm evaluates;
+//! * [`bf_circuit`] — the quantum circuit family: phase estimation over a
+//!   Szegedy-style walk on the formula tree whose leaf reflections are
+//!   controlled by the (lifted) leaf oracle.
+
+pub mod hex;
+
+pub use hex::{hex_winner_dag, HexBoard};
+
+use quipper::classical::{synth, CDag, Dag};
+use quipper::qft::qft_inverse;
+use quipper::{Circ, Qubit};
+use quipper_circuit::BCircuit;
+
+/// A balanced binary NAND tree with explicit leaf values.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NandTree {
+    /// Tree depth (the formula has 2^depth leaves).
+    pub depth: usize,
+    /// Leaf values, length 2^depth.
+    pub leaves: Vec<bool>,
+}
+
+impl NandTree {
+    /// Creates a formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leaf count is not 2^depth.
+    pub fn new(depth: usize, leaves: Vec<bool>) -> NandTree {
+        assert_eq!(leaves.len(), 1 << depth, "need 2^depth leaves");
+        NandTree { depth, leaves }
+    }
+
+    /// Evaluates the formula classically.
+    pub fn eval(&self) -> bool {
+        fn go(leaves: &[bool]) -> bool {
+            if leaves.len() == 1 {
+                leaves[0]
+            } else {
+                let (l, r) = leaves.split_at(leaves.len() / 2);
+                !(go(l) && go(r))
+            }
+        }
+        go(&self.leaves)
+    }
+}
+
+/// Classical Hex strategy search: with `moves` empty cells left (listed by
+/// index) and the current partial position, does the player to move (red)
+/// have a winning strategy? The game tree of NANDs over final positions is
+/// exactly what the Boolean Formula algorithm evaluates.
+///
+/// Exponential in `moves.len()` — a reference implementation for small
+/// boards.
+pub fn hex_strategy_wins(board: HexBoard, position: &mut Vec<Option<bool>>, red_to_move: bool) -> bool {
+    if position.iter().all(|c| c.is_some()) {
+        let red: Vec<bool> = position.iter().map(|c| c.unwrap_or(false)).collect();
+        return board.red_wins(&red);
+    }
+    let free: Vec<usize> =
+        (0..position.len()).filter(|&i| position[i].is_none()).collect();
+    for i in free {
+        position[i] = Some(red_to_move);
+        let red_wins_subgame = hex_strategy_wins(board, position, !red_to_move);
+        position[i] = None;
+        // Red to move: red wins if SOME move wins; blue to move: red wins
+        // only if ALL blue moves still lose for blue.
+        if red_to_move && red_wins_subgame {
+            return true;
+        }
+        if !red_to_move && !red_wins_subgame {
+            return false;
+        }
+    }
+    !red_to_move
+}
+
+/// Builds the leaf-value oracle of a NAND formula as a classical DAG over
+/// the leaf-index register: `index ↦ leaf[index]`.
+pub fn leaf_oracle_dag(tree: &NandTree) -> CDag {
+    let bits = tree.depth.max(1);
+    Dag::build(bits as u32, |dag, idx| {
+        let mut acc = dag.constant(false);
+        for (leaf, &value) in tree.leaves.iter().enumerate() {
+            if !value {
+                continue;
+            }
+            let mut term = dag.constant(true);
+            for (b, bit) in idx.iter().enumerate() {
+                let want = leaf >> b & 1 == 1;
+                term = term & if want { bit.clone() } else { !bit.clone() };
+            }
+            acc = acc ^ term;
+        }
+        vec![acc]
+    })
+}
+
+/// One step of the formula walk: a reflection about the uniform direction
+/// state on the position register, composed with a leaf-controlled phase
+/// flip (the quantum counterpart of querying the formula's leaves).
+fn walk_step(c: &mut Circ, tree: &NandTree, pos: &[Qubit], ctl: Qubit) {
+    let dag = leaf_oracle_dag(tree);
+    // Leaf phase: flip the sign of marked leaves, conditioned on the PE
+    // control. Compute the leaf bit, Z it under control, uncompute.
+    c.with_computed(
+        |c| {
+            let target = c.qinit_bit(false);
+            synth::classical_to_reversible(c, &dag, pos, &[target]);
+            target
+        },
+        |c, &target| {
+            c.gate_ctrl(quipper::GateName::Z, target, &ctl);
+        },
+    );
+    // Diffusion: reflection about the uniform superposition, conditioned on
+    // the PE control: H⊗ · (phase flip on |0…0⟩) · H⊗.
+    for &q in pos {
+        c.hadamard(q);
+    }
+    // Flip the sign of |0…0⟩: a global phase of π with negative controls on
+    // every position qubit, plus the PE control.
+    let mut controls: Vec<quipper::Control> =
+        pos.iter().map(|&q| quipper::Control { wire: q.wire(), positive: false }).collect();
+    controls.push(quipper::Control { wire: ctl.wire(), positive: true });
+    c.emit(quipper::Gate::GPhase { angle: 1.0, controls });
+    for &q in pos {
+        c.hadamard(q);
+    }
+}
+
+/// The Boolean Formula circuit family: `t`-bit phase estimation over the
+/// formula walk. The measured phase discriminates true from false formulas
+/// (the walk has a 0-eigenphase component iff the formula evaluates to
+/// false, per the span-program analysis of \[2\]).
+pub fn bf_circuit(tree: &NandTree, t_bits: usize) -> BCircuit {
+    let pos_bits = tree.depth.max(1);
+    let mut c = Circ::new();
+    let pos: Vec<Qubit> = (0..pos_bits).map(|_| c.qinit_bit(false)).collect();
+    for &q in &pos {
+        c.hadamard(q);
+    }
+    let readout: Vec<Qubit> = (0..t_bits).map(|_| c.qinit_bit(false)).collect();
+    for &q in &readout {
+        c.hadamard(q);
+    }
+    for (k, &ctl) in readout.iter().enumerate() {
+        let reps = 1u64 << k;
+        // Box one controlled walk step and iterate it.
+        let mut io = pos.clone();
+        io.push(ctl);
+        c.box_repeat("bf_walk", &format!("d={},k={}", tree.depth, k), reps, io, |c, io: Vec<Qubit>| {
+            let (p, ctl) = io.split_at(pos_bits);
+            walk_step(c, tree, p, ctl[0]);
+            io.clone()
+        });
+    }
+    // Read the phase.
+    qft_inverse(&mut c, &readout);
+    let m = c.measure(readout);
+    c.discard(&pos);
+    c.finish(&m)
+}
+
+/// Quantum counting: estimates the number of inputs on which a classical
+/// predicate (given as a one-output DAG over `k` inputs) evaluates to true,
+/// using `t_bits` of phase estimation over the Grover iterate
+/// (phase oracle + diffusion — the amplitude-amplification primitive of the
+/// paper's §3.1).
+///
+/// Returns the estimate M̂ ∈ [0, 2^k]. The Grover iterate has eigenphases
+/// ±2θ with sin²θ = M/N, so the measured phase φ yields
+/// M̂ = N·sin²(πφ).
+///
+/// # Panics
+///
+/// Panics if the DAG does not have exactly one output, or if simulation
+/// fails.
+pub fn quantum_count(dag: &CDag, t_bits: usize, seed: u64) -> f64 {
+    assert_eq!(dag.num_outputs(), 1, "counting needs a predicate");
+    let k = dag.num_inputs();
+    let mut c = Circ::new();
+    let pos: Vec<Qubit> = (0..k).map(|_| c.qinit_bit(false)).collect();
+    for &q in &pos {
+        c.hadamard(q);
+    }
+    let readout: Vec<Qubit> = (0..t_bits).map(|_| c.qinit_bit(false)).collect();
+    for &q in &readout {
+        c.hadamard(q);
+    }
+    for (j, &ctl) in readout.iter().enumerate() {
+        let reps = 1u64 << j;
+        for _ in 0..reps {
+            grover_iterate(&mut c, dag, &pos, ctl);
+        }
+    }
+    let mut be = readout.clone();
+    be.reverse();
+    qft_inverse(&mut c, &be);
+    let m = c.measure(be);
+    c.discard(&pos);
+    let bc = c.finish(&m);
+    let outs = quipper_sim::run(&bc, &[], seed).expect("quantum counting simulation");
+    let bits = outs.classical_outputs();
+    let mut phase = 0.0;
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            phase += f64::powi(0.5, i as i32 + 1);
+        }
+    }
+    let n = f64::powi(2.0, k as i32);
+    n * (std::f64::consts::PI * phase).sin().powi(2)
+}
+
+/// One controlled Grover iterate: phase-flip the predicate's solutions,
+/// then reflect about the uniform superposition.
+fn grover_iterate(c: &mut Circ, dag: &CDag, pos: &[Qubit], ctl: Qubit) {
+    // Phase oracle: flip the sign of inputs where the predicate holds.
+    c.with_computed(
+        |c| {
+            let target = c.qinit_bit(false);
+            synth::classical_to_reversible(c, dag, pos, &[target]);
+            target
+        },
+        |c, &target| {
+            c.gate_ctrl(quipper::GateName::Z, target, &ctl);
+        },
+    );
+    // Diffusion about uniform, conditioned on the PE control.
+    for &q in pos {
+        c.hadamard(q);
+    }
+    let mut controls: Vec<quipper::Control> =
+        pos.iter().map(|&q| quipper::Control { wire: q.wire(), positive: false }).collect();
+    controls.push(quipper::Control { wire: ctl.wire(), positive: true });
+    c.emit(quipper::Gate::GPhase { angle: 1.0, controls });
+    for &q in pos {
+        c.hadamard(q);
+    }
+    // A global sign per iterate (the −1 of the standard Grover operator),
+    // conditioned on the PE control so the kickback phase is exact.
+    c.emit(quipper::Gate::GPhase {
+        angle: 1.0,
+        controls: vec![quipper::Control { wire: ctl.wire(), positive: true }],
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quipper_sim::run_classical;
+
+    #[test]
+    fn nand_tree_evaluates_like_game_search() {
+        // depth 2: NAND(NAND(a,b), NAND(c,d)).
+        let t = NandTree::new(2, vec![true, true, false, true]);
+        assert_eq!(t.eval(), !(!(true && true) && !(false && true)));
+    }
+
+    #[test]
+    fn nand_tree_depth_zero_is_identity() {
+        assert!(NandTree::new(0, vec![true]).eval());
+        assert!(!NandTree::new(0, vec![false]).eval());
+    }
+
+    #[test]
+    fn leaf_oracle_dag_matches_leaves() {
+        let t = NandTree::new(3, vec![true, false, false, true, true, true, false, false]);
+        let dag = leaf_oracle_dag(&t);
+        for leaf in 0..8usize {
+            let idx: Vec<bool> = (0..3).map(|b| leaf >> b & 1 == 1).collect();
+            assert_eq!(dag.eval(&idx), vec![t.leaves[leaf]], "leaf {leaf}");
+        }
+    }
+
+    #[test]
+    fn leaf_oracle_lifts_to_a_clean_reversible_circuit() {
+        let t = NandTree::new(2, vec![false, true, true, false]);
+        let dag = leaf_oracle_dag(&t);
+        let bc = Circ::build(&(vec![false; 2], false), |c, (idx, out): (Vec<Qubit>, Qubit)| {
+            synth::classical_to_reversible(c, &dag, &idx, &[out]);
+            (idx, out)
+        });
+        bc.validate().unwrap();
+        for leaf in 0..4usize {
+            let mut input: Vec<bool> = (0..2).map(|b| leaf >> b & 1 == 1).collect();
+            input.push(false);
+            let out = run_classical(&bc, &input).unwrap();
+            assert_eq!(out[2], t.leaves[leaf]);
+        }
+    }
+
+    #[test]
+    fn bf_circuit_builds_and_validates() {
+        let t = NandTree::new(2, vec![true, false, true, true]);
+        let bc = bf_circuit(&t, 3);
+        bc.validate().unwrap();
+        // Phase estimation structure: controlled walk repetitions 1+2+4.
+        let gc = bc.gate_count();
+        assert!(gc.total() > 0);
+        assert_eq!(bc.main.outputs.len(), 3);
+    }
+
+    #[test]
+    fn bf_circuit_runs_on_the_simulator() {
+        // Width: 2 position + 3 readout + transient oracle scratch — small
+        // enough for the state vector. We check it runs (all assertions
+        // hold) and produces a 3-bit phase sample.
+        let t = NandTree::new(2, vec![true, false, true, true]);
+        let bc = bf_circuit(&t, 3);
+        let result = quipper_sim::run(&bc, &[], 5).expect("BF simulation");
+        assert_eq!(result.classical_outputs().len(), 3);
+    }
+
+    #[test]
+    fn quantum_counting_matches_classical_counts() {
+        // Small predicates keep the simulated width manageable: the oracle
+        // scratch lives alongside position and readout qubits.
+        let cases: Vec<(CDag, u32, u32)> = vec![
+            // (dag, #inputs, #solutions)
+            (Dag::build(2, |_, xs| vec![&xs[0] & &xs[1]]), 2, 1),
+            (Dag::build(2, |_, xs| vec![&xs[0] ^ &xs[1]]), 2, 2),
+            (Dag::build(3, |_, xs| vec![&(&xs[0] & &xs[1]) & &xs[2]]), 3, 1),
+            (Dag::build(3, |_, xs| vec![&xs[0] | &xs[1]]), 3, 6),
+        ];
+        for (dag, k, want) in cases {
+            let classical: u32 = (0..1u32 << k)
+                .filter(|&bits| {
+                    let input: Vec<bool> = (0..k).map(|i| bits >> i & 1 == 1).collect();
+                    dag.eval(&input)[0]
+                })
+                .count() as u32;
+            assert_eq!(classical, want, "classical count");
+            let estimate = quantum_count(&dag, 4, 11);
+            assert!(
+                (estimate - f64::from(want)).abs() < 1.2,
+                "estimated {estimate}, want {want} (k={k})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantum_counting_sees_zero_and_all() {
+        let none = Dag::build(2, |b, _| vec![b.constant(false)]);
+        let est = quantum_count(&none, 4, 3);
+        assert!(est < 0.5, "no solutions: {est}");
+        let all = Dag::build(2, |b, _| vec![b.constant(true)]);
+        let est = quantum_count(&all, 4, 3);
+        assert!(est > 3.5, "all solutions: {est}");
+    }
+
+    #[test]
+    fn hex_strategy_search_is_consistent_with_hex_theorem() {
+        // On a tiny 2×1 board red moves first and trivially wins (any cell
+        // in the single row... rows=1 means top row IS bottom row).
+        let b = HexBoard::new(1, 2);
+        let mut pos = vec![None; 2];
+        assert!(hex_strategy_wins(b, &mut pos, true), "red wins 1×2 moving first");
+        // 2×2 board, red first: known first-player win in Hex.
+        let b = HexBoard::new(2, 2);
+        let mut pos = vec![None; 4];
+        assert!(hex_strategy_wins(b, &mut pos, true), "first player wins Hex 2×2");
+    }
+}

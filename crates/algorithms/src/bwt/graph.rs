@@ -1,0 +1,204 @@
+//! The classical welded-tree graph model.
+//!
+//! An instance of the Binary Welded Tree problem (Childs et al. \[4\]) is a
+//! graph made of two complete binary trees of the same depth whose leaves
+//! are joined ("welded") by a cycle, given to the algorithm only through an
+//! edge-coloring oracle: `neighbor(v, color)` returns the unique
+//! color-`color` neighbor of `v`, if any. The walker starts at the entrance
+//! (the root of tree A) and must find the exit (the root of tree B).
+//!
+//! Node labels are (depth + 2)-bit integers: the low `depth + 1` bits are a
+//! heap index inside the tree (root = 1), and the top bit selects the tree.
+//! The weld joins leaf `ℓ` of tree A to the leaves of tree B whose low bits
+//! differ by the instance constants `k\[0\]`, `k\[1\]` (an involutive variant of
+//! the paper's weld permutation; the GFI's exact weld functions are not
+//! public, and any degree-2 leaf matching exercises the same oracle
+//! structure).
+//!
+//! The 4-coloring is proper: a node's parent edge is colored by its own
+//! child-bit and depth parity, child edges by the child's, and weld edges
+//! take the two colors of the unused parity class at leaf level.
+
+/// A Binary Welded Tree instance.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct WeldedTree {
+    /// Tree depth n (leaves at heap depth n). Labels use n + 2 bits.
+    pub depth: usize,
+    /// Weld xor constants; must be distinct and < 2^depth.
+    pub weld_k: [u64; 2],
+}
+
+impl WeldedTree {
+    /// Creates an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weld constants coincide or do not fit in `depth` bits.
+    pub fn new(depth: usize, weld_k: [u64; 2]) -> WeldedTree {
+        assert!(depth >= 1, "depth must be at least 1");
+        assert_ne!(weld_k[0], weld_k[1], "weld constants must differ");
+        assert!(
+            weld_k.iter().all(|&k| k < (1 << depth)),
+            "weld constants must fit in {depth} bits"
+        );
+        WeldedTree { depth, weld_k }
+    }
+
+    /// Label width in bits: depth + 2.
+    pub fn label_bits(self) -> usize {
+        self.depth + 2
+    }
+
+    /// The entrance label (root of tree A).
+    pub fn entrance(self) -> u64 {
+        1
+    }
+
+    /// The exit label (root of tree B).
+    pub fn exit(self) -> u64 {
+        self.tree_flag() | 1
+    }
+
+    fn tree_flag(self) -> u64 {
+        1 << (self.depth + 1)
+    }
+
+    /// Whether `label` denotes a node of the graph.
+    pub fn is_node(self, label: u64) -> bool {
+        let heap = label & !self.tree_flag();
+        label < (1 << self.label_bits()) && heap >= 1 && heap < (1 << (self.depth + 1))
+    }
+
+    /// All node labels, tree A first.
+    pub fn nodes(self) -> Vec<u64> {
+        let mut v = Vec::new();
+        for tree in 0..2u64 {
+            for heap in 1..(1u64 << (self.depth + 1)) {
+                v.push(tree * self.tree_flag() | heap);
+            }
+        }
+        v
+    }
+
+    fn heap_depth(heap: u64) -> usize {
+        (63 - heap.leading_zeros()) as usize
+    }
+
+    /// The color-`color` neighbor of `label`, if that edge exists.
+    ///
+    /// Edge coloring: the edge between a node at heap depth `d` and its
+    /// parent has color `(child_bit) + 2·(d mod 2)`; the weld edge with
+    /// constant `k[j]` has color `j + 2·((depth + 1) mod 2)`.
+    pub fn neighbor(self, label: u64, color: u8) -> Option<u64> {
+        if !self.is_node(label) {
+            return None;
+        }
+        let tree = label & self.tree_flag();
+        let heap = label & !self.tree_flag();
+        let d = Self::heap_depth(heap);
+        let color_bit = u64::from(color & 1);
+        let color_par = usize::from(color >> 1 & 1);
+
+        if d % 2 == color_par {
+            // Parent edge (colored by this node's own depth parity).
+            if d > 0 && heap & 1 == color_bit {
+                Some(tree | heap >> 1)
+            } else {
+                None
+            }
+        } else if d < self.depth {
+            // Child edge (colored by the child's depth parity).
+            Some(tree | heap << 1 | color_bit)
+        } else {
+            // Leaf: weld edge to the other tree.
+            let leaf_bits = heap & ((1 << self.depth) - 1);
+            let partner = (1 << self.depth) | (leaf_bits ^ self.weld_k[color_bit as usize]);
+            Some((tree ^ self.tree_flag()) | partner)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WeldedTree {
+        WeldedTree::new(3, [0b011, 0b101])
+    }
+
+    #[test]
+    fn neighbor_is_an_involution() {
+        let g = sample();
+        for v in g.nodes() {
+            for color in 0..4u8 {
+                if let Some(w) = g.neighbor(v, color) {
+                    assert!(g.is_node(w), "neighbor {w:b} of {v:b} is a node");
+                    assert_eq!(
+                        g.neighbor(w, color),
+                        Some(v),
+                        "color {color} edge {v:b}–{w:b} must be symmetric"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coloring_is_proper_and_degrees_are_correct() {
+        let g = sample();
+        for v in g.nodes() {
+            let neighbors: Vec<Option<u64>> =
+                (0..4u8).map(|c| g.neighbor(v, c)).collect();
+            // No two edges at a node share a color by construction; check
+            // the neighbors are distinct.
+            let mut present: Vec<u64> = neighbors.iter().flatten().copied().collect();
+            present.sort_unstable();
+            present.dedup();
+            let degree = neighbors.iter().flatten().count();
+            assert_eq!(degree, present.len(), "distinct neighbors at {v:b}");
+            // Roots have degree 2, all other nodes degree 3.
+            let expected = if v == g.entrance() || v == g.exit() { 2 } else { 3 };
+            assert_eq!(degree, expected, "degree of {v:b}");
+        }
+    }
+
+    #[test]
+    fn graph_is_connected_entrance_to_exit() {
+        let g = sample();
+        let mut seen = vec![g.entrance()];
+        let mut stack = vec![g.entrance()];
+        while let Some(v) = stack.pop() {
+            for c in 0..4u8 {
+                if let Some(w) = g.neighbor(v, c) {
+                    if !seen.contains(&w) {
+                        seen.push(w);
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        assert!(seen.contains(&g.exit()), "exit reachable");
+        assert_eq!(seen.len(), g.nodes().len(), "all nodes reachable");
+    }
+
+    #[test]
+    fn welds_connect_opposite_trees() {
+        let g = sample();
+        for v in g.nodes() {
+            let heap = v & !(1 << (g.depth + 1));
+            if WeldedTree::heap_depth(heap) == g.depth {
+                // Leaf: both weld colors exist and cross trees.
+                let weld_par = (g.depth + 1) % 2;
+                for j in 0..2u8 {
+                    let color = j + 2 * weld_par as u8;
+                    let w = g.neighbor(v, color).expect("weld edge exists");
+                    assert_ne!(
+                        w & (1 << (g.depth + 1)),
+                        v & (1 << (g.depth + 1)),
+                        "weld crosses trees"
+                    );
+                }
+            }
+        }
+    }
+}

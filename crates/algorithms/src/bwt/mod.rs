@@ -1,0 +1,232 @@
+//! The Binary Welded Tree algorithm (Childs, Cleve, Deotto, Farhi, Gutmann,
+//! Spielman \[4\]).
+//!
+//! A quantum walk finds the exit root of a welded pair of binary trees
+//! exponentially faster than any classical algorithm can. The circuit
+//! alternates, for each of the four edge colors, an oracle call computing
+//! the color-neighbor of the current node with the *diffusion step* of the
+//! paper's Figure 1: W gates on corresponding label bits, a parity ancilla,
+//! and an `e^{−iZt}` rotation conditioned on the edge-validity flag, all
+//! conjugated back.
+//!
+//! Three full-circuit generators back the paper's Section 6 table:
+//! [`bwt_circuit`] with [`Flavor::Orthodox`] (hand-coded oracle) or
+//! [`Flavor::Template`] (oracle lifted automatically from classical code),
+//! and the QCL-style baseline in [`qcl`].
+
+pub mod graph;
+pub mod oracle;
+pub mod qcl;
+
+use quipper::classical::synth;
+use quipper::{Circ, Qubit};
+use quipper_circuit::BCircuit;
+
+pub use graph::WeldedTree;
+
+/// Which oracle compilation strategy to use — the three columns of the
+/// paper's Section 6 table.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Flavor {
+    /// Hand-coded reversible oracle ("Quipper orthodox").
+    Orthodox,
+    /// Oracle lifted automatically from classical code ("Quipper template").
+    Template,
+    /// The QCL-style baseline compiler ("QCL direct").
+    Qcl,
+}
+
+/// The diffusion step of the paper's Figure 1: W gates diagonalize the
+/// pairwise exchange between the current-node register `a` and the
+/// neighbor register `b`, a scoped ancilla accumulates the parity of
+/// antisymmetric pairs, and `e^{−iZt}` applies the phase, conditioned on
+/// the edge existing; everything else is uncomputed.
+pub fn timestep(c: &mut Circ, a: &[Qubit], b: &[Qubit], r: Qubit, dt: f64) {
+    assert_eq!(a.len(), b.len(), "timestep: register widths differ");
+    c.with_ancilla(|c, anc| {
+        c.with_computed(
+            |c| {
+                for (&ai, &bi) in a.iter().zip(b) {
+                    c.gate_w(ai, bi);
+                }
+                // After W, |10⟩ marks an antisymmetric pair; accumulate the
+                // parity (the ⊕ column of Figure 1).
+                for (&ai, &bi) in a.iter().zip(b) {
+                    c.qnot_ctrl(anc, &vec![(ai, true), (bi, false)]);
+                }
+            },
+            |c, ()| {
+                // The paper's figure conditions on the complementary
+                // "invalid" flag with a negative control; `r` here is the
+                // "edge exists" flag, so the control is positive.
+                c.rot_ctrl("exp(-i%Z)", dt, anc, &r);
+            },
+        );
+    });
+}
+
+/// Builds the complete Binary Welded Tree circuit: the walker starts at the
+/// entrance, performs `timesteps` rounds of the four-color walk, and is
+/// measured.
+pub fn bwt_circuit(g: WeldedTree, timesteps: usize, dt: f64, flavor: Flavor) -> BCircuit {
+    if flavor == Flavor::Qcl {
+        return qcl::bwt_qcl_circuit(g, timesteps, dt);
+    }
+    let m = g.label_bits();
+    let mut c = Circ::new();
+    let a: Vec<Qubit> = (0..m).map(|i| c.qinit_bit(g.entrance() >> i & 1 == 1)).collect();
+
+    // The template flavor synthesizes its oracle DAGs once per color.
+    let dags: Vec<_> = match flavor {
+        Flavor::Template => (0..4u8).map(|color| Some(oracle::neighbor_dag(g, color))).collect(),
+        _ => (0..4).map(|_| None).collect(),
+    };
+
+    for _ in 0..timesteps {
+        for color in 0..4u8 {
+            c.with_computed(
+                |c| match flavor {
+                    Flavor::Orthodox => oracle::oracle_orthodox(c, g, color, &a),
+                    Flavor::Template => {
+                        // `synthesize_clean` uncomputes the synthesis
+                        // scratch immediately: only (b, r) may survive into
+                        // the diffusion step (see `oracle_orthodox`).
+                        let dag = dags[color as usize].as_ref().expect("template dag");
+                        let mut outs = synth::synthesize_clean(c, dag, &a);
+                        let r = outs.pop().expect("validity output");
+                        (outs, r)
+                    }
+                    Flavor::Qcl => unreachable!("handled above"),
+                },
+                |c, (b, r)| {
+                    timestep(c, &a, b, *r, dt);
+                },
+            );
+        }
+    }
+
+    let result = c.measure(a);
+    c.finish(&result)
+}
+
+/// Runs the walk on the state-vector simulator and returns the measured
+/// node label. Only feasible for small depths.
+///
+/// # Panics
+///
+/// Panics if simulation fails (which would indicate a broken oracle
+/// uncomputation).
+pub fn run_bwt(g: WeldedTree, timesteps: usize, dt: f64, flavor: Flavor, seed: u64) -> u64 {
+    let bc = bwt_circuit(g, timesteps, dt, flavor);
+    let result = quipper_sim::run(&bc, &[], seed).expect("BWT simulation");
+    let outs = result.classical_outputs();
+    outs.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> WeldedTree {
+        WeldedTree::new(1, [0b0, 0b1])
+    }
+
+    #[test]
+    fn orthodox_circuit_validates_and_measures_label_register() {
+        let g = WeldedTree::new(3, [0b011, 0b101]);
+        let bc = bwt_circuit(g, 2, 0.4, Flavor::Orthodox);
+        bc.validate().unwrap();
+        assert_eq!(bc.main.outputs.len(), g.label_bits());
+        let gc = bc.gate_count();
+        // 2 timesteps × 4 colors × 1 rotation.
+        assert_eq!(gc.by_name_any_controls("exp(-i%Z)"), 8);
+        // 2 × 4 × 2·m W gates (compute + uncompute).
+        assert_eq!(gc.by_name_any_controls("\"W"), (2 * 4 * 2 * g.label_bits()) as u128);
+    }
+
+    #[test]
+    fn template_circuit_validates() {
+        let g = WeldedTree::new(2, [0b01, 0b10]);
+        let bc = bwt_circuit(g, 1, 0.4, Flavor::Template);
+        bc.validate().unwrap();
+        // Template uses more ancillas than orthodox (paper: 108 vs 26
+        // qubits) but both must balance inits and terms (all scratch
+        // uncomputed, only the measured label survives).
+        let gc = bc.gate_count();
+        let orth = bwt_circuit(g, 1, 0.4, Flavor::Orthodox).gate_count();
+        assert!(gc.qubits_in_circuit >= orth.qubits_in_circuit);
+    }
+
+    #[test]
+    fn walk_stays_on_graph_nodes() {
+        // Superposition dynamics must keep the label register on valid node
+        // labels — otherwise the oracle uncomputation would break, and the
+        // simulator's termination assertions would catch it.
+        let g = tiny();
+        for seed in 0..20 {
+            let label = run_bwt(g, 2, 0.7, Flavor::Orthodox, seed);
+            assert!(g.is_node(label), "measured label {label:b} is a node");
+        }
+    }
+
+    #[test]
+    fn walk_leaves_the_entrance() {
+        // After a few steps the walker has nonzero probability away from
+        // the entrance; over seeds we should observe at least one
+        // non-entrance outcome (and with enough steps, the exit).
+        let g = tiny();
+        let mut seen_non_entrance = false;
+        let mut seen_exit = false;
+        for seed in 0..60 {
+            let label = run_bwt(g, 3, 0.9, Flavor::Orthodox, seed);
+            if label != g.entrance() {
+                seen_non_entrance = true;
+            }
+            if label == g.exit() {
+                seen_exit = true;
+            }
+        }
+        assert!(seen_non_entrance, "walker moved");
+        assert!(seen_exit, "walker reached the exit at least once");
+    }
+
+    #[test]
+    fn orthodox_and_template_walks_agree_in_distribution() {
+        // The two oracle compilations implement the same unitary; with the
+        // same seed schedule their outcome distributions over many runs
+        // should be statistically close. We compare entrance-probability
+        // estimates.
+        let g = tiny();
+        let runs = 40;
+        let count = |flavor: Flavor| {
+            (0..runs)
+                .filter(|&seed| run_bwt(g, 2, 0.8, flavor, seed) == g.entrance())
+                .count() as f64
+        };
+        let p_orth = count(Flavor::Orthodox) / f64::from(runs as u32);
+        let p_temp = count(Flavor::Template) / f64::from(runs as u32);
+        assert!(
+            (p_orth - p_temp).abs() < 0.35,
+            "distributions differ too much: {p_orth} vs {p_temp}"
+        );
+    }
+
+    #[test]
+    fn qcl_flavor_produces_many_more_gates_than_orthodox() {
+        // The headline of the paper's Section 6: "the QCL code produces far
+        // more gates than its Quipper counterpart".
+        let g = WeldedTree::new(4, [0b0011, 0b0101]);
+        let orth = bwt_circuit(g, 1, 0.3, Flavor::Orthodox).gate_count();
+        let qcl = bwt_circuit(g, 1, 0.3, Flavor::Qcl).gate_count();
+        assert!(
+            qcl.total_logical() > 3 * orth.total_logical(),
+            "QCL {} vs orthodox {}",
+            qcl.total_logical(),
+            orth.total_logical()
+        );
+        assert!(
+            qcl.by_name("\"Not\"", 0, 0) > 20 * orth.by_name("\"Not\"", 0, 0).max(1),
+            "X-conjugation flood"
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! Quantum oracles for the welded-tree graph.
+//!
+//! Two compilation strategies, compared in the paper's Section 6:
+//!
+//! * [`oracle_orthodox`] — a hand-coded reversible circuit ("Quipper
+//!   orthodox"): a leading-one detector computes one depth predicate per
+//!   level, and per-branch indicator qubits control the copying of the
+//!   neighbor label, using signed controls throughout.
+//! * [`neighbor_dag`] — the same neighbor function written as *classical*
+//!   code in the `quipper::classical` DSL and lifted automatically
+//!   ("Quipper template", the `build_circuit` analogue).
+//!
+//! Both compute, out of place, the pair `(b, r)` where `b` is the
+//! color-neighbor of `a` and `r` says whether that edge exists; callers wrap
+//! them in `with_computed` so that all scratch (and `b`, `r` themselves)
+//! are uncomputed after the diffusion step uses them.
+
+use quipper::classical::{CDag, Dag};
+use quipper::{Circ, Qubit};
+
+use super::graph::WeldedTree;
+
+/// Hand-coded oracle: computes `(b, r)` = (color-neighbor of `a`, edge
+/// exists) into fresh registers. All internal scratch (the leading-one
+/// detector and branch indicators) is uncomputed before returning, so only
+/// `b` and `r` stay alive — this matters because the diffusion step mixes
+/// the `a` and `b` registers, after which only data that is symmetric in
+/// the pair (the neighbor relation is an involution) can be uncomputed.
+///
+/// `a` is the node label, low `depth + 1` bits heap index, top bit tree
+/// select (see [`WeldedTree`]).
+///
+/// # Panics
+///
+/// Panics if `a` has the wrong width or `color >= 4`.
+pub fn oracle_orthodox(c: &mut Circ, g: WeldedTree, color: u8, a: &[Qubit]) -> (Vec<Qubit>, Qubit) {
+    let m = g.label_bits();
+    assert_eq!(a.len(), m, "oracle: label register must have {m} qubits");
+    assert!(color < 4, "color out of range");
+    c.with_computed(
+        |c| compute_predicates(c, g, color, a),
+        |c, preds| apply_writes(c, g, color, a, preds),
+    )
+}
+
+/// Per-depth condition wires: for each heap depth, the wire that is 1 iff
+/// the node sits at that depth (refined by the parent-selection bit where
+/// the branch needs it), plus the scratch that built them.
+type Predicates = (Vec<Qubit>, Vec<Qubit>);
+
+/// Computes the leading-one detector and per-branch indicator qubits.
+fn compute_predicates(c: &mut Circ, g: WeldedTree, color: u8, a: &[Qubit]) -> Predicates {
+    let m = g.label_bits();
+    let depth = g.depth;
+    let heap = &a[..m - 1]; // heap bits, LSB first
+    let color_bit = color & 1 == 1;
+    let color_par = (color >> 1 & 1) as usize;
+
+    let mut scratch: Vec<Qubit> = Vec::new();
+
+    // Leading-one detection. z[j] = "heap bits above and including j+1 are
+    // all zero"; pred_d = z[d+1] ∧ h_d is "the node sits at heap depth d".
+    // pred_depth needs no ancilla: for a valid label it is just h_depth.
+    let mut z_next: Option<Qubit> = None;
+    let mut preds: Vec<Qubit> = vec![heap[depth]; depth + 1];
+    for d in (0..=depth).rev() {
+        if d == depth {
+            let z = c.qinit_bit(false);
+            c.cnot(z, heap[depth]);
+            c.qnot(z);
+            scratch.push(z);
+            z_next = Some(z);
+        } else {
+            let zn = z_next.expect("z chain");
+            let p = c.qinit_bit(false);
+            c.toffoli(p, zn, heap[d]);
+            scratch.push(p);
+            preds[d] = p;
+            if d > 0 {
+                let z = c.qinit_bit(false);
+                c.qnot_ctrl(z, &vec![(zn, true), (heap[d], false)]);
+                scratch.push(z);
+                z_next = Some(z);
+            }
+        }
+    }
+
+    // Parent-branch indicators: refine pred_d by the low heap bit matching
+    // the color bit.
+    let mut conds: Vec<Qubit> = preds.clone();
+    for d in 0..=depth {
+        if d % 2 == color_par && d > 0 {
+            let ind = c.qinit_bit(false);
+            c.qnot_ctrl(ind, &vec![(preds[d], true), (heap[0], color_bit)]);
+            scratch.push(ind);
+            conds[d] = ind;
+        }
+    }
+    (conds, scratch)
+}
+
+/// The XOR writes into fresh `b` and `r`, controlled on the predicates.
+fn apply_writes(
+    c: &mut Circ,
+    g: WeldedTree,
+    color: u8,
+    a: &[Qubit],
+    (conds, _scratch): &Predicates,
+) -> (Vec<Qubit>, Qubit) {
+    let m = g.label_bits();
+    let depth = g.depth;
+    let heap = &a[..m - 1];
+    let tree = a[m - 1];
+    let color_bit = color & 1 == 1;
+    let color_par = (color >> 1 & 1) as usize;
+
+    let b: Vec<Qubit> = (0..m).map(|_| c.qinit_bit(false)).collect();
+    let r = c.qinit_bit(false);
+
+    for d in 0..=depth {
+        let cond = conds[d];
+        if d % 2 == color_par {
+            // Parent edge.
+            if d == 0 {
+                continue;
+            }
+            for i in 0..d {
+                c.toffoli(b[i], cond, heap[i + 1]);
+            }
+            c.toffoli(b[m - 1], cond, tree);
+            c.cnot(r, cond);
+        } else if d < depth {
+            // Child edge: b ⊕= (heap << 1) | color_bit, tree copied.
+            for i in 0..=d {
+                c.toffoli(b[i + 1], cond, heap[i]);
+            }
+            if color_bit {
+                c.cnot(b[0], cond);
+            }
+            c.toffoli(b[m - 1], cond, tree);
+            c.cnot(r, cond);
+        } else {
+            // Weld edge: flip the low leaf bits by the instance constant,
+            // keep the leading heap bit, flip the tree bit.
+            let k = g.weld_k[usize::from(color_bit)];
+            for i in 0..depth {
+                c.toffoli(b[i], cond, heap[i]);
+                if k >> i & 1 == 1 {
+                    c.cnot(b[i], cond);
+                }
+            }
+            c.cnot(b[depth], cond);
+            c.cnot(b[m - 1], cond);
+            c.toffoli(b[m - 1], cond, tree);
+            c.cnot(r, cond);
+        }
+    }
+
+    (b, r)
+}
+
+/// The neighbor function as *classical* code in the DSL: `m` input bits to
+/// `m + 1` outputs (`b` bits then `r`). Lifting this DAG with
+/// `quipper::classical::synth` gives the "Quipper template" oracle.
+pub fn neighbor_dag(g: WeldedTree, color: u8) -> CDag {
+    assert!(color < 4, "color out of range");
+    let m = g.label_bits();
+    let depth = g.depth;
+    let color_bit = color & 1 == 1;
+    let color_par = (color >> 1 & 1) as usize;
+
+    Dag::build(m as u32, |dag, inputs| {
+        let heap = &inputs[..m - 1];
+        let tree = &inputs[m - 1];
+        let f = dag.constant(false);
+
+        // Depth predicates, exactly as classical code would write them.
+        let mut preds = Vec::with_capacity(depth + 1);
+        let mut z = dag.constant(true);
+        for d in (0..=depth).rev() {
+            preds.push((d, z.clone() & heap[d].clone()));
+            z = z & !heap[d].clone();
+        }
+        preds.reverse();
+
+        let mut b: Vec<_> = (0..m).map(|_| f.clone()).collect();
+        let mut r = f.clone();
+
+        for &(d, ref pred) in preds.iter() {
+            if d % 2 == color_par {
+                if d == 0 {
+                    continue;
+                }
+                let sel = if color_bit { heap[0].clone() } else { !heap[0].clone() };
+                let ind = pred.clone() & sel;
+                for i in 0..d {
+                    b[i] = b[i].clone() ^ (ind.clone() & heap[i + 1].clone());
+                }
+                b[m - 1] = b[m - 1].clone() ^ (ind.clone() & tree.clone());
+                r = r ^ ind;
+            } else if d < depth {
+                for i in 0..=d {
+                    b[i + 1] = b[i + 1].clone() ^ (pred.clone() & heap[i].clone());
+                }
+                if color_bit {
+                    b[0] = b[0].clone() ^ pred.clone();
+                }
+                b[m - 1] = b[m - 1].clone() ^ (pred.clone() & tree.clone());
+                r = r ^ pred.clone();
+            } else {
+                let k = g.weld_k[usize::from(color_bit)];
+                for i in 0..depth {
+                    let mut bit = pred.clone() & heap[i].clone();
+                    if k >> i & 1 == 1 {
+                        bit = bit ^ pred.clone();
+                    }
+                    b[i] = b[i].clone() ^ bit;
+                }
+                b[depth] = b[depth].clone() ^ pred.clone();
+                b[m - 1] = b[m - 1].clone() ^ (pred.clone() & !tree.clone());
+                r = r ^ pred.clone();
+            }
+        }
+
+        let mut outs = b;
+        outs.push(r);
+        outs
+    })
+}
+
+/// Convenience: evaluate the template DAG as the classical function
+/// `label → (neighbor, exists)`.
+pub fn eval_neighbor_dag(dag: &CDag, g: WeldedTree, label: u64) -> (u64, bool) {
+    let m = g.label_bits();
+    let input: Vec<bool> = (0..m).map(|i| label >> i & 1 == 1).collect();
+    let out = dag.eval(&input);
+    let b = out[..m]
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i));
+    (b, out[m])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quipper::classical::synth;
+    use quipper_sim::run_classical;
+
+    fn sample() -> WeldedTree {
+        WeldedTree::new(3, [0b011, 0b101])
+    }
+
+    #[test]
+    fn template_dag_matches_classical_model() {
+        let g = sample();
+        for color in 0..4u8 {
+            let dag = neighbor_dag(g, color);
+            for v in g.nodes() {
+                let (b, r) = eval_neighbor_dag(&dag, g, v);
+                match g.neighbor(v, color) {
+                    Some(w) => {
+                        assert!(r, "edge exists at {v:b} color {color}");
+                        assert_eq!(b, w, "neighbor of {v:b} color {color}");
+                    }
+                    None => assert!(!r, "no edge at {v:b} color {color}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn orthodox_oracle_matches_classical_model() {
+        let g = sample();
+        let m = g.label_bits();
+        for color in 0..4u8 {
+            let bc = Circ::build(&vec![false; m], |c, a: Vec<Qubit>| {
+                let (b, r) = oracle_orthodox(c, g, color, &a);
+                (a, b, r)
+            });
+            bc.validate().unwrap();
+            for v in g.nodes() {
+                let input: Vec<bool> = (0..m).map(|i| v >> i & 1 == 1).collect();
+                let out = run_classical(&bc, &input).unwrap();
+                let b = out[m..2 * m]
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i));
+                let r = out[2 * m];
+                match g.neighbor(v, color) {
+                    Some(w) => {
+                        assert!(r, "edge exists at {v:b} color {color}");
+                        assert_eq!(b, w, "neighbor of {v:b} color {color}");
+                    }
+                    None => {
+                        assert!(!r, "no edge at {v:b} color {color}");
+                        assert_eq!(b, 0, "no spurious neighbor at {v:b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn orthodox_oracle_uncomputes_cleanly_under_with_computed() {
+        let g = WeldedTree::new(2, [0b01, 0b10]);
+        let m = g.label_bits();
+        let bc = Circ::build(&vec![false; m], |c, a: Vec<Qubit>| {
+            for color in 0..4u8 {
+                c.with_computed(
+                    |c| oracle_orthodox(c, g, color, &a),
+                    |_c, _data| {},
+                );
+            }
+            a
+        });
+        bc.validate().unwrap();
+        // Every node label must pass the termination assertions.
+        for v in g.nodes() {
+            let input: Vec<bool> = (0..m).map(|i| v >> i & 1 == 1).collect();
+            run_classical(&bc, &input).expect("scratch uncomputes for every node");
+        }
+    }
+
+    #[test]
+    fn lifted_template_oracle_agrees_with_orthodox_in_circuit_form() {
+        let g = WeldedTree::new(2, [0b01, 0b11]);
+        let m = g.label_bits();
+        for color in [0u8, 3] {
+            let dag = neighbor_dag(g, color);
+            let bc = Circ::build(&vec![false; m], |c, a: Vec<Qubit>| {
+                let (outs, scratch) = synth::synthesize_compute(c, &dag, &a);
+                (a, outs, scratch)
+            });
+            bc.validate().unwrap();
+            for v in g.nodes() {
+                let input: Vec<bool> = (0..m).map(|i| v >> i & 1 == 1).collect();
+                let out = run_classical(&bc, &input).unwrap();
+                let b = out[m..2 * m]
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i));
+                let (want_b, want_r) = eval_neighbor_dag(&dag, g, v);
+                assert_eq!(b, want_b);
+                assert_eq!(out[2 * m], want_r);
+            }
+        }
+    }
+}

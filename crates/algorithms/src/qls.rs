@@ -1,0 +1,221 @@
+//! Quantum Linear Systems (Harrow, Hassidim, Lloyd \[9\]).
+//!
+//! Solves `A·x = b` in the quantum sense: given a Hermitian `A` and a state
+//! |b⟩, produce a state proportional to `A⁻¹|b⟩`. The circuit is the
+//! standard HHL pipeline: phase estimation over `U = e^{iAt}` writes the
+//! eigenvalues of `A` into a clock register; a *reciprocal oracle* turns
+//! each eigenvalue λ into a conditional rotation of angle `2·arcsin(C/λ)`
+//! on a flag qubit; inverse phase estimation uncomputes the clock; and
+//! post-selecting the flag on 1 leaves `Σ (C/λᵢ)βᵢ|vᵢ⟩ ∝ A⁻¹|b⟩`.
+//!
+//! The demonstration system is a 2×2 Hermitian matrix diagonal in the
+//! Hadamard basis, so that the controlled evolution is exact and small
+//! enough to verify amplitude-by-amplitude on the simulator. The rotation
+//! angles come from a *lookup-table reciprocal oracle* over clock basis
+//! states; at scale this table is replaced by lifted fixed-point
+//! arithmetic — the paper's `sin(x)`-style circuits of
+//! `quipper_arith::fpreal` (§4.6.1), whose gate counts the benchmark
+//! harness reproduces.
+
+use quipper::qft::{qft, qft_inverse};
+use quipper::{Circ, Qubit};
+use quipper_circuit::BCircuit;
+
+/// A 2×2 Hermitian system diagonal in the Hadamard basis:
+/// `A = H · diag(λ₊, λ₋) · H`, with |+⟩, |−⟩ as eigenvectors.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct HadamardSystem {
+    /// Eigenvalue of |+⟩.
+    pub lambda_plus: u32,
+    /// Eigenvalue of |−⟩.
+    pub lambda_minus: u32,
+}
+
+impl HadamardSystem {
+    /// Creates a system; eigenvalues must be nonzero (A invertible).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero eigenvalues.
+    pub fn new(lambda_plus: u32, lambda_minus: u32) -> HadamardSystem {
+        assert!(lambda_plus > 0 && lambda_minus > 0, "A must be invertible");
+        HadamardSystem { lambda_plus, lambda_minus }
+    }
+}
+
+/// The input state |b⟩ for the solver, as real unnormalized amplitudes
+/// over |0⟩, |1⟩ (the builder normalizes).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct RhsState {
+    /// Amplitude of |0⟩.
+    pub b0: f64,
+    /// Amplitude of |1⟩.
+    pub b1: f64,
+}
+
+/// Builds the HHL circuit with `m` clock qubits. Choosing the evolution
+/// time `t = 2π / 2^m` makes every eigenvalue λ < 2^m exactly
+/// representable: the clock reads λ itself, the inverse phase estimation
+/// is exact, and the clock terminates with |0⟩ assertions.
+///
+/// Outputs (in order): the system qubit and the flag qubit — left quantum,
+/// so callers can inspect amplitudes or measure.
+pub fn qls_circuit(sys: HadamardSystem, b: RhsState, m: usize) -> BCircuit {
+    assert!(
+        u64::from(sys.lambda_plus) < (1 << m) && u64::from(sys.lambda_minus) < (1 << m),
+        "eigenvalues must fit the clock register"
+    );
+    let mut c = Circ::new();
+    // Prepare |b⟩ = cos(θ/2)|0⟩ + sin(θ/2)|1⟩.
+    let x = c.qinit_bit(false);
+    let theta = 2.0 * f64::atan2(b.b1, b.b0);
+    c.rot("Ry(%)", theta, x);
+
+    let clock: Vec<Qubit> = (0..m).map(|_| c.qinit_bit(false)).collect();
+    for &q in &clock {
+        c.hadamard(q);
+    }
+    let unit = 2.0 * std::f64::consts::PI / f64::powi(2.0, m as i32);
+    // Controlled e^{iAt·2^k}: in the Hadamard frame A is diagonal, so each
+    // controlled power is a controlled global phase plus a controlled
+    // relative phase on the system qubit.
+    c.hadamard(x);
+    for (k, &ctl) in clock.iter().enumerate() {
+        let phi_p = unit * f64::from(sys.lambda_plus) * f64::powi(2.0, k as i32);
+        let phi_m = unit * f64::from(sys.lambda_minus) * f64::powi(2.0, k as i32);
+        c.emit(quipper::Gate::GPhase {
+            angle: phi_p / std::f64::consts::PI,
+            controls: vec![quipper::Control { wire: ctl.wire(), positive: true }],
+        });
+        c.rot_ctrl("R(%)", phi_m - phi_p, x, &ctl);
+    }
+    c.hadamard(x);
+    // Read the eigenvalue: inverse QFT, big-endian.
+    let mut be = clock.clone();
+    be.reverse();
+    qft_inverse(&mut c, &be);
+
+    // Reciprocal oracle: for every clock basis value λ, rotate the flag by
+    // 2·arcsin(C/λ), with C the smallest eigenvalue.
+    let flag = c.qinit_bit(false);
+    let cc = f64::from(sys.lambda_plus.min(sys.lambda_minus));
+    for lam in 1u64..1 << m {
+        let ratio = (cc / lam as f64).min(1.0);
+        let angle = 2.0 * ratio.asin();
+        let controls: Vec<(Qubit, bool)> = be
+            .iter()
+            .enumerate()
+            .map(|(j, &q)| (q, lam >> (m - 1 - j) & 1 == 1))
+            .collect();
+        c.rot_ctrl("Ry(%)", angle, flag, &controls);
+    }
+
+    // Uncompute the clock: QFT back, inverse evolution, Hadamards.
+    qft(&mut c, &be);
+    c.hadamard(x);
+    for (k, &ctl) in clock.iter().enumerate().rev() {
+        let phi_p = unit * f64::from(sys.lambda_plus) * f64::powi(2.0, k as i32);
+        let phi_m = unit * f64::from(sys.lambda_minus) * f64::powi(2.0, k as i32);
+        c.rot_ctrl("R(%)", -(phi_m - phi_p), x, &ctl);
+        c.emit(quipper::Gate::GPhase {
+            angle: -phi_p / std::f64::consts::PI,
+            controls: vec![quipper::Control { wire: ctl.wire(), positive: true }],
+        });
+    }
+    c.hadamard(x);
+    for &q in &clock {
+        c.hadamard(q);
+    }
+    for &q in &clock {
+        c.qterm_bit(false, q);
+    }
+
+    c.finish(&(x, flag))
+}
+
+/// The classical solution of the 2×2 system, as normalized-rhs (x₀, x₁).
+pub fn classical_solution(sys: HadamardSystem, b: RhsState) -> (f64, f64) {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    let norm = (b.b0 * b.b0 + b.b1 * b.b1).sqrt();
+    let (b0, b1) = (b.b0 / norm, b.b1 / norm);
+    let bp = s * (b0 + b1);
+    let bm = s * (b0 - b1);
+    let xp = bp / f64::from(sys.lambda_plus);
+    let xm = bm / f64::from(sys.lambda_minus);
+    (s * (xp + xm), s * (xp - xm))
+}
+
+/// Runs the solver and returns `(p0, p1, p_flag)`: the conditional
+/// probabilities of the system qubit given flag = 1, and the flag
+/// (post-selection) probability.
+pub fn qls_solve(sys: HadamardSystem, b: RhsState, m: usize, seed: u64) -> (f64, f64, f64) {
+    let bc = qls_circuit(sys, b, m);
+    let result = quipper_sim::run(&bc, &[], seed).expect("QLS simulation");
+    let (xw, _) = result.outputs[0];
+    let (fw, _) = result.outputs[1];
+    let p_flag = result.state.probability(fw, true);
+    let p0 = result.state.joint_probability(&[(xw, false), (fw, true)]);
+    let p1 = result.state.joint_probability(&[(xw, true), (fw, true)]);
+    (p0 / p_flag, p1 / p_flag, p_flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_a_diagonalizable_system_exactly() {
+        let sys = HadamardSystem::new(1, 2);
+        let b = RhsState { b0: 1.0, b1: 0.0 };
+        let (x0, x1) = classical_solution(sys, b);
+        let want0 = x0 * x0 / (x0 * x0 + x1 * x1);
+        let (p0, p1, p_flag) = qls_solve(sys, b, 2, 7);
+        assert!(p_flag > 0.1, "post-selection succeeds with decent probability");
+        assert!((p0 - want0).abs() < 1e-6, "p0 = {p0}, want {want0}");
+        assert!((p1 - (1.0 - want0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solves_with_a_superposed_rhs() {
+        let sys = HadamardSystem::new(1, 3);
+        let b = RhsState { b0: 0.6, b1: 0.8 };
+        let (x0, x1) = classical_solution(sys, b);
+        let want0 = x0 * x0 / (x0 * x0 + x1 * x1);
+        let (p0, _p1, p_flag) = qls_solve(sys, b, 2, 9);
+        assert!(p_flag > 0.05);
+        assert!((p0 - want0).abs() < 1e-6, "p0 = {p0}, want {want0}");
+    }
+
+    #[test]
+    fn identity_system_returns_b_unchanged() {
+        let sys = HadamardSystem::new(1, 1);
+        let b = RhsState { b0: 0.8, b1: 0.6 };
+        let (p0, p1, p_flag) = qls_solve(sys, b, 2, 3);
+        assert!((p_flag - 1.0).abs() < 1e-9, "C/λ = 1 everywhere");
+        assert!((p0 - 0.64).abs() < 1e-6);
+        assert!((p1 - 0.36).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clock_uncomputation_is_exact() {
+        // The circuit ends by *asserting* the clock is |0⟩; a successful
+        // simulation proves the inverse phase estimation is exact for
+        // exactly-representable eigenvalues.
+        let sys = HadamardSystem::new(2, 3);
+        let b = RhsState { b0: 1.0, b1: 1.0 };
+        let bc = qls_circuit(sys, b, 2);
+        bc.validate().unwrap();
+        quipper_sim::run(&bc, &[], 1).expect("clock uncomputes exactly");
+    }
+
+    #[test]
+    fn success_probability_reflects_conditioning() {
+        let b = RhsState { b0: 1.0, b1: 0.3 };
+        let (_, _, p_well) = qls_solve(HadamardSystem::new(2, 3), b, 2, 5);
+        let (_, _, p_ill) = qls_solve(HadamardSystem::new(1, 7), b, 3, 5);
+        assert!(
+            p_well > p_ill,
+            "well-conditioned {p_well} vs ill-conditioned {p_ill}"
+        );
+    }
+}

@@ -1,0 +1,443 @@
+//! Edge oracles for Triangle Finding.
+//!
+//! "The algorithm is parametric on an oracle defining the graph G. In our
+//! implementation, the oracle is a changeable part" (paper §5.1) — hence the
+//! [`EdgeOracle`] trait. Two implementations are provided:
+//!
+//! * [`OrthodoxOracle`] — the QCS-style modular-arithmetic oracle: nodes are
+//!   injected into the space of l-bit integers and each call makes
+//!   "extensive use of modular arithmetic" (§5.1): the edge predicate tests
+//!   the top bit of `u¹⁷ + w¹⁷ (mod 2^l − 1)`, computed with the boxed
+//!   `o4_POW17` / `o8_MUL` / `o7_ADD` hierarchy of Figures 2–3. (The exact
+//!   QCS predicate is not public; this one has the same arithmetic
+//!   structure and cost profile.)
+//! * [`GraphOracle`] — an explicit adjacency-matrix oracle lifted from
+//!   classical code, used to run the algorithm end-to-end on small planted
+//!   instances.
+
+use quipper::{Circ, Qubit};
+use quipper_arith::qinttf::{add_tf, pow17_tf_boxed, QIntTF};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A quantum edge oracle: XORs `edge(u, w)` into a target qubit.
+///
+/// Implementations must be *clean* (all scratch uncomputed before
+/// returning) and must define a simple graph: `edge(u, u) = false` — the
+/// walk's edge-register bookkeeping relies on the absence of self-loops.
+pub trait EdgeOracle {
+    /// Node register width in qubits.
+    fn node_bits(&self) -> usize;
+
+    /// XORs the edge predicate of `(u, w)` into `e`.
+    fn edge(&self, c: &mut Circ, u: &[Qubit], w: &[Qubit], e: Qubit);
+
+    /// The classical reference predicate (used by tests and by classical
+    /// post-processing).
+    fn edge_classical(&self, u: u64, w: u64) -> bool;
+}
+
+// ---------------------------------------------------------------------
+// The modular-arithmetic ("orthodox") oracle
+// ---------------------------------------------------------------------
+
+/// The QCS-style arithmetic oracle over l-bit integers mod 2^l − 1.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct OrthodoxOracle {
+    /// Node register width (2^n nodes).
+    pub n: usize,
+    /// Oracle integer width l (the paper's `-l` parameter).
+    pub l: usize,
+}
+
+impl OrthodoxOracle {
+    /// Creates the oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= n <= l <= 62`.
+    pub fn new(n: usize, l: usize) -> OrthodoxOracle {
+        assert!(n >= 1 && n <= l && l <= 62, "need 1 <= n <= l <= 62");
+        OrthodoxOracle { n, l }
+    }
+}
+
+/// Ones'-complement addition with end-around carry, tracking the exact
+/// representative the quantum adder produces.
+pub fn tf_add(a: u64, b: u64, l: usize) -> u64 {
+    let mask = (1u64 << l) - 1;
+    let s = a + b;
+    (s & mask) + (s >> l)
+}
+
+/// The multiplier cascade, bit-exact with `o8_MUL`: controlled additions of
+/// rotated partial products.
+pub fn tf_mul(x: u64, y: u64, l: usize) -> u64 {
+    let mask = (1u64 << l) - 1;
+    let mut cur = 0u64;
+    for i in 0..l {
+        if x >> i & 1 == 1 {
+            let k = i % l;
+            let rot = if k == 0 { y } else { (y << k | y >> (l - k)) & mask };
+            cur = tf_add(rot, cur, l);
+        }
+    }
+    cur
+}
+
+/// The seventeenth power, bit-exact with `o4_POW17`.
+pub fn tf_pow17(x: u64, l: usize) -> u64 {
+    let sq = |v: u64| tf_mul(v, v, l);
+    let x2 = sq(x);
+    let x4 = sq(x2);
+    let x8 = sq(x4);
+    let x16 = sq(x8);
+    tf_mul(x, x16, l)
+}
+
+impl EdgeOracle for OrthodoxOracle {
+    fn node_bits(&self) -> usize {
+        self.n
+    }
+
+    fn edge(&self, c: &mut Circ, u: &[Qubit], w: &[Qubit], e: Qubit) {
+        assert_eq!(u.len(), self.n, "u register width");
+        assert_eq!(w.len(), self.n, "w register width");
+        let l = self.l;
+        let n = self.n;
+        let key = format!("l={l},n={n}");
+        let mut uw: Vec<Qubit> = u.to_vec();
+        uw.extend_from_slice(w);
+        uw.push(e);
+        c.box_circ_keyed("o1", &key, uw, move |c, uw: Vec<Qubit>| {
+            let (u, rest) = uw.split_at(n);
+            let (w, e) = rest.split_at(n);
+            let e = e[0];
+            c.comment_with_labels("ENTER: o1_EDGE", &[(&u.to_vec(), "u"), (&w.to_vec(), "w")]);
+            c.with_computed(
+                |c| {
+                    // Inject the n-bit nodes into l-bit TF integers.
+                    let inject = |c: &mut Circ, src: &[Qubit]| -> QIntTF {
+                        let bits: Vec<Qubit> = (0..l).map(|_| c.qinit_bit(false)).collect();
+                        for (b, &s) in bits.iter().zip(src.iter()) {
+                            c.cnot(*b, s);
+                        }
+                        QIntTF::from_qubits(bits)
+                    };
+                    let ui = inject(c, u);
+                    let wi = inject(c, w);
+                    let (ui, u17) = pow17_tf_boxed(c, ui);
+                    let (wi, w17) = pow17_tf_boxed(c, wi);
+                    let s = add_tf(c, &u17, &w17);
+                    // Simple-graph guard: u ≠ w, an OR-chain over bitwise
+                    // differences.
+                    let mut neq = c.qinit_bit(false);
+                    for i in 0..n {
+                        let d = c.qinit_bit(false);
+                        c.cnot(d, u[i]);
+                        c.cnot(d, w[i]);
+                        let acc = c.qinit_bit(false);
+                        c.qnot_ctrl(acc, &vec![(neq, false), (d, false)]);
+                        c.qnot(acc);
+                        // acc = neq ∨ d; chain forward.
+                        neq = acc;
+                        let _ = d;
+                    }
+                    (ui, wi, u17, w17, s, neq)
+                },
+                |c, (_ui, _wi, _u17, _w17, s, neq)| {
+                    let top = s.qubit(l - 1);
+                    c.qnot_ctrl(e, &vec![(top, true), (*neq, true)]);
+                },
+            );
+            c.comment_with_labels("EXIT: o1_EDGE", &[(&u.to_vec(), "u"), (&w.to_vec(), "w")]);
+            uw_rebuild(u, w, e)
+        });
+    }
+
+    fn edge_classical(&self, u: u64, w: u64) -> bool {
+        if u == w {
+            return false;
+        }
+        let s = tf_add(tf_pow17(u, self.l), tf_pow17(w, self.l), self.l);
+        s >> (self.l - 1) & 1 == 1
+    }
+}
+
+fn uw_rebuild(u: &[Qubit], w: &[Qubit], e: Qubit) -> Vec<Qubit> {
+    let mut v = u.to_vec();
+    v.extend_from_slice(w);
+    v.push(e);
+    v
+}
+
+// ---------------------------------------------------------------------
+// Explicit-graph oracle (for end-to-end runs on planted instances)
+// ---------------------------------------------------------------------
+
+/// A small undirected simple graph given by its adjacency matrix.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Graph {
+    n_nodes: usize,
+    adj: Vec<Vec<bool>>,
+}
+
+impl Graph {
+    /// An empty graph on `n_nodes` vertices.
+    pub fn empty(n_nodes: usize) -> Graph {
+        Graph { n_nodes, adj: vec![vec![false; n_nodes]; n_nodes] }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n_nodes == 0
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range vertices.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "simple graph: no self-loops");
+        self.adj[a][b] = true;
+        self.adj[b][a] = true;
+    }
+
+    /// Edge test.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        a < self.n_nodes && b < self.n_nodes && self.adj[a][b]
+    }
+
+    /// Lists all triangles (i < j < k).
+    pub fn triangles(&self) -> Vec<[usize; 3]> {
+        let mut out = Vec::new();
+        for i in 0..self.n_nodes {
+            for j in i + 1..self.n_nodes {
+                if !self.adj[i][j] {
+                    continue;
+                }
+                for k in j + 1..self.n_nodes {
+                    if self.adj[j][k] && self.adj[i][k] {
+                        out.push([i, j, k]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Generates a random graph containing exactly one triangle — the
+    /// Triangle Finding problem promise ("an undirected simple graph G
+    /// containing exactly one triangle", §5.1).
+    pub fn with_unique_triangle(n_nodes: usize, extra_edges: usize, seed: u64) -> Graph {
+        assert!(n_nodes >= 3, "need at least 3 vertices");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = Graph::empty(n_nodes);
+        // Plant the triangle on three random distinct vertices.
+        let mut verts: Vec<usize> = (0..n_nodes).collect();
+        for i in 0..3 {
+            let j = rng.gen_range(i..n_nodes);
+            verts.swap(i, j);
+        }
+        let (a, b, c) = (verts[0], verts[1], verts[2]);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(a, c);
+        // Add random edges that do not create further triangles.
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < extra_edges && attempts < 50 * extra_edges.max(1) {
+            attempts += 1;
+            let x = rng.gen_range(0..n_nodes);
+            let y = rng.gen_range(0..n_nodes);
+            if x == y || g.has_edge(x, y) {
+                continue;
+            }
+            // Would (x, y) close a second triangle?
+            let closes = (0..n_nodes).any(|z| g.has_edge(x, z) && g.has_edge(y, z));
+            if !closes {
+                g.add_edge(x, y);
+                added += 1;
+            }
+        }
+        g
+    }
+}
+
+/// An edge oracle for an explicit [`Graph`]: one multi-controlled not per
+/// directed edge, using signed controls and **no ancillas** — the leanest
+/// possible oracle, used so that small instances fit the state-vector
+/// simulator. (Large synthesized oracles are exercised by the
+/// [`OrthodoxOracle`] and by the Boolean Formula Hex oracle instead.)
+#[derive(Clone, Debug)]
+pub struct GraphOracle {
+    graph: Graph,
+    n: usize,
+    key: String,
+}
+
+impl GraphOracle {
+    /// Builds the oracle for a graph; node registers have
+    /// `ceil(log2(graph.len()))` qubits (minimum 1).
+    pub fn new(graph: Graph, key: &str) -> GraphOracle {
+        let n = usize::max(1, (usize::BITS - (graph.len() - 1).leading_zeros()) as usize);
+        GraphOracle { graph, n, key: key.to_string() }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+impl EdgeOracle for GraphOracle {
+    fn node_bits(&self) -> usize {
+        self.n
+    }
+
+    fn edge(&self, c: &mut Circ, u: &[Qubit], w: &[Qubit], e: Qubit) {
+        let n = self.n;
+        let graph = self.graph.clone();
+        let mut uw = u.to_vec();
+        uw.extend_from_slice(w);
+        uw.push(e);
+        c.box_circ_keyed("o1", &self.key, uw, move |c, uw: Vec<Qubit>| {
+            let (u, rest) = uw.split_at(n);
+            let (w, e) = rest.split_at(n);
+            for a in 0..graph.len() {
+                for b in 0..graph.len() {
+                    if graph.has_edge(a, b) {
+                        let mut controls: Vec<(Qubit, bool)> = Vec::with_capacity(2 * n);
+                        for (i, &q) in u.iter().enumerate() {
+                            controls.push((q, a >> i & 1 == 1));
+                        }
+                        for (i, &q) in w.iter().enumerate() {
+                            controls.push((q, b >> i & 1 == 1));
+                        }
+                        c.qnot_ctrl(e[0], &controls);
+                    }
+                }
+            }
+            uw.clone()
+        });
+    }
+
+    fn edge_classical(&self, u: u64, w: u64) -> bool {
+        self.graph.has_edge(u as usize, w as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quipper_sim::run_classical;
+
+    #[test]
+    fn tf_arithmetic_model_is_consistent_with_modulus() {
+        let l = 5;
+        let m = (1u64 << l) - 1;
+        for x in 0..m {
+            for y in [0u64, 1, 7, 19, 30] {
+                assert_eq!(tf_add(x, y, l) % m, (x + y) % m, "add {x}+{y}");
+                assert_eq!(tf_mul(x, y, l) % m, (x % m) * (y % m) % m, "mul {x}·{y}");
+            }
+            let want = (0..17).fold(1u64, |acc, _| acc * (x % m) % m);
+            assert_eq!(tf_pow17(x, l) % m, want % m, "{x}^17");
+        }
+    }
+
+    #[test]
+    fn orthodox_oracle_matches_classical_reference() {
+        let orc = OrthodoxOracle::new(2, 4);
+        let bc = Circ::build(
+            &(vec![false; 2], vec![false; 2], false),
+            |c, (u, w, e): (Vec<Qubit>, Vec<Qubit>, Qubit)| {
+                orc.edge(c, &u, &w, e);
+                (u, w, e)
+            },
+        );
+        bc.validate().unwrap();
+        for u in 0..4u64 {
+            for w in 0..4u64 {
+                let mut inputs = vec![u & 1 == 1, u >> 1 & 1 == 1, w & 1 == 1, w >> 1 & 1 == 1];
+                inputs.push(false);
+                let out = run_classical(&bc, &inputs).unwrap();
+                assert_eq!(
+                    out[4],
+                    orc.edge_classical(u, w),
+                    "edge({u},{w}) at l=4"
+                );
+                // Operands preserved.
+                assert_eq!(out[0], u & 1 == 1);
+                assert_eq!(out[2], w & 1 == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn orthodox_oracle_has_no_self_loops() {
+        let orc = OrthodoxOracle::new(3, 6);
+        for u in 0..8u64 {
+            assert!(!orc.edge_classical(u, u));
+        }
+    }
+
+    #[test]
+    fn oracle_box_is_shared_across_calls() {
+        let orc = OrthodoxOracle::new(2, 4);
+        let bc = Circ::build(
+            &(vec![false; 2], vec![false; 2], false, false),
+            |c, (u, w, e1, e2): (Vec<Qubit>, Vec<Qubit>, Qubit, Qubit)| {
+                orc.edge(c, &u, &w, e1);
+                orc.edge(c, &u, &w, e2);
+                (u, w, e1, e2)
+            },
+        );
+        bc.validate().unwrap();
+        // Main circuit: two o1 calls; definitions shared (o1, o4, o6, o8, o7).
+        assert_eq!(bc.main.gates.len(), 2);
+        let names: Vec<&str> =
+            bc.db.iter().map(|(_, d)| d.name.as_str()).collect();
+        for expected in ["o1", "o4", "o6", "o8", "o7"] {
+            assert!(names.contains(&expected), "missing box {expected}, have {names:?}");
+        }
+    }
+
+    #[test]
+    fn unique_triangle_generator_keeps_promise() {
+        for seed in 0..10 {
+            let g = Graph::with_unique_triangle(8, 6, seed);
+            assert_eq!(g.triangles().len(), 1, "exactly one triangle (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn graph_oracle_matches_adjacency() {
+        let g = Graph::with_unique_triangle(4, 1, 3);
+        let orc = GraphOracle::new(g.clone(), "t4");
+        let n = orc.node_bits();
+        let bc = Circ::build(
+            &(vec![false; n], vec![false; n], false),
+            |c, (u, w, e): (Vec<Qubit>, Vec<Qubit>, Qubit)| {
+                orc.edge(c, &u, &w, e);
+                (u, w, e)
+            },
+        );
+        bc.validate().unwrap();
+        for u in 0..4u64 {
+            for w in 0..4u64 {
+                let mut inputs: Vec<bool> = (0..n).map(|i| u >> i & 1 == 1).collect();
+                inputs.extend((0..n).map(|i| w >> i & 1 == 1));
+                inputs.push(false);
+                let out = run_classical(&bc, &inputs).unwrap();
+                assert_eq!(out[2 * n], g.has_edge(u as usize, w as usize), "edge({u},{w})");
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Unique Shortest Vector (Regev \[17\]).
+//!
+//! Regev reduces the unique shortest vector problem to the dihedral coset
+//! problem, whose solution requires "a more subtle interleaving of quantum
+//! and classical operations, whereby only a subset of the qubits are
+//! measured, and the quantum memory cannot be reset between each quantum
+//! circuit invocation" (paper §3.5) — the defining use case for *dynamic
+//! lifting* (§4.3). The full subexponential sieve is far outside
+//! simulability; per the substitution policy in `DESIGN.md`, this module
+//! implements the interleaving pattern on a *planted* instance: the
+//! coefficients of the unique shortest vector are encoded in the eigenphase
+//! of a problem unitary, and recovered bit by bit with iterative phase
+//! estimation — each measurement dynamically lifted into the circuit
+//! generator, steering the feedback rotation of the next round, while the
+//! eigenstate qubit persists in quantum memory across all rounds. A
+//! classical Gauss (Lagrange) reduction verifies the result.
+
+use quipper::{Bit, Circ};
+use quipper_sim::SimLifter;
+
+/// A two-dimensional integer lattice basis.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Lattice2 {
+    /// First basis vector.
+    pub b1: (i64, i64),
+    /// Second basis vector.
+    pub b2: (i64, i64),
+}
+
+fn norm2(v: (i64, i64)) -> i64 {
+    v.0 * v.0 + v.1 * v.1
+}
+
+fn sub(a: (i64, i64), b: (i64, i64), k: i64) -> (i64, i64) {
+    (a.0 - k * b.0, a.1 - k * b.1)
+}
+
+impl Lattice2 {
+    /// Gauss–Lagrange reduction: returns a shortest nonzero vector of the
+    /// lattice (classical reference algorithm).
+    pub fn shortest_vector(self) -> (i64, i64) {
+        let (mut u, mut v) = (self.b1, self.b2);
+        if norm2(u) < norm2(v) {
+            std::mem::swap(&mut u, &mut v);
+        }
+        loop {
+            // u is the longer: reduce it against v.
+            let dot = u.0 * v.0 + u.1 * v.1;
+            let k = ((dot as f64) / (norm2(v) as f64)).round() as i64;
+            let r = sub(u, v, k);
+            if norm2(r) >= norm2(v) {
+                return v;
+            }
+            u = v;
+            v = r;
+        }
+    }
+
+    /// The lattice vector with coefficients (a, b).
+    pub fn vector(self, a: i64, b: i64) -> (i64, i64) {
+        (a * self.b1.0 + b * self.b2.0, a * self.b1.1 + b * self.b2.1)
+    }
+}
+
+/// A planted USV instance: a basis together with the (secret) coefficients
+/// of its unique shortest vector, exposed to the quantum part only through
+/// the eigenphase of the problem unitary.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct PlantedUsv {
+    /// The public basis.
+    pub lattice: Lattice2,
+    /// Secret coefficients, each in −2..=1 (2 bits two's complement).
+    pub coeff: (i64, i64),
+}
+
+impl PlantedUsv {
+    /// Encodes the secret coefficients into a 4-bit phase numerator.
+    fn phase_numerator(self) -> u64 {
+        let enc = |x: i64| (x & 0b11) as u64;
+        enc(self.coeff.0) << 2 | enc(self.coeff.1)
+    }
+
+    /// Decodes a recovered 4-bit numerator back into coefficients.
+    fn decode(s: u64) -> (i64, i64) {
+        let dec = |b: u64| -> i64 {
+            let v = (b & 0b11) as i64;
+            if v >= 2 {
+                v - 4
+            } else {
+                v
+            }
+        };
+        (dec(s >> 2), dec(s))
+    }
+}
+
+/// Iterative phase estimation with dynamic lifting: recovers the `m`-bit
+/// phase numerator `s` of `U = diag(1, e^{2πi·s/2^m})` one bit per round,
+/// least significant first. The eigenstate qubit stays alive in quantum
+/// memory for the whole conversation with the device; each round's
+/// measured bit is *dynamically lifted* and decides the feedback rotation
+/// of all later rounds.
+///
+/// Returns the numerator and the finished circuit (for inspection).
+pub fn iterative_phase_estimation(m: usize, s_over_q: f64, seed: u64) -> (u64, quipper::BCircuit) {
+    let mut c = Circ::new();
+    SimLifter::install(&mut c, seed);
+    // The persistent eigenstate |1⟩.
+    let eig = c.qinit_bit(true);
+    let mut s = 0u64;
+    for round in 0..m {
+        let k = m - 1 - round; // measure bit k of the numerator, MSB last
+        let anc = c.qinit_bit(false);
+        c.hadamard(anc);
+        // Controlled U^{2^k}: phase kickback of 2π·s·2^k/2^m onto anc.
+        let angle = 2.0 * std::f64::consts::PI * s_over_q * f64::powi(2.0, k as i32);
+        c.rot_ctrl("R(%)", angle, eig, &anc);
+        // Feedback: subtract the already-known low bits.
+        let known = s as f64 / f64::powi(2.0, round as i32);
+        let feedback = -std::f64::consts::PI * known;
+        c.rot("R(%)", feedback, anc);
+        c.hadamard(anc);
+        let mbit: Bit = c.measure_bit(anc);
+        let bit = c.dynamic_lift(mbit);
+        c.cdiscard(mbit);
+        // Round j measures bit j of the numerator (least significant
+        // first): the kickback angle π·(s >> j) reduces, after the
+        // feedback, to (−1)^{bit_j}.
+        s |= u64::from(bit) << round;
+    }
+    c.qdiscard(eig);
+    let bc = c.finish(&());
+    (s, bc)
+}
+
+/// Solves a planted USV instance: quantumly recovers the secret
+/// coefficients with dynamically-lifted iterative phase estimation, forms
+/// the corresponding lattice vector, and returns it.
+pub fn solve_usv(instance: PlantedUsv, seed: u64) -> (i64, i64) {
+    let m = 4;
+    let s = instance.phase_numerator();
+    let (recovered, _circ) = iterative_phase_estimation(m, s as f64 / 16.0, seed);
+    let (a, b) = PlantedUsv::decode(recovered);
+    instance.lattice.vector(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauss_reduction_finds_the_shortest_vector() {
+        // Lattice with basis (5, 1), (4, 1): shortest vector (1, 0) =
+        // b1 − b2.
+        let l = Lattice2 { b1: (5, 1), b2: (4, 1) };
+        let v = l.shortest_vector();
+        assert_eq!(norm2(v), 1, "shortest has norm 1: {v:?}");
+    }
+
+    #[test]
+    fn ipe_recovers_every_4_bit_phase_exactly() {
+        for s in 0..16u64 {
+            let (got, bc) = iterative_phase_estimation(4, s as f64 / 16.0, 11 + s);
+            assert_eq!(got, s, "phase numerator {s}");
+            // The generated circuit really interleaved: 4 measurements.
+            assert_eq!(bc.gate_count().by_name("Meas", 0, 0), 4);
+        }
+    }
+
+    #[test]
+    fn ipe_keeps_quantum_memory_alive_across_lifts() {
+        // The eigenstate qubit is allocated before the first lift and
+        // discarded after the last: its wire appears in gates across every
+        // round (quantum memory persists between circuit invocations,
+        // paper §3.5).
+        let (_s, bc) = iterative_phase_estimation(3, 5.0 / 8.0, 3);
+        let rotations = bc.gate_count().by_name_any_controls("R(%)");
+        assert!(rotations >= 3, "one kickback per round at least");
+    }
+
+    #[test]
+    fn solve_usv_returns_a_shortest_vector() {
+        let lattice = Lattice2 { b1: (4, 1), b2: (5, 1) };
+        // Plant the shortest vector's coefficients. Gauss reduction on
+        // this basis: shortest is b1·(-3) + b2·... compute the truth first.
+        let shortest = lattice.shortest_vector();
+        // Find planted coefficients within the 2-bit range by search.
+        let mut planted = None;
+        'outer: for a in -2i64..=1 {
+            for b in -2i64..=1 {
+                if (a, b) != (0, 0) && norm2(lattice.vector(a, b)) == norm2(shortest) {
+                    planted = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        let coeff = planted.expect("shortest vector has small coefficients for this basis");
+        let instance = PlantedUsv { lattice, coeff };
+        for seed in [1u64, 5, 9] {
+            let v = solve_usv(instance, seed);
+            assert_eq!(
+                norm2(v),
+                norm2(shortest),
+                "recovered vector {v:?} is as short as Gauss' {shortest:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn coefficient_encoding_roundtrips() {
+        for a in -2i64..=1 {
+            for b in -2i64..=1 {
+                let inst = PlantedUsv { lattice: Lattice2 { b1: (1, 0), b2: (0, 1) }, coeff: (a, b) };
+                assert_eq!(PlantedUsv::decode(inst.phase_numerator()), (a, b));
+            }
+        }
+    }
+}

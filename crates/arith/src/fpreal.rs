@@ -1,0 +1,478 @@
+//! Fixed-point real numbers (`FPReal`).
+//!
+//! The paper's real-number library defines "a type `FPReal` of fixed-size,
+//! fixed-point real numbers" (§4.5), and the Linear Systems implementation
+//! "makes liberal use of arithmetic and analytic functions, such as sin(x)
+//! and cos(x), which were implemented using the circuit lifting feature"
+//! (§4.6.1) — i.e. written as classical fixed-point programs and lifted to
+//! reversible circuits. This module does exactly that: [`sin_dag`] /
+//! [`cos_dag`] build the classical fixed-point polynomial evaluator in the
+//! `quipper::classical` DSL, and [`sin_fpreal`] / [`cos_fpreal`] lift it
+//! onto quantum registers. The paper's headline number — "the circuit
+//! created for sin(x), over a 32+32 qubit fixed-point argument, uses
+//! 3 273 010 gates" — is reproduced by the `sin-oracle` experiment in
+//! `quipper-bench`.
+
+use quipper::classical::word::CWord;
+use quipper::classical::{synth, CDag, Dag};
+use quipper::{Circ, Measurable, QCData, Qubit, Shape};
+use quipper_circuit::{Wire, WireType};
+
+use crate::qdint::CInt;
+
+/// A fixed-point format: `int_bits` integer bits (including the sign bit,
+/// two's complement) and `frac_bits` fractional bits.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct FPFormat {
+    /// Integer bits, including sign.
+    pub int_bits: usize,
+    /// Fractional bits.
+    pub frac_bits: usize,
+}
+
+impl FPFormat {
+    /// Creates a format.
+    pub fn new(int_bits: usize, frac_bits: usize) -> FPFormat {
+        FPFormat { int_bits, frac_bits }
+    }
+
+    /// Total register width.
+    pub fn width(self) -> usize {
+        self.int_bits + self.frac_bits
+    }
+
+    /// Encodes a real number into the fixed-point bit pattern (two's
+    /// complement, rounding to nearest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is out of range for the format.
+    pub fn encode(self, x: f64) -> u64 {
+        let w = self.width();
+        let scaled = (x * f64::powi(2.0, self.frac_bits as i32)).round();
+        let max = f64::powi(2.0, (w - 1) as i32);
+        assert!(
+            scaled >= -max && scaled < max,
+            "value {x} out of range for {}+{} fixed point",
+            self.int_bits,
+            self.frac_bits
+        );
+        let v = scaled as i64;
+        (v as u64) & mask(w)
+    }
+
+    /// Decodes a fixed-point bit pattern into a real number.
+    pub fn decode(self, bits: u64) -> f64 {
+        let w = self.width();
+        let v = bits & mask(w);
+        // Sign extend.
+        let signed = if v >> (w - 1) & 1 == 1 {
+            (v | !mask(w)) as i64
+        } else {
+            v as i64
+        };
+        signed as f64 / f64::powi(2.0, self.frac_bits as i32)
+    }
+
+    /// Quantization step 2^−frac_bits.
+    pub fn epsilon(self) -> f64 {
+        f64::powi(2.0, -(self.frac_bits as i32))
+    }
+}
+
+fn mask(w: usize) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1 << w) - 1
+    }
+}
+
+/// A parameter-level fixed-point real: a value together with its format.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct FPParam {
+    /// The value.
+    pub value: f64,
+    /// The register format.
+    pub format: FPFormat,
+}
+
+impl FPParam {
+    /// Creates a parameter.
+    pub fn new(value: f64, format: FPFormat) -> FPParam {
+        FPParam { value, format }
+    }
+}
+
+/// A quantum fixed-point register (LSB first, two's complement).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FPReal {
+    bits: Vec<Qubit>,
+    format: FPFormat,
+}
+
+impl FPReal {
+    /// Wraps qubits in a format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit count does not match the format width.
+    pub fn from_qubits(bits: Vec<Qubit>, format: FPFormat) -> FPReal {
+        assert_eq!(bits.len(), format.width(), "FPReal: wrong number of qubits");
+        FPReal { bits, format }
+    }
+
+    /// The register format.
+    pub fn format(&self) -> FPFormat {
+        self.format
+    }
+
+    /// The qubits, LSB first.
+    pub fn qubits(&self) -> &[Qubit] {
+        &self.bits
+    }
+}
+
+impl QCData for FPReal {
+    fn for_each_wire(&self, f: &mut dyn FnMut(Wire, WireType)) {
+        self.bits.for_each_wire(f);
+    }
+
+    fn map_wires(&self, f: &mut dyn FnMut(Wire, WireType) -> Wire) -> Self {
+        FPReal { bits: self.bits.map_wires(f), format: self.format }
+    }
+}
+
+impl Shape for FPParam {
+    type Q = FPReal;
+    type C = CInt;
+
+    fn qinit(&self, c: &mut Circ) -> FPReal {
+        let enc = self.format.encode(self.value);
+        let bits = (0..self.format.width()).map(|i| c.qinit_bit(enc >> i & 1 == 1)).collect();
+        FPReal { bits, format: self.format }
+    }
+
+    fn cinit(&self, c: &mut Circ) -> CInt {
+        let enc = self.format.encode(self.value);
+        CInt::from_bits(
+            (0..self.format.width()).map(|i| c.cinit_bit(enc >> i & 1 == 1)).collect(),
+        )
+    }
+
+    fn qterm(&self, c: &mut Circ, data: FPReal) {
+        let enc = self.format.encode(self.value);
+        for (i, q) in data.bits.into_iter().enumerate() {
+            c.qterm_bit(enc >> i & 1 == 1, q);
+        }
+    }
+
+    fn cterm(&self, c: &mut Circ, data: CInt) {
+        let enc = self.format.encode(self.value);
+        for (i, b) in data.into_bits().into_iter().enumerate() {
+            c.cterm_bit(enc >> i & 1 == 1, b);
+        }
+    }
+
+    fn make_input(&self, c: &mut Circ) -> FPReal {
+        FPReal {
+            bits: vec![false; self.format.width()].make_input(c),
+            format: self.format,
+        }
+    }
+
+    fn make_input_classical(&self, c: &mut Circ) -> CInt {
+        CInt::from_bits(vec![false; self.format.width()].make_input_classical(c))
+    }
+
+    fn make_dummy(&self) -> FPReal {
+        FPReal {
+            bits: vec![Qubit::from_wire(Wire(0)); self.format.width()],
+            format: self.format,
+        }
+    }
+}
+
+impl Measurable for FPReal {
+    type Outcome = CInt;
+
+    fn measure_in(self, c: &mut Circ) -> CInt {
+        CInt::from_bits(self.bits.measure_in(c))
+    }
+}
+
+/// Fixed-point multiplication in the classical DSL: sign-extends both
+/// operands to double width, multiplies, and extracts the middle bits — the
+/// exact product truncated toward −∞.
+pub fn mul_fixed(a: &CWord, b: &CWord, fmt: FPFormat) -> CWord {
+    let w = fmt.width();
+    let wide_a = a.sign_extend(2 * w);
+    let wide_b = b.sign_extend(2 * w);
+    let prod = wide_a.mul(&wide_b);
+    prod.slice(fmt.frac_bits, fmt.frac_bits + w)
+}
+
+/// A fixed-point constant in the classical DSL.
+pub fn const_fixed(dag: &Dag, x: f64, fmt: FPFormat) -> CWord {
+    CWord::constant(dag, fmt.encode(x), fmt.width())
+}
+
+/// Builds the classical circuit DAG for sin(x) over the given fixed-point
+/// format, using the degree-7 Taylor polynomial in Horner form:
+///
+/// sin x ≈ x·(1 − x²/6·(1 − x²/20·(1 − x²/42))).
+///
+/// Accurate to about 10⁻⁴ (plus quantization error) on |x| ≤ π/2.
+pub fn sin_dag(fmt: FPFormat) -> CDag {
+    poly_dag(fmt, false)
+}
+
+/// Builds the classical circuit DAG for cos(x), degree-6 Taylor polynomial:
+///
+/// cos x ≈ 1 − x²/2·(1 − x²/12·(1 − x²/30)).
+pub fn cos_dag(fmt: FPFormat) -> CDag {
+    poly_dag(fmt, true)
+}
+
+fn poly_dag(fmt: FPFormat, cosine: bool) -> CDag {
+    let w = fmt.width();
+    Dag::build(w as u32, |dag, inputs| {
+        let x = CWord::from_bits(inputs.to_vec());
+        let x2 = mul_fixed(&x, &x, fmt);
+        let one = const_fixed(dag, 1.0, fmt);
+        // Innermost factor first.
+        let horner = |divs: &[f64]| {
+            let mut acc = one.clone();
+            for &d in divs {
+                // acc = 1 − (x²/d)·acc = 1 − mul(x² · (1/d), acc)
+                let scaled = mul_fixed(&x2, &const_fixed(dag, 1.0 / d, fmt), fmt);
+                let term = mul_fixed(&scaled, &acc, fmt);
+                acc = one.sub(&term);
+            }
+            acc
+        };
+        let result = if cosine {
+            // 1 − x²/2·(1 − x²/12·(1 − x²/30))
+            let inner = horner(&[30.0, 12.0]);
+            let half_x2 = mul_fixed(&x2, &const_fixed(dag, 0.5, fmt), fmt);
+            one.sub(&mul_fixed(&half_x2, &inner, fmt))
+        } else {
+            // x·(1 − x²/6·(1 − x²/20·(1 − x²/42)))
+            let inner = horner(&[42.0, 20.0, 6.0]);
+            mul_fixed(&x, &inner, fmt)
+        };
+        result.into_bits()
+    })
+}
+
+/// Lifts sin(x) onto quantum registers: returns a fresh `FPReal` holding
+/// sin(x), leaving `x` unchanged and uncomputing all scratch space (the
+/// paper's circuit-lifted `sin`, §4.6.1).
+pub fn sin_fpreal(c: &mut Circ, x: &FPReal) -> FPReal {
+    lift_unary(c, x, &sin_dag(x.format()))
+}
+
+/// Lifts cos(x) onto quantum registers.
+pub fn cos_fpreal(c: &mut Circ, x: &FPReal) -> FPReal {
+    lift_unary(c, x, &cos_dag(x.format()))
+}
+
+/// Builds the classical DAG for fixed-point addition: 2w inputs to w
+/// outputs.
+pub fn add_dag(fmt: FPFormat) -> CDag {
+    let w = fmt.width();
+    Dag::build(2 * w as u32, |_, inputs| {
+        let (a, b) = inputs.split_at(w);
+        CWord::from_bits(a.to_vec()).add(&CWord::from_bits(b.to_vec())).into_bits()
+    })
+}
+
+/// Builds the classical DAG for exact fixed-point multiplication: 2w
+/// inputs to w outputs (see [`mul_fixed`]).
+pub fn mul_dag(fmt: FPFormat) -> CDag {
+    let w = fmt.width();
+    Dag::build(2 * w as u32, |_, inputs| {
+        let (a, b) = inputs.split_at(w);
+        mul_fixed(&CWord::from_bits(a.to_vec()), &CWord::from_bits(b.to_vec()), fmt)
+            .into_bits()
+    })
+}
+
+/// Quantum fixed-point addition: returns a fresh register holding `x + y`,
+/// leaving the operands unchanged and uncomputing all scratch.
+///
+/// # Panics
+///
+/// Panics if the formats differ.
+pub fn add_fpreal(c: &mut Circ, x: &FPReal, y: &FPReal) -> FPReal {
+    lift_binary(c, x, y, &add_dag(x.format()))
+}
+
+/// Quantum fixed-point multiplication: returns a fresh register holding
+/// `x·y` (exact intermediate product, truncated toward −∞).
+///
+/// # Panics
+///
+/// Panics if the formats differ.
+pub fn mul_fpreal(c: &mut Circ, x: &FPReal, y: &FPReal) -> FPReal {
+    lift_binary(c, x, y, &mul_dag(x.format()))
+}
+
+fn lift_binary(c: &mut Circ, x: &FPReal, y: &FPReal, dag: &CDag) -> FPReal {
+    assert_eq!(x.format(), y.format(), "fixed-point formats differ");
+    let mut inputs = x.bits.clone();
+    inputs.extend_from_slice(&y.bits);
+    let outs = synth::synthesize_clean(c, dag, &inputs);
+    FPReal { bits: outs, format: x.format }
+}
+
+fn lift_unary(c: &mut Circ, x: &FPReal, dag: &CDag) -> FPReal {
+    let outs = synth::synthesize_clean(c, dag, &x.bits);
+    FPReal { bits: outs, format: x.format }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quipper_sim::run_classical;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let fmt = FPFormat::new(4, 8);
+        for x in [-3.5f64, -1.0, -0.25, 0.0, 0.5, 1.0, 2.75] {
+            let enc = fmt.encode(x);
+            assert!((fmt.decode(enc) - x).abs() < fmt.epsilon());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn encode_rejects_overflow() {
+        FPFormat::new(2, 4).encode(5.0);
+    }
+
+    #[test]
+    fn classical_sin_matches_f64_on_small_format() {
+        let fmt = FPFormat::new(4, 10);
+        let dag = sin_dag(fmt);
+        for &x in &[-1.5f64, -1.0, -0.5, -0.1, 0.0, 0.3, 0.7, 1.2, 1.5] {
+            let enc = fmt.encode(x);
+            let input: Vec<bool> = (0..fmt.width()).map(|i| enc >> i & 1 == 1).collect();
+            let out = dag.eval(&input);
+            let got = fmt.decode(
+                out.iter().enumerate().fold(0u64, |a, (i, &b)| a | (u64::from(b) << i)),
+            );
+            // Taylor truncation + a few ulps of fixed-point error per multiply.
+            assert!(
+                (got - x.sin()).abs() < 0.02,
+                "sin({x}) ≈ {got}, want {}",
+                x.sin()
+            );
+        }
+    }
+
+    #[test]
+    fn classical_cos_matches_f64_on_small_format() {
+        let fmt = FPFormat::new(4, 10);
+        let dag = cos_dag(fmt);
+        for &x in &[-1.4f64, -0.6, 0.0, 0.4, 0.9, 1.5] {
+            let enc = fmt.encode(x);
+            let input: Vec<bool> = (0..fmt.width()).map(|i| enc >> i & 1 == 1).collect();
+            let out = dag.eval(&input);
+            let got = fmt.decode(
+                out.iter().enumerate().fold(0u64, |a, (i, &b)| a | (u64::from(b) << i)),
+            );
+            assert!(
+                (got - x.cos()).abs() < 0.02,
+                "cos({x}) ≈ {got}, want {}",
+                x.cos()
+            );
+        }
+    }
+
+    #[test]
+    fn quantum_sin_oracle_runs_reversibly() {
+        // Lift sin onto a small quantum register and execute it on the
+        // classical simulator: scratch must uncompute, input preserved.
+        let fmt = FPFormat::new(3, 5);
+        let shape = FPParam::new(0.0, fmt);
+        let bc = Circ::build(&shape, |c, x: FPReal| {
+            let s = sin_fpreal(c, &x);
+            (x, s)
+        });
+        bc.validate().unwrap();
+        for &x in &[-1.0f64, 0.0, 0.5, 1.0] {
+            let enc = fmt.encode(x);
+            let input: Vec<bool> = (0..fmt.width()).map(|i| enc >> i & 1 == 1).collect();
+            let out = run_classical(&bc, &input).unwrap();
+            let w = fmt.width();
+            let x_out = out[..w]
+                .iter()
+                .enumerate()
+                .fold(0u64, |a, (i, &b)| a | (u64::from(b) << i));
+            assert_eq!(x_out, enc, "input register preserved");
+            let got = fmt.decode(
+                out[w..]
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |a, (i, &b)| a | (u64::from(b) << i)),
+            );
+            assert!((got - x.sin()).abs() < 0.15, "sin({x}) ≈ {got}");
+        }
+    }
+
+    #[test]
+    fn quantum_fixed_point_add_and_mul() {
+        let fmt = FPFormat::new(3, 4);
+        let shape = (FPParam::new(0.0, fmt), FPParam::new(0.0, fmt));
+        let bc = Circ::build(&shape, |c, (x, y): (FPReal, FPReal)| {
+            let s = add_fpreal(c, &x, &y);
+            let p = mul_fpreal(c, &x, &y);
+            (x, y, s, p)
+        });
+        bc.validate().unwrap();
+        let w = fmt.width();
+        for &(a, b) in &[(0.5f64, 0.25), (-1.5, 2.0), (1.75, -0.5)] {
+            let (ea, eb) = (fmt.encode(a), fmt.encode(b));
+            let mut input: Vec<bool> = (0..w).map(|i| ea >> i & 1 == 1).collect();
+            input.extend((0..w).map(|i| eb >> i & 1 == 1));
+            let out = quipper_sim::run_classical(&bc, &input).unwrap();
+            let dec = |bits: &[bool]| {
+                fmt.decode(bits.iter().enumerate().fold(0u64, |acc, (i, &v)| {
+                    acc | (u64::from(v) << i)
+                }))
+            };
+            assert!((dec(&out[2 * w..3 * w]) - (a + b)).abs() < 2.0 * fmt.epsilon(), "{a}+{b}");
+            assert!((dec(&out[3 * w..]) - a * b).abs() < 2.0 * fmt.epsilon(), "{a}·{b}");
+        }
+    }
+
+    #[test]
+    fn mul_fixed_handles_negatives() {
+        let fmt = FPFormat::new(4, 6);
+        let dag = Dag::new(2 * fmt.width() as u32);
+        let inputs = dag.inputs();
+        let a = CWord::from_bits(inputs[..fmt.width()].to_vec());
+        let b = CWord::from_bits(inputs[fmt.width()..].to_vec());
+        let p = mul_fixed(&a, &b, fmt);
+        let frozen = dag.finish(p.bits());
+        for &(x, y) in &[(-1.5f64, 2.0), (0.75, -0.5), (-1.25, -1.25), (3.0, 2.5)] {
+            let (ex, ey) = (fmt.encode(x), fmt.encode(y));
+            let mut bits = Vec::new();
+            for i in 0..fmt.width() {
+                bits.push(ex >> i & 1 == 1);
+            }
+            for i in 0..fmt.width() {
+                bits.push(ey >> i & 1 == 1);
+            }
+            let out = frozen.eval(&bits);
+            let got = fmt.decode(
+                out.iter().enumerate().fold(0u64, |a, (i, &b)| a | (u64::from(b) << i)),
+            );
+            assert!(
+                (got - x * y).abs() <= 2.0 * fmt.epsilon(),
+                "{x}·{y} ≈ {got}"
+            );
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Quantum arithmetic libraries for Quipper.
+//!
+//! The paper's §4.5 mentions "an arithmetic library that defines `QDInt`, a
+//! type of fixed-size signed quantum integers, and a real number library
+//! defining a type `FPReal` of fixed-size, fixed-point real numbers"; the
+//! Triangle Finding oracle additionally uses `QIntTF`, "l-bit integers with
+//! arithmetic taken modulo 2^l − 1 (not 2^l)" (§5.3.1). This crate provides
+//! all three:
+//!
+//! * [`qdint`] — quantum integers with ripple-carry (Cuccaro) adders,
+//!   subtraction, comparison, multiplication and squaring.
+//! * [`qinttf`] — arithmetic modulo 2^l − 1: the rotate-to-double trick
+//!   (`double_TF`), end-around-carry adders (`o7_ADD`), the cascaded
+//!   multiplier (`o8_MUL`) and the seventeenth-power circuit (`o4_POW17`)
+//!   from the paper's Figures 2 and 3.
+//! * [`fpreal`] — fixed-point real numbers, with `sin`/`cos` implemented by
+//!   lifting classical fixed-point polynomial evaluation through the
+//!   `quipper::classical` oracle synthesizer, as the paper's Linear Systems
+//!   implementation does (§4.6.1).
+
+pub mod fpreal;
+pub mod qdint;
+pub mod qinttf;
+
+pub use fpreal::{FPFormat, FPReal};
+pub use qdint::{CInt, IntM, QDInt};
+pub use qinttf::{IntTF, QIntTF};

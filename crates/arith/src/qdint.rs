@@ -1,0 +1,579 @@
+//! Fixed-size quantum integers (`QDInt`).
+//!
+//! A [`QDInt`] is a register of qubits holding an integer, least significant
+//! bit first, with arithmetic modulo 2^w. The in-place adder is Cuccaro's
+//! ripple-carry adder (one ancilla, MAJ/UMA cells); everything else is built
+//! from it: subtraction by complementation, comparison from the borrow bit,
+//! multiplication by controlled shift-adds, and squaring by copying first —
+//! quantum data cannot be used as both operand and control of the same gate
+//! (no-cloning), exactly why the paper's `square` returns `(x, x²)`.
+
+use quipper::{Circ, Measurable, QCData, Qubit, Shape};
+use quipper_circuit::{Wire, WireType};
+
+/// A parameter-level integer with an explicit register width — the `IntM`
+/// parameter type of the paper's §4.5 (`instance QShape IntM QDInt CInt`).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct IntM {
+    /// The value (interpreted modulo 2^width).
+    pub value: u64,
+    /// Register width in bits.
+    pub width: usize,
+}
+
+impl IntM {
+    /// Creates a parameter integer.
+    pub fn new(value: u64, width: usize) -> IntM {
+        IntM { value, width }
+    }
+
+    fn bit(&self, i: usize) -> bool {
+        if i >= 64 {
+            false
+        } else {
+            self.value >> i & 1 == 1
+        }
+    }
+}
+
+/// A quantum integer register (LSB first).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QDInt {
+    bits: Vec<Qubit>,
+}
+
+/// A classical integer register (LSB first) — the `CInt` of the paper's
+/// shape triple.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CInt {
+    bits: Vec<quipper::Bit>,
+}
+
+impl QDInt {
+    /// Wraps a vector of qubits (LSB first) as an integer register.
+    pub fn from_qubits(bits: Vec<Qubit>) -> QDInt {
+        QDInt { bits }
+    }
+
+    /// Register width.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The qubits, LSB first.
+    pub fn qubits(&self) -> &[Qubit] {
+        &self.bits
+    }
+
+    /// The `i`-th qubit (LSB = 0).
+    pub fn qubit(&self, i: usize) -> Qubit {
+        self.bits[i]
+    }
+
+    /// A sub-register of the high bits starting at bit `i`.
+    pub fn slice_from(&self, i: usize) -> QDInt {
+        QDInt { bits: self.bits[i..].to_vec() }
+    }
+
+    /// The first `n` bits.
+    pub fn truncate(&self, n: usize) -> QDInt {
+        QDInt { bits: self.bits[..n].to_vec() }
+    }
+}
+
+impl CInt {
+    /// Wraps a vector of classical bits (LSB first).
+    pub fn from_bits(bits: Vec<quipper::Bit>) -> CInt {
+        CInt { bits }
+    }
+
+    /// The bits, LSB first.
+    pub fn bits(&self) -> &[quipper::Bit] {
+        &self.bits
+    }
+
+    /// Consumes the register, returning its bits.
+    pub fn into_bits(self) -> Vec<quipper::Bit> {
+        self.bits
+    }
+
+    /// Register width.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+impl QCData for QDInt {
+    fn for_each_wire(&self, f: &mut dyn FnMut(Wire, WireType)) {
+        self.bits.for_each_wire(f);
+    }
+
+    fn map_wires(&self, f: &mut dyn FnMut(Wire, WireType) -> Wire) -> Self {
+        QDInt { bits: self.bits.map_wires(f) }
+    }
+}
+
+impl QCData for CInt {
+    fn for_each_wire(&self, f: &mut dyn FnMut(Wire, WireType)) {
+        self.bits.for_each_wire(f);
+    }
+
+    fn map_wires(&self, f: &mut dyn FnMut(Wire, WireType) -> Wire) -> Self {
+        CInt { bits: self.bits.map_wires(f) }
+    }
+}
+
+impl Shape for IntM {
+    type Q = QDInt;
+    type C = CInt;
+
+    fn qinit(&self, c: &mut Circ) -> QDInt {
+        QDInt { bits: (0..self.width).map(|i| c.qinit_bit(self.bit(i))).collect() }
+    }
+
+    fn cinit(&self, c: &mut Circ) -> CInt {
+        CInt { bits: (0..self.width).map(|i| c.cinit_bit(self.bit(i))).collect() }
+    }
+
+    fn qterm(&self, c: &mut Circ, data: QDInt) {
+        assert_eq!(data.width(), self.width, "qterm: width mismatch");
+        for (i, q) in data.bits.into_iter().enumerate() {
+            c.qterm_bit(self.bit(i), q);
+        }
+    }
+
+    fn cterm(&self, c: &mut Circ, data: CInt) {
+        assert_eq!(data.width(), self.width, "cterm: width mismatch");
+        for (i, b) in data.bits.into_iter().enumerate() {
+            c.cterm_bit(self.bit(i), b);
+        }
+    }
+
+    fn make_input(&self, c: &mut Circ) -> QDInt {
+        QDInt { bits: vec![false; self.width].make_input(c) }
+    }
+
+    fn make_input_classical(&self, c: &mut Circ) -> CInt {
+        CInt { bits: vec![false; self.width].make_input_classical(c) }
+    }
+
+    fn make_dummy(&self) -> QDInt {
+        QDInt { bits: vec![Qubit::from_wire(Wire(0)); self.width] }
+    }
+}
+
+impl Measurable for QDInt {
+    type Outcome = CInt;
+
+    fn measure_in(self, c: &mut Circ) -> CInt {
+        CInt { bits: self.bits.measure_in(c) }
+    }
+}
+
+/// Copies `x` into a fresh register via CNOTs (computational-basis copy —
+/// *not* cloning: it entangles rather than duplicates).
+pub fn copy(c: &mut Circ, x: &QDInt) -> QDInt {
+    let out = QDInt { bits: (0..x.width()).map(|_| c.qinit_bit(false)).collect() };
+    for (o, i) in out.bits.iter().zip(x.bits.iter()) {
+        c.cnot(*o, *i);
+    }
+    out
+}
+
+/// The MAJ cell of Cuccaro's adder.
+fn maj(c: &mut Circ, carry: Qubit, b: Qubit, a: Qubit) {
+    c.cnot(b, a);
+    c.cnot(carry, a);
+    c.toffoli(a, carry, b);
+}
+
+/// The UMA cell of Cuccaro's adder.
+fn uma(c: &mut Circ, carry: Qubit, b: Qubit, a: Qubit) {
+    c.toffoli(a, carry, b);
+    c.cnot(carry, a);
+    c.cnot(b, carry);
+}
+
+/// In-place addition: `b += a` (mod 2^w), leaving `a` unchanged. Cuccaro's
+/// ripple-carry adder with one ancilla.
+///
+/// # Panics
+///
+/// Panics if the widths differ or the registers share qubits.
+pub fn add_in_place(c: &mut Circ, a: &QDInt, b: &QDInt) {
+    add_impl(c, a, b, None);
+}
+
+/// In-place addition with carry-out: `b += a`, returning a fresh qubit
+/// holding the carry.
+pub fn add_in_place_carry(c: &mut Circ, a: &QDInt, b: &QDInt) -> Qubit {
+    let z = c.qinit_bit(false);
+    add_impl(c, a, b, Some(z));
+    z
+}
+
+fn add_impl(c: &mut Circ, a: &QDInt, b: &QDInt, carry_out: Option<Qubit>) {
+    assert_eq!(a.width(), b.width(), "add: operand widths differ");
+    assert!(a.width() > 0, "add: empty registers");
+    let n = a.width();
+    c.with_ancilla(|c, c0| {
+        // MAJ chain.
+        maj(c, c0, b.bits[0], a.bits[0]);
+        for i in 1..n {
+            maj(c, a.bits[i - 1], b.bits[i], a.bits[i]);
+        }
+        if let Some(z) = carry_out {
+            c.cnot(z, a.bits[n - 1]);
+        }
+        // UMA chain, in reverse.
+        for i in (1..n).rev() {
+            uma(c, a.bits[i - 1], b.bits[i], a.bits[i]);
+        }
+        uma(c, c0, b.bits[0], a.bits[0]);
+    });
+}
+
+/// In-place subtraction: `b -= a` (mod 2^w), via the complement identity
+/// b − a = ¬(¬b + a).
+pub fn sub_in_place(c: &mut Circ, a: &QDInt, b: &QDInt) {
+    for &q in &b.bits {
+        c.qnot(q);
+    }
+    add_in_place(c, a, b);
+    for &q in &b.bits {
+        c.qnot(q);
+    }
+}
+
+/// Adds a compile-time constant in place: `b += k`, using a temporary
+/// register for the constant (allocated and uncomputed internally).
+pub fn add_const_in_place(c: &mut Circ, k: IntM, b: &QDInt) {
+    assert_eq!(k.width, b.width(), "add_const: width mismatch");
+    c.with_ancilla_init(&k, |c, tmp| {
+        add_in_place(c, &tmp, b);
+    });
+}
+
+/// Comparison: returns a fresh qubit holding `a < b` (unsigned), leaving the
+/// operands unchanged. Computed from the borrow of `a − b` and uncomputed
+/// via `with_computed`.
+pub fn lt(c: &mut Circ, a: &QDInt, b: &QDInt) -> Qubit {
+    assert_eq!(a.width(), b.width(), "lt: operand widths differ");
+    let out = c.qinit_bit(false);
+    c.with_computed(
+        |c| {
+            // carry(¬a + b) = 1  ⟺  ¬a + b ≥ 2^w  ⟺  b > a… check: ¬a = 2^w−1−a,
+            // so ¬a + b ≥ 2^w ⟺ b ≥ a + 1 ⟺ a < b.
+            for &q in &a.bits {
+                c.qnot(q);
+            }
+            let carry = add_in_place_carry(c, b, &a.clone());
+            (carry, ())
+        },
+        |c, &(carry, ())| {
+            c.cnot(out, carry);
+        },
+    );
+    out
+}
+
+/// Out-of-place multiplication: returns a fresh register `p = a · b`
+/// (mod 2^w), leaving the operands unchanged, with no garbage. Built from
+/// controlled shift-adds: `p += (b << i)` controlled on `a_i`.
+pub fn mul(c: &mut Circ, a: &QDInt, b: &QDInt) -> QDInt {
+    assert_eq!(a.width(), b.width(), "mul: operand widths differ");
+    let w = a.width();
+    let p = QDInt { bits: (0..w).map(|_| c.qinit_bit(false)).collect() };
+    for i in 0..w {
+        // p[i..] += b[..w-i], controlled on a_i.
+        let addend = b.truncate(w - i);
+        let target = p.slice_from(i);
+        c.with_controls(&a.bits[i], |c| {
+            add_in_place(c, &addend, &target);
+        });
+    }
+    p
+}
+
+/// Squaring: returns `(x, x²)` as fresh output (mod 2^w). A copy of `x` is
+/// made first (no-cloning prevents using `x` as both operand and control),
+/// and uncomputed afterwards — this is why the paper's `square` has type
+/// `QIntTF -> Circ (QIntTF, QIntTF)`.
+pub fn square(c: &mut Circ, x: &QDInt) -> QDInt {
+    c.with_computed(
+        |c| copy(c, x),
+        |c, xc| mul(c, x, xc),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quipper_sim::run_classical;
+
+    /// Builds a two-operand circuit and checks it against a reference
+    /// function over a grid of values.
+    fn check_binop(
+        w: usize,
+        build: impl Fn(&mut Circ, &QDInt, &QDInt) -> Vec<QDInt>,
+        reference: impl Fn(u64, u64) -> Vec<u64>,
+    ) {
+        let shape = (IntM::new(0, w), IntM::new(0, w));
+        let bc = Circ::build(&shape, |c, (a, b): (QDInt, QDInt)| {
+            let extra = build(c, &a, &b);
+            (a, b, extra)
+        });
+        bc.validate().unwrap();
+        let mask = (1u64 << w) - 1;
+        for &x in &[0u64, 1, 2, 3, 7, 11, mask] {
+            for &y in &[0u64, 1, 4, 5, 9, mask - 1, mask] {
+                let (x, y) = (x & mask, y & mask);
+                let mut inputs = Vec::new();
+                for i in 0..w {
+                    inputs.push(x >> i & 1 == 1);
+                }
+                for i in 0..w {
+                    inputs.push(y >> i & 1 == 1);
+                }
+                let out = run_classical(&bc, &inputs).unwrap();
+                let expected = reference(x, y);
+                // Decode all output registers (a, b, extras) in w-bit chunks.
+                let regs: Vec<u64> = out
+                    .chunks(w)
+                    .map(|ch| {
+                        ch.iter().enumerate().fold(0u64, |acc, (i, &b)| {
+                            acc | (u64::from(b) << i)
+                        })
+                    })
+                    .collect();
+                assert_eq!(regs.len(), expected.len(), "register count");
+                for (got, want) in regs.iter().zip(expected.iter()) {
+                    assert_eq!(got, want, "x={x} y={y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_in_place_matches_u64() {
+        check_binop(
+            4,
+            |c, a, b| {
+                add_in_place(c, a, b);
+                vec![]
+            },
+            |x, y| vec![x, (x + y) & 0xf],
+        );
+    }
+
+    #[test]
+    fn add_carry_is_correct() {
+        check_binop(
+            4,
+            |c, a, b| {
+                let z = add_in_place_carry(c, a, b);
+                vec![QDInt::from_qubits(vec![z])]
+            },
+            |x, y| vec![x, (x + y) & 0xf, u64::from(x + y > 0xf)],
+        );
+    }
+
+    #[test]
+    fn sub_in_place_matches_u64() {
+        check_binop(
+            5,
+            |c, a, b| {
+                sub_in_place(c, a, b);
+                vec![]
+            },
+            |x, y| vec![x, y.wrapping_sub(x) & 0x1f],
+        );
+    }
+
+    #[test]
+    fn mul_matches_u64() {
+        check_binop(
+            4,
+            |c, a, b| vec![mul(c, a, b)],
+            |x, y| vec![x, y, (x * y) & 0xf],
+        );
+    }
+
+    #[test]
+    fn square_returns_x_and_x_squared() {
+        let w = 5;
+        let shape = IntM::new(0, w);
+        let bc = Circ::build(&shape, |c, x: QDInt| {
+            let sq = square(c, &x);
+            (x, sq)
+        });
+        bc.validate().unwrap();
+        for x in [0u64, 1, 3, 5, 6, 17, 31] {
+            let inputs: Vec<bool> = (0..w).map(|i| x >> i & 1 == 1).collect();
+            let out = run_classical(&bc, &inputs).unwrap();
+            let x_out = out[..w]
+                .iter()
+                .enumerate()
+                .fold(0u64, |a, (i, &b)| a | (u64::from(b) << i));
+            let sq = out[w..]
+                .iter()
+                .enumerate()
+                .fold(0u64, |a, (i, &b)| a | (u64::from(b) << i));
+            assert_eq!(x_out, x, "operand preserved");
+            assert_eq!(sq, (x * x) & 0x1f, "square of {x}");
+        }
+    }
+
+    #[test]
+    fn lt_matches_u64() {
+        check_binop(
+            4,
+            |c, a, b| vec![QDInt::from_qubits(vec![lt(c, a, b)])],
+            |x, y| vec![x, y, u64::from(x < y)],
+        );
+    }
+
+    #[test]
+    fn add_const_matches() {
+        let w = 6;
+        let bc = Circ::build(&IntM::new(0, w), |c, b: QDInt| {
+            add_const_in_place(c, IntM::new(13, w), &b);
+            b
+        });
+        bc.validate().unwrap();
+        for x in [0u64, 1, 9, 50, 63] {
+            let inputs: Vec<bool> = (0..w).map(|i| x >> i & 1 == 1).collect();
+            let out = run_classical(&bc, &inputs).unwrap();
+            let got = out
+                .iter()
+                .enumerate()
+                .fold(0u64, |a, (i, &b)| a | (u64::from(b) << i));
+            assert_eq!(got, (x + 13) & 0x3f);
+        }
+    }
+
+    #[test]
+    fn controlled_add_respects_control() {
+        let shape = (false, IntM::new(0, 4), IntM::new(0, 4));
+        let bc = Circ::build(&shape, |c, (ctl, a, b): (Qubit, QDInt, QDInt)| {
+            c.with_controls(&ctl, |c| add_in_place(c, &a, &b));
+            (ctl, a, b)
+        });
+        bc.validate().unwrap();
+        // ctl=0: b unchanged; ctl=1: b += a.
+        let mk = |ctl: bool, x: u64, y: u64| {
+            let mut v = vec![ctl];
+            for i in 0..4 {
+                v.push(x >> i & 1 == 1);
+            }
+            for i in 0..4 {
+                v.push(y >> i & 1 == 1);
+            }
+            v
+        };
+        let decode = |out: &[bool]| {
+            out[5..9]
+                .iter()
+                .enumerate()
+                .fold(0u64, |a, (i, &b)| a | (u64::from(b) << i))
+        };
+        let out = run_classical(&bc, &mk(false, 5, 9)).unwrap();
+        assert_eq!(decode(&out), 9);
+        let out = run_classical(&bc, &mk(true, 5, 9)).unwrap();
+        assert_eq!(decode(&out), 14);
+    }
+
+    #[test]
+    fn qinit_respects_intm_value() {
+        let bc = Circ::build(&(), |c, ()| {
+            let x = c.qinit(&IntM::new(0b1011, 4));
+            x.measure_in(c)
+        });
+        let out = run_classical(&bc, &[]).unwrap();
+        assert_eq!(out, vec![true, true, false, true]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The Draper QFT adder (an alternative to the Cuccaro ripple adder)
+// ---------------------------------------------------------------------
+
+/// In-place addition in the Fourier basis — Draper's adder: `b += a`
+/// (mod 2^w) using no ancillas at all, at the price of O(w²) controlled
+/// rotations instead of O(w) Toffolis. The A3 ablation bench compares the
+/// two; the classical simulator cannot execute rotations, so equivalence
+/// with [`add_in_place`] is established on the state-vector simulator.
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn add_in_place_qft(c: &mut Circ, a: &QDInt, b: &QDInt) {
+    assert_eq!(a.width(), b.width(), "add_qft: operand widths differ");
+    let w = a.width();
+    // QFT on b (big-endian view: bit w−1 is most significant).
+    let be: Vec<Qubit> = b.bits.iter().rev().copied().collect();
+    quipper::qft::qft(c, &be);
+    // After our qft (which ends with a bit reversal), position k of the
+    // original little-endian register carries the phase factor
+    // e^{2πi·x/2^{w−k}}. Adding `a` multiplies in e^{2πi·a/2^{w−k}}: a
+    // cascade of controlled phases R(2π/2^{w−k−j}) for each set bit a_j
+    // (terms with w−k−j ≤ 0 are full turns and vanish).
+    for k in 0..w {
+        for j in 0..w - k {
+            let denom_log = (w - k - j) as f64;
+            c.rot_ctrl("R(2pi/%)", denom_log, b.bits[k], &a.bits[j]);
+        }
+    }
+    quipper::qft::qft_inverse(c, &be);
+}
+
+#[cfg(test)]
+mod qft_adder_tests {
+    use super::*;
+
+    #[test]
+    fn qft_adder_matches_cuccaro_on_the_state_vector() {
+        let w = 4;
+        let shape = (IntM::new(0, w), IntM::new(0, w));
+        let build = |use_qft: bool| {
+            quipper::Circ::build(&shape, |c, (a, b): (QDInt, QDInt)| {
+                if use_qft {
+                    add_in_place_qft(c, &a, &b);
+                } else {
+                    add_in_place(c, &a, &b);
+                }
+                let cb = b.clone().measure_in(c);
+                c.discard(&a);
+                cb
+            })
+        };
+        let qft = build(true);
+        let cuccaro = build(false);
+        qft.validate().unwrap();
+        for &(x, y) in &[(0u64, 0u64), (1, 1), (3, 5), (7, 9), (15, 15), (12, 6)] {
+            let mut input: Vec<bool> = (0..w).map(|i| x >> i & 1 == 1).collect();
+            input.extend((0..w).map(|i| y >> i & 1 == 1));
+            let rq = quipper_sim::run(&qft, &input, 1).unwrap().classical_outputs();
+            let rc = quipper_sim::run(&cuccaro, &input, 1).unwrap().classical_outputs();
+            assert_eq!(rq, rc, "x={x} y={y}");
+            let got = rq.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+            assert_eq!(got, (x + y) & 0xf, "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn qft_adder_uses_no_ancillas() {
+        let w = 5;
+        let shape = (IntM::new(0, w), IntM::new(0, w));
+        let bc = quipper::Circ::build(&shape, |c, (a, b): (QDInt, QDInt)| {
+            add_in_place_qft(c, &a, &b);
+            (a, b)
+        });
+        let gc = bc.gate_count();
+        assert_eq!(gc.qubits_in_circuit, 2 * w as u64, "no ancillas");
+        assert_eq!(gc.by_name_any_controls("Init"), 0);
+        // Cuccaro needs one ancilla and Toffolis; the QFT adder needs
+        // rotations.
+        assert!(gc.by_name_any_controls("R(2pi/%)") > 0);
+    }
+}

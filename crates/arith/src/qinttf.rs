@@ -1,0 +1,550 @@
+//! Quantum integers modulo 2^l − 1: the `QIntTF` type of the Triangle
+//! Finding oracle.
+//!
+//! "`QIntTF` denotes the type of quantum integers used by the oracle, which
+//! happen to be l-bit integers with arithmetic taken modulo 2^l − 1 (not
+//! 2^l)" (paper §5.3.1). Arithmetic modulo 2^l − 1 (ones' complement) has
+//! two pleasant properties exploited here, as in the paper:
+//!
+//! * doubling is a cyclic *rotation* of the bits — the paper's `double_TF`
+//!   subroutine, which is pure wire relabeling and costs zero gates;
+//! * addition is binary addition with *end-around carry*.
+//!
+//! As in any ones'-complement representation, zero has two encodings (all
+//! zeros and all ones); all tests therefore compare values modulo 2^l − 1.
+//!
+//! The module provides the oracle arithmetic of the paper's Figures 2 and 3:
+//! [`add_tf`] (`o7_ADD`, also in controlled form), [`mul_tf`] (`o8_MUL`, a
+//! cascade of controlled add-and-double steps with all intermediates
+//! uncomputed), [`square_tf`] (copy-then-multiply) and [`pow17_tf`]
+//! (`o4_POW17`: four squarings and a final multiplication under
+//! `with_computed`).
+
+use quipper::{Circ, Measurable, QCData, Qubit, Shape};
+use quipper_circuit::{Wire, WireType};
+
+use crate::qdint::CInt;
+
+/// A parameter-level integer modulo 2^width − 1.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct IntTF {
+    /// The value (interpreted modulo 2^width − 1).
+    pub value: u64,
+    /// Register width in bits.
+    pub width: usize,
+}
+
+impl IntTF {
+    /// Creates a parameter integer, reducing the value modulo 2^width − 1.
+    pub fn new(value: u64, width: usize) -> IntTF {
+        let m = (1u64 << width) - 1;
+        IntTF { value: value % m, width }
+    }
+
+    fn bit(&self, i: usize) -> bool {
+        self.value >> i & 1 == 1
+    }
+}
+
+/// A quantum integer register with arithmetic modulo 2^l − 1 (LSB first).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QIntTF {
+    bits: Vec<Qubit>,
+}
+
+impl QIntTF {
+    /// Wraps a qubit vector (LSB first).
+    pub fn from_qubits(bits: Vec<Qubit>) -> QIntTF {
+        QIntTF { bits }
+    }
+
+    /// Register width l.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The qubits, LSB first.
+    pub fn qubits(&self) -> &[Qubit] {
+        &self.bits
+    }
+
+    /// The `i`-th qubit.
+    pub fn qubit(&self, i: usize) -> Qubit {
+        self.bits[i]
+    }
+
+    /// Doubling modulo 2^l − 1 — the paper's `double_TF`. Because
+    /// 2·v mod (2^l − 1) is a cyclic shift of the bit representation, this is
+    /// pure wire relabeling and emits **no gates** (compare the gate-free
+    /// `double_TF` boxes in Figure 3).
+    pub fn double_tf(&self) -> QIntTF {
+        self.rotated(1)
+    }
+
+    /// Multiplication by 2^k modulo 2^l − 1: rotate the bits up by `k`.
+    pub fn rotated(&self, k: usize) -> QIntTF {
+        let l = self.width();
+        let k = k % l;
+        QIntTF {
+            bits: (0..l).map(|j| self.bits[(j + l - k) % l]).collect(),
+        }
+    }
+}
+
+impl QCData for QIntTF {
+    fn for_each_wire(&self, f: &mut dyn FnMut(Wire, WireType)) {
+        self.bits.for_each_wire(f);
+    }
+
+    fn map_wires(&self, f: &mut dyn FnMut(Wire, WireType) -> Wire) -> Self {
+        QIntTF { bits: self.bits.map_wires(f) }
+    }
+}
+
+impl Shape for IntTF {
+    type Q = QIntTF;
+    type C = CInt;
+
+    fn qinit(&self, c: &mut Circ) -> QIntTF {
+        QIntTF { bits: (0..self.width).map(|i| c.qinit_bit(self.bit(i))).collect() }
+    }
+
+    fn cinit(&self, c: &mut Circ) -> CInt {
+        let bits = (0..self.width).map(|i| c.cinit_bit(self.bit(i))).collect();
+        CInt::from_bits(bits)
+    }
+
+    fn qterm(&self, c: &mut Circ, data: QIntTF) {
+        assert_eq!(data.width(), self.width, "qterm: width mismatch");
+        for (i, q) in data.bits.into_iter().enumerate() {
+            c.qterm_bit(self.bit(i), q);
+        }
+    }
+
+    fn cterm(&self, c: &mut Circ, data: CInt) {
+        assert_eq!(data.width(), self.width, "cterm: width mismatch");
+        for (i, b) in data.into_bits().into_iter().enumerate() {
+            c.cterm_bit(self.bit(i), b);
+        }
+    }
+
+    fn make_input(&self, c: &mut Circ) -> QIntTF {
+        QIntTF { bits: vec![false; self.width].make_input(c) }
+    }
+
+    fn make_input_classical(&self, c: &mut Circ) -> CInt {
+        CInt::from_bits(vec![false; self.width].make_input_classical(c))
+    }
+
+    fn make_dummy(&self) -> QIntTF {
+        QIntTF { bits: vec![Qubit::from_wire(Wire(0)); self.width] }
+    }
+}
+
+impl Measurable for QIntTF {
+    type Outcome = CInt;
+
+    fn measure_in(self, c: &mut Circ) -> CInt {
+        CInt::from_bits(self.bits.measure_in(c))
+    }
+}
+
+/// Copies `x` into a fresh register via CNOTs.
+pub fn copy_tf(c: &mut Circ, x: &QIntTF) -> QIntTF {
+    let out = QIntTF { bits: (0..x.width()).map(|_| c.qinit_bit(false)).collect() };
+    for (o, i) in out.bits.iter().zip(x.bits.iter()) {
+        c.cnot(*o, *i);
+    }
+    out
+}
+
+/// Out-of-place addition modulo 2^l − 1: returns a fresh register
+/// `s = a + b mod (2^l − 1)` using end-around carry, with all carry ancillas
+/// uncomputed — the paper's `o7_ADD`.
+pub fn add_tf(c: &mut Circ, a: &QIntTF, b: &QIntTF) -> QIntTF {
+    add_tf_impl(c, None, a, b)
+}
+
+/// Controlled out-of-place addition: `s = b + ctl·a mod (2^l − 1)` — the
+/// paper's `o7_ADD_controlled` (Figure 3). With the control off, `s` is a
+/// copy of `b`. Implemented by gating the addend bits (`g_i = ctl ∧ a_i`)
+/// before the ordinary adder, so the adder itself is uncontrolled.
+pub fn add_tf_controlled(c: &mut Circ, ctl: Qubit, a: &QIntTF, b: &QIntTF) -> QIntTF {
+    add_tf_impl(c, Some(ctl), a, b)
+}
+
+fn add_tf_impl(c: &mut Circ, ctl: Option<Qubit>, a: &QIntTF, b: &QIntTF) -> QIntTF {
+    assert_eq!(a.width(), b.width(), "add_tf: operand widths differ");
+    let l = a.width();
+    c.with_computed(
+        |c| {
+            // Optionally gate the addend: g_i = ctl ∧ a_i.
+            let g: Vec<Qubit> = match ctl {
+                None => a.bits.clone(),
+                Some(ctl) => a
+                    .bits
+                    .iter()
+                    .map(|&ai| {
+                        let gi = c.qinit_bit(false);
+                        c.toffoli(gi, ctl, ai);
+                        gi
+                    })
+                    .collect(),
+            };
+            // First carry chain: carries[i] = carry *into* bit i of g + b
+            // (carries[0] = 0 is implicit; carries[l] = carry out).
+            // carry_{i+1} = MAJ(g_i, b_i, carry_i), computed with the
+            // standard CARRY cell that temporarily disturbs b_i.
+            let mut carries: Vec<Qubit> = Vec::with_capacity(l);
+            let mut prev: Option<Qubit> = None;
+            for i in 0..l {
+                let next = c.qinit_bit(false);
+                c.toffoli(next, g[i], b.bits[i]);
+                if let Some(p) = prev {
+                    c.cnot(b.bits[i], g[i]);
+                    c.toffoli(next, p, b.bits[i]);
+                    c.cnot(b.bits[i], g[i]);
+                }
+                carries.push(next);
+                prev = Some(next);
+            }
+            let carry_out = carries[l - 1];
+            // Low sum bits s'_i = g_i ⊕ b_i ⊕ carry_i.
+            let sums: Vec<Qubit> = (0..l)
+                .map(|i| {
+                    let s = c.qinit_bit(false);
+                    c.cnot(s, g[i]);
+                    c.cnot(s, b.bits[i]);
+                    if i > 0 {
+                        c.cnot(s, carries[i - 1]);
+                    }
+                    s
+                })
+                .collect();
+            // End-around carry propagation: adding carry_out to s'. The
+            // propagate chain d_i = carry_out ∧ s'_0 ∧ … ∧ s'_{i-1}.
+            let mut props: Vec<Qubit> = Vec::with_capacity(l - 1);
+            let mut prev = carry_out;
+            for &s in sums.iter().take(l - 1) {
+                let d = c.qinit_bit(false);
+                c.toffoli(d, prev, s);
+                props.push(d);
+                prev = d;
+            }
+            (g, carries, sums, props, carry_out)
+        },
+        |c, (_g, _carries, sums, props, carry_out)| {
+            // Write the final sum: out_0 = s'_0 ⊕ carry_out,
+            // out_i = s'_i ⊕ d_i.
+            let out = QIntTF {
+                bits: (0..l).map(|_| c.qinit_bit(false)).collect(),
+            };
+            c.cnot(out.bits[0], sums[0]);
+            c.cnot(out.bits[0], *carry_out);
+            for i in 1..l {
+                c.cnot(out.bits[i], sums[i]);
+                c.cnot(out.bits[i], props[i - 1]);
+            }
+            out
+        },
+    )
+}
+
+/// Boxed controlled adder — the `o7` subroutine of Figure 3. Because
+/// doubling is pure wire relabeling, a single boxed `o7` definition serves
+/// every `add + double` stage of the multiplier, exactly as the repeated
+/// `o7_ADD_controlled` boxes in the paper's figure.
+pub fn add_tf_controlled_boxed(
+    c: &mut Circ,
+    ctl: Qubit,
+    a: &QIntTF,
+    b: &QIntTF,
+) -> QIntTF {
+    let key = format!("l={}", a.width());
+    let (_ctl, _a, _b, s) = c.box_circ_keyed(
+        "o7",
+        &key,
+        (ctl, a.clone(), b.clone()),
+        |c, (ctl, a, b): (Qubit, QIntTF, QIntTF)| {
+            c.comment_with_labels("ENTER: o7_ADD_controlled", &[(&ctl, "ctrl"), (&a, "y"), (&b, "x")]);
+            let s = add_tf_controlled(c, ctl, &a, &b);
+            c.comment_with_labels("EXIT: o7_ADD_controlled", &[(&a, "y"), (&b, "x"), (&s, "s")]);
+            (ctl, a, b, s)
+        },
+    );
+    s
+}
+
+/// Out-of-place multiplication modulo 2^l − 1: returns a fresh register
+/// `p = x·y mod (2^l − 1)`, leaving the operands unchanged and uncomputing
+/// every intermediate — the paper's `o8_MUL` (Figure 3): a cascade of
+/// controlled additions of `y·2^i` (each doubling being a free rotation),
+/// with the partial-sum registers reversed at the end.
+pub fn mul_tf(c: &mut Circ, x: &QIntTF, y: &QIntTF) -> QIntTF {
+    assert_eq!(x.width(), y.width(), "mul_tf: operand widths differ");
+    let l = x.width();
+    c.with_computed(
+        |c| {
+            // Partial sums: p_{i+1} = p_i + x_i·(y·2^i).
+            let mut partials: Vec<QIntTF> = Vec::with_capacity(l + 1);
+            let zero = QIntTF { bits: (0..l).map(|_| c.qinit_bit(false)).collect() };
+            partials.push(zero);
+            for i in 0..l {
+                let addend = y.rotated(i); // y·2^i: free relabeling (double_TF)
+                let prev = partials.last().expect("nonempty").clone();
+                let next = add_tf_controlled_boxed(c, x.bits[i], &addend, &prev);
+                partials.push(next);
+            }
+            partials
+        },
+        |c, partials| {
+            let last = partials.last().expect("nonempty");
+            copy_tf(c, last)
+        },
+    )
+}
+
+/// Squaring modulo 2^l − 1: returns `x²` fresh, leaving `x` unchanged. A
+/// temporary copy of `x` is multiplied and uncomputed (no-cloning forbids
+/// `mul_tf(x, x)` — the two operands of a gate must be distinct wires).
+pub fn square_tf(c: &mut Circ, x: &QIntTF) -> QIntTF {
+    c.with_computed(|c| copy_tf(c, x), |c, xc| mul_tf(c, x, xc))
+}
+
+/// Boxed squaring — the `o6` subroutine: stored once per width, calling the
+/// boxed `o8` multiplier internally. Returns `(x, x²)`.
+pub fn square_tf_boxed(c: &mut Circ, x: QIntTF) -> (QIntTF, QIntTF) {
+    let key = format!("l={}", x.width());
+    c.box_circ_keyed("o6", &key, x, |c, x| {
+        let sq = c.with_computed(
+            |c| copy_tf(c, &x),
+            |c, xc| {
+                let (_x, _xc, p) = mul_tf_boxed(c, x.clone(), xc.clone());
+                p
+            },
+        );
+        (x, sq)
+    })
+}
+
+/// The seventeenth power modulo 2^l − 1 — the paper's `o4_POW17`
+/// (Figure 2): four squarings produce x², x⁴, x⁸, x¹⁶ under `with_computed`,
+/// the result is `x·x¹⁶`, and the squaring chain is uncomputed.
+///
+/// Returns `(x, x17)` like the Quipper original:
+///
+/// ```text
+/// o4_POW17 :: QIntTF -> Circ (QIntTF, QIntTF)
+/// ```
+pub fn pow17_tf(c: &mut Circ, x: QIntTF) -> (QIntTF, QIntTF) {
+    c.comment_with_label("ENTER: o4_POW17", &x, "x");
+    let x17 = c.with_computed(
+        |c| {
+            let (_x, x2) = square_tf_boxed(c, x.clone());
+            let (_x2, x4) = square_tf_boxed(c, x2.clone());
+            let (_x4, x8) = square_tf_boxed(c, x4.clone());
+            let (_x8, x16) = square_tf_boxed(c, x8.clone());
+            (x2, x4, x8, x16)
+        },
+        |c, (_x2, _x4, _x8, x16)| {
+            let (_x, _x16, x17) = mul_tf_boxed(c, x.clone(), x16.clone());
+            x17
+        },
+    );
+    c.comment_with_labels("EXIT: o4_POW17", &[(&x, "x"), (&x17, "x17")]);
+    (x, x17)
+}
+
+/// Boxed version of [`pow17_tf`], stored once per width in the subroutine
+/// database under the name `"o4"` (paper §5.3.1 boxes it as `box "o4"`).
+pub fn pow17_tf_boxed(c: &mut Circ, x: QIntTF) -> (QIntTF, QIntTF) {
+    let key = format!("l={}", x.width());
+    c.box_circ_keyed("o4", &key, x, |c, x| pow17_tf(c, x))
+}
+
+/// Boxed version of [`mul_tf`] under the name `"o8"`, returning
+/// `(x, y, x·y)`.
+pub fn mul_tf_boxed(c: &mut Circ, x: QIntTF, y: QIntTF) -> (QIntTF, QIntTF, QIntTF) {
+    let key = format!("l={}", x.width());
+    c.box_circ_keyed("o8", &key, (x, y), |c, (x, y)| {
+        let p = mul_tf(c, &x, &y);
+        (x, y, p)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quipper_sim::run_classical;
+
+    /// Reduces a raw register value to the canonical residue mod 2^l − 1.
+    fn canon(v: u64, l: usize) -> u64 {
+        v % ((1 << l) - 1)
+    }
+
+    fn decode(bits: &[bool]) -> u64 {
+        bits.iter().enumerate().fold(0, |a, (i, &b)| a | (u64::from(b) << i))
+    }
+
+    fn encode(v: u64, l: usize) -> Vec<bool> {
+        (0..l).map(|i| v >> i & 1 == 1).collect()
+    }
+
+    #[test]
+    fn double_tf_is_gate_free_doubling() {
+        let l = 4;
+        let bc = Circ::build(&IntTF::new(0, l), |c, x: QIntTF| {
+            let d = x.double_tf();
+            let _ = c; // no gates emitted
+            d
+        });
+        assert_eq!(bc.gate_count().total(), 0, "double_TF costs zero gates");
+        for v in 0..15u64 {
+            let out = run_classical(&bc, &encode(v, l)).unwrap();
+            assert_eq!(canon(decode(&out), l), canon(2 * v, l), "2·{v} mod 15");
+        }
+    }
+
+    #[test]
+    fn add_tf_exhaustive_l3() {
+        let l = 3;
+        let shape = (IntTF::new(0, l), IntTF::new(0, l));
+        let bc = Circ::build(&shape, |c, (a, b): (QIntTF, QIntTF)| {
+            let s = add_tf(c, &a, &b);
+            (a, b, s)
+        });
+        bc.validate().unwrap();
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let mut input = encode(a, l);
+                input.extend(encode(b, l));
+                let out = run_classical(&bc, &input).unwrap();
+                assert_eq!(decode(&out[..l]), a, "operand a preserved");
+                assert_eq!(decode(&out[l..2 * l]), b, "operand b preserved");
+                assert_eq!(
+                    canon(decode(&out[2 * l..]), l),
+                    canon(a + b, l),
+                    "({a} + {b}) mod 7"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_tf_controlled_respects_control() {
+        let l = 3;
+        let shape = (false, IntTF::new(0, l), IntTF::new(0, l));
+        let bc = Circ::build(&shape, |c, (ctl, a, b): (quipper::Qubit, QIntTF, QIntTF)| {
+            let s = add_tf_controlled(c, ctl, &a, &b);
+            (ctl, a, b, s)
+        });
+        bc.validate().unwrap();
+        for a in [1u64, 3, 6] {
+            for b in [0u64, 2, 5, 7] {
+                for ctl in [false, true] {
+                    let mut input = vec![ctl];
+                    input.extend(encode(a, l));
+                    input.extend(encode(b, l));
+                    let out = run_classical(&bc, &input).unwrap();
+                    let s = decode(&out[1 + 2 * l..]);
+                    let want = if ctl { canon(a + b, l) } else { canon(b, l) };
+                    assert_eq!(canon(s, l), want, "ctl={ctl} a={a} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_tf_exhaustive_l3() {
+        let l = 3;
+        let shape = (IntTF::new(0, l), IntTF::new(0, l));
+        let bc = Circ::build(&shape, |c, (x, y): (QIntTF, QIntTF)| {
+            let p = mul_tf(c, &x, &y);
+            (x, y, p)
+        });
+        bc.validate().unwrap();
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let mut input = encode(x, l);
+                input.extend(encode(y, l));
+                let out = run_classical(&bc, &input).unwrap();
+                assert_eq!(
+                    canon(decode(&out[2 * l..]), l),
+                    canon(canon(x, l) * canon(y, l), l),
+                    "({x} · {y}) mod 7"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn square_tf_matches() {
+        let l = 4;
+        let bc = Circ::build(&IntTF::new(0, l), |c, x: QIntTF| {
+            let s = square_tf(c, &x);
+            (x, s)
+        });
+        bc.validate().unwrap();
+        for x in 0..15u64 {
+            let out = run_classical(&bc, &encode(x, l)).unwrap();
+            assert_eq!(canon(decode(&out[l..]), l), canon(x * x, l), "{x}² mod 15");
+        }
+    }
+
+    #[test]
+    fn pow17_matches_modular_exponentiation() {
+        let l = 4;
+        let bc = Circ::build(&IntTF::new(0, l), |c, x: QIntTF| {
+            let (x, x17) = pow17_tf_boxed(c, x);
+            (x, x17)
+        });
+        bc.validate().unwrap();
+        let m = 15u64;
+        for x in [0u64, 1, 2, 3, 7, 11, 14] {
+            let out = run_classical(&bc, &encode(x, l)).unwrap();
+            assert_eq!(decode(&out[..l]), x, "input preserved");
+            let want = (0..17).fold(1u64, |acc, _| acc * (x % m) % m);
+            assert_eq!(canon(decode(&out[l..]), l), want % m, "{x}^17 mod 15");
+        }
+    }
+
+    #[test]
+    fn pow17_has_paper_like_structure() {
+        // 4 inputs, 8 outputs, pure Toffoli/CNOT/init/term vocabulary, with
+        // all gates in matched init/term pairs (compare paper §5.3.1:
+        // "4 inputs, 8 outputs … one third initializations and terminations,
+        // the remainder controlled-not gates with 1 or 2 controls").
+        let l = 4;
+        let bc = Circ::build(&IntTF::new(0, l), |c, x: QIntTF| {
+            let (x, x17) = pow17_tf_boxed(c, x);
+            (x, x17)
+        });
+        let gc = bc.gate_count();
+        assert_eq!(gc.inputs, 4);
+        assert_eq!(gc.outputs, 8);
+        // Every init has a matching term except the four fresh output
+        // qubits of x17 (the paper's counts show the same: 1636 Init0 vs
+        // 1632 Term0 — a difference of exactly the output register width).
+        assert_eq!(gc.by_name("Init0", 0, 0), gc.by_name("Term0", 0, 0) + 4);
+        let logical = gc.total_logical();
+        let nots = gc.by_name_any_controls("\"Not\"");
+        assert_eq!(logical, nots, "only controlled-not family gates remain");
+        // Boxed subroutines: o4 plus nested boxes are in the database.
+        assert!(bc.db.len() >= 1);
+    }
+
+    #[test]
+    fn mul_boxed_is_shared_across_calls() {
+        let l = 3;
+        let shape = (IntTF::new(0, l), IntTF::new(0, l));
+        let bc = Circ::build(&shape, |c, (x, y): (QIntTF, QIntTF)| {
+            let (x, y, p1) = mul_tf_boxed(c, x, y);
+            let (x, y, p2) = mul_tf_boxed(c, x, y);
+            (x, y, p1, p2)
+        });
+        bc.validate().unwrap();
+        // One shared o8 definition plus the o7 adder it calls internally.
+        assert_eq!(bc.db.len(), 2, "shared o7 and o8 definitions");
+        assert_eq!(bc.main.gates.len(), 2, "two call gates");
+    }
+}

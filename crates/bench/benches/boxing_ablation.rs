@@ -1,0 +1,90 @@
+//! Ablation A1: hierarchical (boxed) representation vs full inlining.
+//!
+//! Boxed subcircuits are why the paper can "store and manipulate" circuits
+//! of trillions of gates (§4.4.4). This benchmark measures the cost of
+//! counting the same circuit via the hierarchy vs after `inline_all`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quipper::{Circ, Qubit};
+use quipper_circuit::flatten::inline_all;
+
+/// A circuit calling a boxed 3-gate body `reps` times.
+fn boxed_chain(reps: u64) -> quipper_circuit::BCircuit {
+    Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+        c.box_repeat("body", "", reps, (a, b), |c, (a, b)| {
+            c.hadamard(a);
+            c.cnot(b, a);
+            c.gate_t(b);
+            (a, b)
+        })
+    })
+}
+
+fn bench_boxed_vs_inlined(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_boxed_vs_inlined");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &reps in &[1_000u64, 100_000] {
+        let bc = boxed_chain(reps);
+        group.bench_with_input(BenchmarkId::new("boxed", reps), &bc, |b, bc| {
+            b.iter(|| bc.gate_count().total());
+        });
+        group.bench_with_input(BenchmarkId::new("inlined", reps), &bc, |b, bc| {
+            b.iter(|| {
+                let flat = inline_all(&bc.db, &bc.main).unwrap();
+                quipper_circuit::count::count(&quipper_circuit::CircuitDb::new(), &flat).total()
+            });
+        });
+    }
+    // Boxed counting also handles rep counts where inlining could not even
+    // allocate the memory.
+    group.bench_function("boxed_1e12", |b| {
+        let bc = boxed_chain(1_000_000_000_000);
+        b.iter(|| bc.gate_count().total());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_boxed_vs_inlined, adder_ablation::bench);
+criterion_main!(benches);
+
+// A3: Cuccaro ripple adder vs Draper QFT adder — gates vs ancillas.
+// (Criterion measures circuit generation; the structural numbers are in
+// the adder tests and EXPERIMENTS.md.)
+mod adder_ablation {
+    use super::*;
+    use quipper_arith::qdint::{add_in_place, add_in_place_qft, QDInt};
+    use quipper_arith::IntM;
+
+    pub fn bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("adder_generation");
+        group.sample_size(10);
+        group.measurement_time(std::time::Duration::from_secs(3));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        for &w in &[8usize, 32, 128] {
+            let shape = (IntM::new(0, w), IntM::new(0, w));
+            group.bench_with_input(BenchmarkId::new("cuccaro", w), &w, |b, _| {
+                b.iter(|| {
+                    Circ::build(&shape, |c, (x, y): (QDInt, QDInt)| {
+                        add_in_place(c, &x, &y);
+                        (x, y)
+                    })
+                    .gate_count()
+                    .total()
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("draper_qft", w), &w, |b, _| {
+                b.iter(|| {
+                    Circ::build(&shape, |c, (x, y): (QDInt, QDInt)| {
+                        add_in_place_qft(c, &x, &y);
+                        (x, y)
+                    })
+                    .gate_count()
+                    .total()
+                });
+            });
+        }
+        group.finish();
+    }
+}

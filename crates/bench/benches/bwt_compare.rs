@@ -1,0 +1,27 @@
+//! E8 as a benchmark: time to *generate* the three BWT circuit flavors of
+//! the Section 6 comparison — circuit-generation speed is part of the
+//! paper's scalability story.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quipper_algorithms::bwt::{bwt_circuit, Flavor, WeldedTree};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bwt_generation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let g = WeldedTree::new(4, [0b0011, 0b0101]);
+    for (label, flavor) in [
+        ("orthodox", Flavor::Orthodox),
+        ("template", Flavor::Template),
+        ("qcl", Flavor::Qcl),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &flavor, |b, &f| {
+            b.iter(|| bwt_circuit(g, 1, 0.35, f).gate_count().total_logical());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Benchmarks hierarchical gate counting — the paper's headline scalability
+//! claim (E7): the full Triangle Finding algorithm, tens of billions to
+//! trillions of gates, generated and counted in well under the paper's
+//! "two minutes on a standard laptop".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_tf_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tf_full_count");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &(l, n, r) in &[(7usize, 4usize, 2usize), (15, 8, 4), (31, 15, 6)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("l{l}_n{n}_r{r}")),
+            &(l, n, r),
+            |b, &(l, n, r)| {
+                b.iter(|| {
+                    let rep = quipper_bench::tf_full_count(l, n, r);
+                    assert!(rep.count.total() > 0);
+                    rep.count.total()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pow17(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pow17_gatecount");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &l in &[4usize, 16, 31] {
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            b.iter(|| quipper_bench::pow17_gatecount(l).total());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tf_counting, bench_pow17);
+criterion_main!(benches);

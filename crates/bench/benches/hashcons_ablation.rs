@@ -1,0 +1,44 @@
+//! Ablation A2: hash-consing in the classical oracle DSL on vs off,
+//! measured on the Hex flood-fill oracle (E9) and on the fixed-point
+//! multiplier that dominates the sin(x) oracle (E10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quipper_algorithms::bf::{hex_winner_dag, HexBoard};
+
+fn bench_hex_dag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hex_dag_build");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &(rows, cols) in &[(4usize, 4usize), (6, 5)] {
+        let board = HexBoard::new(rows, cols);
+        group.bench_with_input(
+            BenchmarkId::new("shared", format!("{rows}x{cols}")),
+            &board,
+            |b, &board| b.iter(|| hex_winner_dag(board, true, None).num_nodes()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unshared", format!("{rows}x{cols}")),
+            &board,
+            |b, &board| b.iter(|| hex_winner_dag(board, false, None).num_nodes()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hex_oracle_synthesis");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("5x4_shared", |b| {
+        b.iter(|| quipper_bench::hex_oracle_count(5, 4, true).count.total());
+    });
+    group.bench_function("5x4_unshared", |b| {
+        b.iter(|| quipper_bench::hex_oracle_count(5, 4, false).count.total());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hex_dag, bench_synthesis);
+criterion_main!(benches);

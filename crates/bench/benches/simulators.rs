@@ -1,0 +1,70 @@
+//! Benchmarks the three run functions (§4.4.5): the exponential
+//! state-vector simulator, the polynomial stabilizer simulator, and the
+//! bit-level classical simulator, on circuits each can execute.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quipper::{Circ, Qubit};
+
+/// A Clifford circuit: layered H/CNOT with measurements at the end.
+fn clifford_layers(n: usize, layers: usize) -> quipper_circuit::BCircuit {
+    Circ::build(&vec![false; n], |c, qs: Vec<Qubit>| {
+        for l in 0..layers {
+            for &q in &qs {
+                c.hadamard(q);
+            }
+            for i in 0..n - 1 {
+                c.cnot(qs[(i + l) % n], qs[(i + l + 1) % n]);
+            }
+        }
+        c.measure(qs)
+    })
+}
+
+/// A reversible arithmetic circuit for the classical simulator.
+fn adder_chain(w: usize, adds: usize) -> quipper_circuit::BCircuit {
+    use quipper_arith::qdint::{add_in_place, QDInt};
+    use quipper_arith::IntM;
+    Circ::build(&(IntM::new(0, w), IntM::new(0, w)), |c, (a, b): (QDInt, QDInt)| {
+        for _ in 0..adds {
+            add_in_place(c, &a, &b);
+        }
+        (a, b)
+    })
+}
+
+fn bench_statevec_vs_stabilizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clifford_simulation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[8usize, 12] {
+        let bc = clifford_layers(n, 10);
+        group.bench_with_input(BenchmarkId::new("statevec", n), &bc, |b, bc| {
+            b.iter(|| quipper_sim::run(bc, &vec![false; n], 1).unwrap().classical_outputs());
+        });
+        group.bench_with_input(BenchmarkId::new("stabilizer", n), &bc, |b, bc| {
+            b.iter(|| quipper_sim::run_clifford(bc, &vec![false; n], 1).unwrap());
+        });
+    }
+    // The stabilizer simulator keeps going where the state vector cannot.
+    let bc = clifford_layers(48, 4);
+    group.bench_function("stabilizer_48q", |b| {
+        b.iter(|| quipper_sim::run_clifford(&bc, &vec![false; 48], 1).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_classical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classical_simulation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let bc = adder_chain(16, 50);
+    group.bench_function("adder16_x50", |b| {
+        b.iter(|| quipper_sim::run_classical(&bc, &vec![false; 32]).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_statevec_vs_stabilizer, bench_classical);
+criterion_main!(benches);

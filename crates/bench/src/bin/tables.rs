@@ -1,0 +1,121 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! Usage: `tables [--exp NAME]` where NAME is one of
+//! `fig1`, `basics`, `parity`, `ancilla`, `pow17`, `qwsh`, `tf-oracle`,
+//! `tf-full`, `bwt-compare`, `hex-oracle`, `sin-oracle`, or `all`
+//! (default). The heavy paper-scale experiments (`tf-full` at l=31,
+//! `sin-oracle` at 32+32, `hex-oracle` at 9×7) run in seconds to a couple
+//! of minutes.
+
+use quipper_bench as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let exp_name = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+
+    let all = exp_name == "all";
+    let want = |name: &str| all || exp_name == name;
+
+    if want("fig1") {
+        banner("E1 / Figure 1: BWT diffusion timestep (n = 3 label bits)");
+        println!("{}", exp::fig1_timestep_ascii(3));
+    }
+    if want("basics") {
+        banner("E2: §4.4 example circuits");
+        println!("{}", exp::basics_ascii());
+    }
+    if want("parity") {
+        banner("E3: §4.6.1 parity oracle");
+        println!("{}", exp::parity_ascii());
+    }
+    if want("ancilla") {
+        banner("E11: §4.2.1 ancilla scopes");
+        println!("{}", exp::ancilla_scope_ascii());
+    }
+    if want("pow17") {
+        banner("E4: o4_POW17 gate count at l=4 (paper: 9632 gates, 71 qubits, 4 in, 8 out)");
+        println!("{}", exp::pow17_gatecount(4));
+        println!("\nAt l=31 (full oracle width):");
+        println!("{}", exp::pow17_gatecount(31));
+    }
+    if want("resources") {
+        banner("Resource estimation: o4_POW17 in the Clifford+T base");
+        for l in [4usize, 16, 31] {
+            let r = exp::pow17_resources(l);
+            println!(
+                "l={l:>2}: T count {:>9}, Clifford {:>9}, residual {}, qubits {}",
+                r.t_count, r.clifford_count, r.residual, r.qubits
+            );
+        }
+    }
+    if want("qwsh") {
+        banner("E5: a6_QWSH walk step at l=4, n=3, r=2 (paper §5.3.2)");
+        let (gc, subs) = exp::qwsh_report(4, 3, 2);
+        println!("{gc}");
+        println!("{subs}");
+    }
+    if want("tf-oracle") {
+        banner("E6: TF oracle at l=31, n=15 (paper: 2,051,926 gates, 1462 qubits)");
+        let rep = exp::tf_oracle_count(31, 15);
+        println!("{}", rep.count);
+        println!("generated and counted in {:.2} s ({} boxed subroutines)", rep.seconds, rep.subroutines);
+    }
+    if want("tf-full") {
+        banner("E7: full TF at l=31, n=15, r=6 (paper: 30,189,977,982,990 gates, 4676 qubits, < 2 min)");
+        let rep = exp::tf_full_count(31, 15, 6);
+        println!("Total gates: {}", rep.count.total());
+        println!("Qubits in circuit: {}", rep.count.qubits_in_circuit);
+        println!("generated and counted in {:.2} s ({} boxed subroutines)", rep.seconds, rep.subroutines);
+    }
+    if want("bwt-compare") {
+        banner("E8: Section 6 table — QCL vs Quipper orthodox vs Quipper template (BWT, depth 4, 1 timestep)");
+        println!("{}", exp::format_section6(&exp::bwt_comparison_table()));
+        println!("paper:   Init 58/313/777  Not 746/8/0  CNot1 9012/472/344  CNot2 7548/768/1760");
+        println!("         e^-itZ 4/4/4  W 48/48/48  Term 0/307/771  Meas 0/6/6  Total 17358/1300/2156  Qubits 58/26/108");
+    }
+    if want("hex-oracle") {
+        banner("E9: Hex flood-fill winner oracle at 9×7 (paper: 2.8 M gates)");
+        let rep = exp::hex_oracle_count(9, 7, true);
+        println!(
+            "with sharing:    {} gates, {} qubits, {:.2} s",
+            rep.count.total(),
+            rep.count.qubits_in_circuit,
+            rep.seconds
+        );
+        let rep = exp::hex_oracle_count(9, 7, false);
+        println!(
+            "without sharing: {} gates, {} qubits, {:.2} s  (A2 ablation)",
+            rep.count.total(),
+            rep.count.qubits_in_circuit,
+            rep.seconds
+        );
+    }
+    if want("sin-oracle") {
+        banner("E10: sin(x) over 32+32-bit fixed point (paper: 3,273,010 gates)");
+        let rep = exp::sin_oracle_count(32, 32);
+        println!(
+            "one-shot lifting: {} gates, {} qubits, {:.2} s",
+            rep.count.total(),
+            rep.count.qubits_in_circuit,
+            rep.seconds
+        );
+        let rep = exp::sin_oracle_count_staged(32, 32, 4096);
+        println!(
+            "staged lifting (4096-node stages): {} gates, {} qubits, {:.2} s",
+            rep.count.total(),
+            rep.count.qubits_in_circuit,
+            rep.seconds
+        );
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n======================================================================");
+    println!("{title}");
+    println!("======================================================================");
+}

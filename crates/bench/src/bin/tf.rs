@@ -1,0 +1,201 @@
+//! The `tf` executable of the paper's §5.2: "Its command line interface
+//! allows the user, for example, to plug in different oracles, show
+//! different parts of the circuit, select a gate base, select different
+//! output formats, and select parameter values for l, n and r."
+//!
+//! Supported command lines mirror the paper's examples:
+//!
+//! ```text
+//! tf -s pow17 -l 4 -n 3 -r 2               # show the o4_POW17 subroutine
+//! tf -f gatecount -O -o orthodox -l 31 -n 15 -r 9   # oracle only
+//! tf -f gatecount -o orthodox -l 31 -n 15 -r 6      # whole algorithm
+//! ```
+//!
+//! Options:
+//!   -l, -n, -r INT   parameters (defaults 4, 3, 2)
+//!   -s NAME          subroutine: pow17 | mul | square | add | qwsh | oracle
+//!   -O               oracle only (the whole edge oracle)
+//!   -o NAME          oracle: orthodox (default)
+//!   -f FORMAT        gatecount (default) | text | qasm | depth
+//!   -b BASE          gate base: logical (default) | toffoli | binary | cliffordt
+
+use quipper::decompose::{decompose, GateBase};
+use quipper::{Circ, Qubit};
+use quipper_algorithms::tf::qwtfp::{a6_qwsh, QwtfpRegs};
+use quipper_algorithms::tf::{a1_qwtfp, EdgeOracle, OrthodoxOracle, TfSpec};
+use quipper_arith::qinttf::{
+    add_tf, mul_tf_boxed, pow17_tf_boxed, square_tf_boxed, QIntTF,
+};
+use quipper_arith::IntTF;
+use quipper_circuit::BCircuit;
+
+struct Options {
+    l: usize,
+    n: usize,
+    r: usize,
+    subroutine: Option<String>,
+    oracle_only: bool,
+    oracle: String,
+    format: String,
+    base: String,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        l: 4,
+        n: 3,
+        r: 2,
+        subroutine: None,
+        oracle_only: false,
+        oracle: "orthodox".into(),
+        format: "gatecount".into(),
+        base: "logical".into(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let usize_arg = |args: &[String], i: usize, flag: &str| -> usize {
+        args.get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("{flag} needs an integer argument"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "-l" => {
+                opts.l = usize_arg(&args, i, "-l");
+                i += 1;
+            }
+            "-n" => {
+                opts.n = usize_arg(&args, i, "-n");
+                i += 1;
+            }
+            "-r" => {
+                opts.r = usize_arg(&args, i, "-r");
+                i += 1;
+            }
+            "-s" => {
+                opts.subroutine = args.get(i + 1).cloned();
+                i += 1;
+            }
+            "-O" => opts.oracle_only = true,
+            "-o" => {
+                opts.oracle = args.get(i + 1).cloned().unwrap_or_default();
+                i += 1;
+            }
+            "-f" => {
+                opts.format = args.get(i + 1).cloned().unwrap_or_default();
+                i += 1;
+            }
+            "-b" => {
+                opts.base = args.get(i + 1).cloned().unwrap_or_default();
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn build_subroutine(name: &str, opts: &Options) -> BCircuit {
+    let l = opts.l;
+    match name {
+        "pow17" => Circ::build(&IntTF::new(0, l), |c, x: QIntTF| {
+            let (x, x17) = pow17_tf_boxed(c, x);
+            (x, x17)
+        }),
+        "mul" => Circ::build(&(IntTF::new(0, l), IntTF::new(0, l)), |c, (x, y)| {
+            mul_tf_boxed(c, x, y)
+        }),
+        "square" => Circ::build(&IntTF::new(0, l), |c, x: QIntTF| square_tf_boxed(c, x)),
+        "add" => Circ::build(&(IntTF::new(0, l), IntTF::new(0, l)), |c, (x, y): (QIntTF, QIntTF)| {
+            let s = add_tf(c, &x, &y);
+            (x, y, s)
+        }),
+        "qwsh" => {
+            let spec = TfSpec { l: opts.l, n: opts.n, r: opts.r };
+            let orc = OrthodoxOracle::new(opts.n, opts.l);
+            let t = spec.tuple_size();
+            let mut c = Circ::new();
+            let regs = QwtfpRegs {
+                tt: (0..t)
+                    .map(|_| (0..opts.n).map(|_| c.qinit_bit(false)).collect())
+                    .collect(),
+                i: (0..opts.r).map(|_| c.qinit_bit(false)).collect(),
+                v: (0..opts.n).map(|_| c.qinit_bit(false)).collect(),
+                ee: (0..spec.num_edge_bits()).map(|_| c.qinit_bit(false)).collect(),
+            };
+            let regs = a6_qwsh(&mut c, spec, &orc, regs);
+            c.finish(&(regs.tt, regs.i, regs.v, regs.ee))
+        }
+        "oracle" => build_oracle(opts),
+        other => {
+            eprintln!("unknown subroutine {other} (try pow17, mul, square, add, qwsh, oracle)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn build_oracle(opts: &Options) -> BCircuit {
+    let orc = OrthodoxOracle::new(opts.n, opts.l);
+    Circ::build(
+        &(vec![false; opts.n], vec![false; opts.n], false),
+        |c, (u, w, e): (Vec<Qubit>, Vec<Qubit>, Qubit)| {
+            orc.edge(c, &u, &w, e);
+            (u, w, e)
+        },
+    )
+}
+
+fn main() {
+    let opts = parse_args();
+    if opts.oracle != "orthodox" {
+        eprintln!("only the orthodox oracle is built in (-o orthodox)");
+        std::process::exit(2);
+    }
+
+    let bc = if let Some(name) = &opts.subroutine {
+        build_subroutine(name, &opts)
+    } else if opts.oracle_only {
+        build_oracle(&opts)
+    } else {
+        let spec = TfSpec { l: opts.l, n: opts.n, r: opts.r };
+        let orc = OrthodoxOracle::new(opts.n, opts.l);
+        a1_qwtfp(spec, &orc)
+    };
+
+    let bc = match opts.base.as_str() {
+        "logical" => bc,
+        "toffoli" => decompose(GateBase::Toffoli, &bc),
+        "binary" => decompose(GateBase::Binary, &bc),
+        "cliffordt" => decompose(GateBase::CliffordT, &bc),
+        other => {
+            eprintln!("unknown gate base {other}");
+            std::process::exit(2);
+        }
+    };
+
+    match opts.format.as_str() {
+        "gatecount" => println!("{}", bc.gate_count()),
+        "text" => print!("{}", quipper_circuit::print::to_text(&bc)),
+        "qasm" => match quipper_circuit::qasm::to_qasm(&bc) {
+            Ok(q) => print!("{q}"),
+            Err(e) => {
+                eprintln!("cannot export to OpenQASM: {e}");
+                std::process::exit(1);
+            }
+        },
+        "depth" => {
+            println!(
+                "Critical-path depth: {}",
+                quipper_circuit::count::depth(&bc.db, &bc.main)
+            );
+        }
+        other => {
+            eprintln!("unknown format {other} (try gatecount, text, qasm, depth)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,644 @@
+//! Aggregate gate counting over hierarchical circuits.
+//!
+//! This reproduces Quipper's `-f gatecount` feature (paper §5.3.1, §5.4): a
+//! gate count is computed *per boxed subcircuit* and aggregated up the
+//! hierarchy by multiplication, so a circuit of trillions of gates — such as
+//! the full Triangle Finding algorithm, 30,189,977,982,990 gates in the paper
+//! — is counted in milliseconds without ever being expanded. Counts use
+//! `u128` arithmetic, and a distinction is made between positive and negative
+//! controls, printed `controls a+b` exactly as the paper shows.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+
+use crate::circuit::{BoxId, Circuit, CircuitDb};
+use crate::gate::{ClassKind, Gate};
+use crate::wire::{Wire, WireType};
+
+/// The key by which gates are grouped when counting: the gate's structural
+/// kind plus its numbers of positive and negative controls.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct GateClass {
+    /// The structural kind (name, inversion, init/term value …).
+    pub kind: ClassKind,
+    /// Number of positive controls.
+    pub pos: u16,
+    /// Number of negative controls.
+    pub neg: u16,
+}
+
+impl GateClass {
+    /// The class of the inverse gate.
+    pub fn inverse(&self) -> GateClass {
+        GateClass { kind: self.kind.inverse(), pos: self.pos, neg: self.neg }
+    }
+
+    /// Whether the class is an initialization, termination, measurement or
+    /// discard — the classes excluded from the paper's "Total" row in
+    /// Section 6.
+    pub fn is_housekeeping(&self) -> bool {
+        matches!(
+            self.kind,
+            ClassKind::Init { .. } | ClassKind::Term { .. } | ClassKind::Meas
+                | ClassKind::Discard { .. }
+        )
+    }
+}
+
+impl fmt::Display for GateClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)?;
+        // The paper writes `controls a+b`, abbreviating `a+0` to `a`.
+        match (self.pos, self.neg) {
+            (0, 0) => Ok(()),
+            (p, 0) => write!(f, ", controls {p}"),
+            (p, n) => write!(f, ", controls {p}+{n}"),
+        }
+    }
+}
+
+/// Classifies a single gate, if it is counted (comments are not).
+pub fn classify(gate: &Gate) -> Option<GateClass> {
+    let (kind, controls): (ClassKind, &[crate::wire::Control]) = match gate {
+        Gate::QGate { name, inverted, controls, .. } => (
+            ClassKind::Unitary {
+                name: name.clone(),
+                inverted: *inverted && !name.is_self_inverse(),
+            },
+            controls,
+        ),
+        Gate::QRot { name, inverted, controls, .. } => {
+            (ClassKind::Rot { name: name.clone(), inverted: *inverted }, controls)
+        }
+        Gate::GPhase { controls, .. } => (ClassKind::GPhase, controls),
+        Gate::QInit { value, .. } => (ClassKind::Init { value: *value, classical: false }, &[]),
+        Gate::CInit { value, .. } => (ClassKind::Init { value: *value, classical: true }, &[]),
+        Gate::QTerm { value, .. } => (ClassKind::Term { value: *value, classical: false }, &[]),
+        Gate::CTerm { value, .. } => (ClassKind::Term { value: *value, classical: true }, &[]),
+        Gate::QMeas { .. } => (ClassKind::Meas, &[]),
+        Gate::QDiscard { .. } => (ClassKind::Discard { classical: false }, &[]),
+        Gate::CDiscard { .. } => (ClassKind::Discard { classical: true }, &[]),
+        Gate::CGate { name, inverted, .. } => {
+            (ClassKind::Classical { name: name.clone(), inverted: *inverted }, &[])
+        }
+        Gate::Subroutine { .. } | Gate::Comment { .. } => return None,
+    };
+    let pos = controls.iter().filter(|c| c.positive).count() as u16;
+    let neg = controls.iter().filter(|c| !c.positive).count() as u16;
+    Some(GateClass { kind, pos, neg })
+}
+
+/// An aggregated gate count.
+///
+/// Displayed in the paper's format:
+///
+/// ```text
+/// Aggregated gate count:
+/// 1636: "Init0"
+/// 3484: "Not", controls 1
+/// ...
+/// Total gates: 9632
+/// Inputs: 4
+/// Outputs: 8
+/// Qubits in circuit: 71
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct GateCount {
+    /// Count per gate class.
+    pub counts: BTreeMap<GateClass, u128>,
+    /// Number of circuit inputs.
+    pub inputs: usize,
+    /// Number of circuit outputs.
+    pub outputs: usize,
+    /// Maximum number of simultaneously live quantum wires (the paper's
+    /// "Qubits in circuit").
+    pub qubits_in_circuit: u64,
+    /// Maximum number of simultaneously live wires of any type.
+    pub wires_in_circuit: u64,
+}
+
+impl GateCount {
+    /// Total number of gates, including initializations, terminations and
+    /// measurements (the "Total gates" line of §5.3.1).
+    pub fn total(&self) -> u128 {
+        self.counts.values().sum()
+    }
+
+    /// Total number of *logical* gates, excluding initialization, termination
+    /// and measurement — the "Total" row of the Section 6 comparison table.
+    pub fn total_logical(&self) -> u128 {
+        self.counts.iter().filter(|(c, _)| !c.is_housekeeping()).map(|(_, n)| n).sum()
+    }
+
+    /// The count for one class, zero if absent.
+    pub fn get(&self, class: &GateClass) -> u128 {
+        self.counts.get(class).copied().unwrap_or(0)
+    }
+
+    /// Sums counts over all classes whose kind display name contains `name`
+    /// and whose control signature is `(pos, neg)`.
+    pub fn by_name(&self, name: &str, pos: u16, neg: u16) -> u128 {
+        self.counts
+            .iter()
+            .filter(|(c, _)| c.pos == pos && c.neg == neg && c.kind.to_string().contains(name))
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Sums counts over all classes whose kind display name contains `name`,
+    /// regardless of controls.
+    pub fn by_name_any_controls(&self, name: &str) -> u128 {
+        self.counts
+            .iter()
+            .filter(|(c, _)| c.kind.to_string().contains(name))
+            .map(|(_, n)| n)
+            .sum()
+    }
+}
+
+impl fmt::Display for GateCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Aggregated gate count:")?;
+        for (class, n) in &self.counts {
+            writeln!(f, "{n}: {class}")?;
+        }
+        writeln!(f, "Total gates: {}", self.total())?;
+        writeln!(f, "Inputs: {}", self.inputs)?;
+        writeln!(f, "Outputs: {}", self.outputs)?;
+        write!(f, "Qubits in circuit: {}", self.qubits_in_circuit)
+    }
+}
+
+/// Per-subroutine memoized counting data.
+struct SubCount {
+    counts: BTreeMap<GateClass, u128>,
+    /// peak live wires (total, quantum) inside the subroutine.
+    peak_total: u64,
+    peak_quantum: u64,
+    in_total: u64,
+    in_quantum: u64,
+    out_total: u64,
+    out_quantum: u64,
+}
+
+struct Counter<'a> {
+    db: &'a CircuitDb,
+    memo: HashMap<BoxId, Rc<SubCount>>,
+    visiting: HashSet<BoxId>,
+}
+
+impl<'a> Counter<'a> {
+    fn sub_count(&mut self, id: BoxId) -> Rc<SubCount> {
+        if let Some(c) = self.memo.get(&id) {
+            return Rc::clone(c);
+        }
+        assert!(
+            self.visiting.insert(id),
+            "cyclic boxed-subroutine reference involving subroutine id {}",
+            id.index()
+        );
+        let def = self.db.get(id).expect("subroutine id out of range while counting");
+        let sc = Rc::new(self.count_circuit(&def.circuit));
+        self.visiting.remove(&id);
+        self.memo.insert(id, Rc::clone(&sc));
+        sc
+    }
+
+    fn count_circuit(&mut self, circuit: &Circuit) -> SubCount {
+        let mut counts: BTreeMap<GateClass, u128> = BTreeMap::new();
+        let in_total = circuit.inputs.len() as u64;
+        let in_quantum =
+            circuit.inputs.iter().filter(|&&(_, t)| t == WireType::Quantum).count() as u64;
+        let mut cur_total = in_total as i128;
+        let mut cur_quantum = in_quantum as i128;
+        let mut peak_total = cur_total;
+        let mut peak_quantum = cur_quantum;
+
+        for gate in &circuit.gates {
+            match gate {
+                Gate::Subroutine { id, inverted, repetitions, .. } => {
+                    let sc = self.sub_count(*id);
+                    let (s_in_t, s_in_q, s_out_t, s_out_q) = if *inverted {
+                        (sc.out_total, sc.out_quantum, sc.in_total, sc.in_quantum)
+                    } else {
+                        (sc.in_total, sc.in_quantum, sc.out_total, sc.out_quantum)
+                    };
+                    // While the subroutine runs, its inputs are replaced by
+                    // its internal peak.
+                    peak_total = peak_total.max(cur_total - s_in_t as i128 + sc.peak_total as i128);
+                    peak_quantum =
+                        peak_quantum.max(cur_quantum - s_in_q as i128 + sc.peak_quantum as i128);
+                    let reps = u128::from(*repetitions);
+                    for (class, n) in sc.counts.iter() {
+                        let class = if *inverted { class.inverse() } else { class.clone() };
+                        *counts.entry(class).or_insert(0) += n * reps;
+                    }
+                    cur_total += s_out_t as i128 - s_in_t as i128;
+                    cur_quantum += s_out_q as i128 - s_in_q as i128;
+                }
+                Gate::Comment { .. } => {}
+                _ => {
+                    if let Some(class) = classify(gate) {
+                        *counts.entry(class).or_insert(0) += 1;
+                    }
+                    match gate {
+                        Gate::QInit { .. } => {
+                            cur_total += 1;
+                            cur_quantum += 1;
+                        }
+                        Gate::CInit { .. } | Gate::CGate { .. } => cur_total += 1,
+                        Gate::QTerm { .. } | Gate::QDiscard { .. } => {
+                            cur_total -= 1;
+                            cur_quantum -= 1;
+                        }
+                        Gate::CTerm { .. } | Gate::CDiscard { .. } => cur_total -= 1,
+                        Gate::QMeas { .. } => cur_quantum -= 1,
+                        _ => {}
+                    }
+                    peak_total = peak_total.max(cur_total);
+                    peak_quantum = peak_quantum.max(cur_quantum);
+                }
+            }
+        }
+
+        SubCount {
+            counts,
+            peak_total: peak_total.max(0) as u64,
+            peak_quantum: peak_quantum.max(0) as u64,
+            in_total,
+            in_quantum,
+            out_total: circuit.outputs.len() as u64,
+            out_quantum: circuit
+                .outputs
+                .iter()
+                .filter(|&&(_, t)| t == WireType::Quantum)
+                .count() as u64,
+        }
+    }
+}
+
+/// Counts the gates of `circuit`, descending through boxed subcircuits in
+/// `db` with memoization.
+///
+/// # Panics
+///
+/// Panics if the circuit references a subroutine id absent from `db`, or if
+/// the subroutine references form a cycle. Both indicate a malformed circuit;
+/// run [`validate`](crate::validate::validate) first for a `Result`-based
+/// check.
+pub fn count(db: &CircuitDb, circuit: &Circuit) -> GateCount {
+    let mut counter = Counter { db, memo: HashMap::new(), visiting: HashSet::new() };
+    let sc = counter.count_circuit(circuit);
+    GateCount {
+        counts: sc.counts,
+        inputs: circuit.inputs.len(),
+        outputs: circuit.outputs.len(),
+        qubits_in_circuit: sc.peak_quantum,
+        wires_in_circuit: sc.peak_total,
+    }
+}
+
+/// The peak number of live wires of a circuit (hierarchically).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Peak {
+    /// Peak total wires.
+    pub total: u64,
+    /// Peak quantum wires.
+    pub quantum: u64,
+}
+
+/// Computes the peak number of simultaneously live wires, descending through
+/// boxed subcircuits.
+///
+/// # Panics
+///
+/// As for [`count`].
+pub fn max_alive(db: &CircuitDb, circuit: &Circuit) -> Peak {
+    let mut counter = Counter { db, memo: HashMap::new(), visiting: HashSet::new() };
+    let sc = counter.count_circuit(circuit);
+    Peak { total: sc.peak_total, quantum: sc.peak_quantum }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::SubDef;
+    use crate::gate::GateName;
+    use crate::wire::Wire;
+
+    fn q(w: u32) -> (Wire, WireType) {
+        (Wire(w), WireType::Quantum)
+    }
+
+    fn not_class(pos: u16, neg: u16) -> GateClass {
+        GateClass { kind: ClassKind::Unitary { name: GateName::X, inverted: false }, pos, neg }
+    }
+
+    #[test]
+    fn simple_counts() {
+        let mut c = Circuit::with_inputs(vec![q(0), q(1)]);
+        c.gates.push(Gate::unary(GateName::H, Wire(0)));
+        c.gates.push(Gate::cnot(Wire(1), Wire(0)));
+        c.gates.push(Gate::cnot(Wire(0), Wire(1)));
+        let gc = count(&CircuitDb::new(), &c);
+        assert_eq!(gc.total(), 3);
+        assert_eq!(gc.get(&not_class(1, 0)), 2);
+        assert_eq!(gc.qubits_in_circuit, 2);
+    }
+
+    #[test]
+    fn counts_multiply_through_boxes() {
+        let mut db = CircuitDb::new();
+        // Inner subroutine: 3 CNOTs.
+        let mut inner = Circuit::with_inputs(vec![q(0), q(1)]);
+        for _ in 0..3 {
+            inner.gates.push(Gate::cnot(Wire(0), Wire(1)));
+        }
+        let inner_id =
+            db.insert(SubDef { name: "inner".into(), shape: "".into(), circuit: inner });
+
+        // Middle subroutine: calls inner 5 times via repetitions.
+        let mut middle = Circuit::with_inputs(vec![q(0), q(1)]);
+        middle.gates.push(Gate::Subroutine {
+            id: inner_id,
+            inverted: false,
+            inputs: vec![Wire(0), Wire(1)],
+            outputs: vec![Wire(0), Wire(1)],
+            controls: vec![],
+            repetitions: 5,
+        });
+        let middle_id =
+            db.insert(SubDef { name: "middle".into(), shape: "".into(), circuit: middle });
+
+        // Main circuit: calls middle 1000 times.
+        let mut main = Circuit::with_inputs(vec![q(0), q(1)]);
+        main.gates.push(Gate::Subroutine {
+            id: middle_id,
+            inverted: false,
+            inputs: vec![Wire(0), Wire(1)],
+            outputs: vec![Wire(0), Wire(1)],
+            controls: vec![],
+            repetitions: 1000,
+        });
+        let gc = count(&db, &main);
+        assert_eq!(gc.total(), 15_000);
+        assert_eq!(gc.get(&not_class(1, 0)), 15_000);
+    }
+
+    #[test]
+    fn huge_counts_do_not_overflow() {
+        // Chain n levels of boxes, each calling the previous 10 times:
+        // 10^25 gates, far beyond u64.
+        let mut db = CircuitDb::new();
+        let mut base = Circuit::with_inputs(vec![q(0)]);
+        base.gates.push(Gate::unary(GateName::H, Wire(0)));
+        let mut prev = db.insert(SubDef { name: "lvl0".into(), shape: "".into(), circuit: base });
+        for lvl in 1..=25 {
+            let mut c = Circuit::with_inputs(vec![q(0)]);
+            c.gates.push(Gate::Subroutine {
+                id: prev,
+                inverted: false,
+                inputs: vec![Wire(0)],
+                outputs: vec![Wire(0)],
+                controls: vec![],
+                repetitions: 10,
+            });
+            prev = db.insert(SubDef { name: format!("lvl{lvl}"), shape: "".into(), circuit: c });
+        }
+        let def = db.get(prev).unwrap().circuit.clone();
+        let gc = count(&db, &def);
+        assert_eq!(gc.total(), 10u128.pow(25));
+    }
+
+    #[test]
+    fn inverted_subroutine_swaps_init_and_term() {
+        let mut db = CircuitDb::new();
+        // Subroutine allocating an ancilla: 1 init, 1 cnot, 1 term.
+        let mut body = Circuit::with_inputs(vec![q(0)]);
+        body.gates.push(Gate::QInit { value: false, wire: Wire(1) });
+        body.gates.push(Gate::cnot(Wire(1), Wire(0)));
+        body.gates.push(Gate::cnot(Wire(1), Wire(0)));
+        body.gates.push(Gate::QTerm { value: false, wire: Wire(1) });
+        body.recompute_wire_bound();
+        let id = db.insert(SubDef { name: "s".into(), shape: "".into(), circuit: body });
+
+        let mut main = Circuit::with_inputs(vec![q(0)]);
+        main.gates.push(Gate::Subroutine {
+            id,
+            inverted: true,
+            inputs: vec![Wire(0)],
+            outputs: vec![Wire(0)],
+            controls: vec![],
+            repetitions: 1,
+        });
+        let gc = count(&db, &main);
+        let init0 =
+            GateClass { kind: ClassKind::Init { value: false, classical: false }, pos: 0, neg: 0 };
+        let term0 =
+            GateClass { kind: ClassKind::Term { value: false, classical: false }, pos: 0, neg: 0 };
+        assert_eq!(gc.get(&init0), 1);
+        assert_eq!(gc.get(&term0), 1);
+        assert_eq!(gc.qubits_in_circuit, 2);
+    }
+
+    #[test]
+    fn peak_width_accounts_for_subroutine_ancillas() {
+        let mut db = CircuitDb::new();
+        // A subroutine with 1 input that internally allocates 4 ancillas.
+        let mut body = Circuit::with_inputs(vec![q(0)]);
+        for i in 1..=4 {
+            body.gates.push(Gate::QInit { value: false, wire: Wire(i) });
+        }
+        for i in (1..=4).rev() {
+            body.gates.push(Gate::QTerm { value: false, wire: Wire(i) });
+        }
+        body.recompute_wire_bound();
+        let id = db.insert(SubDef { name: "anc".into(), shape: "".into(), circuit: body });
+
+        // Main: 3 live wires, one of which enters the subroutine.
+        let mut main = Circuit::with_inputs(vec![q(0), q(1), q(2)]);
+        main.gates.push(Gate::Subroutine {
+            id,
+            inverted: false,
+            inputs: vec![Wire(0)],
+            outputs: vec![Wire(0)],
+            controls: vec![],
+            repetitions: 1,
+        });
+        let gc = count(&db, &main);
+        // 2 bystanders + (1 input + 4 ancillas) = 7.
+        assert_eq!(gc.qubits_in_circuit, 7);
+    }
+
+    #[test]
+    fn display_matches_paper_format() {
+        let class = not_class(1, 1);
+        assert_eq!(class.to_string(), "\"Not\", controls 1+1");
+        assert_eq!(not_class(2, 0).to_string(), "\"Not\", controls 2");
+    }
+
+    #[test]
+    fn total_logical_excludes_housekeeping() {
+        let mut c = Circuit::with_inputs(vec![q(0)]);
+        c.gates.push(Gate::QInit { value: false, wire: Wire(1) });
+        c.gates.push(Gate::cnot(Wire(1), Wire(0)));
+        c.gates.push(Gate::QTerm { value: false, wire: Wire(1) });
+        c.recompute_wire_bound();
+        let gc = count(&CircuitDb::new(), &c);
+        assert_eq!(gc.total(), 3);
+        assert_eq!(gc.total_logical(), 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Critical-path depth
+// ---------------------------------------------------------------------
+
+/// Computes the circuit's *depth* — the length of the critical path when
+/// gates on disjoint wires run in parallel — descending through boxed
+/// subcircuits with memoization.
+///
+/// Subroutine calls are treated as synchronization barriers across their
+/// own wires: every input wire of a call advances by the body's internal
+/// depth from the latest input time (a standard, slightly conservative
+/// approximation that keeps the computation linear in the hierarchy size).
+///
+/// Comments contribute nothing; initializations start a wire at the
+/// current global minimum of zero.
+///
+/// # Panics
+///
+/// As for [`count`]: unknown subroutine ids or cyclic references panic.
+pub fn depth(db: &CircuitDb, circuit: &Circuit) -> u128 {
+    let mut memo: HashMap<BoxId, u128> = HashMap::new();
+    depth_impl(db, circuit, &mut memo)
+}
+
+fn sub_depth(db: &CircuitDb, id: BoxId, memo: &mut HashMap<BoxId, u128>) -> u128 {
+    if let Some(&d) = memo.get(&id) {
+        return d;
+    }
+    let def = db.get(id).expect("subroutine id out of range while computing depth");
+    let d = depth_impl(db, &def.circuit, memo);
+    memo.insert(id, d);
+    d
+}
+
+fn depth_impl(db: &CircuitDb, circuit: &Circuit, memo: &mut HashMap<BoxId, u128>) -> u128 {
+    // Per-wire completion time.
+    let mut time: HashMap<Wire, u128> = HashMap::new();
+    for &(w, _) in &circuit.inputs {
+        time.insert(w, 0);
+    }
+    let mut max_time = 0u128;
+    for gate in &circuit.gates {
+        match gate {
+            Gate::Comment { .. } => {}
+            Gate::Subroutine { id, inputs, outputs, controls, repetitions, .. } => {
+                let body = sub_depth(db, *id, memo);
+                let start = inputs
+                    .iter()
+                    .chain(controls.iter().map(|c| &c.wire))
+                    .map(|w| time.get(w).copied().unwrap_or(0))
+                    .max()
+                    .unwrap_or(0);
+                let finish = start + body * u128::from(*repetitions);
+                for w in inputs {
+                    time.remove(w);
+                }
+                for c in controls {
+                    time.insert(c.wire, finish);
+                }
+                for &w in outputs {
+                    time.insert(w, finish);
+                }
+                max_time = max_time.max(finish);
+            }
+            g => {
+                let mut start = 0u128;
+                g.for_each_wire(&mut |w| {
+                    start = start.max(time.get(&w).copied().unwrap_or(0));
+                });
+                let finish = start + 1;
+                match g {
+                    Gate::QTerm { wire, .. }
+                    | Gate::CTerm { wire, .. }
+                    | Gate::QDiscard { wire }
+                    | Gate::CDiscard { wire } => {
+                        time.remove(wire);
+                    }
+                    _ => {
+                        g.for_each_wire(&mut |w| {
+                            time.insert(w, finish);
+                        });
+                    }
+                }
+                max_time = max_time.max(finish);
+            }
+        }
+    }
+    max_time
+}
+
+#[cfg(test)]
+mod depth_tests {
+    use super::*;
+    use crate::circuit::SubDef;
+    use crate::gate::GateName;
+    use crate::wire::{Wire, WireType};
+
+    fn q(w: u32) -> (Wire, WireType) {
+        (Wire(w), WireType::Quantum)
+    }
+
+    #[test]
+    fn parallel_gates_share_a_layer() {
+        let mut c = Circuit::with_inputs(vec![q(0), q(1)]);
+        c.gates.push(Gate::unary(GateName::H, Wire(0)));
+        c.gates.push(Gate::unary(GateName::H, Wire(1))); // parallel
+        c.gates.push(Gate::cnot(Wire(1), Wire(0))); // waits for both
+        assert_eq!(depth(&CircuitDb::new(), &c), 2);
+    }
+
+    #[test]
+    fn sequential_gates_stack() {
+        let mut c = Circuit::with_inputs(vec![q(0)]);
+        for _ in 0..5 {
+            c.gates.push(Gate::unary(GateName::T, Wire(0)));
+        }
+        assert_eq!(depth(&CircuitDb::new(), &c), 5);
+    }
+
+    #[test]
+    fn repeated_boxes_multiply_depth() {
+        let mut db = CircuitDb::new();
+        let mut body = Circuit::with_inputs(vec![q(0)]);
+        body.gates.push(Gate::unary(GateName::H, Wire(0)));
+        body.gates.push(Gate::unary(GateName::T, Wire(0)));
+        let id = db.insert(SubDef { name: "b".into(), shape: "".into(), circuit: body });
+        let mut main = Circuit::with_inputs(vec![q(0), q(1)]);
+        main.gates.push(Gate::Subroutine {
+            id,
+            inverted: false,
+            inputs: vec![Wire(0)],
+            outputs: vec![Wire(0)],
+            controls: vec![],
+            repetitions: 1_000_000,
+        });
+        // Wire 1 is untouched: depth comes from the repeated box alone.
+        assert_eq!(depth(&db, &main), 2_000_000);
+    }
+
+    #[test]
+    fn controls_synchronize_with_targets() {
+        let mut c = Circuit::with_inputs(vec![q(0), q(1)]);
+        for _ in 0..3 {
+            c.gates.push(Gate::unary(GateName::T, Wire(0)));
+        }
+        // The CNOT must wait for wire 0's three T gates.
+        c.gates.push(Gate::cnot(Wire(1), Wire(0)));
+        c.gates.push(Gate::unary(GateName::H, Wire(1)));
+        assert_eq!(depth(&CircuitDb::new(), &c), 5);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for circuit construction, validation and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::wire::{Wire, WireType};
+
+/// Errors arising from malformed circuits or invalid circuit operations.
+///
+/// Because the host language lacks linear types, properties such as
+/// non-duplication of quantum data are checked at run time (paper §4.1); this
+/// type reports violations of those checks.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate refers to a wire that is not currently alive.
+    DeadWire { wire: Wire, context: String },
+    /// A gate uses the same wire more than once (targets and controls must be
+    /// pairwise distinct) — this would violate the no-cloning property.
+    DuplicateWire { wire: Wire, context: String },
+    /// A wire has the wrong type for its use (e.g. a quantum gate applied to
+    /// a classical wire).
+    TypeMismatch { wire: Wire, expected: WireType, found: WireType, context: String },
+    /// An initialization gate re-uses a wire identifier that is still alive.
+    AlreadyAlive { wire: Wire, context: String },
+    /// The declared outputs of a circuit do not match the wires actually
+    /// alive at the end of the gate list.
+    OutputMismatch { detail: String },
+    /// A subroutine call does not match its definition's arity or types.
+    SubroutineArity { name: String, detail: String },
+    /// A repeated subroutine's input and output shapes differ, so it cannot
+    /// be iterated.
+    NotRepeatable { name: String },
+    /// The circuit contains a gate with no inverse (e.g. a measurement), so
+    /// it cannot be reversed.
+    NotReversible { gate: String },
+    /// A gate that cannot be controlled appeared under nontrivial controls
+    /// (e.g. a measurement).
+    NotControllable { gate: String },
+    /// A referenced boxed subroutine does not exist in the database.
+    UnknownSubroutine { id: usize },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::DeadWire { wire, context } => {
+                write!(f, "wire {wire} is not alive (in {context})")
+            }
+            CircuitError::DuplicateWire { wire, context } => {
+                write!(f, "wire {wire} used more than once in a single gate (in {context}); this would clone quantum data")
+            }
+            CircuitError::TypeMismatch { wire, expected, found, context } => {
+                write!(f, "wire {wire} has type {found}, expected {expected} (in {context})")
+            }
+            CircuitError::AlreadyAlive { wire, context } => {
+                write!(f, "initialization of wire {wire} which is already alive (in {context})")
+            }
+            CircuitError::OutputMismatch { detail } => {
+                write!(f, "circuit outputs do not match live wires: {detail}")
+            }
+            CircuitError::SubroutineArity { name, detail } => {
+                write!(f, "subroutine \"{name}\" called with mismatched arity: {detail}")
+            }
+            CircuitError::NotRepeatable { name } => {
+                write!(f, "subroutine \"{name}\" has different input and output shapes and cannot be repeated")
+            }
+            CircuitError::NotReversible { gate } => {
+                write!(f, "gate {gate} has no inverse; circuit is not reversible")
+            }
+            CircuitError::NotControllable { gate } => {
+                write!(f, "gate {gate} cannot be controlled")
+            }
+            CircuitError::UnknownSubroutine { id } => {
+                write!(f, "reference to unknown subroutine id {id}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_trailing_punctuation() {
+        let e = CircuitError::DeadWire { wire: Wire(4), context: "test".into() };
+        let s = e.to_string();
+        assert!(s.starts_with("wire 4"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

@@ -1,0 +1,334 @@
+//! Inlining of boxed subcircuits.
+//!
+//! Hierarchical circuits keep each subroutine body stored once; simulation
+//! and 2-D rendering need the flat gate sequence. [`inline_all`] expands
+//! every subroutine call (including inverted and repeated calls, and calls
+//! under controls), allocating fresh wires for subroutine-local ancillas.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::circuit::{BoxId, Circuit, CircuitDb};
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use crate::reverse::reverse_circuit;
+use crate::wire::Wire;
+
+/// Expands every boxed subcircuit call in `circuit`, producing an equivalent
+/// flat circuit with no [`Gate::Subroutine`] gates.
+///
+/// Controls on a call are distributed onto every controllable gate of the
+/// body; ancilla initializations and terminations inside the body are
+/// control-neutral and pass through unchanged (they scope scratch space that
+/// is provably disentangled, so controlling them is unnecessary).
+///
+/// # Errors
+///
+/// Returns an error if an inverted call's body is not reversible, if a call
+/// under controls contains a non-controllable gate (e.g. a measurement), or
+/// if a referenced subroutine is missing.
+pub fn inline_all(db: &CircuitDb, circuit: &Circuit) -> Result<Circuit, CircuitError> {
+    let mut ctx = Inliner { db, flat: HashMap::new() };
+    let mut out = Circuit {
+        inputs: circuit.inputs.clone(),
+        gates: Vec::new(),
+        outputs: Vec::new(),
+        wire_bound: circuit.wire_bound,
+    };
+    let mut next = circuit.wire_bound;
+    // Substitution applied to the remainder of the parent circuit: subroutine
+    // calls may leave their results on different wire ids than the call
+    // declared, and later gates must follow.
+    let mut subst: HashMap<Wire, Wire> = HashMap::new();
+
+    for gate in &circuit.gates {
+        match gate {
+            Gate::Subroutine { id, inverted, inputs, outputs, controls, repetitions } => {
+                // Substitute uses (inputs, controls) but *not* the declared
+                // outputs: those are binders, possibly reusing earlier wire
+                // ids (calls bind pass-through outputs to their input ids).
+                let inputs: Vec<Wire> = inputs
+                    .iter()
+                    .map(|w| subst.get(w).copied().unwrap_or(*w))
+                    .collect();
+                let controls: Vec<crate::wire::Control> = controls
+                    .iter()
+                    .map(|c| crate::wire::Control {
+                        wire: subst.get(&c.wire).copied().unwrap_or(c.wire),
+                        positive: c.positive,
+                    })
+                    .collect();
+                let body = ctx.flat_body(*id, *inverted)?;
+                let mut cur_inputs = inputs;
+                for _ in 0..*repetitions {
+                    let landed = splice(&body, &cur_inputs, &controls, &mut next, &mut out.gates)?;
+                    cur_inputs = landed;
+                }
+                for (decl, landed) in outputs.iter().zip(cur_inputs.iter()) {
+                    if decl == landed {
+                        subst.remove(decl);
+                    } else {
+                        subst.insert(*decl, *landed);
+                    }
+                }
+            }
+            g => out.gates.push(g.map_wires(&mut |w| subst.get(&w).copied().unwrap_or(w))),
+        }
+    }
+
+    out.outputs = circuit
+        .outputs
+        .iter()
+        .map(|&(w, t)| (subst.get(&w).copied().unwrap_or(w), t))
+        .collect();
+    out.wire_bound = next;
+    Ok(out)
+}
+
+/// Streaming expansion of a gate slice: every subroutine call is expanded
+/// in place (recursively) and each resulting primitive gate is passed to
+/// `sink`, with fresh wires for subroutine-local ancillas allocated from
+/// `next`. Used by backends that execute gates as they are generated (e.g.
+/// the dynamic-lifting device), where no enclosing [`Circuit`] exists.
+///
+/// Declared outputs of calls are honored by returning a substitution that
+/// the *caller* must apply to wires of any gates it feeds later (entries
+/// map declared output wires to where the values actually landed).
+///
+/// # Errors
+///
+/// As for [`inline_all`].
+pub fn expand_gates(
+    db: &CircuitDb,
+    gates: &[Gate],
+    next: &mut u32,
+    subst: &mut HashMap<Wire, Wire>,
+    sink: &mut impl FnMut(&Gate),
+) -> Result<(), CircuitError> {
+    let mut ctx = Inliner { db, flat: HashMap::new() };
+    let mut buffer: Vec<Gate> = Vec::new();
+    for gate in gates {
+        match gate {
+            Gate::Subroutine { id, inverted, inputs, outputs, controls, repetitions } => {
+                let inputs: Vec<Wire> =
+                    inputs.iter().map(|w| subst.get(w).copied().unwrap_or(*w)).collect();
+                let controls: Vec<crate::wire::Control> = controls
+                    .iter()
+                    .map(|c| crate::wire::Control {
+                        wire: subst.get(&c.wire).copied().unwrap_or(c.wire),
+                        positive: c.positive,
+                    })
+                    .collect();
+                let body = ctx.flat_body(*id, *inverted)?;
+                let mut cur_inputs = inputs;
+                for _ in 0..*repetitions {
+                    buffer.clear();
+                    let landed = splice(&body, &cur_inputs, &controls, next, &mut buffer)?;
+                    for g in &buffer {
+                        sink(g);
+                    }
+                    cur_inputs = landed;
+                }
+                for (decl, landed) in outputs.iter().zip(cur_inputs.iter()) {
+                    if decl == landed {
+                        subst.remove(decl);
+                    } else {
+                        subst.insert(*decl, *landed);
+                    }
+                }
+            }
+            g => {
+                let g = g.map_wires(&mut |w| subst.get(&w).copied().unwrap_or(w));
+                sink(&g);
+            }
+        }
+    }
+    Ok(())
+}
+
+struct Inliner<'a> {
+    db: &'a CircuitDb,
+    /// Fully inlined bodies, memoized per (subroutine, inverted).
+    flat: HashMap<(BoxId, bool), Rc<Circuit>>,
+}
+
+impl<'a> Inliner<'a> {
+    fn flat_body(&mut self, id: BoxId, inverted: bool) -> Result<Rc<Circuit>, CircuitError> {
+        if let Some(c) = self.flat.get(&(id, inverted)) {
+            return Ok(Rc::clone(c));
+        }
+        let def = self.db.get(id)?;
+        let body = if inverted { reverse_circuit(&def.circuit)? } else { def.circuit.clone() };
+        let flat = Rc::new(inline_all(self.db, &body)?);
+        self.flat.insert((id, inverted), Rc::clone(&flat));
+        Ok(flat)
+    }
+}
+
+/// Appends a copy of `body` to `out`, binding `body.inputs` to `actual`
+/// wires, allocating fresh wires for body-local allocations from `next`, and
+/// applying `controls` to every gate. Returns the wires on which the body's
+/// outputs landed.
+fn splice(
+    body: &Circuit,
+    actual: &[Wire],
+    controls: &[crate::wire::Control],
+    next: &mut u32,
+    out: &mut Vec<Gate>,
+) -> Result<Vec<Wire>, CircuitError> {
+    let mut map: HashMap<Wire, Wire> = HashMap::new();
+    if body.inputs.len() != actual.len() {
+        return Err(CircuitError::SubroutineArity {
+            name: "<inlined>".into(),
+            detail: format!("{} formals vs {} actuals", body.inputs.len(), actual.len()),
+        });
+    }
+    for (&(formal, _), &a) in body.inputs.iter().zip(actual) {
+        map.insert(formal, a);
+    }
+    for gate in &body.gates {
+        let remapped = gate.map_wires(&mut |w| {
+            *map.entry(w).or_insert_with(|| {
+                let fresh = Wire(*next);
+                *next += 1;
+                fresh
+            })
+        });
+        out.push(remapped.with_controls(controls)?);
+    }
+    Ok(body.outputs.iter().map(|(w, _)| map[w]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::SubDef;
+    use crate::gate::GateName;
+    use crate::wire::{Control, WireType};
+
+    fn q(w: u32) -> (Wire, WireType) {
+        (Wire(w), WireType::Quantum)
+    }
+
+    fn ancilla_sub(db: &mut CircuitDb) -> BoxId {
+        // Input one qubit; use a local ancilla; flip input twice.
+        let mut body = Circuit::with_inputs(vec![q(0)]);
+        body.gates.push(Gate::QInit { value: false, wire: Wire(1) });
+        body.gates.push(Gate::cnot(Wire(1), Wire(0)));
+        body.gates.push(Gate::cnot(Wire(0), Wire(1)));
+        body.gates.push(Gate::cnot(Wire(1), Wire(0)));
+        body.gates.push(Gate::QTerm { value: false, wire: Wire(1) });
+        body.recompute_wire_bound();
+        db.insert(SubDef { name: "anc".into(), shape: "".into(), circuit: body })
+    }
+
+    #[test]
+    fn inline_expands_and_validates() {
+        let mut db = CircuitDb::new();
+        let id = ancilla_sub(&mut db);
+        let mut main = Circuit::with_inputs(vec![q(0), q(1)]);
+        main.gates.push(Gate::Subroutine {
+            id,
+            inverted: false,
+            inputs: vec![Wire(1)],
+            outputs: vec![Wire(1)],
+            controls: vec![],
+            repetitions: 2,
+        });
+        let flat = inline_all(&db, &main).unwrap();
+        assert!(flat.gates.iter().all(|g| !matches!(g, Gate::Subroutine { .. })));
+        // 2 repetitions × 5 gates.
+        assert_eq!(flat.gates.len(), 10);
+        flat.validate_standalone().unwrap();
+    }
+
+    #[test]
+    fn inline_applies_controls_but_not_to_ancilla_scopes() {
+        let mut db = CircuitDb::new();
+        let id = ancilla_sub(&mut db);
+        let mut main = Circuit::with_inputs(vec![q(0), q(1)]);
+        main.gates.push(Gate::Subroutine {
+            id,
+            inverted: false,
+            inputs: vec![Wire(1)],
+            outputs: vec![Wire(1)],
+            controls: vec![Control::positive(Wire(0))],
+            repetitions: 1,
+        });
+        let flat = inline_all(&db, &main).unwrap();
+        flat.validate_standalone().unwrap();
+        for g in &flat.gates {
+            match g {
+                Gate::QGate { controls, .. } => {
+                    assert!(controls.iter().any(|c| c.wire == Wire(0) && c.positive));
+                }
+                Gate::QInit { .. } | Gate::QTerm { .. } => {}
+                other => panic!("unexpected gate {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn inline_inverted_call_reverses_body() {
+        let mut db = CircuitDb::new();
+        // Body: H then T on one qubit.
+        let mut body = Circuit::with_inputs(vec![q(0)]);
+        body.gates.push(Gate::unary(GateName::H, Wire(0)));
+        body.gates.push(Gate::unary(GateName::T, Wire(0)));
+        let id = db.insert(SubDef { name: "ht".into(), shape: "".into(), circuit: body });
+
+        let mut main = Circuit::with_inputs(vec![q(0)]);
+        main.gates.push(Gate::Subroutine {
+            id,
+            inverted: true,
+            inputs: vec![Wire(0)],
+            outputs: vec![Wire(0)],
+            controls: vec![],
+            repetitions: 1,
+        });
+        let flat = inline_all(&db, &main).unwrap();
+        // Reversed: T† then H.
+        match &flat.gates[0] {
+            Gate::QGate { name: GateName::T, inverted, .. } => assert!(*inverted),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &flat.gates[1] {
+            Gate::QGate { name: GateName::H, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_boxes_inline_recursively() {
+        let mut db = CircuitDb::new();
+        let inner = ancilla_sub(&mut db);
+        let mut mid = Circuit::with_inputs(vec![q(0)]);
+        mid.gates.push(Gate::Subroutine {
+            id: inner,
+            inverted: false,
+            inputs: vec![Wire(0)],
+            outputs: vec![Wire(0)],
+            controls: vec![],
+            repetitions: 3,
+        });
+        let mid_id = db.insert(SubDef { name: "mid".into(), shape: "".into(), circuit: mid });
+
+        let mut main = Circuit::with_inputs(vec![q(0)]);
+        main.gates.push(Gate::Subroutine {
+            id: mid_id,
+            inverted: false,
+            inputs: vec![Wire(0)],
+            outputs: vec![Wire(0)],
+            controls: vec![],
+            repetitions: 2,
+        });
+        let flat = inline_all(&db, &main).unwrap();
+        assert_eq!(flat.gates.len(), 30);
+        flat.validate_standalone().unwrap();
+        // Gate count of the flat circuit agrees with hierarchical counting.
+        let flat_count = crate::count::count(&CircuitDb::new(), &flat);
+        let hier_count = crate::count::count(&db, &main);
+        assert_eq!(flat_count.counts, hier_count.counts);
+        assert_eq!(flat_count.qubits_in_circuit, hier_count.qubits_in_circuit);
+    }
+}

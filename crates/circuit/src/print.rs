@@ -1,0 +1,385 @@
+//! Printing circuits: Quipper's text format and a 2-D ASCII-art renderer.
+//!
+//! Quipper's `print_generic` supports several output formats (paper §4.4.5);
+//! we provide the textual gate-list format (the format Quipper uses for
+//! machine-readable output) and an ASCII-art rendering for small circuits,
+//! standing in for the paper's PostScript/PDF output.
+
+use std::fmt::Write as _;
+
+use crate::circuit::{BCircuit, Circuit, CircuitDb};
+use crate::error::CircuitError;
+use crate::flatten::inline_all;
+use crate::gate::{Gate, GateName};
+use crate::wire::{Control, Wire, WireType};
+
+/// Renders a circuit (and the subroutines it references) in Quipper's textual
+/// gate-list format.
+///
+/// # Examples
+///
+/// ```
+/// use quipper_circuit::{print::to_text, BCircuit, Circuit, Gate, GateName, Wire, WireType};
+///
+/// let mut c = Circuit::with_inputs(vec![(Wire(0), WireType::Quantum)]);
+/// c.gates.push(Gate::unary(GateName::H, Wire(0)));
+/// let text = to_text(&BCircuit::new(Default::default(), c));
+/// assert!(text.contains("QGate[\"H\"](0)"));
+/// ```
+pub fn to_text(bc: &BCircuit) -> String {
+    let names: Vec<String> = bc.db.iter().map(|(_, d)| d.name.clone()).collect();
+    let mut s = String::new();
+    write_circuit(&mut s, &bc.main, &names);
+    for (_, def) in bc.db.iter() {
+        s.push('\n');
+        let _ = writeln!(s, "Subroutine: \"{}\"", def.name);
+        let _ = writeln!(s, "Shape: \"{}\"", def.shape);
+        write_circuit(&mut s, &def.circuit, &names);
+    }
+    s
+}
+
+fn arity_line(label: &str, wires: &[(Wire, WireType)]) -> String {
+    if wires.is_empty() {
+        return format!("{label}: none\n");
+    }
+    let body: Vec<String> = wires.iter().map(|(w, t)| format!("{w}:{t}")).collect();
+    format!("{label}: {}\n", body.join(", "))
+}
+
+fn controls_suffix(controls: &[Control]) -> String {
+    if controls.is_empty() {
+        String::new()
+    } else {
+        let cs: Vec<String> = controls.iter().map(|c| c.to_string()).collect();
+        format!(" with controls=[{}]", cs.join(","))
+    }
+}
+
+fn write_circuit(s: &mut String, c: &Circuit, names: &[String]) {
+    s.push_str(&arity_line("Inputs", &c.inputs));
+    for g in &c.gates {
+        write_gate(s, g, names);
+    }
+    s.push_str(&arity_line("Outputs", &c.outputs));
+}
+
+fn wire_list(ws: &[Wire]) -> String {
+    ws.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(",")
+}
+
+fn write_gate(s: &mut String, g: &Gate, names: &[String]) {
+    match g {
+        Gate::QGate { name, inverted, targets, controls } => {
+            let _ = writeln!(
+                s,
+                "QGate[\"{name}\"]{}({}){}",
+                if *inverted { "*" } else { "" },
+                wire_list(targets),
+                controls_suffix(controls)
+            );
+        }
+        Gate::QRot { name, inverted, angle, targets, controls } => {
+            let _ = writeln!(
+                s,
+                "QRot[\"{name}\",{angle}]{}({}){}",
+                if *inverted { "*" } else { "" },
+                wire_list(targets),
+                controls_suffix(controls)
+            );
+        }
+        Gate::GPhase { angle, controls } => {
+            let _ = writeln!(s, "GPhase[{angle}]{}", controls_suffix(controls));
+        }
+        Gate::QInit { value, wire } => {
+            let _ = writeln!(s, "QInit{}({wire})", u8::from(*value));
+        }
+        Gate::CInit { value, wire } => {
+            let _ = writeln!(s, "CInit{}({wire})", u8::from(*value));
+        }
+        Gate::QTerm { value, wire } => {
+            let _ = writeln!(s, "QTerm{}({wire})", u8::from(*value));
+        }
+        Gate::CTerm { value, wire } => {
+            let _ = writeln!(s, "CTerm{}({wire})", u8::from(*value));
+        }
+        Gate::QMeas { wire } => {
+            let _ = writeln!(s, "QMeas({wire})");
+        }
+        Gate::QDiscard { wire } => {
+            let _ = writeln!(s, "QDiscard({wire})");
+        }
+        Gate::CDiscard { wire } => {
+            let _ = writeln!(s, "CDiscard({wire})");
+        }
+        Gate::CGate { name, inverted, target, inputs } => {
+            let _ = writeln!(
+                s,
+                "CGate[\"{name}\"]{}({target}; {})",
+                if *inverted { "*" } else { "" },
+                wire_list(inputs)
+            );
+        }
+        Gate::Subroutine { id, inverted, inputs, outputs, controls, repetitions } => {
+            let reps = if *repetitions != 1 { format!(" x{repetitions}") } else { String::new() };
+            let name = names
+                .get(id.index())
+                .map(|n| format!("\"{n}\""))
+                .unwrap_or_else(|| format!("#{}", id.index()));
+            let _ = writeln!(
+                s,
+                "Subroutine[{name}]{}{reps}({}) -> ({}){}",
+                if *inverted { "*" } else { "" },
+                wire_list(inputs),
+                wire_list(outputs),
+                controls_suffix(controls)
+            );
+        }
+        Gate::Comment { text, labels } => {
+            let ls: Vec<String> =
+                labels.iter().map(|(w, l)| format!("{w}:\"{l}\"")).collect();
+            let _ = writeln!(s, "Comment[\"{text}\"]({})", ls.join(", "));
+        }
+    }
+}
+
+/// Renders a small circuit as 2-D ASCII art, one row per wire, time flowing
+/// left to right.
+///
+/// Boxed subcircuits are inlined first, so this is only suitable for small
+/// circuits (the function refuses to render more than `max_gates` columns).
+///
+/// # Errors
+///
+/// Returns an error if inlining fails or if the flattened circuit exceeds
+/// `max_gates` gates.
+pub fn to_ascii(db: &CircuitDb, circuit: &Circuit, max_gates: usize) -> Result<String, CircuitError> {
+    let flat = inline_all(db, circuit)?;
+    if flat.gates.len() > max_gates {
+        return Err(CircuitError::OutputMismatch {
+            detail: format!(
+                "circuit too large to render: {} gates (limit {max_gates})",
+                flat.gates.len()
+            ),
+        });
+    }
+    Ok(render_ascii(&flat))
+}
+
+fn render_ascii(c: &Circuit) -> String {
+    // Assign each wire a lane in order of first appearance.
+    let mut lane_of: std::collections::HashMap<Wire, usize> = std::collections::HashMap::new();
+    let mut lanes: Vec<Wire> = Vec::new();
+    let touch = |w: Wire, lane_of: &mut std::collections::HashMap<Wire, usize>, lanes: &mut Vec<Wire>| {
+        lane_of.entry(w).or_insert_with(|| {
+            lanes.push(w);
+            lanes.len() - 1
+        });
+    };
+    for &(w, _) in &c.inputs {
+        touch(w, &mut lane_of, &mut lanes);
+    }
+    for g in &c.gates {
+        g.for_each_wire(&mut |w| touch(w, &mut lane_of, &mut lanes));
+    }
+
+    let n_lanes = lanes.len();
+    // Track which lanes are alive at each column so we can draw wire segments
+    // only inside ancilla scopes.
+    let mut alive = vec![false; n_lanes];
+    for &(w, _) in &c.inputs {
+        alive[lane_of[&w]] = true;
+    }
+
+    // Each gate renders as a fixed-width column of cells, with a wire-segment
+    // column between gates.
+    const W: usize = 5;
+    let mut grid: Vec<String> = vec![String::new(); n_lanes];
+    let pad = |s: &str| -> String {
+        let len = s.chars().count();
+        let left = (W - len.min(W)) / 2;
+        let right = W - len.min(W) - left;
+        format!("{}{}{}", "─".repeat(left), s, "─".repeat(right))
+    };
+    let pad_space = |s: &str| -> String {
+        let len = s.chars().count();
+        let left = (W - len.min(W)) / 2;
+        let right = W - len.min(W) - left;
+        format!("{}{}{}", " ".repeat(left), s, " ".repeat(right))
+    };
+
+    for g in &c.gates {
+        if matches!(g, Gate::Comment { .. }) {
+            continue;
+        }
+        // Which lanes does this gate involve and what symbol goes on each?
+        let mut cells: Vec<Option<String>> = vec![None; n_lanes];
+        let mut span: Option<(usize, usize)> = None;
+        let mut mark = |lane: usize, sym: String, span: &mut Option<(usize, usize)>| {
+            cells[lane] = Some(sym);
+            *span = Some(match span {
+                None => (lane, lane),
+                Some((lo, hi)) => ((*lo).min(lane), (*hi).max(lane)),
+            });
+        };
+        let symbol_for = |name: &GateName, inverted: bool| -> String {
+            match name {
+                GateName::X => "⊕".to_string(),
+                GateName::Swap => "×".to_string(),
+                other => {
+                    format!("{}{}", other, if inverted { "†" } else { "" })
+                }
+            }
+        };
+        match g {
+            Gate::QGate { name, inverted, targets, controls } => {
+                for &t in targets {
+                    mark(lane_of[&t], symbol_for(name, *inverted), &mut span);
+                }
+                for ctl in controls {
+                    mark(lane_of[&ctl.wire], if ctl.positive { "●" } else { "○" }.into(), &mut span);
+                }
+            }
+            Gate::QRot { name, inverted, targets, controls, .. } => {
+                let label: String = if name.contains('Z') { "e".into() } else { "R".into() };
+                for &t in targets {
+                    mark(
+                        lane_of[&t],
+                        format!("[{label}{}]", if *inverted { "†" } else { "" }),
+                        &mut span,
+                    );
+                }
+                for ctl in controls {
+                    mark(lane_of[&ctl.wire], if ctl.positive { "●" } else { "○" }.into(), &mut span);
+                }
+            }
+            Gate::GPhase { controls, .. } => {
+                for ctl in controls {
+                    mark(lane_of[&ctl.wire], if ctl.positive { "●" } else { "○" }.into(), &mut span);
+                }
+            }
+            Gate::QInit { value, wire } | Gate::CInit { value, wire } => {
+                let lane = lane_of[wire];
+                alive[lane] = true;
+                mark(lane, format!("{}⊢", u8::from(*value)), &mut span);
+                span = Some((lane, lane)); // inits never connect vertically
+            }
+            Gate::QTerm { value, wire } | Gate::CTerm { value, wire } => {
+                let lane = lane_of[wire];
+                mark(lane, format!("⊣{}", u8::from(*value)), &mut span);
+                alive[lane] = false;
+                span = Some((lane, lane));
+            }
+            Gate::QMeas { wire } => {
+                mark(lane_of[wire], "◁M▷".into(), &mut span);
+            }
+            Gate::QDiscard { wire } | Gate::CDiscard { wire } => {
+                let lane = lane_of[wire];
+                mark(lane, "⊣".into(), &mut span);
+                alive[lane] = false;
+            }
+            Gate::CGate { target, inputs, .. } => {
+                let lane = lane_of[target];
+                alive[lane] = true;
+                mark(lane, "[C]".into(), &mut span);
+                for &w in inputs {
+                    mark(lane_of[&w], "●".into(), &mut span);
+                }
+            }
+            Gate::Subroutine { inputs, outputs, .. } => {
+                for &w in inputs {
+                    mark(lane_of[&w], "[S]".into(), &mut span);
+                }
+                for &w in outputs {
+                    let lane = lane_of[&w];
+                    alive[lane] = true;
+                    mark(lane, "[S]".into(), &mut span);
+                }
+            }
+            Gate::Comment { .. } => unreachable!(),
+        }
+        // Special-case: init/term just rendered toggled aliveness above; for
+        // QInit the lane becomes alive *at* this column, for QTerm it dies
+        // after it.
+        let (lo, hi) = span.unwrap_or((0, 0));
+        for lane in 0..n_lanes {
+            let cell = match &cells[lane] {
+                Some(sym) => {
+                    if alive[lane] || matches!(c.gates.iter().next(), _) {
+                        pad(sym)
+                    } else {
+                        pad_space(sym)
+                    }
+                }
+                None => {
+                    let on_wire = alive[lane];
+                    let crossed = lane > lo && lane < hi;
+                    match (on_wire, crossed) {
+                        (true, true) => pad("┼"),
+                        (true, false) => "─".repeat(W),
+                        (false, true) => pad_space("│"),
+                        (false, false) => " ".repeat(W),
+                    }
+                }
+            };
+            grid[lane].push_str(&cell);
+        }
+    }
+
+    let mut out = String::new();
+    for (lane, row) in grid.iter().enumerate() {
+        let w = lanes[lane];
+        let _ = writeln!(out, "{:>3} ─{row}─", w.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::BCircuit;
+
+    fn q(w: u32) -> (Wire, WireType) {
+        (Wire(w), WireType::Quantum)
+    }
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::with_inputs(vec![q(0), q(1)]);
+        c.gates.push(Gate::unary(GateName::H, Wire(0)));
+        c.gates.push(Gate::cnot(Wire(1), Wire(0)));
+        c.gates.push(Gate::QInit { value: false, wire: Wire(2) });
+        c.gates.push(Gate::toffoli(Wire(2), Wire(0), Wire(1)));
+        c.gates.push(Gate::QTerm { value: false, wire: Wire(2) });
+        c.recompute_wire_bound();
+        c
+    }
+
+    #[test]
+    fn text_format_lists_gates_in_order() {
+        let text = to_text(&BCircuit::new(CircuitDb::new(), sample()));
+        let h = text.find("QGate[\"H\"](0)").unwrap();
+        let cnot = text.find("QGate[\"not\"](1) with controls=[+0]").unwrap();
+        let init = text.find("QInit0(2)").unwrap();
+        let toff = text.find("QGate[\"not\"](2) with controls=[+0,+1]").unwrap();
+        let term = text.find("QTerm0(2)").unwrap();
+        assert!(h < cnot && cnot < init && init < toff && toff < term);
+        assert!(text.starts_with("Inputs: 0:Qubit, 1:Qubit\n"));
+        assert!(text.trim_end().ends_with("Outputs: 0:Qubit, 1:Qubit"));
+    }
+
+    #[test]
+    fn ascii_renders_each_input_wire_row() {
+        let art = to_ascii(&CircuitDb::new(), &sample(), 100).unwrap();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains('H'));
+        assert!(lines[1].contains('⊕'));
+        assert!(lines[2].contains("0⊢"));
+        assert!(lines[2].contains("⊣0"));
+    }
+
+    #[test]
+    fn ascii_refuses_large_circuits() {
+        assert!(to_ascii(&CircuitDb::new(), &sample(), 2).is_err());
+    }
+}

@@ -1,0 +1,385 @@
+//! OpenQASM 2.0 export.
+//!
+//! The paper separates circuit description from circuit consumption
+//! (§4.4.5); this module is a consumer that lowers a circuit to OpenQASM
+//! 2.0 for interoperability with other toolchains. It also implements the
+//! "register allocation" phase the paper anticipates (§4.2.1): wire
+//! identifiers are virtual, and scoped ancillas are mapped onto a *pool*
+//! of physical qubits — a terminated ancilla's slot is reset and reused by
+//! the next initialization, so the emitted `qreg` has the circuit's peak
+//! width, not its total wire count.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::circuit::{BCircuit, Circuit};
+use crate::error::CircuitError;
+use crate::flatten::inline_all;
+use crate::gate::{Gate, GateName};
+use crate::wire::{Control, Wire};
+
+/// Lowers a hierarchical circuit to OpenQASM 2.0.
+///
+/// Boxed subcircuits are inlined; virtual wires are allocated onto a
+/// physical-qubit pool with reuse across ancilla scopes. Circuits must be
+/// in (at most) the Toffoli gate base with the standard gate vocabulary —
+/// run [`decompose`](https://docs.rs/quipper) first for anything fancier.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::NotControllable`] (reused as "not expressible")
+/// for gates with no OpenQASM 2.0 counterpart: classical logic gates,
+/// custom named gates, gates with more controls than `ccx`/`cswap` allow,
+/// and multiply-controlled phases.
+pub fn to_qasm(bc: &BCircuit) -> Result<String, CircuitError> {
+    let flat = inline_all(&bc.db, &bc.main)?;
+    emit(&flat)
+}
+
+struct Alloc {
+    slot_of: HashMap<Wire, usize>,
+    free: Vec<usize>,
+    next: usize,
+    /// Classical bit allocation (for measurement results).
+    creg_of: HashMap<Wire, usize>,
+    next_creg: usize,
+}
+
+impl Alloc {
+    fn acquire(&mut self, w: Wire) -> usize {
+        let slot = self.free.pop().unwrap_or_else(|| {
+            let s = self.next;
+            self.next += 1;
+            s
+        });
+        self.slot_of.insert(w, slot);
+        slot
+    }
+
+    fn get(&self, w: Wire) -> Result<usize, CircuitError> {
+        self.slot_of.get(&w).copied().ok_or(CircuitError::DeadWire {
+            wire: w,
+            context: "qasm emission".into(),
+        })
+    }
+
+    fn release(&mut self, w: Wire) -> Result<usize, CircuitError> {
+        let slot = self.get(w)?;
+        self.slot_of.remove(&w);
+        self.free.push(slot);
+        Ok(slot)
+    }
+
+    fn creg(&mut self, w: Wire) -> usize {
+        *self.creg_of.entry(w).or_insert_with(|| {
+            let c = self.next_creg;
+            self.next_creg += 1;
+            c
+        })
+    }
+}
+
+fn unsupported(gate: &Gate) -> CircuitError {
+    CircuitError::NotControllable { gate: format!("{} (no OpenQASM 2.0 form)", gate.describe()) }
+}
+
+fn emit(c: &Circuit) -> Result<String, CircuitError> {
+    let mut alloc = Alloc {
+        slot_of: HashMap::new(),
+        free: Vec::new(),
+        next: 0,
+        creg_of: HashMap::new(),
+        next_creg: 0,
+    };
+    for &(w, ty) in &c.inputs {
+        match ty {
+            crate::wire::WireType::Quantum => {
+                alloc.acquire(w);
+            }
+            crate::wire::WireType::Classical => {
+                alloc.creg(w);
+            }
+        }
+    }
+
+    let mut body = String::new();
+    for gate in &c.gates {
+        emit_gate(&mut body, gate, &mut alloc)?;
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "OPENQASM 2.0;");
+    let _ = writeln!(out, "include \"qelib1.inc\";");
+    let _ = writeln!(out, "qreg q[{}];", alloc.next.max(1));
+    if alloc.next_creg > 0 {
+        let _ = writeln!(out, "creg c[{}];", alloc.next_creg);
+    }
+    out.push_str(&body);
+    Ok(out)
+}
+
+/// Splits controls into positive wires, also emitting X-conjugation for
+/// negative controls (returned so the caller can close them).
+fn open_controls(
+    s: &mut String,
+    controls: &[Control],
+    alloc: &Alloc,
+) -> Result<(Vec<usize>, Vec<usize>), CircuitError> {
+    let mut slots = Vec::new();
+    let mut flipped = Vec::new();
+    for c in controls {
+        let slot = alloc.get(c.wire)?;
+        slots.push(slot);
+        if !c.positive {
+            let _ = writeln!(s, "x q[{slot}];");
+            flipped.push(slot);
+        }
+    }
+    Ok((slots, flipped))
+}
+
+fn close_controls(s: &mut String, flipped: &[usize]) {
+    for &slot in flipped.iter().rev() {
+        let _ = writeln!(s, "x q[{slot}];");
+    }
+}
+
+fn emit_gate(s: &mut String, gate: &Gate, alloc: &mut Alloc) -> Result<(), CircuitError> {
+    match gate {
+        Gate::Comment { text, .. } => {
+            let _ = writeln!(s, "// {text}");
+            Ok(())
+        }
+        Gate::QInit { value, wire } => {
+            let slot = alloc.acquire(*wire);
+            let _ = writeln!(s, "reset q[{slot}];");
+            if *value {
+                let _ = writeln!(s, "x q[{slot}];");
+            }
+            Ok(())
+        }
+        Gate::QTerm { wire, .. } | Gate::QDiscard { wire } => {
+            // The slot returns to the pool; physical reset happens at the
+            // next acquisition.
+            alloc.release(*wire)?;
+            Ok(())
+        }
+        Gate::QMeas { wire } => {
+            let slot = alloc.get(*wire)?;
+            let creg = alloc.creg(*wire);
+            let _ = writeln!(s, "measure q[{slot}] -> c[{creg}];");
+            // The wire becomes classical; the qubit slot is reusable.
+            alloc.release(*wire)?;
+            Ok(())
+        }
+        Gate::CInit { .. } | Gate::CTerm { .. } | Gate::CDiscard { .. } | Gate::CGate { .. } => {
+            Err(unsupported(gate))
+        }
+        Gate::GPhase { angle, controls } => match controls.len() {
+            0 => Ok(()), // global phase: unobservable
+            1 => {
+                let (slots, flipped) = open_controls(s, controls, alloc)?;
+                let _ = writeln!(s, "u1({}) q[{}];", angle * std::f64::consts::PI, slots[0]);
+                close_controls(s, &flipped);
+                Ok(())
+            }
+            _ => Err(unsupported(gate)),
+        },
+        Gate::QRot { name, inverted, angle, targets, controls } => {
+            let t = alloc.get(targets[0])?;
+            let sign = if *inverted { -1.0 } else { 1.0 };
+            let (slots, flipped) = open_controls(s, controls, alloc)?;
+            let line = match (&**name, slots.len()) {
+                ("exp(-i%Z)", 0) => format!("rz({}) q[{t}];", 2.0 * sign * angle),
+                ("exp(-i%Z)", 1) => {
+                    format!("crz({}) q[{}],q[{t}];", 2.0 * sign * angle, slots[0])
+                }
+                ("R(%)", 0) => format!("u1({}) q[{t}];", sign * angle),
+                ("R(%)", 1) => format!("cu1({}) q[{}],q[{t}];", sign * angle, slots[0]),
+                ("R(2pi/%)", 0) => {
+                    let phase = 2.0 * std::f64::consts::PI / f64::powf(2.0, *angle);
+                    format!("u1({}) q[{t}];", sign * phase)
+                }
+                ("R(2pi/%)", 1) => {
+                    let phase = 2.0 * std::f64::consts::PI / f64::powf(2.0, *angle);
+                    format!("cu1({}) q[{}],q[{t}];", sign * phase, slots[0])
+                }
+                ("Ry(%)", 0) => format!("ry({}) q[{t}];", sign * angle),
+                ("Ry(%)", 1) => format!("cry({}) q[{}],q[{t}];", sign * angle, slots[0]),
+                _ => return Err(unsupported(gate)),
+            };
+            let _ = writeln!(s, "{line}");
+            close_controls(s, &flipped);
+            Ok(())
+        }
+        Gate::QGate { name, inverted, targets, controls } => {
+            let (slots, flipped) = open_controls(s, controls, alloc)?;
+            let t0 = alloc.get(targets[0])?;
+            let line = match (name, slots.len()) {
+                (GateName::X, 0) => format!("x q[{t0}];"),
+                (GateName::X, 1) => format!("cx q[{}],q[{t0}];", slots[0]),
+                (GateName::X, 2) => format!("ccx q[{}],q[{}],q[{t0}];", slots[0], slots[1]),
+                (GateName::Y, 0) => format!("y q[{t0}];"),
+                (GateName::Y, 1) => format!("cy q[{}],q[{t0}];", slots[0]),
+                (GateName::Z, 0) => format!("z q[{t0}];"),
+                (GateName::Z, 1) => format!("cz q[{}],q[{t0}];", slots[0]),
+                (GateName::H, 0) => format!("h q[{t0}];"),
+                (GateName::H, 1) => format!("ch q[{}],q[{t0}];", slots[0]),
+                (GateName::S, 0) => {
+                    format!("{} q[{t0}];", if *inverted { "sdg" } else { "s" })
+                }
+                (GateName::T, 0) => {
+                    format!("{} q[{t0}];", if *inverted { "tdg" } else { "t" })
+                }
+                (GateName::V, 0) => {
+                    // √X = Rx(π/2) up to global phase.
+                    let a = if *inverted { -1.0 } else { 1.0 };
+                    format!("rx({}) q[{t0}];", a * std::f64::consts::FRAC_PI_2)
+                }
+                (GateName::V, 1) => {
+                    // Controlled-√X: cu3 with the Rx angles plus the phase
+                    // correction cu1(±π/2) on the control.
+                    let a = if *inverted { -1.0 } else { 1.0 };
+                    let half = a * std::f64::consts::FRAC_PI_2;
+                    let _ = writeln!(
+                        s,
+                        "cu3({half},{},{}) q[{}],q[{t0}];",
+                        -std::f64::consts::FRAC_PI_2,
+                        std::f64::consts::FRAC_PI_2,
+                        slots[0]
+                    );
+                    format!("u1({}) q[{}];", a * std::f64::consts::FRAC_PI_4, slots[0])
+                }
+                (GateName::Swap, 0) => {
+                    let t1 = alloc.get(targets[1])?;
+                    format!("swap q[{t0}],q[{t1}];")
+                }
+                (GateName::Swap, 1) => {
+                    let t1 = alloc.get(targets[1])?;
+                    format!("cswap q[{}],q[{t0}],q[{t1}];", slots[0])
+                }
+                (GateName::W, 0) => {
+                    // W = CX(b; a) · CH(a; b) · CX(b; a).
+                    let t1 = alloc.get(targets[1])?;
+                    let _ = writeln!(s, "cx q[{t0}],q[{t1}];");
+                    let _ = writeln!(s, "ch q[{t1}],q[{t0}];");
+                    format!("cx q[{t0}],q[{t1}];")
+                }
+                _ => return Err(unsupported(gate)),
+            };
+            let _ = writeln!(s, "{line}");
+            close_controls(s, &flipped);
+            Ok(())
+        }
+        Gate::Subroutine { .. } => unreachable!("inlined before emission"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitDb;
+    use crate::wire::WireType;
+
+    fn q(w: u32) -> (Wire, WireType) {
+        (Wire(w), WireType::Quantum)
+    }
+
+    #[test]
+    fn bell_pair_emits_standard_gates() {
+        let mut c = Circuit::with_inputs(vec![q(0), q(1)]);
+        c.gates.push(Gate::unary(GateName::H, Wire(0)));
+        c.gates.push(Gate::cnot(Wire(1), Wire(0)));
+        c.gates.push(Gate::QMeas { wire: Wire(0) });
+        c.gates.push(Gate::QMeas { wire: Wire(1) });
+        c.outputs =
+            vec![(Wire(0), WireType::Classical), (Wire(1), WireType::Classical)];
+        let qasm = to_qasm(&BCircuit::new(CircuitDb::new(), c)).unwrap();
+        assert!(qasm.starts_with("OPENQASM 2.0;\n"));
+        assert!(qasm.contains("qreg q[2];"));
+        assert!(qasm.contains("creg c[2];"));
+        assert!(qasm.contains("h q[0];"));
+        assert!(qasm.contains("cx q[0],q[1];"));
+        assert!(qasm.contains("measure q[0] -> c[0];"));
+    }
+
+    #[test]
+    fn ancilla_slots_are_pooled() {
+        // Two sequential scoped ancillas share one physical slot: the qreg
+        // has width 2, not 3.
+        let mut c = Circuit::with_inputs(vec![q(0)]);
+        for _ in 0..2 {
+            let w = Wire(c.wire_bound);
+            c.wire_bound += 1;
+            c.gates.push(Gate::QInit { value: false, wire: w });
+            c.gates.push(Gate::cnot(w, Wire(0)));
+            c.gates.push(Gate::cnot(w, Wire(0)));
+            c.gates.push(Gate::QTerm { value: false, wire: w });
+        }
+        let qasm = to_qasm(&BCircuit::new(CircuitDb::new(), c)).unwrap();
+        assert!(qasm.contains("qreg q[2];"), "pooled allocation:\n{qasm}");
+        // The reuse resets the slot before the second scope.
+        assert_eq!(qasm.matches("reset q[1];").count(), 2);
+    }
+
+    #[test]
+    fn negative_controls_are_conjugated() {
+        let mut c = Circuit::with_inputs(vec![q(0), q(1)]);
+        c.gates.push(Gate::QGate {
+            name: GateName::X,
+            inverted: false,
+            targets: vec![Wire(0)],
+            controls: vec![Control::negative(Wire(1))],
+        });
+        let qasm = to_qasm(&BCircuit::new(CircuitDb::new(), c)).unwrap();
+        let x_count = qasm.matches("x q[1];").count();
+        assert_eq!(x_count, 2, "conjugating X pair:\n{qasm}");
+        assert!(qasm.contains("cx q[1],q[0];"));
+    }
+
+    #[test]
+    fn rotations_map_to_qelib_rotations() {
+        let mut c = Circuit::with_inputs(vec![q(0)]);
+        c.gates.push(Gate::QRot {
+            name: std::sync::Arc::from("exp(-i%Z)"),
+            inverted: false,
+            angle: 0.25,
+            targets: vec![Wire(0)],
+            controls: vec![],
+        });
+        let qasm = to_qasm(&BCircuit::new(CircuitDb::new(), c)).unwrap();
+        assert!(qasm.contains("rz(0.5) q[0];"), "{qasm}");
+    }
+
+    #[test]
+    fn classical_gates_are_rejected() {
+        let mut c = Circuit::default();
+        c.gates.push(Gate::CInit { value: false, wire: Wire(0) });
+        c.outputs = vec![(Wire(0), WireType::Classical)];
+        c.recompute_wire_bound();
+        assert!(to_qasm(&BCircuit::new(CircuitDb::new(), c)).is_err());
+    }
+
+    #[test]
+    fn boxed_circuits_inline_before_emission() {
+        let mut db = CircuitDb::new();
+        let mut body = Circuit::with_inputs(vec![q(0)]);
+        body.gates.push(Gate::unary(GateName::H, Wire(0)));
+        let id = db.insert(crate::circuit::SubDef {
+            name: "h".into(),
+            shape: "".into(),
+            circuit: body,
+        });
+        let mut main = Circuit::with_inputs(vec![q(0)]);
+        main.gates.push(Gate::Subroutine {
+            id,
+            inverted: false,
+            inputs: vec![Wire(0)],
+            outputs: vec![Wire(0)],
+            controls: vec![],
+            repetitions: 3,
+        });
+        let qasm = to_qasm(&BCircuit::new(db, main)).unwrap();
+        assert_eq!(qasm.matches("h q[0];").count(), 3);
+    }
+}

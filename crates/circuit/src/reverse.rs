@@ -1,0 +1,105 @@
+//! Circuit reversal.
+//!
+//! Quipper reverses circuits containing qubit initializations and assertive
+//! terminations "without complaint" (paper §4.2.2): such circuits denote
+//! unitary bijections between the subspaces carved out by the assertions, so
+//! reversal is meaningful. Reversal fails only on genuinely irreversible
+//! gates: measurements, discards and classical gates.
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+
+/// Returns the reverse of `circuit`.
+///
+/// Inputs and outputs are exchanged, the gate list is reversed, and every
+/// gate is replaced by its inverse: initializations become assertive
+/// terminations and vice versa, rotations are inverted, and calls to boxed
+/// subcircuits have their `inverted` flag toggled (the subroutine *body* is
+/// shared, not duplicated).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::NotReversible`] if the circuit contains a
+/// measurement, discard or classical gate.
+///
+/// # Examples
+///
+/// ```
+/// use quipper_circuit::{reverse::reverse_circuit, Circuit, Gate, Wire, WireType};
+///
+/// let mut c = Circuit::with_inputs(vec![(Wire(0), WireType::Quantum)]);
+/// c.gates.push(Gate::QInit { value: false, wire: Wire(1) });
+/// c.gates.push(Gate::cnot(Wire(1), Wire(0)));
+/// c.gates.push(Gate::QTerm { value: false, wire: Wire(1) });
+/// c.recompute_wire_bound();
+///
+/// let r = reverse_circuit(&c)?;
+/// assert_eq!(r.gates.len(), 3);
+/// assert_eq!(r.gates[0], Gate::QInit { value: false, wire: Wire(1) });
+/// # Ok::<(), quipper_circuit::CircuitError>(())
+/// ```
+pub fn reverse_circuit(circuit: &Circuit) -> Result<Circuit, CircuitError> {
+    let mut gates = Vec::with_capacity(circuit.gates.len());
+    for gate in circuit.gates.iter().rev() {
+        gates.push(gate.inverse()?);
+    }
+    Ok(Circuit {
+        inputs: circuit.outputs.clone(),
+        gates,
+        outputs: circuit.inputs.clone(),
+        wire_bound: circuit.wire_bound,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitDb;
+    use crate::gate::{Gate, GateName};
+    use crate::wire::{Wire, WireType};
+
+    fn q(w: u32) -> (Wire, WireType) {
+        (Wire(w), WireType::Quantum)
+    }
+
+    #[test]
+    fn double_reverse_is_identity() {
+        let mut c = Circuit::with_inputs(vec![q(0), q(1)]);
+        c.gates.push(Gate::unary(GateName::H, Wire(0)));
+        c.gates.push(Gate::QInit { value: true, wire: Wire(2) });
+        c.gates.push(Gate::toffoli(Wire(2), Wire(0), Wire(1)));
+        c.gates.push(Gate::QTerm { value: true, wire: Wire(2) });
+        c.recompute_wire_bound();
+        let rr = reverse_circuit(&reverse_circuit(&c).unwrap()).unwrap();
+        assert_eq!(rr, c);
+    }
+
+    #[test]
+    fn reversed_circuit_with_ancillas_validates() {
+        // Reversal of a circuit whose ancilla scope is well-formed is again
+        // well-formed: inits become terms and vice versa (paper §4.2.2).
+        let mut c = Circuit::with_inputs(vec![q(0)]);
+        c.gates.push(Gate::QInit { value: false, wire: Wire(1) });
+        c.gates.push(Gate::cnot(Wire(1), Wire(0)));
+        c.gates.push(Gate::unary(GateName::H, Wire(1)));
+        c.gates.push(Gate::QDiscard { wire: Wire(1) });
+        assert!(reverse_circuit(&c).is_err(), "discard is not reversible");
+
+        let mut c2 = Circuit::with_inputs(vec![q(0)]);
+        c2.gates.push(Gate::QInit { value: false, wire: Wire(1) });
+        c2.gates.push(Gate::cnot(Wire(1), Wire(0)));
+        c2.gates.push(Gate::cnot(Wire(1), Wire(0)));
+        c2.gates.push(Gate::QTerm { value: false, wire: Wire(1) });
+        c2.recompute_wire_bound();
+        let r = reverse_circuit(&c2).unwrap();
+        r.validate(&CircuitDb::new()).unwrap();
+    }
+
+    #[test]
+    fn measurement_blocks_reversal() {
+        let mut c = Circuit::with_inputs(vec![q(0)]);
+        c.gates.push(Gate::QMeas { wire: Wire(0) });
+        c.outputs = vec![(Wire(0), WireType::Classical)];
+        assert!(matches!(reverse_circuit(&c), Err(CircuitError::NotReversible { .. })));
+    }
+}

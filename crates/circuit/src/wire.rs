@@ -1,0 +1,118 @@
+//! Wires and controls.
+//!
+//! A [`Wire`] is an index into the wire space of a [`Circuit`](crate::Circuit):
+//! it names a qubit or classical bit *at a particular point in time*. Wires
+//! are created by initialization gates (or by being circuit inputs) and
+//! destroyed by termination, discard, or by being consumed as subroutine
+//! inputs. The same underlying physical qubit may be represented by several
+//! wires over the lifetime of a circuit — the mapping of wires to physical
+//! qubits is left to a later "register allocation" phase, exactly as the
+//! paper's §4.2.1 prescribes for ancilla pooling.
+
+use std::fmt;
+
+/// A wire identifier inside a circuit.
+///
+/// `Wire` is a plain index; it carries no type information. The wire's type
+/// ([`WireType::Quantum`] or [`WireType::Classical`]) is tracked by the
+/// circuit's arity lists and checked by
+/// [`validate`](crate::validate::validate).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Wire(pub u32);
+
+impl Wire {
+    /// Returns the raw index of this wire.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Wire {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The type of a wire: a qubit or a classical bit.
+///
+/// Quipper's extended circuit model allows classical and quantum data to
+/// co-exist in one circuit (paper §4.2.3). Measurement turns a `Quantum` wire
+/// into a `Classical` one.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum WireType {
+    /// A quantum wire (a qubit).
+    Quantum,
+    /// A classical wire (a bit).
+    Classical,
+}
+
+impl fmt::Display for WireType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireType::Quantum => write!(f, "Qubit"),
+            WireType::Classical => write!(f, "Bit"),
+        }
+    }
+}
+
+/// A control on a gate: a wire together with a polarity.
+///
+/// Positive controls ("filled dots" in circuit diagrams) fire when the wire is
+/// in state |1⟩ (or the classical bit is 1); negative controls ("empty dots")
+/// fire on |0⟩. Controls may be quantum or classical wires — a quantum gate
+/// with a classical control is a classically-controlled gate.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Control {
+    /// The controlling wire.
+    pub wire: Wire,
+    /// `true` for a positive control (fires on 1), `false` for negative.
+    pub positive: bool,
+}
+
+impl Control {
+    /// A positive control on `wire`.
+    pub fn positive(wire: Wire) -> Self {
+        Control { wire, positive: true }
+    }
+
+    /// A negative control on `wire`.
+    pub fn negative(wire: Wire) -> Self {
+        Control { wire, positive: false }
+    }
+}
+
+impl From<Wire> for Control {
+    fn from(wire: Wire) -> Self {
+        Control::positive(wire)
+    }
+}
+
+impl fmt::Display for Control {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.positive { '+' } else { '-' }, self.wire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_display_uses_polarity_sign() {
+        assert_eq!(Control::positive(Wire(3)).to_string(), "+3");
+        assert_eq!(Control::negative(Wire(0)).to_string(), "-0");
+    }
+
+    #[test]
+    fn wire_from_conversion_is_positive() {
+        let c: Control = Wire(7).into();
+        assert!(c.positive);
+        assert_eq!(c.wire, Wire(7));
+    }
+
+    #[test]
+    fn wire_types_display_like_quipper() {
+        assert_eq!(WireType::Quantum.to_string(), "Qubit");
+        assert_eq!(WireType::Classical.to_string(), "Bit");
+    }
+}

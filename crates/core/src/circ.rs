@@ -1,0 +1,1263 @@
+//! The circuit-construction context.
+//!
+//! [`Circ`] is the Rust counterpart of Quipper's `Circ` monad: a context in
+//! which gates are emitted one at a time (the *procedural paradigm*, paper
+//! §4.4.1), while higher-order operators — block structure, reversal,
+//! computation/uncomputation, boxing — manipulate whole subcircuits (paper
+//! §4.4.2–4.4.4). Where Quipper writes
+//!
+//! ```text
+//! mycirc a b = do
+//!   a <- hadamard a
+//!   b <- hadamard b
+//!   (a,b) <- controlled_not a b
+//!   return (a,b)
+//! ```
+//!
+//! the Rust version is
+//!
+//! ```
+//! use quipper::{Circ, Qubit};
+//!
+//! fn mycirc(c: &mut Circ, a: Qubit, b: Qubit) -> (Qubit, Qubit) {
+//!     c.hadamard(a);
+//!     c.hadamard(b);
+//!     c.cnot(b, a);
+//!     (a, b)
+//! }
+//!
+//! let circ = Circ::build(&(false, false), |c, (a, b)| mycirc(c, a, b));
+//! assert_eq!(circ.gate_count().total(), 3);
+//! ```
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use quipper_circuit::reverse::reverse_circuit;
+use quipper_circuit::validate::apply_gate;
+use quipper_circuit::{
+    BCircuit, BoxId, Circuit, CircuitDb, Control, Gate, GateName, SubDef, Wire, WireType,
+};
+
+use crate::qdata::{Bit, ControlSpec, QCData, Qubit, WireSource};
+use crate::shape::Shape;
+
+/// State shared between a parent [`Circ`] and the child contexts used to
+/// build boxed subcircuits.
+struct SharedState {
+    db: CircuitDb,
+    /// For each boxed subcircuit, the output-value template (with the
+    /// subroutine's local wire ids), so that a cached box can be re-emitted
+    /// without re-running its builder.
+    templates: HashMap<BoxId, Box<dyn Any>>,
+}
+
+/// A dynamic-lifting backend: something that can execute the circuit
+/// generated so far and report the boolean value of a classical wire.
+///
+/// Dynamic lifting converts a [`Bit`] (an execution-time value) into a `bool`
+/// (a generation-time parameter), suspending circuit generation while the
+/// pending circuit runs on a quantum device (paper §4.3.1–4.3.2). The
+/// `quipper-sim` crate provides a simulator-backed implementation.
+pub trait Lifter {
+    /// Executes `new_gates` (the gates emitted since the previous call) and
+    /// returns the value measured on classical wire `bit`.
+    fn lift(&mut self, new_gates: &[Gate], db: &CircuitDb, bit: Wire) -> bool;
+}
+
+/// The circuit-construction context ("the `Circ` monad").
+///
+/// A `Circ` accumulates gates; qubits are held in variables of type
+/// [`Qubit`] and gates are applied to them one at a time. Well-formedness
+/// (liveness, no-cloning, wire types) is checked *as gates are emitted*: this
+/// is the run-time enforcement of properties that a linear type system would
+/// check statically (paper §4.1).
+///
+/// # Panics
+///
+/// Gate-emitting methods panic on ill-formed use: applying a gate to a dead
+/// or duplicated wire, measuring under controls, and so on. These are
+/// programming errors in the circuit under construction, analogous to index
+/// out of bounds.
+pub struct Circ {
+    shared: Rc<RefCell<SharedState>>,
+    gates: Vec<Gate>,
+    inputs: Vec<(Wire, WireType)>,
+    alive: HashMap<Wire, WireType>,
+    next_wire: u32,
+    controls: Vec<Control>,
+    /// Nesting depth at which the control context is suppressed (for
+    /// `without_controls`).
+    lifter: Option<Rc<RefCell<dyn Lifter>>>,
+    /// Number of leading gates already executed by the lifter.
+    executed: usize,
+}
+
+impl Default for Circ {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Circ {
+    /// Creates an empty context with no inputs.
+    pub fn new() -> Circ {
+        Circ {
+            shared: Rc::new(RefCell::new(SharedState {
+                db: CircuitDb::new(),
+                templates: HashMap::new(),
+            })),
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            alive: HashMap::new(),
+            next_wire: 0,
+            controls: Vec::new(),
+            lifter: None,
+            executed: 0,
+        }
+    }
+
+    /// Builds a complete circuit from a shape and a circuit-generating
+    /// function: the inputs have the shape of `shape` (whose parameter
+    /// values are ignored), and the outputs are whatever the function
+    /// returns.
+    ///
+    /// This is the usual top-level entry point, corresponding to passing a
+    /// circuit-generating function and a shape argument to Quipper's
+    /// `print_generic`.
+    pub fn build<S: Shape, B: QCData>(
+        shape: &S,
+        f: impl FnOnce(&mut Circ, S::Q) -> B,
+    ) -> BCircuit {
+        let mut c = Circ::new();
+        let input = c.input(shape);
+        let out = f(&mut c, input);
+        c.finish(&out)
+    }
+
+    /// Installs a dynamic-lifting backend; see [`Circ::dynamic_lift`].
+    pub fn set_lifter(&mut self, lifter: Rc<RefCell<dyn Lifter>>) {
+        self.lifter = Some(lifter);
+    }
+
+    // ------------------------------------------------------------------
+    // Wire allocation and bookkeeping
+    // ------------------------------------------------------------------
+
+    pub(crate) fn fresh_wire(&mut self) -> Wire {
+        let w = Wire(self.next_wire);
+        self.next_wire += 1;
+        w
+    }
+
+    /// Appends fresh *input* wires shaped like `shape` (parameter values are
+    /// ignored; only the shape matters). Inputs are conceptually present
+    /// from the start of the circuit.
+    pub fn input<S: Shape>(&mut self, shape: &S) -> S::Q {
+        S::make_input(shape, self)
+    }
+
+    pub(crate) fn add_input_wire(&mut self, ty: WireType) -> Wire {
+        let w = self.fresh_wire();
+        self.inputs.push((w, ty));
+        self.alive.insert(w, ty);
+        w
+    }
+
+    /// The number of gates emitted so far (including comments).
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether no gates have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Whether the given data is entirely alive in this context.
+    pub fn is_alive(&self, data: &impl QCData) -> bool {
+        let mut ok = true;
+        data.for_each_wire(&mut |w, t| ok &= self.alive.get(&w) == Some(&t));
+        ok
+    }
+
+    /// Finishes the circuit, declaring `outputs` as the circuit outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any wire is still alive that is not part of `outputs`, or
+    /// vice versa (every allocated wire must be explicitly terminated,
+    /// discarded, measured-and-returned, or returned).
+    pub fn finish<B: QCData>(self, outputs: &B) -> BCircuit {
+        let (db, circuit) = self.finish_raw(outputs.wires());
+        BCircuit::new(db, circuit)
+    }
+
+    fn finish_raw(self, outputs: Vec<(Wire, WireType)>) -> (CircuitDb, Circuit) {
+        let mut remaining = self.alive.clone();
+        for &(w, t) in &outputs {
+            match remaining.remove(&w) {
+                Some(found) if found == t => {}
+                Some(found) => panic!(
+                    "circuit output wire {w} has type {found}, but the output value claims {t}"
+                ),
+                None => panic!("circuit output wire {w} is not alive"),
+            }
+        }
+        assert!(
+            remaining.is_empty(),
+            "wires still alive at the end of circuit construction but not returned as outputs: {:?}",
+            {
+                let mut ws: Vec<u32> = remaining.keys().map(|w| w.0).collect();
+                ws.sort_unstable();
+                ws
+            }
+        );
+        let circuit = Circuit {
+            inputs: self.inputs,
+            gates: self.gates,
+            outputs,
+            wire_bound: self.next_wire,
+        };
+        let db = match Rc::try_unwrap(self.shared) {
+            Ok(cell) => cell.into_inner().db,
+            Err(rc) => rc.borrow().db.clone(),
+        };
+        (db, circuit)
+    }
+
+    // ------------------------------------------------------------------
+    // The emit pipeline
+    // ------------------------------------------------------------------
+
+    /// Emits a raw gate, applying the current control context and updating
+    /// liveness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate is ill-formed in the current context.
+    pub fn emit(&mut self, gate: Gate) {
+        let gate = match gate.with_controls(&self.controls) {
+            Ok(g) => g,
+            Err(e) => panic!("cannot control gate: {e}"),
+        };
+        let shared = self.shared.borrow();
+        if let Err(e) = apply_gate(&shared.db, &gate, &mut self.alive) {
+            panic!("ill-formed gate emitted: {e}");
+        }
+        drop(shared);
+        self.gates.push(gate);
+    }
+
+    // ------------------------------------------------------------------
+    // Basic gates (the procedural paradigm, paper §4.4.1)
+    // ------------------------------------------------------------------
+
+    /// Initializes a fresh qubit to |b⟩.
+    pub fn qinit_bit(&mut self, b: bool) -> Qubit {
+        let w = self.fresh_wire();
+        self.emit(Gate::QInit { value: b, wire: w });
+        Qubit(w)
+    }
+
+    /// Initializes quantum data from a parameter, e.g. a pair of qubits from
+    /// a pair of booleans (`qinit (False, False)` in the paper's §4.5).
+    pub fn qinit<S: Shape>(&mut self, param: &S) -> S::Q {
+        S::qinit(param, self)
+    }
+
+    /// Initializes a fresh classical bit.
+    pub fn cinit_bit(&mut self, b: bool) -> Bit {
+        let w = self.fresh_wire();
+        self.emit(Gate::CInit { value: b, wire: w });
+        Bit(w)
+    }
+
+    /// Initializes classical data from a parameter.
+    pub fn cinit<S: Shape>(&mut self, param: &S) -> S::C {
+        S::cinit(param, self)
+    }
+
+    /// Terminates a qubit, asserting it is in state |b⟩ (paper §4.2.2).
+    pub fn qterm_bit(&mut self, b: bool, q: Qubit) {
+        self.emit(Gate::QTerm { value: b, wire: q.0 });
+    }
+
+    /// Terminates quantum data, asserting it equals the given parameter.
+    pub fn qterm<S: Shape>(&mut self, param: &S, data: S::Q) {
+        S::qterm(param, self, data);
+    }
+
+    /// Terminates a classical bit, asserting its value.
+    pub fn cterm_bit(&mut self, b: bool, x: Bit) {
+        self.emit(Gate::CTerm { value: b, wire: x.0 });
+    }
+
+    /// Discards a qubit without an assertion (possibly leaving a mixed
+    /// state).
+    pub fn qdiscard(&mut self, q: Qubit) {
+        self.emit(Gate::QDiscard { wire: q.0 });
+    }
+
+    /// Discards a classical bit.
+    pub fn cdiscard(&mut self, b: Bit) {
+        self.emit(Gate::CDiscard { wire: b.0 });
+    }
+
+    /// Discards classical or quantum data without assertions.
+    pub fn discard(&mut self, data: &impl QCData) {
+        for (w, t) in data.wires() {
+            match t {
+                WireType::Quantum => self.emit(Gate::QDiscard { wire: w }),
+                WireType::Classical => self.emit(Gate::CDiscard { wire: w }),
+            }
+        }
+    }
+
+    /// Measures a qubit, yielding a classical bit.
+    pub fn measure_bit(&mut self, q: Qubit) -> Bit {
+        self.emit(Gate::QMeas { wire: q.0 });
+        Bit(q.0)
+    }
+
+    /// Measures quantum data wholesale, yielding classical data of the same
+    /// shape.
+    pub fn measure<M: crate::shape::Measurable>(&mut self, data: M) -> M::Outcome {
+        data.measure_in(self)
+    }
+
+    /// Applies a named single-qubit gate.
+    pub fn gate(&mut self, name: GateName, q: Qubit) {
+        self.emit(Gate::QGate { name, inverted: false, targets: vec![q.0], controls: vec![] });
+    }
+
+    /// Applies the inverse of a named single-qubit gate.
+    pub fn gate_inv(&mut self, name: GateName, q: Qubit) {
+        self.emit(Gate::QGate { name, inverted: true, targets: vec![q.0], controls: vec![] });
+    }
+
+    /// Hadamard gate.
+    pub fn hadamard(&mut self, q: Qubit) {
+        self.gate(GateName::H, q);
+    }
+
+    /// Not gate (Pauli X).
+    pub fn qnot(&mut self, q: Qubit) {
+        self.gate(GateName::X, q);
+    }
+
+    /// Pauli Y.
+    pub fn gate_y(&mut self, q: Qubit) {
+        self.gate(GateName::Y, q);
+    }
+
+    /// Pauli Z.
+    pub fn gate_z(&mut self, q: Qubit) {
+        self.gate(GateName::Z, q);
+    }
+
+    /// Phase gate S.
+    pub fn gate_s(&mut self, q: Qubit) {
+        self.gate(GateName::S, q);
+    }
+
+    /// π/8 gate T.
+    pub fn gate_t(&mut self, q: Qubit) {
+        self.gate(GateName::T, q);
+    }
+
+    /// V = √X.
+    pub fn gate_v(&mut self, q: Qubit) {
+        self.gate(GateName::V, q);
+    }
+
+    /// Controlled not.
+    pub fn cnot(&mut self, target: Qubit, control: Qubit) {
+        self.emit(Gate::cnot(target.0, control.0));
+    }
+
+    /// Toffoli gate (not with two positive controls).
+    pub fn toffoli(&mut self, target: Qubit, c1: Qubit, c2: Qubit) {
+        self.emit(Gate::toffoli(target.0, c1.0, c2.0));
+    }
+
+    /// A not gate with arbitrary signed controls — Quipper's
+    /// ``qnot x `controlled` (a, b)``.
+    pub fn qnot_ctrl(&mut self, target: Qubit, controls: &impl ControlSpec) {
+        self.emit(Gate::QGate {
+            name: GateName::X,
+            inverted: false,
+            targets: vec![target.0],
+            controls: controls.to_controls(),
+        });
+    }
+
+    /// A named gate with arbitrary signed controls.
+    pub fn gate_ctrl(&mut self, name: GateName, target: Qubit, controls: &impl ControlSpec) {
+        self.emit(Gate::QGate {
+            name,
+            inverted: false,
+            targets: vec![target.0],
+            controls: controls.to_controls(),
+        });
+    }
+
+    /// Swap gate.
+    pub fn swap(&mut self, a: Qubit, b: Qubit) {
+        self.emit(Gate::QGate {
+            name: GateName::Swap,
+            inverted: false,
+            targets: vec![a.0, b.0],
+            controls: vec![],
+        });
+    }
+
+    /// The two-qubit W gate of the Binary Welded Tree algorithm (Figure 1).
+    pub fn gate_w(&mut self, a: Qubit, b: Qubit) {
+        self.emit(Gate::QGate {
+            name: GateName::W,
+            inverted: false,
+            targets: vec![a.0, b.0],
+            controls: vec![],
+        });
+    }
+
+    /// The inverse W gate.
+    pub fn gate_w_inv(&mut self, a: Qubit, b: Qubit) {
+        self.emit(Gate::QGate {
+            name: GateName::W,
+            inverted: true,
+            targets: vec![a.0, b.0],
+            controls: vec![],
+        });
+    }
+
+    /// Applies a controlled-not between each corresponding pair of qubits of
+    /// two equal-shaped quantum data structures (`controlled_not` of paper
+    /// §4.5): each wire of `target` is flipped conditioned on nothing, with
+    /// the corresponding wire of `control` as control.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two structures have different numbers of wires.
+    pub fn controlled_not<Q: QCData>(&mut self, target: &Q, control: &Q) {
+        let tw = target.wires();
+        let cw = control.wires();
+        assert_eq!(tw.len(), cw.len(), "controlled_not: shapes of target and control differ");
+        for (&(t, _), &(c, _)) in tw.iter().zip(cw.iter()) {
+            self.emit(Gate::cnot(t, c));
+        }
+    }
+
+    /// The rotation e^{−iZt} on one qubit, as used in the Binary Welded Tree
+    /// diffusion step.
+    pub fn exp_zt(&mut self, t: f64, q: Qubit) {
+        self.rot("exp(-i%Z)", t, q);
+    }
+
+    /// The QFT rotation R(2π/2ⁿ) = diag(1, e^{2πi/2ⁿ}).
+    pub fn rgate(&mut self, n: u32, q: Qubit) {
+        self.rot("R(2pi/%)", f64::from(n), q);
+    }
+
+    /// A named rotation gate with a real parameter.
+    pub fn rot(&mut self, name: &str, angle: f64, q: Qubit) {
+        self.emit(Gate::QRot {
+            name: Arc::from(name),
+            inverted: false,
+            angle,
+            targets: vec![q.0],
+            controls: vec![],
+        });
+    }
+
+    /// A named rotation with signed controls.
+    pub fn rot_ctrl(&mut self, name: &str, angle: f64, q: Qubit, controls: &impl ControlSpec) {
+        self.emit(Gate::QRot {
+            name: Arc::from(name),
+            inverted: false,
+            angle,
+            targets: vec![q.0],
+            controls: controls.to_controls(),
+        });
+    }
+
+    /// A global phase e^{iπ·angle}.
+    pub fn gphase(&mut self, angle: f64) {
+        self.emit(Gate::GPhase { angle, controls: vec![] });
+    }
+
+    /// A custom named gate on arbitrarily many target qubits.
+    pub fn named_gate(&mut self, name: &str, targets: &[Qubit]) {
+        self.emit(Gate::QGate {
+            name: GateName::named(name),
+            inverted: false,
+            targets: targets.iter().map(|q| q.0).collect(),
+            controls: vec![],
+        });
+    }
+
+    /// Inserts a comment into the circuit.
+    pub fn comment(&mut self, text: &str) {
+        self.emit(Gate::Comment { text: text.to_string(), labels: vec![] });
+    }
+
+    /// Inserts a comment labeling the wires of `data` as `name[0]`,
+    /// `name[1]`, … — Quipper's `comment_with_label`, which "has proven to be
+    /// quite useful in reading large circuits" (paper §5.3.1).
+    pub fn comment_with_label(&mut self, text: &str, data: &impl QCData, name: &str) {
+        self.comment_with_labels(text, &[(data, name)]);
+    }
+
+    /// Inserts a comment labeling several registers at once.
+    pub fn comment_with_labels(&mut self, text: &str, parts: &[(&dyn WireSource, &str)]) {
+        let mut labels = Vec::new();
+        for (src, name) in parts {
+            let mut i = 0usize;
+            let mut count = 0usize;
+            src.visit_wires(&mut |_, _| count += 1);
+            src.visit_wires(&mut |w, _| {
+                if count == 1 {
+                    labels.push((w, (*name).to_string()));
+                } else {
+                    labels.push((w, format!("{name}[{i}]")));
+                }
+                i += 1;
+            });
+        }
+        self.emit(Gate::Comment { text: text.to_string(), labels });
+    }
+
+    // ------------------------------------------------------------------
+    // Block structure (paper §4.4.2)
+    // ------------------------------------------------------------------
+
+    /// Lets an entire block of gates be controlled by the given condition —
+    /// Quipper's `with_controls` / `controlled`.
+    ///
+    /// Ancilla initializations and terminations inside the block remain
+    /// uncontrolled (they are control-neutral), everything else receives the
+    /// controls.
+    pub fn with_controls<R>(
+        &mut self,
+        controls: &impl ControlSpec,
+        f: impl FnOnce(&mut Circ) -> R,
+    ) -> R {
+        let added = controls.to_controls();
+        let depth = self.controls.len();
+        self.controls.extend(added);
+        let r = f(self);
+        self.controls.truncate(depth);
+        r
+    }
+
+    /// Suppresses the ambient control context inside the block — Quipper's
+    /// `without_controls`. The programmer asserts that the block is
+    /// control-neutral (its effect commutes with being controlled).
+    pub fn without_controls<R>(&mut self, f: impl FnOnce(&mut Circ) -> R) -> R {
+        let saved = std::mem::take(&mut self.controls);
+        let r = f(self);
+        self.controls = saved;
+        r
+    }
+
+    /// Provides an ancilla qubit, initialized to |0⟩, to a block of gates;
+    /// the block must return it to |0⟩ (Quipper's `with_ancilla`).
+    pub fn with_ancilla<R>(&mut self, f: impl FnOnce(&mut Circ, Qubit) -> R) -> R {
+        let q = self.qinit_bit(false);
+        let r = f(self, q);
+        self.qterm_bit(false, q);
+        r
+    }
+
+    /// Provides a block with ancilla data initialized from a parameter
+    /// (Quipper's `with_ancilla_init`); the block must restore the data to
+    /// that same state.
+    pub fn with_ancilla_init<S: Shape, R>(
+        &mut self,
+        param: &S,
+        f: impl FnOnce(&mut Circ, S::Q) -> R,
+    ) -> R {
+        let data = self.qinit(param);
+        let (data, r) = {
+            let r = f(self, data.clone());
+            (data, r)
+        };
+        self.qterm(param, data);
+        r
+    }
+
+    /// Computes intermediate data, uses it, then automatically uncomputes it
+    /// — Quipper's `with_computed_fun` (paper §5.3.1): "the first block of
+    /// code … is reversed once the second block of code has been applied."
+    ///
+    /// The compute and uncompute phases run with the ambient control context
+    /// suppressed: if the surrounding controls are false the compute phase is
+    /// exactly undone by the uncompute phase, so suppressing the controls is
+    /// semantically sound and produces far fewer controlled gates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quipper::{Circ, Qubit};
+    ///
+    /// // Compute a ∧ b into an ancilla, use it, and uncompute it.
+    /// let bc = Circ::build(&(false, false, false), |c, (a, b, t): (Qubit, Qubit, Qubit)| {
+    ///     c.with_computed(
+    ///         |c| {
+    ///             let anc = c.qinit_bit(false);
+    ///             c.toffoli(anc, a, b);
+    ///             anc
+    ///         },
+    ///         |c, &anc| c.cnot(t, anc),
+    ///     );
+    ///     (a, b, t)
+    /// });
+    /// // init + toffoli + cnot + toffoli + term: the ancilla scope closes.
+    /// assert_eq!(bc.gate_count().total(), 5);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compute phase contains irreversible gates, or if the
+    /// use phase consumed wires created by the compute phase.
+    pub fn with_computed<B: QCData, R>(
+        &mut self,
+        compute: impl FnOnce(&mut Circ) -> B,
+        use_: impl FnOnce(&mut Circ, &B) -> R,
+    ) -> R {
+        let saved = std::mem::take(&mut self.controls);
+        let start = self.gates.len();
+        let b = compute(self);
+        let mid = self.gates.len();
+        self.controls = saved;
+
+        let r = use_(self, &b);
+
+        let saved = std::mem::take(&mut self.controls);
+        // Append the inverse of the compute phase, in reverse order. The
+        // gates act on the same wires, so no remapping is needed.
+        let to_undo: Vec<Gate> = self.gates[start..mid].to_vec();
+        for g in to_undo.iter().rev() {
+            match g.inverse() {
+                Ok(inv) => self.emit(inv),
+                Err(e) => panic!("with_computed: compute phase is not reversible: {e}"),
+            }
+        }
+        self.controls = saved;
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-circuit operators (paper §4.4.3)
+    // ------------------------------------------------------------------
+
+    /// Builds the circuit of `f` in a child context with fresh input wires
+    /// shaped like `shape`, returning the circuit, the formal input wires in
+    /// traversal order, and the output value (in the child's wire space).
+    pub(crate) fn build_subcircuit<S: Shape, B: QCData>(
+        &self,
+        shape: &S,
+        f: impl FnOnce(&mut Circ, S::Q) -> B,
+    ) -> (Circuit, B) {
+        let mut child = Circ {
+            shared: Rc::clone(&self.shared),
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            alive: HashMap::new(),
+            next_wire: 0,
+            controls: Vec::new(),
+            lifter: None,
+            executed: 0,
+        };
+        let input = child.input(shape);
+        let out = f(&mut child, input);
+        let outputs = out.wires();
+        // Check wires are consistent, then build the circuit (not via
+        // finish_raw, which would consume the shared db).
+        let mut remaining = child.alive.clone();
+        for &(w, t) in &outputs {
+            match remaining.remove(&w) {
+                Some(found) if found == t => {}
+                _ => panic!("subcircuit output wire {w} is dead or has the wrong type"),
+            }
+        }
+        assert!(
+            remaining.is_empty(),
+            "subcircuit leaves wires alive that are not outputs: {remaining:?}"
+        );
+        let circuit = Circuit {
+            inputs: child.inputs,
+            gates: child.gates,
+            outputs,
+            wire_bound: child.next_wire,
+        };
+        (circuit, out)
+    }
+
+    /// Appends a copy of `circuit` to this context, binding `circuit`'s
+    /// input wires to `actuals` and allocating fresh wires for everything
+    /// else. Returns the mapping from `circuit` wires to wires of this
+    /// context.
+    pub(crate) fn append_circuit(
+        &mut self,
+        circuit: &Circuit,
+        actuals: &[Wire],
+    ) -> HashMap<Wire, Wire> {
+        assert_eq!(
+            circuit.inputs.len(),
+            actuals.len(),
+            "append_circuit: arity mismatch between circuit formals and actuals"
+        );
+        let mut map: HashMap<Wire, Wire> = HashMap::new();
+        for (&(formal, _), &actual) in circuit.inputs.iter().zip(actuals) {
+            map.insert(formal, actual);
+        }
+        for gate in circuit.gates.clone() {
+            let mut fresh_needed: Vec<Wire> = Vec::new();
+            gate.for_each_wire(&mut |w| {
+                if !map.contains_key(&w) && !fresh_needed.contains(&w) {
+                    fresh_needed.push(w);
+                }
+            });
+            for w in fresh_needed {
+                let fresh = self.fresh_wire();
+                map.insert(w, fresh);
+            }
+            let remapped = gate.map_wires(&mut |w| map[&w]);
+            self.emit(remapped);
+        }
+        map
+    }
+
+    /// Applies the *reverse* of the circuit-generating function `f` —
+    /// Quipper's `reverse_simple`. The `shape` argument describes the input
+    /// shape of `f` (its wire ids are ignored); `input` is fed to the
+    /// reversed circuit and the value that `f` would have consumed is
+    /// returned.
+    ///
+    /// Circuits containing qubit initializations and assertive terminations
+    /// reverse without complaint (paper §4.2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit of `f` contains irreversible gates, or if
+    /// `input` does not match the output shape of `f`.
+    pub fn reverse_simple<S: Shape, B: QCData>(
+        &mut self,
+        shape: &S,
+        f: impl FnOnce(&mut Circ, S::Q) -> B,
+        input: B,
+    ) -> S::Q {
+        let (circuit, _out_template) = self.build_subcircuit(shape, f);
+        let reversed = match reverse_circuit(&circuit) {
+            Ok(r) => r,
+            Err(e) => panic!("reverse_simple: {e}"),
+        };
+        let actuals: Vec<Wire> = input.wires().iter().map(|&(w, _)| w).collect();
+        let map = self.append_circuit(&reversed, &actuals);
+        // The reversed circuit's outputs are the original inputs, i.e. the
+        // formal wires of shape S::Q in traversal order.
+        let landed: Vec<Wire> = reversed.outputs.iter().map(|&(w, _)| map[&w]).collect();
+        let mut it = landed.into_iter();
+        let dummy = S::make_dummy(shape);
+        dummy.map_wires(&mut |_, _| it.next().expect("arity mismatch rebuilding reversed input"))
+    }
+
+    // ------------------------------------------------------------------
+    // Boxed subcircuits (paper §4.4.4)
+    // ------------------------------------------------------------------
+
+    /// Runs `f` as a *boxed subcircuit*: the body is generated once per
+    /// (name, input-shape) pair and stored in the subroutine database; each
+    /// use emits a single subroutine-call gate.
+    ///
+    /// The name, together with the input shape signature and the optional
+    /// key, must uniquely determine the circuit: if a box with the same key
+    /// already exists, `f` is *not* run again.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quipper::{Circ, Qubit};
+    ///
+    /// let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+    ///     let mut ab = (a, b);
+    ///     for _ in 0..100 {
+    ///         ab = c.box_circ("step", ab, |c, (a, b): (Qubit, Qubit)| {
+    ///             c.hadamard(a);
+    ///             c.cnot(b, a);
+    ///             (a, b)
+    ///         });
+    ///     }
+    ///     ab
+    /// });
+    /// // One stored definition, 100 call gates, 200 aggregate gates.
+    /// assert_eq!(bc.db.len(), 1);
+    /// assert_eq!(bc.main.gates.len(), 100);
+    /// assert_eq!(bc.gate_count().total(), 200);
+    /// ```
+    pub fn box_circ<A: QCData, B: QCData + 'static>(
+        &mut self,
+        name: &str,
+        input: A,
+        f: impl FnOnce(&mut Circ, A) -> B,
+    ) -> B {
+        self.box_circ_keyed(name, "", input, f)
+    }
+
+    /// Like [`Circ::box_circ`], with an extra key distinguishing instances
+    /// that have the same input shape but different generation parameters.
+    pub fn box_circ_keyed<A: QCData, B: QCData + 'static>(
+        &mut self,
+        name: &str,
+        key: &str,
+        input: A,
+        f: impl FnOnce(&mut Circ, A) -> B,
+    ) -> B {
+        let id = self.ensure_box(name, key, &input, f);
+        self.emit_box_call(id, &input, 1)
+    }
+
+    /// Runs `f` as a boxed subcircuit iterated `repetitions` times — the
+    /// body is stored once and the call gate carries the repetition count,
+    /// so a trillion-gate loop occupies constant memory.
+    ///
+    /// Requires the subroutine to map its input shape to itself.
+    pub fn box_repeat<A: QCData + 'static>(
+        &mut self,
+        name: &str,
+        key: &str,
+        repetitions: u64,
+        input: A,
+        f: impl FnOnce(&mut Circ, A) -> A,
+    ) -> A {
+        if repetitions == 0 {
+            return input;
+        }
+        let id = self.ensure_box(name, key, &input, f);
+        self.emit_box_call(id, &input, repetitions)
+    }
+
+    /// Runs the *inverse* of a boxed subcircuit.
+    ///
+    /// The box is created (forward) if it does not yet exist; a single
+    /// inverted call gate is emitted. `input` must have the *output* shape
+    /// of `f`; the value `f` would have consumed is returned.
+    pub fn box_circ_inverse<A: QCData + 'static, B: QCData + 'static>(
+        &mut self,
+        name: &str,
+        key: &str,
+        shape: &A,
+        f: impl FnOnce(&mut Circ, A) -> B,
+        input: B,
+    ) -> A {
+        // Build (or fetch) the forward box, keyed on the *shape* input.
+        let shape_sig = shape.type_signature();
+        let full_key = format!("{shape_sig}/{key}");
+        let existing = self.shared.borrow().db.find(name, &full_key);
+        let id = match existing {
+            Some(id) => id,
+            None => {
+                let (circuit, out) = self.build_subcircuit_qc(shape, f);
+                let mut shared = self.shared.borrow_mut();
+                let id = shared.db.insert(SubDef {
+                    name: name.to_string(),
+                    shape: full_key,
+                    circuit,
+                });
+                shared.templates.insert(id, Box::new(out));
+                id
+            }
+        };
+        // Emit the inverted call: inputs are `input`'s wires, outputs fresh
+        // wires shaped like the definition's inputs, i.e. like `shape`.
+        let def_inputs: Vec<(Wire, WireType)> = {
+            let shared = self.shared.borrow();
+            shared.db.get(id).expect("box just ensured").circuit.inputs.clone()
+        };
+        let ins = input.wires();
+        let in_wires: Vec<Wire> = ins.iter().map(|&(w, _)| w).collect();
+        // As for forward calls: reuse input wires positionally where types
+        // match (the inverse call's outputs are the definition's inputs).
+        let mut out_wires = Vec::with_capacity(def_inputs.len());
+        for (j, &(_, t)) in def_inputs.iter().enumerate() {
+            match ins.get(j) {
+                Some(&(iw, it)) if it == t => out_wires.push(iw),
+                _ => out_wires.push(self.fresh_wire()),
+            }
+        }
+        self.emit(Gate::Subroutine {
+            id,
+            inverted: true,
+            inputs: in_wires,
+            outputs: out_wires.clone(),
+            controls: vec![],
+            repetitions: 1,
+        });
+        let mut it = out_wires.into_iter();
+        shape.map_wires(&mut |_, _| it.next().expect("arity mismatch"))
+    }
+
+    fn ensure_box<A: QCData, B: QCData + 'static>(
+        &mut self,
+        name: &str,
+        key: &str,
+        input: &A,
+        f: impl FnOnce(&mut Circ, A) -> B,
+    ) -> BoxId {
+        let shape_sig = input.type_signature();
+        let full_key = format!("{shape_sig}/{key}");
+        let existing = self.shared.borrow().db.find(name, &full_key);
+        match existing {
+            Some(id) => id,
+            None => {
+                let (circuit, out) = self.build_subcircuit_qc(input, f);
+                let mut shared = self.shared.borrow_mut();
+                let id = shared.db.insert(SubDef {
+                    name: name.to_string(),
+                    shape: full_key,
+                    circuit,
+                });
+                shared.templates.insert(id, Box::new(out));
+                id
+            }
+        }
+    }
+
+    /// Like `build_subcircuit` but taking the input shape from a `QCData`
+    /// value rather than a `Shape` parameter.
+    fn build_subcircuit_qc<A: QCData, B: QCData>(
+        &self,
+        input: &A,
+        f: impl FnOnce(&mut Circ, A) -> B,
+    ) -> (Circuit, B) {
+        let mut child = Circ {
+            shared: Rc::clone(&self.shared),
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            alive: HashMap::new(),
+            next_wire: 0,
+            controls: Vec::new(),
+            lifter: None,
+            executed: 0,
+        };
+        let formal = input.map_wires(&mut |_, t| child.add_input_wire(t));
+        let out = f(&mut child, formal);
+        let outputs = out.wires();
+        let mut remaining = child.alive.clone();
+        for &(w, t) in &outputs {
+            match remaining.remove(&w) {
+                Some(found) if found == t => {}
+                _ => panic!("boxed subcircuit output wire {w} is dead or has the wrong type"),
+            }
+        }
+        assert!(
+            remaining.is_empty(),
+            "boxed subcircuit leaves non-output wires alive: {remaining:?}"
+        );
+        let circuit = Circuit {
+            inputs: child.inputs,
+            gates: child.gates,
+            outputs,
+            wire_bound: child.next_wire,
+        };
+        (circuit, out)
+    }
+
+    fn emit_box_call<A: QCData, B: QCData + 'static>(
+        &mut self,
+        id: BoxId,
+        input: &A,
+        repetitions: u64,
+    ) -> B {
+        // Fetch the stored output template and the definition's output order.
+        let (template, def_outputs): (B, Vec<(Wire, WireType)>) = {
+            let shared = self.shared.borrow();
+            let def = shared.db.get(id).expect("box id just ensured");
+            let template = shared
+                .templates
+                .get(&id)
+                .and_then(|t| t.downcast_ref::<B>())
+                .unwrap_or_else(|| {
+                    panic!(
+                        "boxed subcircuit \"{}\" reused with a different output type",
+                        def.name
+                    )
+                })
+                .clone();
+            (template, def.circuit.outputs.clone())
+        };
+        let ins = input.wires();
+        let in_wires: Vec<Wire> = ins.iter().map(|&(w, _)| w).collect();
+        // Bind output wires. Where the output arity positionally extends the
+        // input arity (same wire types), reuse the input wire ids, so that
+        // pass-through registers keep their identity across the call — this
+        // is what lets boxed subroutines compose with `with_computed` and
+        // `reverse_simple`, as in Quipper. Extra outputs get fresh wires.
+        let mut def_to_parent: HashMap<Wire, Wire> = HashMap::new();
+        let mut out_wires = Vec::with_capacity(def_outputs.len());
+        for (j, &(w, t)) in def_outputs.iter().enumerate() {
+            let bound = match ins.get(j) {
+                Some(&(iw, it)) if it == t => iw,
+                _ => self.fresh_wire(),
+            };
+            def_to_parent.insert(w, bound);
+            out_wires.push(bound);
+        }
+        self.emit(Gate::Subroutine {
+            id,
+            inverted: false,
+            inputs: in_wires,
+            outputs: out_wires,
+            controls: vec![],
+            repetitions,
+        });
+        template.map_wires(&mut |w, _| def_to_parent[&w])
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic lifting (paper §4.3)
+    // ------------------------------------------------------------------
+
+    /// Converts a [`Bit`] (an execution-time value) into a `bool` (a
+    /// generation-time parameter) by running the circuit generated so far on
+    /// the installed [`Lifter`] backend — Quipper's *dynamic lifting*, "an
+    /// expensive operation, requiring circuit execution to be suspended
+    /// while the next part of the circuit is generated" (paper §4.3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no lifter is installed (see [`Circ::set_lifter`]) or if the
+    /// wire is not a live classical wire.
+    pub fn dynamic_lift(&mut self, bit: Bit) -> bool {
+        assert_eq!(
+            self.alive.get(&bit.0),
+            Some(&WireType::Classical),
+            "dynamic_lift: wire {} is not a live classical wire",
+            bit.0
+        );
+        let lifter = self
+            .lifter
+            .clone()
+            .expect("dynamic_lift requires a Lifter backend (Circ::set_lifter)");
+        let pending = &self.gates[self.executed..];
+        let shared = self.shared.borrow();
+        let value = lifter.borrow_mut().lift(pending, &shared.db, bit.0);
+        drop(shared);
+        self.executed = self.gates.len();
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quipper_circuit::count::GateClass;
+    use quipper_circuit::ClassKind;
+
+    fn not_count(bc: &BCircuit, pos: u16, neg: u16) -> u128 {
+        bc.gate_count().get(&GateClass {
+            kind: ClassKind::Unitary { name: GateName::X, inverted: false },
+            pos,
+            neg,
+        })
+    }
+
+    #[test]
+    fn build_simple_circuit() {
+        let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+            c.hadamard(a);
+            c.hadamard(b);
+            c.cnot(b, a);
+            (a, b)
+        });
+        bc.validate().unwrap();
+        assert_eq!(bc.gate_count().total(), 3);
+    }
+
+    #[test]
+    fn with_controls_adds_controls_to_block() {
+        let bc = Circ::build(&(false, false, false), |c, (a, b, ctl): (Qubit, Qubit, Qubit)| {
+            c.with_controls(&ctl, |c| {
+                c.cnot(b, a);
+                c.hadamard(a);
+            });
+            (a, b, ctl)
+        });
+        bc.validate().unwrap();
+        // The CNOT gained a control: it now has 2.
+        assert_eq!(not_count(&bc, 2, 0), 1);
+    }
+
+    #[test]
+    fn with_ancilla_scopes_cleanly() {
+        let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+            c.with_ancilla(|c, x| {
+                c.qnot_ctrl(x, &(a, b));
+                c.gate_ctrl(GateName::H, b, &x);
+                c.qnot_ctrl(x, &(a, b));
+            });
+            (a, b)
+        });
+        bc.validate().unwrap();
+        let gc = bc.gate_count();
+        assert_eq!(gc.qubits_in_circuit, 3);
+        assert_eq!(gc.by_name("Init0", 0, 0), 1);
+        assert_eq!(gc.by_name("Term0", 0, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wires still alive")]
+    fn leaked_ancilla_panics_at_finish() {
+        let mut c = Circ::new();
+        let q = c.input(&false);
+        let _leaked = c.qinit_bit(false);
+        let _ = c.finish(&q);
+    }
+
+    #[test]
+    #[should_panic(expected = "clone")]
+    fn cnot_on_same_wire_panics() {
+        let mut c = Circ::new();
+        let q = c.input(&false);
+        c.cnot(q, q);
+    }
+
+    #[test]
+    fn with_computed_uncomputes() {
+        let bc = Circ::build(&vec![false; 3], |c, qs: Vec<Qubit>| {
+            c.with_computed(
+                |c| {
+                    let anc = c.qinit_bit(false);
+                    c.toffoli(anc, qs[0], qs[1]);
+                    anc
+                },
+                |c, &anc| {
+                    c.cnot(qs[2], anc);
+                },
+            );
+            qs
+        });
+        bc.validate().unwrap();
+        let gc = bc.gate_count();
+        // compute: init + toffoli; use: cnot; uncompute: toffoli + term.
+        assert_eq!(gc.total(), 5);
+        assert_eq!(not_count(&bc, 2, 0), 2);
+        assert_eq!(not_count(&bc, 1, 0), 1);
+    }
+
+    #[test]
+    fn with_computed_under_controls_controls_only_the_use_phase() {
+        let bc = Circ::build(&(false, false), |c, (q, ctl): (Qubit, Qubit)| {
+            c.with_controls(&ctl, |c| {
+                c.with_computed(
+                    |c| {
+                        let anc = c.qinit_bit(false);
+                        c.cnot(anc, q);
+                        anc
+                    },
+                    |c, &anc| c.cnot(q, anc),
+                );
+            });
+            (q, ctl)
+        });
+        bc.validate().unwrap();
+        // compute and uncompute CNOTs stay single-controlled; only the use
+        // CNOT gets the extra control.
+        assert_eq!(not_count(&bc, 1, 0), 2);
+        assert_eq!(not_count(&bc, 2, 0), 1);
+    }
+
+    #[test]
+    fn reverse_simple_inverts_a_function() {
+        // f adds an X then an S to one qubit; its reverse is S† then X.
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            let q2 = c.reverse_simple(
+                &false,
+                |c, q: Qubit| {
+                    c.qnot(q);
+                    c.gate_s(q);
+                    q
+                },
+                q,
+            );
+            q2
+        });
+        bc.validate().unwrap();
+        let text = quipper_circuit::print::to_text(&bc);
+        let s_pos = text.find("QGate[\"S\"]*").expect("inverted S");
+        let x_pos = text.find("QGate[\"not\"]").expect("not gate");
+        assert!(s_pos < x_pos, "reverse order: S† must come before X");
+    }
+
+    #[test]
+    fn boxed_subcircuit_is_stored_once() {
+        let bc = Circ::build(&vec![false; 2], |c, qs: Vec<Qubit>| {
+            let mut qs = qs;
+            for _ in 0..10 {
+                qs = c.box_circ("rot", qs, |c, qs: Vec<Qubit>| {
+                    c.hadamard(qs[0]);
+                    c.cnot(qs[1], qs[0]);
+                    qs
+                });
+            }
+            qs
+        });
+        bc.validate().unwrap();
+        assert_eq!(bc.db.len(), 1);
+        // Main circuit holds 10 call gates; aggregate count sees 20 gates.
+        assert_eq!(bc.main.gates.len(), 10);
+        assert_eq!(bc.gate_count().total(), 20);
+    }
+
+    #[test]
+    fn box_repeat_multiplies_counts_without_expanding() {
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.box_repeat("spin", "", 1_000_000_000, q, |c, q| {
+                c.hadamard(q);
+                c.gate_t(q);
+                q
+            })
+        });
+        bc.validate().unwrap();
+        assert_eq!(bc.main.gates.len(), 1);
+        assert_eq!(bc.gate_count().total(), 2_000_000_000);
+    }
+
+    #[test]
+    fn box_circ_inverse_emits_inverted_call() {
+        let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+            let f = |c: &mut Circ, (a, b): (Qubit, Qubit)| {
+                c.cnot(b, a);
+                c.gate_t(a);
+                (a, b)
+            };
+            let (a, b) = c.box_circ("f", (a, b), f);
+            let (a, b) = c.box_circ_inverse("f", "", &(a, b), f, (a, b));
+            (a, b)
+        });
+        bc.validate().unwrap();
+        assert_eq!(bc.db.len(), 1);
+        let gc = bc.gate_count();
+        // One T and one T*.
+        assert_eq!(gc.by_name("\"T\"", 0, 0), 1);
+        assert_eq!(gc.by_name("\"T*\"", 0, 0), 1);
+    }
+
+    #[test]
+    fn measure_and_discard() {
+        let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+            c.hadamard(a);
+            let m = c.measure_bit(a);
+            c.qdiscard(b);
+            m
+        });
+        bc.validate().unwrap();
+        assert_eq!(bc.main.outputs.len(), 1);
+        assert_eq!(bc.main.outputs[0].1, WireType::Classical);
+    }
+}

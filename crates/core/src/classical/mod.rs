@@ -1,0 +1,474 @@
+//! Automatic generation of quantum oracles from classical code.
+//!
+//! "The implementation of a quantum oracle 'by hand' usually requires four
+//! separate steps" (paper §4.6.1): write the classical program; translate it
+//! to a classical circuit; lift that to a quantum circuit with ancillas; and
+//! make it reversible, uncomputing the scratch space. Quipper automates all
+//! but the first step with the Template Haskell–based `build_circuit`
+//! keyword. Rust has no Template Haskell, so this module provides the
+//! closest native equivalent: classical programs are written against the
+//! [`BExpr`] boolean-expression DSL (with full operator overloading, plus
+//! the fixed-width integers of [`word::CWord`]), producing a hash-consed
+//! classical circuit DAG ([`CDag`]); the synthesis pass in [`synth`] then
+//! performs steps 2–4, exactly mirroring `template_f` / `unpack` /
+//! `classical_to_reversible`.
+//!
+//! # Example: the paper's parity oracle
+//!
+//! ```
+//! use quipper::classical::{Dag, synth};
+//! use quipper::{Circ, Qubit};
+//!
+//! // f :: [Bool] -> Bool ;  f = foldr xor False
+//! let dag = Dag::build(4, |b, xs| vec![xs.iter().fold(b.constant(false), |acc, x| acc ^ x.clone())]);
+//! assert_eq!(dag.eval(&[true, false, true, true]), vec![true]);
+//!
+//! // classical_to_reversible (unpack template_f)
+//! let circ = Circ::build(&(vec![false; 4], false), |c, (xs, target): (Vec<Qubit>, Qubit)| {
+//!     synth::classical_to_reversible(c, &dag, &xs, &[target]);
+//!     (xs, target)
+//! });
+//! circ.validate().unwrap();
+//! ```
+
+pub mod synth;
+pub mod word;
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+use std::rc::Rc;
+
+/// A node of the classical circuit DAG.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) enum Node {
+    Input(u32),
+    Const(bool),
+    Not(u32),
+    And(u32, u32),
+    Or(u32, u32),
+    Xor(u32, u32),
+}
+
+#[derive(Debug)]
+struct DagInner {
+    nodes: Vec<Node>,
+    cache: HashMap<Node, u32>,
+    hashcons: bool,
+    n_inputs: u32,
+}
+
+impl DagInner {
+    fn push(&mut self, node: Node) -> u32 {
+        if self.hashcons {
+            if let Some(&id) = self.cache.get(&node) {
+                return id;
+            }
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(node);
+        if self.hashcons {
+            self.cache.insert(node, id);
+        }
+        id
+    }
+
+    /// Smart constructor with local simplifications (constant folding,
+    /// double negation, idempotence) and commutative normalization.
+    fn mk(&mut self, node: Node) -> u32 {
+        use Node::*;
+        let node = match node {
+            And(a, b) | Or(a, b) | Xor(a, b) if a > b => match node {
+                And(..) => And(b, a),
+                Or(..) => Or(b, a),
+                Xor(..) => Xor(b, a),
+                _ => unreachable!(),
+            },
+            n => n,
+        };
+        match node {
+            Not(x) => match self.nodes[x as usize] {
+                Const(b) => self.push(Const(!b)),
+                Not(y) => y,
+                _ => self.push(node),
+            },
+            And(a, b) => match (self.nodes[a as usize], self.nodes[b as usize]) {
+                (Const(false), _) | (_, Const(false)) => self.push(Const(false)),
+                (Const(true), _) => b,
+                (_, Const(true)) => a,
+                _ if a == b => a,
+                (Not(x), _) if x == b => self.push(Const(false)),
+                (_, Not(y)) if y == a => self.push(Const(false)),
+                _ => self.push(node),
+            },
+            Or(a, b) => match (self.nodes[a as usize], self.nodes[b as usize]) {
+                (Const(true), _) | (_, Const(true)) => self.push(Const(true)),
+                (Const(false), _) => b,
+                (_, Const(false)) => a,
+                _ if a == b => a,
+                (Not(x), _) if x == b => self.push(Const(true)),
+                (_, Not(y)) if y == a => self.push(Const(true)),
+                _ => self.push(node),
+            },
+            Xor(a, b) => match (self.nodes[a as usize], self.nodes[b as usize]) {
+                (Const(false), _) => b,
+                (_, Const(false)) => a,
+                (Const(true), _) => self.mk(Not(b)),
+                (_, Const(true)) => self.mk(Not(a)),
+                _ if a == b => self.push(Const(false)),
+                _ => self.push(node),
+            },
+            n => self.push(n),
+        }
+    }
+}
+
+/// A builder for classical circuit DAGs.
+///
+/// Hash-consing (structural sharing of identical subexpressions) is enabled
+/// by default; [`Dag::new_without_sharing`] disables it, which is used by the
+/// sharing ablation benchmark.
+#[derive(Clone, Debug)]
+pub struct Dag {
+    inner: Rc<RefCell<DagInner>>,
+}
+
+impl Dag {
+    /// Creates a builder with hash-consing enabled.
+    pub fn new(n_inputs: u32) -> Dag {
+        Self::with_sharing(n_inputs, true)
+    }
+
+    /// Creates a builder with hash-consing disabled (every operation
+    /// allocates a fresh node).
+    pub fn new_without_sharing(n_inputs: u32) -> Dag {
+        Self::with_sharing(n_inputs, false)
+    }
+
+    fn with_sharing(n_inputs: u32, hashcons: bool) -> Dag {
+        let mut inner = DagInner {
+            nodes: Vec::new(),
+            cache: HashMap::new(),
+            hashcons,
+            n_inputs,
+        };
+        for i in 0..n_inputs {
+            // Inputs are always the first n nodes, never deduplicated away.
+            inner.nodes.push(Node::Input(i));
+        }
+        Dag { inner: Rc::new(RefCell::new(inner)) }
+    }
+
+    /// One-shot construction: create a builder with `n_inputs` inputs, run
+    /// `f` on them, and freeze the result.
+    pub fn build(n_inputs: u32, f: impl FnOnce(&Dag, &[BExpr]) -> Vec<BExpr>) -> CDag {
+        let dag = Dag::new(n_inputs);
+        let inputs = dag.inputs();
+        let outputs = f(&dag, &inputs);
+        dag.finish(&outputs)
+    }
+
+    /// The input expressions, in order.
+    pub fn inputs(&self) -> Vec<BExpr> {
+        let n = self.inner.borrow().n_inputs;
+        (0..n).map(|i| BExpr { id: i, dag: Rc::clone(&self.inner) }).collect()
+    }
+
+    /// A constant expression.
+    pub fn constant(&self, b: bool) -> BExpr {
+        let id = self.inner.borrow_mut().mk(Node::Const(b));
+        BExpr { id, dag: Rc::clone(&self.inner) }
+    }
+
+    /// Freezes the DAG with the given outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any output belongs to a different builder.
+    pub fn finish(&self, outputs: &[BExpr]) -> CDag {
+        let inner = self.inner.borrow();
+        let outs: Vec<u32> = outputs
+            .iter()
+            .map(|e| {
+                assert!(
+                    Rc::ptr_eq(&e.dag, &self.inner),
+                    "output expression belongs to a different Dag builder"
+                );
+                e.id
+            })
+            .collect();
+        CDag { nodes: inner.nodes.clone(), n_inputs: inner.n_inputs, outputs: outs }
+    }
+}
+
+/// A boolean expression handle in a [`Dag`].
+///
+/// Supports `&` (and), `|` (or), `^` (xor) and `!` (not) via operator
+/// overloading, plus [`BExpr::mux`] for selection.
+#[derive(Clone)]
+pub struct BExpr {
+    id: u32,
+    dag: Rc<RefCell<DagInner>>,
+}
+
+impl fmt::Debug for BExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BExpr(#{})", self.id)
+    }
+}
+
+impl BExpr {
+    fn binop(self, rhs: BExpr, mk: impl FnOnce(u32, u32) -> Node) -> BExpr {
+        assert!(
+            Rc::ptr_eq(&self.dag, &rhs.dag),
+            "cannot combine expressions from different Dag builders"
+        );
+        let id = self.dag.borrow_mut().mk(mk(self.id, rhs.id));
+        BExpr { id, dag: self.dag }
+    }
+
+    /// Multiplexer: `if self then t else e`, built as `e ⊕ (self ∧ (t ⊕ e))`
+    /// (two gates instead of three).
+    pub fn mux(&self, t: &BExpr, e: &BExpr) -> BExpr {
+        let diff = t.clone() ^ e.clone();
+        let gated = self.clone() & diff;
+        e.clone() ^ gated
+    }
+
+    /// `self == other` as an expression.
+    pub fn eq_expr(&self, other: &BExpr) -> BExpr {
+        !(self.clone() ^ other.clone())
+    }
+}
+
+impl BitAnd for BExpr {
+    type Output = BExpr;
+
+    fn bitand(self, rhs: BExpr) -> BExpr {
+        self.binop(rhs, Node::And)
+    }
+}
+
+impl BitOr for BExpr {
+    type Output = BExpr;
+
+    fn bitor(self, rhs: BExpr) -> BExpr {
+        self.binop(rhs, Node::Or)
+    }
+}
+
+impl BitXor for BExpr {
+    type Output = BExpr;
+
+    fn bitxor(self, rhs: BExpr) -> BExpr {
+        self.binop(rhs, Node::Xor)
+    }
+}
+
+impl Not for BExpr {
+    type Output = BExpr;
+
+    fn not(self) -> BExpr {
+        let id = self.dag.borrow_mut().mk(Node::Not(self.id));
+        BExpr { id, dag: self.dag }
+    }
+}
+
+impl BitAnd for &BExpr {
+    type Output = BExpr;
+
+    fn bitand(self, rhs: &BExpr) -> BExpr {
+        self.clone() & rhs.clone()
+    }
+}
+
+impl BitOr for &BExpr {
+    type Output = BExpr;
+
+    fn bitor(self, rhs: &BExpr) -> BExpr {
+        self.clone() | rhs.clone()
+    }
+}
+
+impl BitXor for &BExpr {
+    type Output = BExpr;
+
+    fn bitxor(self, rhs: &BExpr) -> BExpr {
+        self.clone() ^ rhs.clone()
+    }
+}
+
+impl Not for &BExpr {
+    type Output = BExpr;
+
+    fn not(self) -> BExpr {
+        !self.clone()
+    }
+}
+
+/// A frozen classical circuit DAG: the output of step 2 of the paper's
+/// oracle pipeline.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CDag {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) n_inputs: u32,
+    pub(crate) outputs: Vec<u32>,
+}
+
+/// A breakdown of a [`CDag`] by node kind.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct DagProfile {
+    /// AND nodes (each costs one Toffoli when synthesized).
+    pub ands: usize,
+    /// OR nodes (one Toffoli with negative controls).
+    pub ors: usize,
+    /// XOR nodes (two CNOTs).
+    pub xors: usize,
+    /// NOT nodes (free: tracked as polarity).
+    pub nots: usize,
+    /// Constant nodes.
+    pub consts: usize,
+}
+
+impl CDag {
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.n_inputs as usize
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Total number of nodes, including inputs.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node-kind profile.
+    pub fn profile(&self) -> DagProfile {
+        let mut p = DagProfile::default();
+        for n in &self.nodes {
+            match n {
+                Node::And(..) => p.ands += 1,
+                Node::Or(..) => p.ors += 1,
+                Node::Xor(..) => p.xors += 1,
+                Node::Not(..) => p.nots += 1,
+                Node::Const(..) => p.consts += 1,
+                Node::Input(..) => {}
+            }
+        }
+        p
+    }
+
+    /// Evaluates the classical function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` has the wrong length.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.n_inputs as usize, "eval: wrong number of inputs");
+        let mut vals: Vec<bool> = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            let v = match *n {
+                Node::Input(i) => inputs[i as usize],
+                Node::Const(b) => b,
+                Node::Not(x) => !vals[x as usize],
+                Node::And(a, b) => vals[a as usize] && vals[b as usize],
+                Node::Or(a, b) => vals[a as usize] || vals[b as usize],
+                Node::Xor(a, b) => vals[a as usize] ^ vals[b as usize],
+            };
+            vals.push(v);
+        }
+        self.outputs.iter().map(|&o| vals[o as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_dag_evaluates() {
+        let dag = Dag::build(4, |b, xs| {
+            vec![xs.iter().fold(b.constant(false), |acc, x| acc ^ x.clone())]
+        });
+        assert_eq!(dag.eval(&[false, false, false, false]), vec![false]);
+        assert_eq!(dag.eval(&[true, false, true, false]), vec![false]);
+        assert_eq!(dag.eval(&[true, false, false, false]), vec![true]);
+        assert_eq!(dag.eval(&[true, true, true, false]), vec![true]);
+    }
+
+    #[test]
+    fn hash_consing_shares_identical_subterms() {
+        let dag = Dag::new(2);
+        let xs = dag.inputs();
+        let a = &xs[0] & &xs[1];
+        let b = &xs[1] & &xs[0]; // commuted: still shared
+        let frozen = dag.finish(&[a.clone() ^ b.clone()]);
+        // xor(x, x) folds to const false: 2 inputs + 1 and + 1 const.
+        assert_eq!(frozen.num_nodes(), 4);
+        assert_eq!(frozen.eval(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn without_sharing_duplicates() {
+        let dag = Dag::new_without_sharing(2);
+        let xs = dag.inputs();
+        let a = &xs[0] & &xs[1];
+        let b = &xs[0] & &xs[1];
+        let frozen = dag.finish(&[a, b]);
+        // 2 inputs + 2 separate AND nodes.
+        assert_eq!(frozen.num_nodes(), 4);
+        assert_eq!(frozen.profile().ands, 2);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let dag = Dag::new(1);
+        let xs = dag.inputs();
+        let t = dag.constant(true);
+        let f = dag.constant(false);
+        let e1 = &xs[0] & &t; // = x
+        let e2 = &xs[0] & &f; // = false
+        let e3 = &xs[0] | &t; // = true
+        let e4 = !!(xs[0].clone()); // = x
+        let frozen = dag.finish(&[e1, e2, e3, e4]);
+        assert_eq!(frozen.eval(&[true]), vec![true, false, true, true]);
+        assert_eq!(frozen.eval(&[false]), vec![false, false, true, false]);
+        assert_eq!(frozen.profile().ands, 0);
+        assert_eq!(frozen.profile().ors, 0);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let dag = Dag::new(3);
+        let xs = dag.inputs();
+        let m = xs[0].mux(&xs[1], &xs[2]);
+        let frozen = dag.finish(&[m]);
+        assert_eq!(frozen.eval(&[true, true, false]), vec![true]);
+        assert_eq!(frozen.eval(&[false, true, false]), vec![false]);
+        assert_eq!(frozen.eval(&[true, false, true]), vec![false]);
+        assert_eq!(frozen.eval(&[false, false, true]), vec![true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different Dag builders")]
+    fn mixing_builders_panics() {
+        let d1 = Dag::new(1);
+        let d2 = Dag::new(1);
+        let _ = d1.inputs()[0].clone() & d2.inputs()[0].clone();
+    }
+
+    #[test]
+    fn complement_annihilates() {
+        let dag = Dag::new(1);
+        let xs = dag.inputs();
+        let e = &xs[0] & &!(&xs[0]);
+        let frozen = dag.finish(&[e]);
+        assert_eq!(frozen.profile().ands, 0);
+        assert_eq!(frozen.eval(&[true]), vec![false]);
+    }
+}

@@ -1,0 +1,543 @@
+//! Synthesis of reversible quantum circuits from classical DAGs.
+//!
+//! This performs steps 2–4 of the paper's oracle pipeline (§4.6.1):
+//! the classical circuit is lifted to a quantum circuit, introducing one
+//! ancilla per logic node to hold intermediate values (`template_f` /
+//! `unpack`); [`classical_to_reversible`] then wraps the computation in the
+//! standard (x, y) ↦ (x, y ⊕ f(x)) trick, uncomputing all scratch space —
+//! exactly reproducing the two parity-oracle circuits shown in the paper.
+//!
+//! NOT gates are free: negation is tracked as a polarity flag and realized
+//! as negative controls (or as the initialization value when materializing
+//! outputs), so a NOT-heavy classical program costs no quantum gates.
+
+use crate::circ::Circ;
+use crate::classical::{CDag, Node};
+use crate::qdata::Qubit;
+use quipper_circuit::{Control, Gate, GateName};
+
+/// How a DAG node's value is represented during synthesis.
+#[derive(Copy, Clone, Debug)]
+enum Rep {
+    /// A known constant.
+    Const(bool),
+    /// `wire ⊕ negated`.
+    Wire(Qubit, bool),
+}
+
+impl Rep {
+    /// The control that fires when this value is 1, or `None` for constants.
+    fn control(self) -> Option<Control> {
+        match self {
+            Rep::Const(_) => None,
+            Rep::Wire(q, negated) => Some(Control { wire: q.wire(), positive: !negated }),
+        }
+    }
+}
+
+/// Lifts the classical DAG to a quantum computation — the analogue of
+/// `unpack template_f :: [Qubit] -> Circ Qubit`.
+///
+/// Returns `(outputs, scratch)`. One ancilla is allocated per logic node
+/// (AND, OR, XOR); those ancillas **remain alive** as scratch space, exactly
+/// like the two scratch qubits in the paper's 4-bit parity circuit, and are
+/// returned in `scratch`. Use [`classical_to_reversible`] (or wrap in
+/// [`Circ::with_computed`]) to uncompute them.
+///
+/// # Panics
+///
+/// Panics if `inputs` does not match the DAG's input count.
+pub fn synthesize_compute(c: &mut Circ, dag: &CDag, inputs: &[Qubit]) -> (Vec<Qubit>, Vec<Qubit>) {
+    assert_eq!(
+        inputs.len(),
+        dag.n_inputs as usize,
+        "synthesize_compute: {} input qubits supplied for a {}-input oracle",
+        inputs.len(),
+        dag.n_inputs
+    );
+    let mut scratch: Vec<Qubit> = Vec::new();
+    let mut reps: Vec<Rep> = Vec::with_capacity(dag.nodes.len());
+    for node in &dag.nodes {
+        let rep = match *node {
+            Node::Input(i) => Rep::Wire(inputs[i as usize], false),
+            Node::Const(b) => Rep::Const(b),
+            Node::Not(x) => match reps[x as usize] {
+                Rep::Const(b) => Rep::Const(!b),
+                Rep::Wire(q, neg) => Rep::Wire(q, !neg),
+            },
+            Node::Xor(a, b) => synth_xor(c, reps[a as usize], reps[b as usize], &mut scratch),
+            Node::And(a, b) => {
+                synth_and(c, reps[a as usize], reps[b as usize], false, &mut scratch)
+            }
+            Node::Or(a, b) => {
+                // a ∨ b = ¬(¬a ∧ ¬b): complement both controls, negate result.
+                let na = complement(reps[a as usize]);
+                let nb = complement(reps[b as usize]);
+                complement(synth_and(c, na, nb, false, &mut scratch))
+            }
+        };
+        reps.push(rep);
+    }
+    let outputs = dag
+        .outputs
+        .iter()
+        .map(|&o| materialize(c, reps[o as usize], &mut scratch))
+        .collect();
+    (outputs, scratch)
+}
+
+fn complement(r: Rep) -> Rep {
+    match r {
+        Rep::Const(b) => Rep::Const(!b),
+        Rep::Wire(q, neg) => Rep::Wire(q, !neg),
+    }
+}
+
+fn synth_xor(c: &mut Circ, a: Rep, b: Rep, scratch: &mut Vec<Qubit>) -> Rep {
+    match (a, b) {
+        (Rep::Const(x), Rep::Const(y)) => Rep::Const(x ^ y),
+        (Rep::Const(x), Rep::Wire(q, neg)) | (Rep::Wire(q, neg), Rep::Const(x)) => {
+            Rep::Wire(q, neg ^ x)
+        }
+        (Rep::Wire(qa, na), Rep::Wire(qb, nb)) => {
+            let anc = c.qinit_bit(false);
+            scratch.push(anc);
+            c.cnot(anc, qa);
+            c.cnot(anc, qb);
+            Rep::Wire(anc, na ^ nb)
+        }
+    }
+}
+
+fn synth_and(c: &mut Circ, a: Rep, b: Rep, negate_result: bool, scratch: &mut Vec<Qubit>) -> Rep {
+    match (a, b) {
+        (Rep::Const(x), Rep::Const(y)) => Rep::Const((x && y) ^ negate_result),
+        (Rep::Const(false), _) | (_, Rep::Const(false)) => Rep::Const(negate_result),
+        (Rep::Const(true), w) | (w, Rep::Const(true)) => {
+            if negate_result {
+                complement(w)
+            } else {
+                w
+            }
+        }
+        (wa @ Rep::Wire(..), wb @ Rep::Wire(..)) => {
+            let anc = c.qinit_bit(false);
+            scratch.push(anc);
+            let controls = vec![
+                wa.control().expect("wire rep"),
+                wb.control().expect("wire rep"),
+            ];
+            c.emit(Gate::QGate {
+                name: GateName::X,
+                inverted: false,
+                targets: vec![anc.wire()],
+                controls,
+            });
+            Rep::Wire(anc, negate_result)
+        }
+    }
+}
+
+/// Produces a positively-represented qubit holding the value of `r`.
+///
+/// If the value already lives in a scratch ancilla, that ancilla is promoted
+/// to be the output (with an X gate if the representation was negated) —
+/// this is why the paper's 4-input parity circuit uses 2 scratch qubits, not
+/// 3: the last XOR lands directly on the output wire.
+fn materialize(c: &mut Circ, r: Rep, scratch: &mut Vec<Qubit>) -> Qubit {
+    match r {
+        Rep::Const(b) => c.qinit_bit(b),
+        Rep::Wire(q, neg) => {
+            // Promotion is only sound for a positive representation: other
+            // outputs may still reference this wire's recorded polarity.
+            if !neg {
+                if let Some(pos) = scratch.iter().position(|&s| s == q) {
+                    scratch.swap_remove(pos);
+                    return q;
+                }
+            }
+            {
+                // An input wire (or a value already promoted): copy it.
+                let out = c.qinit_bit(neg);
+                c.cnot(out, q);
+                out
+            }
+        }
+    }
+}
+
+/// Synthesizes the *reversible* oracle (x, y) ↦ (x, y ⊕ f(x)) with all
+/// scratch space uncomputed — the paper's `classical_to_reversible`.
+///
+/// `targets` receive the outputs xor-ed in; they must be distinct from
+/// `inputs`.
+///
+/// # Panics
+///
+/// Panics if the number of targets differs from the DAG's output count, or
+/// if `inputs` has the wrong length.
+pub fn classical_to_reversible(c: &mut Circ, dag: &CDag, inputs: &[Qubit], targets: &[Qubit]) {
+    assert_eq!(
+        targets.len(),
+        dag.outputs.len(),
+        "classical_to_reversible: {} targets for a {}-output oracle",
+        targets.len(),
+        dag.outputs.len()
+    );
+    c.with_computed(
+        |c| synthesize_compute(c, dag, inputs),
+        |c, (outs, _scratch)| {
+            for (&t, &o) in targets.iter().zip(outs.iter()) {
+                c.cnot(t, o);
+            }
+        },
+    );
+}
+
+/// Synthesizes the oracle into freshly allocated output qubits, with all
+/// scratch space uncomputed: x ↦ (x, f(x)).
+pub fn synthesize_clean(c: &mut Circ, dag: &CDag, inputs: &[Qubit]) -> Vec<Qubit> {
+    let targets: Vec<Qubit> = (0..dag.outputs.len()).map(|_| c.qinit_bit(false)).collect();
+    classical_to_reversible(c, dag, inputs, &targets);
+    targets
+}
+
+/// Width-bounded ("pebbled") synthesis: x ↦ (x, f(x)) like
+/// [`synthesize_clean`], but trading gates for qubits.
+///
+/// One-shot lifting keeps an ancilla alive per logic node until the final
+/// uncomputation, so a million-node oracle needs a million qubits at peak
+/// — the Bennett tradeoff. This variant splits the DAG into topological
+/// stages of at most `stage_nodes` logic nodes each; after a stage is
+/// computed, its *boundary* values (nodes still needed by later stages or
+/// by the outputs) are copied to fresh carrier qubits and the stage's
+/// scratch is immediately uncomputed. Peak width drops to roughly
+/// `stage_nodes + max boundary`, at the cost of re-synthesizing nothing —
+/// only the boundary copies are extra. The carriers themselves are
+/// uncomputed by the enclosing `with_computed`, so the overall oracle is
+/// still clean.
+///
+/// # Panics
+///
+/// Panics if `stage_nodes` is zero or `inputs` has the wrong length.
+pub fn synthesize_staged(
+    c: &mut Circ,
+    dag: &CDag,
+    inputs: &[Qubit],
+    stage_nodes: usize,
+) -> Vec<Qubit> {
+    assert!(stage_nodes > 0, "stage size must be positive");
+    assert_eq!(
+        inputs.len(),
+        dag.n_inputs as usize,
+        "synthesize_staged: wrong number of input qubits"
+    );
+
+    let n_inputs = dag.n_inputs as usize;
+
+    let targets: Vec<Qubit> = (0..dag.outputs.len()).map(|_| c.qinit_bit(false)).collect();
+    c.with_computed(
+        |c| {
+            // carriers[node] = the qubit holding that node's (positive)
+            // value across stage boundaries; inputs are their own carriers.
+            let mut carriers: Vec<Option<Qubit>> = vec![None; dag.nodes.len()];
+            for (i, &q) in inputs.iter().enumerate() {
+                carriers[i] = Some(q);
+            }
+            let mut all_carriers: Vec<Qubit> = Vec::new();
+            let n_stages = dag.nodes.len().saturating_sub(n_inputs).div_ceil(stage_nodes);
+            for stage in 0..n_stages {
+                let lo = n_inputs + stage * stage_nodes;
+                let hi = (lo + stage_nodes).min(dag.nodes.len());
+                // Which nodes computed in this stage are needed later?
+                let mut needed: Vec<bool> = vec![false; dag.nodes.len()];
+                for (j, node) in dag.nodes.iter().enumerate().skip(hi) {
+                    let mut mark = |x: u32| {
+                        let x = x as usize;
+                        if x >= lo && x < hi {
+                            needed[x] = true;
+                        }
+                    };
+                    let _ = j;
+                    match *node {
+                        Node::Not(a) => mark(a),
+                        Node::And(a, b) | Node::Or(a, b) | Node::Xor(a, b) => {
+                            mark(a);
+                            mark(b);
+                        }
+                        Node::Input(_) | Node::Const(_) => {}
+                    }
+                }
+                for &o in &dag.outputs {
+                    let o = o as usize;
+                    if o >= lo && o < hi {
+                        needed[o] = true;
+                    }
+                }
+                // Compute the stage with its own local with_computed: the
+                // use phase copies boundary values to carriers, then the
+                // stage scratch unwinds. (The representations are smuggled
+                // from the compute phase to the use phase through a cell —
+                // they are not wire data, so they cannot ride in `B`.)
+                let reps_cell: std::cell::RefCell<Vec<Rep>> =
+                    std::cell::RefCell::new(Vec::new());
+                let stage_carriers = c.with_computed(
+                    |c| {
+                        let (reps, scratch) = compute_stage(c, dag, &carriers, lo, hi);
+                        *reps_cell.borrow_mut() = reps;
+                        scratch
+                    },
+                    |c, _scratch: &Vec<Qubit>| {
+                        let reps = reps_cell.borrow();
+                        let mut out = Vec::new();
+                        for idx in lo..hi {
+                            if needed[idx] {
+                                let q = materialize_copy(c, reps[idx - lo]);
+                                out.push((idx, q));
+                            }
+                        }
+                        out
+                    },
+                );
+                for (idx, q) in stage_carriers {
+                    carriers[idx] = Some(q);
+                    all_carriers.push(q);
+                }
+            }
+            (carriers, all_carriers)
+        },
+        |c, (carriers, _all)| {
+            for (&t, &o) in targets.iter().zip(dag.outputs.iter()) {
+                match &dag.nodes[o as usize] {
+                    Node::Const(b) => {
+                        if *b {
+                            c.qnot(t);
+                        }
+                    }
+                    _ => {
+                        let src = carriers[o as usize]
+                            .expect("output node has a carrier");
+                        c.cnot(t, src);
+                    }
+                }
+            }
+        },
+    );
+    targets
+}
+
+/// Computes the representations of nodes `lo..hi`, reading earlier values
+/// from their carriers. Returns the representations and the stage scratch.
+fn compute_stage(
+    c: &mut Circ,
+    dag: &CDag,
+    carriers: &[Option<Qubit>],
+    lo: usize,
+    hi: usize,
+) -> (Vec<Rep>, Vec<Qubit>) {
+    let mut scratch: Vec<Qubit> = Vec::new();
+    let mut reps: Vec<Rep> = Vec::with_capacity(hi - lo);
+    let resolve = |reps: &Vec<Rep>, idx: u32| -> Rep {
+        let idx = idx as usize;
+        if idx >= lo && idx < hi {
+            reps[idx - lo]
+        } else {
+            match &dag.nodes[idx] {
+                Node::Const(b) => Rep::Const(*b),
+                _ => Rep::Wire(
+                    carriers[idx].expect("cross-stage value has a carrier"),
+                    false,
+                ),
+            }
+        }
+    };
+    for idx in lo..hi {
+        let rep = match dag.nodes[idx] {
+            Node::Input(i) => {
+                Rep::Wire(carriers[i as usize].expect("input carrier"), false)
+            }
+            Node::Const(b) => Rep::Const(b),
+            Node::Not(a) => complement(resolve(&reps, a)),
+            Node::Xor(a, b) => {
+                let (ra, rb) = (resolve(&reps, a), resolve(&reps, b));
+                synth_xor(c, ra, rb, &mut scratch)
+            }
+            Node::And(a, b) => {
+                let (ra, rb) = (resolve(&reps, a), resolve(&reps, b));
+                synth_and(c, ra, rb, false, &mut scratch)
+            }
+            Node::Or(a, b) => {
+                let (ra, rb) = (complement(resolve(&reps, a)), complement(resolve(&reps, b)));
+                complement(synth_and(c, ra, rb, false, &mut scratch))
+            }
+        };
+        reps.push(rep);
+    }
+    (reps, scratch)
+}
+
+/// Copies a representation into a fresh positively-held qubit (carriers
+/// must not alias stage scratch, which is about to be uncomputed).
+fn materialize_copy(c: &mut Circ, r: Rep) -> Qubit {
+    match r {
+        Rep::Const(b) => c.qinit_bit(b),
+        Rep::Wire(q, neg) => {
+            let out = c.qinit_bit(neg);
+            c.cnot(out, q);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classical::Dag;
+
+    fn parity_dag(n: u32) -> CDag {
+        Dag::build(n, |b, xs| {
+            vec![xs.iter().fold(b.constant(false), |acc, x| acc ^ x.clone())]
+        })
+    }
+
+    #[test]
+    fn parity_compute_matches_paper_structure() {
+        // The paper's template_f on 4 qubits: 4 inputs, 1 output, 2 scratch
+        // qubits (7 qubits total), CNOT gates only.
+        let dag = parity_dag(4);
+        let bc = Circ::build(&vec![false; 4], |c, xs: Vec<Qubit>| {
+            let (outs, scratch) = synthesize_compute(c, &dag, &xs);
+            (xs, outs, scratch)
+        });
+        bc.validate().unwrap();
+        let gc = bc.gate_count();
+        assert_eq!(gc.qubits_in_circuit, 7);
+        assert_eq!(gc.by_name_any_controls("\"Not\""), gc.by_name("\"Not\"", 1, 0));
+    }
+
+    #[test]
+    fn parity_reversible_uncomputes_scratch() {
+        let dag = parity_dag(4);
+        let bc = Circ::build(&(vec![false; 4], false), |c, (xs, t): (Vec<Qubit>, Qubit)| {
+            classical_to_reversible(c, &dag, &xs, &[t]);
+            (xs, t)
+        });
+        bc.validate().unwrap();
+        let gc = bc.gate_count();
+        // Every init has a matching term: ancillas fully uncomputed.
+        assert_eq!(gc.by_name("Init0", 0, 0), gc.by_name("Term0", 0, 0));
+        assert_eq!(bc.main.inputs.len(), 5);
+        assert_eq!(bc.main.outputs.len(), 5);
+    }
+
+    #[test]
+    fn nots_are_free() {
+        // ¬¬¬x: no gates at all beyond the output copy with init1.
+        let dag = Dag::build(1, |_, xs| vec![!(!(!(xs[0].clone())))]);
+        let bc = Circ::build(&vec![false; 1], |c, xs: Vec<Qubit>| {
+            let (outs, scratch) = synthesize_compute(c, &dag, &xs);
+            (xs, outs, scratch)
+        });
+        let gc = bc.gate_count();
+        // init1 + cnot: the negation is folded into the init value.
+        assert_eq!(gc.by_name("Init1", 0, 0), 1);
+        assert_eq!(gc.total(), 2);
+    }
+
+    #[test]
+    fn or_uses_negative_controls() {
+        let dag = Dag::build(2, |_, xs| vec![&xs[0] | &xs[1]]);
+        let bc = Circ::build(&vec![false; 2], |c, xs: Vec<Qubit>| {
+            let (outs, scratch) = synthesize_compute(c, &dag, &xs);
+            (xs, outs, scratch)
+        });
+        let gc = bc.gate_count();
+        assert_eq!(gc.by_name("\"Not\"", 0, 2), 1, "OR = Toffoli with two negative controls");
+    }
+
+    #[test]
+    fn staged_synthesis_matches_clean_synthesis() {
+        // A reconvergent function with plenty of intermediate values.
+        let dag = Dag::build(5, |_, xs| {
+            let a = &xs[0] & &xs[1];
+            let b = &xs[1] ^ &xs[2];
+            let c0 = &a | &b;
+            let d = &c0 & &xs[3];
+            let e = &d ^ &xs[4];
+            let f = &c0 & &e;
+            vec![f ^ a, d | b]
+        });
+        let clean = Circ::build(&vec![false; 5], |c, xs: Vec<Qubit>| {
+            let outs = synthesize_clean(c, &dag, &xs);
+            (xs, outs)
+        });
+        for stage in [1usize, 2, 3, 100] {
+            let staged = Circ::build(&vec![false; 5], |c, xs: Vec<Qubit>| {
+                let outs = synthesize_staged(c, &dag, &xs, stage);
+                (xs, outs)
+            });
+            staged.validate().unwrap();
+            for bits in 0..32u32 {
+                let input: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+                let a = quipper_sim::run_classical(&clean, &input).unwrap();
+                let b = quipper_sim::run_classical(&staged, &input).unwrap();
+                assert_eq!(a, b, "stage={stage}, input={bits:05b}");
+            }
+        }
+    }
+
+    #[test]
+    fn staged_synthesis_reduces_peak_width() {
+        // A long XOR/AND chain: one-shot lifting keeps every intermediate
+        // alive; staging with small stages caps the width.
+        let n = 16;
+        let dag = Dag::build(n, |_, xs| {
+            let mut acc = xs[0].clone();
+            for x in &xs[1..] {
+                acc = (acc.clone() & x.clone()) ^ (acc ^ x.clone());
+            }
+            vec![acc]
+        });
+        let clean = Circ::build(&vec![false; n as usize], |c, xs: Vec<Qubit>| {
+            let outs = synthesize_clean(c, &dag, &xs);
+            (xs, outs)
+        });
+        let staged = Circ::build(&vec![false; n as usize], |c, xs: Vec<Qubit>| {
+            let outs = synthesize_staged(c, &dag, &xs, 4);
+            (xs, outs)
+        });
+        staged.validate().unwrap();
+        let wc = clean.gate_count().qubits_in_circuit;
+        let ws = staged.gate_count().qubits_in_circuit;
+        assert!(ws < wc, "staged width {ws} must beat one-shot width {wc}");
+        // Semantics still agree on a sample.
+        for bits in [0u32, 0xffff, 0xa5a5, 0x1234] {
+            let input: Vec<bool> = (0..n as usize).map(|i| bits >> i & 1 == 1).collect();
+            let a = quipper_sim::run_classical(&clean, &input).unwrap();
+            let b = quipper_sim::run_classical(&staged, &input).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn majority_oracle_is_correct_via_counting() {
+        // maj(a,b,c) — verify the synthesized circuit structure validates and
+        // the classical semantics agree with eval on all 8 inputs.
+        let dag = Dag::build(3, |_, xs| {
+            let ab = &xs[0] & &xs[1];
+            let ac = &xs[0] & &xs[2];
+            let bc = &xs[1] & &xs[2];
+            vec![ab ^ ac ^ bc]
+        });
+        for bits in 0..8u32 {
+            let input: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expected = input.iter().filter(|&&b| b).count() >= 2;
+            assert_eq!(dag.eval(&input), vec![expected]);
+        }
+        let bc = Circ::build(&(vec![false; 3], false), |c, (xs, t): (Vec<Qubit>, Qubit)| {
+            classical_to_reversible(c, &dag, &xs, &[t]);
+            (xs, t)
+        });
+        bc.validate().unwrap();
+    }
+}

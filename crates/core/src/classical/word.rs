@@ -1,0 +1,456 @@
+//! Fixed-width unsigned integers in the classical DSL.
+//!
+//! The paper's big oracles are arithmetic-heavy: the Boolean Formula oracle
+//! runs a flood fill, the Linear Systems oracle evaluates `sin(x)` over a
+//! 32+32-bit fixed-point argument, and the Triangle Finding oracle does
+//! modular arithmetic. [`CWord`] provides ripple-carry adders, shift-add
+//! multipliers, comparisons and multiplexers over [`BExpr`] bits, so such
+//! oracles can be written as ordinary arithmetic and then lifted to
+//! reversible circuits by [`synth`](crate::classical::synth).
+
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+use crate::classical::{BExpr, Dag};
+
+/// A fixed-width unsigned integer of [`BExpr`] bits, least significant bit
+/// first.
+#[derive(Clone, Debug)]
+pub struct CWord {
+    bits: Vec<BExpr>,
+}
+
+impl CWord {
+    /// Wraps a bit vector (LSB first).
+    pub fn from_bits(bits: Vec<BExpr>) -> CWord {
+        CWord { bits }
+    }
+
+    /// A compile-time constant of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in `width` bits.
+    pub fn constant(dag: &Dag, value: u64, width: usize) -> CWord {
+        assert!(width >= 64 || value < (1u64 << width), "constant {value} does not fit in {width} bits");
+        CWord {
+            bits: (0..width).map(|i| dag.constant(value >> i & 1 == 1)).collect(),
+        }
+    }
+
+    /// The width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The bits, LSB first.
+    pub fn bits(&self) -> &[BExpr] {
+        &self.bits
+    }
+
+    /// The `i`-th bit (LSB = 0).
+    pub fn bit(&self, i: usize) -> &BExpr {
+        &self.bits[i]
+    }
+
+    /// Consumes the word, returning its bits.
+    pub fn into_bits(self) -> Vec<BExpr> {
+        self.bits
+    }
+
+    fn check_width(&self, other: &CWord, op: &str) {
+        assert_eq!(self.width(), other.width(), "{op}: operand widths differ");
+    }
+
+    /// Addition modulo 2^w.
+    pub fn add(&self, other: &CWord) -> CWord {
+        self.check_width(other, "add");
+        let (sum, _carry) = self.add_full(other, None);
+        sum
+    }
+
+    /// Addition with optional carry-in, returning (sum, carry-out).
+    pub fn add_full(&self, other: &CWord, carry_in: Option<BExpr>) -> (CWord, BExpr) {
+        self.check_width(other, "add_full");
+        let mut carry = carry_in;
+        let mut bits = Vec::with_capacity(self.width());
+        for (a, b) in self.bits.iter().zip(other.bits.iter()) {
+            let axb = a ^ b;
+            match carry {
+                None => {
+                    bits.push(axb.clone());
+                    carry = Some(a & b);
+                }
+                Some(c) => {
+                    bits.push(&axb ^ &c);
+                    // carry' = (a ∧ b) ⊕ (c ∧ (a ⊕ b))
+                    carry = Some((a & b) ^ (c & axb));
+                }
+            }
+        }
+        let carry = carry.expect("width > 0");
+        (CWord { bits }, carry)
+    }
+
+    /// Subtraction modulo 2^w (two's complement).
+    pub fn sub(&self, other: &CWord) -> CWord {
+        let (diff, _borrow) = self.sub_full(other);
+        diff
+    }
+
+    /// Subtraction returning (difference, borrow-out). The borrow is 1 iff
+    /// `self < other` (unsigned).
+    pub fn sub_full(&self, other: &CWord) -> (CWord, BExpr) {
+        self.check_width(other, "sub_full");
+        // a - b = a + ¬b + 1; borrow = ¬carry.
+        let not_b = CWord { bits: other.bits.iter().map(|b| !b).collect() };
+        let one = self.bits[0].clone() ^ self.bits[0].clone(); // false
+        let (sum, carry) = self.add_full(&not_b, Some(!one));
+        (sum, !carry)
+    }
+
+    /// Multiplication modulo 2^w via shift-and-add.
+    pub fn mul(&self, other: &CWord) -> CWord {
+        self.check_width(other, "mul");
+        let w = self.width();
+        let mut acc: Option<CWord> = None;
+        for i in 0..w {
+            // Partial product: (self << i) masked by other.bit(i), truncated
+            // to w bits.
+            let mut row = Vec::with_capacity(w);
+            for j in 0..w {
+                if j < i {
+                    row.push(self.bits[0].clone() ^ self.bits[0].clone()); // false
+                } else {
+                    row.push(&self.bits[j - i] & &other.bits[i]);
+                }
+            }
+            let row = CWord { bits: row };
+            acc = Some(match acc {
+                None => row,
+                Some(a) => a.add(&row),
+            });
+        }
+        acc.expect("width > 0")
+    }
+
+    /// Logical shift left by a constant, dropping the high bits.
+    pub fn shl_const(&self, k: usize) -> CWord {
+        let w = self.width();
+        let zero = self.bits[0].clone() ^ self.bits[0].clone();
+        let mut bits = vec![zero; k.min(w)];
+        bits.extend(self.bits.iter().take(w.saturating_sub(k)).cloned());
+        CWord { bits }
+    }
+
+    /// Logical shift right by a constant.
+    pub fn shr_const(&self, k: usize) -> CWord {
+        let w = self.width();
+        let zero = self.bits[0].clone() ^ self.bits[0].clone();
+        let mut bits: Vec<BExpr> = self.bits.iter().skip(k.min(w)).cloned().collect();
+        bits.resize(w, zero);
+        CWord { bits }
+    }
+
+    /// Sign-extends (two's complement) to a larger width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width` is smaller than the current width.
+    pub fn sign_extend(&self, new_width: usize) -> CWord {
+        assert!(new_width >= self.width(), "sign_extend: cannot shrink");
+        let sign = self.bits.last().expect("width > 0").clone();
+        let mut bits = self.bits.clone();
+        bits.resize(new_width, sign);
+        CWord { bits }
+    }
+
+    /// Zero-extends to a larger width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width` is smaller than the current width.
+    pub fn zero_extend(&self, new_width: usize) -> CWord {
+        assert!(new_width >= self.width(), "zero_extend: cannot shrink");
+        let zero = self.bits[0].clone() ^ self.bits[0].clone();
+        let mut bits = self.bits.clone();
+        bits.resize(new_width, zero);
+        CWord { bits }
+    }
+
+    /// Extracts bits `[lo, hi)` as a new word.
+    pub fn slice(&self, lo: usize, hi: usize) -> CWord {
+        CWord { bits: self.bits[lo..hi].to_vec() }
+    }
+
+    /// Rotate left by a constant (used by arithmetic modulo 2^w − 1, where
+    /// doubling is a rotation).
+    pub fn rotate_left(&self, k: usize) -> CWord {
+        let w = self.width();
+        let k = k % w;
+        let mut bits = Vec::with_capacity(w);
+        for i in 0..w {
+            bits.push(self.bits[(i + w - k) % w].clone());
+        }
+        CWord { bits }
+    }
+
+    /// Equality test.
+    pub fn eq_word(&self, other: &CWord) -> BExpr {
+        self.check_width(other, "eq_word");
+        let mut acc: Option<BExpr> = None;
+        for (a, b) in self.bits.iter().zip(other.bits.iter()) {
+            let same = a.eq_expr(b);
+            acc = Some(match acc {
+                None => same,
+                Some(e) => e & same,
+            });
+        }
+        acc.expect("width > 0")
+    }
+
+    /// Unsigned less-than.
+    pub fn lt(&self, other: &CWord) -> BExpr {
+        let (_diff, borrow) = self.sub_full(other);
+        borrow
+    }
+
+    /// True iff every bit is zero.
+    pub fn is_zero(&self) -> BExpr {
+        let mut acc: Option<BExpr> = None;
+        for b in &self.bits {
+            let nb = !b;
+            acc = Some(match acc {
+                None => nb,
+                Some(e) => e & nb,
+            });
+        }
+        acc.expect("width > 0")
+    }
+
+    /// Multiplication by a compile-time constant, modulo 2^w: shift-adds
+    /// only for the set bits of the constant.
+    pub fn mul_const(&self, dag: &Dag, k: u64) -> CWord {
+        let w = self.width();
+        let mut acc = CWord::constant(dag, 0, w);
+        for i in 0..w.min(64) {
+            if k >> i & 1 == 1 {
+                acc = acc.add(&self.shl_const(i));
+            }
+        }
+        acc
+    }
+
+    /// Remainder modulo a compile-time constant, by binary long division
+    /// (conditional subtraction of `t·2^j` for descending j).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is zero or does not fit the register width.
+    pub fn mod_const(&self, dag: &Dag, t: u64) -> CWord {
+        assert!(t > 0, "modulus must be positive");
+        let bits = self.width();
+        let tbits = (64 - t.leading_zeros()) as usize;
+        assert!(tbits <= bits, "modulus must fit the register");
+        let mut r = self.clone();
+        for j in (0..=bits - tbits).rev() {
+            let step = CWord::constant(dag, t << j, bits);
+            let (diff, borrow) = r.sub_full(&step);
+            r = CWord::mux(&borrow, &r, &diff);
+        }
+        r
+    }
+
+    /// Bitwise multiplexer: `if sel then t else e`.
+    pub fn mux(sel: &BExpr, t: &CWord, e: &CWord) -> CWord {
+        t.check_width(e, "mux");
+        CWord {
+            bits: t.bits.iter().zip(e.bits.iter()).map(|(a, b)| sel.mux(a, b)).collect(),
+        }
+    }
+}
+
+impl BitAnd for &CWord {
+    type Output = CWord;
+
+    fn bitand(self, rhs: &CWord) -> CWord {
+        self.check_width(rhs, "bitand");
+        CWord { bits: self.bits.iter().zip(&rhs.bits).map(|(a, b)| a & b).collect() }
+    }
+}
+
+impl BitOr for &CWord {
+    type Output = CWord;
+
+    fn bitor(self, rhs: &CWord) -> CWord {
+        self.check_width(rhs, "bitor");
+        CWord { bits: self.bits.iter().zip(&rhs.bits).map(|(a, b)| a | b).collect() }
+    }
+}
+
+impl BitXor for &CWord {
+    type Output = CWord;
+
+    fn bitxor(self, rhs: &CWord) -> CWord {
+        self.check_width(rhs, "bitxor");
+        CWord { bits: self.bits.iter().zip(&rhs.bits).map(|(a, b)| a ^ b).collect() }
+    }
+}
+
+impl Not for &CWord {
+    type Output = CWord;
+
+    fn not(self) -> CWord {
+        CWord { bits: self.bits.iter().map(|b| !b).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classical::Dag;
+
+    /// Builds a 2-operand word circuit and checks it against a reference
+    /// function on a grid of values.
+    fn check_binop(
+        width: usize,
+        build: impl Fn(&CWord, &CWord) -> CWord,
+        reference: impl Fn(u64, u64) -> u64,
+    ) {
+        let dag = Dag::new(2 * width as u32);
+        let inputs = dag.inputs();
+        let a = CWord::from_bits(inputs[..width].to_vec());
+        let b = CWord::from_bits(inputs[width..].to_vec());
+        let out = build(&a, &b);
+        let frozen = dag.finish(out.bits());
+        let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+        for &x in &[0u64, 1, 2, 3, 5, 11, 13, (1 << width as u64) - 1 & mask] {
+            for &y in &[0u64, 1, 2, 6, 7, 12, (1 << width as u64) - 1 & mask] {
+                let x = x & mask;
+                let y = y & mask;
+                let mut bits = Vec::new();
+                for i in 0..width {
+                    bits.push(x >> i & 1 == 1);
+                }
+                for i in 0..width {
+                    bits.push(y >> i & 1 == 1);
+                }
+                let result = frozen.eval(&bits);
+                let got = result
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+                assert_eq!(got, reference(x, y) & mask, "x={x} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_matches_u64() {
+        check_binop(4, |a, b| a.add(b), |x, y| x.wrapping_add(y));
+        check_binop(8, |a, b| a.add(b), |x, y| x.wrapping_add(y));
+    }
+
+    #[test]
+    fn sub_matches_u64() {
+        check_binop(6, |a, b| a.sub(b), |x, y| x.wrapping_sub(y));
+    }
+
+    #[test]
+    fn mul_matches_u64() {
+        check_binop(6, |a, b| a.mul(b), |x, y| x.wrapping_mul(y));
+    }
+
+    #[test]
+    fn bitwise_ops_match() {
+        check_binop(5, |a, b| a & b, |x, y| x & y);
+        check_binop(5, |a, b| a | b, |x, y| x | y);
+        check_binop(5, |a, b| a ^ b, |x, y| x ^ y);
+    }
+
+    #[test]
+    fn comparisons_match() {
+        check_binop(5, |a, b| CWord::from_bits(vec![a.lt(b)]), |x, y| u64::from(x < y));
+        check_binop(5, |a, b| CWord::from_bits(vec![a.eq_word(b)]), |x, y| u64::from(x == y));
+    }
+
+    #[test]
+    fn shifts_and_rotations() {
+        check_binop(8, |a, _| a.shl_const(3), |x, _| x << 3);
+        check_binop(8, |a, _| a.shr_const(2), |x, _| x >> 2);
+        check_binop(8, |a, _| a.rotate_left(3), |x, _| {
+            ((x << 3) | (x >> 5)) & 0xff
+        });
+    }
+
+    #[test]
+    fn mux_selects_words() {
+        let dag = Dag::new(9);
+        let inputs = dag.inputs();
+        let sel = inputs[0].clone();
+        let a = CWord::from_bits(inputs[1..5].to_vec());
+        let b = CWord::from_bits(inputs[5..9].to_vec());
+        let out = CWord::mux(&sel, &a, &b);
+        let frozen = dag.finish(out.bits());
+        // sel=1 → a (0b0011), sel=0 → b (0b0101).
+        let mut bits = vec![true];
+        bits.extend([true, true, false, false]); // a = 3
+        bits.extend([true, false, true, false]); // b = 5
+        assert_eq!(frozen.eval(&bits), vec![true, true, false, false]);
+        bits[0] = false;
+        assert_eq!(frozen.eval(&bits), vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn mul_const_matches_u64() {
+        check_binop(6, |a, _| {
+            // Rebuild the constant inside the same dag via a trick: mul by 11.
+            a.shl_const(0).add(&a.shl_const(1)).add(&a.shl_const(3))
+        }, |x, _| x * 11);
+    }
+
+    #[test]
+    fn mod_const_matches_u64() {
+        for t in [1u64, 3, 6, 13] {
+            let dag = Dag::new(6);
+            let xs = dag.inputs();
+            let a = CWord::from_bits(xs);
+            let out = a.mod_const(&dag, t);
+            let frozen = dag.finish(out.bits());
+            for x in 0..64u64 {
+                let input: Vec<bool> = (0..6).map(|i| x >> i & 1 == 1).collect();
+                let got = frozen
+                    .eval(&input)
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+                assert_eq!(got, x % t, "{x} mod {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_const_via_method() {
+        let dag = Dag::new(6);
+        let xs = dag.inputs();
+        let a = CWord::from_bits(xs);
+        let out = a.mul_const(&dag, 13);
+        let frozen = dag.finish(out.bits());
+        for x in [0u64, 1, 3, 7, 20, 63] {
+            let input: Vec<bool> = (0..6).map(|i| x >> i & 1 == 1).collect();
+            let got = frozen
+                .eval(&input)
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+            assert_eq!(got, x * 13 & 0x3f, "{x}·13 mod 64");
+        }
+    }
+
+    #[test]
+    fn constant_roundtrip() {
+        let dag = Dag::new(0);
+        let c = CWord::constant(&dag, 0b1011, 6);
+        let frozen = dag.finish(c.bits());
+        assert_eq!(frozen.eval(&[]), vec![true, true, false, true, false, false]);
+    }
+}

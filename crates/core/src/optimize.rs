@@ -1,0 +1,455 @@
+//! Whole-circuit optimization.
+//!
+//! The paper lists "whole-circuit optimizations" among the circuit
+//! manipulations a quantum programming language must support (§3.4). This
+//! module implements the standard peephole passes over the hierarchical
+//! IR, each applied per boxed subcircuit so that optimizing a
+//! trillion-gate circuit costs what optimizing its distinct subroutine
+//! bodies costs:
+//!
+//! * **inverse cancellation** — adjacent gate pairs `g·g⁻¹` annihilate
+//!   (Hadamard pairs, CNOT pairs, `T·T†`, …), iterated to a fixpoint so
+//!   that cancellations exposed by other cancellations are found;
+//! * **rotation fusion** — adjacent rotations from the same family, on the
+//!   same target with the same controls, merge by adding angles; merged
+//!   rotations of angle 0 vanish;
+//! * **dead-ancilla elimination** — an ancilla that is initialized and
+//!   terminated without ever being used in between is removed.
+//!
+//! Gates only commute past each other in these passes when they touch
+//! disjoint wires; the passes are therefore strictly semantics-preserving
+//! (tested against the simulators on random circuits).
+
+use std::collections::{HashMap, HashSet};
+
+use quipper_circuit::{BCircuit, BoxId, Circuit, CircuitDb, Gate, SubDef, Wire};
+
+/// Statistics from an optimization run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct OptStats {
+    /// Gates removed by inverse cancellation.
+    pub cancelled: usize,
+    /// Rotation pairs fused.
+    pub fused: usize,
+    /// Dead ancillas removed.
+    pub dead_ancillas: usize,
+}
+
+/// Optimizes a hierarchical circuit: every boxed subcircuit body and the
+/// main circuit are peephole-optimized. Returns the optimized circuit and
+/// statistics.
+///
+/// # Examples
+///
+/// ```
+/// use quipper::optimize::optimize;
+/// use quipper::{Circ, Qubit};
+///
+/// let bc = Circ::build(&false, |c, q: Qubit| {
+///     c.hadamard(q);
+///     c.hadamard(q); // cancels
+///     c.exp_zt(0.2, q);
+///     c.exp_zt(0.3, q); // fuses
+///     q
+/// });
+/// let (opt, stats) = optimize(&bc);
+/// assert_eq!(opt.gate_count().total(), 1);
+/// assert_eq!(stats.cancelled, 2);
+/// assert_eq!(stats.fused, 1);
+/// ```
+pub fn optimize(bc: &BCircuit) -> (BCircuit, OptStats) {
+    let mut stats = OptStats::default();
+    let mut db = CircuitDb::new();
+    let mut id_map: HashMap<BoxId, BoxId> = HashMap::new();
+    for (id, def) in bc.db.iter() {
+        let circuit = optimize_circuit(&def.circuit, &id_map, &mut stats);
+        let new_id = db.insert(SubDef {
+            name: def.name.clone(),
+            shape: def.shape.clone(),
+            circuit,
+        });
+        id_map.insert(id, new_id);
+    }
+    let main = optimize_circuit(&bc.main, &id_map, &mut stats);
+    (BCircuit::new(db, main), stats)
+}
+
+fn optimize_circuit(
+    circuit: &Circuit,
+    id_map: &HashMap<BoxId, BoxId>,
+    stats: &mut OptStats,
+) -> Circuit {
+    // Retarget subroutine calls first.
+    let mut gates: Vec<Gate> = circuit
+        .gates
+        .iter()
+        .map(|g| match g {
+            Gate::Subroutine { id, inverted, inputs, outputs, controls, repetitions } => {
+                Gate::Subroutine {
+                    id: *(id_map.get(id).unwrap_or(id)),
+                    inverted: *inverted,
+                    inputs: inputs.clone(),
+                    outputs: outputs.clone(),
+                    controls: controls.clone(),
+                    repetitions: *repetitions,
+                }
+            }
+            g => g.clone(),
+        })
+        .collect();
+
+    // Iterate the local passes to a fixpoint.
+    loop {
+        let before = gates.len();
+        cancel_and_fuse(&mut gates, stats);
+        remove_dead_ancillas(&mut gates, stats);
+        if gates.len() == before {
+            break;
+        }
+    }
+
+    Circuit {
+        inputs: circuit.inputs.clone(),
+        gates,
+        outputs: circuit.outputs.clone(),
+        wire_bound: circuit.wire_bound,
+    }
+}
+
+/// Whether two gates act on disjoint wire sets (and hence commute for the
+/// purposes of peephole matching).
+fn disjoint(a: &Gate, b: &Gate) -> bool {
+    let mut wa: HashSet<Wire> = HashSet::new();
+    a.for_each_wire(&mut |w| {
+        wa.insert(w);
+    });
+    let mut ok = true;
+    b.for_each_wire(&mut |w| ok &= !wa.contains(&w));
+    ok
+}
+
+/// Whether `g` is exactly the inverse of `prev`.
+fn are_inverse(prev: &Gate, g: &Gate) -> bool {
+    // Rotations must match angles exactly; `Gate` equality does.
+    prev.inverse().map(|inv| &inv == g).unwrap_or(false)
+}
+
+/// Tries to fuse `g` into `prev` (same rotation family, target, controls):
+/// returns the merged gate, or `None`.
+fn fuse(prev: &Gate, g: &Gate) -> Option<Option<Gate>> {
+    match (prev, g) {
+        (
+            Gate::QRot { name: n1, inverted: i1, angle: a1, targets: t1, controls: c1 },
+            Gate::QRot { name: n2, inverted: i2, angle: a2, targets: t2, controls: c2 },
+        ) if n1 == n2 && t1 == t2 && c1 == c2 => {
+            let s1 = if *i1 { -a1 } else { *a1 };
+            let s2 = if *i2 { -a2 } else { *a2 };
+            let sum = s1 + s2;
+            if sum.abs() < 1e-15 {
+                Some(None) // the pair vanishes
+            } else {
+                Some(Some(Gate::QRot {
+                    name: n1.clone(),
+                    inverted: false,
+                    angle: sum,
+                    targets: t1.clone(),
+                    controls: c1.clone(),
+                }))
+            }
+        }
+        (Gate::GPhase { angle: a1, controls: c1 }, Gate::GPhase { angle: a2, controls: c2 })
+            if c1 == c2 =>
+        {
+            let sum = a1 + a2;
+            if sum.abs() < 1e-15 {
+                Some(None)
+            } else {
+                Some(Some(Gate::GPhase { angle: sum, controls: c1.clone() }))
+            }
+        }
+        _ => None,
+    }
+}
+
+/// One left-to-right sweep cancelling inverse pairs and fusing rotations,
+/// looking back past commuting (wire-disjoint) gates.
+fn cancel_and_fuse(gates: &mut Vec<Gate>, stats: &mut OptStats) {
+    let mut out: Vec<Gate> = Vec::with_capacity(gates.len());
+    'next: for g in gates.drain(..) {
+        if matches!(g, Gate::Comment { .. }) {
+            out.push(g);
+            continue;
+        }
+        // Look back over a bounded window of wire-disjoint gates.
+        let mut idx = out.len();
+        let mut steps = 0;
+        while idx > 0 && steps < 16 {
+            idx -= 1;
+            steps += 1;
+            let prev = &out[idx];
+            if matches!(prev, Gate::Comment { .. }) {
+                continue;
+            }
+            if are_inverse(prev, &g) {
+                out.remove(idx);
+                stats.cancelled += 2;
+                continue 'next;
+            }
+            if let Some(merged) = fuse(prev, &g) {
+                out.remove(idx);
+                stats.fused += 1;
+                if let Some(m) = merged {
+                    out.insert(idx, m);
+                }
+                continue 'next;
+            }
+            if !disjoint(prev, &g) {
+                break;
+            }
+        }
+        out.push(g);
+    }
+    *gates = out;
+}
+
+/// Removes `QInit`/`QTerm` (and classical) pairs on wires that no gate
+/// touches in between.
+fn remove_dead_ancillas(gates: &mut Vec<Gate>, stats: &mut OptStats) {
+    // Find init positions; scan forward for a matching term with no
+    // intervening use.
+    let mut remove: HashSet<usize> = HashSet::new();
+    for i in 0..gates.len() {
+        let wire = match &gates[i] {
+            Gate::QInit { wire, value } => Some((*wire, *value, false)),
+            Gate::CInit { wire, value } => Some((*wire, *value, true)),
+            _ => None,
+        };
+        let Some((w, v, classical)) = wire else { continue };
+        if remove.contains(&i) {
+            continue;
+        }
+        for (j, g) in gates.iter().enumerate().skip(i + 1) {
+            let mut touches = false;
+            g.for_each_wire(&mut |gw| touches |= gw == w);
+            if !touches {
+                continue;
+            }
+            match g {
+                Gate::QTerm { wire: tw, value: tv } if !classical && *tw == w && *tv == v => {
+                    remove.insert(i);
+                    remove.insert(j);
+                    stats.dead_ancillas += 1;
+                }
+                Gate::CTerm { wire: tw, value: tv } if classical && *tw == w && *tv == v => {
+                    remove.insert(i);
+                    remove.insert(j);
+                    stats.dead_ancillas += 1;
+                }
+                _ => {}
+            }
+            break;
+        }
+    }
+    if !remove.is_empty() {
+        let mut idx = 0;
+        gates.retain(|_| {
+            let keep = !remove.contains(&idx);
+            idx += 1;
+            keep
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circ::Circ;
+    use crate::qdata::Qubit;
+
+    #[test]
+    fn adjacent_hadamards_cancel() {
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.hadamard(q);
+            c.hadamard(q);
+            c.gate_t(q);
+            q
+        });
+        let (opt, stats) = optimize(&bc);
+        opt.validate().unwrap();
+        assert_eq!(opt.gate_count().total(), 1);
+        assert_eq!(stats.cancelled, 2);
+    }
+
+    #[test]
+    fn cancellation_iterates_to_fixpoint() {
+        // H X X H: the inner XX cancels, exposing the outer HH.
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.hadamard(q);
+            c.qnot(q);
+            c.qnot(q);
+            c.hadamard(q);
+            q
+        });
+        let (opt, _) = optimize(&bc);
+        assert_eq!(opt.gate_count().total(), 0, "everything cancels");
+    }
+
+    #[test]
+    fn cancellation_looks_past_disjoint_gates() {
+        let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+            c.hadamard(a);
+            c.gate_t(b); // disjoint: does not block
+            c.hadamard(a);
+            (a, b)
+        });
+        let (opt, _) = optimize(&bc);
+        assert_eq!(opt.gate_count().total(), 1);
+    }
+
+    #[test]
+    fn blocking_gates_prevent_unsound_cancellation() {
+        // H Z H on the same wire must NOT cancel the Hadamards.
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.hadamard(q);
+            c.gate_z(q);
+            c.hadamard(q);
+            q
+        });
+        let (opt, _) = optimize(&bc);
+        assert_eq!(opt.gate_count().total(), 3);
+    }
+
+    #[test]
+    fn t_and_t_dagger_cancel_but_two_ts_do_not() {
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.gate_t(q);
+            c.gate_inv(quipper_circuit::GateName::T, q);
+            q
+        });
+        assert_eq!(optimize(&bc).0.gate_count().total(), 0);
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.gate_t(q);
+            c.gate_t(q);
+            q
+        });
+        assert_eq!(optimize(&bc).0.gate_count().total(), 2);
+    }
+
+    #[test]
+    fn rotations_fuse_by_angle_addition() {
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.exp_zt(0.25, q);
+            c.exp_zt(0.5, q);
+            q
+        });
+        let (opt, stats) = optimize(&bc);
+        assert_eq!(stats.fused, 1);
+        assert_eq!(opt.gate_count().total(), 1);
+        match &opt.main.gates[0] {
+            Gate::QRot { angle, .. } => assert!((angle - 0.75).abs() < 1e-12),
+            g => panic!("expected fused rotation, got {g:?}"),
+        }
+    }
+
+    #[test]
+    fn opposite_rotations_vanish() {
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.exp_zt(0.4, q);
+            c.exp_zt(-0.4, q);
+            q
+        });
+        assert_eq!(optimize(&bc).0.gate_count().total(), 0);
+    }
+
+    #[test]
+    fn unused_ancilla_is_removed() {
+        // Short range: the init/term pair cancels as a gate-level inverse
+        // pair already.
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.with_ancilla(|c, _x| {
+                c.gate_t(q);
+            });
+            q
+        });
+        let (opt, _stats) = optimize(&bc);
+        opt.validate().unwrap();
+        assert_eq!(opt.gate_count().total(), 1);
+    }
+
+    #[test]
+    fn unused_ancilla_is_removed_at_long_range() {
+        // More than a cancellation window of unrelated gates between init
+        // and term: only the dedicated dead-ancilla pass catches it.
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.with_ancilla(|c, _x| {
+                for _ in 0..30 {
+                    c.gate_t(q);
+                }
+            });
+            q
+        });
+        let (opt, stats) = optimize(&bc);
+        opt.validate().unwrap();
+        assert_eq!(stats.dead_ancillas, 1);
+        assert_eq!(opt.gate_count().total(), 30);
+    }
+
+    #[test]
+    fn used_ancilla_is_kept() {
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.with_ancilla(|c, x| {
+                c.cnot(x, q);
+                c.cnot(x, q);
+            });
+            q
+        });
+        let (opt, _) = optimize(&bc);
+        opt.validate().unwrap();
+        // The CNOT pair cancels first, then the ancilla becomes dead: the
+        // fixpoint iteration removes everything.
+        assert_eq!(opt.gate_count().total(), 0);
+    }
+
+    #[test]
+    fn optimization_reaches_into_boxes() {
+        let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+            let (a, b) = c.box_circ("wasteful", (a, b), |c, (a, b): (Qubit, Qubit)| {
+                c.hadamard(a);
+                c.hadamard(a);
+                c.cnot(b, a);
+                (a, b)
+            });
+            (a, b)
+        });
+        let (opt, _) = optimize(&bc);
+        opt.validate().unwrap();
+        assert_eq!(opt.gate_count().total(), 1, "H pair inside the box cancels");
+        assert_eq!(opt.db.len(), 1, "hierarchy preserved");
+    }
+
+    #[test]
+    fn optimized_circuit_is_semantically_equal_on_basis_states() {
+        // A reversible circuit with deliberate waste; compare the classical
+        // simulator's output before and after on every input.
+        let build = |c: &mut Circ, qs: Vec<Qubit>| {
+            c.qnot(qs[0]);
+            c.qnot(qs[0]);
+            c.cnot(qs[1], qs[0]);
+            c.toffoli(qs[2], qs[0], qs[1]);
+            c.cnot(qs[1], qs[0]);
+            c.cnot(qs[1], qs[0]);
+            c.swap(qs[0], qs[2]);
+            qs
+        };
+        let bc = Circ::build(&vec![false; 3], build);
+        let (opt, _) = optimize(&bc);
+        opt.validate().unwrap();
+        assert!(opt.gate_count().total() < bc.gate_count().total());
+        for bits in 0..8u32 {
+            let input: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let a = quipper_sim::run_classical(&bc, &input).unwrap();
+            let b = quipper_sim::run_classical(&opt, &input).unwrap();
+            assert_eq!(a, b, "inputs {bits:03b}");
+        }
+    }
+}

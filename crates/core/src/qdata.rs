@@ -1,0 +1,328 @@
+//! Quantum data: structured collections of wires.
+//!
+//! Quipper uses Haskell type classes (`QCData`, `QShape`) to treat tuples,
+//! lists and application-specific types of qubits uniformly (paper §4.5).
+//! This module provides the Rust analogue: the [`QCData`] trait describes any
+//! value that is structurally a collection of circuit wires, and
+//! [`Shape`](crate::shape::Shape) (in the sibling module) relates each
+//! quantum type to its classical-input and parameter versions.
+
+use std::fmt;
+
+use quipper_circuit::{Wire, WireType};
+
+/// A qubit: a quantum wire in a circuit, only known at circuit execution
+/// time (paper §4.3.2).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Qubit(pub(crate) Wire);
+
+impl Qubit {
+    /// The underlying wire.
+    pub fn wire(self) -> Wire {
+        self.0
+    }
+
+    /// Wraps a raw wire as a qubit. The caller is responsible for the wire
+    /// actually being a live quantum wire.
+    pub fn from_wire(wire: Wire) -> Self {
+        Qubit(wire)
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A classical bit in a circuit: a boolean *input*, i.e. a value carried on
+/// a classical wire and only known at circuit execution time — as opposed to
+/// a `bool`, which is a circuit-generation-time parameter (paper §4.3.2).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Bit(pub(crate) Wire);
+
+impl Bit {
+    /// The underlying wire.
+    pub fn wire(self) -> Wire {
+        self.0
+    }
+
+    /// Wraps a raw wire as a classical bit.
+    pub fn from_wire(wire: Wire) -> Self {
+        Bit(wire)
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Structured quantum/classical circuit data: anything that is a (possibly
+/// heterogeneous, possibly nested) collection of wires.
+///
+/// Implementations exist for [`Qubit`], [`Bit`], `()`, tuples, arrays and
+/// `Vec`s of `QCData`. Libraries define their own instances — e.g. the
+/// quantum integers of `quipper-arith` — so that generic operations such as
+/// `controlled_not`, `measure`, boxing and reversal apply to them directly,
+/// exactly as in the paper's §4.5.
+pub trait QCData: Clone + fmt::Debug {
+    /// Calls `f` on every wire in the structure, in a deterministic order.
+    fn for_each_wire(&self, f: &mut dyn FnMut(Wire, WireType));
+
+    /// Rebuilds the structure with each wire replaced by `f(wire, ty)`,
+    /// visited in the same order as [`QCData::for_each_wire`].
+    fn map_wires(&self, f: &mut dyn FnMut(Wire, WireType) -> Wire) -> Self;
+
+    /// All wires with their types, in traversal order.
+    fn wires(&self) -> Vec<(Wire, WireType)> {
+        let mut v = Vec::new();
+        self.for_each_wire(&mut |w, t| v.push((w, t)));
+        v
+    }
+
+    /// The wire-type signature (shape key component) of the structure.
+    fn type_signature(&self) -> String {
+        let mut s = String::new();
+        self.for_each_wire(&mut |_, t| {
+            s.push(match t {
+                WireType::Quantum => 'q',
+                WireType::Classical => 'c',
+            })
+        });
+        s
+    }
+}
+
+impl QCData for Qubit {
+    fn for_each_wire(&self, f: &mut dyn FnMut(Wire, WireType)) {
+        f(self.0, WireType::Quantum);
+    }
+
+    fn map_wires(&self, f: &mut dyn FnMut(Wire, WireType) -> Wire) -> Self {
+        Qubit(f(self.0, WireType::Quantum))
+    }
+}
+
+impl QCData for Bit {
+    fn for_each_wire(&self, f: &mut dyn FnMut(Wire, WireType)) {
+        f(self.0, WireType::Classical);
+    }
+
+    fn map_wires(&self, f: &mut dyn FnMut(Wire, WireType) -> Wire) -> Self {
+        Bit(f(self.0, WireType::Classical))
+    }
+}
+
+impl QCData for () {
+    fn for_each_wire(&self, _f: &mut dyn FnMut(Wire, WireType)) {}
+
+    fn map_wires(&self, _f: &mut dyn FnMut(Wire, WireType) -> Wire) -> Self {}
+}
+
+macro_rules! impl_qcdata_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: QCData),+> QCData for ($($name,)+) {
+            fn for_each_wire(&self, f: &mut dyn FnMut(Wire, WireType)) {
+                $(self.$idx.for_each_wire(f);)+
+            }
+
+            fn map_wires(&self, f: &mut dyn FnMut(Wire, WireType) -> Wire) -> Self {
+                ($(self.$idx.map_wires(f),)+)
+            }
+        }
+    };
+}
+
+impl_qcdata_tuple!(A: 0);
+impl_qcdata_tuple!(A: 0, B: 1);
+impl_qcdata_tuple!(A: 0, B: 1, C: 2);
+impl_qcdata_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_qcdata_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_qcdata_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+impl<T: QCData> QCData for Vec<T> {
+    fn for_each_wire(&self, f: &mut dyn FnMut(Wire, WireType)) {
+        for x in self {
+            x.for_each_wire(f);
+        }
+    }
+
+    fn map_wires(&self, f: &mut dyn FnMut(Wire, WireType) -> Wire) -> Self {
+        self.iter().map(|x| x.map_wires(f)).collect()
+    }
+}
+
+impl<T: QCData, const N: usize> QCData for [T; N] {
+    fn for_each_wire(&self, f: &mut dyn FnMut(Wire, WireType)) {
+        for x in self {
+            x.for_each_wire(f);
+        }
+    }
+
+    fn map_wires(&self, f: &mut dyn FnMut(Wire, WireType) -> Wire) -> Self {
+        // Arrays have no fallible collect; map through a Vec.
+        let v: Vec<T> = self.iter().map(|x| x.map_wires(f)).collect();
+        match v.try_into() {
+            Ok(arr) => arr,
+            Err(_) => unreachable!("length preserved by map"),
+        }
+    }
+}
+
+impl<T: QCData> QCData for Option<T> {
+    fn for_each_wire(&self, f: &mut dyn FnMut(Wire, WireType)) {
+        if let Some(x) = self {
+            x.for_each_wire(f);
+        }
+    }
+
+    fn map_wires(&self, f: &mut dyn FnMut(Wire, WireType) -> Wire) -> Self {
+        self.as_ref().map(|x| x.map_wires(f))
+    }
+}
+
+/// An object-safe view of [`QCData`], used where heterogeneous wire sources
+/// are needed (e.g. labeling several differently-typed registers in one
+/// comment).
+pub trait WireSource {
+    /// Calls `f` on every wire of the source.
+    fn visit_wires(&self, f: &mut dyn FnMut(Wire, WireType));
+}
+
+impl<T: QCData> WireSource for T {
+    fn visit_wires(&self, f: &mut dyn FnMut(Wire, WireType)) {
+        self.for_each_wire(f);
+    }
+}
+
+/// Collects the controls corresponding to a piece of quantum data: each wire
+/// becomes a positive control. Negative controls can be requested per-wire
+/// with [`ControlSpec`].
+pub fn controls_of(data: &impl QCData) -> Vec<quipper_circuit::Control> {
+    let mut v = Vec::new();
+    data.for_each_wire(&mut |w, _| v.push(quipper_circuit::Control::positive(w)));
+    v
+}
+
+/// Something that can serve as the control condition of a gate or block:
+/// a qubit, a bit, a tuple or vector of them, or an explicit signed control
+/// list.
+///
+/// Mirrors Quipper's overloaded `controlled` operator, whose right-hand side
+/// "can be a tuple of qubits" (paper §4.4.2).
+pub trait ControlSpec {
+    /// The signed controls denoted by this value.
+    fn to_controls(&self) -> Vec<quipper_circuit::Control>;
+}
+
+impl ControlSpec for Qubit {
+    fn to_controls(&self) -> Vec<quipper_circuit::Control> {
+        vec![quipper_circuit::Control::positive(self.0)]
+    }
+}
+
+impl ControlSpec for Bit {
+    fn to_controls(&self) -> Vec<quipper_circuit::Control> {
+        vec![quipper_circuit::Control::positive(self.0)]
+    }
+}
+
+/// A qubit/bit paired with a boolean polarity: `(q, false)` is a negative
+/// control (fires on |0⟩).
+impl ControlSpec for (Qubit, bool) {
+    fn to_controls(&self) -> Vec<quipper_circuit::Control> {
+        vec![quipper_circuit::Control { wire: self.0 .0, positive: self.1 }]
+    }
+}
+
+impl ControlSpec for (Bit, bool) {
+    fn to_controls(&self) -> Vec<quipper_circuit::Control> {
+        vec![quipper_circuit::Control { wire: self.0 .0, positive: self.1 }]
+    }
+}
+
+impl<T: ControlSpec> ControlSpec for Vec<T> {
+    fn to_controls(&self) -> Vec<quipper_circuit::Control> {
+        self.iter().flat_map(|x| x.to_controls()).collect()
+    }
+}
+
+impl<T: ControlSpec> ControlSpec for &[T] {
+    fn to_controls(&self) -> Vec<quipper_circuit::Control> {
+        self.iter().flat_map(|x| x.to_controls()).collect()
+    }
+}
+
+impl<T: ControlSpec, const N: usize> ControlSpec for [T; N] {
+    fn to_controls(&self) -> Vec<quipper_circuit::Control> {
+        self.iter().flat_map(|x| x.to_controls()).collect()
+    }
+}
+
+impl ControlSpec for Vec<quipper_circuit::Control> {
+    fn to_controls(&self) -> Vec<quipper_circuit::Control> {
+        self.clone()
+    }
+}
+
+macro_rules! impl_controlspec_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: ControlSpec),+> ControlSpec for ($($name,)+) {
+            fn to_controls(&self) -> Vec<quipper_circuit::Control> {
+                let mut v = Vec::new();
+                $(v.extend(self.$idx.to_controls());)+
+                v
+            }
+        }
+    };
+}
+
+impl_controlspec_tuple!(A: 0, B: 1);
+impl_controlspec_tuple!(A: 0, B: 1, C: 2);
+impl_controlspec_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_controlspec_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_traversal_is_left_to_right() {
+        let data = (Qubit(Wire(3)), (Bit(Wire(1)), Qubit(Wire(2))));
+        let ws = data.wires();
+        assert_eq!(
+            ws,
+            vec![
+                (Wire(3), WireType::Quantum),
+                (Wire(1), WireType::Classical),
+                (Wire(2), WireType::Quantum)
+            ]
+        );
+        assert_eq!(data.type_signature(), "qcq");
+    }
+
+    #[test]
+    fn map_wires_preserves_structure() {
+        let data = vec![Qubit(Wire(0)), Qubit(Wire(1))];
+        let shifted = data.map_wires(&mut |w, _| Wire(w.0 + 5));
+        assert_eq!(shifted, vec![Qubit(Wire(5)), Qubit(Wire(6))]);
+    }
+
+    #[test]
+    fn control_spec_handles_polarity() {
+        let spec = ((Qubit(Wire(0)), false), Qubit(Wire(1)));
+        let cs = spec.to_controls();
+        assert_eq!(cs.len(), 2);
+        assert!(!cs[0].positive);
+        assert!(cs[1].positive);
+    }
+
+    #[test]
+    fn array_qcdata_roundtrip() {
+        let arr = [Qubit(Wire(0)), Qubit(Wire(1)), Qubit(Wire(2))];
+        let mapped = arr.map_wires(&mut |w, _| Wire(w.0 * 2));
+        assert_eq!(mapped[2], Qubit(Wire(4)));
+    }
+}

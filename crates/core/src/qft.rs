@@ -1,0 +1,86 @@
+//! The quantum Fourier transform.
+//!
+//! The QFT is "a unitary change of basis analogous to the classical Fourier
+//! transform … used in many quantum algorithms, for example to find the
+//! period of a periodic function" (paper §3.1). It is used here by the Class
+//! Number, Ground State Estimation and Quantum Linear Systems algorithms.
+
+use crate::circ::Circ;
+use crate::qdata::Qubit;
+
+/// Applies the quantum Fourier transform to a big-endian register
+/// (`qs[0]` is the most significant qubit).
+///
+/// Uses the textbook construction: Hadamards interleaved with controlled
+/// R(2π/2ᵏ) rotations, followed by a bit reversal implemented with swaps.
+pub fn qft(c: &mut Circ, qs: &[Qubit]) {
+    let n = qs.len();
+    for i in 0..n {
+        c.hadamard(qs[i]);
+        for (k, &ctl) in qs.iter().enumerate().skip(i + 1) {
+            let dist = (k - i + 1) as u32;
+            c.rot_ctrl("R(2pi/%)", f64::from(dist), qs[i], &ctl);
+        }
+    }
+    bit_reverse(c, qs);
+}
+
+/// Applies the inverse quantum Fourier transform to a big-endian register.
+pub fn qft_inverse(c: &mut Circ, qs: &[Qubit]) {
+    // Exactly the reverse of `qft`, gate by gate.
+    let shape = vec![false; qs.len()];
+    let out = c.reverse_simple(
+        &shape,
+        |c, inner: Vec<Qubit>| {
+            qft(c, &inner);
+            inner
+        },
+        qs.to_vec(),
+    );
+    // The reversed circuit maps the outputs back onto the same wires, in
+    // order; nothing further to bind.
+    debug_assert_eq!(out.len(), qs.len());
+}
+
+fn bit_reverse(c: &mut Circ, qs: &[Qubit]) {
+    let n = qs.len();
+    for i in 0..n / 2 {
+        c.swap(qs[i], qs[n - 1 - i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circ::Circ;
+
+    #[test]
+    fn qft_gate_count_is_quadratic() {
+        let n = 6;
+        let bc = Circ::build(&vec![false; n], |c, qs: Vec<Qubit>| {
+            qft(c, &qs);
+            qs
+        });
+        bc.validate().unwrap();
+        let gc = bc.gate_count();
+        // n Hadamards, n(n-1)/2 controlled rotations, floor(n/2) swaps.
+        let expected = (n + n * (n - 1) / 2 + n / 2) as u128;
+        assert_eq!(gc.total(), expected);
+    }
+
+    #[test]
+    fn qft_then_inverse_counts_balance() {
+        let n = 4;
+        let bc = Circ::build(&vec![false; n], |c, qs: Vec<Qubit>| {
+            qft(c, &qs);
+            qft_inverse(c, &qs);
+            qs
+        });
+        bc.validate().unwrap();
+        let gc = bc.gate_count();
+        let rots = gc.by_name_any_controls("R(2pi/%)");
+        // Half the rotations are inverted, half are not.
+        assert_eq!(rots, (n * (n - 1)) as u128);
+        assert_eq!(gc.by_name_any_controls("R(2pi/%)*"), (n * (n - 1) / 2) as u128);
+    }
+}

@@ -1,0 +1,351 @@
+//! The parameter/input relationship: Quipper's `QShape` type class.
+//!
+//! For every kind of data there are three versions (paper §4.3.2): a
+//! *parameter* known at circuit generation time (`bool`, `Vec<bool>` …), a
+//! *quantum input* ([`Qubit`], `Vec<Qubit>` …) and a *classical input*
+//! ([`Bit`], `Vec<Bit>` …). The [`Shape`] trait relates the three, with the
+//! parameter type doubling as the *shape* descriptor (the parameter
+//! component of a piece of data, paper's terminology): e.g. for a
+//! `Vec<bool>` the length is the shape, so `qinit` knows how many qubits to
+//! allocate.
+
+use std::fmt;
+
+use quipper_circuit::Gate;
+
+use crate::circ::Circ;
+use crate::qdata::{Bit, QCData, Qubit};
+
+/// A circuit-generation-time parameter type with associated quantum and
+/// classical input versions.
+///
+/// Mirrors Quipper's three-way `QShape b q c` relationship:
+///
+/// ```text
+/// instance QShape Bool Qubit Bit
+/// instance (QShape b q c, QShape b' q' c') => QShape (b,b') (q,q') (c,c')
+/// ```
+///
+/// here `Shape` is implemented by the parameter (`b`) type, with `Q` and `C`
+/// as associated types.
+pub trait Shape: Clone + fmt::Debug {
+    /// The quantum input version (wires in a circuit).
+    type Q: QCData + 'static;
+    /// The classical input version.
+    type C: QCData + 'static;
+
+    /// Initializes fresh quantum data in the basis state described by this
+    /// parameter (`qinit` in the paper's §4.5).
+    fn qinit(&self, c: &mut Circ) -> Self::Q;
+
+    /// Initializes fresh classical data holding this parameter.
+    fn cinit(&self, c: &mut Circ) -> Self::C;
+
+    /// Terminates quantum data, asserting it is in the basis state described
+    /// by this parameter.
+    fn qterm(&self, c: &mut Circ, data: Self::Q);
+
+    /// Terminates classical data, asserting its value.
+    fn cterm(&self, c: &mut Circ, data: Self::C);
+
+    /// Allocates fresh circuit *input* wires of this shape (the parameter's
+    /// values are ignored, only the shape matters).
+    fn make_input(&self, c: &mut Circ) -> Self::Q;
+
+    /// Allocates fresh *classical* circuit input wires of this shape.
+    fn make_input_classical(&self, c: &mut Circ) -> Self::C;
+
+    /// A structural dummy of the quantum version (all wires are
+    /// placeholders); used to rebuild values via
+    /// [`QCData::map_wires`].
+    fn make_dummy(&self) -> Self::Q;
+}
+
+impl Shape for bool {
+    type Q = Qubit;
+    type C = Bit;
+
+    fn qinit(&self, c: &mut Circ) -> Qubit {
+        c.qinit_bit(*self)
+    }
+
+    fn cinit(&self, c: &mut Circ) -> Bit {
+        c.cinit_bit(*self)
+    }
+
+    fn qterm(&self, c: &mut Circ, data: Qubit) {
+        c.qterm_bit(*self, data);
+    }
+
+    fn cterm(&self, c: &mut Circ, data: Bit) {
+        c.cterm_bit(*self, data);
+    }
+
+    fn make_input(&self, c: &mut Circ) -> Qubit {
+        Qubit::from_wire(c.add_input_wire(quipper_circuit::WireType::Quantum))
+    }
+
+    fn make_input_classical(&self, c: &mut Circ) -> Bit {
+        Bit::from_wire(c.add_input_wire(quipper_circuit::WireType::Classical))
+    }
+
+    fn make_dummy(&self) -> Qubit {
+        Qubit::from_wire(quipper_circuit::Wire(0))
+    }
+}
+
+impl Shape for () {
+    type Q = ();
+    type C = ();
+
+    fn qinit(&self, _c: &mut Circ) {}
+    fn cinit(&self, _c: &mut Circ) {}
+    fn qterm(&self, _c: &mut Circ, _data: ()) {}
+    fn cterm(&self, _c: &mut Circ, _data: ()) {}
+    fn make_input(&self, _c: &mut Circ) {}
+    fn make_input_classical(&self, _c: &mut Circ) {}
+    fn make_dummy(&self) {}
+}
+
+macro_rules! impl_shape_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Shape),+> Shape for ($($name,)+) {
+            type Q = ($($name::Q,)+);
+            type C = ($($name::C,)+);
+
+            fn qinit(&self, c: &mut Circ) -> Self::Q {
+                ($(self.$idx.qinit(c),)+)
+            }
+
+            fn cinit(&self, c: &mut Circ) -> Self::C {
+                ($(self.$idx.cinit(c),)+)
+            }
+
+            fn qterm(&self, c: &mut Circ, data: Self::Q) {
+                $(self.$idx.qterm(c, data.$idx);)+
+            }
+
+            fn cterm(&self, c: &mut Circ, data: Self::C) {
+                $(self.$idx.cterm(c, data.$idx);)+
+            }
+
+            fn make_input(&self, c: &mut Circ) -> Self::Q {
+                ($(self.$idx.make_input(c),)+)
+            }
+
+            fn make_input_classical(&self, c: &mut Circ) -> Self::C {
+                ($(self.$idx.make_input_classical(c),)+)
+            }
+
+            fn make_dummy(&self) -> Self::Q {
+                ($(self.$idx.make_dummy(),)+)
+            }
+        }
+    };
+}
+
+impl_shape_tuple!(A: 0, B: 1);
+impl_shape_tuple!(A: 0, B: 1, C: 2);
+impl_shape_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_shape_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_shape_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+impl<S: Shape> Shape for Vec<S> {
+    type Q = Vec<S::Q>;
+    type C = Vec<S::C>;
+
+    fn qinit(&self, c: &mut Circ) -> Self::Q {
+        self.iter().map(|s| s.qinit(c)).collect()
+    }
+
+    fn cinit(&self, c: &mut Circ) -> Self::C {
+        self.iter().map(|s| s.cinit(c)).collect()
+    }
+
+    fn qterm(&self, c: &mut Circ, data: Self::Q) {
+        assert_eq!(self.len(), data.len(), "qterm: shape length mismatch");
+        for (s, d) in self.iter().zip(data) {
+            s.qterm(c, d);
+        }
+    }
+
+    fn cterm(&self, c: &mut Circ, data: Self::C) {
+        assert_eq!(self.len(), data.len(), "cterm: shape length mismatch");
+        for (s, d) in self.iter().zip(data) {
+            s.cterm(c, d);
+        }
+    }
+
+    fn make_input(&self, c: &mut Circ) -> Self::Q {
+        self.iter().map(|s| s.make_input(c)).collect()
+    }
+
+    fn make_input_classical(&self, c: &mut Circ) -> Self::C {
+        self.iter().map(|s| s.make_input_classical(c)).collect()
+    }
+
+    fn make_dummy(&self) -> Self::Q {
+        self.iter().map(|s| s.make_dummy()).collect()
+    }
+}
+
+impl<S: Shape, const N: usize> Shape for [S; N] {
+    type Q = [S::Q; N];
+    type C = [S::C; N];
+
+    fn qinit(&self, c: &mut Circ) -> Self::Q {
+        std::array::from_fn(|i| self[i].qinit(c))
+    }
+
+    fn cinit(&self, c: &mut Circ) -> Self::C {
+        std::array::from_fn(|i| self[i].cinit(c))
+    }
+
+    fn qterm(&self, c: &mut Circ, data: Self::Q) {
+        for (s, d) in self.iter().zip(data) {
+            s.qterm(c, d);
+        }
+    }
+
+    fn cterm(&self, c: &mut Circ, data: Self::C) {
+        for (s, d) in self.iter().zip(data) {
+            s.cterm(c, d);
+        }
+    }
+
+    fn make_input(&self, c: &mut Circ) -> Self::Q {
+        std::array::from_fn(|i| self[i].make_input(c))
+    }
+
+    fn make_input_classical(&self, c: &mut Circ) -> Self::C {
+        std::array::from_fn(|i| self[i].make_input_classical(c))
+    }
+
+    fn make_dummy(&self) -> Self::Q {
+        std::array::from_fn(|i| self[i].make_dummy())
+    }
+}
+
+/// Quantum data that can be measured wholesale, yielding classical data of
+/// the same shape.
+///
+/// Measuring a [`Qubit`] yields a [`Bit`]; measuring a structure measures
+/// every qubit in it (classical bits pass through unchanged).
+pub trait Measurable: QCData {
+    /// The classical result shape.
+    type Outcome: QCData;
+
+    /// Emits the measurements.
+    fn measure_in(self, c: &mut Circ) -> Self::Outcome;
+}
+
+impl Measurable for Qubit {
+    type Outcome = Bit;
+
+    fn measure_in(self, c: &mut Circ) -> Bit {
+        c.emit(Gate::QMeas { wire: self.wire() });
+        Bit::from_wire(self.wire())
+    }
+}
+
+impl Measurable for Bit {
+    type Outcome = Bit;
+
+    fn measure_in(self, _c: &mut Circ) -> Bit {
+        self
+    }
+}
+
+impl Measurable for () {
+    type Outcome = ();
+
+    fn measure_in(self, _c: &mut Circ) {}
+}
+
+macro_rules! impl_measurable_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Measurable),+> Measurable for ($($name,)+) {
+            type Outcome = ($($name::Outcome,)+);
+
+            fn measure_in(self, c: &mut Circ) -> Self::Outcome {
+                ($(self.$idx.measure_in(c),)+)
+            }
+        }
+    };
+}
+
+impl_measurable_tuple!(A: 0, B: 1);
+impl_measurable_tuple!(A: 0, B: 1, C: 2);
+impl_measurable_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+impl<T: Measurable> Measurable for Vec<T> {
+    type Outcome = Vec<T::Outcome>;
+
+    fn measure_in(self, c: &mut Circ) -> Self::Outcome {
+        self.into_iter().map(|x| x.measure_in(c)).collect()
+    }
+}
+
+impl<T: Measurable, const N: usize> Measurable for [T; N] {
+    type Outcome = [T::Outcome; N];
+
+    fn measure_in(self, c: &mut Circ) -> Self::Outcome {
+        let v: Vec<T::Outcome> = self.into_iter().map(|x| x.measure_in(c)).collect();
+        match v.try_into() {
+            Ok(arr) => arr,
+            Err(_) => unreachable!("length preserved"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circ::Circ;
+    use quipper_circuit::WireType;
+
+    #[test]
+    fn qinit_of_vec_allocates_all_bits() {
+        let bc = Circ::build(&(), |c, ()| {
+            let qs = c.qinit(&vec![true, false, true]);
+            qs
+        });
+        bc.validate().unwrap();
+        let gc = bc.gate_count();
+        assert_eq!(gc.by_name("Init1", 0, 0), 2);
+        assert_eq!(gc.by_name("Init0", 0, 0), 1);
+    }
+
+    #[test]
+    fn qinit_and_qterm_roundtrip() {
+        let bc = Circ::build(&(), |c, ()| {
+            let qs = c.qinit(&(true, vec![false, true]));
+            c.qterm(&(true, vec![false, true]), qs);
+        });
+        bc.validate().unwrap();
+        assert_eq!(bc.gate_count().total(), 6);
+    }
+
+    #[test]
+    fn measure_structure() {
+        let bc = Circ::build(&(false, vec![false; 2]), |c, data: (Qubit, Vec<Qubit>)| {
+            c.measure(data)
+        });
+        bc.validate().unwrap();
+        assert!(bc.main.outputs.iter().all(|&(_, t)| t == WireType::Classical));
+        assert_eq!(bc.gate_count().by_name("Meas", 0, 0), 3);
+    }
+
+    #[test]
+    fn example_from_paper_qinit_pair() {
+        // example = do (p,q) <- qinit (False,False) ...
+        let bc = Circ::build(&(), |c, ()| {
+            let (p, q) = c.qinit(&(false, false));
+            c.cnot(q, p);
+            (p, q)
+        });
+        bc.validate().unwrap();
+        assert_eq!(bc.main.inputs.len(), 0);
+        assert_eq!(bc.main.outputs.len(), 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! The circuit-transformer framework.
+//!
+//! Quipper provides "a notation for circuit transformations … e.g. replacing
+//! one elementary gate set by another" (paper §4, §3.4). A [`Transformer`]
+//! maps each gate to a replacement gate sequence; [`transform`] applies it to
+//! a whole hierarchical circuit, rewriting every boxed subcircuit exactly
+//! once and preserving the hierarchy.
+
+use std::collections::HashMap;
+
+use quipper_circuit::{BCircuit, BoxId, Circuit, CircuitDb, Gate, SubDef, Wire};
+
+/// A lightweight gate-emission context handed to transformers: it can emit
+/// gates and allocate fresh (ancilla) wires in the circuit being rewritten.
+///
+/// Unlike [`Circ`](crate::Circ) it performs no liveness bookkeeping — the
+/// result of a whole-circuit transformation can be re-validated at the end
+/// via [`BCircuit::validate`].
+#[derive(Debug)]
+pub struct Rewriter {
+    gates: Vec<Gate>,
+    next_wire: u32,
+}
+
+impl Rewriter {
+    /// Emits a gate into the rewritten circuit.
+    pub fn emit(&mut self, gate: Gate) {
+        self.gates.push(gate);
+    }
+
+    /// Allocates a fresh wire id (does not emit an initialization).
+    pub fn fresh_wire(&mut self) -> Wire {
+        let w = Wire(self.next_wire);
+        self.next_wire += 1;
+        w
+    }
+
+    /// Allocates and initializes a fresh ancilla qubit in state |0⟩.
+    pub fn ancilla(&mut self) -> Wire {
+        let w = self.fresh_wire();
+        self.emit(Gate::QInit { value: false, wire: w });
+        w
+    }
+
+    /// Terminates an ancilla, asserting |0⟩.
+    pub fn release(&mut self, w: Wire) {
+        self.emit(Gate::QTerm { value: false, wire: w });
+    }
+}
+
+/// A per-gate rewriting strategy.
+pub trait Transformer {
+    /// Emits the replacement of `gate` into `out`. The replacement must have
+    /// the same wire interface (same live wires before and after).
+    ///
+    /// Subroutine-call gates are handled by the framework itself (their
+    /// bodies are transformed once in the database) and never reach this
+    /// method.
+    fn transform_gate(&mut self, gate: &Gate, out: &mut Rewriter);
+}
+
+/// The identity transformer: copies every gate unchanged.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Identity;
+
+impl Transformer for Identity {
+    fn transform_gate(&mut self, gate: &Gate, out: &mut Rewriter) {
+        out.emit(gate.clone());
+    }
+}
+
+/// Applies `t` to a hierarchical circuit: every boxed subcircuit body is
+/// rewritten exactly once, and subroutine-call gates are retargeted to the
+/// rewritten definitions. The hierarchy (and hence the compactness of the
+/// representation) is preserved.
+pub fn transform(t: &mut dyn Transformer, bc: &BCircuit) -> BCircuit {
+    let mut new_db = CircuitDb::new();
+    let mut id_map: HashMap<BoxId, BoxId> = HashMap::new();
+    // Definitions are created before first use, so increasing id order
+    // guarantees that every call inside a body refers to an
+    // already-transformed definition.
+    for (id, def) in bc.db.iter() {
+        let circuit = transform_circuit(t, &def.circuit, &id_map);
+        let new_id = new_db.insert(SubDef {
+            name: def.name.clone(),
+            shape: def.shape.clone(),
+            circuit,
+        });
+        id_map.insert(id, new_id);
+    }
+    let main = transform_circuit(t, &bc.main, &id_map);
+    BCircuit::new(new_db, main)
+}
+
+fn transform_circuit(
+    t: &mut dyn Transformer,
+    circuit: &Circuit,
+    id_map: &HashMap<BoxId, BoxId>,
+) -> Circuit {
+    let mut rw = Rewriter { gates: Vec::new(), next_wire: circuit.wire_bound };
+    for gate in &circuit.gates {
+        match gate {
+            Gate::Subroutine { id, inverted, inputs, outputs, controls, repetitions } => {
+                rw.emit(Gate::Subroutine {
+                    id: *(id_map
+                        .get(id)
+                        .expect("subroutine referenced before definition during transform")),
+                    inverted: *inverted,
+                    inputs: inputs.clone(),
+                    outputs: outputs.clone(),
+                    controls: controls.clone(),
+                    repetitions: *repetitions,
+                });
+            }
+            g => t.transform_gate(g, &mut rw),
+        }
+    }
+    Circuit {
+        inputs: circuit.inputs.clone(),
+        gates: rw.gates,
+        outputs: circuit.outputs.clone(),
+        wire_bound: rw.next_wire,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circ::Circ;
+    use crate::qdata::Qubit;
+    use quipper_circuit::GateName;
+
+    /// A transformer replacing every Hadamard with X·Z·X (not semantically
+    /// meaningful — just structurally observable).
+    struct HToXzx;
+
+    impl Transformer for HToXzx {
+        fn transform_gate(&mut self, gate: &Gate, out: &mut Rewriter) {
+            match gate {
+                Gate::QGate { name: GateName::H, targets, controls, .. } => {
+                    for n in [GateName::X, GateName::Z, GateName::X] {
+                        out.emit(Gate::QGate {
+                            name: n,
+                            inverted: false,
+                            targets: targets.clone(),
+                            controls: controls.clone(),
+                        });
+                    }
+                }
+                g => out.emit(g.clone()),
+            }
+        }
+    }
+
+    #[test]
+    fn transform_rewrites_inside_boxes() {
+        let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+            let (a, b) = c.box_circ("hh", (a, b), |c, (a, b): (Qubit, Qubit)| {
+                c.hadamard(a);
+                c.hadamard(b);
+                (a, b)
+            });
+            c.hadamard(a);
+            (a, b)
+        });
+        let out = transform(&mut HToXzx, &bc);
+        out.validate().unwrap();
+        let gc = out.gate_count();
+        assert_eq!(gc.by_name_any_controls("\"H\""), 0);
+        // 3 Hadamards replaced by 3 gates each.
+        assert_eq!(gc.total(), 9);
+        // Hierarchy preserved: the box still exists.
+        assert_eq!(out.db.len(), 1);
+    }
+
+    #[test]
+    fn identity_transform_preserves_counts() {
+        let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+            c.hadamard(a);
+            c.cnot(b, a);
+            (a, b)
+        });
+        let out = transform(&mut Identity, &bc);
+        assert_eq!(out.gate_count().counts, bc.gate_count().counts);
+    }
+}

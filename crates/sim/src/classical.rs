@@ -1,0 +1,230 @@
+//! Efficient simulation of classical (reversible) circuits.
+//!
+//! The analogue of Quipper's `run_classical_generic`, which "can be used to
+//! simulate certain classes of circuits efficiently; this is especially
+//! useful in testing oracles" (paper §4.4.5). Circuits built from
+//! initializations, terminations, (multi-)controlled not gates, swaps,
+//! measurements and classical gates act as permutations of computational
+//! basis states, so they are simulated with one bit per wire.
+//!
+//! Assertive terminations are *checked*: a violated `QTerm` assertion is
+//! reported as an error, which makes this simulator the main tool for
+//! testing that oracles correctly uncompute their scratch space.
+
+use std::collections::HashMap;
+
+use quipper_circuit::flatten::inline_all;
+use quipper_circuit::{BCircuit, Control, Gate, GateName, Wire};
+
+use crate::error::SimError;
+
+/// The bit store of the classical simulator.
+#[derive(Clone, Debug, Default)]
+pub struct ClassicalState {
+    bits: HashMap<Wire, bool>,
+}
+
+impl ClassicalState {
+    /// Creates an empty state.
+    pub fn new() -> ClassicalState {
+        ClassicalState::default()
+    }
+
+    /// Sets an input wire's value.
+    pub fn set(&mut self, wire: Wire, value: bool) {
+        self.bits.insert(wire, value);
+    }
+
+    /// Reads a wire's value.
+    pub fn get(&self, wire: Wire) -> Option<bool> {
+        self.bits.get(&wire).copied()
+    }
+
+    fn read(&self, wire: Wire) -> Result<bool, SimError> {
+        self.get(wire).ok_or(SimError::UnknownWire { wire })
+    }
+
+    fn controls_fire(&self, controls: &[Control]) -> Result<bool, SimError> {
+        for c in controls {
+            if self.read(c.wire)? != c.positive {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Executes one gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnsupportedGate`] for gates that create
+    /// superpositions (Hadamard, W, rotations, phases), and
+    /// [`SimError::AssertionFailed`] for violated terminations.
+    pub fn apply(&mut self, gate: &Gate) -> Result<(), SimError> {
+        match gate {
+            Gate::Comment { .. } => Ok(()),
+            Gate::QInit { value, wire } | Gate::CInit { value, wire } => {
+                self.bits.insert(*wire, *value);
+                Ok(())
+            }
+            Gate::QTerm { value, wire } | Gate::CTerm { value, wire } => {
+                let v = self.read(*wire)?;
+                self.bits.remove(wire);
+                if v != *value {
+                    return Err(SimError::AssertionFailed {
+                        wire: *wire,
+                        asserted: *value,
+                        probability: 0.0,
+                    });
+                }
+                Ok(())
+            }
+            Gate::QMeas { .. } => Ok(()), // value carries over unchanged
+            Gate::QDiscard { wire } | Gate::CDiscard { wire } => {
+                self.bits.remove(wire);
+                Ok(())
+            }
+            Gate::QGate { name: GateName::X, targets, controls, .. } => {
+                if self.controls_fire(controls)? {
+                    for t in targets {
+                        let v = self.read(*t)?;
+                        self.bits.insert(*t, !v);
+                    }
+                }
+                Ok(())
+            }
+            Gate::QGate { name: GateName::Swap, targets, controls, .. } => {
+                if self.controls_fire(controls)? {
+                    let a = self.read(targets[0])?;
+                    let b = self.read(targets[1])?;
+                    self.bits.insert(targets[0], b);
+                    self.bits.insert(targets[1], a);
+                }
+                Ok(())
+            }
+            // Z-basis phases act trivially on basis states.
+            Gate::QGate { name: GateName::Z | GateName::S | GateName::T, .. }
+            | Gate::GPhase { .. } => Ok(()),
+            Gate::CGate { name, inverted, target, inputs } => {
+                let mut vals = Vec::with_capacity(inputs.len());
+                for w in inputs {
+                    vals.push(self.read(*w)?);
+                }
+                let v = match &**name {
+                    "xor" => vals.iter().fold(false, |a, &b| a ^ b),
+                    "and" => vals.iter().all(|&b| b),
+                    "or" => vals.iter().any(|&b| b),
+                    "not" => !vals.first().copied().unwrap_or(false),
+                    _ => {
+                        return Err(SimError::UnsupportedGate {
+                            gate: gate.describe(),
+                            simulator: "classical",
+                        })
+                    }
+                };
+                self.bits.insert(*target, v ^ inverted);
+                Ok(())
+            }
+            g => Err(SimError::UnsupportedGate {
+                gate: g.describe(),
+                simulator: "classical",
+            }),
+        }
+    }
+}
+
+/// Runs a classical/reversible hierarchical circuit on basis-state inputs,
+/// returning the output bits in declaration order.
+///
+/// # Errors
+///
+/// Returns an error on arity mismatch, unsupported (non-classical) gates, or
+/// violated termination assertions.
+pub fn run_classical(bc: &BCircuit, inputs: &[bool]) -> Result<Vec<bool>, SimError> {
+    let flat = inline_all(&bc.db, &bc.main)?;
+    if inputs.len() != flat.inputs.len() {
+        return Err(SimError::InputArity { expected: flat.inputs.len(), found: inputs.len() });
+    }
+    let mut st = ClassicalState::new();
+    for (&(w, _), &v) in flat.inputs.iter().zip(inputs) {
+        st.set(w, v);
+    }
+    for gate in &flat.gates {
+        st.apply(gate)?;
+    }
+    flat.outputs.iter().map(|&(w, _)| st.read(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quipper::classical::{synth, Dag};
+    use quipper::{Circ, Qubit};
+
+    #[test]
+    fn cnot_chain_computes_parity() {
+        let bc = Circ::build(&(vec![false; 4], false), |c, (xs, t): (Vec<Qubit>, Qubit)| {
+            for &x in &xs {
+                c.cnot(t, x);
+            }
+            (xs, t)
+        });
+        let out = run_classical(&bc, &[true, true, true, false, false]).unwrap();
+        assert_eq!(out[4], true);
+    }
+
+    #[test]
+    fn synthesized_oracle_matches_classical_semantics_exhaustively() {
+        // A nontrivial function: out = (a ∧ b) ⊕ (c ∨ ¬a).
+        let dag = Dag::build(3, |_, xs| {
+            vec![(&xs[0] & &xs[1]) ^ (&xs[2] | &!(&xs[0]))]
+        });
+        let bc = Circ::build(&(vec![false; 3], false), |c, (xs, t): (Vec<Qubit>, Qubit)| {
+            synth::classical_to_reversible(c, &dag, &xs, &[t]);
+            (xs, t)
+        });
+        for bits in 0..8u32 {
+            let input: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expected = dag.eval(&input)[0];
+            let mut sim_in = input.clone();
+            sim_in.push(false);
+            let out = run_classical(&bc, &sim_in).unwrap();
+            assert_eq!(out[..3], input[..], "inputs preserved");
+            assert_eq!(out[3], expected, "oracle output for {input:?}");
+            // With target preset to 1 the oracle xors: out = 1 ⊕ f(x).
+            let mut sim_in1 = input.clone();
+            sim_in1.push(true);
+            let out1 = run_classical(&bc, &sim_in1).unwrap();
+            assert_eq!(out1[3], !expected);
+        }
+    }
+
+    #[test]
+    fn hadamard_is_rejected() {
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.hadamard(q);
+            q
+        });
+        assert!(matches!(
+            run_classical(&bc, &[false]),
+            Err(SimError::UnsupportedGate { .. })
+        ));
+    }
+
+    #[test]
+    fn broken_uncomputation_is_detected() {
+        // An "oracle" that forgets to uncompute: asserts 0 on a wire that
+        // holds a ∧ b.
+        let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+            let anc = c.qinit_bit(false);
+            c.toffoli(anc, a, b);
+            c.qterm_bit(false, anc);
+            (a, b)
+        });
+        assert!(run_classical(&bc, &[true, false]).is_ok());
+        assert!(matches!(
+            run_classical(&bc, &[true, true]),
+            Err(SimError::AssertionFailed { .. })
+        ));
+    }
+}

@@ -1,0 +1,124 @@
+//! A minimal complex-number type for the state-vector simulator.
+//!
+//! Implemented in-repo to keep the dependency set to the pre-approved crates.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The complex number 0.
+pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+/// The complex number 1.
+pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+/// The imaginary unit i.
+pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+impl Complex {
+    /// Creates a complex number from parts.
+    pub fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// e^{iθ}.
+    pub fn cis(theta: f64) -> Complex {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Squared modulus |z|².
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, k: f64) -> Complex {
+        Complex { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplication_follows_i_squared() {
+        assert_eq!(I * I, Complex::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn cis_is_on_unit_circle() {
+        let z = Complex::cis(1.234);
+        assert!((z.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_negates_imaginary() {
+        let z = Complex::new(2.0, 3.0);
+        assert_eq!(z.conj(), Complex::new(2.0, -3.0));
+        assert!((z * z.conj()).im.abs() < 1e-12);
+    }
+}

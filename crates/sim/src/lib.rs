@@ -1,0 +1,29 @@
+//! Simulators for Quipper circuits.
+//!
+//! Quipper separates the description of circuits from what to do with them
+//! (paper §4.4.5); this crate provides the *run functions* that execute
+//! circuits:
+//!
+//! * [`statevec::run`] — exact state-vector simulation (`run_generic`),
+//!   exponential in circuit width but supporting every gate.
+//! * [`classical::run_classical`] — bit-per-wire simulation of classical /
+//!   reversible circuits (`run_classical_generic`), the workhorse for
+//!   testing oracles.
+//! * [`stabilizer::run_clifford`] — polynomial-time CHP tableau simulation
+//!   of Clifford circuits (`run_clifford_generic`).
+//! * [`interactive::SimLifter`] — a simulated quantum device supporting
+//!   *dynamic lifting* (paper §4.3), for algorithms that interleave circuit
+//!   generation and execution such as Unique Shortest Vector.
+
+pub mod classical;
+pub mod complex;
+pub mod error;
+pub mod interactive;
+pub mod stabilizer;
+pub mod statevec;
+
+pub use classical::run_classical;
+pub use error::SimError;
+pub use interactive::SimLifter;
+pub use stabilizer::run_clifford;
+pub use statevec::{run, RunResult, StateVec};

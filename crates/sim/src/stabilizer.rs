@@ -1,0 +1,527 @@
+//! Stabilizer (Clifford) simulation, after Aaronson & Gottesman's CHP.
+//!
+//! The analogue of Quipper's `run_clifford_generic` (paper §4.4.5): circuits
+//! built from Clifford gates (H, S, V, Pauli gates, CNOT, CZ, swap) and
+//! measurements are simulated in polynomial time using the stabilizer
+//! tableau representation, instead of the exponential state vector.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use quipper_circuit::flatten::inline_all;
+use quipper_circuit::{BCircuit, Gate, GateName, Wire, WireType};
+
+use crate::error::SimError;
+
+/// A stabilizer tableau over a growable set of qubit slots.
+///
+/// Rows `0..n` are destabilizers, rows `n..2n` stabilizers, following
+/// Aaronson & Gottesman. Bits are stored one `bool` per cell — adequate for
+/// the circuit sizes exercised here.
+#[derive(Clone, Debug)]
+pub struct Stabilizer {
+    n: usize,
+    x: Vec<Vec<bool>>,
+    z: Vec<Vec<bool>>,
+    r: Vec<bool>,
+    slots: HashMap<Wire, usize>,
+    free: Vec<(usize, bool)>,
+    classical: HashMap<Wire, bool>,
+    rng: StdRng,
+}
+
+impl Stabilizer {
+    /// Creates an empty tableau.
+    pub fn new(seed: u64) -> Stabilizer {
+        Stabilizer {
+            n: 0,
+            x: Vec::new(),
+            z: Vec::new(),
+            r: Vec::new(),
+            slots: HashMap::new(),
+            free: Vec::new(),
+            classical: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The value of a classical wire, if set.
+    pub fn classical_value(&self, wire: Wire) -> Option<bool> {
+        self.classical.get(&wire).copied()
+    }
+
+    /// Number of allocated tableau slots.
+    pub fn slots_allocated(&self) -> usize {
+        self.n
+    }
+
+    fn grow(&mut self) -> usize {
+        let q = self.n;
+        self.n += 1;
+        for row in self.x.iter_mut().chain(self.z.iter_mut()) {
+            row.push(false);
+        }
+        // Insert a new destabilizer row at index n-1 (end of destabilizers)
+        // and a new stabilizer row at the very end.
+        let mut dx = vec![false; self.n];
+        dx[q] = true;
+        let dz = vec![false; self.n];
+        let sx = vec![false; self.n];
+        let mut sz = vec![false; self.n];
+        sz[q] = true;
+        // Rows currently: [destab(0..n-1), stab(0..n-1)]. Insert destab at
+        // position n-1, stab at end.
+        self.x.insert(q, dx);
+        self.z.insert(q, dz);
+        self.r.insert(q, false);
+        self.x.push(sx);
+        self.z.push(sz);
+        self.r.push(false);
+        q
+    }
+
+    fn alloc(&mut self, value: bool) -> usize {
+        if let Some((slot, cur)) = self.free.pop() {
+            if cur != value {
+                self.gate_x(slot);
+            }
+            return slot;
+        }
+        let slot = self.grow();
+        if value {
+            self.gate_x(slot);
+        }
+        slot
+    }
+
+    fn slot_of(&self, wire: Wire) -> Result<usize, SimError> {
+        self.slots.get(&wire).copied().ok_or(SimError::UnknownWire { wire })
+    }
+
+    // --- Clifford generators --------------------------------------------
+
+    fn gate_h(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            let (xi, zi) = (self.x[i][q], self.z[i][q]);
+            self.r[i] ^= xi && zi;
+            self.x[i][q] = zi;
+            self.z[i][q] = xi;
+        }
+    }
+
+    fn gate_s(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            let (xi, zi) = (self.x[i][q], self.z[i][q]);
+            self.r[i] ^= xi && zi;
+            self.z[i][q] = zi ^ xi;
+        }
+    }
+
+    fn gate_s_inv(&mut self, q: usize) {
+        self.gate_s(q);
+        self.gate_s(q);
+        self.gate_s(q);
+    }
+
+    fn gate_x(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.z[i][q];
+        }
+    }
+
+    fn gate_z(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q];
+        }
+    }
+
+    fn gate_cnot(&mut self, ctl: usize, tgt: usize) {
+        for i in 0..2 * self.n {
+            let (xa, za) = (self.x[i][ctl], self.z[i][ctl]);
+            let (xb, zb) = (self.x[i][tgt], self.z[i][tgt]);
+            self.r[i] ^= xa && zb && (xb == za);
+            self.x[i][tgt] = xb ^ xa;
+            self.z[i][ctl] = za ^ zb;
+        }
+    }
+
+    // --- Measurement -----------------------------------------------------
+
+    /// The phase-exponent contribution of multiplying Paulis (the `g`
+    /// function of Aaronson & Gottesman).
+    fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+        match (x1, z1) {
+            (false, false) => 0,
+            (true, true) => i32::from(z2) - i32::from(x2),
+            (true, false) => i32::from(z2) * (2 * i32::from(x2) - 1),
+            (false, true) => i32::from(x2) * (1 - 2 * i32::from(z2)),
+        }
+    }
+
+    fn rowsum_into(&mut self, h: usize, i: usize) {
+        let mut phase = 2 * i32::from(self.r[h]) + 2 * i32::from(self.r[i]);
+        for q in 0..self.n {
+            phase += Self::g(self.x[i][q], self.z[i][q], self.x[h][q], self.z[h][q]);
+        }
+        self.r[h] = phase.rem_euclid(4) == 2;
+        for q in 0..self.n {
+            self.x[h][q] ^= self.x[i][q];
+            self.z[h][q] ^= self.z[i][q];
+        }
+    }
+
+    /// Measures slot `q`; returns (outcome, was_deterministic).
+    fn measure_slot(&mut self, q: usize) -> (bool, bool) {
+        let n = self.n;
+        let p = (n..2 * n).find(|&i| self.x[i][q]);
+        match p {
+            Some(p) => {
+                // Random outcome.
+                let outcome = self.rng.gen::<bool>();
+                for i in 0..2 * n {
+                    if i != p && self.x[i][q] {
+                        self.rowsum_into(i, p);
+                    }
+                }
+                // Destabilizer row p-n := old stabilizer row p.
+                self.x[p - n] = self.x[p].clone();
+                self.z[p - n] = self.z[p].clone();
+                self.r[p - n] = self.r[p];
+                // Stabilizer row p := Z_q with sign = outcome.
+                for k in 0..n {
+                    self.x[p][k] = false;
+                    self.z[p][k] = false;
+                }
+                self.z[p][q] = true;
+                self.r[p] = outcome;
+                (outcome, false)
+            }
+            None => {
+                // Deterministic outcome: accumulate into a scratch row.
+                let mut sx = vec![false; n];
+                let mut sz = vec![false; n];
+                let mut sr = false;
+                for i in 0..n {
+                    if self.x[i][q] {
+                        // rowsum of scratch with stabilizer row i+n.
+                        let mut phase = 2 * i32::from(sr) + 2 * i32::from(self.r[i + n]);
+                        for k in 0..n {
+                            phase += Self::g(self.x[i + n][k], self.z[i + n][k], sx[k], sz[k]);
+                        }
+                        sr = phase.rem_euclid(4) == 2;
+                        for k in 0..n {
+                            sx[k] ^= self.x[i + n][k];
+                            sz[k] ^= self.z[i + n][k];
+                        }
+                    }
+                }
+                (sr, true)
+            }
+        }
+    }
+
+    /// Executes one gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnsupportedGate`] for non-Clifford gates and
+    /// [`SimError::AssertionFailed`] for violated (or non-deterministic)
+    /// termination assertions.
+    pub fn apply(&mut self, gate: &Gate) -> Result<(), SimError> {
+        let unsupported = |g: &Gate| SimError::UnsupportedGate {
+            gate: g.describe(),
+            simulator: "stabilizer",
+        };
+        match gate {
+            Gate::Comment { .. } => Ok(()),
+            Gate::QInit { value, wire } => {
+                let slot = self.alloc(*value);
+                self.slots.insert(*wire, slot);
+                Ok(())
+            }
+            Gate::CInit { value, wire } => {
+                self.classical.insert(*wire, *value);
+                Ok(())
+            }
+            Gate::QTerm { value, wire } => {
+                let slot = self.slot_of(*wire)?;
+                self.slots.remove(wire);
+                let (outcome, deterministic) = self.measure_slot(slot);
+                if !deterministic || outcome != *value {
+                    return Err(SimError::AssertionFailed {
+                        wire: *wire,
+                        asserted: *value,
+                        probability: if deterministic { 0.0 } else { 0.5 },
+                    });
+                }
+                self.free.push((slot, outcome));
+                Ok(())
+            }
+            Gate::CTerm { value, wire } => {
+                let v = self
+                    .classical
+                    .remove(wire)
+                    .ok_or(SimError::UnknownWire { wire: *wire })?;
+                if v != *value {
+                    return Err(SimError::AssertionFailed {
+                        wire: *wire,
+                        asserted: *value,
+                        probability: 0.0,
+                    });
+                }
+                Ok(())
+            }
+            Gate::QMeas { wire } => {
+                let slot = self.slot_of(*wire)?;
+                self.slots.remove(wire);
+                let (outcome, _) = self.measure_slot(slot);
+                // Collapse the tableau to the observed outcome if random:
+                // measure_slot already rewrote the stabilizers for the random
+                // case; for the deterministic case nothing changed.
+                self.classical.insert(*wire, outcome);
+                self.free.push((slot, outcome));
+                Ok(())
+            }
+            Gate::QDiscard { wire } => {
+                let slot = self.slot_of(*wire)?;
+                self.slots.remove(wire);
+                let (outcome, _) = self.measure_slot(slot);
+                self.free.push((slot, outcome));
+                Ok(())
+            }
+            Gate::CDiscard { wire } => {
+                self.classical
+                    .remove(wire)
+                    .map(|_| ())
+                    .ok_or(SimError::UnknownWire { wire: *wire })
+            }
+            Gate::QGate { name, inverted, targets, controls } => {
+                // Classical controls gate the whole operation; quantum
+                // controls are only supported on X (CNOT) and Z (CZ).
+                let mut qctl: Vec<usize> = Vec::new();
+                for c in controls {
+                    if let Some(&slot) = self.slots.get(&c.wire) {
+                        if !c.positive {
+                            return Err(unsupported(gate));
+                        }
+                        qctl.push(slot);
+                    } else if let Some(&v) = self.classical.get(&c.wire) {
+                        if v != c.positive {
+                            return Ok(());
+                        }
+                    } else {
+                        return Err(SimError::UnknownWire { wire: c.wire });
+                    }
+                }
+                match (name, qctl.len()) {
+                    (GateName::X, 0) => {
+                        let t = self.slot_of(targets[0])?;
+                        self.gate_x(t);
+                        Ok(())
+                    }
+                    (GateName::X, 1) => {
+                        let t = self.slot_of(targets[0])?;
+                        self.gate_cnot(qctl[0], t);
+                        Ok(())
+                    }
+                    (GateName::Z, 0) => {
+                        let t = self.slot_of(targets[0])?;
+                        self.gate_z(t);
+                        Ok(())
+                    }
+                    (GateName::Z, 1) => {
+                        // CZ = H(t) · CNOT · H(t).
+                        let t = self.slot_of(targets[0])?;
+                        self.gate_h(t);
+                        self.gate_cnot(qctl[0], t);
+                        self.gate_h(t);
+                        Ok(())
+                    }
+                    (GateName::Y, 0) => {
+                        let t = self.slot_of(targets[0])?;
+                        self.gate_z(t);
+                        self.gate_x(t);
+                        Ok(())
+                    }
+                    (GateName::H, 0) => {
+                        let t = self.slot_of(targets[0])?;
+                        self.gate_h(t);
+                        Ok(())
+                    }
+                    (GateName::S, 0) => {
+                        let t = self.slot_of(targets[0])?;
+                        if *inverted {
+                            self.gate_s_inv(t);
+                        } else {
+                            self.gate_s(t);
+                        }
+                        Ok(())
+                    }
+                    (GateName::V, 0) => {
+                        // V = H·S·H exactly; V† = H·S†·H.
+                        let t = self.slot_of(targets[0])?;
+                        self.gate_h(t);
+                        if *inverted {
+                            self.gate_s_inv(t);
+                        } else {
+                            self.gate_s(t);
+                        }
+                        self.gate_h(t);
+                        Ok(())
+                    }
+                    (GateName::Swap, 0) => {
+                        let a = self.slot_of(targets[0])?;
+                        let b = self.slot_of(targets[1])?;
+                        self.gate_cnot(a, b);
+                        self.gate_cnot(b, a);
+                        self.gate_cnot(a, b);
+                        Ok(())
+                    }
+                    _ => Err(unsupported(gate)),
+                }
+            }
+            _ => Err(unsupported(gate)),
+        }
+    }
+}
+
+/// Runs a Clifford hierarchical circuit, returning the classical values of
+/// its outputs (quantum outputs are measured at the end).
+///
+/// # Errors
+///
+/// Returns an error for non-Clifford gates, arity mismatches, and violated
+/// termination assertions.
+pub fn run_clifford(bc: &BCircuit, inputs: &[bool], seed: u64) -> Result<Vec<bool>, SimError> {
+    let flat = inline_all(&bc.db, &bc.main)?;
+    if inputs.len() != flat.inputs.len() {
+        return Err(SimError::InputArity { expected: flat.inputs.len(), found: inputs.len() });
+    }
+    let mut st = Stabilizer::new(seed);
+    for (&(w, t), &v) in flat.inputs.iter().zip(inputs) {
+        match t {
+            WireType::Quantum => {
+                let slot = st.alloc(v);
+                st.slots.insert(w, slot);
+            }
+            WireType::Classical => {
+                st.classical.insert(w, v);
+            }
+        }
+    }
+    for gate in &flat.gates {
+        st.apply(gate)?;
+    }
+    let mut out = Vec::with_capacity(flat.outputs.len());
+    for &(w, t) in &flat.outputs {
+        match t {
+            WireType::Classical => out.push(
+                st.classical_value(w).ok_or(SimError::UnknownWire { wire: w })?,
+            ),
+            WireType::Quantum => {
+                let slot = st.slot_of(w)?;
+                let (v, _) = st.measure_slot(slot);
+                out.push(v);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quipper::{Circ, Qubit};
+
+    #[test]
+    fn deterministic_cnot_chain() {
+        let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+            c.qnot(a);
+            c.cnot(b, a);
+            c.measure((a, b))
+        });
+        let out = run_clifford(&bc, &[false, false], 5).unwrap();
+        assert_eq!(out, vec![true, true]);
+    }
+
+    #[test]
+    fn bell_pair_is_perfectly_correlated() {
+        let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+            c.hadamard(a);
+            c.cnot(b, a);
+            c.measure((a, b))
+        });
+        let mut seen = [false, false];
+        for seed in 0..50 {
+            let out = run_clifford(&bc, &[false, false], seed).unwrap();
+            assert_eq!(out[0], out[1], "Bell pair outcomes must agree");
+            seen[usize::from(out[0])] = true;
+        }
+        assert!(seen[0] && seen[1], "both outcomes occur");
+    }
+
+    #[test]
+    fn vv_equals_x() {
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.gate_v(q);
+            c.gate_v(q);
+            c.measure(q)
+        });
+        let out = run_clifford(&bc, &[false], 1).unwrap();
+        assert_eq!(out, vec![true]);
+    }
+
+    #[test]
+    fn hh_is_identity_in_tableau() {
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.hadamard(q);
+            c.hadamard(q);
+            c.measure(q)
+        });
+        assert_eq!(run_clifford(&bc, &[true], 9).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn t_gate_is_rejected() {
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.gate_t(q);
+            q
+        });
+        assert!(matches!(
+            run_clifford(&bc, &[false], 0),
+            Err(SimError::UnsupportedGate { .. })
+        ));
+    }
+
+    #[test]
+    fn superposed_assertion_fails() {
+        let bc = Circ::build(&(), |c, ()| {
+            let q = c.qinit_bit(false);
+            c.hadamard(q);
+            c.qterm_bit(false, q);
+        });
+        assert!(matches!(
+            run_clifford(&bc, &[], 0),
+            Err(SimError::AssertionFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn stabilizer_agrees_with_statevector_on_ghz() {
+        let bc = Circ::build(&vec![false; 3], |c, qs: Vec<Qubit>| {
+            c.hadamard(qs[0]);
+            c.cnot(qs[1], qs[0]);
+            c.cnot(qs[2], qs[1]);
+            c.measure(qs)
+        });
+        for seed in 0..30 {
+            let tab = run_clifford(&bc, &[false; 3], seed).unwrap();
+            assert!(tab.iter().all(|&b| b == tab[0]), "GHZ measurement must agree");
+            let sv = crate::statevec::run(&bc, &[false; 3], seed).unwrap();
+            let outs = sv.classical_outputs();
+            assert!(outs.iter().all(|&b| b == outs[0]));
+        }
+    }
+}

@@ -1,0 +1,737 @@
+//! State-vector simulation of quantum circuits.
+//!
+//! The analogue of Quipper's `run_generic` (paper §4.4.5) — "necessarily
+//! inefficient on a classical computer", i.e. exponential in the number of
+//! live qubits, but exact. The simulator allocates qubit slots dynamically
+//! as `QInit` gates execute and reclaims them on termination or measurement,
+//! so the cost tracks the circuit's *width* (live qubits), not the total
+//! number of wires — scoped ancillas (paper §4.2.1) pay only while in scope.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use quipper_circuit::flatten::inline_all;
+use quipper_circuit::{BCircuit, Control, Gate, GateName, Wire, WireType};
+
+use crate::complex::{Complex, I, ONE, ZERO};
+use crate::error::SimError;
+
+/// Tolerance for assertion checking and renormalization.
+const EPS: f64 = 1e-9;
+
+type Mat2 = [[Complex; 2]; 2];
+
+/// A state-vector simulator with dynamically allocated qubit slots and a
+/// classical-bit store.
+#[derive(Debug)]
+pub struct StateVec {
+    amps: Vec<Complex>,
+    n_slots: usize,
+    slots: HashMap<Wire, usize>,
+    /// Freed slots together with the definite value they were left in.
+    free: Vec<(usize, bool)>,
+    classical: HashMap<Wire, bool>,
+    rng: StdRng,
+}
+
+impl StateVec {
+    /// Creates an empty simulator (zero qubits) with a deterministic seed
+    /// for measurement sampling.
+    pub fn new(seed: u64) -> StateVec {
+        StateVec {
+            amps: vec![ONE],
+            n_slots: 0,
+            slots: HashMap::new(),
+            free: Vec::new(),
+            classical: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of currently live quantum wires.
+    pub fn live_qubits(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The value of a classical wire, if it has one.
+    pub fn classical_value(&self, wire: Wire) -> Option<bool> {
+        self.classical.get(&wire).copied()
+    }
+
+    /// Registers an externally supplied input wire in the given basis state.
+    pub fn add_input(&mut self, wire: Wire, ty: WireType, value: bool) {
+        match ty {
+            WireType::Quantum => {
+                let slot = self.alloc_slot(value);
+                self.slots.insert(wire, slot);
+            }
+            WireType::Classical => {
+                self.classical.insert(wire, value);
+            }
+        }
+    }
+
+    /// The probability that measuring `wire` would yield `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is not a live quantum wire.
+    pub fn probability(&self, wire: Wire, value: bool) -> f64 {
+        let slot = *self.slots.get(&wire).expect("probability: wire is not a live qubit");
+        let bit = 1usize << slot;
+        let mut p = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            if (i & bit != 0) == value {
+                p += a.norm_sqr();
+            }
+        }
+        p
+    }
+
+    /// The joint probability of a basis pattern over several wires.
+    pub fn joint_probability(&self, pattern: &[(Wire, bool)]) -> f64 {
+        let mut p = 0.0;
+        'outer: for (i, a) in self.amps.iter().enumerate() {
+            for &(w, v) in pattern {
+                if let Some(&slot) = self.slots.get(&w) {
+                    if (i & (1 << slot) != 0) != v {
+                        continue 'outer;
+                    }
+                } else if self.classical.get(&w) != Some(&v) {
+                    return 0.0;
+                }
+            }
+            p += a.norm_sqr();
+        }
+        p
+    }
+
+    /// Measures a live quantum wire, collapsing the state. The wire becomes
+    /// a classical wire holding the outcome.
+    pub fn measure(&mut self, wire: Wire) -> Result<bool, SimError> {
+        let slot = self.take_slot(wire)?;
+        let p1 = self.slot_probability(slot, true);
+        let outcome = self.rng.gen::<f64>() < p1;
+        self.project(slot, outcome);
+        self.free.push((slot, outcome));
+        self.classical.insert(wire, outcome);
+        Ok(outcome)
+    }
+
+    fn take_slot(&mut self, wire: Wire) -> Result<usize, SimError> {
+        self.slots.remove(&wire).ok_or(SimError::UnknownWire { wire })
+    }
+
+    fn slot_of(&self, wire: Wire) -> Result<usize, SimError> {
+        self.slots.get(&wire).copied().ok_or(SimError::UnknownWire { wire })
+    }
+
+    fn slot_probability(&self, slot: usize, value: bool) -> f64 {
+        let bit = 1usize << slot;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (i & bit != 0) == value)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Projects `slot` onto `value` and renormalizes.
+    fn project(&mut self, slot: usize, value: bool) {
+        let bit = 1usize << slot;
+        let mut norm = 0.0;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if (i & bit != 0) != value {
+                *a = ZERO;
+            } else {
+                norm += a.norm_sqr();
+            }
+        }
+        let k = 1.0 / norm.sqrt();
+        for a in &mut self.amps {
+            *a = a.scale(k);
+        }
+    }
+
+    fn alloc_slot(&mut self, value: bool) -> usize {
+        if let Some((slot, cur)) = self.free.pop() {
+            if cur != value {
+                self.flip_slot(slot);
+            }
+            return slot;
+        }
+        let slot = self.n_slots;
+        self.n_slots += 1;
+        // Double the amplitude vector; the new qubit is |0⟩ (upper half 0).
+        let mut amps = vec![ZERO; self.amps.len() * 2];
+        amps[..self.amps.len()].copy_from_slice(&self.amps);
+        self.amps = amps;
+        if value {
+            self.flip_slot(slot);
+        }
+        slot
+    }
+
+    fn flip_slot(&mut self, slot: usize) {
+        let bit = 1usize << slot;
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                self.amps.swap(i, i | bit);
+            }
+        }
+    }
+
+    /// Splits the controls into a quantum bitmask test and a classical
+    /// verdict. Returns `None` if a classical control is unsatisfied (gate
+    /// is a no-op).
+    fn resolve_controls(&self, controls: &[Control]) -> Result<Option<(usize, usize)>, SimError> {
+        // (mask, want): indices i fire iff i & mask == want.
+        let mut mask = 0usize;
+        let mut want = 0usize;
+        for c in controls {
+            if let Some(&slot) = self.slots.get(&c.wire) {
+                let bit = 1usize << slot;
+                mask |= bit;
+                if c.positive {
+                    want |= bit;
+                }
+            } else if let Some(&v) = self.classical.get(&c.wire) {
+                if v != c.positive {
+                    return Ok(None);
+                }
+            } else {
+                return Err(SimError::UnknownWire { wire: c.wire });
+            }
+        }
+        Ok(Some((mask, want)))
+    }
+
+    fn apply_1q(&mut self, slot: usize, m: &Mat2, mask: usize, want: usize) {
+        let bit = 1usize << slot;
+        for i in 0..self.amps.len() {
+            if i & bit == 0 && (i & mask) == want {
+                let j = i | bit;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    /// Executes a single gate. Subroutine calls must be inlined first (see
+    /// [`run`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unsupported gates, unknown wires or violated
+    /// termination assertions.
+    pub fn apply(&mut self, gate: &Gate) -> Result<(), SimError> {
+        match gate {
+            Gate::Comment { .. } => Ok(()),
+            Gate::QInit { value, wire } => {
+                let slot = self.alloc_slot(*value);
+                self.slots.insert(*wire, slot);
+                Ok(())
+            }
+            Gate::CInit { value, wire } => {
+                self.classical.insert(*wire, *value);
+                Ok(())
+            }
+            Gate::QTerm { value, wire } => {
+                let slot = self.take_slot(*wire)?;
+                let p = self.slot_probability(slot, *value);
+                if 1.0 - p > EPS {
+                    return Err(SimError::AssertionFailed {
+                        wire: *wire,
+                        asserted: *value,
+                        probability: p,
+                    });
+                }
+                self.project(slot, *value);
+                self.free.push((slot, *value));
+                Ok(())
+            }
+            Gate::CTerm { value, wire } => {
+                let v = self
+                    .classical
+                    .remove(wire)
+                    .ok_or(SimError::UnknownWire { wire: *wire })?;
+                if v != *value {
+                    return Err(SimError::AssertionFailed {
+                        wire: *wire,
+                        asserted: *value,
+                        probability: 0.0,
+                    });
+                }
+                Ok(())
+            }
+            Gate::QMeas { wire } => {
+                self.measure(*wire)?;
+                Ok(())
+            }
+            Gate::QDiscard { wire } => {
+                // Discarding is measuring and forgetting the outcome: on a
+                // pure-state simulator we sample.
+                let slot = self.take_slot(*wire)?;
+                let p1 = self.slot_probability(slot, true);
+                let outcome = self.rng.gen::<f64>() < p1;
+                self.project(slot, outcome);
+                self.free.push((slot, outcome));
+                Ok(())
+            }
+            Gate::CDiscard { wire } => {
+                self.classical
+                    .remove(wire)
+                    .map(|_| ())
+                    .ok_or(SimError::UnknownWire { wire: *wire })
+            }
+            Gate::QGate { name, inverted, targets, controls } => {
+                let Some((mask, want)) = self.resolve_controls(controls)? else {
+                    return Ok(());
+                };
+                match name {
+                    GateName::Swap => {
+                        let a = self.slot_of(targets[0])?;
+                        let b = self.slot_of(targets[1])?;
+                        let (ba, bb) = (1usize << a, 1usize << b);
+                        for i in 0..self.amps.len() {
+                            if i & ba != 0 && i & bb == 0 && (i & mask) == want {
+                                // Also require the partner to satisfy the
+                                // controls (controls are on distinct wires so
+                                // the partner agrees on them).
+                                self.amps.swap(i, i ^ ba ^ bb);
+                            }
+                        }
+                        Ok(())
+                    }
+                    GateName::W => {
+                        let a = self.slot_of(targets[0])?;
+                        let b = self.slot_of(targets[1])?;
+                        let (ba, bb) = (1usize << a, 1usize << b);
+                        let s = std::f64::consts::FRAC_1_SQRT_2;
+                        for i in 0..self.amps.len() {
+                            // i has a=0, b=1; partner has a=1, b=0.
+                            if i & ba == 0 && i & bb != 0 && (i & mask) == want {
+                                let j = i ^ ba ^ bb;
+                                let v01 = self.amps[i];
+                                let v10 = self.amps[j];
+                                self.amps[i] = (v01 + v10).scale(s);
+                                self.amps[j] = (v01 - v10).scale(s);
+                            }
+                        }
+                        Ok(())
+                    }
+                    _ => {
+                        let m = single_qubit_matrix(name, *inverted).ok_or_else(|| {
+                            SimError::UnsupportedGate {
+                                gate: gate.describe(),
+                                simulator: "state-vector",
+                            }
+                        })?;
+                        let slot = self.slot_of(targets[0])?;
+                        self.apply_1q(slot, &m, mask, want);
+                        Ok(())
+                    }
+                }
+            }
+            Gate::QRot { name, inverted, angle, targets, controls } => {
+                let Some((mask, want)) = self.resolve_controls(controls)? else {
+                    return Ok(());
+                };
+                let m = rotation_matrix(name, *angle, *inverted).ok_or_else(|| {
+                    SimError::UnsupportedGate { gate: gate.describe(), simulator: "state-vector" }
+                })?;
+                let slot = self.slot_of(targets[0])?;
+                self.apply_1q(slot, &m, mask, want);
+                Ok(())
+            }
+            Gate::GPhase { angle, controls } => {
+                let Some((mask, want)) = self.resolve_controls(controls)? else {
+                    return Ok(());
+                };
+                let phase = Complex::cis(std::f64::consts::PI * angle);
+                for (i, a) in self.amps.iter_mut().enumerate() {
+                    if (i & mask) == want {
+                        *a = phase * *a;
+                    }
+                }
+                Ok(())
+            }
+            Gate::CGate { name, inverted, target, inputs } => {
+                let mut vals = Vec::with_capacity(inputs.len());
+                for w in inputs {
+                    vals.push(
+                        *self.classical.get(w).ok_or(SimError::UnknownWire { wire: *w })?,
+                    );
+                }
+                let v = match &**name {
+                    "xor" => vals.iter().fold(false, |a, &b| a ^ b),
+                    "and" => vals.iter().all(|&b| b),
+                    "or" => vals.iter().any(|&b| b),
+                    "not" => !vals.first().copied().unwrap_or(false),
+                    _ => {
+                        return Err(SimError::UnsupportedGate {
+                            gate: gate.describe(),
+                            simulator: "state-vector",
+                        })
+                    }
+                };
+                self.classical.insert(*target, v ^ inverted);
+                Ok(())
+            }
+            Gate::Subroutine { .. } => Err(SimError::UnsupportedGate {
+                gate: "Subroutine (inline boxed subcircuits before simulating)".into(),
+                simulator: "state-vector",
+            }),
+        }
+    }
+}
+
+fn single_qubit_matrix(name: &GateName, inverted: bool) -> Option<Mat2> {
+    let h = std::f64::consts::FRAC_1_SQRT_2;
+    let r = |x: f64| Complex::new(x, 0.0);
+    let m: Mat2 = match name {
+        GateName::X => [[ZERO, ONE], [ONE, ZERO]],
+        GateName::Y => [[ZERO, -I], [I, ZERO]],
+        GateName::Z => [[ONE, ZERO], [ZERO, -ONE]],
+        GateName::H => [[r(h), r(h)], [r(h), -r(h)]],
+        GateName::S => [[ONE, ZERO], [ZERO, I]],
+        GateName::T => [[ONE, ZERO], [ZERO, Complex::cis(std::f64::consts::FRAC_PI_4)]],
+        GateName::V => {
+            let p = Complex::new(0.5, 0.5);
+            let q = Complex::new(0.5, -0.5);
+            [[p, q], [q, p]]
+        }
+        _ => return None,
+    };
+    Some(if inverted { dagger(&m) } else { m })
+}
+
+fn rotation_matrix(name: &str, angle: f64, inverted: bool) -> Option<Mat2> {
+    let m: Mat2 = match name {
+        // e^{-iZt} = diag(e^{-it}, e^{it}).
+        "exp(-i%Z)" => [[Complex::cis(-angle), ZERO], [ZERO, Complex::cis(angle)]],
+        // R(2π/2ᵏ) = diag(1, e^{2πi/2ᵏ}) where the parameter is k.
+        "R(2pi/%)" => {
+            let phase = 2.0 * std::f64::consts::PI / f64::powf(2.0, angle);
+            [[ONE, ZERO], [ZERO, Complex::cis(phase)]]
+        }
+        // Generic Z-axis rotation: diag(1, e^{iθ}).
+        "R(%)" => [[ONE, ZERO], [ZERO, Complex::cis(angle)]],
+        // Y-axis rotation e^{-iYθ/2}, used by the QLS conditional rotation.
+        "Ry(%)" => {
+            let (c, s) = ((angle / 2.0).cos(), (angle / 2.0).sin());
+            [[Complex::new(c, 0.0), Complex::new(-s, 0.0)],
+             [Complex::new(s, 0.0), Complex::new(c, 0.0)]]
+        }
+        _ => return None,
+    };
+    Some(if inverted { dagger(&m) } else { m })
+}
+
+fn dagger(m: &Mat2) -> Mat2 {
+    [[m[0][0].conj(), m[1][0].conj()], [m[0][1].conj(), m[1][1].conj()]]
+}
+
+/// The result of running a circuit to completion.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The simulator holding the final state.
+    pub state: StateVec,
+    /// The circuit's declared outputs.
+    pub outputs: Vec<(Wire, WireType)>,
+}
+
+impl RunResult {
+    /// The boolean value of the `i`-th output, which must be classical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output is a quantum wire (measure it in the circuit, or
+    /// inspect probabilities via [`RunResult::state`]).
+    pub fn classical_output(&self, i: usize) -> bool {
+        let (w, t) = self.outputs[i];
+        assert_eq!(t, WireType::Classical, "output {i} is quantum; measure it first");
+        self.state.classical_value(w).expect("classical output has a value")
+    }
+
+    /// All outputs interpreted as classical bits.
+    ///
+    /// # Panics
+    ///
+    /// As for [`RunResult::classical_output`].
+    pub fn classical_outputs(&self) -> Vec<bool> {
+        (0..self.outputs.len()).map(|i| self.classical_output(i)).collect()
+    }
+}
+
+/// Runs a hierarchical circuit on the state-vector simulator.
+///
+/// Boxed subcircuits are inlined first; `inputs` supplies a basis-state
+/// value for every circuit input wire; `seed` drives measurement sampling.
+///
+/// # Errors
+///
+/// Returns an error if inlining fails, the input arity is wrong, a gate is
+/// unsupported, or a termination assertion is violated.
+pub fn run(bc: &BCircuit, inputs: &[bool], seed: u64) -> Result<RunResult, SimError> {
+    let flat = inline_all(&bc.db, &bc.main)?;
+    if inputs.len() != flat.inputs.len() {
+        return Err(SimError::InputArity { expected: flat.inputs.len(), found: inputs.len() });
+    }
+    let mut sv = StateVec::new(seed);
+    for (&(w, t), &v) in flat.inputs.iter().zip(inputs) {
+        sv.add_input(w, t, v);
+    }
+    for gate in &flat.gates {
+        sv.apply(gate)?;
+    }
+    Ok(RunResult { state: sv, outputs: flat.outputs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quipper::{Circ, Qubit};
+
+    #[test]
+    fn bell_pair_has_even_correlations() {
+        let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+            c.hadamard(a);
+            c.cnot(b, a);
+            (a, b)
+        });
+        let r = run(&bc, &[false, false], 7).unwrap();
+        let (wa, _) = r.outputs[0];
+        let (wb, _) = r.outputs[1];
+        let p00 = r.state.joint_probability(&[(wa, false), (wb, false)]);
+        let p11 = r.state.joint_probability(&[(wa, true), (wb, true)]);
+        let p01 = r.state.joint_probability(&[(wa, false), (wb, true)]);
+        assert!((p00 - 0.5).abs() < 1e-9);
+        assert!((p11 - 0.5).abs() < 1e-9);
+        assert!(p01.abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_statistics_follow_born_rule() {
+        // Measure H|0⟩ many times: outcome frequencies ≈ 50/50 (paper §2).
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.hadamard(q);
+            c.measure_bit(q)
+        });
+        let mut ones = 0;
+        let n = 2000;
+        for seed in 0..n {
+            let r = run(&bc, &[false], seed).unwrap();
+            if r.classical_output(0) {
+                ones += 1;
+            }
+        }
+        let frac = f64::from(ones) / f64::from(n as u32);
+        assert!((frac - 0.5).abs() < 0.05, "measured fraction {frac}");
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        let bc = Circ::build(&(false, false, false), |c, (a, b, t): (Qubit, Qubit, Qubit)| {
+            c.toffoli(t, a, b);
+            c.measure((a, b, t))
+        });
+        for bits in 0..8u32 {
+            let a = bits & 1 != 0;
+            let b = bits & 2 != 0;
+            let t = bits & 4 != 0;
+            let r = run(&bc, &[a, b, t], 1).unwrap();
+            let outs = r.classical_outputs();
+            assert_eq!(outs[0], a);
+            assert_eq!(outs[1], b);
+            assert_eq!(outs[2], t ^ (a && b));
+        }
+    }
+
+    #[test]
+    fn violated_assertion_is_detected() {
+        // Terminate a qubit in state |1⟩ while asserting |0⟩.
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            let anc = c.qinit_bit(false);
+            c.cnot(anc, q);
+            c.qterm_bit(false, anc); // wrong if q = 1
+            q
+        });
+        assert!(run(&bc, &[false], 1).is_ok());
+        let err = run(&bc, &[true], 1).unwrap_err();
+        assert!(matches!(err, SimError::AssertionFailed { .. }));
+    }
+
+    #[test]
+    fn hadamard_twice_is_identity() {
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.hadamard(q);
+            c.hadamard(q);
+            q
+        });
+        let r = run(&bc, &[true], 1).unwrap();
+        let (w, _) = r.outputs[0];
+        assert!((r.state.probability(w, true) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn w_gate_mixes_01_and_10() {
+        let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+            c.gate_w(a, b);
+            (a, b)
+        });
+        // |01⟩ (a=0, b=1) → (|01⟩ + |10⟩)/√2.
+        let r = run(&bc, &[false, true], 1).unwrap();
+        let (wa, _) = r.outputs[0];
+        let (wb, _) = r.outputs[1];
+        assert!((r.state.joint_probability(&[(wa, false), (wb, true)]) - 0.5).abs() < 1e-9);
+        assert!((r.state.joint_probability(&[(wa, true), (wb, false)]) - 0.5).abs() < 1e-9);
+        // |00⟩ is fixed.
+        let r = run(&bc, &[false, false], 1).unwrap();
+        let (wa, _) = r.outputs[0];
+        let (wb, _) = r.outputs[1];
+        assert!((r.state.joint_probability(&[(wa, false), (wb, false)]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn w_gate_is_self_inverse_in_simulation() {
+        let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+            c.gate_w(a, b);
+            c.gate_w_inv(a, b);
+            c.measure((a, b))
+        });
+        let r = run(&bc, &[true, false], 3).unwrap();
+        assert_eq!(r.classical_outputs(), vec![true, false]);
+    }
+
+    #[test]
+    fn ancilla_slots_are_reused() {
+        // 50 sequential scoped ancillas must not blow up the state vector.
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            for _ in 0..50 {
+                c.with_ancilla(|c, a| {
+                    c.cnot(a, q);
+                    c.cnot(a, q);
+                });
+            }
+            q
+        });
+        let r = run(&bc, &[true], 1).unwrap();
+        assert!(r.state.amps.len() <= 4, "state vector grew: {}", r.state.amps.len());
+    }
+
+    #[test]
+    fn boxed_circuits_are_inlined_for_simulation() {
+        let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+            let (a, b) = c.box_circ("flip", (a, b), |c, (a, b): (Qubit, Qubit)| {
+                c.qnot(a);
+                c.qnot(b);
+                (a, b)
+            });
+            c.measure((a, b))
+        });
+        let r = run(&bc, &[false, true], 1).unwrap();
+        assert_eq!(r.classical_outputs(), vec![true, false]);
+    }
+
+    #[test]
+    fn swap_under_control() {
+        let bc = Circ::build(&(false, false, false), |c, (s, a, b): (Qubit, Qubit, Qubit)| {
+            c.with_controls(&s, |c| c.swap(a, b));
+            c.measure((s, a, b))
+        });
+        let r = run(&bc, &[true, true, false], 1).unwrap();
+        assert_eq!(r.classical_outputs(), vec![true, false, true]);
+        let r = run(&bc, &[false, true, false], 1).unwrap();
+        assert_eq!(r.classical_outputs(), vec![false, true, false]);
+    }
+}
+
+/// Runs a circuit `shots` times (seeds `seed0..seed0+shots`) and returns a
+/// histogram over the classical outputs, most frequent first.
+///
+/// All declared outputs must be classical (measure them in the circuit).
+///
+/// # Errors
+///
+/// As for [`run`].
+///
+/// # Examples
+///
+/// ```
+/// use quipper::{Circ, Qubit};
+///
+/// let bell = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+///     c.hadamard(a);
+///     c.cnot(b, a);
+///     c.measure((a, b))
+/// });
+/// let hist = quipper_sim::statevec::sample_outputs(&bell, &[false, false], 200, 1)?;
+/// // Only the correlated outcomes 00 and 11 appear.
+/// assert_eq!(hist.len(), 2);
+/// for (pattern, n) in &hist {
+///     assert_eq!(pattern[0], pattern[1]);
+///     assert!(*n > 50);
+/// }
+/// # Ok::<(), quipper_sim::SimError>(())
+/// ```
+pub fn sample_outputs(
+    bc: &BCircuit,
+    inputs: &[bool],
+    shots: u64,
+    seed0: u64,
+) -> Result<Vec<(Vec<bool>, u64)>, SimError> {
+    use std::collections::HashMap;
+    let mut hist: HashMap<Vec<bool>, u64> = HashMap::new();
+    // Inline once; replay the flat gate list per shot.
+    let flat = inline_all(&bc.db, &bc.main)?;
+    if inputs.len() != flat.inputs.len() {
+        return Err(SimError::InputArity { expected: flat.inputs.len(), found: inputs.len() });
+    }
+    for shot in 0..shots {
+        let mut sv = StateVec::new(seed0 + shot);
+        for (&(w, t), &v) in flat.inputs.iter().zip(inputs) {
+            sv.add_input(w, t, v);
+        }
+        for gate in &flat.gates {
+            sv.apply(gate)?;
+        }
+        let mut key = Vec::with_capacity(flat.outputs.len());
+        for &(w, t) in &flat.outputs {
+            if t != WireType::Classical {
+                return Err(SimError::UnsupportedGate {
+                    gate: "quantum output in sample_outputs (measure it first)".into(),
+                    simulator: "state-vector",
+                });
+            }
+            key.push(sv.classical_value(w).ok_or(SimError::UnknownWire { wire: w })?);
+        }
+        *hist.entry(key).or_insert(0) += 1;
+    }
+    let mut out: Vec<(Vec<bool>, u64)> = hist.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod sample_tests {
+    use quipper::{Circ, Qubit};
+
+    #[test]
+    fn histogram_is_deterministic_given_seeds_and_sums_to_shots() {
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.hadamard(q);
+            c.measure_bit(q)
+        });
+        let h1 = super::sample_outputs(&bc, &[false], 100, 5).unwrap();
+        let h2 = super::sample_outputs(&bc, &[false], 100, 5).unwrap();
+        assert_eq!(h1, h2, "same seeds, same histogram");
+        let total: u64 = h1.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 100);
+        assert_eq!(h1.len(), 2, "both outcomes occur in 100 shots");
+    }
+}

@@ -1,0 +1,41 @@
+//! The Binary Welded Tree algorithm end to end, plus the paper's Section 6
+//! compiler comparison.
+//!
+//! Run with: `cargo run --release --example bwt`
+
+use quipper_algorithms::bwt::{bwt_circuit, run_bwt, Flavor, WeldedTree};
+
+fn main() {
+    // A small instance the state-vector simulator can walk.
+    let g = WeldedTree::new(1, [0b0, 0b1]);
+    println!(
+        "welded tree: depth {}, entrance {:b}, exit {:b}",
+        g.depth,
+        g.entrance(),
+        g.exit()
+    );
+    let mut hits = 0;
+    let runs = 40;
+    for seed in 0..runs {
+        let label = run_bwt(g, 3, 0.9, Flavor::Orthodox, seed);
+        if label == g.exit() {
+            hits += 1;
+        }
+    }
+    println!("walker measured at the exit in {hits}/{runs} runs\n");
+
+    // The Section 6 comparison at the paper's scale (depth 4).
+    let g = WeldedTree::new(4, [0b0011, 0b0101]);
+    for (label, flavor) in [
+        ("QCL \"direct\"", Flavor::Qcl),
+        ("Quipper \"orthodox\"", Flavor::Orthodox),
+        ("Quipper \"template\"", Flavor::Template),
+    ] {
+        let gc = bwt_circuit(g, 1, 0.35, flavor).gate_count();
+        println!(
+            "{label:>20}: {:>6} logical gates, {:>3} qubits",
+            gc.total_logical(),
+            gc.qubits_in_circuit
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Ground State Estimation on molecular hydrogen.
+//!
+//! Run with: `cargo run --release --example ground_state`
+
+use quipper_algorithms::gse::{estimate_energy, Hamiltonian, StatePrep};
+
+fn main() {
+    let h = Hamiltonian::h2();
+    let exact = h.ground_energy();
+    println!("H2 (reduced, 2 qubits) exact ground energy: {exact:.6}");
+
+    // Prepare the ground state (Givens rotation angle from the classical
+    // 2x2 sector) and phase-estimate the energy.
+    let m = h.dense();
+    let (a, d, b) = (m[2][2].0, m[1][1].0, m[1][2].0);
+    let lam = (a + d) / 2.0 - (((a - d) / 2.0).powi(2) + b * b).sqrt();
+    let theta = 2.0 * f64::atan2(lam - a, b);
+    for seed in 0..5 {
+        let e = estimate_energy(&h, StatePrep::Givens(theta), 7, 6, 1.0, seed);
+        println!("phase-estimated energy (seed {seed}): {e:.4}");
+    }
+}

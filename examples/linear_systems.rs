@@ -1,0 +1,18 @@
+//! Quantum Linear Systems (HHL) on a 2x2 system.
+//!
+//! Run with: `cargo run --example linear_systems`
+
+use quipper_algorithms::qls::{classical_solution, qls_solve, HadamardSystem, RhsState};
+
+fn main() {
+    let sys = HadamardSystem::new(1, 2);
+    let b = RhsState { b0: 0.6, b1: 0.8 };
+    let (x0, x1) = classical_solution(sys, b);
+    println!("A = H diag(1,2) H,  b = (0.6, 0.8)");
+    println!("classical solution direction: ({x0:.4}, {x1:.4})");
+    let want0 = x0 * x0 / (x0 * x0 + x1 * x1);
+
+    let (p0, p1, p_flag) = qls_solve(sys, b, 2, 42);
+    println!("HHL post-selected |x⟩ probabilities: |x0|^2 = {p0:.4}, |x1|^2 = {p1:.4}");
+    println!("expected |x0|^2 = {want0:.4}; flag success probability {p_flag:.4}");
+}

@@ -1,0 +1,59 @@
+//! Quantum teleportation: the canonical mixed classical/quantum circuit
+//! (paper §4.2.3 — "classical wires, classical gates, and
+//! classically-controlled quantum gates can be freely combined").
+//!
+//! Alice holds an unknown qubit |ψ⟩ and half of a Bell pair; she performs
+//! a Bell measurement and sends two *classical* bits to Bob, whose X/Z
+//! corrections are classically-controlled quantum gates. The example
+//! verifies that Bob's qubit ends in |ψ⟩ by un-rotating it and measuring.
+//!
+//! Run with: `cargo run --example teleportation`
+
+use quipper::Circ;
+
+/// Builds the teleportation circuit for |ψ⟩ = Ry(θ)|0⟩ and returns the
+/// verification measurement (always 0 if teleportation worked).
+fn teleport(theta: f64) -> quipper::BCircuit {
+    let mut c = Circ::new();
+    // The state to teleport.
+    let psi = c.qinit_bit(false);
+    c.rot("Ry(%)", theta, psi);
+    // The shared Bell pair.
+    let a = c.qinit_bit(false);
+    let b = c.qinit_bit(false);
+    c.hadamard(a);
+    c.cnot(b, a);
+    // Alice's Bell measurement.
+    c.cnot(a, psi);
+    c.hadamard(psi);
+    let m1 = c.measure_bit(psi);
+    let m2 = c.measure_bit(a);
+    // Bob's classically-controlled corrections (classical wires controlling
+    // quantum gates — the mixed circuit model of §4.2.3).
+    c.qnot_ctrl(b, &m2);
+    c.gate_ctrl(quipper::GateName::Z, b, &m1);
+    c.cdiscard(m1);
+    c.cdiscard(m2);
+    // Verification: undo the preparation; b must be exactly |0⟩.
+    c.rot("Ry(%)", -theta, b);
+    let check = c.measure_bit(b);
+    c.finish(&check)
+}
+
+fn main() {
+    for &theta in &[0.0, 0.7, 1.3, 2.2, 3.0] {
+        let bc = teleport(theta);
+        let mut ok = 0;
+        let runs = 50;
+        for seed in 0..runs {
+            let out = quipper_sim::run(&bc, &[], seed).unwrap().classical_outputs();
+            if !out[0] {
+                ok += 1;
+            }
+        }
+        println!("theta = {theta:.1}: teleported state verified in {ok}/{runs} runs");
+        assert_eq!(ok, runs, "teleportation must be exact");
+    }
+    println!("\ncircuit (text format):");
+    println!("{}", quipper_circuit::print::to_text(&teleport(0.7)));
+}

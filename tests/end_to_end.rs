@@ -1,0 +1,187 @@
+//! Cross-crate integration tests: the EDSL, the circuit IR, the
+//! transformers and the simulators working together.
+
+use quipper::decompose::{decompose, GateBase};
+use quipper::{Circ, Measurable, Qubit};
+use quipper_arith::qdint::{add_in_place, mul, QDInt};
+use quipper_arith::IntM;
+use quipper_circuit::flatten::inline_all;
+use quipper_circuit::print::{to_ascii, to_text};
+
+/// Build → print → validate → simulate, through every layer.
+#[test]
+fn full_pipeline_roundtrip() {
+    let bc = Circ::build(&(false, vec![false; 2]), |c, (a, bs): (Qubit, Vec<Qubit>)| {
+        c.hadamard(a);
+        for &b in &bs {
+            c.cnot(b, a);
+        }
+        c.measure((a, bs))
+    });
+    bc.validate().expect("well-formed");
+    let text = to_text(&bc);
+    assert!(text.contains("QMeas"));
+    let art = to_ascii(&bc.db, &bc.main, 100).expect("renders");
+    assert_eq!(art.lines().count(), 3);
+    // GHZ correlations: all outputs equal.
+    for seed in 0..20 {
+        let outs = quipper_sim::run(&bc, &[false; 3], seed).unwrap().classical_outputs();
+        assert!(outs.iter().all(|&b| b == outs[0]), "GHZ agreement");
+    }
+}
+
+/// Decomposition to the binary gate base preserves semantics, checked on
+/// the classical simulator over all basis inputs.
+#[test]
+fn decompose_preserves_classical_semantics() {
+    let bc = Circ::build(&vec![false; 4], |c, qs: Vec<Qubit>| {
+        c.qnot_ctrl(qs[0], &vec![qs[1], qs[2], qs[3]]);
+        c.qnot_ctrl(qs[1], &vec![(qs[2], false), (qs[3], true)]);
+        c.with_controls(&qs[0], |c| c.swap(qs[2], qs[3]));
+        qs
+    });
+    let binary = decompose(GateBase::Binary, &bc);
+    binary.validate().expect("binary circuit well-formed");
+    for bits in 0..16u32 {
+        let input: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+        let a = quipper_sim::run_classical(&bc, &input);
+        // The binary decomposition contains V gates (not classical); run it
+        // on the state-vector simulator instead and measure.
+        let mut with_meas = Circ::build(&vec![false; 4], |c, qs: Vec<Qubit>| {
+            let qs2 = c.box_circ("noop", qs, |_c, qs: Vec<Qubit>| qs);
+            qs2.measure_in(c)
+        });
+        let _ = &mut with_meas;
+        let r = quipper_sim::run(&binary, &input, 1).unwrap();
+        let wires: Vec<_> = r.outputs.iter().map(|&(w, _)| w).collect();
+        let got: Vec<bool> = wires
+            .iter()
+            .map(|&w| r.state.probability(w, true) > 0.5)
+            .collect();
+        assert_eq!(got, a.unwrap(), "inputs {bits:04b}");
+    }
+}
+
+/// Quantum arithmetic composes with boxing and still computes correctly
+/// after inlining.
+#[test]
+fn arithmetic_through_boxes_and_inlining() {
+    let w = 4;
+    let shape = (IntM::new(0, w), IntM::new(0, w));
+    let bc = Circ::build(&shape, |c, (a, b): (QDInt, QDInt)| {
+        let (a, b) = c.box_circ("addmul", (a, b), |c, (a, b): (QDInt, QDInt)| {
+            add_in_place(c, &a, &b);
+            (a, b)
+        });
+        let p = mul(c, &a, &b);
+        (a, b, p)
+    });
+    bc.validate().unwrap();
+    // Inline and re-validate: hierarchy and flat agree on counts.
+    let flat = inline_all(&bc.db, &bc.main).unwrap();
+    flat.validate_standalone().unwrap();
+    let hier = bc.gate_count();
+    let flat_count =
+        quipper_circuit::count::count(&quipper_circuit::CircuitDb::new(), &flat);
+    assert_eq!(hier.counts, flat_count.counts);
+    // Semantics: a=3, b=2 → b'=5, p = 3·5 = 15.
+    let mut input = vec![true, true, false, false]; // a = 3
+    input.extend([false, true, false, false]); // b = 2
+    let out = quipper_sim::run_classical(&bc, &input).unwrap();
+    let dec = |bits: &[bool]| bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+    assert_eq!(dec(&out[0..4]), 3);
+    assert_eq!(dec(&out[4..8]), 5);
+    assert_eq!(dec(&out[8..12]), 15);
+}
+
+/// The three simulators agree on a circuit all of them can run.
+#[test]
+fn simulators_agree_on_a_deterministic_clifford_circuit() {
+    let bc = Circ::build(&vec![false; 3], |c, qs: Vec<Qubit>| {
+        c.qnot(qs[0]);
+        c.cnot(qs[1], qs[0]);
+        c.cnot(qs[2], qs[1]);
+        c.qnot(qs[1]);
+        c.measure(qs)
+    });
+    let inputs = [false, true, false];
+    let sv = quipper_sim::run(&bc, &inputs, 3).unwrap().classical_outputs();
+    let tab = quipper_sim::run_clifford(&bc, &inputs, 3).unwrap();
+    let cl = quipper_sim::run_classical(&bc, &inputs).unwrap();
+    assert_eq!(sv, tab);
+    assert_eq!(sv, cl);
+}
+
+/// Reversing a reversible function really is its inverse: f then
+/// reverse(f) is the identity on every basis input.
+#[test]
+fn reverse_composes_to_identity() {
+    let f = |c: &mut Circ, qs: Vec<Qubit>| {
+        c.cnot(qs[1], qs[0]);
+        c.toffoli(qs[2], qs[0], qs[1]);
+        c.qnot(qs[0]);
+        c.swap(qs[1], qs[2]);
+        qs
+    };
+    let bc = Circ::build(&vec![false; 3], |c, qs: Vec<Qubit>| {
+        let qs = f(c, qs);
+        c.reverse_simple(&vec![false; 3], f, qs)
+    });
+    bc.validate().unwrap();
+    for bits in 0..8u32 {
+        let input: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+        let out = quipper_sim::run_classical(&bc, &input).unwrap();
+        assert_eq!(out, input, "identity on {bits:03b}");
+    }
+}
+
+/// Teleportation: classically-controlled quantum corrections (§4.2.3)
+/// reproduce the input state exactly, on every measurement branch.
+#[test]
+fn teleportation_with_classical_control_is_exact() {
+    for &theta in &[0.4f64, 1.1, 2.5] {
+        let mut c = Circ::new();
+        let psi = c.qinit_bit(false);
+        c.rot("Ry(%)", theta, psi);
+        let a = c.qinit_bit(false);
+        let b = c.qinit_bit(false);
+        c.hadamard(a);
+        c.cnot(b, a);
+        c.cnot(a, psi);
+        c.hadamard(psi);
+        let m1 = c.measure_bit(psi);
+        let m2 = c.measure_bit(a);
+        c.qnot_ctrl(b, &m2);
+        c.gate_ctrl(quipper::GateName::Z, b, &m1);
+        c.cdiscard(m1);
+        c.cdiscard(m2);
+        c.rot("Ry(%)", -theta, b);
+        let check = c.measure_bit(b);
+        let bc = c.finish(&check);
+        bc.validate().unwrap();
+        for seed in 0..25 {
+            let out = quipper_sim::run(&bc, &[], seed).unwrap().classical_outputs();
+            assert!(!out[0], "theta={theta}, seed={seed}: verification bit must be 0");
+        }
+    }
+}
+
+/// The OpenQASM exporter produces text containing exactly the expected
+/// gate vocabulary for a small mixed circuit.
+#[test]
+fn qasm_export_roundtrip_vocabulary() {
+    let bc = Circ::build(&vec![false; 3], |c, qs: Vec<Qubit>| {
+        c.hadamard(qs[0]);
+        c.toffoli(qs[2], qs[0], qs[1]);
+        c.gate_t(qs[1]);
+        c.with_ancilla(|c, x| {
+            c.cnot(x, qs[0]);
+            c.cnot(x, qs[0]);
+        });
+        c.measure(qs)
+    });
+    let qasm = quipper_circuit::qasm::to_qasm(&bc).unwrap();
+    for needle in ["OPENQASM 2.0;", "ccx", "t q[", "measure", "qreg q[4];"] {
+        assert!(qasm.contains(needle), "missing {needle} in:\n{qasm}");
+    }
+}
