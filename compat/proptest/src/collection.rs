@@ -1,0 +1,46 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Lengths a [`vec`] strategy may take.
+pub trait IntoLenStrategy {
+    /// Draws a length.
+    fn draw_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoLenStrategy for usize {
+    fn draw_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoLenStrategy for Range<usize> {
+    fn draw_len(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty length range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, L> {
+    elem: S,
+    len: L,
+}
+
+impl<S: Strategy, L: IntoLenStrategy> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.draw_len(rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// A strategy for vectors whose elements come from `elem` and whose length
+/// comes from `len` (a `usize` or a `Range<usize>`).
+pub fn vec<S: Strategy, L: IntoLenStrategy>(elem: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { elem, len }
+}

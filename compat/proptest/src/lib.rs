@@ -1,0 +1,97 @@
+//! Offline drop-in for the subset of the `proptest` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a tiny property-testing harness with the same surface syntax:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   header and `name in strategy` argument binders;
+//! * [`strategy::Strategy`] with `prop_map`, integer-range strategies, tuple
+//!   strategies, [`prop_oneof!`] unions, [`collection::vec`] and
+//!   [`arbitrary::any`];
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from upstream: inputs are generated from a deterministic
+//! per-test RNG (seeded from the test's name, so failures reproduce), and
+//! there is **no shrinking** — a failing case reports the assertion message
+//! only. That trade-off keeps the harness ~300 lines and dependency-free.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u64..100, b in 0u64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&$strat, &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Builds a strategy that picks uniformly among the given strategies.
+/// All arms must produce the same `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut __arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec::Vec::new();
+        $( __arms.push(::std::boxed::Box::new($strat)); )+
+        $crate::strategy::Union::new(__arms)
+    }};
+}
+
+/// Asserts a property; identical to `assert!` in this harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality; identical to `assert_eq!` in this harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality; identical to `assert_ne!` in this harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}

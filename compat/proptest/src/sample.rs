@@ -1,0 +1,25 @@
+//! Random index selection (`prop::sample::Index`).
+
+/// A size-agnostic random index: generated once, projected onto any
+/// collection length with [`Index::index`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Creates an index from raw random bits.
+    pub fn from_raw(raw: u64) -> Index {
+        Index { raw }
+    }
+
+    /// Projects the index onto a collection of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index(0)");
+        (self.raw % size as u64) as usize
+    }
+}

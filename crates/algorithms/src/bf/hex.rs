@@ -13,7 +13,7 @@
 //! by flood fill: seed the top row, expand through red-owned hex neighbors
 //! for `rows·cols` rounds (enough for any path), and test the bottom row.
 
-use quipper::classical::{CDag, Dag, BExpr};
+use quipper::classical::{BExpr, CDag, Dag};
 
 /// A Hex board size.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -99,7 +99,11 @@ impl HexBoard {
 /// (defaults to `cells()` when `None`, which is always sufficient).
 pub fn hex_winner_dag(board: HexBoard, sharing: bool, rounds: Option<usize>) -> CDag {
     let n = board.cells() as u32;
-    let dag = if sharing { Dag::new(n) } else { Dag::new_without_sharing(n) };
+    let dag = if sharing {
+        Dag::new(n)
+    } else {
+        Dag::new_without_sharing(n)
+    };
     let red = dag.inputs();
     let rounds = rounds.unwrap_or(board.cells());
 

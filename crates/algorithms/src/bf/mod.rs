@@ -67,13 +67,18 @@ impl NandTree {
 ///
 /// Exponential in `moves.len()` — a reference implementation for small
 /// boards.
-pub fn hex_strategy_wins(board: HexBoard, position: &mut Vec<Option<bool>>, red_to_move: bool) -> bool {
+pub fn hex_strategy_wins(
+    board: HexBoard,
+    position: &mut Vec<Option<bool>>,
+    red_to_move: bool,
+) -> bool {
     if position.iter().all(|c| c.is_some()) {
         let red: Vec<bool> = position.iter().map(|c| c.unwrap_or(false)).collect();
         return board.red_wins(&red);
     }
-    let free: Vec<usize> =
-        (0..position.len()).filter(|&i| position[i].is_none()).collect();
+    let free: Vec<usize> = (0..position.len())
+        .filter(|&i| position[i].is_none())
+        .collect();
     for i in free {
         position[i] = Some(red_to_move);
         let red_wins_subgame = hex_strategy_wins(board, position, !red_to_move);
@@ -135,10 +140,21 @@ fn walk_step(c: &mut Circ, tree: &NandTree, pos: &[Qubit], ctl: Qubit) {
     }
     // Flip the sign of |0…0⟩: a global phase of π with negative controls on
     // every position qubit, plus the PE control.
-    let mut controls: Vec<quipper::Control> =
-        pos.iter().map(|&q| quipper::Control { wire: q.wire(), positive: false }).collect();
-    controls.push(quipper::Control { wire: ctl.wire(), positive: true });
-    c.emit(quipper::Gate::GPhase { angle: 1.0, controls });
+    let mut controls: Vec<quipper::Control> = pos
+        .iter()
+        .map(|&q| quipper::Control {
+            wire: q.wire(),
+            positive: false,
+        })
+        .collect();
+    controls.push(quipper::Control {
+        wire: ctl.wire(),
+        positive: true,
+    });
+    c.emit(quipper::Gate::GPhase {
+        angle: 1.0,
+        controls,
+    });
     for &q in pos {
         c.hadamard(q);
     }
@@ -164,11 +180,17 @@ pub fn bf_circuit(tree: &NandTree, t_bits: usize) -> BCircuit {
         // Box one controlled walk step and iterate it.
         let mut io = pos.clone();
         io.push(ctl);
-        c.box_repeat("bf_walk", &format!("d={},k={}", tree.depth, k), reps, io, |c, io: Vec<Qubit>| {
-            let (p, ctl) = io.split_at(pos_bits);
-            walk_step(c, tree, p, ctl[0]);
-            io.clone()
-        });
+        c.box_repeat(
+            "bf_walk",
+            &format!("d={},k={}", tree.depth, k),
+            reps,
+            io,
+            |c, io: Vec<Qubit>| {
+                let (p, ctl) = io.split_at(pos_bits);
+                walk_step(c, tree, p, ctl[0]);
+                io.clone()
+            },
+        );
     }
     // Read the phase.
     qft_inverse(&mut c, &readout);
@@ -245,10 +267,21 @@ fn grover_iterate(c: &mut Circ, dag: &CDag, pos: &[Qubit], ctl: Qubit) {
     for &q in pos {
         c.hadamard(q);
     }
-    let mut controls: Vec<quipper::Control> =
-        pos.iter().map(|&q| quipper::Control { wire: q.wire(), positive: false }).collect();
-    controls.push(quipper::Control { wire: ctl.wire(), positive: true });
-    c.emit(quipper::Gate::GPhase { angle: 1.0, controls });
+    let mut controls: Vec<quipper::Control> = pos
+        .iter()
+        .map(|&q| quipper::Control {
+            wire: q.wire(),
+            positive: false,
+        })
+        .collect();
+    controls.push(quipper::Control {
+        wire: ctl.wire(),
+        positive: true,
+    });
+    c.emit(quipper::Gate::GPhase {
+        angle: 1.0,
+        controls,
+    });
     for &q in pos {
         c.hadamard(q);
     }
@@ -256,7 +289,10 @@ fn grover_iterate(c: &mut Circ, dag: &CDag, pos: &[Qubit], ctl: Qubit) {
     // conditioned on the PE control so the kickback phase is exact.
     c.emit(quipper::Gate::GPhase {
         angle: 1.0,
-        controls: vec![quipper::Control { wire: ctl.wire(), positive: true }],
+        controls: vec![quipper::Control {
+            wire: ctl.wire(),
+            positive: true,
+        }],
     });
 }
 
@@ -266,10 +302,12 @@ mod tests {
     use quipper_sim::run_classical;
 
     #[test]
+    #[allow(clippy::nonminimal_bool)] // spelled as NAND-of-NANDs on purpose
     fn nand_tree_evaluates_like_game_search() {
         // depth 2: NAND(NAND(a,b), NAND(c,d)).
-        let t = NandTree::new(2, vec![true, true, false, true]);
-        assert_eq!(t.eval(), !(!(true && true) && !(false && true)));
+        let (a, b, x, y) = (true, true, false, true);
+        let t = NandTree::new(2, vec![a, b, x, y]);
+        assert_eq!(t.eval(), !(!(a && b) && !(x && y)));
     }
 
     #[test]
@@ -292,10 +330,13 @@ mod tests {
     fn leaf_oracle_lifts_to_a_clean_reversible_circuit() {
         let t = NandTree::new(2, vec![false, true, true, false]);
         let dag = leaf_oracle_dag(&t);
-        let bc = Circ::build(&(vec![false; 2], false), |c, (idx, out): (Vec<Qubit>, Qubit)| {
-            synth::classical_to_reversible(c, &dag, &idx, &[out]);
-            (idx, out)
-        });
+        let bc = Circ::build(
+            &(vec![false; 2], false),
+            |c, (idx, out): (Vec<Qubit>, Qubit)| {
+                synth::classical_to_reversible(c, &dag, &idx, &[out]);
+                (idx, out)
+            },
+        );
         bc.validate().unwrap();
         for leaf in 0..4usize {
             let mut input: Vec<bool> = (0..2).map(|b| leaf >> b & 1 == 1).collect();
@@ -335,7 +376,11 @@ mod tests {
             // (dag, #inputs, #solutions)
             (Dag::build(2, |_, xs| vec![&xs[0] & &xs[1]]), 2, 1),
             (Dag::build(2, |_, xs| vec![&xs[0] ^ &xs[1]]), 2, 2),
-            (Dag::build(3, |_, xs| vec![&(&xs[0] & &xs[1]) & &xs[2]]), 3, 1),
+            (
+                Dag::build(3, |_, xs| vec![&(&xs[0] & &xs[1]) & &xs[2]]),
+                3,
+                1,
+            ),
             (Dag::build(3, |_, xs| vec![&xs[0] | &xs[1]]), 3, 6),
         ];
         for (dag, k, want) in cases {
@@ -370,10 +415,16 @@ mod tests {
         // in the single row... rows=1 means top row IS bottom row).
         let b = HexBoard::new(1, 2);
         let mut pos = vec![None; 2];
-        assert!(hex_strategy_wins(b, &mut pos, true), "red wins 1×2 moving first");
+        assert!(
+            hex_strategy_wins(b, &mut pos, true),
+            "red wins 1×2 moving first"
+        );
         // 2×2 board, red first: known first-player win in Hex.
         let b = HexBoard::new(2, 2);
         let mut pos = vec![None; 4];
-        assert!(hex_strategy_wins(b, &mut pos, true), "first player wins Hex 2×2");
+        assert!(
+            hex_strategy_wins(b, &mut pos, true),
+            "first player wins Hex 2×2"
+        );
     }
 }

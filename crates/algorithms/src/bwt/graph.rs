@@ -74,7 +74,7 @@ impl WeldedTree {
         let mut v = Vec::new();
         for tree in 0..2u64 {
             for heap in 1..(1u64 << (self.depth + 1)) {
-                v.push(tree * self.tree_flag() | heap);
+                v.push((tree * self.tree_flag()) | heap);
             }
         }
         v
@@ -147,8 +147,7 @@ mod tests {
     fn coloring_is_proper_and_degrees_are_correct() {
         let g = sample();
         for v in g.nodes() {
-            let neighbors: Vec<Option<u64>> =
-                (0..4u8).map(|c| g.neighbor(v, c)).collect();
+            let neighbors: Vec<Option<u64>> = (0..4u8).map(|c| g.neighbor(v, c)).collect();
             // No two edges at a node share a color by construction; check
             // the neighbors are distinct.
             let mut present: Vec<u64> = neighbors.iter().flatten().copied().collect();
@@ -157,7 +156,11 @@ mod tests {
             let degree = neighbors.iter().flatten().count();
             assert_eq!(degree, present.len(), "distinct neighbors at {v:b}");
             // Roots have degree 2, all other nodes degree 3.
-            let expected = if v == g.entrance() || v == g.exit() { 2 } else { 3 };
+            let expected = if v == g.entrance() || v == g.exit() {
+                2
+            } else {
+                3
+            };
             assert_eq!(degree, expected, "degree of {v:b}");
         }
     }

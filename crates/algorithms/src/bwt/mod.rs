@@ -74,11 +74,15 @@ pub fn bwt_circuit(g: WeldedTree, timesteps: usize, dt: f64, flavor: Flavor) -> 
     }
     let m = g.label_bits();
     let mut c = Circ::new();
-    let a: Vec<Qubit> = (0..m).map(|i| c.qinit_bit(g.entrance() >> i & 1 == 1)).collect();
+    let a: Vec<Qubit> = (0..m)
+        .map(|i| c.qinit_bit(g.entrance() >> i & 1 == 1))
+        .collect();
 
     // The template flavor synthesizes its oracle DAGs once per color.
     let dags: Vec<_> = match flavor {
-        Flavor::Template => (0..4u8).map(|color| Some(oracle::neighbor_dag(g, color))).collect(),
+        Flavor::Template => (0..4u8)
+            .map(|color| Some(oracle::neighbor_dag(g, color)))
+            .collect(),
         _ => (0..4).map(|_| None).collect(),
     };
 
@@ -120,7 +124,9 @@ pub fn run_bwt(g: WeldedTree, timesteps: usize, dt: f64, flavor: Flavor, seed: u
     let bc = bwt_circuit(g, timesteps, dt, flavor);
     let result = quipper_sim::run(&bc, &[], seed).expect("BWT simulation");
     let outs = result.classical_outputs();
-    outs.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    outs.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
 }
 
 #[cfg(test)]
@@ -141,7 +147,10 @@ mod tests {
         // 2 timesteps × 4 colors × 1 rotation.
         assert_eq!(gc.by_name_any_controls("exp(-i%Z)"), 8);
         // 2 × 4 × 2·m W gates (compute + uncompute).
-        assert_eq!(gc.by_name_any_controls("\"W"), (2 * 4 * 2 * g.label_bits()) as u128);
+        assert_eq!(
+            gc.by_name_any_controls("\"W"),
+            (2 * 4 * 2 * g.label_bits()) as u128
+        );
     }
 
     #[test]

@@ -117,8 +117,8 @@ fn apply_writes(
     let b: Vec<Qubit> = (0..m).map(|_| c.qinit_bit(false)).collect();
     let r = c.qinit_bit(false);
 
-    for d in 0..=depth {
-        let cond = conds[d];
+    debug_assert_eq!(conds.len(), depth + 1);
+    for (d, &cond) in conds.iter().enumerate() {
         if d % 2 == color_par {
             // Parent edge.
             if d == 0 {
@@ -191,7 +191,11 @@ pub fn neighbor_dag(g: WeldedTree, color: u8) -> CDag {
                 if d == 0 {
                     continue;
                 }
-                let sel = if color_bit { heap[0].clone() } else { !heap[0].clone() };
+                let sel = if color_bit {
+                    heap[0].clone()
+                } else {
+                    !heap[0].clone()
+                };
                 let ind = pred.clone() & sel;
                 for i in 0..d {
                     b[i] = b[i].clone() ^ (ind.clone() & heap[i + 1].clone());
@@ -307,10 +311,7 @@ mod tests {
         let m = g.label_bits();
         let bc = Circ::build(&vec![false; m], |c, a: Vec<Qubit>| {
             for color in 0..4u8 {
-                c.with_computed(
-                    |c| oracle_orthodox(c, g, color, &a),
-                    |_c, _data| {},
-                );
+                c.with_computed(|c| oracle_orthodox(c, g, color, &a), |_c, _data| {});
             }
             a
         });

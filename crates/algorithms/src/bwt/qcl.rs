@@ -221,7 +221,9 @@ pub fn bwt_qcl_circuit(g: WeldedTree, timesteps: usize, dt: f64) -> BCircuit {
     let m = g.label_bits();
     let mut c = Circ::new();
     // The walker register, initialized to the entrance.
-    let a: Vec<Qubit> = (0..m).map(|i| c.qinit_bit(g.entrance() >> i & 1 == 1)).collect();
+    let a: Vec<Qubit> = (0..m)
+        .map(|i| c.qinit_bit(g.entrance() >> i & 1 == 1))
+        .collect();
     let pool = QclPool {
         b: (0..m).map(|_| c.qinit_bit(false)).collect(),
         r: c.qinit_bit(false),
@@ -297,7 +299,12 @@ mod tests {
                 oracle_writes(&mut c, g, &pool, &a, color);
             }
             // Assert all pool registers are back to zero.
-            for &q in pool.b.iter().chain(pool.z.iter()).chain(pool.cond.iter()).chain(pool.tmp.iter())
+            for &q in pool
+                .b
+                .iter()
+                .chain(pool.z.iter())
+                .chain(pool.cond.iter())
+                .chain(pool.tmp.iter())
             {
                 c.qterm_bit(false, q);
             }
@@ -319,7 +326,11 @@ mod tests {
         bc.validate().unwrap();
         let gc = bc.gate_count();
         assert_eq!(gc.by_name_any_controls("Term"), 0, "QCL never terminates");
-        assert_eq!(gc.by_name("Meas", 0, 0), 0, "QCL column has no measurements");
+        assert_eq!(
+            gc.by_name("Meas", 0, 0),
+            0,
+            "QCL column has no measurements"
+        );
         assert!(gc.by_name("\"Not\"", 0, 0) > 0, "X conjugation flood");
     }
 }

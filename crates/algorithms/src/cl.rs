@@ -177,8 +177,9 @@ pub fn approximate_regulator(
     seed0: u64,
 ) -> Option<u64> {
     let oracle = PeriodOracle::Pow2(field.regulator_log2);
-    let samples: Vec<u64> =
-        (0..n_samples).map(|s| sample_period(m, &oracle, seed0 + s)).collect();
+    let samples: Vec<u64> = (0..n_samples)
+        .map(|s| sample_period(m, &oracle, seed0 + s))
+        .collect();
     recover_period(&samples, m, 1 << field.regulator_log2)
 }
 

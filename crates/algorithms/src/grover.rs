@@ -48,9 +48,15 @@ pub fn grover_circuit(dag: &CDag, iterations: u64) -> BCircuit {
         }
         let controls: Vec<quipper::Control> = pos
             .iter()
-            .map(|&q| quipper::Control { wire: q.wire(), positive: false })
+            .map(|&q| quipper::Control {
+                wire: q.wire(),
+                positive: false,
+            })
             .collect();
-        c.emit(quipper::Gate::GPhase { angle: 1.0, controls });
+        c.emit(quipper::Gate::GPhase {
+            angle: 1.0,
+            controls,
+        });
         for &q in &pos {
             c.hadamard(q);
         }
@@ -79,8 +85,9 @@ pub fn grover_find(dag: &CDag, m_marked: u64, attempts: u64, seed0: u64) -> Opti
     let iters = optimal_iterations(dag.num_inputs(), m_marked);
     for a in 0..attempts {
         let candidate = grover_search(dag, iters, seed0 + a);
-        let input: Vec<bool> =
-            (0..dag.num_inputs()).map(|i| candidate >> i & 1 == 1).collect();
+        let input: Vec<bool> = (0..dag.num_inputs())
+            .map(|i| candidate >> i & 1 == 1)
+            .collect();
         if dag.eval(&input)[0] {
             return Some(candidate);
         }
@@ -98,7 +105,12 @@ mod tests {
         Dag::build(k as u32, |dag, xs| {
             let mut term = dag.constant(true);
             for (i, x) in xs.iter().enumerate() {
-                term = term & if item >> i & 1 == 1 { x.clone() } else { !x.clone() };
+                term = term
+                    & if item >> i & 1 == 1 {
+                        x.clone()
+                    } else {
+                        !x.clone()
+                    };
             }
             vec![term]
         })

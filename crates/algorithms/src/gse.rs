@@ -49,12 +49,30 @@ impl Hamiltonian {
         Hamiltonian {
             n_qubits: 2,
             terms: vec![
-                PauliTerm { coeff: g[0], ops: vec![] },
-                PauliTerm { coeff: g[1], ops: vec![(0, Pauli::Z)] },
-                PauliTerm { coeff: g[2], ops: vec![(1, Pauli::Z)] },
-                PauliTerm { coeff: g[3], ops: vec![(0, Pauli::Z), (1, Pauli::Z)] },
-                PauliTerm { coeff: g[4], ops: vec![(0, Pauli::X), (1, Pauli::X)] },
-                PauliTerm { coeff: g[5], ops: vec![(0, Pauli::Y), (1, Pauli::Y)] },
+                PauliTerm {
+                    coeff: g[0],
+                    ops: vec![],
+                },
+                PauliTerm {
+                    coeff: g[1],
+                    ops: vec![(0, Pauli::Z)],
+                },
+                PauliTerm {
+                    coeff: g[2],
+                    ops: vec![(1, Pauli::Z)],
+                },
+                PauliTerm {
+                    coeff: g[3],
+                    ops: vec![(0, Pauli::Z), (1, Pauli::Z)],
+                },
+                PauliTerm {
+                    coeff: g[4],
+                    ops: vec![(0, Pauli::X), (1, Pauli::X)],
+                },
+                PauliTerm {
+                    coeff: g[5],
+                    ops: vec![(0, Pauli::Y), (1, Pauli::Y)],
+                },
             ],
         }
     }
@@ -65,6 +83,9 @@ impl Hamiltonian {
         let dim = 1usize << self.n_qubits;
         let mut m = vec![vec![(0.0, 0.0); dim]; dim];
         for term in &self.terms {
+            // `m` is indexed by the permuted `row`, so enumerate() cannot
+            // replace the index loop here.
+            #[allow(clippy::needless_range_loop)]
             for col in 0..dim {
                 // Apply the Pauli product to basis state |col⟩.
                 let mut row = col;
@@ -83,7 +104,11 @@ impl Hamiltonian {
                         Pauli::Y => {
                             // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
                             row ^= 1 << q;
-                            amp = if bit == 0 { (-amp.1, amp.0) } else { (amp.1, -amp.0) };
+                            amp = if bit == 0 {
+                                (-amp.1, amp.0)
+                            } else {
+                                (amp.1, -amp.0)
+                            };
                         }
                     }
                 }
@@ -101,7 +126,11 @@ impl Hamiltonian {
         // Gershgorin-style bound for the spectral radius.
         let bound: f64 = m
             .iter()
-            .map(|row| row.iter().map(|&(re, im)| (re * re + im * im).sqrt()).sum::<f64>())
+            .map(|row| {
+                row.iter()
+                    .map(|&(re, im)| (re * re + im * im).sqrt())
+                    .sum::<f64>()
+            })
             .fold(0.0, f64::max);
         let mut v: Vec<(f64, f64)> = (0..dim).map(|i| (1.0 + i as f64 * 0.1, 0.0)).collect();
         for _ in 0..20_000 {
@@ -243,11 +272,17 @@ pub fn gse_circuit(
         let mut io = sys.clone();
         io.push(ctl);
         let ham = ham.clone();
-        c.box_repeat("gse_u", &format!("k={k}"), reps, io, move |c, io: Vec<Qubit>| {
-            let (s, ctl) = io.split_at(ham.n_qubits);
-            trotter_step(c, &ham, slice, s, &ctl[0]);
-            io.clone()
-        });
+        c.box_repeat(
+            "gse_u",
+            &format!("k={k}"),
+            reps,
+            io,
+            move |c, io: Vec<Qubit>| {
+                let (s, ctl) = io.split_at(ham.n_qubits);
+                trotter_step(c, &ham, slice, s, &ctl[0]);
+                io.clone()
+            },
+        );
     }
     // Big-endian phase readout: bit k weighs 2^k in the phase numerator.
     let mut be: Vec<Qubit> = readout.clone();
@@ -287,6 +322,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // (r, c) symmetry reads best as indices
     fn dense_matrix_is_hermitian_with_expected_diagonal() {
         let h = Hamiltonian::h2();
         let m = h.dense();
@@ -314,7 +350,10 @@ mod tests {
         let sector_min = (a + d) / 2.0 - (((a - d) / 2.0).powi(2) + b * b).sqrt();
         let other_min = m[0][0].0.min(m[3][3].0);
         let want = sector_min.min(other_min);
-        assert!((e - want).abs() < 1e-6, "power iteration {e} vs exact {want}");
+        assert!(
+            (e - want).abs() < 1e-6,
+            "power iteration {e} vs exact {want}"
+        );
     }
 
     #[test]
@@ -376,6 +415,9 @@ mod tests {
         // rotations.
         let r4 = c4.by_name_any_controls("exp(-i%Z)");
         let r8 = c8.by_name_any_controls("exp(-i%Z)");
-        assert!(r8 > 10 * r4, "rotation count grows with precision: {r4} → {r8}");
+        assert!(
+            r8 > 10 * r4,
+            "rotation count grows with precision: {r4} → {r8}"
+        );
     }
 }

@@ -39,7 +39,10 @@ impl HadamardSystem {
     /// Panics on zero eigenvalues.
     pub fn new(lambda_plus: u32, lambda_minus: u32) -> HadamardSystem {
         assert!(lambda_plus > 0 && lambda_minus > 0, "A must be invertible");
-        HadamardSystem { lambda_plus, lambda_minus }
+        HadamardSystem {
+            lambda_plus,
+            lambda_minus,
+        }
     }
 }
 
@@ -85,7 +88,10 @@ pub fn qls_circuit(sys: HadamardSystem, b: RhsState, m: usize) -> BCircuit {
         let phi_m = unit * f64::from(sys.lambda_minus) * f64::powi(2.0, k as i32);
         c.emit(quipper::Gate::GPhase {
             angle: phi_p / std::f64::consts::PI,
-            controls: vec![quipper::Control { wire: ctl.wire(), positive: true }],
+            controls: vec![quipper::Control {
+                wire: ctl.wire(),
+                positive: true,
+            }],
         });
         c.rot_ctrl("R(%)", phi_m - phi_p, x, &ctl);
     }
@@ -119,7 +125,10 @@ pub fn qls_circuit(sys: HadamardSystem, b: RhsState, m: usize) -> BCircuit {
         c.rot_ctrl("R(%)", -(phi_m - phi_p), x, &ctl);
         c.emit(quipper::Gate::GPhase {
             angle: -phi_p / std::f64::consts::PI,
-            controls: vec![quipper::Control { wire: ctl.wire(), positive: true }],
+            controls: vec![quipper::Control {
+                wire: ctl.wire(),
+                positive: true,
+            }],
         });
     }
     c.hadamard(x);
@@ -170,7 +179,10 @@ mod tests {
         let (x0, x1) = classical_solution(sys, b);
         let want0 = x0 * x0 / (x0 * x0 + x1 * x1);
         let (p0, p1, p_flag) = qls_solve(sys, b, 2, 7);
-        assert!(p_flag > 0.1, "post-selection succeeds with decent probability");
+        assert!(
+            p_flag > 0.1,
+            "post-selection succeeds with decent probability"
+        );
         assert!((p0 - want0).abs() < 1e-6, "p0 = {p0}, want {want0}");
         assert!((p1 - (1.0 - want0)).abs() < 1e-6);
     }

@@ -39,9 +39,7 @@ pub fn find_triangle(
         let outs = result.classical_outputs();
         // Decode the measured tuple.
         let nodes: Vec<u64> = (0..t)
-            .map(|j| {
-                (0..n).fold(0u64, |acc, b| acc | (u64::from(outs[j * n + b]) << b))
-            })
+            .map(|j| (0..n).fold(0u64, |acc, b| acc | (u64::from(outs[j * n + b]) << b)))
             .collect();
         // Check every pair of tuple members + every completion vertex.
         for x in 0..t {
@@ -51,7 +49,10 @@ pub fn find_triangle(
                     continue;
                 }
                 for z in 0..1u64 << n {
-                    if z != u && z != w && oracle.edge_classical(u, z) && oracle.edge_classical(w, z)
+                    if z != u
+                        && z != w
+                        && oracle.edge_classical(u, z)
+                        && oracle.edge_classical(w, z)
                     {
                         let mut tri = [u, w, z];
                         tri.sort_unstable();

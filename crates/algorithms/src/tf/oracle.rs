@@ -78,7 +78,11 @@ pub fn tf_mul(x: u64, y: u64, l: usize) -> u64 {
     for i in 0..l {
         if x >> i & 1 == 1 {
             let k = i % l;
-            let rot = if k == 0 { y } else { (y << k | y >> (l - k)) & mask };
+            let rot = if k == 0 {
+                y
+            } else {
+                (y << k | y >> (l - k)) & mask
+            };
             cur = tf_add(rot, cur, l);
         }
     }
@@ -185,7 +189,10 @@ pub struct Graph {
 impl Graph {
     /// An empty graph on `n_nodes` vertices.
     pub fn empty(n_nodes: usize) -> Graph {
-        Graph { n_nodes, adj: vec![vec![false; n_nodes]; n_nodes] }
+        Graph {
+            n_nodes,
+            adj: vec![vec![false; n_nodes]; n_nodes],
+        }
     }
 
     /// Number of vertices.
@@ -286,8 +293,15 @@ impl GraphOracle {
     /// Builds the oracle for a graph; node registers have
     /// `ceil(log2(graph.len()))` qubits (minimum 1).
     pub fn new(graph: Graph, key: &str) -> GraphOracle {
-        let n = usize::max(1, (usize::BITS - (graph.len() - 1).leading_zeros()) as usize);
-        GraphOracle { graph, n, key: key.to_string() }
+        let n = usize::max(
+            1,
+            (usize::BITS - (graph.len() - 1).leading_zeros()) as usize,
+        );
+        GraphOracle {
+            graph,
+            n,
+            key: key.to_string(),
+        }
     }
 
     /// The underlying graph.
@@ -368,11 +382,7 @@ mod tests {
                 let mut inputs = vec![u & 1 == 1, u >> 1 & 1 == 1, w & 1 == 1, w >> 1 & 1 == 1];
                 inputs.push(false);
                 let out = run_classical(&bc, &inputs).unwrap();
-                assert_eq!(
-                    out[4],
-                    orc.edge_classical(u, w),
-                    "edge({u},{w}) at l=4"
-                );
+                assert_eq!(out[4], orc.edge_classical(u, w), "edge({u},{w}) at l=4");
                 // Operands preserved.
                 assert_eq!(out[0], u & 1 == 1);
                 assert_eq!(out[2], w & 1 == 1);
@@ -402,10 +412,12 @@ mod tests {
         bc.validate().unwrap();
         // Main circuit: two o1 calls; definitions shared (o1, o4, o6, o8, o7).
         assert_eq!(bc.main.gates.len(), 2);
-        let names: Vec<&str> =
-            bc.db.iter().map(|(_, d)| d.name.as_str()).collect();
+        let names: Vec<&str> = bc.db.iter().map(|(_, d)| d.name.as_str()).collect();
         for expected in ["o1", "o4", "o6", "o8", "o7"] {
-            assert!(names.contains(&expected), "missing box {expected}, have {names:?}");
+            assert!(
+                names.contains(&expected),
+                "missing box {expected}, have {names:?}"
+            );
         }
     }
 
@@ -436,7 +448,11 @@ mod tests {
                 inputs.extend((0..n).map(|i| w >> i & 1 == 1));
                 inputs.push(false);
                 let out = run_classical(&bc, &inputs).unwrap();
-                assert_eq!(out[2 * n], g.has_edge(u as usize, w as usize), "edge({u},{w})");
+                assert_eq!(
+                    out[2 * n],
+                    g.has_edge(u as usize, w as usize),
+                    "edge({u},{w})"
+                );
             }
         }
     }

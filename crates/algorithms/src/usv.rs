@@ -152,7 +152,10 @@ mod tests {
     fn gauss_reduction_finds_the_shortest_vector() {
         // Lattice with basis (5, 1), (4, 1): shortest vector (1, 0) =
         // b1 − b2.
-        let l = Lattice2 { b1: (5, 1), b2: (4, 1) };
+        let l = Lattice2 {
+            b1: (5, 1),
+            b2: (4, 1),
+        };
         let v = l.shortest_vector();
         assert_eq!(norm2(v), 1, "shortest has norm 1: {v:?}");
     }
@@ -180,7 +183,10 @@ mod tests {
 
     #[test]
     fn solve_usv_returns_a_shortest_vector() {
-        let lattice = Lattice2 { b1: (4, 1), b2: (5, 1) };
+        let lattice = Lattice2 {
+            b1: (4, 1),
+            b2: (5, 1),
+        };
         // Plant the shortest vector's coefficients. Gauss reduction on
         // this basis: shortest is b1·(-3) + b2·... compute the truth first.
         let shortest = lattice.shortest_vector();
@@ -210,7 +216,13 @@ mod tests {
     fn coefficient_encoding_roundtrips() {
         for a in -2i64..=1 {
             for b in -2i64..=1 {
-                let inst = PlantedUsv { lattice: Lattice2 { b1: (1, 0), b2: (0, 1) }, coeff: (a, b) };
+                let inst = PlantedUsv {
+                    lattice: Lattice2 {
+                        b1: (1, 0),
+                        b2: (0, 1),
+                    },
+                    coeff: (a, b),
+                };
                 assert_eq!(PlantedUsv::decode(inst.phase_numerator()), (a, b));
             }
         }

@@ -33,7 +33,10 @@ pub struct FPFormat {
 impl FPFormat {
     /// Creates a format.
     pub fn new(int_bits: usize, frac_bits: usize) -> FPFormat {
-        FPFormat { int_bits, frac_bits }
+        FPFormat {
+            int_bits,
+            frac_bits,
+        }
     }
 
     /// Total register width.
@@ -139,7 +142,10 @@ impl QCData for FPReal {
     }
 
     fn map_wires(&self, f: &mut dyn FnMut(Wire, WireType) -> Wire) -> Self {
-        FPReal { bits: self.bits.map_wires(f), format: self.format }
+        FPReal {
+            bits: self.bits.map_wires(f),
+            format: self.format,
+        }
     }
 }
 
@@ -149,14 +155,21 @@ impl Shape for FPParam {
 
     fn qinit(&self, c: &mut Circ) -> FPReal {
         let enc = self.format.encode(self.value);
-        let bits = (0..self.format.width()).map(|i| c.qinit_bit(enc >> i & 1 == 1)).collect();
-        FPReal { bits, format: self.format }
+        let bits = (0..self.format.width())
+            .map(|i| c.qinit_bit(enc >> i & 1 == 1))
+            .collect();
+        FPReal {
+            bits,
+            format: self.format,
+        }
     }
 
     fn cinit(&self, c: &mut Circ) -> CInt {
         let enc = self.format.encode(self.value);
         CInt::from_bits(
-            (0..self.format.width()).map(|i| c.cinit_bit(enc >> i & 1 == 1)).collect(),
+            (0..self.format.width())
+                .map(|i| c.cinit_bit(enc >> i & 1 == 1))
+                .collect(),
         )
     }
 
@@ -283,7 +296,9 @@ pub fn add_dag(fmt: FPFormat) -> CDag {
     let w = fmt.width();
     Dag::build(2 * w as u32, |_, inputs| {
         let (a, b) = inputs.split_at(w);
-        CWord::from_bits(a.to_vec()).add(&CWord::from_bits(b.to_vec())).into_bits()
+        CWord::from_bits(a.to_vec())
+            .add(&CWord::from_bits(b.to_vec()))
+            .into_bits()
     })
 }
 
@@ -293,8 +308,12 @@ pub fn mul_dag(fmt: FPFormat) -> CDag {
     let w = fmt.width();
     Dag::build(2 * w as u32, |_, inputs| {
         let (a, b) = inputs.split_at(w);
-        mul_fixed(&CWord::from_bits(a.to_vec()), &CWord::from_bits(b.to_vec()), fmt)
-            .into_bits()
+        mul_fixed(
+            &CWord::from_bits(a.to_vec()),
+            &CWord::from_bits(b.to_vec()),
+            fmt,
+        )
+        .into_bits()
     })
 }
 
@@ -323,12 +342,18 @@ fn lift_binary(c: &mut Circ, x: &FPReal, y: &FPReal, dag: &CDag) -> FPReal {
     let mut inputs = x.bits.clone();
     inputs.extend_from_slice(&y.bits);
     let outs = synth::synthesize_clean(c, dag, &inputs);
-    FPReal { bits: outs, format: x.format }
+    FPReal {
+        bits: outs,
+        format: x.format,
+    }
 }
 
 fn lift_unary(c: &mut Circ, x: &FPReal, dag: &CDag) -> FPReal {
     let outs = synth::synthesize_clean(c, dag, &x.bits);
-    FPReal { bits: outs, format: x.format }
+    FPReal {
+        bits: outs,
+        format: x.format,
+    }
 }
 
 #[cfg(test)]
@@ -360,7 +385,9 @@ mod tests {
             let input: Vec<bool> = (0..fmt.width()).map(|i| enc >> i & 1 == 1).collect();
             let out = dag.eval(&input);
             let got = fmt.decode(
-                out.iter().enumerate().fold(0u64, |a, (i, &b)| a | (u64::from(b) << i)),
+                out.iter()
+                    .enumerate()
+                    .fold(0u64, |a, (i, &b)| a | (u64::from(b) << i)),
             );
             // Taylor truncation + a few ulps of fixed-point error per multiply.
             assert!(
@@ -380,7 +407,9 @@ mod tests {
             let input: Vec<bool> = (0..fmt.width()).map(|i| enc >> i & 1 == 1).collect();
             let out = dag.eval(&input);
             let got = fmt.decode(
-                out.iter().enumerate().fold(0u64, |a, (i, &b)| a | (u64::from(b) << i)),
+                out.iter()
+                    .enumerate()
+                    .fold(0u64, |a, (i, &b)| a | (u64::from(b) << i)),
             );
             assert!(
                 (got - x.cos()).abs() < 0.02,
@@ -438,12 +467,20 @@ mod tests {
             input.extend((0..w).map(|i| eb >> i & 1 == 1));
             let out = quipper_sim::run_classical(&bc, &input).unwrap();
             let dec = |bits: &[bool]| {
-                fmt.decode(bits.iter().enumerate().fold(0u64, |acc, (i, &v)| {
-                    acc | (u64::from(v) << i)
-                }))
+                fmt.decode(
+                    bits.iter()
+                        .enumerate()
+                        .fold(0u64, |acc, (i, &v)| acc | (u64::from(v) << i)),
+                )
             };
-            assert!((dec(&out[2 * w..3 * w]) - (a + b)).abs() < 2.0 * fmt.epsilon(), "{a}+{b}");
-            assert!((dec(&out[3 * w..]) - a * b).abs() < 2.0 * fmt.epsilon(), "{a}·{b}");
+            assert!(
+                (dec(&out[2 * w..3 * w]) - (a + b)).abs() < 2.0 * fmt.epsilon(),
+                "{a}+{b}"
+            );
+            assert!(
+                (dec(&out[3 * w..]) - a * b).abs() < 2.0 * fmt.epsilon(),
+                "{a}·{b}"
+            );
         }
     }
 
@@ -467,7 +504,9 @@ mod tests {
             }
             let out = frozen.eval(&bits);
             let got = fmt.decode(
-                out.iter().enumerate().fold(0u64, |a, (i, &b)| a | (u64::from(b) << i)),
+                out.iter()
+                    .enumerate()
+                    .fold(0u64, |a, (i, &b)| a | (u64::from(b) << i)),
             );
             assert!(
                 (got - x * y).abs() <= 2.0 * fmt.epsilon(),

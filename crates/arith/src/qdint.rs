@@ -72,12 +72,16 @@ impl QDInt {
 
     /// A sub-register of the high bits starting at bit `i`.
     pub fn slice_from(&self, i: usize) -> QDInt {
-        QDInt { bits: self.bits[i..].to_vec() }
+        QDInt {
+            bits: self.bits[i..].to_vec(),
+        }
     }
 
     /// The first `n` bits.
     pub fn truncate(&self, n: usize) -> QDInt {
-        QDInt { bits: self.bits[..n].to_vec() }
+        QDInt {
+            bits: self.bits[..n].to_vec(),
+        }
     }
 }
 
@@ -109,7 +113,9 @@ impl QCData for QDInt {
     }
 
     fn map_wires(&self, f: &mut dyn FnMut(Wire, WireType) -> Wire) -> Self {
-        QDInt { bits: self.bits.map_wires(f) }
+        QDInt {
+            bits: self.bits.map_wires(f),
+        }
     }
 }
 
@@ -119,7 +125,9 @@ impl QCData for CInt {
     }
 
     fn map_wires(&self, f: &mut dyn FnMut(Wire, WireType) -> Wire) -> Self {
-        CInt { bits: self.bits.map_wires(f) }
+        CInt {
+            bits: self.bits.map_wires(f),
+        }
     }
 }
 
@@ -128,11 +136,15 @@ impl Shape for IntM {
     type C = CInt;
 
     fn qinit(&self, c: &mut Circ) -> QDInt {
-        QDInt { bits: (0..self.width).map(|i| c.qinit_bit(self.bit(i))).collect() }
+        QDInt {
+            bits: (0..self.width).map(|i| c.qinit_bit(self.bit(i))).collect(),
+        }
     }
 
     fn cinit(&self, c: &mut Circ) -> CInt {
-        CInt { bits: (0..self.width).map(|i| c.cinit_bit(self.bit(i))).collect() }
+        CInt {
+            bits: (0..self.width).map(|i| c.cinit_bit(self.bit(i))).collect(),
+        }
     }
 
     fn qterm(&self, c: &mut Circ, data: QDInt) {
@@ -150,15 +162,21 @@ impl Shape for IntM {
     }
 
     fn make_input(&self, c: &mut Circ) -> QDInt {
-        QDInt { bits: vec![false; self.width].make_input(c) }
+        QDInt {
+            bits: vec![false; self.width].make_input(c),
+        }
     }
 
     fn make_input_classical(&self, c: &mut Circ) -> CInt {
-        CInt { bits: vec![false; self.width].make_input_classical(c) }
+        CInt {
+            bits: vec![false; self.width].make_input_classical(c),
+        }
     }
 
     fn make_dummy(&self) -> QDInt {
-        QDInt { bits: vec![Qubit::from_wire(Wire(0)); self.width] }
+        QDInt {
+            bits: vec![Qubit::from_wire(Wire(0)); self.width],
+        }
     }
 }
 
@@ -166,14 +184,18 @@ impl Measurable for QDInt {
     type Outcome = CInt;
 
     fn measure_in(self, c: &mut Circ) -> CInt {
-        CInt { bits: self.bits.measure_in(c) }
+        CInt {
+            bits: self.bits.measure_in(c),
+        }
     }
 }
 
 /// Copies `x` into a fresh register via CNOTs (computational-basis copy —
 /// *not* cloning: it entangles rather than duplicates).
 pub fn copy(c: &mut Circ, x: &QDInt) -> QDInt {
-    let out = QDInt { bits: (0..x.width()).map(|_| c.qinit_bit(false)).collect() };
+    let out = QDInt {
+        bits: (0..x.width()).map(|_| c.qinit_bit(false)).collect(),
+    };
     for (o, i) in out.bits.iter().zip(x.bits.iter()) {
         c.cnot(*o, *i);
     }
@@ -283,7 +305,9 @@ pub fn lt(c: &mut Circ, a: &QDInt, b: &QDInt) -> Qubit {
 pub fn mul(c: &mut Circ, a: &QDInt, b: &QDInt) -> QDInt {
     assert_eq!(a.width(), b.width(), "mul: operand widths differ");
     let w = a.width();
-    let p = QDInt { bits: (0..w).map(|_| c.qinit_bit(false)).collect() };
+    let p = QDInt {
+        bits: (0..w).map(|_| c.qinit_bit(false)).collect(),
+    };
     for i in 0..w {
         // p[i..] += b[..w-i], controlled on a_i.
         let addend = b.truncate(w - i);
@@ -300,10 +324,7 @@ pub fn mul(c: &mut Circ, a: &QDInt, b: &QDInt) -> QDInt {
 /// and uncomputed afterwards — this is why the paper's `square` has type
 /// `QIntTF -> Circ (QIntTF, QIntTF)`.
 pub fn square(c: &mut Circ, x: &QDInt) -> QDInt {
-    c.with_computed(
-        |c| copy(c, x),
-        |c, xc| mul(c, x, xc),
-    )
+    c.with_computed(|c| copy(c, x), |c, xc| mul(c, x, xc))
 }
 
 #[cfg(test)]
@@ -341,9 +362,9 @@ mod tests {
                 let regs: Vec<u64> = out
                     .chunks(w)
                     .map(|ch| {
-                        ch.iter().enumerate().fold(0u64, |acc, (i, &b)| {
-                            acc | (u64::from(b) << i)
-                        })
+                        ch.iter()
+                            .enumerate()
+                            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
                     })
                     .collect();
                 assert_eq!(regs.len(), expected.len(), "register count");
@@ -553,10 +574,17 @@ mod qft_adder_tests {
         for &(x, y) in &[(0u64, 0u64), (1, 1), (3, 5), (7, 9), (15, 15), (12, 6)] {
             let mut input: Vec<bool> = (0..w).map(|i| x >> i & 1 == 1).collect();
             input.extend((0..w).map(|i| y >> i & 1 == 1));
-            let rq = quipper_sim::run(&qft, &input, 1).unwrap().classical_outputs();
-            let rc = quipper_sim::run(&cuccaro, &input, 1).unwrap().classical_outputs();
+            let rq = quipper_sim::run(&qft, &input, 1)
+                .unwrap()
+                .classical_outputs();
+            let rc = quipper_sim::run(&cuccaro, &input, 1)
+                .unwrap()
+                .classical_outputs();
             assert_eq!(rq, rc, "x={x} y={y}");
-            let got = rq.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+            let got = rq
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
             assert_eq!(got, (x + y) & 0xf, "x={x} y={y}");
         }
     }

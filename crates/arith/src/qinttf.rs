@@ -38,7 +38,10 @@ impl IntTF {
     /// Creates a parameter integer, reducing the value modulo 2^width − 1.
     pub fn new(value: u64, width: usize) -> IntTF {
         let m = (1u64 << width) - 1;
-        IntTF { value: value % m, width }
+        IntTF {
+            value: value % m,
+            width,
+        }
     }
 
     fn bit(&self, i: usize) -> bool {
@@ -97,7 +100,9 @@ impl QCData for QIntTF {
     }
 
     fn map_wires(&self, f: &mut dyn FnMut(Wire, WireType) -> Wire) -> Self {
-        QIntTF { bits: self.bits.map_wires(f) }
+        QIntTF {
+            bits: self.bits.map_wires(f),
+        }
     }
 }
 
@@ -106,7 +111,9 @@ impl Shape for IntTF {
     type C = CInt;
 
     fn qinit(&self, c: &mut Circ) -> QIntTF {
-        QIntTF { bits: (0..self.width).map(|i| c.qinit_bit(self.bit(i))).collect() }
+        QIntTF {
+            bits: (0..self.width).map(|i| c.qinit_bit(self.bit(i))).collect(),
+        }
     }
 
     fn cinit(&self, c: &mut Circ) -> CInt {
@@ -129,7 +136,9 @@ impl Shape for IntTF {
     }
 
     fn make_input(&self, c: &mut Circ) -> QIntTF {
-        QIntTF { bits: vec![false; self.width].make_input(c) }
+        QIntTF {
+            bits: vec![false; self.width].make_input(c),
+        }
     }
 
     fn make_input_classical(&self, c: &mut Circ) -> CInt {
@@ -137,7 +146,9 @@ impl Shape for IntTF {
     }
 
     fn make_dummy(&self) -> QIntTF {
-        QIntTF { bits: vec![Qubit::from_wire(Wire(0)); self.width] }
+        QIntTF {
+            bits: vec![Qubit::from_wire(Wire(0)); self.width],
+        }
     }
 }
 
@@ -151,7 +162,9 @@ impl Measurable for QIntTF {
 
 /// Copies `x` into a fresh register via CNOTs.
 pub fn copy_tf(c: &mut Circ, x: &QIntTF) -> QIntTF {
-    let out = QIntTF { bits: (0..x.width()).map(|_| c.qinit_bit(false)).collect() };
+    let out = QIntTF {
+        bits: (0..x.width()).map(|_| c.qinit_bit(false)).collect(),
+    };
     for (o, i) in out.bits.iter().zip(x.bits.iter()) {
         c.cnot(*o, *i);
     }
@@ -197,13 +210,13 @@ fn add_tf_impl(c: &mut Circ, ctl: Option<Qubit>, a: &QIntTF, b: &QIntTF) -> QInt
             // standard CARRY cell that temporarily disturbs b_i.
             let mut carries: Vec<Qubit> = Vec::with_capacity(l);
             let mut prev: Option<Qubit> = None;
-            for i in 0..l {
+            for (&gi, &bi) in g.iter().zip(&b.bits) {
                 let next = c.qinit_bit(false);
-                c.toffoli(next, g[i], b.bits[i]);
+                c.toffoli(next, gi, bi);
                 if let Some(p) = prev {
-                    c.cnot(b.bits[i], g[i]);
-                    c.toffoli(next, p, b.bits[i]);
-                    c.cnot(b.bits[i], g[i]);
+                    c.cnot(bi, gi);
+                    c.toffoli(next, p, bi);
+                    c.cnot(bi, gi);
                 }
                 carries.push(next);
                 prev = Some(next);
@@ -254,21 +267,22 @@ fn add_tf_impl(c: &mut Circ, ctl: Option<Qubit>, a: &QIntTF, b: &QIntTF) -> QInt
 /// doubling is pure wire relabeling, a single boxed `o7` definition serves
 /// every `add + double` stage of the multiplier, exactly as the repeated
 /// `o7_ADD_controlled` boxes in the paper's figure.
-pub fn add_tf_controlled_boxed(
-    c: &mut Circ,
-    ctl: Qubit,
-    a: &QIntTF,
-    b: &QIntTF,
-) -> QIntTF {
+pub fn add_tf_controlled_boxed(c: &mut Circ, ctl: Qubit, a: &QIntTF, b: &QIntTF) -> QIntTF {
     let key = format!("l={}", a.width());
     let (_ctl, _a, _b, s) = c.box_circ_keyed(
         "o7",
         &key,
         (ctl, a.clone(), b.clone()),
         |c, (ctl, a, b): (Qubit, QIntTF, QIntTF)| {
-            c.comment_with_labels("ENTER: o7_ADD_controlled", &[(&ctl, "ctrl"), (&a, "y"), (&b, "x")]);
+            c.comment_with_labels(
+                "ENTER: o7_ADD_controlled",
+                &[(&ctl, "ctrl"), (&a, "y"), (&b, "x")],
+            );
             let s = add_tf_controlled(c, ctl, &a, &b);
-            c.comment_with_labels("EXIT: o7_ADD_controlled", &[(&a, "y"), (&b, "x"), (&s, "s")]);
+            c.comment_with_labels(
+                "EXIT: o7_ADD_controlled",
+                &[(&a, "y"), (&b, "x"), (&s, "s")],
+            );
             (ctl, a, b, s)
         },
     );
@@ -287,7 +301,9 @@ pub fn mul_tf(c: &mut Circ, x: &QIntTF, y: &QIntTF) -> QIntTF {
         |c| {
             // Partial sums: p_{i+1} = p_i + x_i·(y·2^i).
             let mut partials: Vec<QIntTF> = Vec::with_capacity(l + 1);
-            let zero = QIntTF { bits: (0..l).map(|_| c.qinit_bit(false)).collect() };
+            let zero = QIntTF {
+                bits: (0..l).map(|_| c.qinit_bit(false)).collect(),
+            };
             partials.push(zero);
             for i in 0..l {
                 let addend = y.rotated(i); // y·2^i: free relabeling (double_TF)
@@ -359,7 +375,7 @@ pub fn pow17_tf(c: &mut Circ, x: QIntTF) -> (QIntTF, QIntTF) {
 /// database under the name `"o4"` (paper §5.3.1 boxes it as `box "o4"`).
 pub fn pow17_tf_boxed(c: &mut Circ, x: QIntTF) -> (QIntTF, QIntTF) {
     let key = format!("l={}", x.width());
-    c.box_circ_keyed("o4", &key, x, |c, x| pow17_tf(c, x))
+    c.box_circ_keyed("o4", &key, x, pow17_tf)
 }
 
 /// Boxed version of [`mul_tf`] under the name `"o8"`, returning
@@ -383,7 +399,9 @@ mod tests {
     }
 
     fn decode(bits: &[bool]) -> u64 {
-        bits.iter().enumerate().fold(0, |a, (i, &b)| a | (u64::from(b) << i))
+        bits.iter()
+            .enumerate()
+            .fold(0, |a, (i, &b)| a | (u64::from(b) << i))
     }
 
     fn encode(v: u64, l: usize) -> Vec<bool> {
@@ -434,10 +452,13 @@ mod tests {
     fn add_tf_controlled_respects_control() {
         let l = 3;
         let shape = (false, IntTF::new(0, l), IntTF::new(0, l));
-        let bc = Circ::build(&shape, |c, (ctl, a, b): (quipper::Qubit, QIntTF, QIntTF)| {
-            let s = add_tf_controlled(c, ctl, &a, &b);
-            (ctl, a, b, s)
-        });
+        let bc = Circ::build(
+            &shape,
+            |c, (ctl, a, b): (quipper::Qubit, QIntTF, QIntTF)| {
+                let s = add_tf_controlled(c, ctl, &a, &b);
+                (ctl, a, b, s)
+            },
+        );
         bc.validate().unwrap();
         for a in [1u64, 3, 6] {
             for b in [0u64, 2, 5, 7] {
@@ -530,7 +551,7 @@ mod tests {
         let nots = gc.by_name_any_controls("\"Not\"");
         assert_eq!(logical, nots, "only controlled-not family gates remain");
         // Boxed subroutines: o4 plus nested boxes are in the database.
-        assert!(bc.db.len() >= 1);
+        assert!(!bc.db.is_empty());
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Benchmarks the execution engine against raw shot loops: what the
+//! compiled-plan cache saves on repeat submissions, and how multi-shot
+//! throughput scales from one worker to a pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quipper::{Circ, Qubit};
+use quipper_circuit::BCircuit;
+use quipper_exec::{Engine, EngineConfig, Job};
+
+/// A mid-sized Clifford circuit: plan compilation (validate + inline +
+/// profile) is a visible fraction of a shot, so caching shows up clearly.
+fn clifford_layers(n: usize, layers: usize) -> BCircuit {
+    Circ::build(&vec![false; n], |c, qs: Vec<Qubit>| {
+        for l in 0..layers {
+            for &q in &qs {
+                c.hadamard(q);
+            }
+            for i in 0..n - 1 {
+                c.cnot(qs[(i + l) % n], qs[(i + l + 1) % n]);
+            }
+        }
+        c.measure(qs)
+    })
+}
+
+fn bench_plan_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_plan_cache");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let bc = clifford_layers(16, 12);
+    let inputs = vec![false; 16];
+
+    // Uncached: a fresh engine per submission pays validation + flattening
+    // every time, like the plain `run_*` entry points do.
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            let engine = Engine::new();
+            let job = Job::new(&bc).inputs(inputs.clone()).shots(4).seed(1);
+            criterion::black_box(engine.run(&job).unwrap());
+        });
+    });
+
+    // Cached: one engine, repeated submissions hit the plan cache.
+    let engine = Engine::new();
+    engine
+        .run(&Job::new(&bc).inputs(inputs.clone()).shots(1))
+        .unwrap(); // warm
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            let job = Job::new(&bc).inputs(inputs.clone()).shots(4).seed(1);
+            criterion::black_box(engine.run(&job).unwrap());
+        });
+    });
+    group.finish();
+}
+
+fn bench_shot_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_shot_throughput");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    let bc = clifford_layers(12, 10);
+    let inputs = vec![false; 12];
+    let shots = 256;
+
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for &workers in &[1usize, 2, hw.max(2)] {
+        let engine = Engine::with_config(EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        });
+        engine
+            .run(&Job::new(&bc).inputs(inputs.clone()).shots(1))
+            .unwrap(); // warm cache
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    let job = Job::new(&bc).inputs(inputs.clone()).shots(shots).seed(3);
+                    criterion::black_box(engine.run(&job).unwrap());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_cache, bench_shot_throughput);
+criterion_main!(benches);

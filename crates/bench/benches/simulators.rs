@@ -24,12 +24,15 @@ fn clifford_layers(n: usize, layers: usize) -> quipper_circuit::BCircuit {
 fn adder_chain(w: usize, adds: usize) -> quipper_circuit::BCircuit {
     use quipper_arith::qdint::{add_in_place, QDInt};
     use quipper_arith::IntM;
-    Circ::build(&(IntM::new(0, w), IntM::new(0, w)), |c, (a, b): (QDInt, QDInt)| {
-        for _ in 0..adds {
-            add_in_place(c, &a, &b);
-        }
-        (a, b)
-    })
+    Circ::build(
+        &(IntM::new(0, w), IntM::new(0, w)),
+        |c, (a, b): (QDInt, QDInt)| {
+            for _ in 0..adds {
+                add_in_place(c, &a, &b);
+            }
+            (a, b)
+        },
+    )
 }
 
 fn bench_statevec_vs_stabilizer(c: &mut Criterion) {
@@ -40,7 +43,11 @@ fn bench_statevec_vs_stabilizer(c: &mut Criterion) {
     for &n in &[8usize, 12] {
         let bc = clifford_layers(n, 10);
         group.bench_with_input(BenchmarkId::new("statevec", n), &bc, |b, bc| {
-            b.iter(|| quipper_sim::run(bc, &vec![false; n], 1).unwrap().classical_outputs());
+            b.iter(|| {
+                quipper_sim::run(bc, &vec![false; n], 1)
+                    .unwrap()
+                    .classical_outputs()
+            });
         });
         group.bench_with_input(BenchmarkId::new("stabilizer", n), &bc, |b, bc| {
             b.iter(|| quipper_sim::run_clifford(bc, &vec![false; n], 1).unwrap());
@@ -49,7 +56,7 @@ fn bench_statevec_vs_stabilizer(c: &mut Criterion) {
     // The stabilizer simulator keeps going where the state vector cannot.
     let bc = clifford_layers(48, 4);
     group.bench_function("stabilizer_48q", |b| {
-        b.iter(|| quipper_sim::run_clifford(&bc, &vec![false; 48], 1).unwrap());
+        b.iter(|| quipper_sim::run_clifford(&bc, &[false; 48], 1).unwrap());
     });
     group.finish();
 }
@@ -61,7 +68,7 @@ fn bench_classical(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     let bc = adder_chain(16, 50);
     group.bench_function("adder16_x50", |b| {
-        b.iter(|| quipper_sim::run_classical(&bc, &vec![false; 32]).unwrap());
+        b.iter(|| quipper_sim::run_classical(&bc, &[false; 32]).unwrap());
     });
     group.finish();
 }

@@ -63,14 +63,20 @@ fn main() {
         banner("E6: TF oracle at l=31, n=15 (paper: 2,051,926 gates, 1462 qubits)");
         let rep = exp::tf_oracle_count(31, 15);
         println!("{}", rep.count);
-        println!("generated and counted in {:.2} s ({} boxed subroutines)", rep.seconds, rep.subroutines);
+        println!(
+            "generated and counted in {:.2} s ({} boxed subroutines)",
+            rep.seconds, rep.subroutines
+        );
     }
     if want("tf-full") {
         banner("E7: full TF at l=31, n=15, r=6 (paper: 30,189,977,982,990 gates, 4676 qubits, < 2 min)");
         let rep = exp::tf_full_count(31, 15, 6);
         println!("Total gates: {}", rep.count.total());
         println!("Qubits in circuit: {}", rep.count.qubits_in_circuit);
-        println!("generated and counted in {:.2} s ({} boxed subroutines)", rep.seconds, rep.subroutines);
+        println!(
+            "generated and counted in {:.2} s ({} boxed subroutines)",
+            rep.seconds, rep.subroutines
+        );
     }
     if want("bwt-compare") {
         banner("E8: Section 6 table — QCL vs Quipper orthodox vs Quipper template (BWT, depth 4, 1 timestep)");

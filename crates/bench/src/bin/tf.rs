@@ -23,9 +23,7 @@ use quipper::decompose::{decompose, GateBase};
 use quipper::{Circ, Qubit};
 use quipper_algorithms::tf::qwtfp::{a6_qwsh, QwtfpRegs};
 use quipper_algorithms::tf::{a1_qwtfp, EdgeOracle, OrthodoxOracle, TfSpec};
-use quipper_arith::qinttf::{
-    add_tf, mul_tf_boxed, pow17_tf_boxed, square_tf_boxed, QIntTF,
-};
+use quipper_arith::qinttf::{add_tf, mul_tf_boxed, pow17_tf_boxed, square_tf_boxed, QIntTF};
 use quipper_arith::IntTF;
 use quipper_circuit::BCircuit;
 
@@ -110,12 +108,19 @@ fn build_subroutine(name: &str, opts: &Options) -> BCircuit {
             mul_tf_boxed(c, x, y)
         }),
         "square" => Circ::build(&IntTF::new(0, l), |c, x: QIntTF| square_tf_boxed(c, x)),
-        "add" => Circ::build(&(IntTF::new(0, l), IntTF::new(0, l)), |c, (x, y): (QIntTF, QIntTF)| {
-            let s = add_tf(c, &x, &y);
-            (x, y, s)
-        }),
+        "add" => Circ::build(
+            &(IntTF::new(0, l), IntTF::new(0, l)),
+            |c, (x, y): (QIntTF, QIntTF)| {
+                let s = add_tf(c, &x, &y);
+                (x, y, s)
+            },
+        ),
         "qwsh" => {
-            let spec = TfSpec { l: opts.l, n: opts.n, r: opts.r };
+            let spec = TfSpec {
+                l: opts.l,
+                n: opts.n,
+                r: opts.r,
+            };
             let orc = OrthodoxOracle::new(opts.n, opts.l);
             let t = spec.tuple_size();
             let mut c = Circ::new();
@@ -125,7 +130,9 @@ fn build_subroutine(name: &str, opts: &Options) -> BCircuit {
                     .collect(),
                 i: (0..opts.r).map(|_| c.qinit_bit(false)).collect(),
                 v: (0..opts.n).map(|_| c.qinit_bit(false)).collect(),
-                ee: (0..spec.num_edge_bits()).map(|_| c.qinit_bit(false)).collect(),
+                ee: (0..spec.num_edge_bits())
+                    .map(|_| c.qinit_bit(false))
+                    .collect(),
             };
             let regs = a6_qwsh(&mut c, spec, &orc, regs);
             c.finish(&(regs.tt, regs.i, regs.v, regs.ee))
@@ -161,7 +168,11 @@ fn main() {
     } else if opts.oracle_only {
         build_oracle(&opts)
     } else {
-        let spec = TfSpec { l: opts.l, n: opts.n, r: opts.r };
+        let spec = TfSpec {
+            l: opts.l,
+            n: opts.n,
+            r: opts.r,
+        };
         let orc = OrthodoxOracle::new(opts.n, opts.l);
         a1_qwtfp(spec, &orc)
     };

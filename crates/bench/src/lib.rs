@@ -29,8 +29,13 @@ pub fn nots_with_controls(gc: &GateCount, k: u16) -> u128 {
     gc.counts
         .iter()
         .filter(|(class, _)| {
-            matches!(&class.kind, ClassKind::Unitary { name: GateName::X, .. })
-                && class.pos + class.neg == k
+            matches!(
+                &class.kind,
+                ClassKind::Unitary {
+                    name: GateName::X,
+                    ..
+                }
+            ) && class.pos + class.neg == k
         })
         .map(|(_, n)| n)
         .sum()
@@ -69,8 +74,9 @@ pub struct Section6Column {
 }
 
 /// The row labels of the Section 6 table.
-pub const SECTION6_ROWS: [&str; 10] =
-    ["Init", "Not", "CNot1", "CNot2", "e^-itZ", "W", "Term", "Meas", "Total", "Qubits"];
+pub const SECTION6_ROWS: [&str; 10] = [
+    "Init", "Not", "CNot1", "CNot2", "e^-itZ", "W", "Term", "Meas", "Total", "Qubits",
+];
 
 fn section6_column(label: &'static str, bc: &BCircuit) -> Section6Column {
     let gc = bc.gate_count();
@@ -100,8 +106,14 @@ pub fn bwt_comparison_table() -> Vec<Section6Column> {
     let (s, dt) = (1, 0.35);
     vec![
         section6_column("QCL \"direct\"", &bwt_circuit(g, s, dt, Flavor::Qcl)),
-        section6_column("Quipper \"orthodox\"", &bwt_circuit(g, s, dt, Flavor::Orthodox)),
-        section6_column("Quipper \"template\"", &bwt_circuit(g, s, dt, Flavor::Template)),
+        section6_column(
+            "Quipper \"orthodox\"",
+            &bwt_circuit(g, s, dt, Flavor::Orthodox),
+        ),
+        section6_column(
+            "Quipper \"template\"",
+            &bwt_circuit(g, s, dt, Flavor::Template),
+        ),
     ]
 }
 
@@ -168,7 +180,11 @@ pub fn tf_oracle_count(l: usize, n: usize) -> CountReport {
         },
     );
     let count = bc.gate_count();
-    CountReport { count, seconds: start.elapsed().as_secs_f64(), subroutines: bc.db.len() }
+    CountReport {
+        count,
+        seconds: start.elapsed().as_secs_f64(),
+        subroutines: bc.db.len(),
+    }
 }
 
 /// E7: gate count for the complete algorithm at (l, n, r) — the paper's
@@ -180,7 +196,11 @@ pub fn tf_full_count(l: usize, n: usize, r: usize) -> CountReport {
     let orc = OrthodoxOracle::new(n, l);
     let bc = a1_qwtfp(spec, &orc);
     let count = bc.gate_count();
-    CountReport { count, seconds: start.elapsed().as_secs_f64(), subroutines: bc.db.len() }
+    CountReport {
+        count,
+        seconds: start.elapsed().as_secs_f64(),
+        subroutines: bc.db.len(),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -201,7 +221,11 @@ pub fn hex_oracle_count(rows: usize, cols: usize, sharing: bool) -> CountReport 
         },
     );
     let count = bc.gate_count();
-    CountReport { count, seconds: start.elapsed().as_secs_f64(), subroutines: bc.db.len() }
+    CountReport {
+        count,
+        seconds: start.elapsed().as_secs_f64(),
+        subroutines: bc.db.len(),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -220,7 +244,11 @@ pub fn sin_oracle_count(int_bits: usize, frac_bits: usize) -> CountReport {
         (xs, outs)
     });
     let count = bc.gate_count();
-    CountReport { count, seconds: start.elapsed().as_secs_f64(), subroutines: bc.db.len() }
+    CountReport {
+        count,
+        seconds: start.elapsed().as_secs_f64(),
+        subroutines: bc.db.len(),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -251,25 +279,31 @@ pub fn basics_ascii() -> String {
     let bc = Circ::build(&(false, false), |c, (a, b)| mycirc(c, a, b));
     let _ = writeln!(out, "mycirc:\n{}", render(&bc));
 
-    let bc = Circ::build(&(false, false, false), |c, (a, b, ctl): (Qubit, Qubit, Qubit)| {
-        mycirc(c, a, b);
-        c.with_controls(&ctl, |c| {
+    let bc = Circ::build(
+        &(false, false, false),
+        |c, (a, b, ctl): (Qubit, Qubit, Qubit)| {
             mycirc(c, a, b);
-            mycirc(c, b, a);
-        });
-        mycirc(c, a, ctl);
-        (a, b, ctl)
-    });
+            c.with_controls(&ctl, |c| {
+                mycirc(c, a, b);
+                mycirc(c, b, a);
+            });
+            mycirc(c, a, ctl);
+            (a, b, ctl)
+        },
+    );
     let _ = writeln!(out, "mycirc2 (with_controls):\n{}", render(&bc));
 
-    let bc = Circ::build(&(false, false, false), |c, (a, b, q): (Qubit, Qubit, Qubit)| {
-        c.with_ancilla(|c, x| {
-            c.qnot_ctrl(x, &(a, b));
-            c.gate_ctrl(quipper::GateName::H, q, &x);
-            c.qnot_ctrl(x, &(a, b));
-        });
-        (a, b, q)
-    });
+    let bc = Circ::build(
+        &(false, false, false),
+        |c, (a, b, q): (Qubit, Qubit, Qubit)| {
+            c.with_ancilla(|c, x| {
+                c.qnot_ctrl(x, &(a, b));
+                c.gate_ctrl(quipper::GateName::H, q, &x);
+                c.qnot_ctrl(x, &(a, b));
+            });
+            (a, b, q)
+        },
+    );
     let _ = writeln!(out, "mycirc3 (with_ancilla, controlled):\n{}", render(&bc));
 
     let timestep_fn = |c: &mut Circ, (a, b, t): (Qubit, Qubit, Qubit)| {
@@ -282,7 +316,11 @@ pub fn basics_ascii() -> String {
     let _ = writeln!(out, "timestep (reverse_simple):\n{}", render(&bc));
 
     let binary = decompose(GateBase::Binary, &bc);
-    let _ = writeln!(out, "timestep2 (decompose_generic Binary):\n{}", render(&binary));
+    let _ = writeln!(
+        out,
+        "timestep2 (decompose_generic Binary):\n{}",
+        render(&binary)
+    );
     out
 }
 
@@ -297,12 +335,23 @@ pub fn parity_ascii() -> String {
         let (outs, scratch) = synth::synthesize_compute(c, &dag, &xs);
         (xs, outs, scratch)
     });
-    let _ = writeln!(out, "unpack template_f (scratch left alive):\n{}", render(&bc));
-    let bc = Circ::build(&(vec![false; 4], false), |c, (xs, t): (Vec<Qubit>, Qubit)| {
-        synth::classical_to_reversible(c, &dag, &xs, &[t]);
-        (xs, t)
-    });
-    let _ = writeln!(out, "classical_to_reversible (unpack template_f):\n{}", render(&bc));
+    let _ = writeln!(
+        out,
+        "unpack template_f (scratch left alive):\n{}",
+        render(&bc)
+    );
+    let bc = Circ::build(
+        &(vec![false; 4], false),
+        |c, (xs, t): (Vec<Qubit>, Qubit)| {
+            synth::classical_to_reversible(c, &dag, &xs, &[t]);
+            (xs, t)
+        },
+    );
+    let _ = writeln!(
+        out,
+        "classical_to_reversible (unpack template_f):\n{}",
+        render(&bc)
+    );
     out
 }
 
@@ -324,8 +373,12 @@ pub fn ancilla_scope_ascii() -> String {
         c.qterm_bit(false, y);
         (a, b)
     });
-    let _ = writeln!(out, "ancillas with program-length scope ({} qubits):\n{}",
-        bc.gate_count().qubits_in_circuit, render(&bc));
+    let _ = writeln!(
+        out,
+        "ancillas with program-length scope ({} qubits):\n{}",
+        bc.gate_count().qubits_in_circuit,
+        render(&bc)
+    );
     // Scoped: the second use reuses the pool.
     let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
         c.with_ancilla(|c, x| {
@@ -340,8 +393,12 @@ pub fn ancilla_scope_ascii() -> String {
         });
         (a, b)
     });
-    let _ = writeln!(out, "explicitly scoped ancillas ({} qubits):\n{}",
-        bc.gate_count().qubits_in_circuit, render(&bc));
+    let _ = writeln!(
+        out,
+        "explicitly scoped ancillas ({} qubits):\n{}",
+        bc.gate_count().qubits_in_circuit,
+        render(&bc)
+    );
     out
 }
 
@@ -355,16 +412,23 @@ pub fn qwsh_report(l: usize, n: usize, r: usize) -> (GateCount, String) {
     let t = spec.tuple_size();
     let mut c = Circ::new();
     let regs = QwtfpRegs {
-        tt: (0..t).map(|_| (0..n).map(|_| c.qinit_bit(false)).collect()).collect(),
+        tt: (0..t)
+            .map(|_| (0..n).map(|_| c.qinit_bit(false)).collect())
+            .collect(),
         i: (0..r).map(|_| c.qinit_bit(false)).collect(),
         v: (0..n).map(|_| c.qinit_bit(false)).collect(),
-        ee: (0..spec.num_edge_bits()).map(|_| c.qinit_bit(false)).collect(),
+        ee: (0..spec.num_edge_bits())
+            .map(|_| c.qinit_bit(false))
+            .collect(),
     };
     let regs = a6_qwsh(&mut c, spec, &orc, regs);
     let bc = c.finish(&(regs.tt, regs.i, regs.v, regs.ee));
     let gc = bc.gate_count();
-    let names: Vec<String> =
-        bc.db.iter().map(|(_, d)| format!("{} [{}]", d.name, d.shape)).collect();
+    let names: Vec<String> = bc
+        .db
+        .iter()
+        .map(|(_, d)| format!("{} [{}]", d.name, d.shape))
+        .collect();
     (gc, format!("boxed subroutines: {}", names.join(", ")))
 }
 
@@ -385,7 +449,11 @@ pub fn sin_oracle_count_staged(
         (xs, outs)
     });
     let count = bc.gate_count();
-    CountReport { count, seconds: start.elapsed().as_secs_f64(), subroutines: bc.db.len() }
+    CountReport {
+        count,
+        seconds: start.elapsed().as_secs_f64(),
+        subroutines: bc.db.len(),
+    }
 }
 
 /// Fault-tolerant resource estimate (T count) for `o4_POW17` at width l —
@@ -414,7 +482,12 @@ mod tests {
         assert_eq!(cols.len(), 3);
         let (qcl, orth, temp) = (&cols[0], &cols[1], &cols[2]);
         // Headline: QCL produces far more gates (paper: 17358 vs 1300).
-        assert!(qcl.rows[8] > 5 * orth.rows[8], "total: {} vs {}", qcl.rows[8], orth.rows[8]);
+        assert!(
+            qcl.rows[8] > 5 * orth.rows[8],
+            "total: {} vs {}",
+            qcl.rows[8],
+            orth.rows[8]
+        );
         // QCL uses plenty of plain Nots (X conjugation), Quipper almost none.
         assert!(qcl.rows[1] > 20 * orth.rows[1].max(1));
         // QCL never terminates or measures.
@@ -438,7 +511,11 @@ mod tests {
         assert_eq!(gc.inputs, 4);
         assert_eq!(gc.outputs, 8);
         // Paper: 9632 total gates, 71 qubits; ours is the same order.
-        assert!(gc.total() > 3_000 && gc.total() < 30_000, "total {}", gc.total());
+        assert!(
+            gc.total() > 3_000 && gc.total() < 30_000,
+            "total {}",
+            gc.total()
+        );
         assert!(
             gc.qubits_in_circuit > 30 && gc.qubits_in_circuit < 120,
             "qubits {}",

@@ -58,7 +58,9 @@ impl CircuitDb {
 
     /// Looks up a definition by name and shape key.
     pub fn find(&self, name: &str, shape: &str) -> Option<BoxId> {
-        self.by_key.get(&(name.to_string(), shape.to_string())).copied()
+        self.by_key
+            .get(&(name.to_string(), shape.to_string()))
+            .copied()
     }
 
     /// Inserts a definition, returning its id.
@@ -72,7 +74,8 @@ impl CircuitDb {
             return id;
         }
         let id = BoxId(self.subs.len() as u32);
-        self.by_key.insert((def.name.clone(), def.shape.clone()), id);
+        self.by_key
+            .insert((def.name.clone(), def.shape.clone()), id);
         self.subs.push(def);
         id
     }
@@ -83,12 +86,17 @@ impl CircuitDb {
     ///
     /// Returns [`CircuitError::UnknownSubroutine`] if `id` is out of range.
     pub fn get(&self, id: BoxId) -> Result<&SubDef, CircuitError> {
-        self.subs.get(id.index()).ok_or(CircuitError::UnknownSubroutine { id: id.index() })
+        self.subs
+            .get(id.index())
+            .ok_or(CircuitError::UnknownSubroutine { id: id.index() })
     }
 
     /// Iterates over all `(id, definition)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (BoxId, &SubDef)> {
-        self.subs.iter().enumerate().map(|(i, d)| (BoxId(i as u32), d))
+        self.subs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (BoxId(i as u32), d))
     }
 }
 
@@ -116,7 +124,12 @@ impl Circuit {
     /// to the inputs.
     pub fn with_inputs(inputs: Vec<(Wire, WireType)>) -> Self {
         let wire_bound = inputs.iter().map(|(w, _)| w.0 + 1).max().unwrap_or(0);
-        Circuit { outputs: inputs.clone(), inputs, gates: Vec::new(), wire_bound }
+        Circuit {
+            outputs: inputs.clone(),
+            inputs,
+            gates: Vec::new(),
+            wire_bound,
+        }
     }
 
     /// The input types in order.
@@ -193,6 +206,12 @@ impl BCircuit {
     pub fn gate_count(&self) -> crate::count::GateCount {
         crate::count::count(&self.db, &self.main)
     }
+
+    /// Stable structural fingerprint of this circuit (main + reachable
+    /// subroutine bodies); see [`crate::fingerprint::fingerprint`].
+    pub fn fingerprint(&self) -> u64 {
+        crate::fingerprint::fingerprint(self)
+    }
 }
 
 #[cfg(test)]
@@ -215,9 +234,21 @@ mod tests {
     fn db_insert_is_idempotent_on_key() {
         let mut db = CircuitDb::new();
         let body = Circuit::with_inputs(vec![q(0)]);
-        let id1 = db.insert(SubDef { name: "f".into(), shape: "1".into(), circuit: body.clone() });
-        let id2 = db.insert(SubDef { name: "f".into(), shape: "1".into(), circuit: body.clone() });
-        let id3 = db.insert(SubDef { name: "f".into(), shape: "2".into(), circuit: body });
+        let id1 = db.insert(SubDef {
+            name: "f".into(),
+            shape: "1".into(),
+            circuit: body.clone(),
+        });
+        let id2 = db.insert(SubDef {
+            name: "f".into(),
+            shape: "1".into(),
+            circuit: body.clone(),
+        });
+        let id3 = db.insert(SubDef {
+            name: "f".into(),
+            shape: "2".into(),
+            circuit: body,
+        });
         assert_eq!(id1, id2);
         assert_ne!(id1, id3);
         assert_eq!(db.len(), 2);

@@ -31,7 +31,11 @@ pub struct GateClass {
 impl GateClass {
     /// The class of the inverse gate.
     pub fn inverse(&self) -> GateClass {
-        GateClass { kind: self.kind.inverse(), pos: self.pos, neg: self.neg }
+        GateClass {
+            kind: self.kind.inverse(),
+            pos: self.pos,
+            neg: self.neg,
+        }
     }
 
     /// Whether the class is an initialization, termination, measurement or
@@ -40,7 +44,9 @@ impl GateClass {
     pub fn is_housekeeping(&self) -> bool {
         matches!(
             self.kind,
-            ClassKind::Init { .. } | ClassKind::Term { .. } | ClassKind::Meas
+            ClassKind::Init { .. }
+                | ClassKind::Term { .. }
+                | ClassKind::Meas
                 | ClassKind::Discard { .. }
         )
     }
@@ -61,27 +67,69 @@ impl fmt::Display for GateClass {
 /// Classifies a single gate, if it is counted (comments are not).
 pub fn classify(gate: &Gate) -> Option<GateClass> {
     let (kind, controls): (ClassKind, &[crate::wire::Control]) = match gate {
-        Gate::QGate { name, inverted, controls, .. } => (
+        Gate::QGate {
+            name,
+            inverted,
+            controls,
+            ..
+        } => (
             ClassKind::Unitary {
                 name: name.clone(),
                 inverted: *inverted && !name.is_self_inverse(),
             },
             controls,
         ),
-        Gate::QRot { name, inverted, controls, .. } => {
-            (ClassKind::Rot { name: name.clone(), inverted: *inverted }, controls)
-        }
+        Gate::QRot {
+            name,
+            inverted,
+            controls,
+            ..
+        } => (
+            ClassKind::Rot {
+                name: name.clone(),
+                inverted: *inverted,
+            },
+            controls,
+        ),
         Gate::GPhase { controls, .. } => (ClassKind::GPhase, controls),
-        Gate::QInit { value, .. } => (ClassKind::Init { value: *value, classical: false }, &[]),
-        Gate::CInit { value, .. } => (ClassKind::Init { value: *value, classical: true }, &[]),
-        Gate::QTerm { value, .. } => (ClassKind::Term { value: *value, classical: false }, &[]),
-        Gate::CTerm { value, .. } => (ClassKind::Term { value: *value, classical: true }, &[]),
+        Gate::QInit { value, .. } => (
+            ClassKind::Init {
+                value: *value,
+                classical: false,
+            },
+            &[],
+        ),
+        Gate::CInit { value, .. } => (
+            ClassKind::Init {
+                value: *value,
+                classical: true,
+            },
+            &[],
+        ),
+        Gate::QTerm { value, .. } => (
+            ClassKind::Term {
+                value: *value,
+                classical: false,
+            },
+            &[],
+        ),
+        Gate::CTerm { value, .. } => (
+            ClassKind::Term {
+                value: *value,
+                classical: true,
+            },
+            &[],
+        ),
         Gate::QMeas { .. } => (ClassKind::Meas, &[]),
         Gate::QDiscard { .. } => (ClassKind::Discard { classical: false }, &[]),
         Gate::CDiscard { .. } => (ClassKind::Discard { classical: true }, &[]),
-        Gate::CGate { name, inverted, .. } => {
-            (ClassKind::Classical { name: name.clone(), inverted: *inverted }, &[])
-        }
+        Gate::CGate { name, inverted, .. } => (
+            ClassKind::Classical {
+                name: name.clone(),
+                inverted: *inverted,
+            },
+            &[],
+        ),
         Gate::Subroutine { .. } | Gate::Comment { .. } => return None,
     };
     let pos = controls.iter().filter(|c| c.positive).count() as u16;
@@ -128,7 +176,11 @@ impl GateCount {
     /// Total number of *logical* gates, excluding initialization, termination
     /// and measurement — the "Total" row of the Section 6 comparison table.
     pub fn total_logical(&self) -> u128 {
-        self.counts.iter().filter(|(c, _)| !c.is_housekeeping()).map(|(_, n)| n).sum()
+        self.counts
+            .iter()
+            .filter(|(c, _)| !c.is_housekeeping())
+            .map(|(_, n)| n)
+            .sum()
     }
 
     /// The count for one class, zero if absent.
@@ -198,7 +250,10 @@ impl<'a> Counter<'a> {
             "cyclic boxed-subroutine reference involving subroutine id {}",
             id.index()
         );
-        let def = self.db.get(id).expect("subroutine id out of range while counting");
+        let def = self
+            .db
+            .get(id)
+            .expect("subroutine id out of range while counting");
         let sc = Rc::new(self.count_circuit(&def.circuit));
         self.visiting.remove(&id);
         self.memo.insert(id, Rc::clone(&sc));
@@ -208,8 +263,11 @@ impl<'a> Counter<'a> {
     fn count_circuit(&mut self, circuit: &Circuit) -> SubCount {
         let mut counts: BTreeMap<GateClass, u128> = BTreeMap::new();
         let in_total = circuit.inputs.len() as u64;
-        let in_quantum =
-            circuit.inputs.iter().filter(|&&(_, t)| t == WireType::Quantum).count() as u64;
+        let in_quantum = circuit
+            .inputs
+            .iter()
+            .filter(|&&(_, t)| t == WireType::Quantum)
+            .count() as u64;
         let mut cur_total = in_total as i128;
         let mut cur_quantum = in_quantum as i128;
         let mut peak_total = cur_total;
@@ -217,7 +275,12 @@ impl<'a> Counter<'a> {
 
         for gate in &circuit.gates {
             match gate {
-                Gate::Subroutine { id, inverted, repetitions, .. } => {
+                Gate::Subroutine {
+                    id,
+                    inverted,
+                    repetitions,
+                    ..
+                } => {
                     let sc = self.sub_count(*id);
                     let (s_in_t, s_in_q, s_out_t, s_out_q) = if *inverted {
                         (sc.out_total, sc.out_quantum, sc.in_total, sc.in_quantum)
@@ -231,7 +294,11 @@ impl<'a> Counter<'a> {
                         peak_quantum.max(cur_quantum - s_in_q as i128 + sc.peak_quantum as i128);
                     let reps = u128::from(*repetitions);
                     for (class, n) in sc.counts.iter() {
-                        let class = if *inverted { class.inverse() } else { class.clone() };
+                        let class = if *inverted {
+                            class.inverse()
+                        } else {
+                            class.clone()
+                        };
                         *counts.entry(class).or_insert(0) += n * reps;
                     }
                     cur_total += s_out_t as i128 - s_in_t as i128;
@@ -288,7 +355,11 @@ impl<'a> Counter<'a> {
 /// run [`validate`](crate::validate::validate) first for a `Result`-based
 /// check.
 pub fn count(db: &CircuitDb, circuit: &Circuit) -> GateCount {
-    let mut counter = Counter { db, memo: HashMap::new(), visiting: HashSet::new() };
+    let mut counter = Counter {
+        db,
+        memo: HashMap::new(),
+        visiting: HashSet::new(),
+    };
     let sc = counter.count_circuit(circuit);
     GateCount {
         counts: sc.counts,
@@ -315,9 +386,16 @@ pub struct Peak {
 ///
 /// As for [`count`].
 pub fn max_alive(db: &CircuitDb, circuit: &Circuit) -> Peak {
-    let mut counter = Counter { db, memo: HashMap::new(), visiting: HashSet::new() };
+    let mut counter = Counter {
+        db,
+        memo: HashMap::new(),
+        visiting: HashSet::new(),
+    };
     let sc = counter.count_circuit(circuit);
-    Peak { total: sc.peak_total, quantum: sc.peak_quantum }
+    Peak {
+        total: sc.peak_total,
+        quantum: sc.peak_quantum,
+    }
 }
 
 #[cfg(test)]
@@ -332,7 +410,14 @@ mod tests {
     }
 
     fn not_class(pos: u16, neg: u16) -> GateClass {
-        GateClass { kind: ClassKind::Unitary { name: GateName::X, inverted: false }, pos, neg }
+        GateClass {
+            kind: ClassKind::Unitary {
+                name: GateName::X,
+                inverted: false,
+            },
+            pos,
+            neg,
+        }
     }
 
     #[test]
@@ -355,8 +440,11 @@ mod tests {
         for _ in 0..3 {
             inner.gates.push(Gate::cnot(Wire(0), Wire(1)));
         }
-        let inner_id =
-            db.insert(SubDef { name: "inner".into(), shape: "".into(), circuit: inner });
+        let inner_id = db.insert(SubDef {
+            name: "inner".into(),
+            shape: "".into(),
+            circuit: inner,
+        });
 
         // Middle subroutine: calls inner 5 times via repetitions.
         let mut middle = Circuit::with_inputs(vec![q(0), q(1)]);
@@ -368,8 +456,11 @@ mod tests {
             controls: vec![],
             repetitions: 5,
         });
-        let middle_id =
-            db.insert(SubDef { name: "middle".into(), shape: "".into(), circuit: middle });
+        let middle_id = db.insert(SubDef {
+            name: "middle".into(),
+            shape: "".into(),
+            circuit: middle,
+        });
 
         // Main circuit: calls middle 1000 times.
         let mut main = Circuit::with_inputs(vec![q(0), q(1)]);
@@ -393,7 +484,11 @@ mod tests {
         let mut db = CircuitDb::new();
         let mut base = Circuit::with_inputs(vec![q(0)]);
         base.gates.push(Gate::unary(GateName::H, Wire(0)));
-        let mut prev = db.insert(SubDef { name: "lvl0".into(), shape: "".into(), circuit: base });
+        let mut prev = db.insert(SubDef {
+            name: "lvl0".into(),
+            shape: "".into(),
+            circuit: base,
+        });
         for lvl in 1..=25 {
             let mut c = Circuit::with_inputs(vec![q(0)]);
             c.gates.push(Gate::Subroutine {
@@ -404,7 +499,11 @@ mod tests {
                 controls: vec![],
                 repetitions: 10,
             });
-            prev = db.insert(SubDef { name: format!("lvl{lvl}"), shape: "".into(), circuit: c });
+            prev = db.insert(SubDef {
+                name: format!("lvl{lvl}"),
+                shape: "".into(),
+                circuit: c,
+            });
         }
         let def = db.get(prev).unwrap().circuit.clone();
         let gc = count(&db, &def);
@@ -416,12 +515,22 @@ mod tests {
         let mut db = CircuitDb::new();
         // Subroutine allocating an ancilla: 1 init, 1 cnot, 1 term.
         let mut body = Circuit::with_inputs(vec![q(0)]);
-        body.gates.push(Gate::QInit { value: false, wire: Wire(1) });
+        body.gates.push(Gate::QInit {
+            value: false,
+            wire: Wire(1),
+        });
         body.gates.push(Gate::cnot(Wire(1), Wire(0)));
         body.gates.push(Gate::cnot(Wire(1), Wire(0)));
-        body.gates.push(Gate::QTerm { value: false, wire: Wire(1) });
+        body.gates.push(Gate::QTerm {
+            value: false,
+            wire: Wire(1),
+        });
         body.recompute_wire_bound();
-        let id = db.insert(SubDef { name: "s".into(), shape: "".into(), circuit: body });
+        let id = db.insert(SubDef {
+            name: "s".into(),
+            shape: "".into(),
+            circuit: body,
+        });
 
         let mut main = Circuit::with_inputs(vec![q(0)]);
         main.gates.push(Gate::Subroutine {
@@ -433,10 +542,22 @@ mod tests {
             repetitions: 1,
         });
         let gc = count(&db, &main);
-        let init0 =
-            GateClass { kind: ClassKind::Init { value: false, classical: false }, pos: 0, neg: 0 };
-        let term0 =
-            GateClass { kind: ClassKind::Term { value: false, classical: false }, pos: 0, neg: 0 };
+        let init0 = GateClass {
+            kind: ClassKind::Init {
+                value: false,
+                classical: false,
+            },
+            pos: 0,
+            neg: 0,
+        };
+        let term0 = GateClass {
+            kind: ClassKind::Term {
+                value: false,
+                classical: false,
+            },
+            pos: 0,
+            neg: 0,
+        };
         assert_eq!(gc.get(&init0), 1);
         assert_eq!(gc.get(&term0), 1);
         assert_eq!(gc.qubits_in_circuit, 2);
@@ -448,13 +569,23 @@ mod tests {
         // A subroutine with 1 input that internally allocates 4 ancillas.
         let mut body = Circuit::with_inputs(vec![q(0)]);
         for i in 1..=4 {
-            body.gates.push(Gate::QInit { value: false, wire: Wire(i) });
+            body.gates.push(Gate::QInit {
+                value: false,
+                wire: Wire(i),
+            });
         }
         for i in (1..=4).rev() {
-            body.gates.push(Gate::QTerm { value: false, wire: Wire(i) });
+            body.gates.push(Gate::QTerm {
+                value: false,
+                wire: Wire(i),
+            });
         }
         body.recompute_wire_bound();
-        let id = db.insert(SubDef { name: "anc".into(), shape: "".into(), circuit: body });
+        let id = db.insert(SubDef {
+            name: "anc".into(),
+            shape: "".into(),
+            circuit: body,
+        });
 
         // Main: 3 live wires, one of which enters the subroutine.
         let mut main = Circuit::with_inputs(vec![q(0), q(1), q(2)]);
@@ -481,9 +612,15 @@ mod tests {
     #[test]
     fn total_logical_excludes_housekeeping() {
         let mut c = Circuit::with_inputs(vec![q(0)]);
-        c.gates.push(Gate::QInit { value: false, wire: Wire(1) });
+        c.gates.push(Gate::QInit {
+            value: false,
+            wire: Wire(1),
+        });
         c.gates.push(Gate::cnot(Wire(1), Wire(0)));
-        c.gates.push(Gate::QTerm { value: false, wire: Wire(1) });
+        c.gates.push(Gate::QTerm {
+            value: false,
+            wire: Wire(1),
+        });
         c.recompute_wire_bound();
         let gc = count(&CircuitDb::new(), &c);
         assert_eq!(gc.total(), 3);
@@ -519,7 +656,9 @@ fn sub_depth(db: &CircuitDb, id: BoxId, memo: &mut HashMap<BoxId, u128>) -> u128
     if let Some(&d) = memo.get(&id) {
         return d;
     }
-    let def = db.get(id).expect("subroutine id out of range while computing depth");
+    let def = db
+        .get(id)
+        .expect("subroutine id out of range while computing depth");
     let d = depth_impl(db, &def.circuit, memo);
     memo.insert(id, d);
     d
@@ -535,7 +674,14 @@ fn depth_impl(db: &CircuitDb, circuit: &Circuit, memo: &mut HashMap<BoxId, u128>
     for gate in &circuit.gates {
         match gate {
             Gate::Comment { .. } => {}
-            Gate::Subroutine { id, inputs, outputs, controls, repetitions, .. } => {
+            Gate::Subroutine {
+                id,
+                inputs,
+                outputs,
+                controls,
+                repetitions,
+                ..
+            } => {
                 let body = sub_depth(db, *id, memo);
                 let start = inputs
                     .iter()
@@ -616,7 +762,11 @@ mod depth_tests {
         let mut body = Circuit::with_inputs(vec![q(0)]);
         body.gates.push(Gate::unary(GateName::H, Wire(0)));
         body.gates.push(Gate::unary(GateName::T, Wire(0)));
-        let id = db.insert(SubDef { name: "b".into(), shape: "".into(), circuit: body });
+        let id = db.insert(SubDef {
+            name: "b".into(),
+            shape: "".into(),
+            circuit: body,
+        });
         let mut main = Circuit::with_inputs(vec![q(0), q(1)]);
         main.gates.push(Gate::Subroutine {
             id,

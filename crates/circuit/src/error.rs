@@ -20,7 +20,12 @@ pub enum CircuitError {
     DuplicateWire { wire: Wire, context: String },
     /// A wire has the wrong type for its use (e.g. a quantum gate applied to
     /// a classical wire).
-    TypeMismatch { wire: Wire, expected: WireType, found: WireType, context: String },
+    TypeMismatch {
+        wire: Wire,
+        expected: WireType,
+        found: WireType,
+        context: String,
+    },
     /// An initialization gate re-uses a wire identifier that is still alive.
     AlreadyAlive { wire: Wire, context: String },
     /// The declared outputs of a circuit do not match the wires actually
@@ -50,17 +55,31 @@ impl fmt::Display for CircuitError {
             CircuitError::DuplicateWire { wire, context } => {
                 write!(f, "wire {wire} used more than once in a single gate (in {context}); this would clone quantum data")
             }
-            CircuitError::TypeMismatch { wire, expected, found, context } => {
-                write!(f, "wire {wire} has type {found}, expected {expected} (in {context})")
+            CircuitError::TypeMismatch {
+                wire,
+                expected,
+                found,
+                context,
+            } => {
+                write!(
+                    f,
+                    "wire {wire} has type {found}, expected {expected} (in {context})"
+                )
             }
             CircuitError::AlreadyAlive { wire, context } => {
-                write!(f, "initialization of wire {wire} which is already alive (in {context})")
+                write!(
+                    f,
+                    "initialization of wire {wire} which is already alive (in {context})"
+                )
             }
             CircuitError::OutputMismatch { detail } => {
                 write!(f, "circuit outputs do not match live wires: {detail}")
             }
             CircuitError::SubroutineArity { name, detail } => {
-                write!(f, "subroutine \"{name}\" called with mismatched arity: {detail}")
+                write!(
+                    f,
+                    "subroutine \"{name}\" called with mismatched arity: {detail}"
+                )
             }
             CircuitError::NotRepeatable { name } => {
                 write!(f, "subroutine \"{name}\" has different input and output shapes and cannot be repeated")
@@ -86,7 +105,10 @@ mod tests {
 
     #[test]
     fn errors_display_lowercase_without_trailing_punctuation() {
-        let e = CircuitError::DeadWire { wire: Wire(4), context: "test".into() };
+        let e = CircuitError::DeadWire {
+            wire: Wire(4),
+            context: "test".into(),
+        };
         let s = e.to_string();
         assert!(s.starts_with("wire 4"));
         assert!(!s.ends_with('.'));

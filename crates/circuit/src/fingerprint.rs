@@ -1,0 +1,382 @@
+//! Stable structural fingerprints of circuits.
+//!
+//! The execution engine (`quipper-exec`) caches compiled plans keyed by
+//! circuit identity. Since the common case is a *freshly rebuilt* circuit
+//! with the same structure (shot loops rebuild Grover/BWT circuits per run),
+//! identity must be structural, not pointer-based: two circuits with the
+//! same inputs, gate list, outputs, and (reachable) subroutine bodies get
+//! the same fingerprint, regardless of when or where they were built.
+//!
+//! The hash is FNV-1a (64-bit) over a canonical serialization of the
+//! structure. It is deterministic across processes and platforms — unlike
+//! `DefaultHasher`, which Rust does not guarantee stable — so fingerprints
+//! can also be logged and compared across runs.
+
+use crate::circuit::{BCircuit, Circuit};
+use crate::gate::{Gate, GateName};
+use crate::wire::{Control, Wire, WireType};
+
+/// An FNV-1a accumulator over structural tokens.
+#[derive(Clone, Debug)]
+pub struct Fingerprinter {
+    h: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Fingerprinter { h: FNV_OFFSET }
+    }
+}
+
+impl Fingerprinter {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated 64-bit fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.h ^= u64::from(b);
+        self.h = self.h.wrapping_mul(FNV_PRIME);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.byte(u8::from(v));
+    }
+
+    fn f64(&mut self, v: f64) {
+        // Bit pattern, so that e.g. 0.0 and -0.0 are distinct and NaN
+        // payloads hash consistently.
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn wire(&mut self, w: Wire) {
+        self.u32(w.0);
+    }
+
+    fn wire_type(&mut self, t: WireType) {
+        self.byte(match t {
+            WireType::Quantum => 0,
+            WireType::Classical => 1,
+        });
+    }
+
+    fn controls(&mut self, cs: &[Control]) {
+        self.u64(cs.len() as u64);
+        for c in cs {
+            self.wire(c.wire);
+            self.bool(c.positive);
+        }
+    }
+
+    fn wires(&mut self, ws: &[Wire]) {
+        self.u64(ws.len() as u64);
+        for &w in ws {
+            self.wire(w);
+        }
+    }
+
+    fn gate_name(&mut self, n: &GateName) {
+        match n {
+            GateName::X => self.byte(0),
+            GateName::Y => self.byte(1),
+            GateName::Z => self.byte(2),
+            GateName::H => self.byte(3),
+            GateName::S => self.byte(4),
+            GateName::T => self.byte(5),
+            GateName::V => self.byte(6),
+            GateName::W => self.byte(7),
+            GateName::Swap => self.byte(8),
+            GateName::Named(s) => {
+                self.byte(9);
+                self.str(s);
+            }
+        }
+    }
+
+    fn gate(&mut self, g: &Gate) {
+        match g {
+            Gate::QGate {
+                name,
+                inverted,
+                targets,
+                controls,
+            } => {
+                self.byte(1);
+                self.gate_name(name);
+                self.bool(*inverted);
+                self.wires(targets);
+                self.controls(controls);
+            }
+            Gate::QRot {
+                name,
+                inverted,
+                angle,
+                targets,
+                controls,
+            } => {
+                self.byte(2);
+                self.str(name);
+                self.bool(*inverted);
+                self.f64(*angle);
+                self.wires(targets);
+                self.controls(controls);
+            }
+            Gate::GPhase { angle, controls } => {
+                self.byte(3);
+                self.f64(*angle);
+                self.controls(controls);
+            }
+            Gate::QInit { value, wire } => {
+                self.byte(4);
+                self.bool(*value);
+                self.wire(*wire);
+            }
+            Gate::CInit { value, wire } => {
+                self.byte(5);
+                self.bool(*value);
+                self.wire(*wire);
+            }
+            Gate::QTerm { value, wire } => {
+                self.byte(6);
+                self.bool(*value);
+                self.wire(*wire);
+            }
+            Gate::CTerm { value, wire } => {
+                self.byte(7);
+                self.bool(*value);
+                self.wire(*wire);
+            }
+            Gate::QMeas { wire } => {
+                self.byte(8);
+                self.wire(*wire);
+            }
+            Gate::QDiscard { wire } => {
+                self.byte(9);
+                self.wire(*wire);
+            }
+            Gate::CDiscard { wire } => {
+                self.byte(10);
+                self.wire(*wire);
+            }
+            Gate::CGate {
+                name,
+                inverted,
+                target,
+                inputs,
+            } => {
+                self.byte(11);
+                self.str(name);
+                self.bool(*inverted);
+                self.wire(*target);
+                self.wires(inputs);
+            }
+            Gate::Subroutine {
+                id,
+                inverted,
+                inputs,
+                outputs,
+                controls,
+                repetitions,
+            } => {
+                self.byte(12);
+                self.u32(id.0);
+                self.bool(*inverted);
+                self.wires(inputs);
+                self.wires(outputs);
+                self.controls(controls);
+                self.u64(*repetitions);
+            }
+            Gate::Comment { text, labels } => {
+                self.byte(13);
+                self.str(text);
+                self.u64(labels.len() as u64);
+                for (w, l) in labels {
+                    self.wire(*w);
+                    self.str(l);
+                }
+            }
+        }
+    }
+
+    fn arity(&mut self, arity: &[(Wire, WireType)]) {
+        self.u64(arity.len() as u64);
+        for &(w, t) in arity {
+            self.wire(w);
+            self.wire_type(t);
+        }
+    }
+
+    /// Feeds one circuit (inputs, gates, outputs) into the accumulator.
+    pub fn circuit(&mut self, c: &Circuit) {
+        self.arity(&c.inputs);
+        self.u64(c.gates.len() as u64);
+        for g in &c.gates {
+            self.gate(g);
+        }
+        self.arity(&c.outputs);
+    }
+}
+
+/// The structural fingerprint of a flat circuit (no subroutine database).
+pub fn circuit_fingerprint(c: &Circuit) -> u64 {
+    let mut fp = Fingerprinter::new();
+    fp.circuit(c);
+    fp.finish()
+}
+
+/// The structural fingerprint of a hierarchical circuit: the main circuit
+/// plus every subroutine definition (name, shape, body) in database order.
+///
+/// Subroutine *calls* hash their [`BoxId`](crate::BoxId), which is an index
+/// into the database; hashing the database contents alongside makes the
+/// fingerprint independent of how ids were assigned in unrelated builds
+/// while still distinguishing different bodies behind the same id.
+pub fn fingerprint(bc: &BCircuit) -> u64 {
+    let mut fp = Fingerprinter::new();
+    fp.u64(bc.db.len() as u64);
+    for (_, def) in bc.db.iter() {
+        fp.str(&def.name);
+        fp.str(&def.shape);
+        fp.circuit(&def.circuit);
+    }
+    fp.circuit(&bc.main);
+    fp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{CircuitDb, SubDef};
+
+    fn q(w: u32) -> (Wire, WireType) {
+        (Wire(w), WireType::Quantum)
+    }
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::with_inputs(vec![q(0), q(1)]);
+        c.gates.push(Gate::unary(GateName::H, Wire(0)));
+        c.gates.push(Gate::cnot(Wire(1), Wire(0)));
+        c
+    }
+
+    #[test]
+    fn equal_structure_equal_fingerprint() {
+        // Two independently built, structurally identical circuits agree.
+        assert_eq!(
+            circuit_fingerprint(&sample_circuit()),
+            circuit_fingerprint(&sample_circuit())
+        );
+    }
+
+    #[test]
+    fn gate_change_changes_fingerprint() {
+        let a = sample_circuit();
+        let mut b = sample_circuit();
+        b.gates[0] = Gate::unary(GateName::X, Wire(0));
+        assert_ne!(circuit_fingerprint(&a), circuit_fingerprint(&b));
+    }
+
+    #[test]
+    fn gate_order_matters() {
+        let a = sample_circuit();
+        let mut b = sample_circuit();
+        b.gates.swap(0, 1);
+        assert_ne!(circuit_fingerprint(&a), circuit_fingerprint(&b));
+    }
+
+    #[test]
+    fn inverted_flag_and_angle_matter() {
+        let rot = |angle: f64, inverted: bool| {
+            let mut c = Circuit::with_inputs(vec![q(0)]);
+            c.gates.push(Gate::QRot {
+                name: "R(%)".into(),
+                inverted,
+                angle,
+                targets: vec![Wire(0)],
+                controls: vec![],
+            });
+            circuit_fingerprint(&c)
+        };
+        assert_ne!(rot(0.5, false), rot(0.5, true));
+        assert_ne!(rot(0.5, false), rot(0.25, false));
+        assert_eq!(rot(0.5, false), rot(0.5, false));
+    }
+
+    #[test]
+    fn subroutine_bodies_feed_the_bcircuit_fingerprint() {
+        let build = |flip: bool| {
+            let mut db = CircuitDb::new();
+            let mut body = Circuit::with_inputs(vec![q(0)]);
+            body.gates.push(Gate::unary(
+                if flip { GateName::X } else { GateName::Z },
+                Wire(0),
+            ));
+            let id = db.insert(SubDef {
+                name: "f".into(),
+                shape: "".into(),
+                circuit: body,
+            });
+            let mut main = Circuit::with_inputs(vec![q(0)]);
+            main.gates.push(Gate::Subroutine {
+                id,
+                inverted: false,
+                inputs: vec![Wire(0)],
+                outputs: vec![Wire(0)],
+                controls: vec![],
+                repetitions: 1,
+            });
+            BCircuit::new(db, main)
+        };
+        // Same call sites, different body behind the id → different prints.
+        assert_ne!(fingerprint(&build(true)), fingerprint(&build(false)));
+        assert_eq!(fingerprint(&build(true)), fingerprint(&build(true)));
+    }
+
+    #[test]
+    fn fingerprint_matches_fnv_reference() {
+        // The accumulator is plain FNV-1a over the token stream; check it
+        // against an independently computed FNV-1a so the construction can't
+        // silently drift (cached plans would stop matching across versions).
+        let mut fp = Fingerprinter::new();
+        fp.str("quipper");
+        let mut want: u64 = 0xcbf2_9ce4_8422_2325;
+        let tokens: Vec<u8> = 7u64
+            .to_le_bytes()
+            .iter()
+            .copied()
+            .chain("quipper".bytes())
+            .collect();
+        for b in tokens {
+            want ^= u64::from(b);
+            want = want.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        assert_eq!(fp.finish(), want);
+    }
+}

@@ -28,7 +28,10 @@ use crate::wire::Wire;
 /// under controls contains a non-controllable gate (e.g. a measurement), or
 /// if a referenced subroutine is missing.
 pub fn inline_all(db: &CircuitDb, circuit: &Circuit) -> Result<Circuit, CircuitError> {
-    let mut ctx = Inliner { db, flat: HashMap::new() };
+    let mut ctx = Inliner {
+        db,
+        flat: HashMap::new(),
+    };
     let mut out = Circuit {
         inputs: circuit.inputs.clone(),
         gates: Vec::new(),
@@ -43,7 +46,14 @@ pub fn inline_all(db: &CircuitDb, circuit: &Circuit) -> Result<Circuit, CircuitE
 
     for gate in &circuit.gates {
         match gate {
-            Gate::Subroutine { id, inverted, inputs, outputs, controls, repetitions } => {
+            Gate::Subroutine {
+                id,
+                inverted,
+                inputs,
+                outputs,
+                controls,
+                repetitions,
+            } => {
                 // Substitute uses (inputs, controls) but *not* the declared
                 // outputs: those are binders, possibly reusing earlier wire
                 // ids (calls bind pass-through outputs to their input ids).
@@ -72,7 +82,9 @@ pub fn inline_all(db: &CircuitDb, circuit: &Circuit) -> Result<Circuit, CircuitE
                     }
                 }
             }
-            g => out.gates.push(g.map_wires(&mut |w| subst.get(&w).copied().unwrap_or(w))),
+            g => out
+                .gates
+                .push(g.map_wires(&mut |w| subst.get(&w).copied().unwrap_or(w))),
         }
     }
 
@@ -105,13 +117,25 @@ pub fn expand_gates(
     subst: &mut HashMap<Wire, Wire>,
     sink: &mut impl FnMut(&Gate),
 ) -> Result<(), CircuitError> {
-    let mut ctx = Inliner { db, flat: HashMap::new() };
+    let mut ctx = Inliner {
+        db,
+        flat: HashMap::new(),
+    };
     let mut buffer: Vec<Gate> = Vec::new();
     for gate in gates {
         match gate {
-            Gate::Subroutine { id, inverted, inputs, outputs, controls, repetitions } => {
-                let inputs: Vec<Wire> =
-                    inputs.iter().map(|w| subst.get(w).copied().unwrap_or(*w)).collect();
+            Gate::Subroutine {
+                id,
+                inverted,
+                inputs,
+                outputs,
+                controls,
+                repetitions,
+            } => {
+                let inputs: Vec<Wire> = inputs
+                    .iter()
+                    .map(|w| subst.get(w).copied().unwrap_or(*w))
+                    .collect();
                 let controls: Vec<crate::wire::Control> = controls
                     .iter()
                     .map(|c| crate::wire::Control {
@@ -158,7 +182,11 @@ impl<'a> Inliner<'a> {
             return Ok(Rc::clone(c));
         }
         let def = self.db.get(id)?;
-        let body = if inverted { reverse_circuit(&def.circuit)? } else { def.circuit.clone() };
+        let body = if inverted {
+            reverse_circuit(&def.circuit)?
+        } else {
+            def.circuit.clone()
+        };
         let flat = Rc::new(inline_all(self.db, &body)?);
         self.flat.insert((id, inverted), Rc::clone(&flat));
         Ok(flat)
@@ -213,13 +241,23 @@ mod tests {
     fn ancilla_sub(db: &mut CircuitDb) -> BoxId {
         // Input one qubit; use a local ancilla; flip input twice.
         let mut body = Circuit::with_inputs(vec![q(0)]);
-        body.gates.push(Gate::QInit { value: false, wire: Wire(1) });
+        body.gates.push(Gate::QInit {
+            value: false,
+            wire: Wire(1),
+        });
         body.gates.push(Gate::cnot(Wire(1), Wire(0)));
         body.gates.push(Gate::cnot(Wire(0), Wire(1)));
         body.gates.push(Gate::cnot(Wire(1), Wire(0)));
-        body.gates.push(Gate::QTerm { value: false, wire: Wire(1) });
+        body.gates.push(Gate::QTerm {
+            value: false,
+            wire: Wire(1),
+        });
         body.recompute_wire_bound();
-        db.insert(SubDef { name: "anc".into(), shape: "".into(), circuit: body })
+        db.insert(SubDef {
+            name: "anc".into(),
+            shape: "".into(),
+            circuit: body,
+        })
     }
 
     #[test]
@@ -236,7 +274,10 @@ mod tests {
             repetitions: 2,
         });
         let flat = inline_all(&db, &main).unwrap();
-        assert!(flat.gates.iter().all(|g| !matches!(g, Gate::Subroutine { .. })));
+        assert!(flat
+            .gates
+            .iter()
+            .all(|g| !matches!(g, Gate::Subroutine { .. })));
         // 2 repetitions × 5 gates.
         assert_eq!(flat.gates.len(), 10);
         flat.validate_standalone().unwrap();
@@ -275,7 +316,11 @@ mod tests {
         let mut body = Circuit::with_inputs(vec![q(0)]);
         body.gates.push(Gate::unary(GateName::H, Wire(0)));
         body.gates.push(Gate::unary(GateName::T, Wire(0)));
-        let id = db.insert(SubDef { name: "ht".into(), shape: "".into(), circuit: body });
+        let id = db.insert(SubDef {
+            name: "ht".into(),
+            shape: "".into(),
+            circuit: body,
+        });
 
         let mut main = Circuit::with_inputs(vec![q(0)]);
         main.gates.push(Gate::Subroutine {
@@ -289,11 +334,17 @@ mod tests {
         let flat = inline_all(&db, &main).unwrap();
         // Reversed: T† then H.
         match &flat.gates[0] {
-            Gate::QGate { name: GateName::T, inverted, .. } => assert!(*inverted),
+            Gate::QGate {
+                name: GateName::T,
+                inverted,
+                ..
+            } => assert!(*inverted),
             other => panic!("unexpected {other:?}"),
         }
         match &flat.gates[1] {
-            Gate::QGate { name: GateName::H, .. } => {}
+            Gate::QGate {
+                name: GateName::H, ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -311,7 +362,11 @@ mod tests {
             controls: vec![],
             repetitions: 3,
         });
-        let mid_id = db.insert(SubDef { name: "mid".into(), shape: "".into(), circuit: mid });
+        let mid_id = db.insert(SubDef {
+            name: "mid".into(),
+            shape: "".into(),
+            circuit: mid,
+        });
 
         let mut main = Circuit::with_inputs(vec![q(0)]);
         main.gates.push(Gate::Subroutine {

@@ -55,7 +55,10 @@ impl GateName {
     /// Whether the gate is its own inverse, so that the `inverted` flag is
     /// irrelevant for it.
     pub fn is_self_inverse(&self) -> bool {
-        matches!(self, GateName::X | GateName::Y | GateName::Z | GateName::H | GateName::Swap)
+        matches!(
+            self,
+            GateName::X | GateName::Y | GateName::Z | GateName::H | GateName::Swap
+        )
     }
 
     /// The number of target wires the gate acts on, if fixed.
@@ -218,7 +221,12 @@ pub enum Gate {
 impl Gate {
     /// A convenience constructor: an uncontrolled single-target gate.
     pub fn unary(name: GateName, target: Wire) -> Self {
-        Gate::QGate { name, inverted: false, targets: vec![target], controls: Vec::new() }
+        Gate::QGate {
+            name,
+            inverted: false,
+            targets: vec![target],
+            controls: Vec::new(),
+        }
     }
 
     /// A controlled-not with one positive control.
@@ -310,9 +318,9 @@ impl Gate {
         }
         match self.controllable() {
             Controllability::ControlNeutral => Ok(self.clone()),
-            Controllability::NotControllable => {
-                Err(CircuitError::NotControllable { gate: self.describe() })
-            }
+            Controllability::NotControllable => Err(CircuitError::NotControllable {
+                gate: self.describe(),
+            }),
             Controllability::Controllable => {
                 let mut g = self.clone();
                 match &mut g {
@@ -345,39 +353,72 @@ impl Gate {
     /// classical gates.
     pub fn inverse(&self) -> Result<Gate, CircuitError> {
         match self {
-            Gate::QGate { name, inverted, targets, controls } => Ok(Gate::QGate {
+            Gate::QGate {
+                name,
+                inverted,
+                targets,
+                controls,
+            } => Ok(Gate::QGate {
                 name: name.clone(),
                 inverted: !inverted && !name.is_self_inverse(),
                 targets: targets.clone(),
                 controls: controls.clone(),
             }),
-            Gate::QRot { name, inverted, angle, targets, controls } => Ok(Gate::QRot {
+            Gate::QRot {
+                name,
+                inverted,
+                angle,
+                targets,
+                controls,
+            } => Ok(Gate::QRot {
                 name: name.clone(),
                 inverted: !inverted,
                 angle: *angle,
                 targets: targets.clone(),
                 controls: controls.clone(),
             }),
-            Gate::GPhase { angle, controls } => {
-                Ok(Gate::GPhase { angle: -angle, controls: controls.clone() })
-            }
-            Gate::QInit { value, wire } => Ok(Gate::QTerm { value: *value, wire: *wire }),
-            Gate::QTerm { value, wire } => Ok(Gate::QInit { value: *value, wire: *wire }),
-            Gate::CInit { value, wire } => Ok(Gate::CTerm { value: *value, wire: *wire }),
-            Gate::CTerm { value, wire } => Ok(Gate::CInit { value: *value, wire: *wire }),
-            Gate::Subroutine { id, inverted, inputs, outputs, controls, repetitions } => {
-                Ok(Gate::Subroutine {
-                    id: *id,
-                    inverted: !inverted,
-                    inputs: outputs.clone(),
-                    outputs: inputs.clone(),
-                    controls: controls.clone(),
-                    repetitions: *repetitions,
-                })
-            }
+            Gate::GPhase { angle, controls } => Ok(Gate::GPhase {
+                angle: -angle,
+                controls: controls.clone(),
+            }),
+            Gate::QInit { value, wire } => Ok(Gate::QTerm {
+                value: *value,
+                wire: *wire,
+            }),
+            Gate::QTerm { value, wire } => Ok(Gate::QInit {
+                value: *value,
+                wire: *wire,
+            }),
+            Gate::CInit { value, wire } => Ok(Gate::CTerm {
+                value: *value,
+                wire: *wire,
+            }),
+            Gate::CTerm { value, wire } => Ok(Gate::CInit {
+                value: *value,
+                wire: *wire,
+            }),
+            Gate::Subroutine {
+                id,
+                inverted,
+                inputs,
+                outputs,
+                controls,
+                repetitions,
+            } => Ok(Gate::Subroutine {
+                id: *id,
+                inverted: !inverted,
+                inputs: outputs.clone(),
+                outputs: inputs.clone(),
+                controls: controls.clone(),
+                repetitions: *repetitions,
+            }),
             Gate::Comment { .. } => Ok(self.clone()),
-            Gate::QMeas { .. } | Gate::QDiscard { .. } | Gate::CDiscard { .. }
-            | Gate::CGate { .. } => Err(CircuitError::NotReversible { gate: self.describe() }),
+            Gate::QMeas { .. }
+            | Gate::QDiscard { .. }
+            | Gate::CDiscard { .. }
+            | Gate::CGate { .. } => Err(CircuitError::NotReversible {
+                gate: self.describe(),
+            }),
         }
     }
 
@@ -385,7 +426,12 @@ impl Gate {
     /// initialized and terminated wires, labels).
     pub fn for_each_wire(&self, f: &mut impl FnMut(Wire)) {
         match self {
-            Gate::QGate { targets, controls, .. } | Gate::QRot { targets, controls, .. } => {
+            Gate::QGate {
+                targets, controls, ..
+            }
+            | Gate::QRot {
+                targets, controls, ..
+            } => {
                 targets.iter().copied().for_each(&mut *f);
                 controls.iter().for_each(|c| f(c.wire));
             }
@@ -401,7 +447,12 @@ impl Gate {
                 f(*target);
                 inputs.iter().copied().for_each(&mut *f);
             }
-            Gate::Subroutine { inputs, outputs, controls, .. } => {
+            Gate::Subroutine {
+                inputs,
+                outputs,
+                controls,
+                ..
+            } => {
                 inputs.iter().copied().for_each(&mut *f);
                 outputs.iter().copied().for_each(&mut *f);
                 controls.iter().for_each(|c| f(c.wire));
@@ -412,50 +463,88 @@ impl Gate {
 
     /// Returns a copy of this gate with every wire replaced by `f(wire)`.
     pub fn map_wires(&self, f: &mut impl FnMut(Wire) -> Wire) -> Gate {
-        let map_controls =
-            |f: &mut dyn FnMut(Wire) -> Wire, cs: &[Control]| -> Vec<Control> {
-                cs.iter().map(|c| Control { wire: f(c.wire), positive: c.positive }).collect()
-            };
+        let map_controls = |f: &mut dyn FnMut(Wire) -> Wire, cs: &[Control]| -> Vec<Control> {
+            cs.iter()
+                .map(|c| Control {
+                    wire: f(c.wire),
+                    positive: c.positive,
+                })
+                .collect()
+        };
         match self {
-            Gate::QGate { name, inverted, targets, controls } => Gate::QGate {
+            Gate::QGate {
+                name,
+                inverted,
+                targets,
+                controls,
+            } => Gate::QGate {
                 name: name.clone(),
                 inverted: *inverted,
                 targets: targets.iter().map(|&w| f(w)).collect(),
                 controls: map_controls(f, controls),
             },
-            Gate::QRot { name, inverted, angle, targets, controls } => Gate::QRot {
+            Gate::QRot {
+                name,
+                inverted,
+                angle,
+                targets,
+                controls,
+            } => Gate::QRot {
                 name: name.clone(),
                 inverted: *inverted,
                 angle: *angle,
                 targets: targets.iter().map(|&w| f(w)).collect(),
                 controls: map_controls(f, controls),
             },
-            Gate::GPhase { angle, controls } => {
-                Gate::GPhase { angle: *angle, controls: map_controls(f, controls) }
-            }
-            Gate::QInit { value, wire } => Gate::QInit { value: *value, wire: f(*wire) },
-            Gate::CInit { value, wire } => Gate::CInit { value: *value, wire: f(*wire) },
-            Gate::QTerm { value, wire } => Gate::QTerm { value: *value, wire: f(*wire) },
-            Gate::CTerm { value, wire } => Gate::CTerm { value: *value, wire: f(*wire) },
+            Gate::GPhase { angle, controls } => Gate::GPhase {
+                angle: *angle,
+                controls: map_controls(f, controls),
+            },
+            Gate::QInit { value, wire } => Gate::QInit {
+                value: *value,
+                wire: f(*wire),
+            },
+            Gate::CInit { value, wire } => Gate::CInit {
+                value: *value,
+                wire: f(*wire),
+            },
+            Gate::QTerm { value, wire } => Gate::QTerm {
+                value: *value,
+                wire: f(*wire),
+            },
+            Gate::CTerm { value, wire } => Gate::CTerm {
+                value: *value,
+                wire: f(*wire),
+            },
             Gate::QMeas { wire } => Gate::QMeas { wire: f(*wire) },
             Gate::QDiscard { wire } => Gate::QDiscard { wire: f(*wire) },
             Gate::CDiscard { wire } => Gate::CDiscard { wire: f(*wire) },
-            Gate::CGate { name, inverted, target, inputs } => Gate::CGate {
+            Gate::CGate {
+                name,
+                inverted,
+                target,
+                inputs,
+            } => Gate::CGate {
                 name: name.clone(),
                 inverted: *inverted,
                 target: f(*target),
                 inputs: inputs.iter().map(|&w| f(w)).collect(),
             },
-            Gate::Subroutine { id, inverted, inputs, outputs, controls, repetitions } => {
-                Gate::Subroutine {
-                    id: *id,
-                    inverted: *inverted,
-                    inputs: inputs.iter().map(|&w| f(w)).collect(),
-                    outputs: outputs.iter().map(|&w| f(w)).collect(),
-                    controls: map_controls(f, controls),
-                    repetitions: *repetitions,
-                }
-            }
+            Gate::Subroutine {
+                id,
+                inverted,
+                inputs,
+                outputs,
+                controls,
+                repetitions,
+            } => Gate::Subroutine {
+                id: *id,
+                inverted: *inverted,
+                inputs: inputs.iter().map(|&w| f(w)).collect(),
+                outputs: outputs.iter().map(|&w| f(w)).collect(),
+                controls: map_controls(f, controls),
+                repetitions: *repetitions,
+            },
             Gate::Comment { text, labels } => Gate::Comment {
                 text: text.clone(),
                 labels: labels.iter().map(|(w, l)| (f(*w), l.clone())).collect(),
@@ -512,21 +601,27 @@ impl ClassKind {
                 name: name.clone(),
                 inverted: !inverted && !name.is_self_inverse(),
             },
-            ClassKind::Rot { name, inverted } => {
-                ClassKind::Rot { name: name.clone(), inverted: !inverted }
-            }
+            ClassKind::Rot { name, inverted } => ClassKind::Rot {
+                name: name.clone(),
+                inverted: !inverted,
+            },
             ClassKind::GPhase => ClassKind::GPhase,
-            ClassKind::Init { value, classical } => {
-                ClassKind::Term { value: *value, classical: *classical }
-            }
-            ClassKind::Term { value, classical } => {
-                ClassKind::Init { value: *value, classical: *classical }
-            }
+            ClassKind::Init { value, classical } => ClassKind::Term {
+                value: *value,
+                classical: *classical,
+            },
+            ClassKind::Term { value, classical } => ClassKind::Init {
+                value: *value,
+                classical: *classical,
+            },
             ClassKind::Meas => ClassKind::Meas,
-            ClassKind::Discard { classical } => ClassKind::Discard { classical: *classical },
-            ClassKind::Classical { name, inverted } => {
-                ClassKind::Classical { name: name.clone(), inverted: !inverted }
-            }
+            ClassKind::Discard { classical } => ClassKind::Discard {
+                classical: *classical,
+            },
+            ClassKind::Classical { name, inverted } => ClassKind::Classical {
+                name: name.clone(),
+                inverted: !inverted,
+            },
         }
     }
 }
@@ -547,10 +642,20 @@ impl fmt::Display for ClassKind {
             }
             ClassKind::GPhase => write!(f, "\"GPhase\""),
             ClassKind::Init { value, classical } => {
-                write!(f, "\"{}Init{}\"", if *classical { "C" } else { "" }, u8::from(*value))
+                write!(
+                    f,
+                    "\"{}Init{}\"",
+                    if *classical { "C" } else { "" },
+                    u8::from(*value)
+                )
             }
             ClassKind::Term { value, classical } => {
-                write!(f, "\"{}Term{}\"", if *classical { "C" } else { "" }, u8::from(*value))
+                write!(
+                    f,
+                    "\"{}Term{}\"",
+                    if *classical { "C" } else { "" },
+                    u8::from(*value)
+                )
             }
             ClassKind::Meas => write!(f, "\"Meas\""),
             ClassKind::Discard { classical } => {
@@ -575,8 +680,17 @@ mod tests {
 
     #[test]
     fn inverse_swaps_init_and_term() {
-        let g = Gate::QInit { value: true, wire: Wire(5) };
-        assert_eq!(g.inverse().unwrap(), Gate::QTerm { value: true, wire: Wire(5) });
+        let g = Gate::QInit {
+            value: true,
+            wire: Wire(5),
+        };
+        assert_eq!(
+            g.inverse().unwrap(),
+            Gate::QTerm {
+                value: true,
+                wire: Wire(5)
+            }
+        );
     }
 
     #[test]
@@ -597,12 +711,18 @@ mod tests {
     #[test]
     fn measurement_is_not_reversible() {
         let g = Gate::QMeas { wire: Wire(0) };
-        assert!(matches!(g.inverse(), Err(CircuitError::NotReversible { .. })));
+        assert!(matches!(
+            g.inverse(),
+            Err(CircuitError::NotReversible { .. })
+        ));
     }
 
     #[test]
     fn init_is_control_neutral() {
-        let g = Gate::QInit { value: false, wire: Wire(0) };
+        let g = Gate::QInit {
+            value: false,
+            wire: Wire(0),
+        };
         let controlled = g.with_controls(&[Control::positive(Wire(1))]).unwrap();
         assert_eq!(controlled, g);
     }
@@ -637,19 +757,34 @@ mod tests {
 
     #[test]
     fn class_kind_display_matches_paper_style() {
-        let k = ClassKind::Unitary { name: GateName::X, inverted: false };
+        let k = ClassKind::Unitary {
+            name: GateName::X,
+            inverted: false,
+        };
         assert_eq!(k.to_string(), "\"Not\"");
-        let init = ClassKind::Init { value: false, classical: false };
+        let init = ClassKind::Init {
+            value: false,
+            classical: false,
+        };
         assert_eq!(init.to_string(), "\"Init0\"");
-        let term = ClassKind::Term { value: false, classical: false };
+        let term = ClassKind::Term {
+            value: false,
+            classical: false,
+        };
         assert_eq!(term.to_string(), "\"Term0\"");
     }
 
     #[test]
     fn class_kind_inverse_roundtrip() {
-        let k = ClassKind::Init { value: true, classical: false };
+        let k = ClassKind::Init {
+            value: true,
+            classical: false,
+        };
         assert_eq!(k.inverse().inverse(), k);
-        let u = ClassKind::Unitary { name: GateName::T, inverted: false };
+        let u = ClassKind::Unitary {
+            name: GateName::T,
+            inverted: false,
+        };
         assert_eq!(u.inverse().inverse(), u);
     }
 }

@@ -36,6 +36,7 @@
 
 pub mod count;
 pub mod error;
+pub mod fingerprint;
 pub mod flatten;
 pub mod gate;
 pub mod print;

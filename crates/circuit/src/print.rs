@@ -65,12 +65,20 @@ fn write_circuit(s: &mut String, c: &Circuit, names: &[String]) {
 }
 
 fn wire_list(ws: &[Wire]) -> String {
-    ws.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(",")
+    ws.iter()
+        .map(|w| w.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 fn write_gate(s: &mut String, g: &Gate, names: &[String]) {
     match g {
-        Gate::QGate { name, inverted, targets, controls } => {
+        Gate::QGate {
+            name,
+            inverted,
+            targets,
+            controls,
+        } => {
             let _ = writeln!(
                 s,
                 "QGate[\"{name}\"]{}({}){}",
@@ -79,7 +87,13 @@ fn write_gate(s: &mut String, g: &Gate, names: &[String]) {
                 controls_suffix(controls)
             );
         }
-        Gate::QRot { name, inverted, angle, targets, controls } => {
+        Gate::QRot {
+            name,
+            inverted,
+            angle,
+            targets,
+            controls,
+        } => {
             let _ = writeln!(
                 s,
                 "QRot[\"{name}\",{angle}]{}({}){}",
@@ -112,7 +126,12 @@ fn write_gate(s: &mut String, g: &Gate, names: &[String]) {
         Gate::CDiscard { wire } => {
             let _ = writeln!(s, "CDiscard({wire})");
         }
-        Gate::CGate { name, inverted, target, inputs } => {
+        Gate::CGate {
+            name,
+            inverted,
+            target,
+            inputs,
+        } => {
             let _ = writeln!(
                 s,
                 "CGate[\"{name}\"]{}({target}; {})",
@@ -120,8 +139,19 @@ fn write_gate(s: &mut String, g: &Gate, names: &[String]) {
                 wire_list(inputs)
             );
         }
-        Gate::Subroutine { id, inverted, inputs, outputs, controls, repetitions } => {
-            let reps = if *repetitions != 1 { format!(" x{repetitions}") } else { String::new() };
+        Gate::Subroutine {
+            id,
+            inverted,
+            inputs,
+            outputs,
+            controls,
+            repetitions,
+        } => {
+            let reps = if *repetitions != 1 {
+                format!(" x{repetitions}")
+            } else {
+                String::new()
+            };
             let name = names
                 .get(id.index())
                 .map(|n| format!("\"{n}\""))
@@ -136,8 +166,7 @@ fn write_gate(s: &mut String, g: &Gate, names: &[String]) {
             );
         }
         Gate::Comment { text, labels } => {
-            let ls: Vec<String> =
-                labels.iter().map(|(w, l)| format!("{w}:\"{l}\"")).collect();
+            let ls: Vec<String> = labels.iter().map(|(w, l)| format!("{w}:\"{l}\"")).collect();
             let _ = writeln!(s, "Comment[\"{text}\"]({})", ls.join(", "));
         }
     }
@@ -153,7 +182,11 @@ fn write_gate(s: &mut String, g: &Gate, names: &[String]) {
 ///
 /// Returns an error if inlining fails or if the flattened circuit exceeds
 /// `max_gates` gates.
-pub fn to_ascii(db: &CircuitDb, circuit: &Circuit, max_gates: usize) -> Result<String, CircuitError> {
+pub fn to_ascii(
+    db: &CircuitDb,
+    circuit: &Circuit,
+    max_gates: usize,
+) -> Result<String, CircuitError> {
     let flat = inline_all(db, circuit)?;
     if flat.gates.len() > max_gates {
         return Err(CircuitError::OutputMismatch {
@@ -170,12 +203,13 @@ fn render_ascii(c: &Circuit) -> String {
     // Assign each wire a lane in order of first appearance.
     let mut lane_of: std::collections::HashMap<Wire, usize> = std::collections::HashMap::new();
     let mut lanes: Vec<Wire> = Vec::new();
-    let touch = |w: Wire, lane_of: &mut std::collections::HashMap<Wire, usize>, lanes: &mut Vec<Wire>| {
-        lane_of.entry(w).or_insert_with(|| {
-            lanes.push(w);
-            lanes.len() - 1
-        });
-    };
+    let touch =
+        |w: Wire, lane_of: &mut std::collections::HashMap<Wire, usize>, lanes: &mut Vec<Wire>| {
+            lane_of.entry(w).or_insert_with(|| {
+                lanes.push(w);
+                lanes.len() - 1
+            });
+        };
     for &(w, _) in &c.inputs {
         touch(w, &mut lane_of, &mut lanes);
     }
@@ -232,16 +266,35 @@ fn render_ascii(c: &Circuit) -> String {
             }
         };
         match g {
-            Gate::QGate { name, inverted, targets, controls } => {
+            Gate::QGate {
+                name,
+                inverted,
+                targets,
+                controls,
+            } => {
                 for &t in targets {
                     mark(lane_of[&t], symbol_for(name, *inverted), &mut span);
                 }
                 for ctl in controls {
-                    mark(lane_of[&ctl.wire], if ctl.positive { "●" } else { "○" }.into(), &mut span);
+                    mark(
+                        lane_of[&ctl.wire],
+                        if ctl.positive { "●" } else { "○" }.into(),
+                        &mut span,
+                    );
                 }
             }
-            Gate::QRot { name, inverted, targets, controls, .. } => {
-                let label: String = if name.contains('Z') { "e".into() } else { "R".into() };
+            Gate::QRot {
+                name,
+                inverted,
+                targets,
+                controls,
+                ..
+            } => {
+                let label: String = if name.contains('Z') {
+                    "e".into()
+                } else {
+                    "R".into()
+                };
                 for &t in targets {
                     mark(
                         lane_of[&t],
@@ -250,12 +303,20 @@ fn render_ascii(c: &Circuit) -> String {
                     );
                 }
                 for ctl in controls {
-                    mark(lane_of[&ctl.wire], if ctl.positive { "●" } else { "○" }.into(), &mut span);
+                    mark(
+                        lane_of[&ctl.wire],
+                        if ctl.positive { "●" } else { "○" }.into(),
+                        &mut span,
+                    );
                 }
             }
             Gate::GPhase { controls, .. } => {
                 for ctl in controls {
-                    mark(lane_of[&ctl.wire], if ctl.positive { "●" } else { "○" }.into(), &mut span);
+                    mark(
+                        lane_of[&ctl.wire],
+                        if ctl.positive { "●" } else { "○" }.into(),
+                        &mut span,
+                    );
                 }
             }
             Gate::QInit { value, wire } | Gate::CInit { value, wire } => {
@@ -286,7 +347,9 @@ fn render_ascii(c: &Circuit) -> String {
                     mark(lane_of[&w], "●".into(), &mut span);
                 }
             }
-            Gate::Subroutine { inputs, outputs, .. } => {
+            Gate::Subroutine {
+                inputs, outputs, ..
+            } => {
                 for &w in inputs {
                     mark(lane_of[&w], "[S]".into(), &mut span);
                 }
@@ -305,7 +368,7 @@ fn render_ascii(c: &Circuit) -> String {
         for lane in 0..n_lanes {
             let cell = match &cells[lane] {
                 Some(sym) => {
-                    if alive[lane] || matches!(c.gates.iter().next(), _) {
+                    if alive[lane] || matches!(c.gates.first(), _) {
                         pad(sym)
                     } else {
                         pad_space(sym)
@@ -347,9 +410,15 @@ mod tests {
         let mut c = Circuit::with_inputs(vec![q(0), q(1)]);
         c.gates.push(Gate::unary(GateName::H, Wire(0)));
         c.gates.push(Gate::cnot(Wire(1), Wire(0)));
-        c.gates.push(Gate::QInit { value: false, wire: Wire(2) });
+        c.gates.push(Gate::QInit {
+            value: false,
+            wire: Wire(2),
+        });
         c.gates.push(Gate::toffoli(Wire(2), Wire(0), Wire(1)));
-        c.gates.push(Gate::QTerm { value: false, wire: Wire(2) });
+        c.gates.push(Gate::QTerm {
+            value: false,
+            wire: Wire(2),
+        });
         c.recompute_wire_bound();
         c
     }
@@ -360,7 +429,9 @@ mod tests {
         let h = text.find("QGate[\"H\"](0)").unwrap();
         let cnot = text.find("QGate[\"not\"](1) with controls=[+0]").unwrap();
         let init = text.find("QInit0(2)").unwrap();
-        let toff = text.find("QGate[\"not\"](2) with controls=[+0,+1]").unwrap();
+        let toff = text
+            .find("QGate[\"not\"](2) with controls=[+0,+1]")
+            .unwrap();
         let term = text.find("QTerm0(2)").unwrap();
         assert!(h < cnot && cnot < init && init < toff && toff < term);
         assert!(text.starts_with("Inputs: 0:Qubit, 1:Qubit\n"));

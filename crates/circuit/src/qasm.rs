@@ -80,7 +80,9 @@ impl Alloc {
 }
 
 fn unsupported(gate: &Gate) -> CircuitError {
-    CircuitError::NotControllable { gate: format!("{} (no OpenQASM 2.0 form)", gate.describe()) }
+    CircuitError::NotControllable {
+        gate: format!("{} (no OpenQASM 2.0 form)", gate.describe()),
+    }
 }
 
 fn emit(c: &Circuit) -> Result<String, CircuitError> {
@@ -185,7 +187,13 @@ fn emit_gate(s: &mut String, gate: &Gate, alloc: &mut Alloc) -> Result<(), Circu
             }
             _ => Err(unsupported(gate)),
         },
-        Gate::QRot { name, inverted, angle, targets, controls } => {
+        Gate::QRot {
+            name,
+            inverted,
+            angle,
+            targets,
+            controls,
+        } => {
             let t = alloc.get(targets[0])?;
             let sign = if *inverted { -1.0 } else { 1.0 };
             let (slots, flipped) = open_controls(s, controls, alloc)?;
@@ -212,7 +220,12 @@ fn emit_gate(s: &mut String, gate: &Gate, alloc: &mut Alloc) -> Result<(), Circu
             close_controls(s, &flipped);
             Ok(())
         }
-        Gate::QGate { name, inverted, targets, controls } => {
+        Gate::QGate {
+            name,
+            inverted,
+            targets,
+            controls,
+        } => {
             let (slots, flipped) = open_controls(s, controls, alloc)?;
             let t0 = alloc.get(targets[0])?;
             let line = match (name, slots.len()) {
@@ -292,8 +305,10 @@ mod tests {
         c.gates.push(Gate::cnot(Wire(1), Wire(0)));
         c.gates.push(Gate::QMeas { wire: Wire(0) });
         c.gates.push(Gate::QMeas { wire: Wire(1) });
-        c.outputs =
-            vec![(Wire(0), WireType::Classical), (Wire(1), WireType::Classical)];
+        c.outputs = vec![
+            (Wire(0), WireType::Classical),
+            (Wire(1), WireType::Classical),
+        ];
         let qasm = to_qasm(&BCircuit::new(CircuitDb::new(), c)).unwrap();
         assert!(qasm.starts_with("OPENQASM 2.0;\n"));
         assert!(qasm.contains("qreg q[2];"));
@@ -311,10 +326,16 @@ mod tests {
         for _ in 0..2 {
             let w = Wire(c.wire_bound);
             c.wire_bound += 1;
-            c.gates.push(Gate::QInit { value: false, wire: w });
+            c.gates.push(Gate::QInit {
+                value: false,
+                wire: w,
+            });
             c.gates.push(Gate::cnot(w, Wire(0)));
             c.gates.push(Gate::cnot(w, Wire(0)));
-            c.gates.push(Gate::QTerm { value: false, wire: w });
+            c.gates.push(Gate::QTerm {
+                value: false,
+                wire: w,
+            });
         }
         let qasm = to_qasm(&BCircuit::new(CircuitDb::new(), c)).unwrap();
         assert!(qasm.contains("qreg q[2];"), "pooled allocation:\n{qasm}");
@@ -354,7 +375,10 @@ mod tests {
     #[test]
     fn classical_gates_are_rejected() {
         let mut c = Circuit::default();
-        c.gates.push(Gate::CInit { value: false, wire: Wire(0) });
+        c.gates.push(Gate::CInit {
+            value: false,
+            wire: Wire(0),
+        });
         c.outputs = vec![(Wire(0), WireType::Classical)];
         c.recompute_wire_bound();
         assert!(to_qasm(&BCircuit::new(CircuitDb::new(), c)).is_err());

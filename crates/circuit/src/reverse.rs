@@ -66,9 +66,15 @@ mod tests {
     fn double_reverse_is_identity() {
         let mut c = Circuit::with_inputs(vec![q(0), q(1)]);
         c.gates.push(Gate::unary(GateName::H, Wire(0)));
-        c.gates.push(Gate::QInit { value: true, wire: Wire(2) });
+        c.gates.push(Gate::QInit {
+            value: true,
+            wire: Wire(2),
+        });
         c.gates.push(Gate::toffoli(Wire(2), Wire(0), Wire(1)));
-        c.gates.push(Gate::QTerm { value: true, wire: Wire(2) });
+        c.gates.push(Gate::QTerm {
+            value: true,
+            wire: Wire(2),
+        });
         c.recompute_wire_bound();
         let rr = reverse_circuit(&reverse_circuit(&c).unwrap()).unwrap();
         assert_eq!(rr, c);
@@ -79,17 +85,26 @@ mod tests {
         // Reversal of a circuit whose ancilla scope is well-formed is again
         // well-formed: inits become terms and vice versa (paper §4.2.2).
         let mut c = Circuit::with_inputs(vec![q(0)]);
-        c.gates.push(Gate::QInit { value: false, wire: Wire(1) });
+        c.gates.push(Gate::QInit {
+            value: false,
+            wire: Wire(1),
+        });
         c.gates.push(Gate::cnot(Wire(1), Wire(0)));
         c.gates.push(Gate::unary(GateName::H, Wire(1)));
         c.gates.push(Gate::QDiscard { wire: Wire(1) });
         assert!(reverse_circuit(&c).is_err(), "discard is not reversible");
 
         let mut c2 = Circuit::with_inputs(vec![q(0)]);
-        c2.gates.push(Gate::QInit { value: false, wire: Wire(1) });
+        c2.gates.push(Gate::QInit {
+            value: false,
+            wire: Wire(1),
+        });
         c2.gates.push(Gate::cnot(Wire(1), Wire(0)));
         c2.gates.push(Gate::cnot(Wire(1), Wire(0)));
-        c2.gates.push(Gate::QTerm { value: false, wire: Wire(1) });
+        c2.gates.push(Gate::QTerm {
+            value: false,
+            wire: Wire(1),
+        });
         c2.recompute_wire_bound();
         let r = reverse_circuit(&c2).unwrap();
         r.validate(&CircuitDb::new()).unwrap();
@@ -100,6 +115,9 @@ mod tests {
         let mut c = Circuit::with_inputs(vec![q(0)]);
         c.gates.push(Gate::QMeas { wire: Wire(0) });
         c.outputs = vec![(Wire(0), WireType::Classical)];
-        assert!(matches!(reverse_circuit(&c), Err(CircuitError::NotReversible { .. })));
+        assert!(matches!(
+            reverse_circuit(&c),
+            Err(CircuitError::NotReversible { .. })
+        ));
     }
 }

@@ -40,7 +40,10 @@ pub fn validate(db: &CircuitDb, circuit: &Circuit) -> Result<Report, CircuitErro
     let mut alive: HashMap<Wire, WireType> = HashMap::new();
     for &(w, t) in &circuit.inputs {
         if alive.insert(w, t).is_some() {
-            return Err(CircuitError::DuplicateWire { wire: w, context: "circuit inputs".into() });
+            return Err(CircuitError::DuplicateWire {
+                wire: w,
+                context: "circuit inputs".into(),
+            });
         }
     }
 
@@ -79,7 +82,11 @@ pub fn validate(db: &CircuitDb, circuit: &Circuit) -> Result<Report, CircuitErro
     }
 
     let peak = crate::count::max_alive(db, circuit);
-    Ok(Report { gates, max_alive: peak.total, max_quantum: peak.quantum })
+    Ok(Report {
+        gates,
+        max_alive: peak.total,
+        max_quantum: peak.quantum,
+    })
 }
 
 /// Applies the aliveness/type transition of one gate to `alive`.
@@ -97,18 +104,32 @@ pub fn apply_gate(
     alive: &mut HashMap<Wire, WireType>,
 ) -> Result<(), CircuitError> {
     let ctx = gate.describe();
-    let require = |alive: &HashMap<Wire, WireType>, w: Wire, t: WireType| -> Result<(), CircuitError> {
-        match alive.get(&w) {
-            Some(&found) if found == t => Ok(()),
-            Some(&found) => {
-                Err(CircuitError::TypeMismatch { wire: w, expected: t, found, context: ctx.clone() })
+    let require =
+        |alive: &HashMap<Wire, WireType>, w: Wire, t: WireType| -> Result<(), CircuitError> {
+            match alive.get(&w) {
+                Some(&found) if found == t => Ok(()),
+                Some(&found) => Err(CircuitError::TypeMismatch {
+                    wire: w,
+                    expected: t,
+                    found,
+                    context: ctx.clone(),
+                }),
+                None => Err(CircuitError::DeadWire {
+                    wire: w,
+                    context: ctx.clone(),
+                }),
             }
-            None => Err(CircuitError::DeadWire { wire: w, context: ctx.clone() }),
-        }
-    };
-    let require_alive = |alive: &HashMap<Wire, WireType>, w: Wire| -> Result<WireType, CircuitError> {
-        alive.get(&w).copied().ok_or_else(|| CircuitError::DeadWire { wire: w, context: ctx.clone() })
-    };
+        };
+    let require_alive =
+        |alive: &HashMap<Wire, WireType>, w: Wire| -> Result<WireType, CircuitError> {
+            alive
+                .get(&w)
+                .copied()
+                .ok_or_else(|| CircuitError::DeadWire {
+                    wire: w,
+                    context: ctx.clone(),
+                })
+        };
 
     // No-cloning: all wires mentioned operationally by one gate must be
     // pairwise distinct (labels in comments are exempt; subroutine outputs
@@ -116,7 +137,12 @@ pub fn apply_gate(
     check_distinct(gate)?;
 
     match gate {
-        Gate::QGate { name, targets, controls, .. } => {
+        Gate::QGate {
+            name,
+            targets,
+            controls,
+            ..
+        } => {
             if let Some(n) = name.fixed_arity() {
                 if n != targets.len() {
                     return Err(CircuitError::SubroutineArity {
@@ -132,7 +158,9 @@ pub fn apply_gate(
                 require_alive(alive, c.wire)?;
             }
         }
-        Gate::QRot { targets, controls, .. } => {
+        Gate::QRot {
+            targets, controls, ..
+        } => {
             for &t in targets {
                 require(alive, t, WireType::Quantum)?;
             }
@@ -147,13 +175,19 @@ pub fn apply_gate(
         }
         Gate::QInit { wire, .. } => {
             if alive.contains_key(wire) {
-                return Err(CircuitError::AlreadyAlive { wire: *wire, context: ctx });
+                return Err(CircuitError::AlreadyAlive {
+                    wire: *wire,
+                    context: ctx,
+                });
             }
             alive.insert(*wire, WireType::Quantum);
         }
         Gate::CInit { wire, .. } => {
             if alive.contains_key(wire) {
-                return Err(CircuitError::AlreadyAlive { wire: *wire, context: ctx });
+                return Err(CircuitError::AlreadyAlive {
+                    wire: *wire,
+                    context: ctx,
+                });
             }
             alive.insert(*wire, WireType::Classical);
         }
@@ -174,11 +208,21 @@ pub fn apply_gate(
                 require(alive, w, WireType::Classical)?;
             }
             if alive.contains_key(target) {
-                return Err(CircuitError::AlreadyAlive { wire: *target, context: ctx });
+                return Err(CircuitError::AlreadyAlive {
+                    wire: *target,
+                    context: ctx,
+                });
             }
             alive.insert(*target, WireType::Classical);
         }
-        Gate::Subroutine { id, inverted, inputs, outputs, controls, repetitions } => {
+        Gate::Subroutine {
+            id,
+            inverted,
+            inputs,
+            outputs,
+            controls,
+            repetitions,
+        } => {
             let def = db.get(*id)?;
             let (in_types, out_types) = if *inverted {
                 (def.circuit.output_types(), def.circuit.input_types())
@@ -186,7 +230,9 @@ pub fn apply_gate(
                 (def.circuit.input_types(), def.circuit.output_types())
             };
             if *repetitions > 1 && in_types != out_types {
-                return Err(CircuitError::NotRepeatable { name: def.name.clone() });
+                return Err(CircuitError::NotRepeatable {
+                    name: def.name.clone(),
+                });
             }
             if inputs.len() != in_types.len() || outputs.len() != out_types.len() {
                 return Err(CircuitError::SubroutineArity {
@@ -211,7 +257,10 @@ pub fn apply_gate(
             }
             for (&w, &t) in outputs.iter().zip(&out_types) {
                 if alive.contains_key(&w) {
-                    return Err(CircuitError::AlreadyAlive { wire: w, context: ctx.clone() });
+                    return Err(CircuitError::AlreadyAlive {
+                        wire: w,
+                        context: ctx.clone(),
+                    });
                 }
                 alive.insert(w, t);
             }
@@ -227,13 +276,20 @@ fn check_distinct(gate: &Gate) -> Result<(), CircuitError> {
     // inputs are consumed before outputs come alive, so ids may be reused.
     let mut wires: Vec<Wire> = Vec::new();
     match gate {
-        Gate::QGate { targets, controls, .. } | Gate::QRot { targets, controls, .. } => {
+        Gate::QGate {
+            targets, controls, ..
+        }
+        | Gate::QRot {
+            targets, controls, ..
+        } => {
             wires.extend(targets.iter().copied());
             wires.extend(controls.iter().map(|c| c.wire));
         }
         Gate::GPhase { controls, .. } => wires.extend(controls.iter().map(|c| c.wire)),
         Gate::CGate { inputs, .. } => wires.extend(inputs.iter().copied()),
-        Gate::Subroutine { inputs, controls, .. } => {
+        Gate::Subroutine {
+            inputs, controls, ..
+        } => {
             wires.extend(inputs.iter().copied());
             wires.extend(controls.iter().map(|c| c.wire));
         }
@@ -275,16 +331,25 @@ mod tests {
     fn gate_on_dead_wire_is_rejected() {
         let mut c = Circuit::with_inputs(vec![q(0)]);
         c.gates.push(Gate::unary(GateName::H, Wire(7)));
-        assert!(matches!(c.validate_standalone(), Err(CircuitError::DeadWire { .. })));
+        assert!(matches!(
+            c.validate_standalone(),
+            Err(CircuitError::DeadWire { .. })
+        ));
     }
 
     #[test]
     fn ancilla_scope_is_tracked() {
         // init, use, term: valid.
         let mut c = Circuit::with_inputs(vec![q(0)]);
-        c.gates.push(Gate::QInit { value: false, wire: Wire(1) });
+        c.gates.push(Gate::QInit {
+            value: false,
+            wire: Wire(1),
+        });
         c.gates.push(Gate::cnot(Wire(1), Wire(0)));
-        c.gates.push(Gate::QTerm { value: false, wire: Wire(1) });
+        c.gates.push(Gate::QTerm {
+            value: false,
+            wire: Wire(1),
+        });
         c.recompute_wire_bound();
         let report = c.validate_standalone().unwrap();
         assert_eq!(report.max_alive, 2);
@@ -298,7 +363,10 @@ mod tests {
     #[test]
     fn outputs_must_match_live_wires() {
         let mut c = Circuit::with_inputs(vec![q(0)]);
-        c.gates.push(Gate::QInit { value: false, wire: Wire(1) });
+        c.gates.push(Gate::QInit {
+            value: false,
+            wire: Wire(1),
+        });
         // Wire 1 is alive but not declared as an output.
         assert!(matches!(
             c.validate_standalone(),
@@ -316,14 +384,21 @@ mod tests {
         // A quantum gate after measurement is a type error.
         let mut c2 = c.clone();
         c2.gates.push(Gate::unary(GateName::H, Wire(0)));
-        assert!(matches!(c2.validate_standalone(), Err(CircuitError::TypeMismatch { .. })));
+        assert!(matches!(
+            c2.validate_standalone(),
+            Err(CircuitError::TypeMismatch { .. })
+        ));
     }
 
     #[test]
     fn subroutine_call_checks_arity() {
         let mut db = CircuitDb::new();
         let body = Circuit::with_inputs(vec![q(0), q(1)]);
-        let id = db.insert(SubDef { name: "f".into(), shape: "2".into(), circuit: body });
+        let id = db.insert(SubDef {
+            name: "f".into(),
+            shape: "2".into(),
+            circuit: body,
+        });
 
         let mut c = Circuit::with_inputs(vec![q(0)]);
         c.gates.push(Gate::Subroutine {
@@ -334,7 +409,10 @@ mod tests {
             controls: vec![],
             repetitions: 1,
         });
-        assert!(matches!(c.validate(&db), Err(CircuitError::SubroutineArity { .. })));
+        assert!(matches!(
+            c.validate(&db),
+            Err(CircuitError::SubroutineArity { .. })
+        ));
     }
 
     #[test]
@@ -344,7 +422,11 @@ mod tests {
         let mut body = Circuit::with_inputs(vec![q(0)]);
         body.gates.push(Gate::QMeas { wire: Wire(0) });
         body.outputs = vec![(Wire(0), WireType::Classical)];
-        let id = db.insert(SubDef { name: "m".into(), shape: "1".into(), circuit: body });
+        let id = db.insert(SubDef {
+            name: "m".into(),
+            shape: "1".into(),
+            circuit: body,
+        });
 
         let mut c = Circuit::with_inputs(vec![q(0)]);
         c.gates.push(Gate::Subroutine {
@@ -356,7 +438,10 @@ mod tests {
             repetitions: 3,
         });
         c.outputs = vec![(Wire(0), WireType::Classical)];
-        assert!(matches!(c.validate(&db), Err(CircuitError::NotRepeatable { .. })));
+        assert!(matches!(
+            c.validate(&db),
+            Err(CircuitError::NotRepeatable { .. })
+        ));
     }
 
     #[test]

@@ -72,12 +72,18 @@ pub struct Control {
 impl Control {
     /// A positive control on `wire`.
     pub fn positive(wire: Wire) -> Self {
-        Control { wire, positive: true }
+        Control {
+            wire,
+            positive: true,
+        }
     }
 
     /// A negative control on `wire`.
     pub fn negative(wire: Wire) -> Self {
-        Control { wire, positive: false }
+        Control {
+            wire,
+            positive: false,
+        }
     }
 }
 

@@ -128,10 +128,7 @@ impl Circ {
     /// This is the usual top-level entry point, corresponding to passing a
     /// circuit-generating function and a shape argument to Quipper's
     /// `print_generic`.
-    pub fn build<S: Shape, B: QCData>(
-        shape: &S,
-        f: impl FnOnce(&mut Circ, S::Q) -> B,
-    ) -> BCircuit {
+    pub fn build<S: Shape, B: QCData>(shape: &S, f: impl FnOnce(&mut Circ, S::Q) -> B) -> BCircuit {
         let mut c = Circ::new();
         let input = c.input(shape);
         let out = f(&mut c, input);
@@ -141,6 +138,26 @@ impl Circ {
     /// Installs a dynamic-lifting backend; see [`Circ::dynamic_lift`].
     pub fn set_lifter(&mut self, lifter: Rc<RefCell<dyn Lifter>>) {
         self.lifter = Some(lifter);
+    }
+
+    /// Like [`Circ::build`], but with a dynamic-lifting backend installed
+    /// before generation starts, so the generating function may call
+    /// [`Circ::dynamic_lift`] — the QRAM model where circuit generation and
+    /// execution interleave (paper §4.3).
+    ///
+    /// This is the executor-agnostic entry point used by execution engines:
+    /// the backend decides *how* pending gates run (simulator, hardware);
+    /// this function only wires it into the generation context.
+    pub fn build_interactive<S: Shape, B: QCData>(
+        shape: &S,
+        lifter: Rc<RefCell<dyn Lifter>>,
+        f: impl FnOnce(&mut Circ, S::Q) -> B,
+    ) -> BCircuit {
+        let mut c = Circ::new();
+        c.set_lifter(lifter);
+        let input = c.input(shape);
+        let out = f(&mut c, input);
+        c.finish(&out)
     }
 
     // ------------------------------------------------------------------
@@ -283,7 +300,10 @@ impl Circ {
 
     /// Terminates a qubit, asserting it is in state |b⟩ (paper §4.2.2).
     pub fn qterm_bit(&mut self, b: bool, q: Qubit) {
-        self.emit(Gate::QTerm { value: b, wire: q.0 });
+        self.emit(Gate::QTerm {
+            value: b,
+            wire: q.0,
+        });
     }
 
     /// Terminates quantum data, asserting it equals the given parameter.
@@ -293,7 +313,10 @@ impl Circ {
 
     /// Terminates a classical bit, asserting its value.
     pub fn cterm_bit(&mut self, b: bool, x: Bit) {
-        self.emit(Gate::CTerm { value: b, wire: x.0 });
+        self.emit(Gate::CTerm {
+            value: b,
+            wire: x.0,
+        });
     }
 
     /// Discards a qubit without an assertion (possibly leaving a mixed
@@ -331,12 +354,22 @@ impl Circ {
 
     /// Applies a named single-qubit gate.
     pub fn gate(&mut self, name: GateName, q: Qubit) {
-        self.emit(Gate::QGate { name, inverted: false, targets: vec![q.0], controls: vec![] });
+        self.emit(Gate::QGate {
+            name,
+            inverted: false,
+            targets: vec![q.0],
+            controls: vec![],
+        });
     }
 
     /// Applies the inverse of a named single-qubit gate.
     pub fn gate_inv(&mut self, name: GateName, q: Qubit) {
-        self.emit(Gate::QGate { name, inverted: true, targets: vec![q.0], controls: vec![] });
+        self.emit(Gate::QGate {
+            name,
+            inverted: true,
+            targets: vec![q.0],
+            controls: vec![],
+        });
     }
 
     /// Hadamard gate.
@@ -446,7 +479,11 @@ impl Circ {
     pub fn controlled_not<Q: QCData>(&mut self, target: &Q, control: &Q) {
         let tw = target.wires();
         let cw = control.wires();
-        assert_eq!(tw.len(), cw.len(), "controlled_not: shapes of target and control differ");
+        assert_eq!(
+            tw.len(),
+            cw.len(),
+            "controlled_not: shapes of target and control differ"
+        );
         for (&(t, _), &(c, _)) in tw.iter().zip(cw.iter()) {
             self.emit(Gate::cnot(t, c));
         }
@@ -487,7 +524,10 @@ impl Circ {
 
     /// A global phase e^{iπ·angle}.
     pub fn gphase(&mut self, angle: f64) {
-        self.emit(Gate::GPhase { angle, controls: vec![] });
+        self.emit(Gate::GPhase {
+            angle,
+            controls: vec![],
+        });
     }
 
     /// A custom named gate on arbitrarily many target qubits.
@@ -502,7 +542,10 @@ impl Circ {
 
     /// Inserts a comment into the circuit.
     pub fn comment(&mut self, text: &str) {
-        self.emit(Gate::Comment { text: text.to_string(), labels: vec![] });
+        self.emit(Gate::Comment {
+            text: text.to_string(),
+            labels: vec![],
+        });
     }
 
     /// Inserts a comment labeling the wires of `data` as `name[0]`,
@@ -528,7 +571,10 @@ impl Circ {
                 i += 1;
             });
         }
-        self.emit(Gate::Comment { text: text.to_string(), labels });
+        self.emit(Gate::Comment {
+            text: text.to_string(),
+            labels,
+        });
     }
 
     // ------------------------------------------------------------------
@@ -877,7 +923,13 @@ impl Circ {
         // wires shaped like the definition's inputs, i.e. like `shape`.
         let def_inputs: Vec<(Wire, WireType)> = {
             let shared = self.shared.borrow();
-            shared.db.get(id).expect("box just ensured").circuit.inputs.clone()
+            shared
+                .db
+                .get(id)
+                .expect("box just ensured")
+                .circuit
+                .inputs
+                .clone()
         };
         let ins = input.wires();
         let in_wires: Vec<Wire> = ins.iter().map(|&(w, _)| w).collect();
@@ -1061,7 +1113,10 @@ mod tests {
 
     fn not_count(bc: &BCircuit, pos: u16, neg: u16) -> u128 {
         bc.gate_count().get(&GateClass {
-            kind: ClassKind::Unitary { name: GateName::X, inverted: false },
+            kind: ClassKind::Unitary {
+                name: GateName::X,
+                inverted: false,
+            },
             pos,
             neg,
         })
@@ -1081,13 +1136,16 @@ mod tests {
 
     #[test]
     fn with_controls_adds_controls_to_block() {
-        let bc = Circ::build(&(false, false, false), |c, (a, b, ctl): (Qubit, Qubit, Qubit)| {
-            c.with_controls(&ctl, |c| {
-                c.cnot(b, a);
-                c.hadamard(a);
-            });
-            (a, b, ctl)
-        });
+        let bc = Circ::build(
+            &(false, false, false),
+            |c, (a, b, ctl): (Qubit, Qubit, Qubit)| {
+                c.with_controls(&ctl, |c| {
+                    c.cnot(b, a);
+                    c.hadamard(a);
+                });
+                (a, b, ctl)
+            },
+        );
         bc.validate().unwrap();
         // The CNOT gained a control: it now has 2.
         assert_eq!(not_count(&bc, 2, 0), 1);
@@ -1176,7 +1234,7 @@ mod tests {
     fn reverse_simple_inverts_a_function() {
         // f adds an X then an S to one qubit; its reverse is S† then X.
         let bc = Circ::build(&false, |c, q: Qubit| {
-            let q2 = c.reverse_simple(
+            c.reverse_simple(
                 &false,
                 |c, q: Qubit| {
                     c.qnot(q);
@@ -1184,8 +1242,7 @@ mod tests {
                     q
                 },
                 q,
-            );
-            q2
+            )
         });
         bc.validate().unwrap();
         let text = quipper_circuit::print::to_text(&bc);

@@ -157,7 +157,9 @@ impl Dag {
             // Inputs are always the first n nodes, never deduplicated away.
             inner.nodes.push(Node::Input(i));
         }
-        Dag { inner: Rc::new(RefCell::new(inner)) }
+        Dag {
+            inner: Rc::new(RefCell::new(inner)),
+        }
     }
 
     /// One-shot construction: create a builder with `n_inputs` inputs, run
@@ -172,13 +174,21 @@ impl Dag {
     /// The input expressions, in order.
     pub fn inputs(&self) -> Vec<BExpr> {
         let n = self.inner.borrow().n_inputs;
-        (0..n).map(|i| BExpr { id: i, dag: Rc::clone(&self.inner) }).collect()
+        (0..n)
+            .map(|i| BExpr {
+                id: i,
+                dag: Rc::clone(&self.inner),
+            })
+            .collect()
     }
 
     /// A constant expression.
     pub fn constant(&self, b: bool) -> BExpr {
         let id = self.inner.borrow_mut().mk(Node::Const(b));
-        BExpr { id, dag: Rc::clone(&self.inner) }
+        BExpr {
+            id,
+            dag: Rc::clone(&self.inner),
+        }
     }
 
     /// Freezes the DAG with the given outputs.
@@ -198,7 +208,11 @@ impl Dag {
                 e.id
             })
             .collect();
-        CDag { nodes: inner.nodes.clone(), n_inputs: inner.n_inputs, outputs: outs }
+        CDag {
+            nodes: inner.nodes.clone(),
+            n_inputs: inner.n_inputs,
+            outputs: outs,
+        }
     }
 }
 
@@ -369,7 +383,11 @@ impl CDag {
     ///
     /// Panics if `inputs` has the wrong length.
     pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
-        assert_eq!(inputs.len(), self.n_inputs as usize, "eval: wrong number of inputs");
+        assert_eq!(
+            inputs.len(),
+            self.n_inputs as usize,
+            "eval: wrong number of inputs"
+        );
         let mut vals: Vec<bool> = Vec::with_capacity(self.nodes.len());
         for n in &self.nodes {
             let v = match *n {

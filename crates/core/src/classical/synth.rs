@@ -30,7 +30,10 @@ impl Rep {
     fn control(self) -> Option<Control> {
         match self {
             Rep::Const(_) => None,
-            Rep::Wire(q, negated) => Some(Control { wire: q.wire(), positive: !negated }),
+            Rep::Wire(q, negated) => Some(Control {
+                wire: q.wire(),
+                positive: !negated,
+            }),
         }
     }
 }
@@ -245,7 +248,11 @@ pub fn synthesize_staged(
                 carriers[i] = Some(q);
             }
             let mut all_carriers: Vec<Qubit> = Vec::new();
-            let n_stages = dag.nodes.len().saturating_sub(n_inputs).div_ceil(stage_nodes);
+            let n_stages = dag
+                .nodes
+                .len()
+                .saturating_sub(n_inputs)
+                .div_ceil(stage_nodes);
             for stage in 0..n_stages {
                 let lo = n_inputs + stage * stage_nodes;
                 let hi = (lo + stage_nodes).min(dag.nodes.len());
@@ -279,8 +286,7 @@ pub fn synthesize_staged(
                 // stage scratch unwinds. (The representations are smuggled
                 // from the compute phase to the use phase through a cell —
                 // they are not wire data, so they cannot ride in `B`.)
-                let reps_cell: std::cell::RefCell<Vec<Rep>> =
-                    std::cell::RefCell::new(Vec::new());
+                let reps_cell: std::cell::RefCell<Vec<Rep>> = std::cell::RefCell::new(Vec::new());
                 let stage_carriers = c.with_computed(
                     |c| {
                         let (reps, scratch) = compute_stage(c, dag, &carriers, lo, hi);
@@ -315,8 +321,7 @@ pub fn synthesize_staged(
                         }
                     }
                     _ => {
-                        let src = carriers[o as usize]
-                            .expect("output node has a carrier");
+                        let src = carriers[o as usize].expect("output node has a carrier");
                         c.cnot(t, src);
                     }
                 }
@@ -353,9 +358,7 @@ fn compute_stage(
     };
     for idx in lo..hi {
         let rep = match dag.nodes[idx] {
-            Node::Input(i) => {
-                Rep::Wire(carriers[i as usize].expect("input carrier"), false)
-            }
+            Node::Input(i) => Rep::Wire(carriers[i as usize].expect("input carrier"), false),
             Node::Const(b) => Rep::Const(b),
             Node::Not(a) => complement(resolve(&reps, a)),
             Node::Xor(a, b) => {
@@ -412,16 +415,22 @@ mod tests {
         bc.validate().unwrap();
         let gc = bc.gate_count();
         assert_eq!(gc.qubits_in_circuit, 7);
-        assert_eq!(gc.by_name_any_controls("\"Not\""), gc.by_name("\"Not\"", 1, 0));
+        assert_eq!(
+            gc.by_name_any_controls("\"Not\""),
+            gc.by_name("\"Not\"", 1, 0)
+        );
     }
 
     #[test]
     fn parity_reversible_uncomputes_scratch() {
         let dag = parity_dag(4);
-        let bc = Circ::build(&(vec![false; 4], false), |c, (xs, t): (Vec<Qubit>, Qubit)| {
-            classical_to_reversible(c, &dag, &xs, &[t]);
-            (xs, t)
-        });
+        let bc = Circ::build(
+            &(vec![false; 4], false),
+            |c, (xs, t): (Vec<Qubit>, Qubit)| {
+                classical_to_reversible(c, &dag, &xs, &[t]);
+                (xs, t)
+            },
+        );
         bc.validate().unwrap();
         let gc = bc.gate_count();
         // Every init has a matching term: ancillas fully uncomputed.
@@ -452,7 +461,11 @@ mod tests {
             (xs, outs, scratch)
         });
         let gc = bc.gate_count();
-        assert_eq!(gc.by_name("\"Not\"", 0, 2), 1, "OR = Toffoli with two negative controls");
+        assert_eq!(
+            gc.by_name("\"Not\"", 0, 2),
+            1,
+            "OR = Toffoli with two negative controls"
+        );
     }
 
     #[test]
@@ -534,10 +547,13 @@ mod tests {
             let expected = input.iter().filter(|&&b| b).count() >= 2;
             assert_eq!(dag.eval(&input), vec![expected]);
         }
-        let bc = Circ::build(&(vec![false; 3], false), |c, (xs, t): (Vec<Qubit>, Qubit)| {
-            classical_to_reversible(c, &dag, &xs, &[t]);
-            (xs, t)
-        });
+        let bc = Circ::build(
+            &(vec![false; 3], false),
+            |c, (xs, t): (Vec<Qubit>, Qubit)| {
+                classical_to_reversible(c, &dag, &xs, &[t]);
+                (xs, t)
+            },
+        );
         bc.validate().unwrap();
     }
 }

@@ -31,9 +31,14 @@ impl CWord {
     ///
     /// Panics if `value` does not fit in `width` bits.
     pub fn constant(dag: &Dag, value: u64, width: usize) -> CWord {
-        assert!(width >= 64 || value < (1u64 << width), "constant {value} does not fit in {width} bits");
+        assert!(
+            width >= 64 || value < (1u64 << width),
+            "constant {value} does not fit in {width} bits"
+        );
         CWord {
-            bits: (0..width).map(|i| dag.constant(value >> i & 1 == 1)).collect(),
+            bits: (0..width)
+                .map(|i| dag.constant(value >> i & 1 == 1))
+                .collect(),
         }
     }
 
@@ -102,7 +107,9 @@ impl CWord {
     pub fn sub_full(&self, other: &CWord) -> (CWord, BExpr) {
         self.check_width(other, "sub_full");
         // a - b = a + ¬b + 1; borrow = ¬carry.
-        let not_b = CWord { bits: other.bits.iter().map(|b| !b).collect() };
+        let not_b = CWord {
+            bits: other.bits.iter().map(|b| !b).collect(),
+        };
         let one = self.bits[0].clone() ^ self.bits[0].clone(); // false
         let (sum, carry) = self.add_full(&not_b, Some(!one));
         (sum, !carry)
@@ -179,7 +186,9 @@ impl CWord {
 
     /// Extracts bits `[lo, hi)` as a new word.
     pub fn slice(&self, lo: usize, hi: usize) -> CWord {
-        CWord { bits: self.bits[lo..hi].to_vec() }
+        CWord {
+            bits: self.bits[lo..hi].to_vec(),
+        }
     }
 
     /// Rotate left by a constant (used by arithmetic modulo 2^w − 1, where
@@ -264,7 +273,12 @@ impl CWord {
     pub fn mux(sel: &BExpr, t: &CWord, e: &CWord) -> CWord {
         t.check_width(e, "mux");
         CWord {
-            bits: t.bits.iter().zip(e.bits.iter()).map(|(a, b)| sel.mux(a, b)).collect(),
+            bits: t
+                .bits
+                .iter()
+                .zip(e.bits.iter())
+                .map(|(a, b)| sel.mux(a, b))
+                .collect(),
         }
     }
 }
@@ -274,7 +288,14 @@ impl BitAnd for &CWord {
 
     fn bitand(self, rhs: &CWord) -> CWord {
         self.check_width(rhs, "bitand");
-        CWord { bits: self.bits.iter().zip(&rhs.bits).map(|(a, b)| a & b).collect() }
+        CWord {
+            bits: self
+                .bits
+                .iter()
+                .zip(&rhs.bits)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
     }
 }
 
@@ -283,7 +304,14 @@ impl BitOr for &CWord {
 
     fn bitor(self, rhs: &CWord) -> CWord {
         self.check_width(rhs, "bitor");
-        CWord { bits: self.bits.iter().zip(&rhs.bits).map(|(a, b)| a | b).collect() }
+        CWord {
+            bits: self
+                .bits
+                .iter()
+                .zip(&rhs.bits)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
     }
 }
 
@@ -292,7 +320,14 @@ impl BitXor for &CWord {
 
     fn bitxor(self, rhs: &CWord) -> CWord {
         self.check_width(rhs, "bitxor");
-        CWord { bits: self.bits.iter().zip(&rhs.bits).map(|(a, b)| a ^ b).collect() }
+        CWord {
+            bits: self
+                .bits
+                .iter()
+                .zip(&rhs.bits)
+                .map(|(a, b)| a ^ b)
+                .collect(),
+        }
     }
 }
 
@@ -300,7 +335,9 @@ impl Not for &CWord {
     type Output = CWord;
 
     fn not(self) -> CWord {
-        CWord { bits: self.bits.iter().map(|b| !b).collect() }
+        CWord {
+            bits: self.bits.iter().map(|b| !b).collect(),
+        }
     }
 }
 
@@ -322,9 +359,13 @@ mod tests {
         let b = CWord::from_bits(inputs[width..].to_vec());
         let out = build(&a, &b);
         let frozen = dag.finish(out.bits());
-        let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
-        for &x in &[0u64, 1, 2, 3, 5, 11, 13, (1 << width as u64) - 1 & mask] {
-            for &y in &[0u64, 1, 2, 6, 7, 12, (1 << width as u64) - 1 & mask] {
+        let mask = if width >= 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
+        for &x in &[0u64, 1, 2, 3, 5, 11, 13, ((1 << width as u64) - 1) & mask] {
+            for &y in &[0u64, 1, 2, 6, 7, 12, ((1 << width as u64) - 1) & mask] {
                 let x = x & mask;
                 let y = y & mask;
                 let mut bits = Vec::new();
@@ -369,17 +410,27 @@ mod tests {
 
     #[test]
     fn comparisons_match() {
-        check_binop(5, |a, b| CWord::from_bits(vec![a.lt(b)]), |x, y| u64::from(x < y));
-        check_binop(5, |a, b| CWord::from_bits(vec![a.eq_word(b)]), |x, y| u64::from(x == y));
+        check_binop(
+            5,
+            |a, b| CWord::from_bits(vec![a.lt(b)]),
+            |x, y| u64::from(x < y),
+        );
+        check_binop(
+            5,
+            |a, b| CWord::from_bits(vec![a.eq_word(b)]),
+            |x, y| u64::from(x == y),
+        );
     }
 
     #[test]
     fn shifts_and_rotations() {
         check_binop(8, |a, _| a.shl_const(3), |x, _| x << 3);
         check_binop(8, |a, _| a.shr_const(2), |x, _| x >> 2);
-        check_binop(8, |a, _| a.rotate_left(3), |x, _| {
-            ((x << 3) | (x >> 5)) & 0xff
-        });
+        check_binop(
+            8,
+            |a, _| a.rotate_left(3),
+            |x, _| ((x << 3) | (x >> 5)) & 0xff,
+        );
     }
 
     #[test]
@@ -402,10 +453,14 @@ mod tests {
 
     #[test]
     fn mul_const_matches_u64() {
-        check_binop(6, |a, _| {
-            // Rebuild the constant inside the same dag via a trick: mul by 11.
-            a.shl_const(0).add(&a.shl_const(1)).add(&a.shl_const(3))
-        }, |x, _| x * 11);
+        check_binop(
+            6,
+            |a, _| {
+                // Rebuild the constant inside the same dag via a trick: mul by 11.
+                a.shl_const(0).add(&a.shl_const(1)).add(&a.shl_const(3))
+            },
+            |x, _| x * 11,
+        );
     }
 
     #[test]
@@ -442,7 +497,7 @@ mod tests {
                 .iter()
                 .enumerate()
                 .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
-            assert_eq!(got, x * 13 & 0x3f, "{x}·13 mod 64");
+            assert_eq!(got, (x * 13) & 0x3f, "{x}·13 mod 64");
         }
     }
 
@@ -451,6 +506,9 @@ mod tests {
         let dag = Dag::new(0);
         let c = CWord::constant(&dag, 0b1011, 6);
         let frozen = dag.finish(c.bits());
-        assert_eq!(frozen.eval(&[]), vec![true, true, false, true, false, false]);
+        assert_eq!(
+            frozen.eval(&[]),
+            vec![true, true, false, true, false, false]
+        );
     }
 }

@@ -100,7 +100,10 @@ pub struct Resources {
 pub fn resources(bc: &BCircuit) -> Resources {
     let ct = decompose(GateBase::CliffordT, bc);
     let gc = ct.gate_count();
-    let mut r = Resources { qubits: gc.qubits_in_circuit, ..Resources::default() };
+    let mut r = Resources {
+        qubits: gc.qubits_in_circuit,
+        ..Resources::default()
+    };
     for (class, n) in &gc.counts {
         use quipper_circuit::ClassKind;
         match &class.kind {
@@ -109,7 +112,11 @@ pub fn resources(bc: &BCircuit) -> Resources {
                 match (name, controls) {
                     (GateName::T, 0) => r.t_count += n,
                     (
-                        GateName::H | GateName::S | GateName::X | GateName::Y | GateName::Z
+                        GateName::H
+                        | GateName::S
+                        | GateName::X
+                        | GateName::Y
+                        | GateName::Z
                         | GateName::Swap,
                         0,
                     ) => r.clifford_count += n,
@@ -163,7 +170,10 @@ fn reduce_controls(out: &mut Rewriter, controls: &[Control]) -> (Control, Vec<Ga
     let mut undo: Vec<Gate> = Vec::new();
     for (g, a) in steps.into_iter().rev() {
         undo.push(g);
-        undo.push(Gate::QTerm { value: false, wire: a });
+        undo.push(Gate::QTerm {
+            value: false,
+            wire: a,
+        });
     }
     (Control::positive(acc), undo)
 }
@@ -177,13 +187,34 @@ fn emit_with_reduced_controls(out: &mut Rewriter, gate: Gate, budget: usize) {
     }
     let (kept, undo) = reduce_controls(out, &controls);
     let reduced = match gate {
-        Gate::QGate { name, inverted, targets, .. } => {
-            Gate::QGate { name, inverted, targets, controls: vec![kept] }
-        }
-        Gate::QRot { name, inverted, angle, targets, .. } => {
-            Gate::QRot { name, inverted, angle, targets, controls: vec![kept] }
-        }
-        Gate::GPhase { angle, .. } => Gate::GPhase { angle, controls: vec![kept] },
+        Gate::QGate {
+            name,
+            inverted,
+            targets,
+            ..
+        } => Gate::QGate {
+            name,
+            inverted,
+            targets,
+            controls: vec![kept],
+        },
+        Gate::QRot {
+            name,
+            inverted,
+            angle,
+            targets,
+            ..
+        } => Gate::QRot {
+            name,
+            inverted,
+            angle,
+            targets,
+            controls: vec![kept],
+        },
+        Gate::GPhase { angle, .. } => Gate::GPhase {
+            angle,
+            controls: vec![kept],
+        },
         other => other,
     };
     out.emit(reduced);
@@ -216,12 +247,20 @@ struct BinaryPass;
 impl Transformer for BinaryPass {
     fn transform_gate(&mut self, gate: &Gate, out: &mut Rewriter) {
         match gate {
-            Gate::QGate { name: GateName::X, inverted: _, targets, controls }
-                if controls.len() == 2 =>
-            {
+            Gate::QGate {
+                name: GateName::X,
+                inverted: _,
+                targets,
+                controls,
+            } if controls.len() == 2 => {
                 emit_ccx(out, targets[0], controls[0], controls[1]);
             }
-            Gate::QGate { name: GateName::Swap, inverted: _, targets, controls } => {
+            Gate::QGate {
+                name: GateName::Swap,
+                inverted: _,
+                targets,
+                controls,
+            } => {
                 let (a, b) = (targets[0], targets[1]);
                 match controls.len() {
                     0 => {
@@ -238,9 +277,12 @@ impl Transformer for BinaryPass {
                     }
                 }
             }
-            Gate::QGate { name: GateName::W, inverted, targets, controls }
-                if !controls.is_empty() =>
-            {
+            Gate::QGate {
+                name: GateName::W,
+                inverted,
+                targets,
+                controls,
+            } if !controls.is_empty() => {
                 // W(a,b) = CX(b; ctl a) · CH(a; ctl b) · CX(b; ctl a); controlling W
                 // only requires controlling the middle Hadamard. W is
                 // self-conjugate under this expansion except for the H
@@ -278,10 +320,20 @@ struct CliffordTPass;
 impl Transformer for CliffordTPass {
     fn transform_gate(&mut self, gate: &Gate, out: &mut Rewriter) {
         match gate {
-            Gate::QGate { name: GateName::X, targets, controls, .. } if controls.len() == 2 => {
+            Gate::QGate {
+                name: GateName::X,
+                targets,
+                controls,
+                ..
+            } if controls.len() == 2 => {
                 emit_ccx_clifford_t(out, targets[0], controls[0], controls[1]);
             }
-            Gate::QGate { name: GateName::V, inverted, targets, controls } => {
+            Gate::QGate {
+                name: GateName::V,
+                inverted,
+                targets,
+                controls,
+            } => {
                 let t = targets[0];
                 emit_h(out, t);
                 match controls.len() {
@@ -290,19 +342,28 @@ impl Transformer for CliffordTPass {
                 }
                 emit_h(out, t);
             }
-            Gate::QGate { name: GateName::S, inverted, targets, controls }
-                if controls.len() == 1 =>
-            {
+            Gate::QGate {
+                name: GateName::S,
+                inverted,
+                targets,
+                controls,
+            } if controls.len() == 1 => {
                 emit_cs(out, controls[0], targets[0], *inverted);
             }
-            Gate::QGate { name: GateName::H, targets, controls, .. }
-                if controls.len() == 1 =>
-            {
+            Gate::QGate {
+                name: GateName::H,
+                targets,
+                controls,
+                ..
+            } if controls.len() == 1 => {
                 emit_ch(out, controls[0], targets[0]);
             }
-            Gate::QGate { name: GateName::Y, targets, controls, .. }
-                if controls.len() == 1 =>
-            {
+            Gate::QGate {
+                name: GateName::Y,
+                targets,
+                controls,
+                ..
+            } if controls.len() == 1 => {
                 // CY = S(t) · CX · S†(t): time order S†, CNOT, S.
                 let t = targets[0];
                 emit_s(out, t, true);
@@ -314,7 +375,12 @@ impl Transformer for CliffordTPass {
                 });
                 emit_s(out, t, false);
             }
-            Gate::QGate { name: GateName::Swap, targets, controls, .. } => {
+            Gate::QGate {
+                name: GateName::Swap,
+                targets,
+                controls,
+                ..
+            } => {
                 let (a, b) = (targets[0], targets[1]);
                 match controls.len() {
                     0 => {
@@ -329,7 +395,12 @@ impl Transformer for CliffordTPass {
                     }
                 }
             }
-            Gate::QGate { name: GateName::W, targets, controls, .. } => {
+            Gate::QGate {
+                name: GateName::W,
+                targets,
+                controls,
+                ..
+            } => {
                 // W(a, b) = CX(a; b) · CH(a; b∧controls) · CX(a; b); the
                 // Toffoli pass guarantees at most one extra control, which
                 // the CH absorbs via an ancilla conjunction.
@@ -356,11 +427,21 @@ fn emit_h(out: &mut Rewriter, t: Wire) {
 }
 
 fn emit_s(out: &mut Rewriter, t: Wire, inverted: bool) {
-    out.emit(Gate::QGate { name: GateName::S, inverted, targets: vec![t], controls: vec![] });
+    out.emit(Gate::QGate {
+        name: GateName::S,
+        inverted,
+        targets: vec![t],
+        controls: vec![],
+    });
 }
 
 fn emit_t(out: &mut Rewriter, t: Wire, inverted: bool) {
-    out.emit(Gate::QGate { name: GateName::T, inverted, targets: vec![t], controls: vec![] });
+    out.emit(Gate::QGate {
+        name: GateName::T,
+        inverted,
+        targets: vec![t],
+        controls: vec![],
+    });
 }
 
 fn emit_cnot(out: &mut Rewriter, t: Wire, c: Wire) {
@@ -510,7 +591,7 @@ mod tests {
         binary.validate().unwrap();
         let gc = binary.gate_count();
         // All gates touch at most 2 wires.
-        for (class, _) in &gc.counts {
+        for class in gc.counts.keys() {
             assert!(
                 class.pos + class.neg <= 1,
                 "gate {class} still has more than one control"
@@ -531,7 +612,7 @@ mod tests {
         let toff = decompose(GateBase::Toffoli, &bc);
         toff.validate().unwrap();
         let gc = toff.gate_count();
-        for (class, _) in &gc.counts {
+        for class in gc.counts.keys() {
             assert!(class.pos + class.neg <= 2);
         }
         // 4 controls → chain of 3 compute Toffolis + 1 target CNOT-on-ancilla
@@ -553,7 +634,7 @@ mod tests {
         let gc = bin.gate_count();
         // 2 conjugating X gates (uncontrolled) around the expansion.
         assert_eq!(gc.by_name("\"Not\"", 0, 0), 2);
-        for (class, _) in &gc.counts {
+        for class in gc.counts.keys() {
             assert!(class.pos + class.neg <= 1);
         }
     }
@@ -566,7 +647,7 @@ mod tests {
         });
         let bin = decompose(GateBase::Binary, &bc);
         bin.validate().unwrap();
-        for (class, _) in &bin.gate_count().counts {
+        for class in bin.gate_count().counts.keys() {
             assert!(class.pos + class.neg <= 1, "{class} not binary");
         }
     }
@@ -596,8 +677,10 @@ mod tests {
             let input: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
             let r = quipper_sim::run(&ct, &input, 1).unwrap();
             let wires: Vec<_> = r.outputs.iter().map(|&(w, _)| w).collect();
-            let got: Vec<bool> =
-                wires.iter().map(|&w| r.state.probability(w, true) > 0.5).collect();
+            let got: Vec<bool> = wires
+                .iter()
+                .map(|&w| r.state.probability(w, true) > 0.5)
+                .collect();
             let mut want = input.clone();
             want[2] ^= input[0] && input[1];
             assert_eq!(got, want, "CCX on {bits:03b}");
@@ -696,7 +779,10 @@ mod tests {
                     .map(|(i, &(w, _))| (w, pattern >> i & 1 == 1))
                     .collect::<Vec<_>>(),
             );
-            assert!((pn - pe).abs() < 1e-9, "pattern {pattern:03b}: {pn} vs {pe}");
+            assert!(
+                (pn - pe).abs() < 1e-9,
+                "pattern {pattern:03b}: {pn} vs {pe}"
+            );
         }
     }
 
@@ -726,11 +812,10 @@ mod tests {
     #[test]
     fn decompose_preserves_hierarchy() {
         let bc = Circ::build(&vec![false; 3], |c, qs: Vec<Qubit>| {
-            let qs = c.box_circ("tof", qs, |c, qs: Vec<Qubit>| {
+            c.box_circ("tof", qs, |c, qs: Vec<Qubit>| {
                 c.toffoli(qs[0], qs[1], qs[2]);
                 qs
-            });
-            qs
+            })
         });
         let bin = decompose(GateBase::Binary, &bc);
         bin.validate().unwrap();

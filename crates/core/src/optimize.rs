@@ -84,16 +84,21 @@ fn optimize_circuit(
         .gates
         .iter()
         .map(|g| match g {
-            Gate::Subroutine { id, inverted, inputs, outputs, controls, repetitions } => {
-                Gate::Subroutine {
-                    id: *(id_map.get(id).unwrap_or(id)),
-                    inverted: *inverted,
-                    inputs: inputs.clone(),
-                    outputs: outputs.clone(),
-                    controls: controls.clone(),
-                    repetitions: *repetitions,
-                }
-            }
+            Gate::Subroutine {
+                id,
+                inverted,
+                inputs,
+                outputs,
+                controls,
+                repetitions,
+            } => Gate::Subroutine {
+                id: *(id_map.get(id).unwrap_or(id)),
+                inverted: *inverted,
+                inputs: inputs.clone(),
+                outputs: outputs.clone(),
+                controls: controls.clone(),
+                repetitions: *repetitions,
+            },
             g => g.clone(),
         })
         .collect();
@@ -139,8 +144,20 @@ fn are_inverse(prev: &Gate, g: &Gate) -> bool {
 fn fuse(prev: &Gate, g: &Gate) -> Option<Option<Gate>> {
     match (prev, g) {
         (
-            Gate::QRot { name: n1, inverted: i1, angle: a1, targets: t1, controls: c1 },
-            Gate::QRot { name: n2, inverted: i2, angle: a2, targets: t2, controls: c2 },
+            Gate::QRot {
+                name: n1,
+                inverted: i1,
+                angle: a1,
+                targets: t1,
+                controls: c1,
+            },
+            Gate::QRot {
+                name: n2,
+                inverted: i2,
+                angle: a2,
+                targets: t2,
+                controls: c2,
+            },
         ) if n1 == n2 && t1 == t2 && c1 == c2 => {
             let s1 = if *i1 { -a1 } else { *a1 };
             let s2 = if *i2 { -a2 } else { *a2 };
@@ -157,14 +174,24 @@ fn fuse(prev: &Gate, g: &Gate) -> Option<Option<Gate>> {
                 }))
             }
         }
-        (Gate::GPhase { angle: a1, controls: c1 }, Gate::GPhase { angle: a2, controls: c2 })
-            if c1 == c2 =>
-        {
+        (
+            Gate::GPhase {
+                angle: a1,
+                controls: c1,
+            },
+            Gate::GPhase {
+                angle: a2,
+                controls: c2,
+            },
+        ) if c1 == c2 => {
             let sum = a1 + a2;
             if sum.abs() < 1e-15 {
                 Some(None)
             } else {
-                Some(Some(Gate::GPhase { angle: sum, controls: c1.clone() }))
+                Some(Some(Gate::GPhase {
+                    angle: sum,
+                    controls: c1.clone(),
+                }))
             }
         }
         _ => None,
@@ -224,7 +251,9 @@ fn remove_dead_ancillas(gates: &mut Vec<Gate>, stats: &mut OptStats) {
             Gate::CInit { wire, value } => Some((*wire, *value, true)),
             _ => None,
         };
-        let Some((w, v, classical)) = wire else { continue };
+        let Some((w, v, classical)) = wire else {
+            continue;
+        };
         if remove.contains(&i) {
             continue;
         }
@@ -235,12 +264,18 @@ fn remove_dead_ancillas(gates: &mut Vec<Gate>, stats: &mut OptStats) {
                 continue;
             }
             match g {
-                Gate::QTerm { wire: tw, value: tv } if !classical && *tw == w && *tv == v => {
+                Gate::QTerm {
+                    wire: tw,
+                    value: tv,
+                } if !classical && *tw == w && *tv == v => {
                     remove.insert(i);
                     remove.insert(j);
                     stats.dead_ancillas += 1;
                 }
-                Gate::CTerm { wire: tw, value: tv } if classical && *tw == w && *tv == v => {
+                Gate::CTerm {
+                    wire: tw,
+                    value: tv,
+                } if classical && *tw == w && *tv == v => {
                     remove.insert(i);
                     remove.insert(j);
                     stats.dead_ancillas += 1;

@@ -233,13 +233,19 @@ impl ControlSpec for Bit {
 /// control (fires on |0⟩).
 impl ControlSpec for (Qubit, bool) {
     fn to_controls(&self) -> Vec<quipper_circuit::Control> {
-        vec![quipper_circuit::Control { wire: self.0 .0, positive: self.1 }]
+        vec![quipper_circuit::Control {
+            wire: self.0 .0,
+            positive: self.1,
+        }]
     }
 }
 
 impl ControlSpec for (Bit, bool) {
     fn to_controls(&self) -> Vec<quipper_circuit::Control> {
-        vec![quipper_circuit::Control { wire: self.0 .0, positive: self.1 }]
+        vec![quipper_circuit::Control {
+            wire: self.0 .0,
+            positive: self.1,
+        }]
     }
 }
 

@@ -81,6 +81,9 @@ mod tests {
         let rots = gc.by_name_any_controls("R(2pi/%)");
         // Half the rotations are inverted, half are not.
         assert_eq!(rots, (n * (n - 1)) as u128);
-        assert_eq!(gc.by_name_any_controls("R(2pi/%)*"), (n * (n - 1) / 2) as u128);
+        assert_eq!(
+            gc.by_name_any_controls("R(2pi/%)*"),
+            (n * (n - 1) / 2) as u128
+        );
     }
 }

@@ -306,10 +306,7 @@ mod tests {
 
     #[test]
     fn qinit_of_vec_allocates_all_bits() {
-        let bc = Circ::build(&(), |c, ()| {
-            let qs = c.qinit(&vec![true, false, true]);
-            qs
-        });
+        let bc = Circ::build(&(), |c, ()| c.qinit(&vec![true, false, true]));
         bc.validate().unwrap();
         let gc = bc.gate_count();
         assert_eq!(gc.by_name("Init1", 0, 0), 2);
@@ -332,7 +329,11 @@ mod tests {
             c.measure(data)
         });
         bc.validate().unwrap();
-        assert!(bc.main.outputs.iter().all(|&(_, t)| t == WireType::Classical));
+        assert!(bc
+            .main
+            .outputs
+            .iter()
+            .all(|&(_, t)| t == WireType::Classical));
         assert_eq!(bc.gate_count().by_name("Meas", 0, 0), 3);
     }
 

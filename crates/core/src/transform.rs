@@ -38,13 +38,19 @@ impl Rewriter {
     /// Allocates and initializes a fresh ancilla qubit in state |0⟩.
     pub fn ancilla(&mut self) -> Wire {
         let w = self.fresh_wire();
-        self.emit(Gate::QInit { value: false, wire: w });
+        self.emit(Gate::QInit {
+            value: false,
+            wire: w,
+        });
         w
     }
 
     /// Terminates an ancilla, asserting |0⟩.
     pub fn release(&mut self, w: Wire) {
-        self.emit(Gate::QTerm { value: false, wire: w });
+        self.emit(Gate::QTerm {
+            value: false,
+            wire: w,
+        });
     }
 }
 
@@ -97,10 +103,20 @@ fn transform_circuit(
     circuit: &Circuit,
     id_map: &HashMap<BoxId, BoxId>,
 ) -> Circuit {
-    let mut rw = Rewriter { gates: Vec::new(), next_wire: circuit.wire_bound };
+    let mut rw = Rewriter {
+        gates: Vec::new(),
+        next_wire: circuit.wire_bound,
+    };
     for gate in &circuit.gates {
         match gate {
-            Gate::Subroutine { id, inverted, inputs, outputs, controls, repetitions } => {
+            Gate::Subroutine {
+                id,
+                inverted,
+                inputs,
+                outputs,
+                controls,
+                repetitions,
+            } => {
                 rw.emit(Gate::Subroutine {
                     id: *(id_map
                         .get(id)
@@ -137,7 +153,12 @@ mod tests {
     impl Transformer for HToXzx {
         fn transform_gate(&mut self, gate: &Gate, out: &mut Rewriter) {
             match gate {
-                Gate::QGate { name: GateName::H, targets, controls, .. } => {
+                Gate::QGate {
+                    name: GateName::H,
+                    targets,
+                    controls,
+                    ..
+                } => {
                     for n in [GateName::X, GateName::Z, GateName::X] {
                         out.emit(Gate::QGate {
                             name: n,

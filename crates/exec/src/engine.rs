@@ -1,0 +1,576 @@
+//! The execution engine: jobs, backend routing, shot scheduling, reports.
+//!
+//! [`Engine`] fronts every run function behind one subsystem. A [`Job`]
+//! couples a circuit with inputs, a shot count and a base seed; the engine
+//! compiles the circuit through its [`PlanCache`], routes the plan to the
+//! cheapest capable [`Backend`], fans the shots out over a worker pool, and
+//! returns an [`ExecResult`] whose [`ExecReport`] records what happened.
+//!
+//! # Determinism
+//!
+//! Shot `i` always runs with seed `base_seed + i`, regardless of which worker
+//! executes it, and per-shot outcomes are merged into a histogram by
+//! commutative addition before a canonical sort (count descending, then
+//! pattern ascending). Parallel results are therefore bit-identical to
+//! sequential ones for the same base seed.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use quipper::{Circ, QCData, Shape};
+use quipper_circuit::BCircuit;
+
+use crate::backend::{
+    Backend, ClassicalBackend, CountingBackend, ResourceEstimate, StabilizerBackend,
+    StateVecBackend,
+};
+use crate::error::ExecError;
+use crate::plan::{Plan, PlanCache};
+
+/// Tuning knobs for [`Engine::with_config`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads for multi-shot fan-out; `1` runs everything inline.
+    pub workers: usize,
+    /// Peak live-qubit cap for the state-vector backend.
+    pub max_qubits: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            max_qubits: crate::backend::DEFAULT_MAX_QUBITS,
+        }
+    }
+}
+
+/// A unit of work: one circuit, its basis-state inputs, how many shots to
+/// run, and the base seed. Built fluently:
+///
+/// ```ignore
+/// let result = engine.run(&Job::new(&circuit).shots(1000).seed(42))?;
+/// ```
+#[derive(Clone, Debug)]
+pub struct Job<'a> {
+    circuit: &'a BCircuit,
+    inputs: Vec<bool>,
+    shots: u64,
+    base_seed: u64,
+    backend: Option<String>,
+}
+
+impl<'a> Job<'a> {
+    /// A single-shot job with no inputs and seed 0.
+    pub fn new(circuit: &'a BCircuit) -> Job<'a> {
+        Job {
+            circuit,
+            inputs: Vec::new(),
+            shots: 1,
+            base_seed: 0,
+            backend: None,
+        }
+    }
+
+    /// Sets the basis-state values of the circuit's input wires.
+    pub fn inputs(mut self, inputs: Vec<bool>) -> Self {
+        self.inputs = inputs;
+        self
+    }
+
+    /// Sets the number of shots.
+    pub fn shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Sets the base seed; shot `i` runs with seed `base_seed + i`.
+    pub fn seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Pins the job to a named backend instead of auto-selection.
+    pub fn on_backend(mut self, name: &str) -> Self {
+        self.backend = Some(name.to_string());
+        self
+    }
+}
+
+/// What the engine did for one job, attached to every [`ExecResult`].
+#[derive(Clone, Debug)]
+pub struct ExecReport {
+    /// Which backend executed the shots.
+    pub backend: &'static str,
+    /// Number of shots run.
+    pub shots: u64,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Whether the compiled plan came from the cache.
+    pub cache_hit: bool,
+    /// Structural fingerprint of the circuit (the cache key).
+    pub fingerprint: u64,
+    /// Wall-clock execution time (excluding plan compilation).
+    pub wall: Duration,
+}
+
+impl fmt::Display for ExecReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} shot{} on `{}` ({} worker{}, plan {:#018x} {}) in {:.3?}",
+            self.shots,
+            if self.shots == 1 { "" } else { "s" },
+            self.backend,
+            self.workers,
+            if self.workers == 1 { "" } else { "s" },
+            self.fingerprint,
+            if self.cache_hit { "cached" } else { "compiled" },
+            self.wall,
+        )
+    }
+}
+
+/// The outcome histogram of a job plus its report.
+#[derive(Clone, Debug)]
+pub struct ExecResult {
+    /// Distinct output bit patterns with their occurrence counts, sorted by
+    /// count descending, ties broken by pattern ascending.
+    pub histogram: Vec<(Vec<bool>, u64)>,
+    /// What the engine did.
+    pub report: ExecReport,
+}
+
+impl ExecResult {
+    /// The most frequent output pattern, if any shots ran.
+    pub fn most_frequent(&self) -> Option<&[bool]> {
+        self.histogram.first().map(|(p, _)| p.as_slice())
+    }
+
+    /// How many shots produced exactly this pattern.
+    pub fn count_of(&self, pattern: &[bool]) -> u64 {
+        self.histogram
+            .iter()
+            .find(|(p, _)| p == pattern)
+            .map_or(0, |&(_, n)| n)
+    }
+}
+
+/// Cumulative engine counters, snapshot via [`Engine::stats`].
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Jobs executed successfully.
+    pub jobs: u64,
+    /// Total shots executed.
+    pub shots: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses (compilations).
+    pub cache_misses: u64,
+    /// Distinct plans currently cached.
+    pub cached_plans: usize,
+    /// Jobs per backend, sorted by backend name.
+    pub backend_jobs: Vec<(&'static str, u64)>,
+    /// Interactive (dynamic-lifting) builds executed.
+    pub interactive_runs: u64,
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "jobs: {} ({} shots)", self.jobs, self.shots)?;
+        writeln!(
+            f,
+            "plan cache: {} hits, {} misses, {} cached",
+            self.cache_hits, self.cache_misses, self.cached_plans
+        )?;
+        write!(f, "backends:")?;
+        for (name, n) in &self.backend_jobs {
+            write!(f, " {name}={n}")?;
+        }
+        if self.interactive_runs > 0 {
+            write!(f, "\ninteractive runs: {}", self.interactive_runs)?;
+        }
+        Ok(())
+    }
+}
+
+/// The execution engine: registered backends in routing order, the plan
+/// cache, and the worker pool width. Shared freely across threads.
+pub struct Engine {
+    backends: Vec<Arc<dyn Backend>>,
+    counting: CountingBackend,
+    cache: PlanCache,
+    workers: usize,
+    jobs: AtomicU64,
+    shots: AtomicU64,
+    interactive_runs: AtomicU64,
+    backend_jobs: Mutex<HashMap<&'static str, u64>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with the default configuration: all built-in backends, one
+    /// worker per hardware thread.
+    pub fn new() -> Engine {
+        Engine::with_config(EngineConfig::default())
+    }
+
+    /// An engine with explicit worker count and state-vector width cap.
+    ///
+    /// Backends are registered cheapest-first; auto-selection takes the first
+    /// one that admits the circuit: classical (linear) over stabilizer
+    /// (polynomial) over state-vector (exponential).
+    pub fn with_config(config: EngineConfig) -> Engine {
+        Engine {
+            backends: vec![
+                Arc::new(ClassicalBackend),
+                Arc::new(StabilizerBackend),
+                Arc::new(StateVecBackend {
+                    max_qubits: config.max_qubits,
+                }),
+            ],
+            counting: CountingBackend,
+            cache: PlanCache::new(),
+            workers: config.workers.max(1),
+            jobs: AtomicU64::new(0),
+            shots: AtomicU64::new(0),
+            interactive_runs: AtomicU64::new(0),
+            backend_jobs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The registered backends, in routing order.
+    pub fn backends(&self) -> impl Iterator<Item = &dyn Backend> {
+        self.backends.iter().map(|b| &**b)
+    }
+
+    /// Compiles (or fetches from cache) the plan for a circuit. Useful for
+    /// inspecting the profile the router will see.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Circuit`] if validation or flattening fails.
+    pub fn plan(&self, circuit: &BCircuit) -> Result<Arc<Plan>, ExecError> {
+        Ok(self.cache.get_or_compile(circuit)?.0)
+    }
+
+    /// Which backend auto-selection would route this circuit to.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::run`], minus execution errors.
+    pub fn select_backend(&self, circuit: &BCircuit) -> Result<&'static str, ExecError> {
+        let (plan, _) = self.cache.get_or_compile(circuit)?;
+        Ok(self.route(&plan, None)?.name())
+    }
+
+    fn route(&self, plan: &Plan, pinned: Option<&str>) -> Result<&dyn Backend, ExecError> {
+        if let Some(name) = pinned {
+            let backend = self
+                .backends
+                .iter()
+                .find(|b| b.name() == name)
+                .ok_or_else(|| ExecError::UnknownBackend {
+                    name: name.to_string(),
+                })?;
+            return match backend.admit(&plan.profile) {
+                Ok(()) => Ok(&**backend),
+                Err(reason) => Err(ExecError::NoBackend {
+                    reason: format!("{name}: {reason}"),
+                }),
+            };
+        }
+        let mut reasons = Vec::new();
+        for backend in &self.backends {
+            match backend.admit(&plan.profile) {
+                Ok(()) => return Ok(&**backend),
+                Err(reason) => reasons.push(format!("{}: {}", backend.name(), reason)),
+            }
+        }
+        Err(ExecError::NoBackend {
+            reason: reasons.join("; "),
+        })
+    }
+
+    /// Runs a job: compile/cache, route, execute all shots, merge.
+    ///
+    /// # Errors
+    ///
+    /// Compilation, routing and per-shot simulation errors. On a shot error
+    /// the whole job fails with the error of the *lowest-indexed* failing
+    /// shot, so parallel and sequential schedules report identically.
+    pub fn run(&self, job: &Job) -> Result<ExecResult, ExecError> {
+        self.run_with_workers(job, self.workers)
+    }
+
+    /// As [`Engine::run`], but forcing a sequential (single-worker) schedule.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::run`].
+    pub fn run_sequential(&self, job: &Job) -> Result<ExecResult, ExecError> {
+        self.run_with_workers(job, 1)
+    }
+
+    fn run_with_workers(&self, job: &Job, workers: usize) -> Result<ExecResult, ExecError> {
+        let (plan, cache_hit) = self.cache.get_or_compile(job.circuit)?;
+        let backend = self.route(&plan, job.backend.as_deref())?;
+        if !plan.profile.outputs_classical {
+            return Err(ExecError::QuantumOutputs);
+        }
+
+        let workers = workers.clamp(1, job.shots.max(1) as usize);
+        let start = Instant::now();
+        let histogram = if workers == 1 {
+            run_shots(backend, &plan, &job.inputs, job.base_seed, 0..job.shots)
+                .map_err(|(_, e)| e)?
+        } else {
+            run_shots_parallel(
+                backend,
+                &plan,
+                &job.inputs,
+                job.base_seed,
+                job.shots,
+                workers,
+            )?
+        };
+        let wall = start.elapsed();
+
+        let mut histogram: Vec<(Vec<bool>, u64)> = histogram.into_iter().collect();
+        histogram.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        self.shots.fetch_add(job.shots, Ordering::Relaxed);
+        *self
+            .backend_jobs
+            .lock()
+            .unwrap()
+            .entry(backend.name())
+            .or_insert(0) += 1;
+
+        Ok(ExecResult {
+            histogram,
+            report: ExecReport {
+                backend: backend.name(),
+                shots: job.shots,
+                workers,
+                cache_hit,
+                fingerprint: plan.fingerprint,
+                wall,
+            },
+        })
+    }
+
+    /// Resource estimation without execution, via the counting backend.
+    pub fn estimate(&self, circuit: &BCircuit) -> ResourceEstimate {
+        self.counting.estimate(circuit)
+    }
+
+    /// Builds a circuit interactively under a dynamic-lifting executor
+    /// (paper §4.3): measurement outcomes observed by `dynamic_lift` inside
+    /// `f` come from an actual simulation seeded with `seed`, so the returned
+    /// circuit records the path the computation really took.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::NoBackend`] if no registered backend supports
+    /// dynamic lifting.
+    pub fn run_interactive<S: Shape, B: QCData>(
+        &self,
+        shape: &S,
+        seed: u64,
+        f: impl FnOnce(&mut Circ, S::Q) -> B,
+    ) -> Result<BCircuit, ExecError> {
+        let lifter = self
+            .backends
+            .iter()
+            .filter(|b| b.capabilities().dynamic_lifting)
+            .find_map(|b| b.make_lifter(seed))
+            .ok_or_else(|| ExecError::NoBackend {
+                reason: "no registered backend supports dynamic lifting".to_string(),
+            })?;
+        self.interactive_runs.fetch_add(1, Ordering::Relaxed);
+        Ok(Circ::build_interactive(shape, lifter, f))
+    }
+
+    /// A snapshot of the engine's cumulative counters.
+    pub fn stats(&self) -> EngineStats {
+        let mut backend_jobs: Vec<(&'static str, u64)> = self
+            .backend_jobs
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        backend_jobs.sort_unstable();
+        EngineStats {
+            jobs: self.jobs.load(Ordering::Relaxed),
+            shots: self.shots.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cached_plans: self.cache.len(),
+            backend_jobs,
+            interactive_runs: self.interactive_runs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+type Histogram = HashMap<Vec<bool>, u64>;
+
+/// Runs a contiguous range of shots, accumulating a local histogram. On
+/// error, reports the failing shot's index so callers can pick the
+/// lowest-indexed error deterministically.
+fn run_shots(
+    backend: &dyn Backend,
+    plan: &Plan,
+    inputs: &[bool],
+    base_seed: u64,
+    shots: std::ops::Range<u64>,
+) -> Result<Histogram, (u64, ExecError)> {
+    let mut histogram = Histogram::new();
+    for shot in shots {
+        match backend.run_shot(plan, inputs, base_seed.wrapping_add(shot)) {
+            Ok(bits) => *histogram.entry(bits).or_insert(0) += 1,
+            Err(e) => return Err((shot, e)),
+        }
+    }
+    Ok(histogram)
+}
+
+/// Fans `shots` out over `workers` scoped threads in contiguous chunks and
+/// merges the per-worker histograms. Seeds depend only on the shot index, and
+/// histogram addition commutes, so the merged result is bit-identical to a
+/// sequential run.
+fn run_shots_parallel(
+    backend: &dyn Backend,
+    plan: &Plan,
+    inputs: &[bool],
+    base_seed: u64,
+    shots: u64,
+    workers: usize,
+) -> Result<Histogram, ExecError> {
+    let next_chunk = AtomicUsize::new(0);
+    let chunks: Vec<std::ops::Range<u64>> = (0..workers as u64)
+        .map(|i| (i * shots / workers as u64)..((i + 1) * shots / workers as u64))
+        .collect();
+
+    let results: Vec<Result<Histogram, (u64, ExecError)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next_chunk = &next_chunk;
+                let chunks = &chunks;
+                scope.spawn(move || {
+                    let mut merged = Histogram::new();
+                    // Chunk-claiming loop: with one chunk per worker this is
+                    // one iteration, but it also tolerates workers > chunks.
+                    loop {
+                        let i = next_chunk.fetch_add(1, Ordering::Relaxed);
+                        let Some(range) = chunks.get(i) else {
+                            return Ok(merged);
+                        };
+                        let local = run_shots(backend, plan, inputs, base_seed, range.clone())?;
+                        for (bits, n) in local {
+                            *merged.entry(bits).or_insert(0) += n;
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shot worker panicked"))
+            .collect()
+    });
+
+    let mut merged = Histogram::new();
+    let mut first_error: Option<(u64, ExecError)> = None;
+    for result in results {
+        match result {
+            Ok(local) => {
+                for (bits, n) in local {
+                    *merged.entry(bits).or_insert(0) += n;
+                }
+            }
+            Err((shot, e)) => {
+                if first_error.as_ref().is_none_or(|(s, _)| shot < *s) {
+                    first_error = Some((shot, e));
+                }
+            }
+        }
+    }
+    match first_error {
+        Some((_, e)) => Err(e),
+        None => Ok(merged),
+    }
+}
+
+/// A batch of jobs executed through one engine, fanning out *across jobs*
+/// (each job runs its shots sequentially on its worker, so results remain
+/// independent of the schedule).
+#[derive(Default)]
+pub struct JobQueue<'a> {
+    jobs: Vec<Job<'a>>,
+}
+
+impl<'a> JobQueue<'a> {
+    /// An empty queue.
+    pub fn new() -> JobQueue<'a> {
+        JobQueue { jobs: Vec::new() }
+    }
+
+    /// Appends a job; returns its index in the results of
+    /// [`JobQueue::run_all`].
+    pub fn push(&mut self, job: Job<'a>) -> usize {
+        self.jobs.push(job);
+        self.jobs.len() - 1
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs every queued job, returning per-job results in push order.
+    /// Jobs are distributed over the engine's workers; each job's outcome is
+    /// deterministic, so the batch result does not depend on the schedule.
+    pub fn run_all(self, engine: &Engine) -> Vec<Result<ExecResult, ExecError>> {
+        if engine.workers <= 1 || self.jobs.len() <= 1 {
+            return self.jobs.iter().map(|j| engine.run_sequential(j)).collect();
+        }
+        let workers = engine.workers.min(self.jobs.len());
+        let next_job = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<ExecResult, ExecError>>>> =
+            self.jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let next_job = &next_job;
+                let slots = &slots;
+                let jobs = &self.jobs;
+                scope.spawn(move || loop {
+                    let i = next_job.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { return };
+                    *slots[i].lock().unwrap() = Some(engine.run_sequential(job));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("every job slot filled"))
+            .collect()
+    }
+}

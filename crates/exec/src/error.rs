@@ -1,0 +1,80 @@
+//! Errors of the execution engine.
+
+use std::fmt;
+
+use quipper_circuit::CircuitError;
+use quipper_sim::SimError;
+
+/// Anything that can go wrong preparing or executing a job.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The circuit failed validation or flattening.
+    Circuit(CircuitError),
+    /// A backend rejected a gate or assertion at execution time.
+    Sim {
+        /// Which backend was executing.
+        backend: &'static str,
+        /// The underlying simulator error.
+        source: SimError,
+    },
+    /// No registered backend can execute the circuit.
+    NoBackend {
+        /// Why each candidate was rejected.
+        reason: String,
+    },
+    /// A backend was requested by name but is not registered.
+    UnknownBackend {
+        /// The requested name.
+        name: String,
+    },
+    /// A sampling job needs every circuit output to be classical (measure
+    /// quantum outputs inside the circuit).
+    QuantumOutputs,
+    /// The operation is not supported by the chosen backend.
+    Unsupported {
+        /// Which backend.
+        backend: &'static str,
+        /// What was attempted.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Circuit(e) => write!(f, "circuit error: {e}"),
+            ExecError::Sim { backend, source } => {
+                write!(f, "backend `{backend}` failed: {source}")
+            }
+            ExecError::NoBackend { reason } => {
+                write!(f, "no backend can execute this circuit: {reason}")
+            }
+            ExecError::UnknownBackend { name } => {
+                write!(f, "no backend named `{name}` is registered")
+            }
+            ExecError::QuantumOutputs => write!(
+                f,
+                "sampling requires classical outputs only; measure quantum outputs in the circuit"
+            ),
+            ExecError::Unsupported { backend, what } => {
+                write!(f, "backend `{backend}` does not support {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Circuit(e) => Some(e),
+            ExecError::Sim { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for ExecError {
+    fn from(e: CircuitError) -> Self {
+        ExecError::Circuit(e)
+    }
+}

@@ -1,0 +1,68 @@
+//! `quipper-exec`: a backend-abstracted execution engine for Quipper
+//! circuits.
+//!
+//! Quipper keeps circuit *description* separate from the run functions that
+//! consume circuits — printing, resource counting, and the various simulators
+//! (paper §4.4.5). The lower crates each expose one run function; this crate
+//! puts them all behind a single subsystem:
+//!
+//! * [`Backend`] — one run function with advertised [`Capabilities`] and an
+//!   admission check; adapters wrap the state-vector, classical and
+//!   stabilizer simulators, plus a [`CountingBackend`] for resource
+//!   estimation.
+//! * **Auto-selection** — each circuit is profiled once
+//!   ([`CircuitProfile`]) and routed to the cheapest capable backend:
+//!   classical-only circuits to the bit-per-wire simulator, Clifford-only
+//!   circuits to the CHP tableau, everything else to the state vector.
+//! * [`Plan`] / [`PlanCache`] — validation and flattening happen once per
+//!   structurally-distinct circuit, keyed by the stable circuit
+//!   [`fingerprint`](quipper_circuit::fingerprint); repeat submissions skip
+//!   straight to execution.
+//! * [`Job`] / [`JobQueue`] — multi-shot and batched-circuit scheduling over
+//!   a worker thread pool, with deterministic per-shot seed derivation
+//!   (`base_seed + shot_index`) so parallel results are bit-identical to
+//!   sequential ones.
+//! * [`ExecReport`] / [`EngineStats`] — per-job and cumulative observability:
+//!   shots, wall time, cache hits, backend chosen.
+//!
+//! ```
+//! use quipper::{Circ, Qubit};
+//! use quipper_exec::{Engine, Job};
+//!
+//! let bell = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+//!     c.hadamard(a);
+//!     c.cnot(b, a);
+//!     (c.measure(a), c.measure(b))
+//! });
+//! let engine = Engine::new();
+//! let job = Job::new(&bell).inputs(vec![false, false]).shots(100).seed(7);
+//! let result = engine.run(&job).unwrap();
+//! assert_eq!(result.report.backend, "stabilizer"); // Clifford-only circuit
+//! // Bell measurement outcomes are perfectly correlated.
+//! assert!(result.histogram.iter().all(|(bits, _)| bits[0] == bits[1]));
+//! ```
+
+pub mod backend;
+pub mod engine;
+pub mod error;
+pub mod plan;
+pub mod profile;
+
+pub use backend::{
+    Backend, Capabilities, ClassicalBackend, CountingBackend, ResourceEstimate, StabilizerBackend,
+    StateVecBackend,
+};
+pub use engine::{Engine, EngineConfig, EngineStats, ExecReport, ExecResult, Job, JobQueue};
+pub use error::ExecError;
+pub use plan::{Plan, PlanCache};
+pub use profile::{profile, CircuitProfile};
+
+// The engine is shared across scoped worker threads; keep that a compile-time
+// guarantee rather than an emergent property of field types.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<PlanCache>();
+    assert_send_sync::<ExecError>();
+    assert_send_sync::<ExecResult>();
+};

@@ -1,0 +1,166 @@
+//! Compiled execution plans and the fingerprint-keyed plan cache.
+//!
+//! Preparing a circuit for execution — validation, inlining every boxed
+//! subroutine (paper §4.4.4), and profiling for backend selection — costs as
+//! much as a simulation shot for classical circuits, and repeated jobs over
+//! the same circuit family (multi-shot sampling, benchmark sweeps) would pay
+//! it every time. A [`Plan`] captures the prepared form once; the
+//! [`PlanCache`] keys plans by the structural
+//! [`fingerprint`](quipper_circuit::fingerprint) of the hierarchical circuit,
+//! so a repeat submission skips validation and flattening entirely.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use quipper_circuit::flatten::inline_all;
+use quipper_circuit::{validate, BCircuit, Circuit};
+
+use crate::error::ExecError;
+use crate::profile::{profile, CircuitProfile};
+
+/// A circuit prepared for repeated execution: validated, flattened and
+/// profiled. Plans are immutable and shared (`Arc`) between the cache, jobs
+/// in flight, and worker threads.
+#[derive(Debug)]
+pub struct Plan {
+    /// Structural fingerprint of the *hierarchical* circuit this plan was
+    /// compiled from (the cache key).
+    pub fingerprint: u64,
+    /// The flattened circuit: every subroutine call inlined.
+    pub flat: Circuit,
+    /// Backend-selection profile of the flat circuit.
+    pub profile: CircuitProfile,
+}
+
+impl Plan {
+    /// Validates, flattens and profiles a hierarchical circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Circuit`] if validation or inlining fails.
+    pub fn compile(bc: &BCircuit) -> Result<Plan, ExecError> {
+        validate::validate(&bc.db, &bc.main)?;
+        let flat = inline_all(&bc.db, &bc.main)?;
+        let profile = profile(&flat);
+        Ok(Plan {
+            fingerprint: bc.fingerprint(),
+            flat,
+            profile,
+        })
+    }
+}
+
+/// A thread-safe cache of compiled plans keyed by circuit fingerprint, with
+/// hit/miss counters surfaced in execution reports.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<u64, Arc<Plan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Returns the cached plan for this circuit, compiling and inserting it
+    /// on first sight. The boolean is `true` on a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Plan::compile`] errors; failed compilations are not
+    /// cached.
+    pub fn get_or_compile(&self, bc: &BCircuit) -> Result<(Arc<Plan>, bool), ExecError> {
+        let key = bc.fingerprint();
+        if let Some(plan) = self.plans.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(plan), true));
+        }
+        // Compile outside the lock: plans can be large and compilation is the
+        // expensive path. Two threads racing on the same new circuit both
+        // compile; the entry is just overwritten with an identical plan.
+        let plan = Arc::new(Plan::compile(bc)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.plans.lock().unwrap().insert(key, Arc::clone(&plan));
+        Ok((plan, false))
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache misses (compilations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct plans currently cached.
+    pub fn len(&self) -> usize {
+        self.plans.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached plans and resets the counters.
+    pub fn clear(&self) {
+        self.plans.lock().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quipper::{Circ, Qubit};
+
+    fn bell() -> BCircuit {
+        Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+            c.hadamard(a);
+            c.cnot(b, a);
+            (c.measure(a), c.measure(b))
+        })
+    }
+
+    #[test]
+    fn repeat_submission_hits_cache() {
+        let cache = PlanCache::new();
+        let bc = bell();
+        let (p1, hit1) = cache.get_or_compile(&bc).unwrap();
+        let (p2, hit2) = cache.get_or_compile(&bc).unwrap();
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn structurally_equal_circuits_share_a_plan() {
+        // Two independent builds of the same circuit fingerprint identically.
+        let cache = PlanCache::new();
+        cache.get_or_compile(&bell()).unwrap();
+        let (_, hit) = cache.get_or_compile(&bell()).unwrap();
+        assert!(hit);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_circuits_do_not_collide() {
+        let cache = PlanCache::new();
+        cache.get_or_compile(&bell()).unwrap();
+        let other = Circ::build(&false, |c, q: Qubit| {
+            c.gate_t(q);
+            q
+        });
+        let (_, hit) = cache.get_or_compile(&other).unwrap();
+        assert!(!hit);
+        assert_eq!(cache.len(), 2);
+    }
+}

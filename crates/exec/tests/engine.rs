@@ -1,0 +1,238 @@
+//! Integration tests of the execution engine: backend auto-selection,
+//! deterministic parallel scheduling, plan caching, batched queues and
+//! dynamic lifting.
+
+use quipper::classical::Dag;
+use quipper::{Circ, Qubit};
+use quipper_algorithms::grover::{grover_circuit, optimal_iterations};
+use quipper_circuit::BCircuit;
+use quipper_exec::{Engine, EngineConfig, ExecError, Job, JobQueue};
+
+fn engine_with_workers(workers: usize) -> Engine {
+    Engine::with_config(EngineConfig {
+        workers,
+        ..EngineConfig::default()
+    })
+}
+
+fn bell() -> BCircuit {
+    Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+        c.hadamard(a);
+        c.cnot(b, a);
+        (c.measure(a), c.measure(b))
+    })
+}
+
+fn parity3() -> BCircuit {
+    Circ::build(
+        &(vec![false; 3], false),
+        |c, (xs, t): (Vec<Qubit>, Qubit)| {
+            for &x in &xs {
+                c.cnot(t, x);
+            }
+            let ms: Vec<_> = xs.into_iter().map(|x| c.measure(x)).collect();
+            (ms, c.measure(t))
+        },
+    )
+}
+
+fn t_gate() -> BCircuit {
+    Circ::build(&false, |c, q: Qubit| {
+        c.hadamard(q);
+        c.gate_t(q);
+        c.hadamard(q);
+        c.measure(q)
+    })
+}
+
+#[test]
+fn auto_selection_routes_to_cheapest_backend() {
+    let engine = Engine::new();
+    assert_eq!(engine.select_backend(&parity3()).unwrap(), "classical");
+    assert_eq!(engine.select_backend(&bell()).unwrap(), "stabilizer");
+    assert_eq!(engine.select_backend(&t_gate()).unwrap(), "statevec");
+}
+
+/// The headline determinism guarantee: an N-shot Grover job with a fixed
+/// base seed produces the *identical* histogram whether the shots run
+/// sequentially or fanned out over a multi-worker pool.
+#[test]
+fn grover_parallel_histogram_is_bit_identical_to_sequential() {
+    // Search for index 5 among 2^3: predicate x == 5.
+    let dag = Dag::build(3, |_, xs| vec![&(&xs[0] & &!(&xs[1])) & &xs[2]]);
+    let bc = grover_circuit(&dag, optimal_iterations(3, 1));
+    let shots = 48;
+
+    let parallel_engine = engine_with_workers(4);
+    let sequential_engine = engine_with_workers(1);
+    let job = Job::new(&bc).shots(shots).seed(0xDEAD_BEEF);
+    let par = parallel_engine.run(&job).unwrap();
+    let seq = sequential_engine.run(&job).unwrap();
+
+    assert_eq!(
+        par.histogram, seq.histogram,
+        "schedules must not change results"
+    );
+    assert_eq!(par.report.workers, 4);
+    assert_eq!(seq.report.workers, 1);
+    // Grover uses GPhase + Toffoli-style oracles: only statevec can run it.
+    assert_eq!(par.report.backend, "statevec");
+    // With the optimal iteration count, |101⟩ = index 5 dominates.
+    let top = par.most_frequent().unwrap();
+    assert_eq!(top, &[true, false, true], "amplified state wins");
+    assert!(par.count_of(top) > shots / 2);
+}
+
+#[test]
+fn parallel_schedule_matches_sequential_on_stabilizer_too() {
+    let bc = bell();
+    let engine = engine_with_workers(3);
+    let job = Job::new(&bc).inputs(vec![false, false]).shots(37).seed(11);
+    let par = engine.run(&job).unwrap();
+    let seq = engine.run_sequential(&job).unwrap();
+    assert_eq!(par.histogram, seq.histogram);
+    assert_eq!(par.histogram.iter().map(|&(_, n)| n).sum::<u64>(), 37);
+}
+
+#[test]
+fn repeat_jobs_hit_the_plan_cache() {
+    let engine = Engine::new();
+    let bc = bell();
+    let job = Job::new(&bc).inputs(vec![false, false]).shots(4);
+    let first = engine.run(&job).unwrap();
+    let second = engine.run(&job).unwrap();
+    assert!(!first.report.cache_hit);
+    assert!(second.report.cache_hit);
+    assert_eq!(first.report.fingerprint, second.report.fingerprint);
+
+    let stats = engine.stats();
+    assert_eq!(stats.jobs, 2);
+    assert_eq!(stats.shots, 8);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.backend_jobs, vec![("stabilizer", 2)]);
+}
+
+#[test]
+fn pinned_backend_overrides_auto_selection() {
+    let engine = Engine::new();
+    let bc = bell();
+    let job = Job::new(&bc)
+        .inputs(vec![false, false])
+        .shots(5)
+        .on_backend("statevec");
+    assert_eq!(engine.run(&job).unwrap().report.backend, "statevec");
+
+    // A Clifford circuit with an H gate cannot run on the classical backend.
+    let bad = Job::new(&bc)
+        .inputs(vec![false, false])
+        .on_backend("classical");
+    assert!(matches!(engine.run(&bad), Err(ExecError::NoBackend { .. })));
+
+    let unknown = Job::new(&bc).inputs(vec![false, false]).on_backend("qpu");
+    assert!(matches!(
+        engine.run(&unknown),
+        Err(ExecError::UnknownBackend { .. })
+    ));
+}
+
+#[test]
+fn quantum_outputs_are_rejected_for_sampling() {
+    let engine = Engine::new();
+    let bc = Circ::build(&false, |c, q: Qubit| {
+        c.hadamard(q);
+        q // unmeasured quantum output
+    });
+    let err = engine.run(&Job::new(&bc).inputs(vec![false])).unwrap_err();
+    assert!(matches!(err, ExecError::QuantumOutputs));
+}
+
+#[test]
+fn job_queue_preserves_order_and_determinism() {
+    let bell_c = bell();
+    let parity_c = parity3();
+    let t_c = t_gate();
+
+    let run = |workers: usize| {
+        let engine = engine_with_workers(workers);
+        let mut queue = JobQueue::new();
+        queue.push(
+            Job::new(&bell_c)
+                .inputs(vec![false, false])
+                .shots(16)
+                .seed(1),
+        );
+        queue.push(
+            Job::new(&parity_c)
+                .inputs(vec![true, false, true, false])
+                .shots(8),
+        );
+        queue.push(Job::new(&t_c).inputs(vec![false]).shots(16).seed(9));
+        assert_eq!(queue.len(), 3);
+        queue.run_all(&engine)
+    };
+
+    let parallel: Vec<_> = run(4).into_iter().map(|r| r.unwrap()).collect();
+    let sequential: Vec<_> = run(1).into_iter().map(|r| r.unwrap()).collect();
+    assert_eq!(parallel.len(), 3);
+    for (p, s) in parallel.iter().zip(&sequential) {
+        assert_eq!(p.histogram, s.histogram);
+        assert_eq!(p.report.backend, s.report.backend);
+    }
+    // The parity job is deterministic: one pattern, inputs preserved, t = 1⊕0⊕1⊕0 ... xor-ed in.
+    assert_eq!(parallel[1].histogram.len(), 1);
+    assert_eq!(parallel[1].report.backend, "classical");
+}
+
+#[test]
+fn resource_estimation_needs_no_simulation() {
+    let engine = Engine::new();
+    let est = engine.estimate(&bell());
+    assert_eq!(est.gates.by_name("\"H\"", 0, 0), 1);
+    assert_eq!(est.gates.by_name("Meas", 0, 0), 2);
+    assert_eq!(est.peak.total, 2);
+    assert!(est.depth >= 3);
+}
+
+#[test]
+fn interactive_jobs_route_through_dynamic_lifting() {
+    let engine = Engine::new();
+    // Measure a deterministic qubit; only the taken branch is generated
+    // (paper §4.3.2). The engine supplies the simulated QRAM.
+    for bit in [false, true] {
+        let bc = engine
+            .run_interactive(&(), 42, |c, ()| {
+                let q = c.qinit_bit(bit);
+                let m = c.measure_bit(q);
+                let v = c.dynamic_lift(m);
+                assert_eq!(v, bit);
+                let out = c.qinit_bit(false);
+                if v {
+                    c.qnot(out);
+                }
+                c.cdiscard(m);
+                c.measure_bit(out)
+            })
+            .unwrap();
+        assert_eq!(bc.gate_count().by_name("\"Not\"", 0, 0), u128::from(bit));
+    }
+    assert_eq!(engine.stats().interactive_runs, 2);
+}
+
+#[test]
+fn shot_errors_report_the_lowest_failing_shot() {
+    // A circuit whose assertion fails on every shot: sequential and parallel
+    // schedules must surface the same (first) error.
+    let bc = Circ::build(&false, |c, q: Qubit| {
+        let anc = c.qinit_bit(false);
+        c.cnot(anc, q);
+        c.qterm_bit(false, anc); // fails when q = 1
+        c.measure(q)
+    });
+    let engine = engine_with_workers(4);
+    let job = Job::new(&bc).inputs(vec![true]).shots(20);
+    let par = engine.run(&job).unwrap_err();
+    let seq = engine.run_sequential(&job).unwrap_err();
+    assert_eq!(par.to_string(), seq.to_string());
+    assert!(matches!(par, ExecError::Sim { .. }));
+}

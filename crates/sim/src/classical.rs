@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use quipper_circuit::flatten::inline_all;
-use quipper_circuit::{BCircuit, Control, Gate, GateName, Wire};
+use quipper_circuit::{BCircuit, Circuit, Control, Gate, GateName, Wire};
 
 use crate::error::SimError;
 
@@ -84,7 +84,12 @@ impl ClassicalState {
                 self.bits.remove(wire);
                 Ok(())
             }
-            Gate::QGate { name: GateName::X, targets, controls, .. } => {
+            Gate::QGate {
+                name: GateName::X,
+                targets,
+                controls,
+                ..
+            } => {
                 if self.controls_fire(controls)? {
                     for t in targets {
                         let v = self.read(*t)?;
@@ -93,7 +98,12 @@ impl ClassicalState {
                 }
                 Ok(())
             }
-            Gate::QGate { name: GateName::Swap, targets, controls, .. } => {
+            Gate::QGate {
+                name: GateName::Swap,
+                targets,
+                controls,
+                ..
+            } => {
                 if self.controls_fire(controls)? {
                     let a = self.read(targets[0])?;
                     let b = self.read(targets[1])?;
@@ -103,9 +113,17 @@ impl ClassicalState {
                 Ok(())
             }
             // Z-basis phases act trivially on basis states.
-            Gate::QGate { name: GateName::Z | GateName::S | GateName::T, .. }
+            Gate::QGate {
+                name: GateName::Z | GateName::S | GateName::T,
+                ..
+            }
             | Gate::GPhase { .. } => Ok(()),
-            Gate::CGate { name, inverted, target, inputs } => {
+            Gate::CGate {
+                name,
+                inverted,
+                target,
+                inputs,
+            } => {
                 let mut vals = Vec::with_capacity(inputs.len());
                 for w in inputs {
                     vals.push(self.read(*w)?);
@@ -142,8 +160,24 @@ impl ClassicalState {
 /// violated termination assertions.
 pub fn run_classical(bc: &BCircuit, inputs: &[bool]) -> Result<Vec<bool>, SimError> {
     let flat = inline_all(&bc.db, &bc.main)?;
+    run_classical_flat(&flat, inputs)
+}
+
+/// Runs an already-flattened classical/reversible circuit once.
+///
+/// The reusable single-shot entry point for callers that inline once and
+/// replay (shot loops, the `quipper-exec` engine); the flat circuit is only
+/// read, so runs can proceed concurrently over one shared `&Circuit`.
+///
+/// # Errors
+///
+/// As for [`run_classical`], minus inlining errors.
+pub fn run_classical_flat(flat: &Circuit, inputs: &[bool]) -> Result<Vec<bool>, SimError> {
     if inputs.len() != flat.inputs.len() {
-        return Err(SimError::InputArity { expected: flat.inputs.len(), found: inputs.len() });
+        return Err(SimError::InputArity {
+            expected: flat.inputs.len(),
+            found: inputs.len(),
+        });
     }
     let mut st = ClassicalState::new();
     for (&(w, _), &v) in flat.inputs.iter().zip(inputs) {
@@ -163,26 +197,30 @@ mod tests {
 
     #[test]
     fn cnot_chain_computes_parity() {
-        let bc = Circ::build(&(vec![false; 4], false), |c, (xs, t): (Vec<Qubit>, Qubit)| {
-            for &x in &xs {
-                c.cnot(t, x);
-            }
-            (xs, t)
-        });
+        let bc = Circ::build(
+            &(vec![false; 4], false),
+            |c, (xs, t): (Vec<Qubit>, Qubit)| {
+                for &x in &xs {
+                    c.cnot(t, x);
+                }
+                (xs, t)
+            },
+        );
         let out = run_classical(&bc, &[true, true, true, false, false]).unwrap();
-        assert_eq!(out[4], true);
+        assert!(out[4]);
     }
 
     #[test]
     fn synthesized_oracle_matches_classical_semantics_exhaustively() {
         // A nontrivial function: out = (a ∧ b) ⊕ (c ∨ ¬a).
-        let dag = Dag::build(3, |_, xs| {
-            vec![(&xs[0] & &xs[1]) ^ (&xs[2] | &!(&xs[0]))]
-        });
-        let bc = Circ::build(&(vec![false; 3], false), |c, (xs, t): (Vec<Qubit>, Qubit)| {
-            synth::classical_to_reversible(c, &dag, &xs, &[t]);
-            (xs, t)
-        });
+        let dag = Dag::build(3, |_, xs| vec![(&xs[0] & &xs[1]) ^ (&xs[2] | &!(&xs[0]))]);
+        let bc = Circ::build(
+            &(vec![false; 3], false),
+            |c, (xs, t): (Vec<Qubit>, Qubit)| {
+                synth::classical_to_reversible(c, &dag, &xs, &[t]);
+                (xs, t)
+            },
+        );
         for bits in 0..8u32 {
             let input: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
             let expected = dag.eval(&input)[0];

@@ -29,7 +29,10 @@ impl Complex {
 
     /// e^{iθ}.
     pub fn cis(theta: f64) -> Complex {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Squared modulus |z|².
@@ -39,12 +42,18 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Complex {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Scales by a real factor.
     pub fn scale(self, k: f64) -> Complex {
-        Complex { re: self.re * k, im: self.im * k }
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 }
 
@@ -52,7 +61,10 @@ impl Add for Complex {
     type Output = Complex;
 
     fn add(self, rhs: Complex) -> Complex {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -67,7 +79,10 @@ impl Sub for Complex {
     type Output = Complex;
 
     fn sub(self, rhs: Complex) -> Complex {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -86,7 +101,10 @@ impl Neg for Complex {
     type Output = Complex;
 
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

@@ -77,7 +77,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SimError::AssertionFailed { wire: Wire(3), asserted: false, probability: 0.25 };
+        let e = SimError::AssertionFailed {
+            wire: Wire(3),
+            asserted: false,
+            probability: 0.25,
+        };
         assert!(e.to_string().contains("wire 3"));
         assert!(e.to_string().contains("0.25"));
     }

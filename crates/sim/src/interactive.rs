@@ -86,7 +86,6 @@ impl Lifter for SimLifter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use quipper::Qubit;
 
     #[test]
     fn lifted_measurement_steers_generation() {

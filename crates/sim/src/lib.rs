@@ -22,8 +22,28 @@ pub mod interactive;
 pub mod stabilizer;
 pub mod statevec;
 
-pub use classical::run_classical;
+pub use classical::{run_classical, run_classical_flat};
 pub use error::SimError;
 pub use interactive::SimLifter;
-pub use stabilizer::run_clifford;
-pub use statevec::{run, RunResult, StateVec};
+pub use stabilizer::{run_clifford, run_clifford_flat};
+pub use statevec::{run, run_flat, RunResult, StateVec};
+
+// Send/Sync audit: the `quipper-exec` engine shares flattened circuits
+// across worker threads and moves per-shot simulator states and results
+// between them. If a non-thread-safe handle (`Rc`, `RefCell`, raw pointer)
+// ever creeps into these types, fail the build here — at the declaration of
+// the contract — rather than deep inside the engine's generic bounds.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    // Shared read-only across workers:
+    assert_send_sync::<quipper_circuit::Circuit>();
+    assert_send_sync::<quipper_circuit::Gate>();
+    assert_send_sync::<quipper_circuit::BCircuit>();
+    // Moved between workers as per-shot state and results:
+    assert_send::<StateVec>();
+    assert_send::<statevec::RunResult>();
+    assert_send::<stabilizer::Stabilizer>();
+    assert_send::<classical::ClassicalState>();
+    assert_send_sync::<SimError>();
+};

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use quipper_circuit::flatten::inline_all;
-use quipper_circuit::{BCircuit, Gate, GateName, Wire, WireType};
+use quipper_circuit::{BCircuit, Circuit, Gate, GateName, Wire, WireType};
 
 use crate::error::SimError;
 
@@ -97,7 +97,10 @@ impl Stabilizer {
     }
 
     fn slot_of(&self, wire: Wire) -> Result<usize, SimError> {
-        self.slots.get(&wire).copied().ok_or(SimError::UnknownWire { wire })
+        self.slots
+            .get(&wire)
+            .copied()
+            .ok_or(SimError::UnknownWire { wire })
     }
 
     // --- Clifford generators --------------------------------------------
@@ -291,13 +294,17 @@ impl Stabilizer {
                 self.free.push((slot, outcome));
                 Ok(())
             }
-            Gate::CDiscard { wire } => {
-                self.classical
-                    .remove(wire)
-                    .map(|_| ())
-                    .ok_or(SimError::UnknownWire { wire: *wire })
-            }
-            Gate::QGate { name, inverted, targets, controls } => {
+            Gate::CDiscard { wire } => self
+                .classical
+                .remove(wire)
+                .map(|_| ())
+                .ok_or(SimError::UnknownWire { wire: *wire }),
+            Gate::QGate {
+                name,
+                inverted,
+                targets,
+                controls,
+            } => {
                 // Classical controls gate the whole operation; quantum
                 // controls are only supported on X (CNOT) and Z (CZ).
                 let mut qctl: Vec<usize> = Vec::new();
@@ -396,8 +403,28 @@ impl Stabilizer {
 /// termination assertions.
 pub fn run_clifford(bc: &BCircuit, inputs: &[bool], seed: u64) -> Result<Vec<bool>, SimError> {
     let flat = inline_all(&bc.db, &bc.main)?;
+    run_clifford_flat(&flat, inputs, seed)
+}
+
+/// Runs an already-flattened Clifford circuit for one shot.
+///
+/// The reusable single-shot entry point for callers that inline once and
+/// replay (shot loops, the `quipper-exec` engine); the flat circuit is only
+/// read, so shots can run concurrently over one shared `&Circuit`.
+///
+/// # Errors
+///
+/// As for [`run_clifford`], minus inlining errors.
+pub fn run_clifford_flat(
+    flat: &Circuit,
+    inputs: &[bool],
+    seed: u64,
+) -> Result<Vec<bool>, SimError> {
     if inputs.len() != flat.inputs.len() {
-        return Err(SimError::InputArity { expected: flat.inputs.len(), found: inputs.len() });
+        return Err(SimError::InputArity {
+            expected: flat.inputs.len(),
+            found: inputs.len(),
+        });
     }
     let mut st = Stabilizer::new(seed);
     for (&(w, t), &v) in flat.inputs.iter().zip(inputs) {
@@ -418,7 +445,8 @@ pub fn run_clifford(bc: &BCircuit, inputs: &[bool], seed: u64) -> Result<Vec<boo
     for &(w, t) in &flat.outputs {
         match t {
             WireType::Classical => out.push(
-                st.classical_value(w).ok_or(SimError::UnknownWire { wire: w })?,
+                st.classical_value(w)
+                    .ok_or(SimError::UnknownWire { wire: w })?,
             ),
             WireType::Quantum => {
                 let slot = st.slot_of(w)?;
@@ -518,7 +546,10 @@ mod tests {
         });
         for seed in 0..30 {
             let tab = run_clifford(&bc, &[false; 3], seed).unwrap();
-            assert!(tab.iter().all(|&b| b == tab[0]), "GHZ measurement must agree");
+            assert!(
+                tab.iter().all(|&b| b == tab[0]),
+                "GHZ measurement must agree"
+            );
             let sv = crate::statevec::run(&bc, &[false; 3], seed).unwrap();
             let outs = sv.classical_outputs();
             assert!(outs.iter().all(|&b| b == outs[0]));

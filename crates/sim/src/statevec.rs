@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use quipper_circuit::flatten::inline_all;
-use quipper_circuit::{BCircuit, Control, Gate, GateName, Wire, WireType};
+use quipper_circuit::{BCircuit, Circuit, Control, Gate, GateName, Wire, WireType};
 
 use crate::complex::{Complex, I, ONE, ZERO};
 use crate::error::SimError;
@@ -79,7 +79,10 @@ impl StateVec {
     ///
     /// Panics if `wire` is not a live quantum wire.
     pub fn probability(&self, wire: Wire, value: bool) -> f64 {
-        let slot = *self.slots.get(&wire).expect("probability: wire is not a live qubit");
+        let slot = *self
+            .slots
+            .get(&wire)
+            .expect("probability: wire is not a live qubit");
         let bit = 1usize << slot;
         let mut p = 0.0;
         for (i, a) in self.amps.iter().enumerate() {
@@ -121,11 +124,16 @@ impl StateVec {
     }
 
     fn take_slot(&mut self, wire: Wire) -> Result<usize, SimError> {
-        self.slots.remove(&wire).ok_or(SimError::UnknownWire { wire })
+        self.slots
+            .remove(&wire)
+            .ok_or(SimError::UnknownWire { wire })
     }
 
     fn slot_of(&self, wire: Wire) -> Result<usize, SimError> {
-        self.slots.get(&wire).copied().ok_or(SimError::UnknownWire { wire })
+        self.slots
+            .get(&wire)
+            .copied()
+            .ok_or(SimError::UnknownWire { wire })
     }
 
     fn slot_probability(&self, slot: usize, value: bool) -> f64 {
@@ -282,13 +290,17 @@ impl StateVec {
                 self.free.push((slot, outcome));
                 Ok(())
             }
-            Gate::CDiscard { wire } => {
-                self.classical
-                    .remove(wire)
-                    .map(|_| ())
-                    .ok_or(SimError::UnknownWire { wire: *wire })
-            }
-            Gate::QGate { name, inverted, targets, controls } => {
+            Gate::CDiscard { wire } => self
+                .classical
+                .remove(wire)
+                .map(|_| ())
+                .ok_or(SimError::UnknownWire { wire: *wire }),
+            Gate::QGate {
+                name,
+                inverted,
+                targets,
+                controls,
+            } => {
                 let Some((mask, want)) = self.resolve_controls(controls)? else {
                     return Ok(());
                 };
@@ -337,12 +349,21 @@ impl StateVec {
                     }
                 }
             }
-            Gate::QRot { name, inverted, angle, targets, controls } => {
+            Gate::QRot {
+                name,
+                inverted,
+                angle,
+                targets,
+                controls,
+            } => {
                 let Some((mask, want)) = self.resolve_controls(controls)? else {
                     return Ok(());
                 };
                 let m = rotation_matrix(name, *angle, *inverted).ok_or_else(|| {
-                    SimError::UnsupportedGate { gate: gate.describe(), simulator: "state-vector" }
+                    SimError::UnsupportedGate {
+                        gate: gate.describe(),
+                        simulator: "state-vector",
+                    }
                 })?;
                 let slot = self.slot_of(targets[0])?;
                 self.apply_1q(slot, &m, mask, want);
@@ -360,11 +381,19 @@ impl StateVec {
                 }
                 Ok(())
             }
-            Gate::CGate { name, inverted, target, inputs } => {
+            Gate::CGate {
+                name,
+                inverted,
+                target,
+                inputs,
+            } => {
                 let mut vals = Vec::with_capacity(inputs.len());
                 for w in inputs {
                     vals.push(
-                        *self.classical.get(w).ok_or(SimError::UnknownWire { wire: *w })?,
+                        *self
+                            .classical
+                            .get(w)
+                            .ok_or(SimError::UnknownWire { wire: *w })?,
                     );
                 }
                 let v = match &**name {
@@ -399,7 +428,10 @@ fn single_qubit_matrix(name: &GateName, inverted: bool) -> Option<Mat2> {
         GateName::Z => [[ONE, ZERO], [ZERO, -ONE]],
         GateName::H => [[r(h), r(h)], [r(h), -r(h)]],
         GateName::S => [[ONE, ZERO], [ZERO, I]],
-        GateName::T => [[ONE, ZERO], [ZERO, Complex::cis(std::f64::consts::FRAC_PI_4)]],
+        GateName::T => [
+            [ONE, ZERO],
+            [ZERO, Complex::cis(std::f64::consts::FRAC_PI_4)],
+        ],
         GateName::V => {
             let p = Complex::new(0.5, 0.5);
             let q = Complex::new(0.5, -0.5);
@@ -424,8 +456,10 @@ fn rotation_matrix(name: &str, angle: f64, inverted: bool) -> Option<Mat2> {
         // Y-axis rotation e^{-iYθ/2}, used by the QLS conditional rotation.
         "Ry(%)" => {
             let (c, s) = ((angle / 2.0).cos(), (angle / 2.0).sin());
-            [[Complex::new(c, 0.0), Complex::new(-s, 0.0)],
-             [Complex::new(s, 0.0), Complex::new(c, 0.0)]]
+            [
+                [Complex::new(c, 0.0), Complex::new(-s, 0.0)],
+                [Complex::new(s, 0.0), Complex::new(c, 0.0)],
+            ]
         }
         _ => return None,
     };
@@ -433,7 +467,10 @@ fn rotation_matrix(name: &str, angle: f64, inverted: bool) -> Option<Mat2> {
 }
 
 fn dagger(m: &Mat2) -> Mat2 {
-    [[m[0][0].conj(), m[1][0].conj()], [m[0][1].conj(), m[1][1].conj()]]
+    [
+        [m[0][0].conj(), m[1][0].conj()],
+        [m[0][1].conj(), m[1][1].conj()],
+    ]
 }
 
 /// The result of running a circuit to completion.
@@ -454,8 +491,14 @@ impl RunResult {
     /// inspect probabilities via [`RunResult::state`]).
     pub fn classical_output(&self, i: usize) -> bool {
         let (w, t) = self.outputs[i];
-        assert_eq!(t, WireType::Classical, "output {i} is quantum; measure it first");
-        self.state.classical_value(w).expect("classical output has a value")
+        assert_eq!(
+            t,
+            WireType::Classical,
+            "output {i} is quantum; measure it first"
+        );
+        self.state
+            .classical_value(w)
+            .expect("classical output has a value")
     }
 
     /// All outputs interpreted as classical bits.
@@ -464,7 +507,9 @@ impl RunResult {
     ///
     /// As for [`RunResult::classical_output`].
     pub fn classical_outputs(&self) -> Vec<bool> {
-        (0..self.outputs.len()).map(|i| self.classical_output(i)).collect()
+        (0..self.outputs.len())
+            .map(|i| self.classical_output(i))
+            .collect()
     }
 }
 
@@ -479,8 +524,26 @@ impl RunResult {
 /// unsupported, or a termination assertion is violated.
 pub fn run(bc: &BCircuit, inputs: &[bool], seed: u64) -> Result<RunResult, SimError> {
     let flat = inline_all(&bc.db, &bc.main)?;
+    run_flat(&flat, inputs, seed)
+}
+
+/// Runs an already-flattened circuit (no subroutine calls) for one shot.
+///
+/// This is the reusable single-shot entry point: callers that execute the
+/// same circuit many times (shot loops, the `quipper-exec` engine) inline
+/// once and replay the flat gate list per shot, rather than paying
+/// flattening per run. The flat circuit is only read, so shots can run
+/// concurrently over one shared `&Circuit`.
+///
+/// # Errors
+///
+/// As for [`run`], minus inlining errors.
+pub fn run_flat(flat: &Circuit, inputs: &[bool], seed: u64) -> Result<RunResult, SimError> {
     if inputs.len() != flat.inputs.len() {
-        return Err(SimError::InputArity { expected: flat.inputs.len(), found: inputs.len() });
+        return Err(SimError::InputArity {
+            expected: flat.inputs.len(),
+            found: inputs.len(),
+        });
     }
     let mut sv = StateVec::new(seed);
     for (&(w, t), &v) in flat.inputs.iter().zip(inputs) {
@@ -489,7 +552,10 @@ pub fn run(bc: &BCircuit, inputs: &[bool], seed: u64) -> Result<RunResult, SimEr
     for gate in &flat.gates {
         sv.apply(gate)?;
     }
-    Ok(RunResult { state: sv, outputs: flat.outputs })
+    Ok(RunResult {
+        state: sv,
+        outputs: flat.outputs.clone(),
+    })
 }
 
 #[cfg(test)]
@@ -536,10 +602,13 @@ mod tests {
 
     #[test]
     fn toffoli_truth_table() {
-        let bc = Circ::build(&(false, false, false), |c, (a, b, t): (Qubit, Qubit, Qubit)| {
-            c.toffoli(t, a, b);
-            c.measure((a, b, t))
-        });
+        let bc = Circ::build(
+            &(false, false, false),
+            |c, (a, b, t): (Qubit, Qubit, Qubit)| {
+                c.toffoli(t, a, b);
+                c.measure((a, b, t))
+            },
+        );
         for bits in 0..8u32 {
             let a = bits & 1 != 0;
             let b = bits & 2 != 0;
@@ -621,7 +690,11 @@ mod tests {
             q
         });
         let r = run(&bc, &[true], 1).unwrap();
-        assert!(r.state.amps.len() <= 4, "state vector grew: {}", r.state.amps.len());
+        assert!(
+            r.state.amps.len() <= 4,
+            "state vector grew: {}",
+            r.state.amps.len()
+        );
     }
 
     #[test]
@@ -640,10 +713,13 @@ mod tests {
 
     #[test]
     fn swap_under_control() {
-        let bc = Circ::build(&(false, false, false), |c, (s, a, b): (Qubit, Qubit, Qubit)| {
-            c.with_controls(&s, |c| c.swap(a, b));
-            c.measure((s, a, b))
-        });
+        let bc = Circ::build(
+            &(false, false, false),
+            |c, (s, a, b): (Qubit, Qubit, Qubit)| {
+                c.with_controls(&s, |c| c.swap(a, b));
+                c.measure((s, a, b))
+            },
+        );
         let r = run(&bc, &[true, true, false], 1).unwrap();
         assert_eq!(r.classical_outputs(), vec![true, false, true]);
         let r = run(&bc, &[false, true, false], 1).unwrap();
@@ -690,25 +766,26 @@ pub fn sample_outputs(
     // Inline once; replay the flat gate list per shot.
     let flat = inline_all(&bc.db, &bc.main)?;
     if inputs.len() != flat.inputs.len() {
-        return Err(SimError::InputArity { expected: flat.inputs.len(), found: inputs.len() });
+        return Err(SimError::InputArity {
+            expected: flat.inputs.len(),
+            found: inputs.len(),
+        });
     }
     for shot in 0..shots {
-        let mut sv = StateVec::new(seed0 + shot);
-        for (&(w, t), &v) in flat.inputs.iter().zip(inputs) {
-            sv.add_input(w, t, v);
-        }
-        for gate in &flat.gates {
-            sv.apply(gate)?;
-        }
-        let mut key = Vec::with_capacity(flat.outputs.len());
-        for &(w, t) in &flat.outputs {
+        let r = run_flat(&flat, inputs, seed0 + shot)?;
+        let mut key = Vec::with_capacity(r.outputs.len());
+        for &(w, t) in &r.outputs {
             if t != WireType::Classical {
                 return Err(SimError::UnsupportedGate {
                     gate: "quantum output in sample_outputs (measure it first)".into(),
                     simulator: "state-vector",
                 });
             }
-            key.push(sv.classical_value(w).ok_or(SimError::UnknownWire { wire: w })?);
+            key.push(
+                r.state
+                    .classical_value(w)
+                    .ok_or(SimError::UnknownWire { wire: w })?,
+            );
         }
         *hist.entry(key).or_insert(0) += 1;
     }

@@ -7,14 +7,20 @@
 use quipper_algorithms::usv::{solve_usv, Lattice2, PlantedUsv};
 
 fn main() {
-    let lattice = Lattice2 { b1: (4, 1), b2: (5, 1) };
+    let lattice = Lattice2 {
+        b1: (4, 1),
+        b2: (5, 1),
+    };
     let shortest = lattice.shortest_vector();
     println!("lattice basis {:?}, {:?}", lattice.b1, lattice.b2);
     println!("Gauss-reduced shortest vector: {shortest:?}");
 
     // Plant the shortest vector's coefficients and recover them with
     // dynamically-lifted iterative phase estimation.
-    let instance = PlantedUsv { lattice, coeff: (-1, 1) };
+    let instance = PlantedUsv {
+        lattice,
+        coeff: (-1, 1),
+    };
     for seed in 0..3 {
         let v = solve_usv(instance, seed);
         println!("quantum IPE run {seed}: recovered vector {v:?}");

@@ -26,13 +26,19 @@ fn main() {
         let (outs, scratch) = synth::synthesize_compute(c, &parity, &xs);
         (xs, outs, scratch)
     });
-    println!("unpack template_f:\n{}", to_ascii(&bc.db, &bc.main, 100).unwrap());
+    println!(
+        "unpack template_f:\n{}",
+        to_ascii(&bc.db, &bc.main, 100).unwrap()
+    );
 
     // Step 4: classical_to_reversible — (x, y) ↦ (x, y ⊕ f(x)).
-    let bc = Circ::build(&(vec![false; 4], false), |c, (xs, t): (Vec<Qubit>, Qubit)| {
-        synth::classical_to_reversible(c, &parity, &xs, &[t]);
-        (xs, t)
-    });
+    let bc = Circ::build(
+        &(vec![false; 4], false),
+        |c, (xs, t): (Vec<Qubit>, Qubit)| {
+            synth::classical_to_reversible(c, &parity, &xs, &[t]);
+            (xs, t)
+        },
+    );
     println!(
         "classical_to_reversible (unpack template_f):\n{}",
         to_ascii(&bc.db, &bc.main, 100).unwrap()
@@ -50,10 +56,13 @@ fn main() {
     // --- the Hex winner oracle (Boolean Formula, §4.6.1) ----------------
     let board = HexBoard::new(5, 4);
     let dag = hex_winner_dag(board, true, None);
-    let bc = Circ::build(&(vec![false; board.cells()], false), |c, (cells, out): (Vec<Qubit>, Qubit)| {
-        synth::classical_to_reversible(c, &dag, &cells, &[out]);
-        (cells, out)
-    });
+    let bc = Circ::build(
+        &(vec![false; board.cells()], false),
+        |c, (cells, out): (Vec<Qubit>, Qubit)| {
+            synth::classical_to_reversible(c, &dag, &cells, &[out]);
+            (cells, out)
+        },
+    );
     let gc = bc.gate_count();
     println!(
         "Hex 5x4 flood-fill winner oracle: {} nodes -> {} gates, {} qubits",
@@ -77,6 +86,9 @@ fn main() {
     );
     let input: Vec<bool> = (0..8).map(|i| 199u32 >> i & 1 == 1).collect();
     let out = quipper_sim::run_classical(&bc, &input).unwrap();
-    let got = out[8..].iter().enumerate().fold(0u32, |a, (i, &b)| a | (u32::from(b) << i));
+    let got = out[8..]
+        .iter()
+        .enumerate()
+        .fold(0u32, |a, (i, &b)| a | (u32::from(b) << i));
     println!("199 mod 5 computed reversibly = {got}");
 }

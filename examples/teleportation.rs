@@ -41,17 +41,18 @@ fn teleport(theta: f64) -> quipper::BCircuit {
 }
 
 fn main() {
+    let engine = quipper_exec::Engine::new();
+    let runs = 50;
     for &theta in &[0.0, 0.7, 1.3, 2.2, 3.0] {
         let bc = teleport(theta);
-        let mut ok = 0;
-        let runs = 50;
-        for seed in 0..runs {
-            let out = quipper_sim::run(&bc, &[], seed).unwrap().classical_outputs();
-            if !out[0] {
-                ok += 1;
-            }
-        }
-        println!("theta = {theta:.1}: teleported state verified in {ok}/{runs} runs");
+        let result = engine
+            .run(&quipper_exec::Job::new(&bc).shots(runs))
+            .unwrap();
+        let ok = result.count_of(&[false]);
+        println!(
+            "theta = {theta:.1}: teleported state verified in {ok}/{runs} runs on `{}`",
+            result.report.backend
+        );
         assert_eq!(ok, runs, "teleportation must be exact");
     }
     println!("\ncircuit (text format):");

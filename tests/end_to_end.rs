@@ -11,13 +11,16 @@ use quipper_circuit::print::{to_ascii, to_text};
 /// Build → print → validate → simulate, through every layer.
 #[test]
 fn full_pipeline_roundtrip() {
-    let bc = Circ::build(&(false, vec![false; 2]), |c, (a, bs): (Qubit, Vec<Qubit>)| {
-        c.hadamard(a);
-        for &b in &bs {
-            c.cnot(b, a);
-        }
-        c.measure((a, bs))
-    });
+    let bc = Circ::build(
+        &(false, vec![false; 2]),
+        |c, (a, bs): (Qubit, Vec<Qubit>)| {
+            c.hadamard(a);
+            for &b in &bs {
+                c.cnot(b, a);
+            }
+            c.measure((a, bs))
+        },
+    );
     bc.validate().expect("well-formed");
     let text = to_text(&bc);
     assert!(text.contains("QMeas"));
@@ -25,7 +28,9 @@ fn full_pipeline_roundtrip() {
     assert_eq!(art.lines().count(), 3);
     // GHZ correlations: all outputs equal.
     for seed in 0..20 {
-        let outs = quipper_sim::run(&bc, &[false; 3], seed).unwrap().classical_outputs();
+        let outs = quipper_sim::run(&bc, &[false; 3], seed)
+            .unwrap()
+            .classical_outputs();
         assert!(outs.iter().all(|&b| b == outs[0]), "GHZ agreement");
     }
 }
@@ -81,14 +86,17 @@ fn arithmetic_through_boxes_and_inlining() {
     let flat = inline_all(&bc.db, &bc.main).unwrap();
     flat.validate_standalone().unwrap();
     let hier = bc.gate_count();
-    let flat_count =
-        quipper_circuit::count::count(&quipper_circuit::CircuitDb::new(), &flat);
+    let flat_count = quipper_circuit::count::count(&quipper_circuit::CircuitDb::new(), &flat);
     assert_eq!(hier.counts, flat_count.counts);
     // Semantics: a=3, b=2 → b'=5, p = 3·5 = 15.
     let mut input = vec![true, true, false, false]; // a = 3
     input.extend([false, true, false, false]); // b = 2
     let out = quipper_sim::run_classical(&bc, &input).unwrap();
-    let dec = |bits: &[bool]| bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+    let dec = |bits: &[bool]| {
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    };
     assert_eq!(dec(&out[0..4]), 3);
     assert_eq!(dec(&out[4..8]), 5);
     assert_eq!(dec(&out[8..12]), 15);
@@ -105,7 +113,9 @@ fn simulators_agree_on_a_deterministic_clifford_circuit() {
         c.measure(qs)
     });
     let inputs = [false, true, false];
-    let sv = quipper_sim::run(&bc, &inputs, 3).unwrap().classical_outputs();
+    let sv = quipper_sim::run(&bc, &inputs, 3)
+        .unwrap()
+        .classical_outputs();
     let tab = quipper_sim::run_clifford(&bc, &inputs, 3).unwrap();
     let cl = quipper_sim::run_classical(&bc, &inputs).unwrap();
     assert_eq!(sv, tab);
@@ -160,8 +170,13 @@ fn teleportation_with_classical_control_is_exact() {
         let bc = c.finish(&check);
         bc.validate().unwrap();
         for seed in 0..25 {
-            let out = quipper_sim::run(&bc, &[], seed).unwrap().classical_outputs();
-            assert!(!out[0], "theta={theta}, seed={seed}: verification bit must be 0");
+            let out = quipper_sim::run(&bc, &[], seed)
+                .unwrap()
+                .classical_outputs();
+            assert!(
+                !out[0],
+                "theta={theta}, seed={seed}: verification bit must be 0"
+            );
         }
     }
 }

@@ -277,7 +277,7 @@ proptest! {
         };
         prop_assert_eq!(dec(&out[0..w]), x);
         prop_assert_eq!(dec(&out[w..2 * w]), (x + y) & mask);
-        prop_assert_eq!(dec(&out[2 * w..]), x * y & mask);
+        prop_assert_eq!(dec(&out[2 * w..]), (x * y) & mask);
     }
 
     #[test]
