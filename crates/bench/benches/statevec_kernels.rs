@@ -1,0 +1,211 @@
+//! Before/after benchmark of the state-vector kernel rewrite: the pre-PR
+//! full-scan implementation (`run_flat_reference`) against the kernel path
+//! (pair-stride iteration, diagonal/permutation specialization, controlled
+//! sub-cube enumeration, single-qubit gate fusion) on three workloads:
+//!
+//! * `mixed` — a wide mixed-gate circuit (fusible 1q runs, a CNOT ring,
+//!   Toffolis, QFT-style rotations), the ISSUE's 20-qubit acceptance
+//!   workload;
+//! * `grover` — the Grover search circuit over an 8-bit oracle;
+//! * `qft_add` — the Fourier-basis adder from `quipper-arith` (`add_tf`),
+//!   whose controlled rotations exercise the diagonal sub-cube kernel.
+//!
+//! Custom harness (no criterion): each side is timed as the minimum of a few
+//! full runs, which is the right statistic for a before/after ratio. Env
+//! knobs:
+//!
+//! * `BENCH_QUICK=1` — small widths, fewer iterations, and a hard assert
+//!   that the kernel path is faster (the CI smoke test: the hot path cannot
+//!   silently regress to scan-everything);
+//! * `BENCH_STATEVEC_WRITE=1` — rewrite `BENCH_statevec.json` at the repo
+//!   root with the measured numbers.
+
+use std::time::{Duration, Instant};
+
+use quipper::classical::Dag;
+use quipper::{Circ, Qubit};
+use quipper_algorithms::grover::grover_circuit;
+use quipper_arith::qinttf::add_tf;
+use quipper_arith::{IntTF, QIntTF};
+use quipper_circuit::count::max_alive;
+use quipper_circuit::flatten::inline_all;
+use quipper_circuit::{BCircuit, Circuit};
+use quipper_sim::statevec::{run_flat_reference, run_flat_with, StateVecConfig};
+
+/// The mixed-gate workload: per layer, an H·T run on every wire (fusible),
+/// a CNOT ring, a Toffoli ladder, and R(2π/2ᵏ) rotations.
+fn mixed(n: usize, layers: usize) -> BCircuit {
+    Circ::build(&vec![false; n], |c, qs: Vec<Qubit>| {
+        for l in 0..layers {
+            for &q in &qs {
+                c.hadamard(q);
+                c.gate_t(q);
+            }
+            for i in 0..n - 1 {
+                c.cnot(qs[(i + l) % n], qs[(i + l + 1) % n]);
+            }
+            for i in (0..n - 2).step_by(3) {
+                c.toffoli(qs[i], qs[i + 1], qs[i + 2]);
+            }
+            for (k, &q) in qs.iter().enumerate().step_by(4) {
+                c.rgate((k % 5 + 1) as u32, q);
+            }
+        }
+        qs
+    })
+}
+
+/// The out-of-place Fourier-representation adder from `quipper-arith`
+/// (`o7_ADD`): |a⟩|b⟩ → |a⟩|b⟩|a+b⟩ with every carry ancilla uncomputed.
+fn qft_add(width: usize) -> BCircuit {
+    Circ::build(
+        &(IntTF::new(3, width), IntTF::new(5, width)),
+        |c, (a, b): (QIntTF, QIntTF)| {
+            let sum = add_tf(c, &a, &b);
+            (a, b, sum)
+        },
+    )
+}
+
+struct Measurement {
+    name: &'static str,
+    qubits: usize,
+    gates: usize,
+    reference: Duration,
+    kernels: Duration,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.reference.as_secs_f64() / self.kernels.as_secs_f64()
+    }
+
+    /// Gates executed per second on the kernel path.
+    fn gate_rate(&self) -> f64 {
+        self.gates as f64 / self.kernels.as_secs_f64()
+    }
+}
+
+/// Minimum wall time of `iters` full runs of `f`.
+fn time(iters: usize, mut f: impl FnMut()) -> Duration {
+    f(); // warm-up
+    (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+fn measure(name: &'static str, bc: &BCircuit, inputs: &[bool], iters: usize) -> Measurement {
+    let flat: Circuit = inline_all(&bc.db, &bc.main).unwrap();
+    let gates = flat.gates.len();
+    let qubits = max_alive(&bc.db, &bc.main).quantum as usize;
+    let reference = time(iters, || {
+        run_flat_reference(&flat, inputs, 1).unwrap();
+    });
+    let cfg = StateVecConfig::default();
+    let kernels = time(iters, || {
+        run_flat_with(&flat, inputs, 1, cfg).unwrap();
+    });
+    Measurement {
+        name,
+        qubits,
+        gates,
+        reference,
+        kernels,
+    }
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    // The adder's carry ancillas make its peak width ~5x the operand width,
+    // so `add_width` stays small: 3 digits already peaks at 18 live qubits.
+    let (mixed_n, mixed_layers, grover_bits, add_width, iters) = if quick {
+        (14, 2, 5, 2, 3)
+    } else {
+        (20, 3, 8, 3, 3)
+    };
+
+    let mut results = Vec::new();
+
+    let bc = mixed(mixed_n, mixed_layers);
+    results.push(measure("mixed", &bc, &vec![false; mixed_n], iters));
+
+    let dag = Dag::build(grover_bits, |_, xs| {
+        let mut term = xs[0].clone();
+        for x in &xs[1..] {
+            term = term & x.clone();
+        }
+        vec![term]
+    });
+    let grover = grover_circuit(&dag, 2);
+    results.push(measure("grover", &grover, &[], iters));
+
+    let bc = qft_add(add_width);
+    results.push(measure("qft_add", &bc, &vec![false; 2 * add_width], iters));
+
+    println!(
+        "{:>8}  {:>6}  {:>6}  {:>12}  {:>12}  {:>8}  {:>12}",
+        "bench", "qubits", "gates", "reference", "kernels", "speedup", "gates/s"
+    );
+    for m in &results {
+        println!(
+            "{:>8}  {:>6}  {:>6}  {:>12.3?}  {:>12.3?}  {:>7.2}x  {:>12.0}",
+            m.name,
+            m.qubits,
+            m.gates,
+            m.reference,
+            m.kernels,
+            m.speedup(),
+            m.gate_rate()
+        );
+    }
+
+    if quick {
+        // CI smoke: the kernel path must beat the scan path even on the
+        // small state (the margin widens with width).
+        let mixed = &results[0];
+        assert!(
+            mixed.speedup() > 1.2,
+            "kernel path regressed: {:.2}x vs scan on the mixed workload",
+            mixed.speedup()
+        );
+        println!(
+            "quick-mode smoke check passed ({:.2}x on mixed)",
+            mixed.speedup()
+        );
+    }
+
+    if std::env::var("BENCH_STATEVEC_WRITE").is_ok_and(|v| v != "0" && !v.is_empty()) {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_statevec.json");
+        let entries: Vec<String> = results
+            .iter()
+            .map(|m| {
+                format!(
+                    concat!(
+                        "    {{\"name\": \"{}\", \"qubits\": {}, \"gates\": {}, ",
+                        "\"reference_ms\": {:.3}, \"kernels_ms\": {:.3}, ",
+                        "\"speedup\": {:.2}, \"kernel_gate_rate_per_s\": {:.0}}}"
+                    ),
+                    m.name,
+                    m.qubits,
+                    m.gates,
+                    m.reference.as_secs_f64() * 1e3,
+                    m.kernels.as_secs_f64() * 1e3,
+                    m.speedup(),
+                    m.gate_rate()
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"statevec_kernels\",\n  \"mode\": \"{}\",\n  \"benches\": [\n{}\n  ]\n}}\n",
+            if quick { "quick" } else { "full" },
+            entries.join(",\n")
+        );
+        std::fs::write(path, json).unwrap();
+        println!("wrote BENCH_statevec.json");
+    }
+}

@@ -18,7 +18,10 @@ use std::rc::Rc;
 use quipper::Lifter;
 use quipper_circuit::count::{self, GateCount, Peak};
 use quipper_circuit::BCircuit;
-use quipper_sim::{run_classical_flat, run_clifford_flat, run_flat, SimError, SimLifter};
+use quipper_sim::{
+    run_classical_flat, run_clifford_flat, run_flat_with, run_fused, SimError, SimLifter,
+    StateVecConfig,
+};
 
 use crate::error::ExecError;
 use crate::plan::Plan;
@@ -78,6 +81,8 @@ pub struct StateVecBackend {
     /// Reject circuits whose peak live-qubit count exceeds this; the state
     /// vector holds `2^peak` complex amplitudes.
     pub max_qubits: usize,
+    /// Hot-path tuning: gate fusion, kernel threading and its threshold.
+    pub config: StateVecConfig,
 }
 
 /// The default width cap: 2²⁴ amplitudes ≈ 256 MiB, a safe single-host bound.
@@ -87,6 +92,7 @@ impl Default for StateVecBackend {
     fn default() -> Self {
         StateVecBackend {
             max_qubits: DEFAULT_MAX_QUBITS,
+            config: StateVecConfig::default(),
         }
     }
 }
@@ -116,7 +122,14 @@ impl Backend for StateVecBackend {
     }
 
     fn run_shot(&self, plan: &Plan, inputs: &[bool], seed: u64) -> Result<Vec<bool>, ExecError> {
-        let result = run_flat(&plan.flat, inputs, seed).map_err(sim_err(self.name()))?;
+        // Replay the plan's pre-fused op stream (fused once at compile time)
+        // unless fusion is disabled, in which case run the raw gate list.
+        let result = if self.config.fuse {
+            run_fused(&plan.fused, inputs, seed, self.config)
+        } else {
+            run_flat_with(&plan.flat, inputs, seed, self.config)
+        }
+        .map_err(sim_err(self.name()))?;
         // The engine admits only all-classical-output circuits to sampling,
         // so this cannot hit `classical_outputs`' quantum-output panic.
         Ok(result.classical_outputs())

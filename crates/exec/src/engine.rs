@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 
 use quipper::{Circ, QCData, Shape};
 use quipper_circuit::BCircuit;
+use quipper_sim::{FuseStats, StateVecConfig};
 
 use crate::backend::{
     Backend, ClassicalBackend, CountingBackend, ResourceEstimate, StabilizerBackend,
@@ -37,6 +38,8 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Peak live-qubit cap for the state-vector backend.
     pub max_qubits: usize,
+    /// State-vector hot-path tuning (gate fusion, kernel threading).
+    pub statevec: StateVecConfig,
 }
 
 impl Default for EngineConfig {
@@ -46,6 +49,7 @@ impl Default for EngineConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             max_qubits: crate::backend::DEFAULT_MAX_QUBITS,
+            statevec: StateVecConfig::default(),
         }
     }
 }
@@ -115,15 +119,28 @@ pub struct ExecReport {
     pub cache_hit: bool,
     /// Structural fingerprint of the circuit (the cache key).
     pub fingerprint: u64,
-    /// Wall-clock execution time (excluding plan compilation).
-    pub wall: Duration,
+    /// Wall-clock time spent compiling the plan (validation, inlining,
+    /// profiling, fusion) in this call; (near) zero on a cache hit.
+    pub compile: Duration,
+    /// Wall-clock time spent executing the shots.
+    pub execute: Duration,
+    /// Fusion and kernel-classification counters of the executed plan
+    /// (static per plan, independent of shot count).
+    pub fuse: FuseStats,
+}
+
+impl ExecReport {
+    /// Total wall-clock time: compile + execute.
+    pub fn wall(&self) -> Duration {
+        self.compile + self.execute
+    }
 }
 
 impl fmt::Display for ExecReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} shot{} on `{}` ({} worker{}, plan {:#018x} {}) in {:.3?}",
+            "{} shot{} on `{}` ({} worker{}, plan {:#018x} {}, {} of {} gates fused away) compile {:.3?} + exec {:.3?}",
             self.shots,
             if self.shots == 1 { "" } else { "s" },
             self.backend,
@@ -131,7 +148,10 @@ impl fmt::Display for ExecReport {
             if self.workers == 1 { "" } else { "s" },
             self.fingerprint,
             if self.cache_hit { "cached" } else { "compiled" },
-            self.wall,
+            self.fuse.fused_away,
+            self.fuse.gates_in,
+            self.compile,
+            self.execute,
         )
     }
 }
@@ -178,6 +198,17 @@ pub struct EngineStats {
     pub backend_jobs: Vec<(&'static str, u64)>,
     /// Interactive (dynamic-lifting) builds executed.
     pub interactive_runs: u64,
+    /// Gates eliminated by single-qubit fusion, summed over executed jobs'
+    /// plans.
+    pub fused_gates: u64,
+    /// Plan ops dispatched to the diagonal kernel, summed over executed jobs.
+    pub diagonal_ops: u64,
+    /// Plan ops dispatched to the permutation kernel, summed over executed
+    /// jobs.
+    pub permutation_ops: u64,
+    /// Plan ops dispatched to the dense 2×2 kernel, summed over executed
+    /// jobs.
+    pub general_ops: u64,
 }
 
 impl fmt::Display for EngineStats {
@@ -187,6 +218,11 @@ impl fmt::Display for EngineStats {
             f,
             "plan cache: {} hits, {} misses, {} cached",
             self.cache_hits, self.cache_misses, self.cached_plans
+        )?;
+        writeln!(
+            f,
+            "fusion: {} gates fused away; kernel ops: diagonal={} permutation={} general={}",
+            self.fused_gates, self.diagonal_ops, self.permutation_ops, self.general_ops
         )?;
         write!(f, "backends:")?;
         for (name, n) in &self.backend_jobs {
@@ -209,6 +245,10 @@ pub struct Engine {
     jobs: AtomicU64,
     shots: AtomicU64,
     interactive_runs: AtomicU64,
+    fused_gates: AtomicU64,
+    diagonal_ops: AtomicU64,
+    permutation_ops: AtomicU64,
+    general_ops: AtomicU64,
     backend_jobs: Mutex<HashMap<&'static str, u64>>,
 }
 
@@ -237,6 +277,7 @@ impl Engine {
                 Arc::new(StabilizerBackend),
                 Arc::new(StateVecBackend {
                     max_qubits: config.max_qubits,
+                    config: config.statevec,
                 }),
             ],
             counting: CountingBackend,
@@ -245,6 +286,10 @@ impl Engine {
             jobs: AtomicU64::new(0),
             shots: AtomicU64::new(0),
             interactive_runs: AtomicU64::new(0),
+            fused_gates: AtomicU64::new(0),
+            diagonal_ops: AtomicU64::new(0),
+            permutation_ops: AtomicU64::new(0),
+            general_ops: AtomicU64::new(0),
             backend_jobs: Mutex::new(HashMap::new()),
         }
     }
@@ -323,7 +368,9 @@ impl Engine {
     }
 
     fn run_with_workers(&self, job: &Job, workers: usize) -> Result<ExecResult, ExecError> {
+        let compile_start = Instant::now();
         let (plan, cache_hit) = self.cache.get_or_compile(job.circuit)?;
+        let compile = compile_start.elapsed();
         let backend = self.route(&plan, job.backend.as_deref())?;
         if !plan.profile.outputs_classical {
             return Err(ExecError::QuantumOutputs);
@@ -344,13 +391,22 @@ impl Engine {
                 workers,
             )?
         };
-        let wall = start.elapsed();
+        let execute = start.elapsed();
 
         let mut histogram: Vec<(Vec<bool>, u64)> = histogram.into_iter().collect();
         histogram.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
+        let fuse = plan.fuse_stats();
         self.jobs.fetch_add(1, Ordering::Relaxed);
         self.shots.fetch_add(job.shots, Ordering::Relaxed);
+        self.fused_gates
+            .fetch_add(fuse.fused_away as u64, Ordering::Relaxed);
+        self.diagonal_ops
+            .fetch_add(fuse.diagonal as u64, Ordering::Relaxed);
+        self.permutation_ops
+            .fetch_add(fuse.permutation as u64, Ordering::Relaxed);
+        self.general_ops
+            .fetch_add(fuse.general as u64, Ordering::Relaxed);
         *self
             .backend_jobs
             .lock()
@@ -366,7 +422,9 @@ impl Engine {
                 workers,
                 cache_hit,
                 fingerprint: plan.fingerprint,
-                wall,
+                compile,
+                execute,
+                fuse,
             },
         })
     }
@@ -421,6 +479,10 @@ impl Engine {
             cached_plans: self.cache.len(),
             backend_jobs,
             interactive_runs: self.interactive_runs.load(Ordering::Relaxed),
+            fused_gates: self.fused_gates.load(Ordering::Relaxed),
+            diagonal_ops: self.diagonal_ops.load(Ordering::Relaxed),
+            permutation_ops: self.permutation_ops.load(Ordering::Relaxed),
+            general_ops: self.general_ops.load(Ordering::Relaxed),
         }
     }
 }

@@ -12,16 +12,18 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use quipper_circuit::flatten::inline_all;
 use quipper_circuit::{validate, BCircuit, Circuit};
+use quipper_sim::{fuse_circuit, FuseStats, FusedCircuit};
 
 use crate::error::ExecError;
 use crate::profile::{profile, CircuitProfile};
 
-/// A circuit prepared for repeated execution: validated, flattened and
-/// profiled. Plans are immutable and shared (`Arc`) between the cache, jobs
-/// in flight, and worker threads.
+/// A circuit prepared for repeated execution: validated, flattened, profiled
+/// and gate-fused. Plans are immutable and shared (`Arc`) between the cache,
+/// jobs in flight, and worker threads.
 #[derive(Debug)]
 pub struct Plan {
     /// Structural fingerprint of the *hierarchical* circuit this plan was
@@ -29,25 +31,40 @@ pub struct Plan {
     pub fingerprint: u64,
     /// The flattened circuit: every subroutine call inlined.
     pub flat: Circuit,
+    /// The flat circuit with runs of single-qubit gates fused, for backends
+    /// that replay the stream many times (state vector). Fused once here so
+    /// multi-shot jobs and cached resubmissions never re-fuse.
+    pub fused: FusedCircuit,
     /// Backend-selection profile of the flat circuit.
     pub profile: CircuitProfile,
+    /// How long validation + inlining + profiling + fusion took.
+    pub compile_time: Duration,
 }
 
 impl Plan {
-    /// Validates, flattens and profiles a hierarchical circuit.
+    /// Validates, flattens, profiles and fuses a hierarchical circuit.
     ///
     /// # Errors
     ///
     /// Returns [`ExecError::Circuit`] if validation or inlining fails.
     pub fn compile(bc: &BCircuit) -> Result<Plan, ExecError> {
+        let start = Instant::now();
         validate::validate(&bc.db, &bc.main)?;
         let flat = inline_all(&bc.db, &bc.main)?;
         let profile = profile(&flat);
+        let fused = fuse_circuit(&flat);
         Ok(Plan {
             fingerprint: bc.fingerprint(),
             flat,
+            fused,
             profile,
+            compile_time: start.elapsed(),
         })
+    }
+
+    /// What fusion did to this plan's gate stream (static per plan).
+    pub fn fuse_stats(&self) -> FuseStats {
+        self.fused.stats
     }
 }
 

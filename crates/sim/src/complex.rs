@@ -23,11 +23,13 @@ pub const I: Complex = Complex { re: 0.0, im: 1.0 };
 
 impl Complex {
     /// Creates a complex number from parts.
+    #[inline]
     pub fn new(re: f64, im: f64) -> Complex {
         Complex { re, im }
     }
 
     /// e^{iθ}.
+    #[inline]
     pub fn cis(theta: f64) -> Complex {
         Complex {
             re: theta.cos(),
@@ -36,11 +38,13 @@ impl Complex {
     }
 
     /// Squared modulus |z|².
+    #[inline]
     pub fn norm_sqr(self) -> f64 {
         self.re * self.re + self.im * self.im
     }
 
     /// Complex conjugate.
+    #[inline]
     pub fn conj(self) -> Complex {
         Complex {
             re: self.re,
@@ -49,6 +53,7 @@ impl Complex {
     }
 
     /// Scales by a real factor.
+    #[inline]
     pub fn scale(self, k: f64) -> Complex {
         Complex {
             re: self.re * k,
@@ -60,6 +65,7 @@ impl Complex {
 impl Add for Complex {
     type Output = Complex;
 
+    #[inline]
     fn add(self, rhs: Complex) -> Complex {
         Complex {
             re: self.re + rhs.re,
@@ -69,6 +75,7 @@ impl Add for Complex {
 }
 
 impl AddAssign for Complex {
+    #[inline]
     fn add_assign(&mut self, rhs: Complex) {
         self.re += rhs.re;
         self.im += rhs.im;
@@ -78,6 +85,7 @@ impl AddAssign for Complex {
 impl Sub for Complex {
     type Output = Complex;
 
+    #[inline]
     fn sub(self, rhs: Complex) -> Complex {
         Complex {
             re: self.re - rhs.re,
@@ -89,6 +97,7 @@ impl Sub for Complex {
 impl Mul for Complex {
     type Output = Complex;
 
+    #[inline]
     fn mul(self, rhs: Complex) -> Complex {
         Complex {
             re: self.re * rhs.re - self.im * rhs.im,
@@ -100,6 +109,7 @@ impl Mul for Complex {
 impl Neg for Complex {
     type Output = Complex;
 
+    #[inline]
     fn neg(self) -> Complex {
         Complex {
             re: -self.re,

@@ -18,15 +18,22 @@
 pub mod classical;
 pub mod complex;
 pub mod error;
+pub mod fuse;
 pub mod interactive;
+pub mod kernels;
 pub mod stabilizer;
 pub mod statevec;
 
 pub use classical::{run_classical, run_classical_flat};
 pub use error::SimError;
+pub use fuse::{fuse_circuit, FuseStats, FusedCircuit, FusedOp};
 pub use interactive::SimLifter;
+pub use kernels::KernelStats;
 pub use stabilizer::{run_clifford, run_clifford_flat};
-pub use statevec::{run, run_flat, RunResult, StateVec};
+pub use statevec::{
+    run, run_flat, run_flat_reference, run_flat_with, run_fused, RunResult, StateVec,
+    StateVecConfig,
+};
 
 // Send/Sync audit: the `quipper-exec` engine shares flattened circuits
 // across worker threads and moves per-shot simulator states and results
@@ -40,6 +47,7 @@ const _: () = {
     assert_send_sync::<quipper_circuit::Circuit>();
     assert_send_sync::<quipper_circuit::Gate>();
     assert_send_sync::<quipper_circuit::BCircuit>();
+    assert_send_sync::<FusedCircuit>();
     // Moved between workers as per-shot state and results:
     assert_send::<StateVec>();
     assert_send::<statevec::RunResult>();

@@ -6,6 +6,14 @@
 //! as `QInit` gates execute and reclaims them on termination or measurement,
 //! so the cost tracks the circuit's *width* (live qubits), not the total
 //! number of wires — scoped ancillas (paper §4.2.1) pay only while in scope.
+//!
+//! Amplitude updates go through the kernel layer in [`crate::kernels`]
+//! (pair-stride iteration, diagonal/permutation specialization, controlled
+//! sub-cube enumeration, optional scoped-thread fan-out), and the run
+//! functions optionally pre-fuse runs of single-qubit gates via
+//! [`crate::fuse`]. Both are governed by [`StateVecConfig`]; the
+//! pre-kernel full-scan path survives as [`StateVec::reference`] /
+//! [`run_flat_reference`] for property tests and benchmarks.
 
 use std::collections::HashMap;
 
@@ -15,13 +23,50 @@ use rand::{Rng, SeedableRng};
 use quipper_circuit::flatten::inline_all;
 use quipper_circuit::{BCircuit, Circuit, Control, Gate, GateName, Wire, WireType};
 
-use crate::complex::{Complex, I, ONE, ZERO};
+use crate::complex::{Complex, ONE, ZERO};
 use crate::error::SimError;
+use crate::fuse::{fuse_circuit, FusedCircuit, FusedOp};
+use crate::kernels::{self, KernelCtx, KernelStats, Mat2};
 
 /// Tolerance for assertion checking and renormalization.
 const EPS: f64 = 1e-9;
 
-type Mat2 = [[Complex; 2]; 2];
+/// Tuning knobs for the state-vector hot path.
+#[derive(Clone, Copy, Debug)]
+pub struct StateVecConfig {
+    /// Maximum worker threads per amplitude update (clamped to what the
+    /// state size supports; 1 disables threading).
+    pub threads: usize,
+    /// Whether the run functions pre-fuse runs of single-qubit gates.
+    pub fuse: bool,
+    /// Live-qubit count from which amplitude updates fan out over threads:
+    /// states smaller than `2^parallel_threshold` amplitudes stay
+    /// single-threaded (spawn overhead would dominate).
+    pub parallel_threshold: u32,
+}
+
+impl Default for StateVecConfig {
+    fn default() -> StateVecConfig {
+        StateVecConfig {
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            fuse: true,
+            parallel_threshold: 18,
+        }
+    }
+}
+
+impl StateVecConfig {
+    /// A configuration that runs everything sequentially and unfused.
+    pub fn sequential() -> StateVecConfig {
+        StateVecConfig {
+            threads: 1,
+            fuse: false,
+            parallel_threshold: u32::MAX,
+        }
+    }
+}
 
 /// A state-vector simulator with dynamically allocated qubit slots and a
 /// classical-bit store.
@@ -34,12 +79,22 @@ pub struct StateVec {
     free: Vec<(usize, bool)>,
     classical: HashMap<Wire, bool>,
     rng: StdRng,
+    config: StateVecConfig,
+    stats: KernelStats,
+    /// When set, unitary updates use the full-scan reference path instead
+    /// of the kernels.
+    reference: bool,
 }
 
 impl StateVec {
     /// Creates an empty simulator (zero qubits) with a deterministic seed
-    /// for measurement sampling.
+    /// for measurement sampling and the default configuration.
     pub fn new(seed: u64) -> StateVec {
+        StateVec::with_config(seed, StateVecConfig::default())
+    }
+
+    /// Creates an empty simulator with an explicit configuration.
+    pub fn with_config(seed: u64, config: StateVecConfig) -> StateVec {
         StateVec {
             amps: vec![ONE],
             n_slots: 0,
@@ -47,12 +102,36 @@ impl StateVec {
             free: Vec::new(),
             classical: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
+            config,
+            stats: KernelStats::default(),
+            reference: false,
+        }
+    }
+
+    /// Creates a simulator that uses the pre-kernel full-scan reference
+    /// implementation for every unitary update. The correctness baseline
+    /// the kernel path is property-tested against.
+    pub fn reference(seed: u64) -> StateVec {
+        StateVec {
+            reference: true,
+            ..StateVec::with_config(seed, StateVecConfig::sequential())
         }
     }
 
     /// Number of currently live quantum wires.
     pub fn live_qubits(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Kernel dispatch counters accumulated so far.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// The raw amplitude vector (length `2^live_slots`), for tests and
+    /// benchmarks that compare states across execution paths.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
     }
 
     /// The value of a classical wire, if it has one.
@@ -83,14 +162,7 @@ impl StateVec {
             .slots
             .get(&wire)
             .expect("probability: wire is not a live qubit");
-        let bit = 1usize << slot;
-        let mut p = 0.0;
-        for (i, a) in self.amps.iter().enumerate() {
-            if (i & bit != 0) == value {
-                p += a.norm_sqr();
-            }
-        }
-        p
+        self.slot_probability(slot, value)
     }
 
     /// The joint probability of a basis pattern over several wires.
@@ -136,24 +208,43 @@ impl StateVec {
             .ok_or(SimError::UnknownWire { wire })
     }
 
-    fn slot_probability(&self, slot: usize, value: bool) -> f64 {
-        let bit = 1usize << slot;
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| (i & bit != 0) == value)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+    fn kernel_ctx(&self) -> KernelCtx {
+        KernelCtx {
+            threads: self.config.threads,
+            min_parallel_amps: 1usize
+                .checked_shl(self.config.parallel_threshold)
+                .unwrap_or(usize::MAX),
+        }
     }
 
-    /// Projects `slot` onto `value` and renormalizes.
+    /// Probability of `slot` reading as `value`, summed block-wise over the
+    /// target halves — visits the matching amplitudes in the same ascending
+    /// order as a full scan, so the sum is bit-identical to the scan's.
+    fn slot_probability(&self, slot: usize, value: bool) -> f64 {
+        let bit = 1usize << slot;
+        let mut p = 0.0;
+        for block in self.amps.chunks_exact(2 * bit) {
+            let half = if value { &block[bit..] } else { &block[..bit] };
+            for a in half {
+                p += a.norm_sqr();
+            }
+        }
+        p
+    }
+
+    /// Projects `slot` onto `value` and renormalizes. Block-wise like
+    /// [`slot_probability`](Self::slot_probability), with the same
+    /// ascending-order norm sum.
     fn project(&mut self, slot: usize, value: bool) {
         let bit = 1usize << slot;
         let mut norm = 0.0;
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            if (i & bit != 0) != value {
+        for block in self.amps.chunks_exact_mut(2 * bit) {
+            let (lo, hi) = block.split_at_mut(bit);
+            let (keep, zap) = if value { (hi, lo) } else { (lo, hi) };
+            for a in zap {
                 *a = ZERO;
-            } else {
+            }
+            for a in keep {
                 norm += a.norm_sqr();
             }
         }
@@ -172,10 +263,10 @@ impl StateVec {
         }
         let slot = self.n_slots;
         self.n_slots += 1;
-        // Double the amplitude vector; the new qubit is |0⟩ (upper half 0).
-        let mut amps = vec![ZERO; self.amps.len() * 2];
-        amps[..self.amps.len()].copy_from_slice(&self.amps);
-        self.amps = amps;
+        // Double the amplitude vector in place; the new qubit is |0⟩ (upper
+        // half zero), so growing with ZERO is the whole job.
+        let len = self.amps.len();
+        self.amps.resize(len * 2, ZERO);
         if value {
             self.flip_slot(slot);
         }
@@ -183,11 +274,11 @@ impl StateVec {
     }
 
     fn flip_slot(&mut self, slot: usize) {
-        let bit = 1usize << slot;
-        for i in 0..self.amps.len() {
-            if i & bit == 0 {
-                self.amps.swap(i, i | bit);
-            }
+        if self.reference {
+            kernels::scan::flip(&mut self.amps, slot);
+        } else {
+            let ctx = self.kernel_ctx();
+            kernels::flip(&mut self.amps, slot, &ctx, &mut self.stats);
         }
     }
 
@@ -216,15 +307,39 @@ impl StateVec {
         Ok(Some((mask, want)))
     }
 
-    fn apply_1q(&mut self, slot: usize, m: &Mat2, mask: usize, want: usize) {
-        let bit = 1usize << slot;
-        for i in 0..self.amps.len() {
-            if i & bit == 0 && (i & mask) == want {
-                let j = i | bit;
-                let a0 = self.amps[i];
-                let a1 = self.amps[j];
-                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
-                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+    /// Applies a classified 2×2 matrix to `slot` under `(mask, want)`,
+    /// through the kernels or the scan reference per configuration.
+    fn apply_mat(&mut self, slot: usize, m: &Mat2, mask: usize, want: usize) {
+        if self.reference {
+            kernels::scan::apply_1q(&mut self.amps, slot, m, mask, want);
+        } else {
+            let ctx = self.kernel_ctx();
+            kernels::apply_mat2(&mut self.amps, slot, m, mask, want, &ctx, &mut self.stats);
+        }
+    }
+
+    /// Executes one op of a fused stream: pass-through gates go to
+    /// [`apply`](Self::apply), fused unitaries straight to the matrix
+    /// kernel.
+    ///
+    /// # Errors
+    ///
+    /// As for [`apply`](Self::apply).
+    pub fn apply_fused(&mut self, op: &FusedOp) -> Result<(), SimError> {
+        match op {
+            FusedOp::Gate(g) => self.apply(g),
+            FusedOp::Unitary1q {
+                wire,
+                controls,
+                mat,
+                ..
+            } => {
+                let Some((mask, want)) = self.resolve_controls(controls)? else {
+                    return Ok(());
+                };
+                let slot = self.slot_of(*wire)?;
+                self.apply_mat(slot, mat, mask, want);
+                Ok(())
             }
         }
     }
@@ -308,43 +423,51 @@ impl StateVec {
                     GateName::Swap => {
                         let a = self.slot_of(targets[0])?;
                         let b = self.slot_of(targets[1])?;
-                        let (ba, bb) = (1usize << a, 1usize << b);
-                        for i in 0..self.amps.len() {
-                            if i & ba != 0 && i & bb == 0 && (i & mask) == want {
-                                // Also require the partner to satisfy the
-                                // controls (controls are on distinct wires so
-                                // the partner agrees on them).
-                                self.amps.swap(i, i ^ ba ^ bb);
-                            }
+                        if self.reference {
+                            kernels::scan::apply_swap(&mut self.amps, a, b, mask, want);
+                        } else {
+                            let ctx = self.kernel_ctx();
+                            kernels::apply_swap(
+                                &mut self.amps,
+                                a,
+                                b,
+                                mask,
+                                want,
+                                &ctx,
+                                &mut self.stats,
+                            );
                         }
                         Ok(())
                     }
                     GateName::W => {
                         let a = self.slot_of(targets[0])?;
                         let b = self.slot_of(targets[1])?;
-                        let (ba, bb) = (1usize << a, 1usize << b);
-                        let s = std::f64::consts::FRAC_1_SQRT_2;
-                        for i in 0..self.amps.len() {
-                            // i has a=0, b=1; partner has a=1, b=0.
-                            if i & ba == 0 && i & bb != 0 && (i & mask) == want {
-                                let j = i ^ ba ^ bb;
-                                let v01 = self.amps[i];
-                                let v10 = self.amps[j];
-                                self.amps[i] = (v01 + v10).scale(s);
-                                self.amps[j] = (v01 - v10).scale(s);
-                            }
+                        if self.reference {
+                            kernels::scan::apply_w(&mut self.amps, a, b, mask, want);
+                        } else {
+                            let ctx = self.kernel_ctx();
+                            kernels::apply_w(
+                                &mut self.amps,
+                                a,
+                                b,
+                                *inverted,
+                                mask,
+                                want,
+                                &ctx,
+                                &mut self.stats,
+                            );
                         }
                         Ok(())
                     }
                     _ => {
-                        let m = single_qubit_matrix(name, *inverted).ok_or_else(|| {
+                        let m = kernels::single_qubit_matrix(name, *inverted).ok_or_else(|| {
                             SimError::UnsupportedGate {
                                 gate: gate.describe(),
                                 simulator: "state-vector",
                             }
                         })?;
                         let slot = self.slot_of(targets[0])?;
-                        self.apply_1q(slot, &m, mask, want);
+                        self.apply_mat(slot, &m, mask, want);
                         Ok(())
                     }
                 }
@@ -359,14 +482,14 @@ impl StateVec {
                 let Some((mask, want)) = self.resolve_controls(controls)? else {
                     return Ok(());
                 };
-                let m = rotation_matrix(name, *angle, *inverted).ok_or_else(|| {
+                let m = kernels::rotation_matrix(name, *angle, *inverted).ok_or_else(|| {
                     SimError::UnsupportedGate {
                         gate: gate.describe(),
                         simulator: "state-vector",
                     }
                 })?;
                 let slot = self.slot_of(targets[0])?;
-                self.apply_1q(slot, &m, mask, want);
+                self.apply_mat(slot, &m, mask, want);
                 Ok(())
             }
             Gate::GPhase { angle, controls } => {
@@ -374,10 +497,11 @@ impl StateVec {
                     return Ok(());
                 };
                 let phase = Complex::cis(std::f64::consts::PI * angle);
-                for (i, a) in self.amps.iter_mut().enumerate() {
-                    if (i & mask) == want {
-                        *a = phase * *a;
-                    }
+                if self.reference {
+                    kernels::scan::apply_phase(&mut self.amps, phase, mask, want);
+                } else {
+                    let ctx = self.kernel_ctx();
+                    kernels::apply_phase(&mut self.amps, phase, mask, want, &ctx, &mut self.stats);
                 }
                 Ok(())
             }
@@ -417,60 +541,6 @@ impl StateVec {
             }),
         }
     }
-}
-
-fn single_qubit_matrix(name: &GateName, inverted: bool) -> Option<Mat2> {
-    let h = std::f64::consts::FRAC_1_SQRT_2;
-    let r = |x: f64| Complex::new(x, 0.0);
-    let m: Mat2 = match name {
-        GateName::X => [[ZERO, ONE], [ONE, ZERO]],
-        GateName::Y => [[ZERO, -I], [I, ZERO]],
-        GateName::Z => [[ONE, ZERO], [ZERO, -ONE]],
-        GateName::H => [[r(h), r(h)], [r(h), -r(h)]],
-        GateName::S => [[ONE, ZERO], [ZERO, I]],
-        GateName::T => [
-            [ONE, ZERO],
-            [ZERO, Complex::cis(std::f64::consts::FRAC_PI_4)],
-        ],
-        GateName::V => {
-            let p = Complex::new(0.5, 0.5);
-            let q = Complex::new(0.5, -0.5);
-            [[p, q], [q, p]]
-        }
-        _ => return None,
-    };
-    Some(if inverted { dagger(&m) } else { m })
-}
-
-fn rotation_matrix(name: &str, angle: f64, inverted: bool) -> Option<Mat2> {
-    let m: Mat2 = match name {
-        // e^{-iZt} = diag(e^{-it}, e^{it}).
-        "exp(-i%Z)" => [[Complex::cis(-angle), ZERO], [ZERO, Complex::cis(angle)]],
-        // R(2π/2ᵏ) = diag(1, e^{2πi/2ᵏ}) where the parameter is k.
-        "R(2pi/%)" => {
-            let phase = 2.0 * std::f64::consts::PI / f64::powf(2.0, angle);
-            [[ONE, ZERO], [ZERO, Complex::cis(phase)]]
-        }
-        // Generic Z-axis rotation: diag(1, e^{iθ}).
-        "R(%)" => [[ONE, ZERO], [ZERO, Complex::cis(angle)]],
-        // Y-axis rotation e^{-iYθ/2}, used by the QLS conditional rotation.
-        "Ry(%)" => {
-            let (c, s) = ((angle / 2.0).cos(), (angle / 2.0).sin());
-            [
-                [Complex::new(c, 0.0), Complex::new(-s, 0.0)],
-                [Complex::new(s, 0.0), Complex::new(c, 0.0)],
-            ]
-        }
-        _ => return None,
-    };
-    Some(if inverted { dagger(&m) } else { m })
-}
-
-fn dagger(m: &Mat2) -> Mat2 {
-    [
-        [m[0][0].conj(), m[1][0].conj()],
-        [m[0][1].conj(), m[1][1].conj()],
-    ]
 }
 
 /// The result of running a circuit to completion.
@@ -527,25 +597,108 @@ pub fn run(bc: &BCircuit, inputs: &[bool], seed: u64) -> Result<RunResult, SimEr
     run_flat(&flat, inputs, seed)
 }
 
-/// Runs an already-flattened circuit (no subroutine calls) for one shot.
+/// Runs an already-flattened circuit (no subroutine calls) for one shot,
+/// with the default configuration.
 ///
 /// This is the reusable single-shot entry point: callers that execute the
 /// same circuit many times (shot loops, the `quipper-exec` engine) inline
 /// once and replay the flat gate list per shot, rather than paying
 /// flattening per run. The flat circuit is only read, so shots can run
-/// concurrently over one shared `&Circuit`.
+/// concurrently over one shared `&Circuit`. (Shot loops should prefer
+/// [`crate::fuse::fuse_circuit`] + [`run_fused`] so the fusion pass also
+/// runs once, not per shot.)
 ///
 /// # Errors
 ///
 /// As for [`run`], minus inlining errors.
 pub fn run_flat(flat: &Circuit, inputs: &[bool], seed: u64) -> Result<RunResult, SimError> {
+    run_flat_with(flat, inputs, seed, StateVecConfig::default())
+}
+
+/// Runs an already-flattened circuit with an explicit configuration.
+///
+/// # Errors
+///
+/// As for [`run_flat`].
+pub fn run_flat_with(
+    flat: &Circuit,
+    inputs: &[bool],
+    seed: u64,
+    config: StateVecConfig,
+) -> Result<RunResult, SimError> {
+    if config.fuse {
+        let fused = fuse_circuit(flat);
+        return run_fused(&fused, inputs, seed, config);
+    }
     if inputs.len() != flat.inputs.len() {
         return Err(SimError::InputArity {
             expected: flat.inputs.len(),
             found: inputs.len(),
         });
     }
-    let mut sv = StateVec::new(seed);
+    let mut sv = StateVec::with_config(seed, config);
+    for (&(w, t), &v) in flat.inputs.iter().zip(inputs) {
+        sv.add_input(w, t, v);
+    }
+    for gate in &flat.gates {
+        sv.apply(gate)?;
+    }
+    Ok(RunResult {
+        state: sv,
+        outputs: flat.outputs.clone(),
+    })
+}
+
+/// Runs a pre-fused circuit for one shot. Shot loops fuse once (or take the
+/// fused circuit from a cached plan) and call this per shot.
+///
+/// # Errors
+///
+/// As for [`run_flat`].
+pub fn run_fused(
+    fused: &FusedCircuit,
+    inputs: &[bool],
+    seed: u64,
+    config: StateVecConfig,
+) -> Result<RunResult, SimError> {
+    if inputs.len() != fused.inputs.len() {
+        return Err(SimError::InputArity {
+            expected: fused.inputs.len(),
+            found: inputs.len(),
+        });
+    }
+    let mut sv = StateVec::with_config(seed, config);
+    for (&(w, t), &v) in fused.inputs.iter().zip(inputs) {
+        sv.add_input(w, t, v);
+    }
+    for op in &fused.ops {
+        sv.apply_fused(op)?;
+    }
+    Ok(RunResult {
+        state: sv,
+        outputs: fused.outputs.clone(),
+    })
+}
+
+/// Runs a flat circuit on the full-scan reference path: no fusion, no
+/// kernels, no threads. The baseline that the optimized paths are verified
+/// against (and benchmarked over).
+///
+/// # Errors
+///
+/// As for [`run_flat`].
+pub fn run_flat_reference(
+    flat: &Circuit,
+    inputs: &[bool],
+    seed: u64,
+) -> Result<RunResult, SimError> {
+    if inputs.len() != flat.inputs.len() {
+        return Err(SimError::InputArity {
+            expected: flat.inputs.len(),
+            found: inputs.len(),
+        });
+    }
+    let mut sv = StateVec::reference(seed);
     for (&(w, t), &v) in flat.inputs.iter().zip(inputs) {
         sv.add_input(w, t, v);
     }
@@ -725,6 +878,53 @@ mod tests {
         let r = run(&bc, &[false, true, false], 1).unwrap();
         assert_eq!(r.classical_outputs(), vec![false, true, false]);
     }
+
+    #[test]
+    fn reference_and_kernel_paths_agree_on_measured_outputs() {
+        let bc = Circ::build(
+            &(false, false, false),
+            |c, (a, b, t): (Qubit, Qubit, Qubit)| {
+                c.hadamard(a);
+                c.gate_t(a);
+                c.cnot(b, a);
+                c.toffoli(t, a, b);
+                c.hadamard(b);
+                c.measure((a, b, t))
+            },
+        );
+        let flat = inline_all(&bc.db, &bc.main).unwrap();
+        for seed in 0..20 {
+            let r = run_flat_reference(&flat, &[false, true, false], seed).unwrap();
+            let k = run_flat_with(
+                &flat,
+                &[false, true, false],
+                seed,
+                StateVecConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(r.classical_outputs(), k.classical_outputs(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn kernel_stats_count_dispatches() {
+        let bc = Circ::build(&(false, false), |c, (a, b): (Qubit, Qubit)| {
+            c.gate_t(a); // diagonal
+            c.qnot(a); // permutation
+            c.hadamard(b); // general
+            (a, b)
+        });
+        let flat = inline_all(&bc.db, &bc.main).unwrap();
+        let cfg = StateVecConfig {
+            fuse: false,
+            ..StateVecConfig::sequential()
+        };
+        let r = run_flat_with(&flat, &[false, false], 1, cfg).unwrap();
+        let s = r.state.kernel_stats();
+        assert_eq!(s.diagonal, 1);
+        assert_eq!(s.permutation, 1);
+        assert_eq!(s.general, 1);
+    }
 }
 
 /// Runs a circuit `shots` times (seeds `seed0..seed0+shots`) and returns a
@@ -763,7 +963,7 @@ pub fn sample_outputs(
 ) -> Result<Vec<(Vec<bool>, u64)>, SimError> {
     use std::collections::HashMap;
     let mut hist: HashMap<Vec<bool>, u64> = HashMap::new();
-    // Inline once; replay the flat gate list per shot.
+    // Inline and fuse once; replay the fused op stream per shot.
     let flat = inline_all(&bc.db, &bc.main)?;
     if inputs.len() != flat.inputs.len() {
         return Err(SimError::InputArity {
@@ -771,8 +971,10 @@ pub fn sample_outputs(
             found: inputs.len(),
         });
     }
+    let config = StateVecConfig::default();
+    let fused = fuse_circuit(&flat);
     for shot in 0..shots {
-        let r = run_flat(&flat, inputs, seed0 + shot)?;
+        let r = run_fused(&fused, inputs, seed0 + shot, config)?;
         let mut key = Vec::with_capacity(r.outputs.len());
         for &(w, t) in &r.outputs {
             if t != WireType::Classical {
