@@ -21,6 +21,12 @@ pub fn optimal_iterations(k: usize, m: u64) -> u64 {
 /// uniform superposition, `iterations` rounds of (phase oracle; diffusion),
 /// then measurement of the index register.
 ///
+/// The oracle and the diffusion operator are boxed subroutines (paper
+/// §3.4.1): each is generated once and called `iterations` times, so
+/// hierarchical consumers — printers, resource reports, the trace — see the
+/// round structure instead of an unrolled gate soup. Flattened semantics
+/// are unchanged.
+///
 /// # Panics
 ///
 /// Panics if the DAG does not have exactly one output.
@@ -28,38 +34,46 @@ pub fn grover_circuit(dag: &CDag, iterations: u64) -> BCircuit {
     assert_eq!(dag.num_outputs(), 1, "search needs a predicate");
     let k = dag.num_inputs();
     let mut c = Circ::new();
-    let pos: Vec<Qubit> = (0..k).map(|_| c.qinit_bit(false)).collect();
+    let mut pos: Vec<Qubit> = (0..k).map(|_| c.qinit_bit(false)).collect();
     for &q in &pos {
         c.hadamard(q);
     }
     for _ in 0..iterations {
-        // Phase oracle: flip the sign of marked indices.
-        c.with_computed(
-            |c| {
-                let target = c.qinit_bit(false);
-                synth::classical_to_reversible(c, dag, &pos, &[target]);
-                target
-            },
-            |c, &target| c.gate_z(target),
-        );
-        // Diffusion about the uniform superposition.
-        for &q in &pos {
-            c.hadamard(q);
-        }
-        let controls: Vec<quipper::Control> = pos
-            .iter()
-            .map(|&q| quipper::Control {
-                wire: q.wire(),
-                positive: false,
-            })
-            .collect();
-        c.emit(quipper::Gate::GPhase {
-            angle: 1.0,
-            controls,
+        // Phase oracle: flip the sign of marked indices. The compute /
+        // phase-flip / uncompute sandwich lives inside the box, so its
+        // ancillas show up as the box's own high-water mark.
+        pos = c.box_circ("grover_oracle", pos, |c, pos| {
+            c.with_computed(
+                |c| {
+                    let target = c.qinit_bit(false);
+                    synth::classical_to_reversible(c, dag, &pos, &[target]);
+                    target
+                },
+                |c, &target| c.gate_z(target),
+            );
+            pos
         });
-        for &q in &pos {
-            c.hadamard(q);
-        }
+        // Diffusion about the uniform superposition.
+        pos = c.box_circ("diffusion", pos, |c, pos| {
+            for &q in &pos {
+                c.hadamard(q);
+            }
+            let controls: Vec<quipper::Control> = pos
+                .iter()
+                .map(|&q| quipper::Control {
+                    wire: q.wire(),
+                    positive: false,
+                })
+                .collect();
+            c.emit(quipper::Gate::GPhase {
+                angle: 1.0,
+                controls,
+            });
+            for &q in &pos {
+                c.hadamard(q);
+            }
+            pos
+        });
     }
     let m = c.measure(pos);
     c.finish(&m)

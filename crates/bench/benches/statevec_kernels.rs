@@ -119,6 +119,65 @@ fn measure(name: &'static str, bc: &BCircuit, inputs: &[bool], iters: usize) -> 
     }
 }
 
+/// CI smoke for the observability layer: the *disabled* tracing path must be
+/// a single relaxed atomic load, cheap enough that even one gated call per
+/// gate of the 20-qubit mixed workload would cost under 2% of the PR 2
+/// kernel-path baseline recorded in `BENCH_statevec.json`. Measured as a
+/// per-call microbenchmark × a gate-count bound rather than end-to-end, so
+/// the check is insensitive to host speed (both sides scale together) and to
+/// run-to-run noise far below 2%.
+fn tracing_overhead_smoke() {
+    use quipper_trace::{names, Phase};
+
+    // Per-call cost of the disabled fast path: one gated span attempt plus
+    // one gated counter bump — the two shapes instrumented on hot paths.
+    let tracer = quipper_trace::tracer();
+    assert!(!tracer.enabled(), "smoke expects tracing disabled");
+    let calls: u64 = 2_000_000;
+    let start = Instant::now();
+    for _ in 0..calls {
+        let span = quipper_trace::span(Phase::Execute, "bench.overhead");
+        assert!(span.is_none());
+        quipper_trace::count(names::KERNEL_GENERAL, 1);
+    }
+    let ns_per_call = start.elapsed().as_secs_f64() * 1e9 / calls as f64;
+
+    // The PR 2 baseline for the full-size mixed workload, read back with the
+    // trace crate's own JSON parser.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_statevec.json");
+    let baseline = std::fs::read_to_string(path).expect("BENCH_statevec.json present");
+    let doc = quipper_trace::parse_json(&baseline).expect("baseline parses");
+    let mixed_baseline = doc
+        .get("benches")
+        .and_then(|b| b.as_arr())
+        .into_iter()
+        .flatten()
+        .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("mixed"))
+        .expect("mixed entry in baseline");
+    let baseline_ms = mixed_baseline
+        .get("kernels_ms")
+        .and_then(|v| v.as_num())
+        .expect("kernels_ms in baseline");
+    let baseline_gates = mixed_baseline
+        .get("gates")
+        .and_then(|v| v.as_num())
+        .expect("gates in baseline");
+
+    // Generous bound: as if every gate of the workload hit a gated call site
+    // (the real run path has a handful per *run*, not per gate).
+    let overhead_ms = baseline_gates * ns_per_call / 1e6;
+    let pct = 100.0 * overhead_ms / baseline_ms;
+    assert!(
+        pct < 2.0,
+        "disabled-tracing overhead bound {pct:.3}% of the {baseline_ms}ms mixed \
+         baseline exceeds the 2% budget ({ns_per_call:.1}ns per gated call)"
+    );
+    println!(
+        "tracing-overhead smoke passed: {ns_per_call:.1}ns per disabled call, \
+         bounded at {pct:.3}% of the mixed kernel baseline"
+    );
+}
+
 fn main() {
     let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
     // The adder's carry ancillas make its peak width ~5x the operand width,
@@ -177,6 +236,7 @@ fn main() {
             "quick-mode smoke check passed ({:.2}x on mixed)",
             mixed.speedup()
         );
+        tracing_overhead_smoke();
     }
 
     if std::env::var("BENCH_STATEVEC_WRITE").is_ok_and(|v| v != "0" && !v.is_empty()) {

@@ -28,6 +28,7 @@ use crate::wire::Wire;
 /// under controls contains a non-controllable gate (e.g. a measurement), or
 /// if a referenced subroutine is missing.
 pub fn inline_all(db: &CircuitDb, circuit: &Circuit) -> Result<Circuit, CircuitError> {
+    let _span = quipper_trace::span(quipper_trace::Phase::Compile, "flatten");
     let mut ctx = Inliner {
         db,
         flat: HashMap::new(),

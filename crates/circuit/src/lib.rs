@@ -41,6 +41,7 @@ pub mod flatten;
 pub mod gate;
 pub mod print;
 pub mod qasm;
+pub mod resources;
 pub mod reverse;
 pub mod validate;
 pub mod wire;

@@ -1,0 +1,291 @@
+//! Per-subroutine resource accounting over hierarchical circuits.
+//!
+//! Walks a [`BCircuit`]'s boxed-subroutine DAG *without expanding it* — the
+//! same aggregate-by-multiplication discipline as [`crate::count`] — and
+//! produces a [`ResourceReport`]: one row per reachable subroutine with
+//! aggregate call counts, gate counts by class, peak live qubits, and the
+//! ancilla high-water mark, in the style of arXiv:1412.0625.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use quipper_trace::report::{ResourceReport, ResourceRow};
+
+use crate::circuit::{BCircuit, BoxId, Circuit, CircuitDb};
+use crate::count::{self, GateClass};
+use crate::gate::Gate;
+use crate::wire::WireType;
+
+/// Direct subroutine calls of one circuit body, with repetition factors
+/// accumulated per callee.
+fn direct_calls(circuit: &Circuit) -> Vec<(BoxId, u128)> {
+    let mut calls: BTreeMap<BoxId, u128> = BTreeMap::new();
+    for gate in &circuit.gates {
+        if let Gate::Subroutine {
+            id, repetitions, ..
+        } = gate
+        {
+            *calls.entry(*id).or_insert(0) += u128::from(*repetitions);
+        }
+    }
+    calls.into_iter().collect()
+}
+
+/// Gate classes of one body, not descending into subroutine calls.
+fn own_classes(circuit: &Circuit) -> BTreeMap<GateClass, u128> {
+    let mut counts = BTreeMap::new();
+    for gate in &circuit.gates {
+        if let Some(class) = count::classify(gate) {
+            *counts.entry(class).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+fn quantum_inputs(circuit: &Circuit) -> u64 {
+    circuit
+        .inputs
+        .iter()
+        .filter(|&&(_, t)| t == WireType::Quantum)
+        .count() as u64
+}
+
+/// Reachable boxes in topological order (callers before callees).
+fn topo_order(db: &CircuitDb, main: &Circuit) -> Vec<BoxId> {
+    fn visit(id: BoxId, db: &CircuitDb, seen: &mut HashSet<BoxId>, post: &mut Vec<BoxId>) {
+        if !seen.insert(id) {
+            return;
+        }
+        if let Ok(def) = db.get(id) {
+            for (child, _) in direct_calls(&def.circuit) {
+                visit(child, db, seen, post);
+            }
+        }
+        post.push(id);
+    }
+    let mut seen = HashSet::new();
+    let mut post = Vec::new();
+    for (child, _) in direct_calls(main) {
+        visit(child, db, &mut seen, &mut post);
+    }
+    post.reverse();
+    post
+}
+
+fn row_for(
+    name: String,
+    level: u32,
+    calls: u128,
+    circuit: &Circuit,
+    db: &CircuitDb,
+) -> ResourceRow {
+    let classes = own_classes(circuit);
+    let own_gates: u128 = classes.values().sum();
+    let peak = count::max_alive(db, circuit);
+    ResourceRow {
+        name,
+        level,
+        calls,
+        own_gates,
+        total_gates: own_gates.saturating_mul(calls),
+        gates_by_class: classes
+            .into_iter()
+            .map(|(class, n)| (class.to_string(), n.saturating_mul(calls)))
+            .collect(),
+        peak_qubits: peak.quantum,
+        ancilla_high_water: peak.quantum.saturating_sub(quantum_inputs(circuit)),
+    }
+}
+
+/// Computes a per-subroutine resource report for a hierarchical circuit.
+///
+/// Aggregate call counts multiply repetition factors through every call
+/// path; a subroutine's `level` is its minimum depth below `main`. Rows are
+/// sorted by `(level, name)` with `main` first. The circuit is never
+/// flattened, so this is cheap even for circuits whose expansion has
+/// trillions of gates.
+///
+/// # Panics
+///
+/// As for [`count::count`]: the circuit must reference only subroutines
+/// present in the database, without cycles (run
+/// [`validate`](crate::validate::validate) first for a `Result`-based
+/// check).
+pub fn resource_report(bc: &BCircuit, label: &str) -> ResourceReport {
+    let order = topo_order(&bc.db, &bc.main);
+
+    let mut calls: HashMap<BoxId, u128> = HashMap::new();
+    let mut level: HashMap<BoxId, u32> = HashMap::new();
+    for (child, reps) in direct_calls(&bc.main) {
+        *calls.entry(child).or_insert(0) += reps;
+        level.insert(child, 1);
+    }
+    for &u in &order {
+        let cu = calls.get(&u).copied().unwrap_or(0);
+        let lu = level.get(&u).copied().unwrap_or(1);
+        if let Ok(def) = bc.db.get(u) {
+            for (v, r) in direct_calls(&def.circuit) {
+                *calls.entry(v).or_insert(0) += cu.saturating_mul(r);
+                level
+                    .entry(v)
+                    .and_modify(|l| *l = (*l).min(lu + 1))
+                    .or_insert(lu + 1);
+            }
+        }
+    }
+
+    // Same-named boxes at different shapes get disambiguated row names.
+    let mut name_uses: HashMap<&str, u32> = HashMap::new();
+    for &id in &order {
+        if let Ok(def) = bc.db.get(id) {
+            *name_uses.entry(def.name.as_str()).or_insert(0) += 1;
+        }
+    }
+
+    let mut rows = vec![row_for("main".to_string(), 0, 1, &bc.main, &bc.db)];
+    for &id in &order {
+        let Ok(def) = bc.db.get(id) else { continue };
+        let name = if name_uses.get(def.name.as_str()).copied().unwrap_or(0) > 1 {
+            format!("{}[{}]", def.name, def.shape)
+        } else {
+            def.name.clone()
+        };
+        rows.push(row_for(
+            name,
+            level.get(&id).copied().unwrap_or(1),
+            calls.get(&id).copied().unwrap_or(0),
+            &def.circuit,
+            &bc.db,
+        ));
+    }
+    rows[1..].sort_by(|a, b| (a.level, &a.name).cmp(&(b.level, &b.name)));
+
+    let total_gates = rows.iter().map(|r| r.total_gates).sum();
+    let peak_qubits = count::max_alive(&bc.db, &bc.main).quantum;
+    ResourceReport {
+        label: label.to_string(),
+        rows,
+        total_gates,
+        peak_qubits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::SubDef;
+    use crate::gate::GateName;
+    use crate::wire::Wire;
+
+    fn q(w: u32) -> (Wire, WireType) {
+        (Wire(w), WireType::Quantum)
+    }
+
+    fn call(id: BoxId, wires: &[u32], repetitions: u64) -> Gate {
+        Gate::Subroutine {
+            id,
+            inverted: false,
+            inputs: wires.iter().map(|&w| Wire(w)).collect(),
+            outputs: wires.iter().map(|&w| Wire(w)).collect(),
+            controls: vec![],
+            repetitions,
+        }
+    }
+
+    /// main —2×→ outer —3×→ inner; inner also called once from main.
+    fn sample() -> BCircuit {
+        let mut db = CircuitDb::new();
+        let mut inner = Circuit::with_inputs(vec![q(0), q(1)]);
+        inner.gates.push(Gate::cnot(Wire(0), Wire(1)));
+        let inner_id = db.insert(SubDef {
+            name: "inner".into(),
+            shape: "s".into(),
+            circuit: inner,
+        });
+        let mut outer = Circuit::with_inputs(vec![q(0), q(1)]);
+        outer.gates.push(Gate::unary(GateName::H, Wire(0)));
+        outer.gates.push(call(inner_id, &[0, 1], 3));
+        let outer_id = db.insert(SubDef {
+            name: "outer".into(),
+            shape: "s".into(),
+            circuit: outer,
+        });
+        let mut main = Circuit::with_inputs(vec![q(0), q(1)]);
+        main.gates.push(Gate::unary(GateName::H, Wire(1)));
+        main.gates.push(call(outer_id, &[0, 1], 2));
+        main.gates.push(call(inner_id, &[0, 1], 1));
+        BCircuit::new(db, main)
+    }
+
+    #[test]
+    fn aggregates_calls_levels_and_gates() {
+        let report = resource_report(&sample(), "sample");
+        assert_eq!(report.label, "sample");
+        let names: Vec<&str> = report.rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["main", "inner", "outer"]);
+
+        let main = &report.rows[0];
+        assert_eq!((main.level, main.calls, main.own_gates), (0, 1, 1));
+
+        // inner: once directly from main, plus 2 (main→outer) × 3 (outer→inner).
+        let inner = &report.rows[1];
+        assert_eq!((inner.level, inner.calls), (1, 7));
+        assert_eq!(inner.own_gates, 1);
+        assert_eq!(inner.total_gates, 7);
+        assert_eq!(
+            inner.gates_by_class,
+            vec![("\"Not\", controls 1".into(), 7)]
+        );
+
+        let outer = &report.rows[2];
+        assert_eq!((outer.level, outer.calls, outer.total_gates), (1, 2, 2));
+
+        assert_eq!(report.total_gates, 10);
+        assert_eq!(report.peak_qubits, 2);
+        assert!(report.rows.iter().all(|r| r.ancilla_high_water == 0));
+    }
+
+    #[test]
+    fn ancilla_high_water_counts_scratch_beyond_inputs() {
+        // A body that inits two ancillas on top of one input qubit.
+        let mut body = Circuit::with_inputs(vec![q(0)]);
+        body.gates.push(Gate::QInit {
+            value: false,
+            wire: Wire(1),
+        });
+        body.gates.push(Gate::QInit {
+            value: false,
+            wire: Wire(2),
+        });
+        body.gates.push(Gate::cnot(Wire(1), Wire(0)));
+        body.gates.push(Gate::QTerm {
+            value: false,
+            wire: Wire(1),
+        });
+        body.gates.push(Gate::QTerm {
+            value: false,
+            wire: Wire(2),
+        });
+        let mut db = CircuitDb::new();
+        let id = db.insert(SubDef {
+            name: "scratch".into(),
+            shape: "".into(),
+            circuit: body,
+        });
+        let mut main = Circuit::with_inputs(vec![q(0)]);
+        main.gates.push(Gate::Subroutine {
+            id,
+            inverted: false,
+            inputs: vec![Wire(0)],
+            outputs: vec![Wire(0)],
+            controls: vec![],
+            repetitions: 1,
+        });
+        let report = resource_report(&BCircuit::new(db, main), "anc");
+        let row = report.rows.iter().find(|r| r.name == "scratch").unwrap();
+        assert_eq!(row.peak_qubits, 3);
+        assert_eq!(row.ancilla_high_water, 2);
+        // main's peak includes the subroutine's ancillas.
+        assert_eq!(report.peak_qubits, 3);
+        assert_eq!(report.rows[0].ancilla_high_water, 2);
+    }
+}

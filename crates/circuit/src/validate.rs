@@ -37,6 +37,7 @@ pub struct Report {
 /// of a non-repeatable subroutine, or a mismatch between declared outputs and
 /// live wires.
 pub fn validate(db: &CircuitDb, circuit: &Circuit) -> Result<Report, CircuitError> {
+    let _span = quipper_trace::span(quipper_trace::Phase::Compile, "validate");
     let mut alive: HashMap<Wire, WireType> = HashMap::new();
     for &(w, t) in &circuit.inputs {
         if alive.insert(w, t).is_some() {

@@ -129,6 +129,7 @@ impl Circ {
     /// circuit-generating function and a shape argument to Quipper's
     /// `print_generic`.
     pub fn build<S: Shape, B: QCData>(shape: &S, f: impl FnOnce(&mut Circ, S::Q) -> B) -> BCircuit {
+        let _span = quipper_trace::span(quipper_trace::Phase::Generate, "circ.build");
         let mut c = Circ::new();
         let input = c.input(shape);
         let out = f(&mut c, input);
@@ -153,6 +154,7 @@ impl Circ {
         lifter: Rc<RefCell<dyn Lifter>>,
         f: impl FnOnce(&mut Circ, S::Q) -> B,
     ) -> BCircuit {
+        let _span = quipper_trace::span(quipper_trace::Phase::Generate, "circ.build_interactive");
         let mut c = Circ::new();
         c.set_lifter(lifter);
         let input = c.input(shape);
@@ -257,6 +259,7 @@ impl Circ {
     ///
     /// Panics if the gate is ill-formed in the current context.
     pub fn emit(&mut self, gate: Gate) {
+        quipper_trace::count(quipper_trace::names::GATES_EMITTED, 1);
         let gate = match gate.with_controls(&self.controls) {
             Ok(g) => g,
             Err(e) => panic!("cannot control gate: {e}"),
@@ -908,6 +911,10 @@ impl Circ {
         let id = match existing {
             Some(id) => id,
             None => {
+                let _span = quipper_trace::span_lazy(quipper_trace::Phase::Generate, || {
+                    format!("box:{name}")
+                });
+                quipper_trace::count(quipper_trace::names::BOXES_BUILT, 1);
                 let (circuit, out) = self.build_subcircuit_qc(shape, f);
                 let mut shared = self.shared.borrow_mut();
                 let id = shared.db.insert(SubDef {
@@ -967,6 +974,10 @@ impl Circ {
         match existing {
             Some(id) => id,
             None => {
+                let _span = quipper_trace::span_lazy(quipper_trace::Phase::Generate, || {
+                    format!("box:{name}")
+                });
+                quipper_trace::count(quipper_trace::names::BOXES_BUILT, 1);
                 let (circuit, out) = self.build_subcircuit_qc(input, f);
                 let mut shared = self.shared.borrow_mut();
                 let id = shared.db.insert(SubDef {

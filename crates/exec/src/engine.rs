@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 use quipper::{Circ, QCData, Shape};
 use quipper_circuit::BCircuit;
 use quipper_sim::{FuseStats, StateVecConfig};
+use quipper_trace::{fmt_duration, names, Phase, TraceSummary, Tracer};
 
 use crate::backend::{
     Backend, ClassicalBackend, CountingBackend, ResourceEstimate, StabilizerBackend,
@@ -30,6 +31,7 @@ use crate::backend::{
 };
 use crate::error::ExecError;
 use crate::plan::{Plan, PlanCache};
+use crate::profile::CircuitProfile;
 
 /// Tuning knobs for [`Engine::with_config`].
 #[derive(Clone, Copy, Debug)]
@@ -40,6 +42,10 @@ pub struct EngineConfig {
     pub max_qubits: usize,
     /// State-vector hot-path tuning (gate fusion, kernel threading).
     pub statevec: StateVecConfig,
+    /// Tracing sink for spans, cache/routing events and latency metrics.
+    /// Defaults to the process-wide [`quipper_trace::tracer`] (disabled until
+    /// someone enables it); use [`Tracer::leaked`] for a dedicated sink.
+    pub trace: &'static Tracer,
 }
 
 impl Default for EngineConfig {
@@ -50,6 +56,7 @@ impl Default for EngineConfig {
                 .unwrap_or(1),
             max_qubits: crate::backend::DEFAULT_MAX_QUBITS,
             statevec: StateVecConfig::default(),
+            trace: quipper_trace::tracer(),
         }
     }
 }
@@ -127,6 +134,11 @@ pub struct ExecReport {
     /// Fusion and kernel-classification counters of the executed plan
     /// (static per plan, independent of shot count).
     pub fuse: FuseStats,
+    /// Why the job ran on `backend`: the routing decision derived from the
+    /// plan's [`CircuitProfile`] (or the pin requested by the job).
+    pub route_reason: String,
+    /// Trace accounting for this job, when tracing was enabled during it.
+    pub trace: Option<TraceSummary>,
 }
 
 impl ExecReport {
@@ -140,19 +152,22 @@ impl fmt::Display for ExecReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} shot{} on `{}` ({} worker{}, plan {:#018x} {}, {} of {} gates fused away) compile {:.3?} + exec {:.3?}",
+            "{:>6} shots on {:<10} | plan {:#018x} {} | workers {:<2} | compile {:>9} | exec {:>9} | fused {}/{} | route: {}",
             self.shots,
-            if self.shots == 1 { "" } else { "s" },
             self.backend,
-            self.workers,
-            if self.workers == 1 { "" } else { "s" },
             self.fingerprint,
-            if self.cache_hit { "cached" } else { "compiled" },
+            if self.cache_hit { "hit " } else { "miss" },
+            self.workers,
+            fmt_duration(self.compile),
+            fmt_duration(self.execute),
             self.fuse.fused_away,
             self.fuse.gates_in,
-            self.compile,
-            self.execute,
-        )
+            self.route_reason,
+        )?;
+        if let Some(trace) = &self.trace {
+            write!(f, " | trace: {trace}")?;
+        }
+        Ok(())
     }
 }
 
@@ -213,23 +228,24 @@ pub struct EngineStats {
 
 impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "jobs: {} ({} shots)", self.jobs, self.shots)?;
+        writeln!(f, "{:<12}{} ({} shots)", "jobs", self.jobs, self.shots)?;
         writeln!(
             f,
-            "plan cache: {} hits, {} misses, {} cached",
-            self.cache_hits, self.cache_misses, self.cached_plans
+            "{:<12}{} hits / {} misses / {} cached",
+            "plan cache", self.cache_hits, self.cache_misses, self.cached_plans
         )?;
+        writeln!(f, "{:<12}{} gates fused away", "fusion", self.fused_gates)?;
         writeln!(
             f,
-            "fusion: {} gates fused away; kernel ops: diagonal={} permutation={} general={}",
-            self.fused_gates, self.diagonal_ops, self.permutation_ops, self.general_ops
+            "{:<12}diagonal {} | permutation {} | general {}",
+            "kernel ops", self.diagonal_ops, self.permutation_ops, self.general_ops
         )?;
-        write!(f, "backends:")?;
-        for (name, n) in &self.backend_jobs {
-            write!(f, " {name}={n}")?;
+        write!(f, "{:<12}", "backends")?;
+        for (i, (name, n)) in self.backend_jobs.iter().enumerate() {
+            write!(f, "{}{name}={n}", if i == 0 { "" } else { " " })?;
         }
         if self.interactive_runs > 0 {
-            write!(f, "\ninteractive runs: {}", self.interactive_runs)?;
+            write!(f, "\n{:<12}{}", "interactive", self.interactive_runs)?;
         }
         Ok(())
     }
@@ -242,6 +258,7 @@ pub struct Engine {
     counting: CountingBackend,
     cache: PlanCache,
     workers: usize,
+    trace: &'static Tracer,
     jobs: AtomicU64,
     shots: AtomicU64,
     interactive_runs: AtomicU64,
@@ -283,6 +300,7 @@ impl Engine {
             counting: CountingBackend,
             cache: PlanCache::new(),
             workers: config.workers.max(1),
+            trace: config.trace,
             jobs: AtomicU64::new(0),
             shots: AtomicU64::new(0),
             interactive_runs: AtomicU64::new(0),
@@ -368,28 +386,63 @@ impl Engine {
     }
 
     fn run_with_workers(&self, job: &Job, workers: usize) -> Result<ExecResult, ExecError> {
+        let trace = self.trace;
+        let counts_before = trace.counts();
+        let _job_span = trace.span(Phase::Execute, "engine.job");
+
         let compile_start = Instant::now();
-        let (plan, cache_hit) = self.cache.get_or_compile(job.circuit)?;
+        let (plan, cache_hit) = {
+            let _span = trace.span(Phase::Compile, "plan.get_or_compile");
+            self.cache.get_or_compile(job.circuit)?
+        };
         let compile = compile_start.elapsed();
+        if trace.enabled() {
+            let (metric, tag) = if cache_hit {
+                (names::CACHE_HIT, "hit")
+            } else {
+                (names::CACHE_MISS, "miss")
+            };
+            trace.metrics().add(metric, 1);
+            trace.instant(
+                Phase::Compile,
+                "plan.cache",
+                Some(format!("{tag} plan {:#018x}", plan.fingerprint)),
+            );
+        }
+
         let backend = self.route(&plan, job.backend.as_deref())?;
+        let route_reason = route_reason(&plan.profile, backend.name(), job.backend.is_some());
+        if trace.enabled() {
+            trace.metrics().add(route_metric(backend.name()), 1);
+            trace
+                .metrics()
+                .record_max(names::PEAK_QUBITS, plan.profile.peak_qubits as u64);
+            trace.instant(
+                Phase::Execute,
+                "route",
+                Some(format!("{}: {route_reason}", backend.name())),
+            );
+        }
         if !plan.profile.outputs_classical {
             return Err(ExecError::QuantumOutputs);
         }
 
         let workers = workers.clamp(1, job.shots.max(1) as usize);
+        let task = ShotTask {
+            backend,
+            plan: &plan,
+            inputs: &job.inputs,
+            base_seed: job.base_seed,
+            trace,
+        };
         let start = Instant::now();
-        let histogram = if workers == 1 {
-            run_shots(backend, &plan, &job.inputs, job.base_seed, 0..job.shots)
-                .map_err(|(_, e)| e)?
-        } else {
-            run_shots_parallel(
-                backend,
-                &plan,
-                &job.inputs,
-                job.base_seed,
-                job.shots,
-                workers,
-            )?
+        let histogram = {
+            let _span = trace.span(Phase::Execute, "shots");
+            if workers == 1 {
+                run_shots(&task, 0..job.shots).map_err(|(_, e)| e)?
+            } else {
+                run_shots_parallel(&task, job.shots, workers)?
+            }
         };
         let execute = start.elapsed();
 
@@ -414,6 +467,14 @@ impl Engine {
             .entry(backend.name())
             .or_insert(0) += 1;
 
+        let trace_summary = trace.enabled().then(|| {
+            let counts_after = trace.counts();
+            TraceSummary {
+                events: counts_after.0 - counts_before.0,
+                dropped: counts_after.1 - counts_before.1,
+            }
+        });
+
         Ok(ExecResult {
             histogram,
             report: ExecReport {
@@ -425,6 +486,8 @@ impl Engine {
                 compile,
                 execute,
                 fuse,
+                route_reason,
+                trace: trace_summary,
             },
         })
     }
@@ -489,21 +552,64 @@ impl Engine {
 
 type Histogram = HashMap<Vec<bool>, u64>;
 
+/// Why the router picked `backend`, phrased from the circuit profile. The
+/// registration order is cheapest-first, so each backend's reason states the
+/// profile property that admitted it.
+fn route_reason(profile: &CircuitProfile, backend: &'static str, pinned: bool) -> String {
+    if pinned {
+        return format!("pinned to `{backend}` by the job");
+    }
+    match backend {
+        "classical" => "classical-only circuit; boolean evaluation suffices".to_string(),
+        "stabilizer" => "Clifford-only circuit; polynomial stabilizer simulation".to_string(),
+        "statevec" => format!(
+            "universal gate set; peak {} qubit{} within state-vector cap",
+            profile.peak_qubits,
+            if profile.peak_qubits == 1 { "" } else { "s" },
+        ),
+        other => format!("first capable backend `{other}`"),
+    }
+}
+
+/// The routing-decision counter for a backend name.
+fn route_metric(backend: &'static str) -> &'static str {
+    match backend {
+        "classical" => names::ROUTE_CLASSICAL,
+        "stabilizer" => names::ROUTE_STABILIZER,
+        "statevec" => names::ROUTE_STATEVEC,
+        _ => names::ROUTE_OTHER,
+    }
+}
+
+/// Everything a shot worker needs, shared read-only across workers.
+struct ShotTask<'a> {
+    backend: &'a dyn Backend,
+    plan: &'a Plan,
+    inputs: &'a [bool],
+    base_seed: u64,
+    trace: &'a Tracer,
+}
+
 /// Runs a contiguous range of shots, accumulating a local histogram. On
 /// error, reports the failing shot's index so callers can pick the
 /// lowest-indexed error deterministically.
-fn run_shots(
-    backend: &dyn Backend,
-    plan: &Plan,
-    inputs: &[bool],
-    base_seed: u64,
-    shots: std::ops::Range<u64>,
-) -> Result<Histogram, (u64, ExecError)> {
+fn run_shots(task: &ShotTask, shots: std::ops::Range<u64>) -> Result<Histogram, (u64, ExecError)> {
+    // Per-shot timing costs two clock reads; only pay them while tracing.
+    let timed = task.trace.enabled();
     let mut histogram = Histogram::new();
     for shot in shots {
-        match backend.run_shot(plan, inputs, base_seed.wrapping_add(shot)) {
+        let shot_start = timed.then(Instant::now);
+        match task
+            .backend
+            .run_shot(task.plan, task.inputs, task.base_seed.wrapping_add(shot))
+        {
             Ok(bits) => *histogram.entry(bits).or_insert(0) += 1,
             Err(e) => return Err((shot, e)),
+        }
+        if let Some(start) = shot_start {
+            task.trace
+                .metrics()
+                .observe(names::SHOT_LATENCY_US, start.elapsed().as_micros() as u64);
         }
     }
     Ok(histogram)
@@ -513,14 +619,7 @@ fn run_shots(
 /// merges the per-worker histograms. Seeds depend only on the shot index, and
 /// histogram addition commutes, so the merged result is bit-identical to a
 /// sequential run.
-fn run_shots_parallel(
-    backend: &dyn Backend,
-    plan: &Plan,
-    inputs: &[bool],
-    base_seed: u64,
-    shots: u64,
-    workers: usize,
-) -> Result<Histogram, ExecError> {
+fn run_shots_parallel(task: &ShotTask, shots: u64, workers: usize) -> Result<Histogram, ExecError> {
     let next_chunk = AtomicUsize::new(0);
     let chunks: Vec<std::ops::Range<u64>> = (0..workers as u64)
         .map(|i| (i * shots / workers as u64)..((i + 1) * shots / workers as u64))
@@ -540,7 +639,13 @@ fn run_shots_parallel(
                         let Some(range) = chunks.get(i) else {
                             return Ok(merged);
                         };
-                        let local = run_shots(backend, plan, inputs, base_seed, range.clone())?;
+                        let _span = task.trace.enabled().then(|| {
+                            task.trace.span(
+                                Phase::Execute,
+                                format!("shots[{}..{}]", range.start, range.end),
+                            )
+                        });
+                        let local = run_shots(task, range.clone())?;
                         for (bits, n) in local {
                             *merged.entry(bits).or_insert(0) += n;
                         }
@@ -634,5 +739,116 @@ impl<'a> JobQueue<'a> {
             .into_iter()
             .map(|slot| slot.into_inner().unwrap().expect("every job slot filled"))
             .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ExecReport {
+        ExecReport {
+            backend: "statevec",
+            shots: 1000,
+            workers: 4,
+            cache_hit: false,
+            fingerprint: 0xdead_beef,
+            compile: Duration::from_micros(1_500),
+            execute: Duration::from_micros(250),
+            fuse: FuseStats {
+                gates_in: 210,
+                gates_out: 198,
+                fused_away: 12,
+                diagonal: 20,
+                permutation: 30,
+                general: 100,
+                other: 48,
+            },
+            route_reason: "universal gate set; peak 9 qubits within state-vector cap".into(),
+            trace: None,
+        }
+    }
+
+    // Golden tests: the exact rendering is part of the interface (logs and
+    // example output are diffed across PRs), so any change must be explicit.
+    #[test]
+    fn exec_report_display_golden() {
+        assert_eq!(
+            sample_report().to_string(),
+            "  1000 shots on statevec   | plan 0x00000000deadbeef miss | workers 4  | \
+             compile    1.50ms | exec  250.00µs | fused 12/210 | \
+             route: universal gate set; peak 9 qubits within state-vector cap"
+        );
+    }
+
+    #[test]
+    fn exec_report_display_with_cache_hit_and_trace() {
+        let report = ExecReport {
+            cache_hit: true,
+            compile: Duration::from_nanos(480),
+            execute: Duration::from_millis(2_500),
+            trace: Some(TraceSummary {
+                events: 42,
+                dropped: 0,
+            }),
+            route_reason: "pinned to `statevec` by the job".into(),
+            ..sample_report()
+        };
+        assert_eq!(
+            report.to_string(),
+            "  1000 shots on statevec   | plan 0x00000000deadbeef hit  | workers 4  | \
+             compile     480ns | exec     2.50s | fused 12/210 | \
+             route: pinned to `statevec` by the job | trace: 42 events"
+        );
+    }
+
+    #[test]
+    fn engine_stats_display_golden() {
+        let stats = EngineStats {
+            jobs: 3,
+            shots: 600,
+            cache_hits: 2,
+            cache_misses: 1,
+            cached_plans: 1,
+            backend_jobs: vec![("stabilizer", 1), ("statevec", 2)],
+            interactive_runs: 1,
+            fused_gates: 36,
+            diagonal_ops: 24,
+            permutation_ops: 30,
+            general_ops: 61,
+        };
+        assert_eq!(
+            stats.to_string(),
+            "jobs        3 (600 shots)\n\
+             plan cache  2 hits / 1 misses / 1 cached\n\
+             fusion      36 gates fused away\n\
+             kernel ops  diagonal 24 | permutation 30 | general 61\n\
+             backends    stabilizer=1 statevec=2\n\
+             interactive 1"
+        );
+    }
+
+    #[test]
+    fn route_reasons_name_the_deciding_profile_property() {
+        let profile = CircuitProfile {
+            classical_only: false,
+            clifford_only: false,
+            peak_qubits: 9,
+            num_inputs: 3,
+            num_gates: 210,
+            outputs_classical: true,
+        };
+        assert_eq!(
+            route_reason(&profile, "statevec", false),
+            "universal gate set; peak 9 qubits within state-vector cap"
+        );
+        assert!(route_reason(&profile, "classical", false).contains("classical-only"));
+        assert!(route_reason(&profile, "stabilizer", false).contains("Clifford-only"));
+        assert_eq!(
+            route_reason(&profile, "statevec", true),
+            "pinned to `statevec` by the job"
+        );
+        assert_eq!(route_metric("statevec"), names::ROUTE_STATEVEC);
+        assert_eq!(route_metric("mystery"), names::ROUTE_OTHER);
     }
 }

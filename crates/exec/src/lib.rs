@@ -56,6 +56,7 @@ pub use engine::{Engine, EngineConfig, EngineStats, ExecReport, ExecResult, Job,
 pub use error::ExecError;
 pub use plan::{Plan, PlanCache};
 pub use profile::{profile, CircuitProfile};
+pub use quipper_trace::{TraceSummary, Tracer};
 
 // The engine is shared across scoped worker threads; keep that a compile-time
 // guarantee rather than an emergent property of field types.

@@ -48,11 +48,18 @@ impl Plan {
     ///
     /// Returns [`ExecError::Circuit`] if validation or inlining fails.
     pub fn compile(bc: &BCircuit) -> Result<Plan, ExecError> {
+        let _span = quipper_trace::span(quipper_trace::Phase::Compile, "plan.compile");
         let start = Instant::now();
         validate::validate(&bc.db, &bc.main)?;
         let flat = inline_all(&bc.db, &bc.main)?;
-        let profile = profile(&flat);
-        let fused = fuse_circuit(&flat);
+        let profile = {
+            let _span = quipper_trace::span(quipper_trace::Phase::Compile, "profile");
+            profile(&flat)
+        };
+        let fused = {
+            let _span = quipper_trace::span(quipper_trace::Phase::Compile, "fuse");
+            fuse_circuit(&flat)
+        };
         Ok(Plan {
             fingerprint: bc.fingerprint(),
             flat,

@@ -181,7 +181,10 @@ fn dispatch(
     std::thread::scope(|scope| {
         for (i, chunk) in amps.chunks_exact_mut(chunk_len).enumerate() {
             let body = &body;
-            scope.spawn(move || body(i * chunk_len, chunk));
+            scope.spawn(move || {
+                let _span = quipper_trace::span(quipper_trace::Phase::Execute, "kernel.chunk");
+                body(i * chunk_len, chunk)
+            });
         }
     });
     true

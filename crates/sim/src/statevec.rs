@@ -255,6 +255,12 @@ impl StateVec {
     }
 
     fn alloc_slot(&mut self, value: bool) -> usize {
+        // Live qubits after this allocation: allocated slots minus free ones,
+        // plus the slot being handed out (from the free list or by growing).
+        quipper_trace::record_max(
+            quipper_trace::names::LIVE_QUBITS_PEAK,
+            (self.n_slots - self.free.len() + 1) as u64,
+        );
         if let Some((slot, cur)) = self.free.pop() {
             if cur != value {
                 self.flip_slot(slot);
@@ -643,10 +649,26 @@ pub fn run_flat_with(
     for gate in &flat.gates {
         sv.apply(gate)?;
     }
+    publish_kernel_metrics(&sv);
     Ok(RunResult {
         state: sv,
         outputs: flat.outputs.clone(),
     })
+}
+
+/// Feeds one run's kernel-dispatch counters into the process-wide metrics
+/// registry, if tracing is enabled.
+fn publish_kernel_metrics(sv: &StateVec) {
+    if !quipper_trace::enabled() {
+        return;
+    }
+    let stats = sv.kernel_stats();
+    let m = quipper_trace::tracer().metrics();
+    m.add(quipper_trace::names::KERNEL_DIAGONAL, stats.diagonal);
+    m.add(quipper_trace::names::KERNEL_PERMUTATION, stats.permutation);
+    m.add(quipper_trace::names::KERNEL_GENERAL, stats.general);
+    m.add(quipper_trace::names::KERNEL_SUBCUBE, stats.subcube);
+    m.add(quipper_trace::names::KERNEL_THREADED, stats.threaded);
 }
 
 /// Runs a pre-fused circuit for one shot. Shot loops fuse once (or take the
@@ -674,6 +696,7 @@ pub fn run_fused(
     for op in &fused.ops {
         sv.apply_fused(op)?;
     }
+    publish_kernel_metrics(&sv);
     Ok(RunResult {
         state: sv,
         outputs: fused.outputs.clone(),

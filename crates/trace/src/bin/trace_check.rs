@@ -1,0 +1,166 @@
+//! Validates an exported Chrome trace-event JSON file.
+//!
+//! Usage: `trace_check <trace.json> [--require-phases]`
+//!
+//! Checks that the file is well-formed JSON in the `{"traceEvents": [...]}`
+//! object form, that every event carries the fields `chrome://tracing` /
+//! Perfetto need, that begin/end events balance and nest per thread lane,
+//! and (with `--require-phases`) that all three Quipper phases —
+//! Generate, Compile, Execute — appear as categories. Exits non-zero with
+//! a diagnostic on the first violation.
+
+use quipper_trace::Json;
+use std::collections::{BTreeMap, BTreeSet};
+use std::process::ExitCode;
+
+fn check(doc: &Json, require_phases: bool) -> Result<String, String> {
+    let events = doc
+        .get("traceEvents")
+        .ok_or("top level must be an object with a \"traceEvents\" member")?
+        .as_arr()
+        .ok_or("\"traceEvents\" must be an array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+
+    let mut stacks: BTreeMap<i64, Vec<String>> = BTreeMap::new();
+    let mut max_depth = 0usize;
+    let mut cats: BTreeSet<String> = BTreeSet::new();
+    let mut counted = 0usize;
+
+    for (i, e) in events.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string \"name\""))?;
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i} ({name}): missing string \"ph\""))?;
+        if ph == "M" {
+            continue; // metadata events carry no timestamp
+        }
+        for field in ["ts", "pid", "tid"] {
+            e.get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("event {i} ({name}): missing numeric \"{field}\""))?;
+        }
+        let tid = e.get("tid").and_then(Json::as_num).unwrap() as i64;
+        if let Some(cat) = e.get("cat").and_then(Json::as_str) {
+            cats.insert(cat.to_string());
+        }
+        counted += 1;
+        match ph {
+            "B" => {
+                let stack = stacks.entry(tid).or_default();
+                stack.push(name.to_string());
+                max_depth = max_depth.max(stack.len());
+            }
+            "E" => {
+                let stack = stacks.entry(tid).or_default();
+                match stack.pop() {
+                    Some(open) if open == name => {}
+                    Some(open) => {
+                        return Err(format!(
+                            "event {i}: end of \"{name}\" on lane {tid} but \"{open}\" is open"
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "event {i}: end of \"{name}\" on lane {tid} with no open span"
+                        ))
+                    }
+                }
+            }
+            "i" | "I" | "X" => {}
+            other => return Err(format!("event {i} ({name}): unsupported ph \"{other}\"")),
+        }
+    }
+
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "lane {tid}: unclosed spans at end of trace: {stack:?}"
+            ));
+        }
+    }
+    if max_depth < 2 {
+        return Err(format!(
+            "expected nested spans (depth >= 2), saw max depth {max_depth}"
+        ));
+    }
+    if require_phases {
+        for phase in ["Generate", "Compile", "Execute"] {
+            if !cats.contains(phase) {
+                return Err(format!("phase category \"{phase}\" missing (saw {cats:?})"));
+            }
+        }
+    }
+
+    Ok(format!(
+        "ok: {counted} events across {} lanes, max span depth {max_depth}, phases {:?}",
+        stacks.len(),
+        cats.iter().collect::<Vec<_>>()
+    ))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_check <trace.json> [--require-phases]");
+        return ExitCode::from(2);
+    };
+    let require_phases = args.any(|a| a == "--require-phases");
+
+    let data = match std::fs::read_to_string(&path) {
+        Ok(data) => data,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match quipper_trace::parse_json(&data) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("trace_check: {path}: invalid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&doc, require_phases) {
+        Ok(summary) => {
+            println!("trace_check: {path}: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace_check: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check;
+    use quipper_trace::{parse_json, to_chrome_trace, Phase, Tracer};
+
+    #[test]
+    fn accepts_a_real_export_and_rejects_broken_ones() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        {
+            let _g = t.span(Phase::Generate, "build");
+            let _c = t.span(Phase::Compile, "plan");
+            let _e = t.span(Phase::Execute, "shots");
+            t.instant(Phase::Execute, "route", None);
+        }
+        let doc = parse_json(&to_chrome_trace(&t.drain())).unwrap();
+        let summary = check(&doc, true).unwrap();
+        assert!(summary.contains("max span depth 3"), "{summary}");
+
+        assert!(check(&parse_json("{}").unwrap(), false).is_err());
+        assert!(check(&parse_json("{\"traceEvents\":[]}").unwrap(), false).is_err());
+        // Unbalanced: a lone B.
+        let lone = "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"B\",\"pid\":1,\"tid\":0,\"ts\":0}]}";
+        assert!(check(&parse_json(lone).unwrap(), false).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! Minimal dependency-free JSON reader.
+//!
+//! Just enough to validate exported Chrome traces (`trace_check`), test the
+//! exporters' output shape, and read benchmark baseline files. Numbers are
+//! parsed as `f64`; this is a reader for our own well-formed output, not a
+//! general-purpose JSON library.
+
+use std::collections::BTreeMap;
+use std::str::Chars;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects; `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj().and_then(|o| o.get(key))
+    }
+}
+
+/// Parse a complete JSON document, rejecting trailing garbage.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        chars: input.chars(),
+        peeked: None,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    match p.next_ch() {
+        None => Ok(value),
+        Some(c) => Err(format!("trailing character {c:?} after JSON value")),
+    }
+}
+
+struct Parser<'a> {
+    chars: Chars<'a>,
+    peeked: Option<char>,
+}
+
+impl Parser<'_> {
+    fn next_ch(&mut self) -> Option<char> {
+        self.peeked.take().or_else(|| self.chars.next())
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        if self.peeked.is_none() {
+            self.peeked = self.chars.next();
+        }
+        self.peeked
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.next_ch();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.next_ch() {
+            Some(got) if got == c => Ok(()),
+            got => Err(format!("expected {c:?}, got {got:?}")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => self.keyword("true", Json::Bool(true)),
+            Some('f') => self.keyword("false", Json::Bool(false)),
+            Some('n') => self.keyword("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            got => Err(format!("unexpected {got:?} at start of value")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for expected in word.chars() {
+            match self.next_ch() {
+                Some(c) if c == expected => {}
+                got => return Err(format!("bad keyword: expected {expected:?}, got {got:?}")),
+            }
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                text.push(c);
+                self.next_ch();
+            } else {
+                break;
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next_ch() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next_ch() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = self.next_ch().ok_or("unterminated \\u escape")?;
+                            code = code * 16
+                                + c.to_digit(16).ok_or_else(|| format!("bad hex {c:?}"))?;
+                        }
+                        // Surrogate pairs are not produced by our exporters;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    got => return Err(format!("bad escape {got:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.next_ch();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.next_ch() {
+                Some(',') => {}
+                Some(']') => return Ok(Json::Arr(items)),
+                got => return Err(format!("expected ',' or ']', got {got:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut members = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.next_ch();
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(':')?;
+            let value = self.value()?;
+            members.insert(key, value);
+            self.skip_ws();
+            match self.next_ch() {
+                Some(',') => {}
+                Some('}') => return Ok(Json::Obj(members)),
+                got => return Err(format!("expected ',' or '}}', got {got:?}")),
+            }
+        }
+    }
+}
+
+/// Escape a string for embedding in JSON output (without the quotes).
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = r#" {"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}, "e": "x\n\"yA"} "#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_num(),
+            Some(-300.0)
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Json::Null));
+        assert_eq!(v.get("e").unwrap().as_str(), Some("x\n\"yA"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} extra").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "line\nquote\" back\\slash \tctrl\u{1}";
+        let mut doc = String::from("\"");
+        escape_into(&mut doc, nasty);
+        doc.push('"');
+        assert_eq!(parse(&doc).unwrap().as_str(), Some(nasty));
+    }
+}

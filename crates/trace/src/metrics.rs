@@ -1,0 +1,282 @@
+//! Named counters, max-gauges, and fixed-bucket histograms.
+//!
+//! Registration is lazy: the first `add`/`observe`/`record_max` under a name
+//! creates the instrument. Handles are `Arc`ed atomics, so the hot path
+//! after the first touch is lock-free; the registry maps are only locked to
+//! look up or create an instrument and to snapshot.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Canonical metric names used by the instrumented crates. Keeping them in
+/// one place lets exporters and tests refer to them without typos.
+pub mod names {
+    /// Gates emitted by the `Circ` builder (generation time).
+    pub const GATES_EMITTED: &str = "gen.gates_emitted";
+    /// Boxed subroutine bodies built (cache misses in the box table).
+    pub const BOXES_BUILT: &str = "gen.boxes_built";
+
+    /// Gates entering the fusion pass.
+    pub const FUSE_GATES_IN: &str = "compile.fuse.gates_in";
+    /// Fused ops leaving the fusion pass.
+    pub const FUSE_GATES_OUT: &str = "compile.fuse.gates_out";
+    /// Gates eliminated by fusion.
+    pub const FUSE_FUSED_AWAY: &str = "compile.fuse.fused_away";
+
+    /// Plan-cache hits / misses in the execution engine.
+    pub const CACHE_HIT: &str = "exec.cache.hit";
+    pub const CACHE_MISS: &str = "exec.cache.miss";
+
+    /// Backend routing decisions, by backend.
+    pub const ROUTE_CLASSICAL: &str = "exec.route.classical";
+    pub const ROUTE_STABILIZER: &str = "exec.route.stabilizer";
+    pub const ROUTE_STATEVEC: &str = "exec.route.statevec";
+    pub const ROUTE_OTHER: &str = "exec.route.other";
+
+    /// Per-shot wall latency histogram (µs).
+    pub const SHOT_LATENCY_US: &str = "exec.shot_latency_us";
+    /// Max-gauge: peak qubits across executed plans.
+    pub const PEAK_QUBITS: &str = "exec.peak_qubits";
+
+    /// State-vector kernel dispatches by class.
+    pub const KERNEL_DIAGONAL: &str = "sim.kernel.diagonal";
+    pub const KERNEL_PERMUTATION: &str = "sim.kernel.permutation";
+    pub const KERNEL_GENERAL: &str = "sim.kernel.general";
+    pub const KERNEL_SUBCUBE: &str = "sim.kernel.subcube";
+    pub const KERNEL_THREADED: &str = "sim.kernel.threaded";
+
+    /// Max-gauge: peak live qubits observed by the state-vector allocator.
+    pub const LIVE_QUBITS_PEAK: &str = "sim.live_qubits_peak";
+}
+
+const BUCKETS: usize = 32;
+
+/// Fixed-bucket histogram. Bucket `i` counts values whose bit length is
+/// `i` — i.e. value 0 lands in bucket 0, and bucket `i ≥ 1` spans
+/// `[2^(i-1), 2^i)`; the last bucket absorbs everything above.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn bucket_index(value: u64) -> usize {
+        ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough copy for reporting (relaxed reads).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                let upper = if i == 0 { 0 } else { 1u64 << i.min(63) };
+                buckets.push((upper, n));
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `(exclusive upper bound, count)` for each non-empty bucket; bound 0
+    /// is the zero bucket, otherwise the bound is a power of two.
+    pub buckets: Vec<(u64, u64)>,
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or 0 with no observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Lazily-registered named instruments.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    maxes: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    fn counter_handle(&self, name: &'static str) -> Arc<AtomicU64> {
+        Arc::clone(self.counters.lock().unwrap().entry(name).or_default())
+    }
+
+    /// Add `n` to the counter `name`, creating it at zero first if needed.
+    pub fn add(&self, name: &'static str, n: u64) {
+        self.counter_handle(name).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .unwrap()
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Raise the max-gauge `name` to at least `value`.
+    pub fn record_max(&self, name: &'static str, value: u64) {
+        self.maxes
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_default()
+            .fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value of max-gauge `name` (0 if never touched).
+    pub fn max(&self, name: &str) -> u64 {
+        self.maxes
+            .lock()
+            .unwrap()
+            .get(name)
+            .map_or(0, |m| m.load(Ordering::Relaxed))
+    }
+
+    /// Record `value` into the histogram `name`.
+    pub fn observe(&self, name: &'static str, value: u64) {
+        let h = Arc::clone(self.histograms.lock().unwrap().entry(name).or_default());
+        h.observe(value);
+    }
+
+    /// Snapshot of histogram `name`, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.histograms
+            .lock()
+            .unwrap()
+            .get(name)
+            .map(|h| h.snapshot())
+    }
+
+    /// Snapshot every instrument for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&k, v)| (k, v.load(Ordering::Relaxed)))
+                .collect(),
+            maxes: self
+                .maxes
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&k, v)| (k, v.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&k, v)| (k, v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of every instrument in a [`Metrics`] registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<&'static str, u64>,
+    pub maxes: BTreeMap<&'static str, u64>,
+    pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.maxes.keys())
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        for (name, v) in &self.counters {
+            writeln!(f, "{name:<width$}  {v}")?;
+        }
+        for (name, v) in &self.maxes {
+            writeln!(f, "{name:<width$}  max {v}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "{name:<width$}  n={} mean={:.1} max_bucket<={}",
+                h.count,
+                h.mean(),
+                h.buckets.last().map_or(0, |b| b.0),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_maxes() {
+        let m = Metrics::new();
+        m.add("a", 2);
+        m.add("a", 3);
+        m.record_max("p", 4);
+        m.record_max("p", 2);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.max("p"), 4);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters.get("a"), Some(&5));
+        assert_eq!(snap.maxes.get("p"), Some(&4));
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let m = Metrics::new();
+        for v in [0, 1, 1, 3, 900, 1_000_000] {
+            m.observe("lat", v);
+        }
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1_000_905);
+        // value 0 → bucket bound 0; 1 → 2; 3 → 4; 900 → 1024; 1e6 → 2^20.
+        assert_eq!(
+            h.buckets,
+            vec![(0, 1), (2, 2), (4, 1), (1024, 1), (1 << 20, 1)]
+        );
+        assert!(h.mean() > 0.0);
+    }
+}

@@ -8,13 +8,42 @@
 //! prints the engine's cumulative counters.
 //!
 //! Run with: `cargo run --example engine`
+//!
+//! Pass `--trace-out <path>` to enable phase-aware tracing for the whole run
+//! and write a Chrome trace-event file (open it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>), plus a per-subroutine resource report for the
+//! Grover circuit on stdout.
 
 use quipper::classical::Dag;
 use quipper::{Circ, Qubit};
 use quipper_algorithms::grover::{grover_circuit, optimal_iterations};
+use quipper_circuit::resources::resource_report;
 use quipper_exec::{Engine, Job, JobQueue};
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut trace_out: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("usage: engine [--trace-out <trace.json>]");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`; usage: engine [--trace-out <trace.json>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Enable tracing before any circuit is built so generation spans (one per
+    // boxed subroutine) land in the trace alongside compile and execute.
+    if trace_out.is_some() {
+        quipper_trace::tracer().set_enabled(true);
+    }
+
     let engine = Engine::new();
 
     // --- a classical circuit: 4-bit ripple parity -----------------------
@@ -97,4 +126,20 @@ fn main() {
 
     // The engine's cumulative observability counters.
     println!("\nengine stats:\n{}", engine.stats());
+
+    if let Some(path) = trace_out {
+        let tracer = quipper_trace::tracer();
+        tracer.set_enabled(false);
+        let log = tracer.drain();
+        std::fs::write(&path, quipper_trace::to_chrome_trace(&log)).unwrap();
+        println!(
+            "\nwrote {} trace events to {path} (load in chrome://tracing)",
+            log.events.len()
+        );
+        // Gates by class, per level of the boxed-subroutine hierarchy —
+        // the arXiv:1412.0625-style resource report, from the *unflattened*
+        // circuit.
+        println!("\n{}", resource_report(&grover, "Grover (3 qubits)"));
+        println!("{}", tracer.metrics().snapshot());
+    }
 }
