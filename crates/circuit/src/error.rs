@@ -46,8 +46,32 @@ pub enum CircuitError {
     UnknownSubroutine { id: usize },
 }
 
+impl CircuitError {
+    /// The stable diagnostic code of this error.
+    ///
+    /// Runtime circuit errors use the `QL1xx` range, aligned with the
+    /// `QL0xx` codes of the `quipper-lint` static passes, so runtime and
+    /// static findings print uniformly and can be filtered by the same
+    /// tooling. Codes are stable across releases.
+    pub fn code(&self) -> &'static str {
+        match self {
+            CircuitError::DeadWire { .. } => "QL101",
+            CircuitError::DuplicateWire { .. } => "QL102",
+            CircuitError::TypeMismatch { .. } => "QL103",
+            CircuitError::AlreadyAlive { .. } => "QL104",
+            CircuitError::OutputMismatch { .. } => "QL105",
+            CircuitError::SubroutineArity { .. } => "QL106",
+            CircuitError::NotRepeatable { .. } => "QL107",
+            CircuitError::NotReversible { .. } => "QL108",
+            CircuitError::NotControllable { .. } => "QL109",
+            CircuitError::UnknownSubroutine { .. } => "QL110",
+        }
+    }
+}
+
 impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.code())?;
         match self {
             CircuitError::DeadWire { wire, context } => {
                 write!(f, "wire {wire} is not alive (in {context})")
@@ -104,14 +128,61 @@ mod tests {
     use super::*;
 
     #[test]
-    fn errors_display_lowercase_without_trailing_punctuation() {
+    fn errors_display_code_then_lowercase_without_trailing_punctuation() {
         let e = CircuitError::DeadWire {
             wire: Wire(4),
             context: "test".into(),
         };
         let s = e.to_string();
-        assert!(s.starts_with("wire 4"));
+        assert!(s.starts_with("[QL101] wire 4"), "{s}");
         assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_codes_are_stable_and_unique() {
+        let variants = [
+            CircuitError::DeadWire {
+                wire: Wire(0),
+                context: String::new(),
+            },
+            CircuitError::DuplicateWire {
+                wire: Wire(0),
+                context: String::new(),
+            },
+            CircuitError::TypeMismatch {
+                wire: Wire(0),
+                expected: WireType::Quantum,
+                found: WireType::Classical,
+                context: String::new(),
+            },
+            CircuitError::AlreadyAlive {
+                wire: Wire(0),
+                context: String::new(),
+            },
+            CircuitError::OutputMismatch {
+                detail: String::new(),
+            },
+            CircuitError::SubroutineArity {
+                name: String::new(),
+                detail: String::new(),
+            },
+            CircuitError::NotRepeatable {
+                name: String::new(),
+            },
+            CircuitError::NotReversible {
+                gate: String::new(),
+            },
+            CircuitError::NotControllable {
+                gate: String::new(),
+            },
+            CircuitError::UnknownSubroutine { id: 0 },
+        ];
+        let mut codes: Vec<&str> = variants.iter().map(|e| e.code()).collect();
+        assert_eq!(codes[0], "QL101");
+        assert_eq!(codes[9], "QL110");
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), variants.len());
     }
 
     #[test]

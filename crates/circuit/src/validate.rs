@@ -56,10 +56,11 @@ pub fn validate(db: &CircuitDb, circuit: &Circuit) -> Result<Report, CircuitErro
         apply_gate(db, gate, &mut alive)?;
     }
 
-    // The declared outputs must be exactly the live wires.
-    let mut remaining = alive.clone();
+    // The declared outputs must be exactly the live wires. `alive` is not
+    // needed past this point, so consume it in place instead of cloning —
+    // the happy path allocates nothing.
     for &(w, t) in &circuit.outputs {
-        match remaining.remove(&w) {
+        match alive.remove(&w) {
             Some(found) if found == t => {}
             Some(found) => {
                 return Err(CircuitError::TypeMismatch {
@@ -76,7 +77,7 @@ pub fn validate(db: &CircuitDb, circuit: &Circuit) -> Result<Report, CircuitErro
             }
         }
     }
-    if let Some((&w, _)) = remaining.iter().next() {
+    if let Some((&w, _)) = alive.iter().next() {
         return Err(CircuitError::OutputMismatch {
             detail: format!("wire {w} is still alive but not listed as an output"),
         });

@@ -30,8 +30,10 @@ use crate::backend::{
     StateVecBackend,
 };
 use crate::error::ExecError;
-use crate::plan::{Plan, PlanCache};
+use crate::plan::{LintGate, Plan, PlanCache};
 use crate::profile::CircuitProfile;
+
+use quipper_lint::LintSummary;
 
 /// Tuning knobs for [`Engine::with_config`].
 #[derive(Clone, Copy, Debug)]
@@ -42,6 +44,11 @@ pub struct EngineConfig {
     pub max_qubits: usize,
     /// State-vector hot-path tuning (gate fusion, kernel threading).
     pub statevec: StateVecConfig,
+    /// Static-analysis gate applied when compiling plans: findings at or
+    /// above the gate's severity make the job fail with [`ExecError::Lint`]
+    /// before anything is cached or executed. Defaults to
+    /// [`LintGate::DenyErrors`].
+    pub lint: LintGate,
     /// Tracing sink for spans, cache/routing events and latency metrics.
     /// Defaults to the process-wide [`quipper_trace::tracer`] (disabled until
     /// someone enables it); use [`Tracer::leaked`] for a dedicated sink.
@@ -56,6 +63,7 @@ impl Default for EngineConfig {
                 .unwrap_or(1),
             max_qubits: crate::backend::DEFAULT_MAX_QUBITS,
             statevec: StateVecConfig::default(),
+            lint: LintGate::default(),
             trace: quipper_trace::tracer(),
         }
     }
@@ -137,6 +145,9 @@ pub struct ExecReport {
     /// Why the job ran on `backend`: the routing decision derived from the
     /// plan's [`CircuitProfile`] (or the pin requested by the job).
     pub route_reason: String,
+    /// Static-analysis summary of the executed plan (static per plan).
+    /// `None` only for reports built outside the engine.
+    pub lint: Option<LintSummary>,
     /// Trace accounting for this job, when tracing was enabled during it.
     pub trace: Option<TraceSummary>,
 }
@@ -164,6 +175,11 @@ impl fmt::Display for ExecReport {
             self.fuse.gates_in,
             self.route_reason,
         )?;
+        if let Some(lint) = &self.lint {
+            if !lint.is_empty() {
+                write!(f, " | lint: {lint}")?;
+            }
+        }
         if let Some(trace) = &self.trace {
             write!(f, " | trace: {trace}")?;
         }
@@ -258,6 +274,7 @@ pub struct Engine {
     counting: CountingBackend,
     cache: PlanCache,
     workers: usize,
+    lint: LintGate,
     trace: &'static Tracer,
     jobs: AtomicU64,
     shots: AtomicU64,
@@ -300,6 +317,7 @@ impl Engine {
             counting: CountingBackend,
             cache: PlanCache::new(),
             workers: config.workers.max(1),
+            lint: config.lint,
             trace: config.trace,
             jobs: AtomicU64::new(0),
             shots: AtomicU64::new(0),
@@ -322,9 +340,10 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns [`ExecError::Circuit`] if validation or flattening fails.
+    /// Returns [`ExecError::Circuit`] if validation or flattening fails, and
+    /// [`ExecError::Lint`] if the circuit fails the engine's lint gate.
     pub fn plan(&self, circuit: &BCircuit) -> Result<Arc<Plan>, ExecError> {
-        Ok(self.cache.get_or_compile(circuit)?.0)
+        Ok(self.cache.get_or_compile_gated(circuit, self.lint)?.0)
     }
 
     /// Which backend auto-selection would route this circuit to.
@@ -333,7 +352,7 @@ impl Engine {
     ///
     /// As for [`Engine::run`], minus execution errors.
     pub fn select_backend(&self, circuit: &BCircuit) -> Result<&'static str, ExecError> {
-        let (plan, _) = self.cache.get_or_compile(circuit)?;
+        let (plan, _) = self.cache.get_or_compile_gated(circuit, self.lint)?;
         Ok(self.route(&plan, None)?.name())
     }
 
@@ -369,7 +388,8 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Compilation, routing and per-shot simulation errors. On a shot error
+    /// Compilation, lint-gate, routing and per-shot simulation errors. On a
+    /// shot error
     /// the whole job fails with the error of the *lowest-indexed* failing
     /// shot, so parallel and sequential schedules report identically.
     pub fn run(&self, job: &Job) -> Result<ExecResult, ExecError> {
@@ -393,7 +413,7 @@ impl Engine {
         let compile_start = Instant::now();
         let (plan, cache_hit) = {
             let _span = trace.span(Phase::Compile, "plan.get_or_compile");
-            self.cache.get_or_compile(job.circuit)?
+            self.cache.get_or_compile_gated(job.circuit, self.lint)?
         };
         let compile = compile_start.elapsed();
         if trace.enabled() {
@@ -487,6 +507,7 @@ impl Engine {
                 execute,
                 fuse,
                 route_reason,
+                lint: Some(plan.lint.summary()),
                 trace: trace_summary,
             },
         })
@@ -765,6 +786,7 @@ mod tests {
                 other: 48,
             },
             route_reason: "universal gate set; peak 9 qubits within state-vector cap".into(),
+            lint: None,
             trace: None,
         }
     }
@@ -799,6 +821,31 @@ mod tests {
             "  1000 shots on statevec   | plan 0x00000000deadbeef hit  | workers 4  | \
              compile     480ns | exec     2.50s | fused 12/210 | \
              route: pinned to `statevec` by the job | trace: 42 events"
+        );
+    }
+
+    #[test]
+    fn exec_report_display_mentions_lint_only_when_findings_exist() {
+        let clean = ExecReport {
+            lint: Some(LintSummary::default()),
+            ..sample_report()
+        };
+        assert!(!clean.to_string().contains("lint:"));
+        let flagged = ExecReport {
+            lint: Some(LintSummary {
+                errors: 0,
+                warnings: 2,
+                notes: 1,
+                proved_terms: 3,
+            }),
+            ..sample_report()
+        };
+        assert_eq!(
+            flagged.to_string(),
+            "  1000 shots on statevec   | plan 0x00000000deadbeef miss | workers 4  | \
+             compile    1.50ms | exec  250.00µs | fused 12/210 | \
+             route: universal gate set; peak 9 qubits within state-vector cap | \
+             lint: 0E/2W/1N (3 proved)"
         );
     }
 

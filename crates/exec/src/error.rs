@@ -3,6 +3,7 @@
 use std::fmt;
 
 use quipper_circuit::CircuitError;
+use quipper_lint::LintReport;
 use quipper_sim::SimError;
 
 /// Anything that can go wrong preparing or executing a job.
@@ -10,6 +11,9 @@ use quipper_sim::SimError;
 pub enum ExecError {
     /// The circuit failed validation or flattening.
     Circuit(CircuitError),
+    /// The circuit failed static analysis at the engine's configured lint
+    /// gate severity. The full report is attached; the plan was not cached.
+    Lint(LintReport),
     /// A backend rejected a gate or assertion at execution time.
     Sim {
         /// Which backend was executing.
@@ -43,6 +47,13 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::Circuit(e) => write!(f, "circuit error: {e}"),
+            ExecError::Lint(report) => {
+                write!(f, "circuit rejected by lint gate: {}", report.summary())?;
+                if let Some(first) = report.findings.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
             ExecError::Sim { backend, source } => {
                 write!(f, "backend `{backend}` failed: {source}")
             }

@@ -18,6 +18,9 @@
 //!   structurally-distinct circuit, keyed by the stable circuit
 //!   [`fingerprint`](quipper_circuit::fingerprint); repeat submissions skip
 //!   straight to execution.
+//! * [`LintGate`] — the `quipper-lint` static passes run on every plan
+//!   compilation; findings at or above the gate's severity reject the job
+//!   ([`ExecError::Lint`]) before anything is cached or executed.
 //! * [`Job`] / [`JobQueue`] — multi-shot and batched-circuit scheduling over
 //!   a worker thread pool, with deterministic per-shot seed derivation
 //!   (`base_seed + shot_index`) so parallel results are bit-identical to
@@ -54,8 +57,9 @@ pub use backend::{
 };
 pub use engine::{Engine, EngineConfig, EngineStats, ExecReport, ExecResult, Job, JobQueue};
 pub use error::ExecError;
-pub use plan::{Plan, PlanCache};
+pub use plan::{LintGate, Plan, PlanCache};
 pub use profile::{profile, CircuitProfile};
+pub use quipper_lint::{LintReport, LintSummary, Severity};
 pub use quipper_trace::{TraceSummary, Tracer};
 
 // The engine is shared across scoped worker threads; keep that a compile-time

@@ -16,10 +16,55 @@ use std::time::{Duration, Instant};
 
 use quipper_circuit::flatten::inline_all;
 use quipper_circuit::{validate, BCircuit, Circuit};
+use quipper_lint::{LintReport, Severity};
 use quipper_sim::{fuse_circuit, FuseStats, FusedCircuit};
 
 use crate::error::ExecError;
 use crate::profile::{profile, CircuitProfile};
+
+/// How strictly the engine's static-analysis gate treats lint findings when
+/// compiling a plan.
+///
+/// The lint passes (`quipper-lint`) always run during [`Plan::compile`] and
+/// their report travels with the plan; the gate only decides whether findings
+/// *block* caching and execution. A plan that fails the gate is rejected with
+/// [`ExecError::Lint`] and is **not** inserted into the cache, so a later
+/// submission under a laxer gate recompiles and re-decides.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum LintGate {
+    /// Never block; findings are still reported on the plan.
+    Off,
+    /// Block on error-severity findings (e.g. a provably violated
+    /// assertive termination). The default.
+    #[default]
+    DenyErrors,
+    /// Block on warning-severity findings and above.
+    DenyWarnings,
+}
+
+impl LintGate {
+    /// The severity at or above which this gate blocks, if any.
+    pub fn threshold(self) -> Option<Severity> {
+        match self {
+            LintGate::Off => None,
+            LintGate::DenyErrors => Some(Severity::Error),
+            LintGate::DenyWarnings => Some(Severity::Warning),
+        }
+    }
+
+    /// Checks a report against this gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Lint`] carrying a clone of the report when any
+    /// finding reaches the gate's threshold.
+    pub fn check(self, report: &LintReport) -> Result<(), ExecError> {
+        match self.threshold() {
+            Some(threshold) if report.fails_at(threshold) => Err(ExecError::Lint(report.clone())),
+            _ => Ok(()),
+        }
+    }
+}
 
 /// A circuit prepared for repeated execution: validated, flattened, profiled
 /// and gate-fused. Plans are immutable and shared (`Arc`) between the cache,
@@ -37,6 +82,10 @@ pub struct Plan {
     pub fused: FusedCircuit,
     /// Backend-selection profile of the flat circuit.
     pub profile: CircuitProfile,
+    /// Static-analysis findings for the hierarchical circuit. Always
+    /// populated; whether findings block execution is the [`LintGate`]'s
+    /// decision, not the plan's.
+    pub lint: LintReport,
     /// How long validation + inlining + profiling + fusion took.
     pub compile_time: Duration,
 }
@@ -51,6 +100,9 @@ impl Plan {
         let _span = quipper_trace::span(quipper_trace::Phase::Compile, "plan.compile");
         let start = Instant::now();
         validate::validate(&bc.db, &bc.main)?;
+        // Lint the *hierarchical* circuit (box summaries need the call
+        // structure), before flattening discards it.
+        let lint = quipper_lint::lint(bc);
         let flat = inline_all(&bc.db, &bc.main)?;
         let profile = {
             let _span = quipper_trace::span(quipper_trace::Phase::Compile, "profile");
@@ -65,6 +117,7 @@ impl Plan {
             flat,
             fused,
             profile,
+            lint,
             compile_time: start.elapsed(),
         })
     }
@@ -98,15 +151,36 @@ impl PlanCache {
     /// Propagates [`Plan::compile`] errors; failed compilations are not
     /// cached.
     pub fn get_or_compile(&self, bc: &BCircuit) -> Result<(Arc<Plan>, bool), ExecError> {
+        self.get_or_compile_gated(bc, LintGate::Off)
+    }
+
+    /// As [`PlanCache::get_or_compile`], but refusing plans whose lint report
+    /// fails `gate`. The gate is applied on the cache-hit path too (the plan
+    /// may have been admitted under a laxer gate), and a rejected compilation
+    /// is **not** cached — the cache only ever holds plans that passed the
+    /// gate they were compiled under.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Lint`] when the report fails the gate, plus all
+    /// [`Plan::compile`] errors.
+    pub fn get_or_compile_gated(
+        &self,
+        bc: &BCircuit,
+        gate: LintGate,
+    ) -> Result<(Arc<Plan>, bool), ExecError> {
         let key = bc.fingerprint();
         if let Some(plan) = self.plans.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((Arc::clone(plan), true));
+            let plan = Arc::clone(plan);
+            gate.check(&plan.lint)?;
+            return Ok((plan, true));
         }
         // Compile outside the lock: plans can be large and compilation is the
         // expensive path. Two threads racing on the same new circuit both
         // compile; the entry is just overwritten with an identical plan.
         let plan = Arc::new(Plan::compile(bc)?);
+        gate.check(&plan.lint)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.plans.lock().unwrap().insert(key, Arc::clone(&plan));
         Ok((plan, false))
@@ -172,6 +246,73 @@ mod tests {
         cache.get_or_compile(&bell()).unwrap();
         let (_, hit) = cache.get_or_compile(&bell()).unwrap();
         assert!(hit);
+        assert_eq!(cache.len(), 1);
+    }
+
+    /// An ancilla is CNOT-entangled with a superposed wire, then asserted
+    /// |0⟩: the termination pass flags this (warning severity — the
+    /// assertion is unjustified, not provably wrong).
+    fn entangled_qterm() -> BCircuit {
+        Circ::build(&false, |c, q: Qubit| {
+            c.hadamard(q);
+            let anc = c.qinit_bit(false);
+            c.cnot(anc, q);
+            c.qterm_bit(false, anc);
+            q
+        })
+    }
+
+    /// The assertion is provably wrong on a known basis state: error
+    /// severity, failing even the default `DenyErrors` gate.
+    fn provably_wrong_qterm() -> BCircuit {
+        Circ::build(&(), |c, ()| {
+            let anc = c.qinit_bit(false);
+            c.qnot(anc);
+            c.qterm_bit(false, anc);
+        })
+    }
+
+    #[test]
+    fn gate_refuses_and_does_not_cache_a_flagged_plan() {
+        let cache = PlanCache::new();
+        let bc = provably_wrong_qterm();
+        let err = cache.get_or_compile_gated(&bc, LintGate::DenyErrors);
+        match err {
+            Err(ExecError::Lint(report)) => {
+                assert!(report.fails_at(quipper_lint::Severity::Error));
+                assert_eq!(report.findings[0].code, "QL001");
+            }
+            other => panic!("expected lint rejection, got {other:?}"),
+        }
+        assert_eq!(cache.len(), 0, "rejected plans must not be cached");
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn deny_warnings_blocks_what_deny_errors_admits() {
+        let cache = PlanCache::new();
+        let bc = entangled_qterm();
+        // Warning-level finding: passes the default gate…
+        let (plan, _) = cache
+            .get_or_compile_gated(&bc, LintGate::DenyErrors)
+            .unwrap();
+        assert!(plan.lint.fails_at(quipper_lint::Severity::Warning));
+        // …but the stricter gate rejects it even on the cache-hit path.
+        assert!(matches!(
+            cache.get_or_compile_gated(&bc, LintGate::DenyWarnings),
+            Err(ExecError::Lint(_))
+        ));
+        assert_eq!(cache.len(), 1, "hit-path rejection keeps the cached plan");
+    }
+
+    #[test]
+    fn gate_off_compiles_and_caches_anything_lintable() {
+        let cache = PlanCache::new();
+        let (plan, hit) = cache
+            .get_or_compile_gated(&provably_wrong_qterm(), LintGate::Off)
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(plan.lint.summary().errors, 1);
         assert_eq!(cache.len(), 1);
     }
 

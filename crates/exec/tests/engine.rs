@@ -6,7 +6,7 @@ use quipper::classical::Dag;
 use quipper::{Circ, Qubit};
 use quipper_algorithms::grover::{grover_circuit, optimal_iterations};
 use quipper_circuit::BCircuit;
-use quipper_exec::{Engine, EngineConfig, ExecError, Job, JobQueue};
+use quipper_exec::{Engine, EngineConfig, ExecError, Job, JobQueue, LintGate};
 
 fn engine_with_workers(workers: usize) -> Engine {
     Engine::with_config(EngineConfig {
@@ -235,4 +235,70 @@ fn shot_errors_report_the_lowest_failing_shot() {
     let seq = engine.run_sequential(&job).unwrap_err();
     assert_eq!(par.to_string(), seq.to_string());
     assert!(matches!(par, ExecError::Sim { .. }));
+}
+
+#[test]
+fn engine_refuses_to_cache_or_execute_lint_rejected_plans() {
+    // An ancilla provably in |1⟩ asserted |0⟩: QL001, error severity. The
+    // default gate (deny errors) rejects the job before compilation output
+    // reaches the cache or any backend.
+    let bc = Circ::build(&(), |c, ()| {
+        let anc = c.qinit_bit(false);
+        c.qnot(anc);
+        c.qterm_bit(false, anc);
+        let out = c.qinit_bit(false);
+        c.measure_bit(out)
+    });
+    let engine = Engine::new();
+    let err = engine.run(&Job::new(&bc)).unwrap_err();
+    match err {
+        ExecError::Lint(report) => assert_eq!(report.findings[0].code, "QL001"),
+        other => panic!("expected lint rejection, got {other:?}"),
+    }
+    assert_eq!(engine.stats().cached_plans, 0);
+    assert_eq!(engine.stats().jobs, 0);
+
+    // With the gate off the same circuit compiles, caches, and reaches the
+    // backend — which then fails the assertion at run time instead.
+    let lax = Engine::with_config(EngineConfig {
+        lint: LintGate::Off,
+        ..EngineConfig::default()
+    });
+    let err = lax.run(&Job::new(&bc)).unwrap_err();
+    assert!(matches!(err, ExecError::Sim { .. }), "{err}");
+    assert_eq!(lax.stats().cached_plans, 1);
+}
+
+#[test]
+fn deny_warnings_engine_blocks_unprovable_assertions() {
+    // H·H is the identity, so the assertion holds on every shot — but the
+    // abstract domain cannot prove it (H sends a known basis state to a
+    // superposition tier), leaving a warning-severity QL002 finding. The
+    // adjacent H·H pair itself is a second warning (QL030, redundancy).
+    let bc = Circ::build(&(), |c, ()| {
+        let q = c.qinit_bit(false);
+        c.hadamard(q);
+        c.hadamard(q);
+        let anc = c.qinit_bit(false);
+        c.cnot(anc, q);
+        c.qterm_bit(false, anc);
+        c.measure_bit(q)
+    });
+
+    let strict = Engine::with_config(EngineConfig {
+        lint: LintGate::DenyWarnings,
+        ..EngineConfig::default()
+    });
+    assert!(matches!(
+        strict.run(&Job::new(&bc)),
+        Err(ExecError::Lint(_))
+    ));
+
+    // The default gate admits warnings; the job runs and its report carries
+    // the lint summary.
+    let engine = Engine::new();
+    let result = engine.run(&Job::new(&bc).shots(10)).unwrap();
+    let lint = result.report.lint.expect("engine-built reports carry lint");
+    assert_eq!((lint.errors, lint.warnings), (0, 2));
+    assert!(result.report.to_string().contains("lint: 0E/2W"));
 }

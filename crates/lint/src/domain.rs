@@ -1,0 +1,335 @@
+//! The abstract domain of the assertive-termination pass.
+//!
+//! Each live wire is mapped to an [`AbsVal`] describing what the analysis
+//! knows about its state for *computational basis* inputs (the only inputs
+//! the execution engine supplies — see `Job::inputs`):
+//!
+//! * [`AbsVal::Bool`] — the wire is, on every run, in the basis state
+//!   |e(x)⟩ where `e` is a boolean function of the symbolic input variables
+//!   `x`, and the wire is unentangled with the rest of the system. The
+//!   constants |0⟩ and |1⟩ are the special case of a constant `e`; tracking
+//!   full expressions is what lets the pass prove Bennett-style
+//!   compute/use/uncompute oracles clean.
+//! * [`AbsVal::AnyBasis`] — a basis state on every run, but the value is no
+//!   longer tracked (expression blow-up, measurement outcomes, unknown
+//!   classical gates). Still unentangled.
+//! * [`AbsVal::Stab`] — an unentangled single-qubit pure state: the
+//!   "stabilizer" tier of the lattice, generalized to any separable state a
+//!   single-qubit unitary can produce (H, V, T, arbitrary rotations).
+//! * [`AbsVal::Top`] — anything, possibly entangled with other wires.
+//!
+//! The order is `Bool ⊑ AnyBasis ⊑ Stab ⊑ Top`; there is no explicit ⊥
+//! because dead wires are simply absent from the state map.
+//!
+//! Expressions are kept in algebraic normal form (constant ⊕ XOR of AND
+//! monomials), which makes X/CNOT/Toffoli chains — the entire output of the
+//! classical oracle synthesizer — exactly representable, with a hard size cap
+//! ([`MAX_MONOMIALS`]) beyond which values degrade to `AnyBasis` instead of
+//! exploding.
+
+use std::collections::BTreeSet;
+
+/// A symbolic boolean variable: the basis value of one circuit input.
+pub type Var = u32;
+
+/// Cap on the number of AND monomials in one expression. Crossing the cap
+/// degrades the wire to [`AbsVal::AnyBasis`] — soundness is preserved, only
+/// precision is lost.
+pub const MAX_MONOMIALS: usize = 48;
+
+/// A boolean expression in algebraic normal form:
+/// `constant ⊕ m₁ ⊕ m₂ ⊕ …` where each monomial `mᵢ` is an AND of distinct
+/// variables. Monomials are kept sorted and duplicate-free, so structural
+/// equality is semantic equality.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BExpr {
+    constant: bool,
+    /// Sorted list of sorted, distinct variable sets; never contains the
+    /// empty monomial (that is `constant`) and never contains duplicates.
+    monomials: Vec<Vec<Var>>,
+}
+
+impl BExpr {
+    /// The constant expression `b`.
+    pub fn constant(b: bool) -> BExpr {
+        BExpr {
+            constant: b,
+            monomials: Vec::new(),
+        }
+    }
+
+    /// The single-variable expression `v`.
+    pub fn var(v: Var) -> BExpr {
+        BExpr {
+            constant: false,
+            monomials: vec![vec![v]],
+        }
+    }
+
+    /// `Some(b)` iff the expression is the constant `b`.
+    pub fn as_const(&self) -> Option<bool> {
+        self.monomials.is_empty().then_some(self.constant)
+    }
+
+    /// Logical negation (free in ANF: flip the constant).
+    pub fn not(&self) -> BExpr {
+        BExpr {
+            constant: !self.constant,
+            monomials: self.monomials.clone(),
+        }
+    }
+
+    /// Exclusive or; `None` if the result exceeds [`MAX_MONOMIALS`].
+    pub fn xor(&self, other: &BExpr) -> Option<BExpr> {
+        // Symmetric difference of two sorted monomial lists.
+        let mut out = Vec::with_capacity(self.monomials.len() + other.monomials.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.monomials.len() && j < other.monomials.len() {
+            match self.monomials[i].cmp(&other.monomials[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.monomials[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.monomials[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.monomials[i..]);
+        out.extend_from_slice(&other.monomials[j..]);
+        (out.len() <= MAX_MONOMIALS).then_some(BExpr {
+            constant: self.constant ^ other.constant,
+            monomials: out,
+        })
+    }
+
+    /// Logical and; `None` if the result exceeds [`MAX_MONOMIALS`].
+    pub fn and(&self, other: &BExpr) -> Option<BExpr> {
+        // Distribute: every pair of terms (treating the constant true as the
+        // empty monomial) multiplies to the union of their variable sets;
+        // equal products cancel pairwise (x ⊕ x = 0).
+        let mut acc: std::collections::BTreeMap<Vec<Var>, bool> = std::collections::BTreeMap::new();
+        for a in self.terms() {
+            for b in other.terms() {
+                let m = union_sorted(a, b);
+                let parity = acc.entry(m).or_insert(false);
+                *parity = !*parity;
+            }
+        }
+        let mut constant = false;
+        let mut monomials = Vec::new();
+        for (m, parity) in acc {
+            if parity {
+                if m.is_empty() {
+                    constant = true;
+                } else {
+                    monomials.push(m);
+                }
+            }
+        }
+        (monomials.len() <= MAX_MONOMIALS).then_some(BExpr {
+            constant,
+            monomials,
+        })
+    }
+
+    /// Substitutes every variable via `lookup`; `None` if a variable has no
+    /// substitution or the result blows past the cap.
+    pub fn subst(&self, lookup: &dyn Fn(Var) -> Option<BExpr>) -> Option<BExpr> {
+        let mut acc = BExpr::constant(self.constant);
+        for m in &self.monomials {
+            let mut term = BExpr::constant(true);
+            for &v in m {
+                term = term.and(&lookup(v)?)?;
+            }
+            acc = acc.xor(&term)?;
+        }
+        Some(acc)
+    }
+
+    /// The set of variables the expression depends on.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        self.monomials.iter().flatten().copied().collect()
+    }
+
+    /// All product terms, with the constant `true` contributing the empty
+    /// monomial.
+    fn terms(&self) -> impl Iterator<Item = &[Var]> {
+        const EMPTY: &[Var] = &[];
+        self.constant
+            .then_some(EMPTY)
+            .into_iter()
+            .chain(self.monomials.iter().map(|m| m.as_slice()))
+    }
+}
+
+fn union_sorted(a: &[Var], b: &[Var]) -> Vec<Var> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// What the analysis knows about one live wire; see the module docs for the
+/// lattice.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AbsVal {
+    /// Basis state |e(x)⟩, unentangled.
+    Bool(BExpr),
+    /// A basis state with untracked value, unentangled.
+    AnyBasis,
+    /// An unentangled single-qubit pure state (possibly in superposition).
+    Stab,
+    /// Unknown; possibly entangled.
+    Top,
+}
+
+impl AbsVal {
+    /// The constant basis state |b⟩.
+    pub fn known(b: bool) -> AbsVal {
+        AbsVal::Bool(BExpr::constant(b))
+    }
+
+    /// Whether the wire has a definite (per-run) basis value: `Bool` or
+    /// `AnyBasis`. Gates conditioned only on such wires never create
+    /// entanglement.
+    pub fn is_classical_valued(&self) -> bool {
+        matches!(self, AbsVal::Bool(_) | AbsVal::AnyBasis)
+    }
+
+    /// Position in the lattice: 0 = `Bool` … 3 = `Top`.
+    pub fn rank(&self) -> u8 {
+        match self {
+            AbsVal::Bool(_) => 0,
+            AbsVal::AnyBasis => 1,
+            AbsVal::Stab => 2,
+            AbsVal::Top => 3,
+        }
+    }
+
+    /// The weakest value of the given rank (`Bool` has no weakest element, so
+    /// rank 0 maps to `AnyBasis`).
+    pub fn from_rank(rank: u8) -> AbsVal {
+        match rank {
+            0 | 1 => AbsVal::AnyBasis,
+            2 => AbsVal::Stab,
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// Human wording for diagnostics.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            AbsVal::Bool(_) => "a known basis state",
+            AbsVal::AnyBasis => "a basis state with statically unknown value",
+            AbsVal::Stab => "possibly in superposition",
+            AbsVal::Top => "possibly entangled with other live wires",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_cancels_pairs() {
+        let x = BExpr::var(0);
+        let y = BExpr::var(1);
+        let xy = x.xor(&y).unwrap();
+        // (x ⊕ y) ⊕ y = x
+        assert_eq!(xy.xor(&y).unwrap(), x);
+        // x ⊕ x = 0
+        assert_eq!(x.xor(&x).unwrap(), BExpr::constant(false));
+    }
+
+    #[test]
+    fn and_distributes_and_cancels() {
+        let x = BExpr::var(0);
+        let y = BExpr::var(1);
+        // x ∧ x = x (idempotent monomials)
+        assert_eq!(x.and(&x).unwrap(), x);
+        // (x ⊕ 1)(x ⊕ 1) = x ⊕ 1
+        let nx = x.not();
+        assert_eq!(nx.and(&nx).unwrap(), nx);
+        // (x ⊕ y) ∧ y = xy ⊕ y
+        let got = x.xor(&y).unwrap().and(&y).unwrap();
+        let xy = x.and(&y).unwrap();
+        assert_eq!(got, xy.xor(&y).unwrap());
+    }
+
+    #[test]
+    fn negation_evaluates_on_constants() {
+        let t = BExpr::constant(true);
+        assert_eq!(t.not().as_const(), Some(false));
+        assert_eq!(BExpr::var(3).as_const(), None);
+    }
+
+    #[test]
+    fn subst_composes_expressions() {
+        // e = v0 ∧ v1, with v0 := a ⊕ b, v1 := 1 gives a ⊕ b.
+        let e = BExpr::var(0).and(&BExpr::var(1)).unwrap();
+        let ab = BExpr::var(10).xor(&BExpr::var(11)).unwrap();
+        let got = e
+            .subst(&|v| match v {
+                0 => Some(ab.clone()),
+                1 => Some(BExpr::constant(true)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(got, ab);
+        // Missing substitution is None.
+        assert!(e.subst(&|_| None).is_none());
+    }
+
+    #[test]
+    fn monomial_cap_degrades_to_none() {
+        // Product of (v_i ⊕ v_{i+100}) terms doubles the monomial count each
+        // step and must eventually refuse instead of exploding.
+        let mut acc = BExpr::constant(true);
+        let mut overflowed = false;
+        for i in 0..20 {
+            let term = BExpr::var(i).xor(&BExpr::var(i + 100)).unwrap();
+            match acc.and(&term) {
+                Some(next) => acc = next,
+                None => {
+                    overflowed = true;
+                    break;
+                }
+            }
+        }
+        assert!(overflowed);
+    }
+
+    #[test]
+    fn rank_order_matches_lattice() {
+        assert!(AbsVal::known(false).rank() < AbsVal::AnyBasis.rank());
+        assert!(AbsVal::AnyBasis.rank() < AbsVal::Stab.rank());
+        assert!(AbsVal::Stab.rank() < AbsVal::Top.rank());
+        assert!(AbsVal::known(true).is_classical_valued());
+        assert!(!AbsVal::Stab.is_classical_valued());
+    }
+}

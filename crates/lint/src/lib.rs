@@ -1,0 +1,330 @@
+//! Static analysis over the hierarchical circuit IR.
+//!
+//! Quipper's extended circuit model trusts the programmer in two places the
+//! runtime never checks: *assertive termination* (`qterm` claims a wire is in
+//! a known basis state, paper §4.2.2) and ancilla scoping (fresh wires are
+//! supposed to be returned to |0⟩ before leaving their region). This crate
+//! is the safety net: a multi-pass analyzer that walks the boxed circuit IR
+//! once per subroutine body and either *proves* those claims or flags them,
+//! without ever flattening the circuit.
+//!
+//! # Passes
+//!
+//! * **Assertive termination** ([`analyze`](crate::lint)): abstract
+//!   interpretation over a per-wire basis-state domain — symbolic boolean
+//!   expressions for basis values, a stabilizer-like tier for unentangled
+//!   superpositions, ⊤ for possible entanglement — propagated through gates
+//!   and boxed calls via memoized summaries. Proves Bennett-style
+//!   compute/use/uncompute oracles clean and reports terminations it cannot
+//!   justify (`QL001`, `QL002`, `QL003`).
+//! * **Ancilla discipline**: scoped ancillas escaping a subroutine in a
+//!   non-basis state (`QL010`), and initialized qubits dropped without an
+//!   assertion (`QL011`).
+//! * **Control context**: controlled or reversed calls that transitively
+//!   reach a measurement, discard or classical gate and would fail at
+//!   flatten time (`QL020`, `QL021`).
+//! * **Redundancy**: adjacent gate/adjoint pairs the fuse pass would
+//!   silently cancel (`QL030`) and no-op controls (`QL031`, `QL032`).
+//!
+//! Runtime circuit errors carry aligned `QL1xx` codes (see
+//! [`CircuitError::code`](quipper_circuit::CircuitError::code)), so static
+//! and dynamic findings print uniformly.
+//!
+//! # Example
+//!
+//! ```
+//! use quipper_circuit::{Circuit, Gate, Wire, WireType, BCircuit, CircuitDb};
+//! use quipper_lint::{lint, Severity};
+//!
+//! // An ancilla is created, entangled with the input, and then *asserted*
+//! // to be |0⟩ — unjustifiably.
+//! let mut c = Circuit::with_inputs(vec![(Wire(0), WireType::Quantum)]);
+//! c.gates.push(Gate::QInit { value: false, wire: Wire(1) });
+//! c.gates.push(Gate::unary(quipper_circuit::GateName::H, Wire(1)));
+//! c.gates.push(Gate::cnot(Wire(0), Wire(1)));
+//! c.gates.push(Gate::QTerm { value: false, wire: Wire(1) });
+//! c.outputs = c.inputs.clone();
+//! c.recompute_wire_bound();
+//!
+//! let report = lint(&BCircuit::new(CircuitDb::new(), c));
+//! assert!(report.fails_at(Severity::Warning));
+//! assert_eq!(report.findings[0].code, "QL002");
+//! ```
+
+mod analyze;
+mod domain;
+mod facts;
+mod structure;
+
+pub mod diag;
+
+pub use diag::{severity_of, Diagnostic, LintReport, LintSummary, Severity, CODES};
+
+use quipper_circuit::BCircuit;
+
+/// Which passes to run; all are on by default.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct LintOptions {
+    /// Assertive-termination soundness (`QL001`–`QL003`).
+    pub termination: bool,
+    /// Ancilla discipline (`QL010`, `QL011`).
+    pub ancilla: bool,
+    /// Controlled/reversed context violations (`QL020`, `QL021`).
+    pub control_context: bool,
+    /// Cancelling pairs and no-op controls (`QL030`–`QL032`).
+    pub redundancy: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            termination: true,
+            ancilla: true,
+            control_context: true,
+            redundancy: true,
+        }
+    }
+}
+
+/// Runs every pass over `bc` with default options.
+pub fn lint(bc: &BCircuit) -> LintReport {
+    lint_with(bc, &LintOptions::default())
+}
+
+/// Runs the selected passes over `bc`.
+///
+/// Findings are sorted by (scope, gate index, code) so reports are
+/// deterministic; the run is recorded as a `lint` span in the active
+/// [`quipper_trace`] session, if any.
+pub fn lint_with(bc: &BCircuit, opts: &LintOptions) -> LintReport {
+    let _span = quipper_trace::span(quipper_trace::Phase::Compile, "lint");
+    let mut report = LintReport::default();
+    if opts.termination || opts.redundancy || opts.ancilla {
+        analyze::run(bc, opts, &mut report);
+    }
+    if opts.control_context {
+        facts::control_pass(bc, &mut report.findings);
+    }
+    if opts.redundancy {
+        structure::redundancy_pass(bc, &mut report.findings);
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.scope, a.gate_index, a.code).cmp(&(&b.scope, b.gate_index, b.code)));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quipper::classical::{synth, Dag};
+    use quipper::{Circ, Qubit};
+    use quipper_algorithms::grover::{grover_circuit, optimal_iterations};
+
+    fn codes(report: &LintReport) -> Vec<&'static str> {
+        report.findings.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn entangled_ancilla_termination_is_flagged() {
+        // qterm on a wire that may be entangled with the input: the
+        // hand-built unsound assertion from the acceptance criteria.
+        let bc = Circ::build(&false, |c, a: Qubit| {
+            let anc = c.qinit_bit(false);
+            c.hadamard(anc);
+            c.cnot(a, anc);
+            c.qterm_bit(false, anc);
+            a
+        });
+        let report = lint(&bc);
+        assert!(codes(&report).contains(&"QL002"), "{report}");
+        assert!(report.fails_at(Severity::Warning));
+        let d = report.findings.iter().find(|d| d.code == "QL002").unwrap();
+        assert!(d.message.contains("entangled"), "{}", d.message);
+    }
+
+    #[test]
+    fn provably_wrong_termination_is_an_error() {
+        let bc = Circ::build(&(), |c, ()| {
+            let anc = c.qinit_bit(false);
+            c.qnot(anc);
+            c.qterm_bit(false, anc); // it is |1⟩, provably
+        });
+        let report = lint(&bc);
+        assert_eq!(report.max_severity(), Some(Severity::Error), "{report}");
+        assert!(codes(&report).contains(&"QL001"));
+        assert!(report.fails_at(Severity::Error));
+    }
+
+    #[test]
+    fn bennett_oracle_box_proves_clean_under_superposed_caller() {
+        // The sound counterpart from the acceptance criteria: a boxed
+        // classical_to_reversible oracle (compute/use/uncompute) applied to
+        // wires in superposition. The box's internal assertions are proved
+        // for all basis inputs, which certifies it for the superposed caller
+        // by linearity.
+        let dag = Dag::build(2, |_, xs| vec![&xs[0] & &xs[1]]);
+        let bc = Circ::build(
+            &(false, false, false),
+            |c, (a, b, t): (Qubit, Qubit, Qubit)| {
+                c.hadamard(a);
+                c.hadamard(b);
+                c.box_circ("oracle", (a, b, t), |c, (a, b, t)| {
+                    synth::classical_to_reversible(c, &dag, &[a, b], &[t]);
+                    (a, b, t)
+                })
+            },
+        );
+        let report = lint(&bc);
+        assert!(!report.fails_at(Severity::Warning), "{report}");
+        assert!(report.proved_terms > 0, "{report}");
+        assert!(report.boxes_clean >= 1, "{report}");
+    }
+
+    #[test]
+    fn grover_lints_clean_with_every_oracle_assertion_proved() {
+        let dag = Dag::build(3, |_, xs| vec![&(&!(&xs[0]) & &xs[1]) & &xs[2]]);
+        let bc = grover_circuit(&dag, optimal_iterations(3, 1));
+        let report = lint(&bc);
+        assert!(!report.fails_at(Severity::Warning), "{report}");
+        assert!(report.proved_terms > 0, "{report}");
+        assert!(report.boxes_clean >= 1, "{report}");
+    }
+
+    #[test]
+    fn controlled_call_with_control_dependent_assertions_warns() {
+        // The box is sound when it fires (anc: 0 → X → 1 → qterm 1) but its
+        // assertion relies on a controllable gate; under a blocked control
+        // the X does not fire while init/term still run.
+        let bc = Circ::build(&(false, false), |c, (ctl, a): (Qubit, Qubit)| {
+            c.hadamard(ctl);
+            let a = c.with_controls(&ctl, |c| {
+                c.box_circ("flip", a, |c, a| {
+                    let anc = c.qinit_bit(false);
+                    c.qnot(anc);
+                    c.qterm_bit(true, anc);
+                    a
+                })
+            });
+            (ctl, a)
+        });
+        let report = lint(&bc);
+        assert!(codes(&report).contains(&"QL003"), "{report}");
+        // The box body itself is fine — the QL003 is on the call in main.
+        let d = report.findings.iter().find(|d| d.code == "QL003").unwrap();
+        assert_eq!(d.scope, "main");
+    }
+
+    #[test]
+    fn measurement_inside_controlled_call_is_an_error() {
+        let bc = Circ::build(&(false, false), |c, (ctl, a): (Qubit, Qubit)| {
+            c.hadamard(ctl);
+            let bit = c.with_controls(&ctl, |c| {
+                c.box_circ("measure_it", a, |c, a| c.measure_bit(a))
+            });
+            (ctl, bit)
+        });
+        let report = lint(&bc);
+        assert!(codes(&report).contains(&"QL020"), "{report}");
+        assert!(report.fails_at(Severity::Error));
+    }
+
+    #[test]
+    fn adjacent_adjoint_pair_is_reported_once_per_pair() {
+        let bc = Circ::build(&false, |c, a: Qubit| {
+            c.hadamard(a);
+            c.hadamard(a);
+            c.hadamard(a);
+            c.hadamard(a);
+            a
+        });
+        let report = lint(&bc);
+        let pairs: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|d| d.code == "QL030")
+            .collect();
+        assert_eq!(pairs.len(), 2, "{report}");
+        // An intervening gate on the same wire suppresses the finding.
+        let bc = Circ::build(&false, |c, a: Qubit| {
+            c.gate_t(a);
+            c.hadamard(a);
+            c.gate_t(a);
+            a
+        });
+        assert!(lint(&bc).is_clean());
+    }
+
+    #[test]
+    fn statically_blocked_and_constant_controls_are_flagged() {
+        let bc = Circ::build(&(), |c, ()| {
+            let on = c.qinit_bit(true);
+            let off = c.qinit_bit(false);
+            let t = c.qinit_bit(false);
+            c.cnot(t, on); // control always satisfied
+            c.cnot(t, off); // control statically violated
+            c.qdiscard(on);
+            c.qdiscard(off);
+            c.qdiscard(t);
+        });
+        let report = lint(&bc);
+        assert!(codes(&report).contains(&"QL031"), "{report}");
+        assert!(codes(&report).contains(&"QL032"), "{report}");
+        // QL031 is a note, QL032 a warning.
+        assert!(report.fails_at(Severity::Warning));
+        // ... and the init-origin discards produce notes.
+        assert!(codes(&report).contains(&"QL011"));
+    }
+
+    #[test]
+    fn options_gate_each_pass() {
+        let bc = Circ::build(&(), |c, ()| {
+            let anc = c.qinit_bit(false);
+            c.hadamard(anc);
+            c.hadamard(anc);
+            c.qterm_bit(false, anc);
+        });
+        let all = lint(&bc);
+        assert!(codes(&all).contains(&"QL030"));
+        // H·H cancels but the walk does not exploit that: the termination
+        // pass still sees a superposed wire.
+        assert!(codes(&all).contains(&"QL002"));
+        let only_redundancy = LintOptions {
+            termination: false,
+            ancilla: false,
+            control_context: false,
+            ..LintOptions::default()
+        };
+        let r = lint_with(&bc, &only_redundancy);
+        assert_eq!(
+            codes(&r).iter().filter(|c| !c.starts_with("QL03")).count(),
+            0,
+            "{r}"
+        );
+        assert!(codes(&r).contains(&"QL030"));
+    }
+
+    #[test]
+    fn repeated_boxes_reach_a_fixpoint() {
+        // x ↦ x⊕1 iterated: the summary alternates with period 2, so odd
+        // repetition counts flip and even ones do not — the cycle detector
+        // must get the parity right without walking 10^6 steps.
+        let build = |reps: u64| {
+            Circ::build(&(), |c, ()| {
+                let q = c.qinit_bit(false);
+                let q = c.box_repeat("flip", "", reps, q, |c, q| {
+                    c.qnot(q);
+                    q
+                });
+                c.qterm_bit(false, q);
+            })
+        };
+        let even = lint(&build(1_000_000));
+        assert!(even.is_clean(), "{even}");
+        assert_eq!(even.proved_terms, 1);
+        let odd = lint(&build(1_000_001));
+        assert!(odd.fails_at(Severity::Error), "{odd}");
+        assert!(codes(&odd).contains(&"QL001"));
+    }
+}

@@ -1,0 +1,111 @@
+//! The structural redundancy pass: adjacent gate/adjoint pairs.
+//!
+//! The fuse pass in `quipper-sim` silently cancels a unitary immediately
+//! followed by its inverse on the same wires; this pass surfaces those pairs
+//! as warnings (QL030) so the source can be cleaned up instead. A pair
+//! counts only if *no* intervening gate touches any of its wires, and each
+//! gate participates in at most one pair (H·H·H·H reports two pairs, not
+//! three), matching what fusion would actually remove.
+//!
+//! Initialization/termination pairs are deliberately excluded: a `QTerm`
+//! followed by a `QInit` on a recycled wire id is the ancilla-pooling
+//! pattern from paper §4.2.1, not a mistake.
+
+use std::collections::HashMap;
+
+use quipper_circuit::{BCircuit, Circuit, Control, Gate, Wire};
+
+use crate::diag::Diagnostic;
+
+/// Sentinel for "this gate already cancelled into an earlier pair".
+const CONSUMED: usize = usize::MAX;
+
+pub(crate) fn redundancy_pass(bc: &BCircuit, findings: &mut Vec<Diagnostic>) {
+    scan("main", &bc.main, findings);
+    for (_, def) in bc.db.iter() {
+        scan(&def.name, &def.circuit, findings);
+    }
+}
+
+fn scan(scope: &str, circuit: &Circuit, findings: &mut Vec<Diagnostic>) {
+    // For each wire, the index of the last non-comment gate that touched it.
+    let mut last: HashMap<Wire, usize> = HashMap::new();
+    for (idx, gate) in circuit.gates.iter().enumerate() {
+        if matches!(gate, Gate::Comment { .. }) {
+            continue;
+        }
+        let mut wires = Vec::new();
+        gate.for_each_wire(&mut |w| wires.push(w));
+        wires.sort_unstable();
+        wires.dedup();
+
+        let mut consumed = false;
+        if candidate(gate) {
+            // All of this gate's wires must have last been touched by one
+            // single earlier gate, and that gate must touch exactly the same
+            // wires — otherwise something in between observes the pair.
+            let prev = wires
+                .first()
+                .and_then(|w| last.get(w).copied())
+                .filter(|&p| p != CONSUMED && wires.iter().all(|w| last.get(w) == Some(&p)));
+            if let Some(p) = prev {
+                let prev_gate = &circuit.gates[p];
+                let mut prev_wires = Vec::new();
+                prev_gate.for_each_wire(&mut |w| prev_wires.push(w));
+                prev_wires.sort_unstable();
+                prev_wires.dedup();
+                if prev_wires == wires && inverse_pair(prev_gate, gate) {
+                    findings.push(Diagnostic::new(
+                        "QL030",
+                        scope,
+                        Some(idx),
+                        gate.describe(),
+                        wires.first().copied().filter(|_| wires.len() == 1),
+                        format!(
+                            "cancels with the adjacent {} at #{p}; the pair is the identity \
+                             and the fuse pass would silently remove it",
+                            prev_gate.describe()
+                        ),
+                    ));
+                    consumed = true;
+                }
+            }
+        }
+        let mark = if consumed { CONSUMED } else { idx };
+        for w in wires {
+            last.insert(w, mark);
+        }
+    }
+}
+
+/// Gates eligible for pair cancellation: unitaries and whole calls.
+fn candidate(gate: &Gate) -> bool {
+    matches!(
+        gate,
+        Gate::QGate { .. } | Gate::QRot { .. } | Gate::GPhase { .. } | Gate::Subroutine { .. }
+    )
+}
+
+/// Whether `b` is exactly the inverse of `a`, ignoring control order.
+fn inverse_pair(a: &Gate, b: &Gate) -> bool {
+    let Ok(inv) = a.inverse() else {
+        return false;
+    };
+    canon(&inv) == canon(b)
+}
+
+/// Canonical form for comparison: controls sorted.
+fn canon(gate: &Gate) -> Gate {
+    let mut g = gate.clone();
+    let cs: Option<&mut Vec<Control>> = match &mut g {
+        Gate::QGate { controls, .. }
+        | Gate::QRot { controls, .. }
+        | Gate::GPhase { controls, .. }
+        | Gate::Subroutine { controls, .. } => Some(controls),
+        _ => None,
+    };
+    if let Some(cs) = cs {
+        cs.sort_unstable();
+    }
+    g
+}

@@ -216,7 +216,11 @@ impl Parser<'_> {
 }
 
 /// Escape a string for embedding in JSON output (without the quotes).
-pub(crate) fn escape_into(out: &mut String, s: &str) {
+///
+/// Exported so other crates emitting JSON Lines alongside trace output
+/// (e.g. `quipper-lint` reports) escape identically and round-trip through
+/// [`parse`].
+pub fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

@@ -27,7 +27,7 @@ mod metrics;
 pub mod report;
 
 pub use export::{to_chrome_trace, to_json_lines};
-pub use json::{parse as parse_json, Json};
+pub use json::{escape_into, parse as parse_json, Json};
 pub use metrics::{names, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 
 use std::borrow::Cow;

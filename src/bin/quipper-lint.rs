@@ -1,0 +1,274 @@
+//! `quipper-lint`: run the static-analysis passes over a suite of built-in
+//! circuits and report the findings.
+//!
+//! The suite mirrors the repository's example binaries — teleportation,
+//! synthesized oracles, Grover, QFT, the welded-tree walk — so CI can assert
+//! that everything the examples execute is statically clean:
+//!
+//! ```text
+//! cargo run --release --bin quipper-lint -- --deny warnings
+//! ```
+//!
+//! Exit status is 1 when any selected circuit has a finding at or above the
+//! deny threshold (after `--allow` filtering), 0 otherwise.
+
+use std::process::ExitCode;
+
+use quipper::classical::{synth, Dag};
+use quipper::qft::qft;
+use quipper::{Circ, Qubit};
+use quipper_algorithms::bf::{hex_winner_dag, HexBoard};
+use quipper_algorithms::bwt::{bwt_circuit, Flavor, WeldedTree};
+use quipper_algorithms::cl::mod_const_dag;
+use quipper_algorithms::grover::{grover_circuit, optimal_iterations};
+use quipper_circuit::BCircuit;
+use quipper_lint::{lint, LintReport, Severity};
+
+const USAGE: &str = "\
+quipper-lint: static analysis over the built-in circuit suite
+
+USAGE: quipper-lint [OPTIONS]
+
+OPTIONS:
+  --list             print the suite's circuit names and exit
+  --only NAME        lint only this circuit (repeatable)
+  --deny LEVEL       fail on findings at or above LEVEL: errors | warnings
+                     (default: errors)
+  --allow CODE       drop findings with this code, e.g. --allow QL030
+                     (repeatable)
+  --json             emit JSON Lines instead of the pretty report
+  -h, --help         this text";
+
+/// A named circuit in the suite: display name plus builder.
+type SuiteEntry = (&'static str, fn() -> BCircuit);
+
+/// The circuits the examples build and run, reconstructed here so the lint
+/// gate in CI sees exactly the shapes users see.
+fn suite() -> Vec<SuiteEntry> {
+    vec![
+        ("teleportation", teleportation),
+        ("ghz5", ghz5),
+        ("parity-oracle", parity_oracle),
+        ("mod-oracle", mod_oracle),
+        ("hex-oracle", hex_oracle),
+        ("grover3", grover3),
+        ("qft4", qft4),
+        ("bwt-orthodox", bwt_orthodox),
+    ]
+}
+
+/// The mixed classical/quantum teleportation circuit of
+/// `examples/teleportation.rs` (θ = 0.7).
+fn teleportation() -> BCircuit {
+    let mut c = Circ::new();
+    let psi = c.qinit_bit(false);
+    c.rot("Ry(%)", 0.7, psi);
+    let a = c.qinit_bit(false);
+    let b = c.qinit_bit(false);
+    c.hadamard(a);
+    c.cnot(b, a);
+    c.cnot(a, psi);
+    c.hadamard(psi);
+    let m1 = c.measure_bit(psi);
+    let m2 = c.measure_bit(a);
+    c.qnot_ctrl(b, &m2);
+    c.gate_ctrl(quipper::GateName::Z, b, &m1);
+    c.cdiscard(m1);
+    c.cdiscard(m2);
+    c.rot("Ry(%)", -0.7, b);
+    let check = c.measure_bit(b);
+    c.finish(&check)
+}
+
+/// Five-qubit GHZ preparation and measurement.
+fn ghz5() -> BCircuit {
+    Circ::build(&vec![false; 5], |c, qs: Vec<Qubit>| {
+        c.hadamard(qs[0]);
+        for w in qs.windows(2) {
+            c.cnot(w[1], w[0]);
+        }
+        qs.into_iter().map(|q| c.measure(q)).collect::<Vec<_>>()
+    })
+}
+
+/// The paper's §4.6.1 parity oracle via `classical_to_reversible`.
+fn parity_oracle() -> BCircuit {
+    let parity = Dag::build(4, |b, xs| {
+        vec![xs.iter().fold(b.constant(false), |acc, x| acc ^ x.clone())]
+    });
+    Circ::build(
+        &(vec![false; 4], false),
+        |c, (xs, t): (Vec<Qubit>, Qubit)| {
+            synth::classical_to_reversible(c, &parity, &xs, &[t]);
+            (xs, t)
+        },
+    )
+}
+
+/// A modular-arithmetic oracle (Class Number), synthesized clean.
+fn mod_oracle() -> BCircuit {
+    let dag = mod_const_dag(4, 3);
+    Circ::build(&vec![false; 4], |c, xs: Vec<Qubit>| {
+        let outs = synth::synthesize_clean(c, &dag, &xs);
+        (xs, outs)
+    })
+}
+
+/// The Hex flood-fill winner oracle (Boolean Formula) on a small board.
+fn hex_oracle() -> BCircuit {
+    let board = HexBoard::new(3, 3);
+    let dag = hex_winner_dag(board, true, None);
+    Circ::build(
+        &(vec![false; board.cells()], false),
+        |c, (cells, out): (Vec<Qubit>, Qubit)| {
+            synth::classical_to_reversible(c, &dag, &cells, &[out]);
+            (cells, out)
+        },
+    )
+}
+
+/// Grover search for one marked element among 2^3.
+fn grover3() -> BCircuit {
+    let dag = Dag::build(3, |_, xs| vec![&(&xs[0] & &!(&xs[1])) & &xs[2]]);
+    grover_circuit(&dag, optimal_iterations(3, 1))
+}
+
+/// QFT over four qubits, then measure.
+fn qft4() -> BCircuit {
+    Circ::build(&vec![false; 4], |c, qs: Vec<Qubit>| {
+        qft(c, &qs);
+        qs.into_iter().map(|q| c.measure(q)).collect::<Vec<_>>()
+    })
+}
+
+/// One timestep of the orthodox welded-tree walk on a depth-1 tree.
+fn bwt_orthodox() -> BCircuit {
+    bwt_circuit(WeldedTree::new(1, [0b0, 0b1]), 1, 0.35, Flavor::Orthodox)
+}
+
+struct Options {
+    list: bool,
+    json: bool,
+    deny: Severity,
+    allow: Vec<String>,
+    only: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        list: false,
+        json: false,
+        deny: Severity::Error,
+        allow: Vec::new(),
+        only: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => opts.list = true,
+            "--json" => opts.json = true,
+            "--deny" => {
+                opts.deny = match args.next().as_deref() {
+                    Some("errors") => Severity::Error,
+                    Some("warnings") => Severity::Warning,
+                    other => return Err(format!("--deny expects errors|warnings, got {other:?}")),
+                }
+            }
+            "--allow" => match args.next() {
+                Some(code) => opts.allow.push(code),
+                None => return Err("--allow expects a code, e.g. QL030".into()),
+            },
+            "--only" => match args.next() {
+                Some(name) => opts.only.push(name),
+                None => return Err("--only expects a circuit name".into()),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn lint_one(name: &str, bc: &BCircuit, opts: &Options) -> (LintReport, bool) {
+    let mut report = lint(bc);
+    report
+        .findings
+        .retain(|d| !opts.allow.iter().any(|code| code == d.code));
+    let failed = report.fails_at(opts.deny);
+    if opts.json {
+        print!(
+            "{{\"kind\":\"circuit\",\"name\":\"{name}\"}}\n{}",
+            report.to_json_lines()
+        );
+    } else {
+        let verdict = if failed {
+            "FAIL"
+        } else if report.is_clean() {
+            "ok"
+        } else {
+            "ok (with findings)"
+        };
+        println!("{name}: {} — {verdict}", report.summary());
+        if !report.findings.is_empty() {
+            for line in report.to_string().lines() {
+                println!("  {line}");
+            }
+        }
+    }
+    (report, failed)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let suite = suite();
+    if opts.list {
+        for (name, _) in &suite {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(unknown) = opts
+        .only
+        .iter()
+        .find(|name| !suite.iter().any(|(n, _)| n == *name))
+    {
+        eprintln!("error: no circuit named {unknown:?} (see --list)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    let mut selected = 0usize;
+    for (name, build) in &suite {
+        if !opts.only.is_empty() && !opts.only.iter().any(|n| n == name) {
+            continue;
+        }
+        selected += 1;
+        let (_, failed) = lint_one(name, &build(), &opts);
+        failures += usize::from(failed);
+    }
+    if !opts.json {
+        println!(
+            "{selected} circuit{} linted, {failures} failed at --deny {}",
+            if selected == 1 { "" } else { "s" },
+            if opts.deny == Severity::Error {
+                "errors"
+            } else {
+                "warnings"
+            },
+        );
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
