@@ -1,0 +1,218 @@
+//! Serving-layer throughput: jobs per second through the full admission →
+//! queue → worker → engine path, with and without injected faults.
+//!
+//! Not a criterion bench: each scenario is a timed burst of submissions
+//! against a live `Service`, reported as jobs/s and shots/s. Run modes:
+//!
+//! * default — full-size bursts, report only;
+//! * `BENCH_QUICK=1` — small bursts plus hard asserts (nothing lost, no
+//!   failed jobs, retry visible under faults), used as the CI smoke.
+//!
+//! Every run rewrites `BENCH_serve.json` at the repo root so CI archives a
+//! machine-readable snapshot of serving throughput alongside the kernel
+//! baselines.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use quipper::{Circ, Qubit};
+use quipper_circuit::BCircuit;
+use quipper_exec::{Engine, EngineConfig};
+use quipper_serve::{
+    FaultConfig, FaultInjector, QuotaPolicy, RetryPolicy, Service, ServiceConfig, Submission,
+};
+
+fn ghz(n: usize) -> BCircuit {
+    Circ::build(&vec![false; n], |c, qs: Vec<Qubit>| {
+        c.hadamard(qs[0]);
+        for w in qs.windows(2) {
+            c.cnot(w[1], w[0]);
+        }
+        qs.into_iter().map(|q| c.measure(q)).collect::<Vec<_>>()
+    })
+}
+
+fn rotated(n: usize) -> BCircuit {
+    Circ::build(&vec![false; n], |c, qs: Vec<Qubit>| {
+        for (i, &q) in qs.iter().enumerate() {
+            c.hadamard(q);
+            c.rot("Ry(%)", 0.3 + 0.1 * i as f64, q);
+        }
+        qs.into_iter().map(|q| c.measure(q)).collect::<Vec<_>>()
+    })
+}
+
+struct Measurement {
+    name: &'static str,
+    workers: usize,
+    jobs: u64,
+    shots_per_job: u64,
+    elapsed: Duration,
+    completed: u64,
+    failed: u64,
+    retries: u64,
+}
+
+impl Measurement {
+    fn jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn shots_per_sec(&self) -> f64 {
+        (self.jobs * self.shots_per_job) as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Submit a burst of `jobs` mixed-circuit jobs and drain the service.
+fn run_burst(
+    name: &'static str,
+    workers: usize,
+    jobs: u64,
+    shots_per_job: u64,
+    fault: Option<FaultConfig>,
+) -> Measurement {
+    let engine_config = EngineConfig::default();
+    let engine = match fault {
+        Some(fault) => {
+            let backends = FaultInjector::wrap_default_backends(&engine_config, fault);
+            Engine::with_backends(engine_config, backends)
+        }
+        None => Engine::with_config(engine_config),
+    };
+    let service = Service::start(
+        engine,
+        ServiceConfig {
+            workers,
+            queue_capacity: jobs as usize + 1,
+            quota: QuotaPolicy::unlimited(),
+            retry: RetryPolicy {
+                max_attempts: 64,
+                base: Duration::from_micros(200),
+                cap: Duration::from_millis(2),
+            },
+            ..ServiceConfig::default()
+        },
+    );
+
+    let circuits: [(usize, Arc<BCircuit>); 2] = [(4, Arc::new(ghz(4))), (4, Arc::new(rotated(4)))];
+    let start = Instant::now();
+    for i in 0..jobs {
+        let (arity, circuit) = &circuits[(i % 2) as usize];
+        service
+            .submit(
+                Submission::new("bench", Arc::clone(circuit))
+                    .inputs(vec![false; *arity])
+                    .shots(shots_per_job)
+                    .seed(i),
+            )
+            .expect("burst fits the queue");
+    }
+    service.drain();
+    let elapsed = start.elapsed();
+
+    let stats = service.stats();
+    let m = Measurement {
+        name,
+        workers,
+        jobs,
+        shots_per_job,
+        elapsed,
+        completed: stats.completed,
+        failed: stats.failed,
+        retries: stats.retries,
+    };
+    service.shutdown();
+    m
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    // The fault probability scales inversely with shots-per-job: an attempt
+    // fails with probability 1-(1-p)^shots, and the retry budget is 64, so
+    // p*shots ~ 0.8 keeps per-attempt success near 0.45 and the chance of
+    // exhausting all attempts on any job below 1e-14 — the bursts must
+    // demonstrate zero loss, not probe the retry ceiling.
+    let (jobs, shots, fail_prob) = if quick {
+        (64, 16, 0.05)
+    } else {
+        (512, 64, 0.0125)
+    };
+    let pool = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(2, 8);
+
+    let results = [
+        run_burst("serial", 1, jobs, shots, None),
+        run_burst("pool", pool, jobs, shots, None),
+        run_burst(
+            "pool_faulted",
+            pool,
+            jobs,
+            shots,
+            Some(FaultConfig::failing(fail_prob, 0xBE7C)),
+        ),
+    ];
+
+    println!(
+        "{:>14}  {:>7}  {:>6}  {:>10}  {:>10}  {:>10}  {:>7}",
+        "scenario", "workers", "jobs", "elapsed", "jobs/s", "shots/s", "retries"
+    );
+    for m in &results {
+        println!(
+            "{:>14}  {:>7}  {:>6}  {:>10.3?}  {:>10.0}  {:>10.0}  {:>7}",
+            m.name,
+            m.workers,
+            m.jobs,
+            m.elapsed,
+            m.jobs_per_sec(),
+            m.shots_per_sec(),
+            m.retries
+        );
+    }
+
+    // Smoke in both modes: the service may drop nothing, faults must be
+    // fully absorbed by retry, and retry must actually have been exercised
+    // (expected injected faults: jobs x shots x p >> 1 in either mode).
+    for m in &results {
+        assert_eq!(m.completed, m.jobs, "{}: lost jobs", m.name);
+        assert_eq!(m.failed, 0, "{}: failed jobs", m.name);
+    }
+    assert!(
+        results[2].retries > 0,
+        "fault-injected burst should visibly retry"
+    );
+    println!("smoke check passed (zero lost jobs in all scenarios)");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let entries: Vec<String> = results
+        .iter()
+        .map(|m| {
+            format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"workers\": {}, \"jobs\": {}, ",
+                    "\"shots_per_job\": {}, \"elapsed_ms\": {:.3}, ",
+                    "\"jobs_per_s\": {:.0}, \"shots_per_s\": {:.0}, ",
+                    "\"completed\": {}, \"failed\": {}, \"retries\": {}}}"
+                ),
+                m.name,
+                m.workers,
+                m.jobs,
+                m.shots_per_job,
+                m.elapsed.as_secs_f64() * 1e3,
+                m.jobs_per_sec(),
+                m.shots_per_sec(),
+                m.completed,
+                m.failed,
+                m.retries
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"mode\": \"{}\",\n  \"benches\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        entries.join(",\n")
+    );
+    std::fs::write(path, json).unwrap();
+    println!("wrote BENCH_serve.json");
+}

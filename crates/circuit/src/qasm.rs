@@ -8,6 +8,13 @@
 //! of physical qubits — a terminated ancilla's slot is reset and reused by
 //! the next initialization, so the emitted `qreg` has the circuit's peak
 //! width, not its total wire count.
+//!
+//! Measurement results land in *per-wire one-bit registers* (`creg c0[1];`,
+//! `creg c1[1];`, …) rather than one wide register: OpenQASM 2.0's `if`
+//! compares a whole creg against an integer, so one-bit registers are what
+//! makes a single measurement outcome usable as a gate condition. A
+//! classically-controlled quantum gate (the paper's dynamic lifting,
+//! e.g. teleportation's corrections) emits as an `if(cN==1) ...;` prefix.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -28,9 +35,13 @@ use crate::wire::{Control, Wire};
 /// # Errors
 ///
 /// Returns [`CircuitError::NotControllable`] (reused as "not expressible")
-/// for gates with no OpenQASM 2.0 counterpart: classical logic gates,
-/// custom named gates, gates with more controls than `ccx`/`cswap` allow,
-/// and multiply-controlled phases.
+/// for gates with no OpenQASM 2.0 counterpart: classical logic gates
+/// (`CInit`/`CGate`), custom named gates, gates with more controls than
+/// `ccx`/`cswap` allow, multiply-controlled phases, and gates conditioned
+/// on more than one classical bit (QASM 2.0 allows one `if` per
+/// statement). Classical *controls* on single-statement gates are
+/// supported; `CTerm`/`CDiscard` end a classical wire's scope and emit
+/// nothing.
 pub fn to_qasm(bc: &BCircuit) -> Result<String, CircuitError> {
     let flat = inline_all(&bc.db, &bc.main)?;
     emit(&flat)
@@ -113,31 +124,54 @@ fn emit(c: &Circuit) -> Result<String, CircuitError> {
     let _ = writeln!(out, "OPENQASM 2.0;");
     let _ = writeln!(out, "include \"qelib1.inc\";");
     let _ = writeln!(out, "qreg q[{}];", alloc.next.max(1));
-    if alloc.next_creg > 0 {
-        let _ = writeln!(out, "creg c[{}];", alloc.next_creg);
+    for i in 0..alloc.next_creg {
+        let _ = writeln!(out, "creg c{i}[1];");
     }
     out.push_str(&body);
     Ok(out)
 }
 
-/// Splits controls into positive wires, also emitting X-conjugation for
-/// negative controls (returned so the caller can close them).
+/// Opened controls of one gate: quantum control slots, the slots that were
+/// X-conjugated for negative polarity, and the `if(cN==v) ` condition
+/// prefix contributed by a classical control.
+struct Opened {
+    slots: Vec<usize>,
+    flipped: Vec<usize>,
+    cond: String,
+}
+
+/// Splits controls into quantum slots (emitting X-conjugation for negative
+/// polarity, returned so the caller can close them) and at most one
+/// classical condition, rendered as a statement prefix.
 fn open_controls(
     s: &mut String,
     controls: &[Control],
     alloc: &Alloc,
-) -> Result<(Vec<usize>, Vec<usize>), CircuitError> {
-    let mut slots = Vec::new();
-    let mut flipped = Vec::new();
+) -> Result<Opened, CircuitError> {
+    let mut opened = Opened {
+        slots: Vec::new(),
+        flipped: Vec::new(),
+        cond: String::new(),
+    };
     for c in controls {
-        let slot = alloc.get(c.wire)?;
-        slots.push(slot);
-        if !c.positive {
-            let _ = writeln!(s, "x q[{slot}];");
-            flipped.push(slot);
+        if let Some(&creg) = alloc.creg_of.get(&c.wire) {
+            if !opened.cond.is_empty() {
+                // QASM 2.0 allows one `if` per statement.
+                return Err(CircuitError::NotControllable {
+                    gate: "gate with multiple classical controls (no OpenQASM 2.0 form)".into(),
+                });
+            }
+            let _ = write!(opened.cond, "if(c{creg}=={}) ", u8::from(c.positive));
+        } else {
+            let slot = alloc.get(c.wire)?;
+            opened.slots.push(slot);
+            if !c.positive {
+                let _ = writeln!(s, "x q[{slot}];");
+                opened.flipped.push(slot);
+            }
         }
     }
-    Ok((slots, flipped))
+    Ok(opened)
 }
 
 fn close_controls(s: &mut String, flipped: &[usize]) {
@@ -169,24 +203,53 @@ fn emit_gate(s: &mut String, gate: &Gate, alloc: &mut Alloc) -> Result<(), Circu
         Gate::QMeas { wire } => {
             let slot = alloc.get(*wire)?;
             let creg = alloc.creg(*wire);
-            let _ = writeln!(s, "measure q[{slot}] -> c[{creg}];");
+            let _ = writeln!(s, "measure q[{slot}] -> c{creg}[0];");
             // The wire becomes classical; the qubit slot is reusable.
             alloc.release(*wire)?;
             Ok(())
         }
-        Gate::CInit { .. } | Gate::CTerm { .. } | Gate::CDiscard { .. } | Gate::CGate { .. } => {
-            Err(unsupported(gate))
+        Gate::CTerm { .. } | Gate::CDiscard { .. } => {
+            // The classical wire's scope ends; its creg (if it was ever
+            // measured into) simply keeps its final value.
+            Ok(())
         }
-        Gate::GPhase { angle, controls } => match controls.len() {
-            0 => Ok(()), // global phase: unobservable
-            1 => {
-                let (slots, flipped) = open_controls(s, controls, alloc)?;
-                let _ = writeln!(s, "u1({}) q[{}];", angle * std::f64::consts::PI, slots[0]);
-                close_controls(s, &flipped);
-                Ok(())
+        Gate::CInit { .. } | Gate::CGate { .. } => Err(unsupported(gate)),
+        Gate::GPhase { angle, controls } => {
+            let o = open_controls(s, controls, alloc)?;
+            let theta = angle * std::f64::consts::PI;
+            match o.slots.len() {
+                // Without a quantum control the phase is global: unobservable
+                // (conditioned or not).
+                0 => {}
+                // A controlled global phase is u1 on the control ...
+                1 => {
+                    let _ = writeln!(s, "{}u1({theta}) q[{}];", o.cond, o.slots[0]);
+                }
+                // ... a doubly-controlled one is cu1 between the controls ...
+                2 => {
+                    let _ = writeln!(
+                        s,
+                        "{}cu1({theta}) q[{}],q[{}];",
+                        o.cond, o.slots[0], o.slots[1]
+                    );
+                }
+                // ... and three controls take the standard C²-U1 ladder
+                // (Grover's diffusion over 3 qubits lands here). Five
+                // statements, so no classical condition can cover it.
+                3 if o.cond.is_empty() => {
+                    let (a, b, c) = (o.slots[0], o.slots[1], o.slots[2]);
+                    let half = theta / 2.0;
+                    let _ = writeln!(s, "cu1({half}) q[{b}],q[{c}];");
+                    let _ = writeln!(s, "cx q[{a}],q[{b}];");
+                    let _ = writeln!(s, "cu1({}) q[{b}],q[{c}];", -half);
+                    let _ = writeln!(s, "cx q[{a}],q[{b}];");
+                    let _ = writeln!(s, "cu1({half}) q[{a}],q[{c}];");
+                }
+                _ => return Err(unsupported(gate)),
             }
-            _ => Err(unsupported(gate)),
-        },
+            close_controls(s, &o.flipped);
+            Ok(())
+        }
         Gate::QRot {
             name,
             inverted,
@@ -196,7 +259,8 @@ fn emit_gate(s: &mut String, gate: &Gate, alloc: &mut Alloc) -> Result<(), Circu
         } => {
             let t = alloc.get(targets[0])?;
             let sign = if *inverted { -1.0 } else { 1.0 };
-            let (slots, flipped) = open_controls(s, controls, alloc)?;
+            let o = open_controls(s, controls, alloc)?;
+            let slots = &o.slots;
             let line = match (&**name, slots.len()) {
                 ("exp(-i%Z)", 0) => format!("rz({}) q[{t}];", 2.0 * sign * angle),
                 ("exp(-i%Z)", 1) => {
@@ -216,8 +280,8 @@ fn emit_gate(s: &mut String, gate: &Gate, alloc: &mut Alloc) -> Result<(), Circu
                 ("Ry(%)", 1) => format!("cry({}) q[{}],q[{t}];", sign * angle, slots[0]),
                 _ => return Err(unsupported(gate)),
             };
-            let _ = writeln!(s, "{line}");
-            close_controls(s, &flipped);
+            let _ = writeln!(s, "{}{line}", o.cond);
+            close_controls(s, &o.flipped);
             Ok(())
         }
         Gate::QGate {
@@ -226,7 +290,8 @@ fn emit_gate(s: &mut String, gate: &Gate, alloc: &mut Alloc) -> Result<(), Circu
             targets,
             controls,
         } => {
-            let (slots, flipped) = open_controls(s, controls, alloc)?;
+            let o = open_controls(s, controls, alloc)?;
+            let slots = &o.slots;
             let t0 = alloc.get(targets[0])?;
             let line = match (name, slots.len()) {
                 (GateName::X, 0) => format!("x q[{t0}];"),
@@ -251,7 +316,11 @@ fn emit_gate(s: &mut String, gate: &Gate, alloc: &mut Alloc) -> Result<(), Circu
                 }
                 (GateName::V, 1) => {
                     // Controlled-√X: cu3 with the Rx angles plus the phase
-                    // correction cu1(±π/2) on the control.
+                    // correction cu1(±π/2) on the control. Two statements, so
+                    // a classical condition cannot cover it.
+                    if !o.cond.is_empty() {
+                        return Err(unsupported(gate));
+                    }
                     let a = if *inverted { -1.0 } else { 1.0 };
                     let half = a * std::f64::consts::FRAC_PI_2;
                     let _ = writeln!(
@@ -272,7 +341,11 @@ fn emit_gate(s: &mut String, gate: &Gate, alloc: &mut Alloc) -> Result<(), Circu
                     format!("cswap q[{}],q[{t0}],q[{t1}];", slots[0])
                 }
                 (GateName::W, 0) => {
-                    // W = CX(b; a) · CH(a; b) · CX(b; a).
+                    // W = CX(b; a) · CH(a; b) · CX(b; a). Three statements, so
+                    // a classical condition cannot cover it.
+                    if !o.cond.is_empty() {
+                        return Err(unsupported(gate));
+                    }
                     let t1 = alloc.get(targets[1])?;
                     let _ = writeln!(s, "cx q[{t0}],q[{t1}];");
                     let _ = writeln!(s, "ch q[{t1}],q[{t0}];");
@@ -280,8 +353,8 @@ fn emit_gate(s: &mut String, gate: &Gate, alloc: &mut Alloc) -> Result<(), Circu
                 }
                 _ => return Err(unsupported(gate)),
             };
-            let _ = writeln!(s, "{line}");
-            close_controls(s, &flipped);
+            let _ = writeln!(s, "{}{line}", o.cond);
+            close_controls(s, &o.flipped);
             Ok(())
         }
         Gate::Subroutine { .. } => unreachable!("inlined before emission"),
@@ -312,10 +385,53 @@ mod tests {
         let qasm = to_qasm(&BCircuit::new(CircuitDb::new(), c)).unwrap();
         assert!(qasm.starts_with("OPENQASM 2.0;\n"));
         assert!(qasm.contains("qreg q[2];"));
-        assert!(qasm.contains("creg c[2];"));
+        assert!(qasm.contains("creg c0[1];"));
+        assert!(qasm.contains("creg c1[1];"));
         assert!(qasm.contains("h q[0];"));
         assert!(qasm.contains("cx q[0],q[1];"));
-        assert!(qasm.contains("measure q[0] -> c[0];"));
+        assert!(qasm.contains("measure q[0] -> c0[0];"));
+    }
+
+    #[test]
+    fn classical_controls_emit_if_prefixes() {
+        // measure q0, then X on q1 conditioned on the outcome (positive and
+        // negative polarity), then discard the classical bit.
+        let mut c = Circuit::with_inputs(vec![q(0), q(1)]);
+        c.gates.push(Gate::QMeas { wire: Wire(0) });
+        c.gates.push(Gate::QGate {
+            name: GateName::X,
+            inverted: false,
+            targets: vec![Wire(1)],
+            controls: vec![Control::positive(Wire(0))],
+        });
+        c.gates.push(Gate::QGate {
+            name: GateName::Z,
+            inverted: false,
+            targets: vec![Wire(1)],
+            controls: vec![Control::negative(Wire(0))],
+        });
+        c.gates.push(Gate::CDiscard { wire: Wire(0) });
+        c.outputs = vec![(Wire(1), WireType::Quantum)];
+        let qasm = to_qasm(&BCircuit::new(CircuitDb::new(), c)).unwrap();
+        assert!(qasm.contains("creg c0[1];"), "{qasm}");
+        assert!(qasm.contains("measure q[0] -> c0[0];"), "{qasm}");
+        assert!(qasm.contains("if(c0==1) x q[1];"), "{qasm}");
+        assert!(qasm.contains("if(c0==0) z q[1];"), "{qasm}");
+    }
+
+    #[test]
+    fn doubly_classical_conditions_are_rejected() {
+        let mut c = Circuit::with_inputs(vec![q(0), q(1), q(2)]);
+        c.gates.push(Gate::QMeas { wire: Wire(0) });
+        c.gates.push(Gate::QMeas { wire: Wire(1) });
+        c.gates.push(Gate::QGate {
+            name: GateName::X,
+            inverted: false,
+            targets: vec![Wire(2)],
+            controls: vec![Control::positive(Wire(0)), Control::positive(Wire(1))],
+        });
+        c.outputs = vec![(Wire(2), WireType::Quantum)];
+        assert!(to_qasm(&BCircuit::new(CircuitDb::new(), c)).is_err());
     }
 
     #[test]

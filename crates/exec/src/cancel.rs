@@ -1,0 +1,174 @@
+//! Cooperative cancellation for in-flight jobs.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between whoever
+//! owns a job (a service scheduler, a timeout watchdog, a client connection)
+//! and the engine's shot loop. The shot loop polls the token between shots,
+//! so a cancel or an expired deadline stops *real work* mid-job — not just a
+//! dequeue that had not started yet. Polling costs one relaxed atomic load
+//! (plus a monotonic clock read when a deadline is set), which is noise next
+//! to even a classical simulation shot.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a token fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called (client cancel, shutdown, ...).
+    Cancelled,
+    /// The token's deadline passed while work was still running.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelReason::Cancelled => write!(f, "cancelled"),
+            CancelReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+const STATE_LIVE: u8 = 0;
+const STATE_CANCELLED: u8 = 1;
+const STATE_DEADLINE: u8 = 2;
+
+struct Inner {
+    state: AtomicU8,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle, optionally carrying a deadline.
+///
+/// All clones observe the same state; once fired, a token stays fired and
+/// the *first* reason wins (an explicit cancel is not reclassified as a
+/// deadline miss later, and vice versa).
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("fired", &self.fired())
+            .field("deadline", &self.inner.deadline)
+            .finish()
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that only fires on an explicit [`CancelToken::cancel`].
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                state: AtomicU8::new(STATE_LIVE),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that additionally fires once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                state: AtomicU8::new(STATE_LIVE),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// As [`CancelToken::with_deadline`], measured from now.
+    pub fn with_timeout(timeout: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Fire the token with [`CancelReason::Cancelled`]. Idempotent; a no-op
+    /// if the token already fired for any reason.
+    pub fn cancel(&self) {
+        let _ = self.inner.state.compare_exchange(
+            STATE_LIVE,
+            STATE_CANCELLED,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The deadline this token enforces, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Whether the token has fired (without checking the deadline clock).
+    pub fn fired(&self) -> bool {
+        self.inner.state.load(Ordering::Relaxed) != STATE_LIVE
+    }
+
+    /// Poll the token: `Err` with the firing reason once cancelled or past
+    /// the deadline, `Ok(())` while work may continue. This is the call the
+    /// shot loop makes between shots.
+    pub fn check(&self) -> Result<(), CancelReason> {
+        match self.inner.state.load(Ordering::Relaxed) {
+            STATE_CANCELLED => return Err(CancelReason::Cancelled),
+            STATE_DEADLINE => return Err(CancelReason::DeadlineExceeded),
+            _ => {}
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                let _ = self.inner.state.compare_exchange(
+                    STATE_LIVE,
+                    STATE_DEADLINE,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                // Re-read: a racing cancel() may have won; its reason sticks.
+                return self.check();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancel_fires_once_and_sticks() {
+        let t = CancelToken::new();
+        assert_eq!(t.check(), Ok(()));
+        assert!(!t.fired());
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.fired());
+        assert_eq!(t.check(), Err(CancelReason::Cancelled));
+        t.cancel(); // idempotent
+        assert_eq!(t.check(), Err(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn past_deadline_fires_as_deadline_exceeded() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(t.check(), Err(CancelReason::DeadlineExceeded));
+        // The reason does not get reclassified by a later cancel.
+        t.cancel();
+        assert_eq!(t.check(), Err(CancelReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire_early() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert_eq!(t.check(), Ok(()));
+        // An explicit cancel beats a pending deadline.
+        t.cancel();
+        assert_eq!(t.check(), Err(CancelReason::Cancelled));
+    }
+}

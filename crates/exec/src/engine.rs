@@ -29,6 +29,7 @@ use crate::backend::{
     Backend, ClassicalBackend, CountingBackend, ResourceEstimate, StabilizerBackend,
     StateVecBackend,
 };
+use crate::cancel::CancelToken;
 use crate::error::ExecError;
 use crate::plan::{LintGate, Plan, PlanCache};
 use crate::profile::CircuitProfile;
@@ -82,6 +83,8 @@ pub struct Job<'a> {
     shots: u64,
     base_seed: u64,
     backend: Option<String>,
+    label: String,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> Job<'a> {
@@ -93,6 +96,8 @@ impl<'a> Job<'a> {
             shots: 1,
             base_seed: 0,
             backend: None,
+            label: String::new(),
+            cancel: None,
         }
     }
 
@@ -117,6 +122,22 @@ impl<'a> Job<'a> {
     /// Pins the job to a named backend instead of auto-selection.
     pub fn on_backend(mut self, name: &str) -> Self {
         self.backend = Some(name.to_string());
+        self
+    }
+
+    /// Attaches a caller-chosen label, carried into [`JobQueue`] results so
+    /// batch outcomes can be correlated with submissions without positional
+    /// indexing.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Attaches a cancellation token. The shot loop polls it between shots:
+    /// once it fires, remaining shots are abandoned and the job fails with
+    /// [`ExecError::Cancelled`].
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 }
@@ -305,15 +326,30 @@ impl Engine {
     /// one that admits the circuit: classical (linear) over stabilizer
     /// (polynomial) over state-vector (exponential).
     pub fn with_config(config: EngineConfig) -> Engine {
+        let backends = Engine::default_backends(&config);
+        Engine::with_backends(config, backends)
+    }
+
+    /// The built-in backend set for a configuration, in routing order.
+    /// Useful as the starting point for [`Engine::with_backends`] when
+    /// wrapping backends (fault injection, instrumentation).
+    pub fn default_backends(config: &EngineConfig) -> Vec<Arc<dyn Backend>> {
+        vec![
+            Arc::new(ClassicalBackend),
+            Arc::new(StabilizerBackend),
+            Arc::new(StateVecBackend {
+                max_qubits: config.max_qubits,
+                config: config.statevec,
+            }),
+        ]
+    }
+
+    /// An engine routing over an explicit backend list (tried in order).
+    /// This is how wrappers like a fault injector are installed: wrap the
+    /// [`Engine::default_backends`] and hand them back here.
+    pub fn with_backends(config: EngineConfig, backends: Vec<Arc<dyn Backend>>) -> Engine {
         Engine {
-            backends: vec![
-                Arc::new(ClassicalBackend),
-                Arc::new(StabilizerBackend),
-                Arc::new(StateVecBackend {
-                    max_qubits: config.max_qubits,
-                    config: config.statevec,
-                }),
-            ],
+            backends,
             counting: CountingBackend,
             cache: PlanCache::new(),
             workers: config.workers.max(1),
@@ -344,6 +380,11 @@ impl Engine {
     /// [`ExecError::Lint`] if the circuit fails the engine's lint gate.
     pub fn plan(&self, circuit: &BCircuit) -> Result<Arc<Plan>, ExecError> {
         Ok(self.cache.get_or_compile_gated(circuit, self.lint)?.0)
+    }
+
+    /// The engine's plan cache, for hit/miss accounting and eviction.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.cache
     }
 
     /// Which backend auto-selection would route this circuit to.
@@ -447,12 +488,24 @@ impl Engine {
             return Err(ExecError::QuantumOutputs);
         }
 
+        // A token that fired while the job was queued (or compiling) stops
+        // the job before any shot runs.
+        if let Some(token) = &job.cancel {
+            if let Err(reason) = token.check() {
+                if trace.enabled() {
+                    trace.metrics().add(names::EXEC_CANCELLED, 1);
+                }
+                return Err(ExecError::Cancelled { reason });
+            }
+        }
+
         let workers = workers.clamp(1, job.shots.max(1) as usize);
         let task = ShotTask {
             backend,
             plan: &plan,
             inputs: &job.inputs,
             base_seed: job.base_seed,
+            cancel: job.cancel.as_ref(),
             trace,
         };
         let start = Instant::now();
@@ -608,17 +661,36 @@ struct ShotTask<'a> {
     plan: &'a Plan,
     inputs: &'a [bool],
     base_seed: u64,
+    cancel: Option<&'a CancelToken>,
     trace: &'a Tracer,
 }
 
+/// How many shots run between cancellation polls. Each poll is a relaxed
+/// atomic load (plus one clock read when a deadline is set) — cheap, but a
+/// chunk keeps even that off the per-shot path for tokenless jobs' peers.
+const CANCEL_POLL_CHUNK: u64 = 8;
+
 /// Runs a contiguous range of shots, accumulating a local histogram. On
 /// error, reports the failing shot's index so callers can pick the
-/// lowest-indexed error deterministically.
+/// lowest-indexed error deterministically. The job's cancellation token is
+/// polled between chunks of [`CANCEL_POLL_CHUNK`] shots, so a fired token
+/// abandons in-progress work rather than only unstarted jobs.
 fn run_shots(task: &ShotTask, shots: std::ops::Range<u64>) -> Result<Histogram, (u64, ExecError)> {
     // Per-shot timing costs two clock reads; only pay them while tracing.
     let timed = task.trace.enabled();
+    let first = shots.start;
     let mut histogram = Histogram::new();
     for shot in shots {
+        if let Some(token) = task.cancel {
+            if (shot - first).is_multiple_of(CANCEL_POLL_CHUNK) {
+                if let Err(reason) = token.check() {
+                    if timed {
+                        task.trace.metrics().add(names::EXEC_CANCELLED, 1);
+                    }
+                    return Err((shot, ExecError::Cancelled { reason }));
+                }
+            }
+        }
         let shot_start = timed.then(Instant::now);
         match task
             .backend
@@ -626,6 +698,9 @@ fn run_shots(task: &ShotTask, shots: std::ops::Range<u64>) -> Result<Histogram, 
         {
             Ok(bits) => *histogram.entry(bits).or_insert(0) += 1,
             Err(e) => return Err((shot, e)),
+        }
+        if timed {
+            task.trace.metrics().add(names::SHOTS_RUN, 1);
         }
         if let Some(start) = shot_start {
             task.trace
@@ -702,6 +777,24 @@ fn run_shots_parallel(task: &ShotTask, shots: u64, workers: usize) -> Result<His
     }
 }
 
+/// One job's outcome from [`JobQueue::run_all`], carrying the label the job
+/// was submitted with so callers correlate results with submissions without
+/// positional indexing.
+#[derive(Debug)]
+pub struct JobResult {
+    /// The label the job was built with ([`Job::label`]); empty if none.
+    pub label: String,
+    /// The job's execution outcome.
+    pub result: Result<ExecResult, ExecError>,
+}
+
+impl JobResult {
+    /// The result, discarding the label (convenience for positional use).
+    pub fn into_result(self) -> Result<ExecResult, ExecError> {
+        self.result
+    }
+}
+
 /// A batch of jobs executed through one engine, fanning out *across jobs*
 /// (each job runs its shots sequentially on its worker, so results remain
 /// independent of the schedule).
@@ -711,9 +804,9 @@ pub struct JobQueue<'a> {
 }
 
 impl<'a> JobQueue<'a> {
-    /// An empty queue.
+    /// An empty queue (equivalently, `JobQueue::default()`).
     pub fn new() -> JobQueue<'a> {
-        JobQueue { jobs: Vec::new() }
+        JobQueue::default()
     }
 
     /// Appends a job; returns its index in the results of
@@ -733,32 +826,41 @@ impl<'a> JobQueue<'a> {
         self.jobs.is_empty()
     }
 
-    /// Runs every queued job, returning per-job results in push order.
-    /// Jobs are distributed over the engine's workers; each job's outcome is
-    /// deterministic, so the batch result does not depend on the schedule.
-    pub fn run_all(self, engine: &Engine) -> Vec<Result<ExecResult, ExecError>> {
-        if engine.workers <= 1 || self.jobs.len() <= 1 {
-            return self.jobs.iter().map(|j| engine.run_sequential(j)).collect();
-        }
-        let workers = engine.workers.min(self.jobs.len());
-        let next_job = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<ExecResult, ExecError>>>> =
-            self.jobs.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let next_job = &next_job;
-                let slots = &slots;
-                let jobs = &self.jobs;
-                scope.spawn(move || loop {
-                    let i = next_job.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { return };
-                    *slots[i].lock().unwrap() = Some(engine.run_sequential(job));
+    /// Runs every queued job, returning per-job labelled results in push
+    /// order. Jobs are distributed over the engine's workers; each job's
+    /// outcome is deterministic, so the batch result does not depend on the
+    /// schedule.
+    pub fn run_all(self, engine: &Engine) -> Vec<JobResult> {
+        let labels: Vec<String> = self.jobs.iter().map(|j| j.label.clone()).collect();
+        let results: Vec<Result<ExecResult, ExecError>> =
+            if engine.workers <= 1 || self.jobs.len() <= 1 {
+                self.jobs.iter().map(|j| engine.run_sequential(j)).collect()
+            } else {
+                let workers = engine.workers.min(self.jobs.len());
+                let next_job = AtomicUsize::new(0);
+                let slots: Vec<Mutex<Option<Result<ExecResult, ExecError>>>> =
+                    self.jobs.iter().map(|_| Mutex::new(None)).collect();
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        let next_job = &next_job;
+                        let slots = &slots;
+                        let jobs = &self.jobs;
+                        scope.spawn(move || loop {
+                            let i = next_job.fetch_add(1, Ordering::Relaxed);
+                            let Some(job) = jobs.get(i) else { return };
+                            *slots[i].lock().unwrap() = Some(engine.run_sequential(job));
+                        });
+                    }
                 });
-            }
-        });
-        slots
+                slots
+                    .into_iter()
+                    .map(|slot| slot.into_inner().unwrap().expect("every job slot filled"))
+                    .collect()
+            };
+        labels
             .into_iter()
-            .map(|slot| slot.into_inner().unwrap().expect("every job slot filled"))
+            .zip(results)
+            .map(|(label, result)| JobResult { label, result })
             .collect()
     }
 }

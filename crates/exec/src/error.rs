@@ -6,6 +6,8 @@ use quipper_circuit::CircuitError;
 use quipper_lint::LintReport;
 use quipper_sim::SimError;
 
+use crate::cancel::CancelReason;
+
 /// Anything that can go wrong preparing or executing a job.
 #[derive(Debug)]
 pub enum ExecError {
@@ -41,6 +43,31 @@ pub enum ExecError {
         /// What was attempted.
         what: &'static str,
     },
+    /// The job's [`CancelToken`](crate::CancelToken) fired while shots were
+    /// running; remaining shots were abandoned.
+    Cancelled {
+        /// Why the token fired.
+        reason: CancelReason,
+    },
+    /// A backend reported a transient fault (device hiccup, injected
+    /// failure): the shot did not run, but an identical retry may succeed.
+    /// Schedulers are expected to retry these; all other errors are
+    /// permanent for the submitted circuit.
+    Transient {
+        /// Which backend faulted.
+        backend: &'static str,
+        /// Human-readable fault description.
+        detail: String,
+    },
+}
+
+impl ExecError {
+    /// Whether a retry of the identical job may succeed. Only
+    /// [`ExecError::Transient`] qualifies; every other error is a property
+    /// of the circuit, the configuration, or an explicit cancellation.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ExecError::Transient { .. })
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -69,6 +96,10 @@ impl fmt::Display for ExecError {
             ),
             ExecError::Unsupported { backend, what } => {
                 write!(f, "backend `{backend}` does not support {what}")
+            }
+            ExecError::Cancelled { reason } => write!(f, "job {reason} during execution"),
+            ExecError::Transient { backend, detail } => {
+                write!(f, "transient fault on backend `{backend}`: {detail}")
             }
         }
     }

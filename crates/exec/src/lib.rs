@@ -46,6 +46,7 @@
 //! ```
 
 pub mod backend;
+pub mod cancel;
 pub mod engine;
 pub mod error;
 pub mod plan;
@@ -55,7 +56,10 @@ pub use backend::{
     Backend, Capabilities, ClassicalBackend, CountingBackend, ResourceEstimate, StabilizerBackend,
     StateVecBackend,
 };
-pub use engine::{Engine, EngineConfig, EngineStats, ExecReport, ExecResult, Job, JobQueue};
+pub use cancel::{CancelReason, CancelToken};
+pub use engine::{
+    Engine, EngineConfig, EngineStats, ExecReport, ExecResult, Job, JobQueue, JobResult,
+};
 pub use error::ExecError;
 pub use plan::{LintGate, Plan, PlanCache};
 pub use profile::{profile, CircuitProfile};

@@ -172,8 +172,8 @@ fn job_queue_preserves_order_and_determinism() {
         queue.run_all(&engine)
     };
 
-    let parallel: Vec<_> = run(4).into_iter().map(|r| r.unwrap()).collect();
-    let sequential: Vec<_> = run(1).into_iter().map(|r| r.unwrap()).collect();
+    let parallel: Vec<_> = run(4).into_iter().map(|r| r.result.unwrap()).collect();
+    let sequential: Vec<_> = run(1).into_iter().map(|r| r.result.unwrap()).collect();
     assert_eq!(parallel.len(), 3);
     for (p, s) in parallel.iter().zip(&sequential) {
         assert_eq!(p.histogram, s.histogram);

@@ -1,0 +1,81 @@
+//! `quipper-serve`: a multi-tenant circuit-execution service over the
+//! `quipper-exec` engine.
+//!
+//! The paper's third phase — *circuit execution time* — assumes a long-lived
+//! connection to a scarce, shared device (§2's dynamic lifting is an online
+//! protocol). At realistic workload sizes that device must be multiplexed
+//! across many clients, not owned by one process. This crate is that
+//! multiplexer, dependency-free over the standard library:
+//!
+//! * [`Service`] — a worker-pool scheduler in front of one shared
+//!   [`Engine`](quipper_exec::Engine). Submissions pass **admission
+//!   control** (per-tenant token-bucket quotas, a bounded queue) and are
+//!   executed in priority order, earliest deadline first. A full queue or an
+//!   exhausted quota rejects *synchronously* with a retry-after hint — load
+//!   sheds at the door instead of timing out inside.
+//! * **Deadlines and cancellation** — every job carries a
+//!   [`CancelToken`](quipper_exec::CancelToken) that the exec shot loop
+//!   polls between shot chunks, so a client cancel or a missed deadline
+//!   stops real simulation work mid-job, not just unstarted dequeues.
+//! * **Retry** — transient backend faults
+//!   ([`ExecError::Transient`](quipper_exec::ExecError)) are retried with
+//!   exponential backoff and deterministic jitter; because per-shot seeds
+//!   depend only on the submission, a retried job is bit-identical to a
+//!   fault-free run.
+//! * **Coalescing** — concurrent jobs with the same plan fingerprint share
+//!   one compile through the engine's plan cache (single-flight per
+//!   fingerprint).
+//! * [`FaultInjector`] — a backend wrapper with seeded failure probability
+//!   and latency spikes, proving graceful degradation under injected faults.
+//! * [`protocol`] / [`Server`] — a newline-delimited JSON protocol
+//!   (submit/status/result/cancel/export) over `std::net::TcpListener`,
+//!   served by the `quipper-served` binary.
+//!
+//! Everything observable lands in `quipper-trace` metrics: admissions,
+//! rejections, retries, deadline misses, coalesced compiles, and the
+//! admission-queue depth high-water mark.
+
+pub mod catalog;
+pub mod fault;
+pub mod protocol;
+pub mod queue;
+pub mod quota;
+pub mod retry;
+pub mod server;
+pub mod service;
+
+pub use fault::{FaultConfig, FaultInjector};
+pub use queue::{AdmissionQueue, QueueEntry};
+pub use quota::{QuotaPolicy, TenantQuotas};
+pub use retry::RetryPolicy;
+pub use server::Server;
+pub use service::{
+    JobId, JobState, JobStatus, RejectReason, Rejection, Service, ServiceConfig, ServiceStats,
+    Submission,
+};
+
+/// SplitMix64: the one-liner generator used for deterministic jitter and
+/// fault draws. Good enough statistical quality for scheduling decisions,
+/// and — unlike a shared PRNG stream — a pure function of its input, so
+/// every draw is reproducible from (seed, counter) regardless of thread
+/// interleaving.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from one SplitMix64 output (53-bit mantissa).
+pub(crate) fn unit_draw(x: u64) -> f64 {
+    (splitmix64(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+// The service and its handles cross threads by design.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Service>();
+    assert_send_sync::<FaultInjector>();
+    assert_send_sync::<AdmissionQueue>();
+    assert_send_sync::<TenantQuotas>();
+};

@@ -1,0 +1,367 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Each request is one JSON object on one line; each response is one JSON
+//! object on one line. Requests name an operation via `"op"`:
+//!
+//! | op        | fields                                                        |
+//! |-----------|---------------------------------------------------------------|
+//! | `submit`  | `circuit` (catalog name), `tenant`, `shots`, `seed`, `label`, |
+//! |           | `priority`, `deadline_ms`, `inputs` (array of 0/1) — all      |
+//! |           | optional except `circuit`                                     |
+//! | `status`  | `id`                                                          |
+//! | `result`  | `id` — histogram + report once completed                      |
+//! | `cancel`  | `id`                                                          |
+//! | `export`  | `circuit` (catalog name) — OpenQASM 2.0 text                  |
+//! | `list`    | — catalog names                                               |
+//! | `stats`   | — service counters                                            |
+//! | `ping`    | — liveness                                                    |
+//! | `shutdown`| — stop accepting, drain, exit                                 |
+//!
+//! Responses carry `"ok": true` plus op-specific fields, or `"ok": false`
+//! with `"error"` and — for backpressure rejections — `"retry_after_ms"`,
+//! so well-behaved clients know when to come back. Parsing reuses the
+//! dependency-free reader from `quipper-trace`; responses are assembled
+//! with the same escaping, so everything round-trips.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use quipper_trace::{escape_into, parse_json, Json};
+
+use crate::catalog::Catalog;
+use crate::service::{JobState, RejectReason, Service, Submission};
+
+/// The outcome of handling one request line.
+pub struct Handled {
+    /// The response line (no trailing newline).
+    pub response: String,
+    /// Whether the request asked the server to shut down.
+    pub shutdown: bool,
+}
+
+fn ok(fields: &str) -> Handled {
+    let response = if fields.is_empty() {
+        "{\"ok\":true}".to_string()
+    } else {
+        format!("{{\"ok\":true,{fields}}}")
+    };
+    Handled {
+        response,
+        shutdown: false,
+    }
+}
+
+fn err(message: &str) -> Handled {
+    let mut response = String::from("{\"ok\":false,\"error\":\"");
+    escape_into(&mut response, message);
+    response.push_str("\"}");
+    Handled {
+        response,
+        shutdown: false,
+    }
+}
+
+fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+fn bits_to_json(bits: &[bool]) -> String {
+    let mut out = String::from("[");
+    for (i, b) in bits.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push(if *b { '1' } else { '0' });
+    }
+    out.push(']');
+    out
+}
+
+fn get_u64(req: &Json, key: &str) -> Option<u64> {
+    req.get(key).and_then(Json::as_num).map(|n| n as u64)
+}
+
+/// Handles one request line against the service and catalog. Pure with
+/// respect to I/O: the caller owns the socket.
+pub fn handle_line(service: &Service, catalog: &Catalog, line: &str) -> Handled {
+    let req = match parse_json(line.trim()) {
+        Ok(req) => req,
+        Err(e) => return err(&format!("bad request: {e}")),
+    };
+    let op = match req.get("op").and_then(Json::as_str) {
+        Some(op) => op,
+        None => return err("missing \"op\""),
+    };
+    match op {
+        "ping" => ok("\"pong\":true"),
+        "list" => {
+            let names: Vec<String> = catalog.names().iter().map(|n| quoted(n)).collect();
+            ok(&format!("\"circuits\":[{}]", names.join(",")))
+        }
+        "stats" => {
+            let s = service.stats();
+            ok(&format!(
+                "\"submitted\":{},\"admitted\":{},\"rejected\":{},\"completed\":{},\
+                 \"failed\":{},\"cancelled\":{},\"deadline_misses\":{},\"retries\":{},\
+                 \"coalesced\":{}",
+                s.submitted,
+                s.admitted,
+                s.rejected_queue_full + s.rejected_quota,
+                s.completed,
+                s.failed,
+                s.cancelled,
+                s.deadline_misses,
+                s.retries,
+                s.coalesced_compiles,
+            ))
+        }
+        "shutdown" => Handled {
+            response: "{\"ok\":true,\"stopping\":true}".to_string(),
+            shutdown: true,
+        },
+        "submit" => handle_submit(service, catalog, &req),
+        "export" => match req.get("circuit").and_then(Json::as_str) {
+            None => err("export needs a \"circuit\" (see op \"list\")"),
+            Some(name) => match catalog.get(name) {
+                None => err(&format!("unknown circuit {name:?} (see op \"list\")")),
+                Some(circuit) => match quipper_circuit::qasm::to_qasm(&circuit) {
+                    Ok(qasm) => ok(&format!(
+                        "\"circuit\":{},\"qasm\":{}",
+                        quoted(name),
+                        quoted(&qasm)
+                    )),
+                    Err(e) => err(&format!("{name} does not export: {e}")),
+                },
+            },
+        },
+        "status" => match get_u64(&req, "id") {
+            None => err("status needs a numeric \"id\""),
+            Some(id) => match service.status(id) {
+                None => err(&format!("unknown job id {id}")),
+                Some(status) => ok(&format!(
+                    "\"id\":{},\"state\":{},\"label\":{},\"attempts\":{}",
+                    status.id,
+                    quoted(status.state.tag()),
+                    quoted(&status.label),
+                    status.attempts,
+                )),
+            },
+        },
+        "result" => match get_u64(&req, "id") {
+            None => err("result needs a numeric \"id\""),
+            Some(id) => match service.status(id) {
+                None => err(&format!("unknown job id {id}")),
+                Some(status) => match &status.state {
+                    JobState::Completed(result) => {
+                        let mut hist = String::from("[");
+                        for (i, (bits, count)) in result.histogram.iter().enumerate() {
+                            if i > 0 {
+                                hist.push(',');
+                            }
+                            let _ = write!(
+                                hist,
+                                "{{\"bits\":{},\"count\":{count}}}",
+                                bits_to_json(bits)
+                            );
+                        }
+                        hist.push(']');
+                        ok(&format!(
+                            "\"id\":{id},\"label\":{},\"backend\":{},\"shots\":{},\
+                             \"histogram\":{hist}",
+                            quoted(&status.label),
+                            quoted(result.report.backend),
+                            result.report.shots,
+                        ))
+                    }
+                    JobState::Failed(detail) => err(&format!("job {id} failed: {detail}")),
+                    state => err(&format!("job {id} is {}, no result", state.tag())),
+                },
+            },
+        },
+        "cancel" => match get_u64(&req, "id") {
+            None => err("cancel needs a numeric \"id\""),
+            Some(id) => match service.cancel(id) {
+                None => err(&format!("unknown job id {id}")),
+                Some(status) => ok(&format!(
+                    "\"id\":{},\"state\":{}",
+                    status.id,
+                    quoted(status.state.tag())
+                )),
+            },
+        },
+        other => err(&format!("unknown op {other:?}")),
+    }
+}
+
+fn handle_submit(service: &Service, catalog: &Catalog, req: &Json) -> Handled {
+    let name = match req.get("circuit").and_then(Json::as_str) {
+        Some(name) => name,
+        None => return err("submit needs a \"circuit\" (see op \"list\")"),
+    };
+    let circuit = match catalog.get(name) {
+        Some(circuit) => circuit,
+        None => return err(&format!("unknown circuit {name:?} (see op \"list\")")),
+    };
+    let inputs = match req.get("inputs") {
+        None => vec![false; catalog.input_arity(name).unwrap_or(0)],
+        Some(value) => match value.as_arr() {
+            None => return err("\"inputs\" must be an array of 0/1"),
+            Some(items) => items
+                .iter()
+                .map(|v| v.as_num().map(|n| n != 0.0).unwrap_or(false))
+                .collect(),
+        },
+    };
+    let tenant = req
+        .get("tenant")
+        .and_then(Json::as_str)
+        .unwrap_or("anonymous");
+    let mut submission = Submission::new(tenant, Arc::clone(&circuit))
+        .inputs(inputs)
+        .shots(get_u64(req, "shots").unwrap_or(1).max(1))
+        .seed(get_u64(req, "seed").unwrap_or(0))
+        .priority(get_u64(req, "priority").unwrap_or(0).min(255) as u8);
+    if let Some(label) = req.get("label").and_then(Json::as_str) {
+        submission = submission.label(label);
+    } else {
+        submission = submission.label(name);
+    }
+    if let Some(ms) = get_u64(req, "deadline_ms") {
+        submission = submission.deadline(std::time::Duration::from_millis(ms));
+    }
+    match service.submit(submission) {
+        Ok(id) => ok(&format!("\"id\":{id}")),
+        Err(rejection) => {
+            let mut response = String::from("{\"ok\":false,\"error\":\"");
+            escape_into(&mut response, &rejection.reason.to_string());
+            let _ = write!(
+                response,
+                "\",\"retry_after_ms\":{},\"reason\":{}",
+                rejection.retry_after.as_millis(),
+                quoted(match rejection.reason {
+                    RejectReason::QueueFull => "queue_full",
+                    RejectReason::QuotaExhausted => "quota_exhausted",
+                })
+            );
+            response.push('}');
+            Handled {
+                response,
+                shutdown: false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use quipper_exec::Engine;
+    use quipper_trace::parse_json;
+
+    fn fixture() -> (Service, Catalog) {
+        let config = ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        };
+        (Service::start(Engine::new(), config), Catalog::new())
+    }
+
+    fn handle_ok(service: &Service, catalog: &Catalog, line: &str) -> Json {
+        let handled = handle_line(service, catalog, line);
+        let json = parse_json(&handled.response).expect("response parses");
+        assert_eq!(
+            json.get("ok"),
+            Some(&Json::Bool(true)),
+            "{}",
+            handled.response
+        );
+        json
+    }
+
+    #[test]
+    fn submit_status_result_round_trip() {
+        let (service, catalog) = fixture();
+        let resp = handle_ok(
+            &service,
+            &catalog,
+            r#"{"op":"submit","circuit":"ghz3","tenant":"t","shots":32,"seed":7,"label":"demo"}"#,
+        );
+        let id = resp.get("id").and_then(Json::as_num).unwrap() as u64;
+        service.drain();
+        let status = handle_ok(
+            &service,
+            &catalog,
+            &format!(r#"{{"op":"status","id":{id}}}"#),
+        );
+        assert_eq!(
+            status.get("state").and_then(Json::as_str),
+            Some("completed")
+        );
+        assert_eq!(status.get("label").and_then(Json::as_str), Some("demo"));
+        let result = handle_ok(
+            &service,
+            &catalog,
+            &format!(r#"{{"op":"result","id":{id}}}"#),
+        );
+        let hist = result.get("histogram").and_then(Json::as_arr).unwrap();
+        let total: u64 = hist
+            .iter()
+            .map(|e| e.get("count").and_then(Json::as_num).unwrap() as u64)
+            .sum();
+        assert_eq!(total, 32);
+        // GHZ: only all-zeros and all-ones appear.
+        assert!(hist.len() <= 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn errors_are_json_with_ok_false() {
+        let (service, catalog) = fixture();
+        for line in [
+            "not json at all",
+            r#"{"missing":"op"}"#,
+            r#"{"op":"warp"}"#,
+            r#"{"op":"submit","circuit":"nope"}"#,
+            r#"{"op":"result","id":999}"#,
+        ] {
+            let handled = handle_line(&service, &catalog, line);
+            let json = parse_json(&handled.response).expect("error responses parse");
+            assert_eq!(json.get("ok"), Some(&Json::Bool(false)), "{line}");
+            assert!(json.get("error").is_some(), "{line}");
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn export_returns_qasm_that_round_trips_through_escaping() {
+        let (service, catalog) = fixture();
+        let resp = handle_ok(
+            &service,
+            &catalog,
+            r#"{"op":"export","circuit":"teleportation"}"#,
+        );
+        let qasm = resp.get("qasm").and_then(Json::as_str).unwrap();
+        assert!(qasm.starts_with("OPENQASM 2.0;\n"));
+        // The dynamic-lifting corrections survive the wire format.
+        assert!(qasm.contains("if(c1==1) x q[2];"), "{qasm}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn list_ping_stats_and_shutdown() {
+        let (service, catalog) = fixture();
+        let list = handle_ok(&service, &catalog, r#"{"op":"list"}"#);
+        let names = list.get("circuits").and_then(Json::as_arr).unwrap();
+        assert!(names.iter().any(|n| n.as_str() == Some("teleportation")));
+        handle_ok(&service, &catalog, r#"{"op":"ping"}"#);
+        handle_ok(&service, &catalog, r#"{"op":"stats"}"#);
+        let handled = handle_line(&service, &catalog, r#"{"op":"shutdown"}"#);
+        assert!(handled.shutdown);
+        service.shutdown();
+    }
+}

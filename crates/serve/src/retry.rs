@@ -1,0 +1,90 @@
+//! Retry policy: exponential backoff with deterministic jitter.
+//!
+//! Transient backend faults are retried up to `max_attempts` times. The
+//! backoff for attempt `k` doubles from `base` up to `cap`, and the actual
+//! sleep is drawn uniformly from the upper half of that window — jitter
+//! de-synchronizes retrying clients, and deriving it from `(seed, attempt)`
+//! with SplitMix64 keeps every schedule reproducible.
+
+use std::time::Duration;
+
+use crate::unit_draw;
+
+/// When and how often to retry transient faults.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per job (first run included). `1` disables retry.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(250),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Whether a transient failure on attempt `attempt` (1-based) should be
+    /// retried.
+    pub fn should_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_attempts
+    }
+
+    /// The backoff to sleep after failed attempt `attempt` (1-based):
+    /// exponential in the attempt number, capped, with deterministic jitter
+    /// in the window's upper half.
+    pub fn backoff(&self, attempt: u32, seed: u64) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let window = exp.min(self.cap);
+        let jitter = unit_draw(seed ^ u64::from(attempt).rotate_left(32));
+        window.mul_f64(0.5 + 0.5 * jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+        };
+        let b1 = p.backoff(1, 42);
+        let b3 = p.backoff(3, 42);
+        let b7 = p.backoff(7, 42);
+        assert!(b1 >= Duration::from_millis(5) && b1 <= Duration::from_millis(10));
+        assert!(b3 > b1);
+        // Attempt 7 would be 640ms exponentially; the cap bounds it.
+        assert!(b7 <= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_varies_across_seeds() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(2, 7), p.backoff(2, 7));
+        let distinct: std::collections::HashSet<Duration> =
+            (0..16).map(|seed| p.backoff(2, seed)).collect();
+        assert!(distinct.len() > 8, "jitter should spread across seeds");
+    }
+
+    #[test]
+    fn attempt_budget() {
+        let p = RetryPolicy::default(); // 4 attempts
+        assert!(p.should_retry(1));
+        assert!(p.should_retry(3));
+        assert!(!p.should_retry(4));
+    }
+}

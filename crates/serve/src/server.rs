@@ -1,0 +1,254 @@
+//! The TCP front door: newline-delimited JSON over `std::net`.
+//!
+//! One listener thread accepts connections (non-blocking accept with a
+//! short poll sleep, so shutdown is prompt); each connection gets a thread
+//! reading request lines and writing response lines via
+//! [`crate::protocol::handle_line`]. The server is deliberately boring —
+//! all scheduling intelligence lives in the [`Service`]; this layer only
+//! moves lines.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::catalog::Catalog;
+use crate::protocol::handle_line;
+use crate::service::Service;
+
+/// A running NDJSON server over a [`Service`].
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// accepting connections against `service` and `catalog`.
+    pub fn start(
+        addr: &str,
+        service: Arc<Service>,
+        catalog: Arc<Catalog>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(listener, service, catalog, accept_stop))
+            .expect("spawn accept thread");
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a shutdown has been requested (by [`Server::stop`] or a
+    /// client's `shutdown` op).
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the accept loop exits (a client sent `shutdown`, or
+    /// another thread called [`Server::stop`]).
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            handle.join().expect("accept thread panicked");
+        }
+    }
+
+    /// Requests the accept loop to exit.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<Service>,
+    catalog: Arc<Catalog>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let service = Arc::clone(&service);
+                let catalog = Arc::clone(&catalog);
+                let stop = Arc::clone(&stop);
+                connections.push(
+                    std::thread::Builder::new()
+                        .name("serve-conn".into())
+                        .spawn(move || serve_connection(stream, &service, &catalog, &stop))
+                        .expect("spawn connection thread"),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+        connections.retain(|handle| !handle.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+fn serve_connection(stream: TcpStream, service: &Service, catalog: &Catalog, stop: &AtomicBool) {
+    // Blocking per-connection reads with a timeout, so a silent client
+    // doesn't pin the thread past server shutdown.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client hung up
+            Ok(_) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let handled = handle_line(service, catalog, &line);
+                // Raise the stop flag before answering: a one-shot client
+                // may close right after sending `shutdown`, and a failed
+                // response write must not swallow the request.
+                if handled.shutdown {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                if writer
+                    .write_all(handled.response.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+                if handled.shutdown {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use quipper_exec::Engine;
+    use quipper_trace::{parse_json, Json};
+
+    fn client_round_trip(addr: SocketAddr, lines: &[&str]) -> Vec<Json> {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut responses = Vec::new();
+        for line in lines {
+            writer.write_all(line.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            writer.flush().unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            responses.push(parse_json(response.trim()).unwrap());
+        }
+        responses
+    }
+
+    #[test]
+    fn serves_a_submit_result_session_over_tcp() {
+        let service = Arc::new(Service::start(
+            Engine::new(),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        ));
+        let server = Server::start(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            Arc::new(Catalog::new()),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        let responses = client_round_trip(
+            addr,
+            &[
+                r#"{"op":"ping"}"#,
+                r#"{"op":"submit","circuit":"ghz3","shots":16}"#,
+            ],
+        );
+        assert_eq!(responses[0].get("pong"), Some(&Json::Bool(true)));
+        let id = responses[1].get("id").and_then(Json::as_num).unwrap() as u64;
+        service.drain();
+
+        let responses = client_round_trip(addr, &[&format!(r#"{{"op":"result","id":{id}}}"#)]);
+        assert_eq!(responses[0].get("ok"), Some(&Json::Bool(true)));
+
+        // A second connection still works, then shutdown stops the loop.
+        let responses = client_round_trip(addr, &[r#"{"op":"shutdown"}"#]);
+        assert_eq!(responses[0].get("stopping"), Some(&Json::Bool(true)));
+        server.join();
+        service.shutdown();
+    }
+
+    /// A one-shot client (`printf '{"op":"shutdown"}' | nc`) closes the
+    /// socket without reading the response; the failed response write must
+    /// not swallow the shutdown request.
+    #[test]
+    fn shutdown_from_a_client_that_hangs_up_immediately() {
+        let service = Arc::new(Service::start(Engine::new(), ServiceConfig::default()));
+        let server = Server::start(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            Arc::new(Catalog::new()),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+            // Drop without reading: the server's response write hits a
+            // closed peer.
+        }
+        server.join();
+        service.shutdown();
+    }
+}

@@ -1,0 +1,758 @@
+//! The service: admission control, the worker pool, job states, retries.
+//!
+//! One [`Service`] owns one [`Engine`] and multiplexes it between tenants.
+//! Submissions are charged against per-tenant token buckets and admitted
+//! into a bounded priority queue; a fixed pool of worker threads drains the
+//! queue, running each job's shots sequentially (service parallelism is
+//! *across* jobs). Every job carries a [`CancelToken`] polled by the exec
+//! shot loop, so deadline misses and client cancels stop real work.
+//!
+//! # Job lifecycle
+//!
+//! ```text
+//! submit ── quota? ── queue? ──> Queued ──> Running ──> Completed
+//!              │         │          │           ├─────> Failed      (permanent / retries exhausted)
+//!           Rejected  Rejected      │           ├─────> Cancelled   (client cancel)
+//!           (+retry-after hints)    │           └─────> DeadlineExceeded
+//!                                   └── cancel/deadline before start ─┘
+//! ```
+//!
+//! Nothing is ever lost: every admitted job reaches exactly one terminal
+//! state, and every refused submission is told when to retry.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use quipper_circuit::BCircuit;
+use quipper_exec::{CancelReason, CancelToken, Engine, ExecError, ExecResult, Job};
+use quipper_trace::{names, Tracer};
+
+use crate::queue::{AdmissionQueue, QueueEntry};
+use crate::quota::{QuotaPolicy, TenantQuotas};
+use crate::retry::RetryPolicy;
+
+/// Service-wide job identifier, unique for the life of the service.
+pub type JobId = u64;
+
+/// A unit of work submitted by a tenant. Build fluently from
+/// [`Submission::new`]; unset fields keep sensible defaults (one shot,
+/// seed 0, priority 0, no deadline).
+#[derive(Clone, Debug)]
+pub struct Submission {
+    /// The submitting tenant (quota key).
+    pub tenant: String,
+    /// Caller-chosen correlation label, echoed in statuses and results.
+    pub label: String,
+    /// The circuit to execute.
+    pub circuit: Arc<BCircuit>,
+    /// Basis-state inputs.
+    pub inputs: Vec<bool>,
+    /// Number of shots.
+    pub shots: u64,
+    /// Base seed; shot `i` runs with `seed + i`.
+    pub seed: u64,
+    /// Scheduling priority; higher runs first.
+    pub priority: u8,
+    /// Deadline measured from admission; the job is abandoned (even
+    /// mid-shot-loop) once it passes.
+    pub deadline: Option<Duration>,
+    /// Pin to a named backend instead of auto-routing.
+    pub backend: Option<String>,
+}
+
+impl Submission {
+    /// A one-shot submission with defaults.
+    pub fn new(tenant: impl Into<String>, circuit: Arc<BCircuit>) -> Submission {
+        Submission {
+            tenant: tenant.into(),
+            label: String::new(),
+            circuit,
+            inputs: Vec::new(),
+            shots: 1,
+            seed: 0,
+            priority: 0,
+            deadline: None,
+            backend: None,
+        }
+    }
+
+    /// Sets the correlation label.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Sets the shot count.
+    pub fn shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the inputs.
+    pub fn inputs(mut self, inputs: Vec<bool>) -> Self {
+        self.inputs = inputs;
+        self
+    }
+
+    /// Sets the priority (higher runs first).
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets a deadline relative to admission.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a submission was refused at the door.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The admission queue is full.
+    QueueFull,
+    /// The tenant's token bucket cannot cover the job's cost yet.
+    QuotaExhausted,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull => write!(f, "admission queue full"),
+            RejectReason::QuotaExhausted => write!(f, "tenant quota exhausted"),
+        }
+    }
+}
+
+/// A synchronous refusal, carrying when a retry is likely to succeed.
+#[derive(Clone, Copy, Debug)]
+pub struct Rejection {
+    /// What was exhausted.
+    pub reason: RejectReason,
+    /// How long the client should wait before resubmitting.
+    pub retry_after: Duration,
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}; retry after {:?}", self.reason, self.retry_after)
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Debug)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing shots (or sleeping out a retry backoff).
+    Running,
+    /// All shots ran; the result is attached.
+    Completed(Arc<ExecResult>),
+    /// Permanent failure (compile/lint/routing error, or retries
+    /// exhausted); the error rendering is attached.
+    Failed(String),
+    /// The client cancelled before completion.
+    Cancelled,
+    /// The deadline passed before completion.
+    DeadlineExceeded,
+}
+
+impl JobState {
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+
+    /// Stable lower-snake tag used on the wire and in reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed(_) => "completed",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::DeadlineExceeded => "deadline_exceeded",
+        }
+    }
+}
+
+/// A point-in-time status snapshot for one job.
+#[derive(Clone, Debug)]
+pub struct JobStatus {
+    pub id: JobId,
+    pub tenant: String,
+    pub label: String,
+    pub state: JobState,
+    /// Execution attempts so far (retries increment this past 1).
+    pub attempts: u32,
+}
+
+struct JobRecord {
+    id: JobId,
+    tenant: String,
+    label: String,
+    submission: Submission,
+    token: CancelToken,
+    state: Mutex<JobState>,
+    attempts: AtomicU32,
+}
+
+/// Tuning for [`Service::start`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue (each runs one job at a time).
+    pub workers: usize,
+    /// Admission-queue capacity; submissions beyond it are rejected with a
+    /// retry-after hint.
+    pub queue_capacity: usize,
+    /// Per-tenant token-bucket policy.
+    pub quota: QuotaPolicy,
+    /// Transient-fault retry policy.
+    pub retry: RetryPolicy,
+    /// Tracing sink for service metrics; defaults to the process-wide
+    /// tracer.
+    pub trace: &'static Tracer,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(8),
+            queue_capacity: 256,
+            quota: QuotaPolicy::default(),
+            retry: RetryPolicy::default(),
+            trace: quipper_trace::tracer(),
+        }
+    }
+}
+
+/// Cumulative service counters, snapshot via [`Service::stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    pub submitted: u64,
+    pub admitted: u64,
+    pub rejected_queue_full: u64,
+    pub rejected_quota: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    pub deadline_misses: u64,
+    pub retries: u64,
+    pub coalesced_compiles: u64,
+}
+
+impl ServiceStats {
+    /// Jobs that reached a terminal state.
+    pub fn terminal(&self) -> u64 {
+        self.completed + self.failed + self.cancelled + self.deadline_misses
+    }
+}
+
+impl fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12}{} submitted / {} admitted / {} rejected (queue {}, quota {})",
+            "admission",
+            self.submitted,
+            self.admitted,
+            self.rejected_queue_full + self.rejected_quota,
+            self.rejected_queue_full,
+            self.rejected_quota,
+        )?;
+        writeln!(
+            f,
+            "{:<12}{} completed / {} failed / {} cancelled / {} deadline-missed",
+            "terminal", self.completed, self.failed, self.cancelled, self.deadline_misses,
+        )?;
+        write!(
+            f,
+            "{:<12}{} retries, {} coalesced compiles",
+            "engine", self.retries, self.coalesced_compiles,
+        )
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_quota: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_misses: AtomicU64,
+    retries: AtomicU64,
+    coalesced_compiles: AtomicU64,
+}
+
+/// Single-flight table: at most one concurrent plan compile per circuit
+/// fingerprint; followers wait for the leader, then hit the plan cache.
+#[derive(Default)]
+struct Coalescer {
+    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
+}
+
+#[derive(Default)]
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+enum CompileRole {
+    Leader(Arc<Flight>),
+    Coalesced,
+}
+
+impl Coalescer {
+    fn begin(&self, key: u64) -> CompileRole {
+        let flight = {
+            let mut inflight = self.inflight.lock().unwrap();
+            match inflight.get(&key) {
+                Some(flight) => Arc::clone(flight),
+                None => {
+                    let flight = Arc::new(Flight::default());
+                    inflight.insert(key, Arc::clone(&flight));
+                    return CompileRole::Leader(flight);
+                }
+            }
+        };
+        let mut done = flight.done.lock().unwrap();
+        while !*done {
+            done = flight.cv.wait(done).unwrap();
+        }
+        CompileRole::Coalesced
+    }
+
+    fn finish(&self, key: u64, flight: &Flight) {
+        self.inflight.lock().unwrap().remove(&key);
+        *flight.done.lock().unwrap() = true;
+        flight.cv.notify_all();
+    }
+}
+
+struct Inner {
+    engine: Engine,
+    queue: AdmissionQueue,
+    quotas: TenantQuotas,
+    retry: RetryPolicy,
+    trace: &'static Tracer,
+    jobs: Mutex<HashMap<JobId, Arc<JobRecord>>>,
+    next_id: AtomicU64,
+    next_seq: AtomicU64,
+    counters: Counters,
+    coalescer: Coalescer,
+    /// Admitted-but-not-terminal job count + condvar for [`Service::drain`].
+    active: Mutex<u64>,
+    idle: Condvar,
+}
+
+/// The multi-tenant execution service. See the [module docs](self).
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Starts a service over `engine` with `config`'s worker pool, queue
+    /// bound, quotas and retry policy.
+    pub fn start(engine: Engine, config: ServiceConfig) -> Service {
+        let inner = Arc::new(Inner {
+            engine,
+            queue: AdmissionQueue::new(config.queue_capacity, config.trace),
+            quotas: TenantQuotas::new(config.quota),
+            retry: config.retry,
+            trace: config.trace,
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            next_seq: AtomicU64::new(0),
+            counters: Counters::default(),
+            coalescer: Coalescer::default(),
+            active: Mutex::new(0),
+            idle: Condvar::new(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The engine the service schedules onto (plan cache, stats).
+    pub fn engine(&self) -> &Engine {
+        &self.inner.engine
+    }
+
+    /// Submits a job. Admission is synchronous: the result is either the
+    /// job's id or a [`Rejection`] with a retry-after hint. Admitted jobs
+    /// proceed through the lifecycle asynchronously.
+    pub fn submit(&self, submission: Submission) -> Result<JobId, Rejection> {
+        let inner = &*self.inner;
+        inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+
+        let cost = inner.quotas.policy().cost(submission.shots);
+        if let Err(retry_after) = inner.quotas.try_acquire(&submission.tenant, cost) {
+            inner
+                .counters
+                .rejected_quota
+                .fetch_add(1, Ordering::Relaxed);
+            if inner.trace.enabled() {
+                inner.trace.metrics().add(names::SERVE_REJECT_QUOTA, 1);
+            }
+            return Err(Rejection {
+                reason: RejectReason::QuotaExhausted,
+                retry_after,
+            });
+        }
+
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let deadline = submission.deadline.map(|d| Instant::now() + d);
+        let token = match deadline {
+            Some(at) => CancelToken::with_deadline(at),
+            None => CancelToken::new(),
+        };
+        let record = Arc::new(JobRecord {
+            id,
+            tenant: submission.tenant.clone(),
+            label: submission.label.clone(),
+            token: token.clone(),
+            state: Mutex::new(JobState::Queued),
+            attempts: AtomicU32::new(0),
+            submission,
+        });
+        let entry = QueueEntry {
+            id,
+            priority: record.submission.priority,
+            deadline,
+            seq: inner.next_seq.fetch_add(1, Ordering::Relaxed),
+        };
+
+        inner.jobs.lock().unwrap().insert(id, Arc::clone(&record));
+        *inner.active.lock().unwrap() += 1;
+        if let Err(retry_after) = inner.queue.push(entry) {
+            // Not admitted after all: uncharge the tenant and forget the job.
+            inner.jobs.lock().unwrap().remove(&id);
+            finish_active(inner);
+            inner.quotas.refund(&record.tenant, cost);
+            inner
+                .counters
+                .rejected_queue_full
+                .fetch_add(1, Ordering::Relaxed);
+            if inner.trace.enabled() {
+                inner.trace.metrics().add(names::SERVE_REJECT_FULL, 1);
+            }
+            return Err(Rejection {
+                reason: RejectReason::QueueFull,
+                retry_after,
+            });
+        }
+        inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        if inner.trace.enabled() {
+            inner.trace.metrics().add(names::SERVE_ADMIT, 1);
+        }
+        Ok(id)
+    }
+
+    /// A status snapshot for `id`, or `None` for unknown ids.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let record = Arc::clone(self.inner.jobs.lock().unwrap().get(&id)?);
+        let state = record.state.lock().unwrap().clone();
+        Some(JobStatus {
+            id,
+            tenant: record.tenant.clone(),
+            label: record.label.clone(),
+            state,
+            attempts: record.attempts.load(Ordering::Relaxed),
+        })
+    }
+
+    /// The result of a completed job (`None` until the job completes; check
+    /// [`Service::status`] to distinguish pending from failed).
+    pub fn result(&self, id: JobId) -> Option<Arc<ExecResult>> {
+        match &*Arc::clone(self.inner.jobs.lock().unwrap().get(&id)?)
+            .state
+            .lock()
+            .unwrap()
+        {
+            JobState::Completed(result) => Some(Arc::clone(result)),
+            _ => None,
+        }
+    }
+
+    /// Cancels a job. Queued jobs terminate immediately; running jobs stop
+    /// at the shot loop's next token poll. Returns the resulting status, or
+    /// `None` for unknown ids. Cancelling a terminal job is a no-op.
+    pub fn cancel(&self, id: JobId) -> Option<JobStatus> {
+        let inner = &*self.inner;
+        let record = Arc::clone(inner.jobs.lock().unwrap().get(&id)?);
+        {
+            let mut state = record.state.lock().unwrap();
+            match &*state {
+                JobState::Queued => {
+                    record.token.cancel();
+                    *state = JobState::Cancelled;
+                    drop(state);
+                    inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                    if inner.trace.enabled() {
+                        inner.trace.metrics().add(names::SERVE_CANCELLED, 1);
+                    }
+                    finish_active(inner);
+                }
+                JobState::Running => {
+                    // The worker observes the fired token and finalizes.
+                    record.token.cancel();
+                }
+                _ => {}
+            }
+        }
+        self.status(id)
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.inner.counters;
+        ServiceStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            admitted: c.admitted.load(Ordering::Relaxed),
+            rejected_queue_full: c.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_quota: c.rejected_quota.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            deadline_misses: c.deadline_misses.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            coalesced_compiles: c.coalesced_compiles.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Blocks until every admitted job has reached a terminal state.
+    pub fn drain(&self) {
+        let mut active = self.inner.active.lock().unwrap();
+        while *active > 0 {
+            active = self.inner.idle.wait(active).unwrap();
+        }
+    }
+
+    /// Stops the service: no new submissions are admitted, queued jobs are
+    /// finalized as cancelled, in-flight jobs are cancelled at their next
+    /// token poll, and the worker pool is joined. Idempotent.
+    pub fn shutdown(&self) {
+        // Fire every non-terminal token so queued entries finalize fast and
+        // running shot loops stop at the next poll.
+        for record in self.inner.jobs.lock().unwrap().values() {
+            if !record.state.lock().unwrap().is_terminal() {
+                record.token.cancel();
+            }
+        }
+        self.inner.queue.close();
+        let mut workers = self.workers.lock().unwrap();
+        for handle in workers.drain(..) {
+            handle.join().expect("service worker panicked");
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Decrement the active-job count and wake [`Service::drain`]ers.
+fn finish_active(inner: &Inner) {
+    let mut active = inner.active.lock().unwrap();
+    *active = active.saturating_sub(1);
+    if *active == 0 {
+        inner.idle.notify_all();
+    }
+}
+
+/// Finalize a job into a terminal state, bumping counters and metrics.
+fn finalize(inner: &Inner, record: &JobRecord, state: JobState) {
+    debug_assert!(state.is_terminal());
+    let (counter, metric) = match &state {
+        JobState::Completed(_) => (&inner.counters.completed, names::SERVE_COMPLETED),
+        JobState::Failed(_) => (&inner.counters.failed, names::SERVE_COMPLETED),
+        JobState::Cancelled => (&inner.counters.cancelled, names::SERVE_CANCELLED),
+        JobState::DeadlineExceeded => (&inner.counters.deadline_misses, names::SERVE_DEADLINE_MISS),
+        _ => unreachable!(),
+    };
+    let is_failed = matches!(state, JobState::Failed(_));
+    *record.state.lock().unwrap() = state;
+    counter.fetch_add(1, Ordering::Relaxed);
+    if inner.trace.enabled() && !is_failed {
+        inner.trace.metrics().add(metric, 1);
+    }
+    finish_active(inner);
+}
+
+/// Sleep out a retry backoff in small slices, polling the token so client
+/// cancels and deadline expiry interrupt the wait.
+fn backoff_sleep(token: &CancelToken, total: Duration) -> Result<(), CancelReason> {
+    let slice = Duration::from_millis(2);
+    let until = Instant::now() + total;
+    loop {
+        token.check()?;
+        let now = Instant::now();
+        if now >= until {
+            return Ok(());
+        }
+        std::thread::sleep(slice.min(until - now));
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some(entry) = inner.queue.pop() {
+        let record = match inner.jobs.lock().unwrap().get(&entry.id) {
+            Some(record) => Arc::clone(record),
+            None => continue, // rejected after push raced; nothing to run
+        };
+
+        // Claim the job; a concurrent cancel of a queued job may already
+        // have finalized it.
+        {
+            let mut state = record.state.lock().unwrap();
+            match &*state {
+                JobState::Queued => *state = JobState::Running,
+                _ => continue,
+            }
+        }
+
+        // A token that fired while queued stops the job before any work.
+        if let Err(reason) = record.token.check() {
+            finalize(inner, &record, state_of(reason));
+            continue;
+        }
+
+        // Coalesced compile: one concurrent compile per fingerprint; the
+        // followers wait, then hit the plan cache.
+        let fingerprint = record.submission.circuit.fingerprint();
+        match inner.coalescer.begin(fingerprint) {
+            CompileRole::Leader(flight) => {
+                let compiled = inner.engine.plan(&record.submission.circuit);
+                inner.coalescer.finish(fingerprint, &flight);
+                if let Err(e) = compiled {
+                    finalize(inner, &record, JobState::Failed(e.to_string()));
+                    continue;
+                }
+            }
+            CompileRole::Coalesced => {
+                inner
+                    .counters
+                    .coalesced_compiles
+                    .fetch_add(1, Ordering::Relaxed);
+                if inner.trace.enabled() {
+                    inner.trace.metrics().add(names::SERVE_COALESCED, 1);
+                }
+            }
+        }
+
+        run_admitted(inner, &record);
+    }
+}
+
+fn state_of(reason: CancelReason) -> JobState {
+    match reason {
+        CancelReason::Cancelled => JobState::Cancelled,
+        CancelReason::DeadlineExceeded => JobState::DeadlineExceeded,
+    }
+}
+
+/// Execute one admitted job with retries; always finalizes it.
+fn run_admitted(inner: &Inner, record: &JobRecord) {
+    let sub = &record.submission;
+    loop {
+        let attempt = record.attempts.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut job = Job::new(&sub.circuit)
+            .inputs(sub.inputs.clone())
+            .shots(sub.shots)
+            .seed(sub.seed)
+            .label(record.label.clone())
+            .cancel_token(record.token.clone());
+        if let Some(backend) = &sub.backend {
+            job = job.on_backend(backend);
+        }
+        // Shots run sequentially on this worker: the service parallelizes
+        // across jobs, and per-shot seeds make the outcome schedule-free.
+        match inner.engine.run_sequential(&job) {
+            Ok(result) => {
+                finalize(inner, record, JobState::Completed(Arc::new(result)));
+                return;
+            }
+            Err(ExecError::Cancelled { reason }) => {
+                finalize(inner, record, state_of(reason));
+                return;
+            }
+            Err(e) if e.is_transient() && inner.retry.should_retry(attempt) => {
+                inner.counters.retries.fetch_add(1, Ordering::Relaxed);
+                if inner.trace.enabled() {
+                    inner.trace.metrics().add(names::SERVE_RETRY, 1);
+                }
+                let pause = inner
+                    .retry
+                    .backoff(attempt, sub.seed ^ record.id.rotate_left(17));
+                if let Err(reason) = backoff_sleep(&record.token, pause) {
+                    finalize(inner, record, state_of(reason));
+                    return;
+                }
+            }
+            Err(e) => {
+                finalize(inner, record, JobState::Failed(e.to_string()));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod coalescer_tests {
+    use super::*;
+
+    #[test]
+    fn followers_wait_for_the_leader_then_coalesce() {
+        let coalescer = Arc::new(Coalescer::default());
+        let flight = match coalescer.begin(42) {
+            CompileRole::Leader(flight) => flight,
+            CompileRole::Coalesced => panic!("first begin must lead"),
+        };
+        let followers: Vec<_> = (0..4)
+            .map(|_| {
+                let coalescer = Arc::clone(&coalescer);
+                std::thread::spawn(move || matches!(coalescer.begin(42), CompileRole::Coalesced))
+            })
+            .collect();
+        // Give the followers time to block on the in-flight compile.
+        std::thread::sleep(Duration::from_millis(30));
+        coalescer.finish(42, &flight);
+        for follower in followers {
+            assert!(follower.join().unwrap(), "follower should coalesce");
+        }
+        // The flight is gone: the next begin leads again.
+        assert!(matches!(coalescer.begin(42), CompileRole::Leader(_)));
+        // Other keys are independent flights.
+        assert!(matches!(coalescer.begin(7), CompileRole::Leader(_)));
+    }
+}

@@ -1,0 +1,415 @@
+//! Integration tests of the service's headline guarantees:
+//!
+//! * a fault-injected, mixed-tenant, 100-job load loses nothing — every
+//!   admitted job reaches an allowed terminal state, none `Failed`;
+//! * deadlines and client cancels stop shot execution *mid-job*, visible
+//!   in the exec trace metrics;
+//! * a full queue and an empty quota reject synchronously with honest
+//!   retry-after hints;
+//! * identical concurrent submissions share compiles and agree bit-exactly.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use quipper::{Circ, Qubit};
+use quipper_circuit::BCircuit;
+use quipper_exec::{Engine, EngineConfig};
+use quipper_serve::{
+    FaultConfig, FaultInjector, JobState, QuotaPolicy, RejectReason, RetryPolicy, Service,
+    ServiceConfig, Submission,
+};
+use quipper_trace::{names, Tracer};
+
+fn ghz(n: usize) -> BCircuit {
+    Circ::build(&vec![false; n], |c, qs: Vec<Qubit>| {
+        c.hadamard(qs[0]);
+        for w in qs.windows(2) {
+            c.cnot(w[1], w[0]);
+        }
+        qs.into_iter().map(|q| c.measure(q)).collect::<Vec<_>>()
+    })
+}
+
+/// QFT-ish non-Clifford circuit: routes to the state-vector backend.
+fn rotated(n: usize) -> BCircuit {
+    Circ::build(&vec![false; n], |c, qs: Vec<Qubit>| {
+        for (i, &q) in qs.iter().enumerate() {
+            c.hadamard(q);
+            c.rot("Ry(%)", 0.3 + 0.1 * i as f64, q);
+        }
+        qs.into_iter().map(|q| c.measure(q)).collect::<Vec<_>>()
+    })
+}
+
+fn leaked_enabled_tracer() -> &'static Tracer {
+    let trace = Tracer::leaked(4096);
+    trace.set_enabled(true);
+    trace
+}
+
+/// Engine + service sharing one dedicated tracer, with seeded fault
+/// injection on every backend.
+fn faulted_service(trace: &'static Tracer, fault: FaultConfig, config: ServiceConfig) -> Service {
+    let engine_config = EngineConfig {
+        trace,
+        ..EngineConfig::default()
+    };
+    let backends = FaultInjector::wrap_default_backends(&engine_config, fault);
+    Service::start(Engine::with_backends(engine_config, backends), config)
+}
+
+/// The acceptance load: 100 jobs, four tenants, mixed circuits and shot
+/// counts, 10% per-shot transient fault probability, a sprinkle of client
+/// cancels. Zero lost jobs: everything admitted terminates as Completed or
+/// Cancelled (deadlines here are generous), and nothing ends Failed.
+#[test]
+fn hundred_job_faulted_mixed_tenant_load_loses_nothing() {
+    let trace = leaked_enabled_tracer();
+    let service = faulted_service(
+        trace,
+        FaultConfig::failing(0.10, 0xFA17),
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 256,
+            quota: QuotaPolicy::unlimited(),
+            // A fault can hit any shot, so a whole attempt fails with
+            // probability 1-0.9^shots; a deep attempt budget with short
+            // backoffs makes job loss astronomically unlikely while keeping
+            // the test fast.
+            retry: RetryPolicy {
+                max_attempts: 64,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(4),
+            },
+            trace,
+        },
+    );
+
+    let circuits: [(&str, usize, Arc<BCircuit>); 3] = [
+        ("ghz3", 3, Arc::new(ghz(3))),
+        ("ghz5", 5, Arc::new(ghz(5))),
+        ("rot4", 4, Arc::new(rotated(4))),
+    ];
+    let tenants = ["alice", "bob", "carol", "dave"];
+
+    let mut submitted = Vec::new();
+    for i in 0..100u64 {
+        let (name, arity, circuit) = &circuits[(i % 3) as usize];
+        let shots = 1 + i % 8;
+        let mut submission = Submission::new(tenants[(i % 4) as usize], Arc::clone(circuit))
+            .label(format!("{name}-{i}"))
+            .inputs(vec![false; *arity])
+            .shots(shots)
+            .seed(i)
+            .priority((i % 3) as u8);
+        if i % 10 == 0 {
+            // Generous deadlines: these jobs should still complete.
+            submission = submission.deadline(Duration::from_secs(120));
+        }
+        let id = service.submit(submission).expect("load fits the queue");
+        submitted.push((id, shots, format!("{name}-{i}")));
+        if i % 9 == 0 {
+            // A client changes its mind; queued or running, nothing is lost.
+            service.cancel(id);
+        }
+    }
+
+    service.drain();
+
+    let mut completed = 0u64;
+    let mut cancelled = 0u64;
+    for (id, shots, label) in &submitted {
+        let status = service.status(*id).expect("admitted job is known");
+        assert_eq!(&status.label, label);
+        match &status.state {
+            JobState::Completed(result) => {
+                completed += 1;
+                let total: u64 = result.histogram.iter().map(|&(_, n)| n).sum();
+                assert_eq!(total, *shots, "job {id} lost shots");
+            }
+            JobState::Cancelled => cancelled += 1,
+            other => panic!("job {id} lost: ended {other:?}"),
+        }
+    }
+    assert_eq!(completed + cancelled, 100, "every admitted job terminates");
+    assert!(completed >= 85, "cancels only affect targeted jobs");
+
+    let stats = service.stats();
+    assert_eq!(stats.submitted, 100);
+    assert_eq!(stats.admitted, 100);
+    assert_eq!(stats.failed, 0, "zero lost jobs under 10% faults");
+    assert_eq!(stats.terminal(), 100);
+    assert_eq!(stats.completed, completed);
+    assert_eq!(stats.cancelled, cancelled);
+    // ~800 shots at 10% fault probability: retries certainly happened, and
+    // the metrics saw them.
+    assert!(stats.retries > 0);
+    let metrics = trace.metrics();
+    assert_eq!(metrics.counter(names::SERVE_ADMIT), 100);
+    assert_eq!(metrics.counter(names::SERVE_RETRY), stats.retries);
+    assert_eq!(metrics.counter(names::SERVE_COMPLETED), completed);
+    assert!(metrics.max(names::SERVE_QUEUE_DEPTH) > 0);
+
+    service.shutdown();
+}
+
+/// A deadline fires while the shot loop is running: the job ends
+/// `DeadlineExceeded`, and the trace metrics show execution stopped
+/// mid-job — some shots ran, far fewer than requested.
+#[test]
+fn deadline_stops_shot_execution_mid_job() {
+    let trace = leaked_enabled_tracer();
+    let service = faulted_service(
+        trace,
+        // No failures; every shot pays a 2ms latency spike, so the job
+        // cannot finish 50_000 shots inside its deadline.
+        FaultConfig {
+            fail_prob: 0.0,
+            spike_prob: 1.0,
+            spike: Duration::from_millis(2),
+            seed: 1,
+        },
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            quota: QuotaPolicy::unlimited(),
+            retry: RetryPolicy::default(),
+            trace,
+        },
+    );
+
+    let id = service
+        .submit(
+            Submission::new("tenant", Arc::new(ghz(3)))
+                .label("deadline-victim")
+                .inputs(vec![false; 3])
+                .shots(50_000)
+                .deadline(Duration::from_millis(80)),
+        )
+        .unwrap();
+    service.drain();
+
+    let status = service.status(id).unwrap();
+    assert!(
+        matches!(status.state, JobState::DeadlineExceeded),
+        "expected DeadlineExceeded, got {}",
+        status.state.tag()
+    );
+
+    let metrics = trace.metrics();
+    let shots_run = metrics.counter(names::SHOTS_RUN);
+    assert!(shots_run > 0, "execution started before the deadline");
+    assert!(
+        shots_run < 50_000,
+        "deadline interrupted the shot loop mid-job (ran {shots_run})"
+    );
+    assert!(metrics.counter(names::EXEC_CANCELLED) >= 1);
+    assert_eq!(metrics.counter(names::SERVE_DEADLINE_MISS), 1);
+    assert_eq!(service.stats().deadline_misses, 1);
+
+    service.shutdown();
+}
+
+/// Cancelling a *running* job stops its shot loop the same way.
+#[test]
+fn cancel_stops_a_running_job_mid_execution() {
+    let trace = leaked_enabled_tracer();
+    let service = faulted_service(
+        trace,
+        FaultConfig {
+            fail_prob: 0.0,
+            spike_prob: 1.0,
+            spike: Duration::from_millis(2),
+            seed: 2,
+        },
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            quota: QuotaPolicy::unlimited(),
+            retry: RetryPolicy::default(),
+            trace,
+        },
+    );
+
+    let id = service
+        .submit(
+            Submission::new("tenant", Arc::new(ghz(3)))
+                .inputs(vec![false; 3])
+                .shots(50_000),
+        )
+        .unwrap();
+    // Wait for the worker to pick it up.
+    let running_by = Instant::now() + Duration::from_secs(10);
+    while !matches!(service.status(id).unwrap().state, JobState::Running) {
+        assert!(Instant::now() < running_by, "job never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    service.cancel(id);
+    service.drain();
+
+    let status = service.status(id).unwrap();
+    assert!(matches!(status.state, JobState::Cancelled));
+    let metrics = trace.metrics();
+    assert!(metrics.counter(names::SHOTS_RUN) < 50_000);
+    assert!(metrics.counter(names::EXEC_CANCELLED) >= 1);
+    assert_eq!(metrics.counter(names::SERVE_CANCELLED), 1);
+
+    service.shutdown();
+}
+
+/// A full admission queue rejects synchronously with a positive
+/// retry-after hint, and the rejection shows up in metrics — backpressure
+/// at the door, not timeouts inside.
+#[test]
+fn full_queue_rejects_with_retry_hint() {
+    let trace = leaked_enabled_tracer();
+    let service = faulted_service(
+        trace,
+        FaultConfig {
+            fail_prob: 0.0,
+            spike_prob: 1.0,
+            spike: Duration::from_millis(2),
+            seed: 3,
+        },
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            quota: QuotaPolicy::unlimited(),
+            retry: RetryPolicy::default(),
+            trace,
+        },
+    );
+
+    let slow = |label: &str| {
+        Submission::new("tenant", Arc::new(ghz(3)))
+            .label(label)
+            .inputs(vec![false; 3])
+            .shots(50_000)
+    };
+    // First job occupies the worker (eventually); second sits in the queue;
+    // the queue has capacity 1, so a third must bounce.
+    let a = service.submit(slow("runs")).unwrap();
+    let mut queued = Vec::new();
+    let rejection = loop {
+        match service.submit(slow("queued")) {
+            Ok(id) => queued.push(id),
+            Err(rejection) => break rejection,
+        }
+        assert!(queued.len() <= 2, "capacity-1 queue admitted too much");
+    };
+    assert_eq!(rejection.reason, RejectReason::QueueFull);
+    assert!(rejection.retry_after > Duration::ZERO);
+    assert!(trace.metrics().counter(names::SERVE_REJECT_FULL) >= 1);
+    assert_eq!(service.stats().rejected_queue_full, 1);
+
+    // Nothing admitted is lost: cancel everything and drain.
+    service.cancel(a);
+    for id in queued {
+        service.cancel(id);
+    }
+    service.drain();
+    assert_eq!(service.stats().terminal(), service.stats().admitted);
+    service.shutdown();
+}
+
+/// Quota exhaustion rejects with a retry-after hint and is per-tenant:
+/// one tenant draining its bucket does not affect another.
+#[test]
+fn quota_rejections_are_per_tenant_with_hints() {
+    let trace = leaked_enabled_tracer();
+    let service = faulted_service(
+        trace,
+        FaultConfig::default(),
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            quota: QuotaPolicy {
+                capacity: 2.0,
+                refill_per_sec: 0.5,
+                cost_per_job: 1.0,
+                cost_per_kshot: 0.0,
+            },
+            retry: RetryPolicy::default(),
+            trace,
+        },
+    );
+
+    let cheap = |tenant: &str| {
+        Submission::new(tenant, Arc::new(ghz(3)))
+            .inputs(vec![false; 3])
+            .shots(4)
+    };
+    service.submit(cheap("greedy")).unwrap();
+    service.submit(cheap("greedy")).unwrap();
+    let rejection = service.submit(cheap("greedy")).unwrap_err();
+    assert_eq!(rejection.reason, RejectReason::QuotaExhausted);
+    // Missing ~1 token at 0.5/s: the hint is honest (~2s).
+    assert!(rejection.retry_after > Duration::from_millis(500));
+    assert!(rejection.retry_after < Duration::from_secs(5));
+    // Another tenant is unaffected.
+    service.submit(cheap("frugal")).unwrap();
+    assert!(trace.metrics().counter(names::SERVE_REJECT_QUOTA) >= 1);
+
+    service.drain();
+    assert_eq!(service.stats().failed, 0);
+    service.shutdown();
+}
+
+/// Concurrent identical submissions: everyone completes, results are
+/// bit-identical across all copies (same circuit, same seed), and the
+/// engine compiled the plan exactly once — followers either coalesced onto
+/// the in-flight compile or hit the plan cache.
+#[test]
+fn identical_concurrent_jobs_share_one_compile_and_agree() {
+    let trace = leaked_enabled_tracer();
+    let engine = Engine::with_config(EngineConfig {
+        trace,
+        ..EngineConfig::default()
+    });
+    let service = Service::start(
+        engine,
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            quota: QuotaPolicy::unlimited(),
+            retry: RetryPolicy::default(),
+            trace,
+        },
+    );
+
+    let circuit = Arc::new(rotated(4));
+    let ids: Vec<_> = (0..12)
+        .map(|i| {
+            service
+                .submit(
+                    Submission::new("tenant", Arc::clone(&circuit))
+                        .label(format!("copy-{i}"))
+                        .inputs(vec![false; 4])
+                        .shots(64)
+                        .seed(99),
+                )
+                .unwrap()
+        })
+        .collect();
+    service.drain();
+
+    let reference = service.result(ids[0]).expect("first copy completed");
+    for &id in &ids[1..] {
+        let result = service.result(id).expect("copy completed");
+        assert_eq!(
+            result.histogram, reference.histogram,
+            "same circuit + same seed must be bit-identical"
+        );
+    }
+    assert_eq!(
+        service.engine().plan_cache().misses(),
+        1,
+        "twelve identical jobs, one compile"
+    );
+    // And no shot run ever found the cache cold: the coalesced pre-plan in
+    // the worker always populated it first.
+    assert_eq!(trace.metrics().counter(names::CACHE_MISS), 0);
+    let stats = service.stats();
+    assert_eq!(stats.completed, 12);
+    service.shutdown();
+}

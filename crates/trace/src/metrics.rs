@@ -39,6 +39,33 @@ pub mod names {
     pub const SHOT_LATENCY_US: &str = "exec.shot_latency_us";
     /// Max-gauge: peak qubits across executed plans.
     pub const PEAK_QUBITS: &str = "exec.peak_qubits";
+    /// Shots actually executed (a cancelled job stops this short of the
+    /// requested count — the observable proof that cancellation stops work).
+    pub const SHOTS_RUN: &str = "exec.shots_run";
+    /// Shot loops abandoned by a fired cancellation token.
+    pub const EXEC_CANCELLED: &str = "exec.cancelled";
+
+    /// Jobs admitted into the serve queue.
+    pub const SERVE_ADMIT: &str = "serve.admit";
+    /// Submissions rejected with a retry-after hint: full queue.
+    pub const SERVE_REJECT_FULL: &str = "serve.reject.queue_full";
+    /// Submissions rejected with a retry-after hint: tenant out of quota.
+    pub const SERVE_REJECT_QUOTA: &str = "serve.reject.quota";
+    /// Retries scheduled after transient backend faults.
+    pub const SERVE_RETRY: &str = "serve.retry";
+    /// Jobs that missed their deadline (queued or mid-execution).
+    pub const SERVE_DEADLINE_MISS: &str = "serve.deadline_miss";
+    /// Jobs cancelled by the client.
+    pub const SERVE_CANCELLED: &str = "serve.cancelled";
+    /// Jobs whose plan compile was coalesced onto a concurrent identical
+    /// submission (same fingerprint, one compile).
+    pub const SERVE_COALESCED: &str = "serve.coalesced";
+    /// Jobs completed successfully by the service.
+    pub const SERVE_COMPLETED: &str = "serve.completed";
+    /// Transient faults injected by the fault-injection harness.
+    pub const SERVE_FAULTS_INJECTED: &str = "serve.faults_injected";
+    /// Max-gauge: admission-queue depth high-water mark.
+    pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 
     /// State-vector kernel dispatches by class.
     pub const KERNEL_DIAGONAL: &str = "sim.kernel.diagonal";

@@ -99,15 +99,24 @@ fn main() {
     println!("  repeat: {}", again.report);
     assert!(again.report.cache_hit);
 
-    // Batched jobs fan out across the worker pool, deterministically.
+    // Batched jobs fan out across the worker pool, deterministically; each
+    // labelled result correlates back to its submission by name, not index.
     let mut queue = JobQueue::new();
     for seed in 0..4 {
-        queue.push(Job::new(&ghz).inputs(vec![false; 3]).shots(50).seed(seed));
+        queue.push(
+            Job::new(&ghz)
+                .inputs(vec![false; 3])
+                .shots(50)
+                .seed(seed)
+                .label(format!("ghz-seed-{seed}")),
+        );
     }
     let batch = queue.run_all(&engine);
+    assert!(batch.iter().all(|r| r.label.starts_with("ghz-seed-")));
     println!("   batch: {} GHZ jobs, all correlated: {}", batch.len(), {
         batch.iter().all(|r| {
-            r.as_ref()
+            r.result
+                .as_ref()
                 .unwrap()
                 .histogram
                 .iter()

@@ -1,0 +1,186 @@
+//! A line-protocol client for `quipper-served`, doubling as the CI
+//! integration smoke test.
+//!
+//! Connects to a running server (address from argv or `QUIPPER_SERVED`),
+//! then drives a full session: list the catalog, submit a mixed batch
+//! across two tenants, poll to completion, cancel one long job, export a
+//! circuit to OpenQASM, and print the final server stats. Exits non-zero
+//! if any step misbehaves, so `cargo run --example serve_client` is a
+//! pass/fail check against a live server:
+//!
+//! ```text
+//! cargo run --bin quipper-served -- --addr 127.0.0.1:7878 &
+//! cargo run --example serve_client -- 127.0.0.1:7878
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use quipper_trace::{parse_json, Json};
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            writer: stream.try_clone()?,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// One request line out, one response line in, parsed.
+    fn call(&mut self, request: &str) -> Json {
+        self.writer.write_all(request.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        parse_json(line.trim()).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"))
+    }
+
+    fn call_ok(&mut self, request: &str) -> Json {
+        let resp = self.call(request);
+        assert_eq!(
+            resp.get("ok"),
+            Some(&Json::Bool(true)),
+            "request {request} failed: {resp:?}"
+        );
+        resp
+    }
+}
+
+fn field_u64(v: &Json, key: &str) -> u64 {
+    v.get(key).and_then(Json::as_num).unwrap() as u64
+}
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("QUIPPER_SERVED").ok())
+        .expect("usage: serve_client ADDR (or set QUIPPER_SERVED)");
+    let mut client = Client::connect(&addr).expect("connect to quipper-served");
+
+    // Liveness + catalog.
+    client.call_ok(r#"{"op":"ping"}"#);
+    let list = client.call_ok(r#"{"op":"list"}"#);
+    let circuits = list.get("circuits").and_then(Json::as_arr).unwrap();
+    println!(
+        "catalog: {}",
+        circuits
+            .iter()
+            .filter_map(Json::as_str)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    assert!(circuits.iter().any(|c| c.as_str() == Some("ghz5")));
+
+    // A mixed two-tenant batch: GHZ and teleportation shots.
+    let mut ids = Vec::new();
+    for i in 0..6 {
+        let (tenant, circuit) = if i % 2 == 0 {
+            ("alice", "ghz5")
+        } else {
+            ("bob", "teleportation")
+        };
+        // Modest shot counts: a fault-injecting server fails a whole job
+        // attempt with probability 1-(1-P)^shots, so shots trade off against
+        // the server's --retry-attempts budget.
+        let resp = client.call_ok(&format!(
+            r#"{{"op":"submit","circuit":"{circuit}","tenant":"{tenant}","shots":24,"seed":{i},"label":"batch-{i}"}}"#
+        ));
+        ids.push(field_u64(&resp, "id"));
+    }
+
+    // One deliberately huge job to cancel mid-flight.
+    let victim = field_u64(
+        &client.call_ok(
+            r#"{"op":"submit","circuit":"grover3","tenant":"alice","shots":800000,"label":"victim"}"#,
+        ),
+        "id",
+    );
+    let resp = client.call_ok(&format!(r#"{{"op":"cancel","id":{victim}}}"#));
+    let state = resp
+        .get("state")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert!(
+        state == "cancelled" || state == "running" || state == "queued",
+        "unexpected post-cancel state {state}"
+    );
+
+    // Poll the batch to completion.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    for &id in &ids {
+        loop {
+            let status = client.call_ok(&format!(r#"{{"op":"status","id":{id}}}"#));
+            match status.get("state").and_then(Json::as_str).unwrap() {
+                "completed" => break,
+                "queued" | "running" => {
+                    assert!(Instant::now() < deadline, "job {id} stuck");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                other => panic!("job {id} ended {other}: {status:?}"),
+            }
+        }
+        let result = client.call_ok(&format!(r#"{{"op":"result","id":{id}}}"#));
+        let total: u64 = result
+            .get("histogram")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|e| field_u64(e, "count"))
+            .sum();
+        assert_eq!(total, 24, "job {id} lost shots");
+        println!(
+            "job {id} [{}] completed on {} ({} patterns)",
+            result.get("label").and_then(Json::as_str).unwrap(),
+            result.get("backend").and_then(Json::as_str).unwrap(),
+            result
+                .get("histogram")
+                .and_then(Json::as_arr)
+                .unwrap()
+                .len(),
+        );
+    }
+
+    // The cancelled job must terminate without completing.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = client.call_ok(&format!(r#"{{"op":"status","id":{victim}}}"#));
+        match status.get("state").and_then(Json::as_str).unwrap() {
+            "cancelled" => break,
+            "queued" | "running" => {
+                assert!(Instant::now() < deadline, "cancel never landed");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("victim ended {other}, expected cancelled"),
+        }
+    }
+    println!("victim job {victim} cancelled");
+
+    // OpenQASM export over the wire: dynamic lifting survives serialization.
+    let export = client.call_ok(r#"{"op":"export","circuit":"teleportation"}"#);
+    let qasm = export.get("qasm").and_then(Json::as_str).unwrap();
+    assert!(qasm.contains("if(c1==1) x q[2];"), "{qasm}");
+    println!(
+        "teleportation exports to {} QASM lines",
+        qasm.lines().count()
+    );
+
+    let stats = client.call_ok(r#"{"op":"stats"}"#);
+    println!(
+        "server stats: {} admitted, {} completed, {} cancelled, {} retries",
+        field_u64(&stats, "admitted"),
+        field_u64(&stats, "completed"),
+        field_u64(&stats, "cancelled"),
+        field_u64(&stats, "retries"),
+    );
+    assert_eq!(field_u64(&stats, "failed"), 0, "no job may be lost");
+    println!("serve client: all checks passed");
+}

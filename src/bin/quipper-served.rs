@@ -1,0 +1,159 @@
+//! `quipper-served`: the multi-tenant circuit-execution server.
+//!
+//! Speaks newline-delimited JSON over TCP (see `quipper_serve::protocol`
+//! for the op table). One process = one shared engine behind admission
+//! control; clients submit catalog circuits by name:
+//!
+//! ```text
+//! quipper-served --addr 127.0.0.1:7878
+//! # elsewhere:
+//! printf '{"op":"submit","circuit":"ghz5","shots":100}\n' | nc 127.0.0.1 7878
+//! ```
+//!
+//! `--fault-prob` wraps every backend in the seeded `FaultInjector`, which
+//! is how CI demonstrates retry-under-faults end to end against the real
+//! socket path.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use quipper_exec::{Engine, EngineConfig};
+use quipper_serve::catalog::Catalog;
+use quipper_serve::{FaultConfig, FaultInjector, Server, Service, ServiceConfig};
+
+const USAGE: &str = "\
+quipper-served: multi-tenant quantum circuit execution over NDJSON/TCP
+
+USAGE: quipper-served [OPTIONS]
+
+OPTIONS:
+  --addr ADDR          bind address (default 127.0.0.1:0; port 0 = ephemeral)
+  --workers N          service worker threads (default: cores, capped at 8)
+  --queue-capacity N   admission queue bound (default 256)
+  --fault-prob P       wrap backends in a fault injector failing each shot
+                       with probability P (default 0: no injection)
+  --fault-seed SEED    seed for the injected fault sequence (default 0)
+  --retry-attempts N   attempts per job before a transient fault is
+                       permanent (default 4); raise alongside --fault-prob —
+                       a fault can hit any shot, so a whole job attempt
+                       fails with probability 1-(1-P)^shots
+  --trace              enable quipper-trace metrics, printed on exit
+  -h, --help           this text";
+
+struct Options {
+    addr: String,
+    workers: Option<usize>,
+    queue_capacity: usize,
+    fault_prob: f64,
+    fault_seed: u64,
+    retry_attempts: Option<u32>,
+    trace: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:0".to_string(),
+        workers: None,
+        queue_capacity: 256,
+        fault_prob: 0.0,
+        fault_seed: 0,
+        retry_attempts: None,
+        trace: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--workers" => {
+                opts.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                )
+            }
+            "--queue-capacity" => {
+                opts.queue_capacity = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--queue-capacity: {e}"))?
+            }
+            "--fault-prob" => {
+                opts.fault_prob = value("--fault-prob")?
+                    .parse()
+                    .map_err(|e| format!("--fault-prob: {e}"))?
+            }
+            "--fault-seed" => {
+                opts.fault_seed = value("--fault-seed")?
+                    .parse()
+                    .map_err(|e| format!("--fault-seed: {e}"))?
+            }
+            "--retry-attempts" => {
+                opts.retry_attempts = Some(
+                    value("--retry-attempts")?
+                        .parse()
+                        .map_err(|e| format!("--retry-attempts: {e}"))?,
+                )
+            }
+            "--trace" => opts.trace = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.trace {
+        quipper_trace::tracer().set_enabled(true);
+    }
+
+    let engine_config = EngineConfig::default();
+    let engine = if opts.fault_prob > 0.0 {
+        let fault = FaultConfig::failing(opts.fault_prob, opts.fault_seed);
+        let backends = FaultInjector::wrap_default_backends(&engine_config, fault);
+        Engine::with_backends(engine_config, backends)
+    } else {
+        Engine::with_config(engine_config)
+    };
+
+    let mut service_config = ServiceConfig {
+        queue_capacity: opts.queue_capacity,
+        ..ServiceConfig::default()
+    };
+    if let Some(workers) = opts.workers {
+        service_config.workers = workers;
+    }
+    if let Some(attempts) = opts.retry_attempts {
+        service_config.retry.max_attempts = attempts.max(1);
+    }
+    let service = Arc::new(Service::start(engine, service_config));
+    let server = match Server::start(&opts.addr, Arc::clone(&service), Arc::new(Catalog::new())) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The integration harness scrapes this line for the ephemeral port.
+    println!("listening on {}", server.local_addr());
+    server.join();
+    service.shutdown();
+
+    println!("{}", service.stats());
+    if opts.trace {
+        print!("{}", quipper_trace::tracer().metrics().snapshot());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,92 @@
+//! Golden-file tests for the OpenQASM 2.0 exporter.
+//!
+//! Each named circuit from the serve catalog is lowered to QASM and
+//! compared byte-for-byte against `tests/golden/<name>.qasm`. The goldens
+//! pin the whole export pipeline — inlining, qubit-slot pooling, per-wire
+//! creg allocation, and `if(cN==v)` classical conditions — so an
+//! unintentional change to any of it shows up as a readable diff.
+//!
+//! To re-bless after an *intentional* change:
+//!
+//! ```text
+//! QASM_BLESS=1 cargo test --test qasm_golden
+//! ```
+
+use std::path::PathBuf;
+
+use quipper_circuit::qasm::to_qasm;
+use quipper_serve::catalog::Catalog;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.qasm"))
+}
+
+fn check(name: &str) {
+    let catalog = Catalog::new();
+    let circuit = catalog
+        .get(name)
+        .unwrap_or_else(|| panic!("no circuit {name}"));
+    let qasm = to_qasm(&circuit).unwrap_or_else(|e| panic!("{name} does not export: {e}"));
+    let path = golden_path(name);
+    if std::env::var_os("QASM_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &qasm).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with QASM_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        qasm, expected,
+        "{name} drifted from its golden file; if intentional, re-bless with QASM_BLESS=1"
+    );
+}
+
+/// Teleportation: classically-controlled corrections (`if(cN==1) ...`),
+/// per-wire cregs for the three measurements, qubit-slot reuse.
+#[test]
+fn teleportation_matches_golden() {
+    check("teleportation");
+}
+
+/// Grover over 3 qubits: the oracle's Toffoli structure and the diffusion
+/// rounds survive inlining.
+#[test]
+fn grover3_matches_golden() {
+    check("grover3");
+}
+
+/// GHZ: the H + CNOT ladder and one measurement per qubit.
+#[test]
+fn ghz3_matches_golden() {
+    check("ghz3");
+}
+
+/// QFT over 4 qubits: controlled-phase cascade (`cu1`) plus final swaps.
+#[test]
+fn qft4_matches_golden() {
+    check("qft4");
+}
+
+/// The goldens themselves stay structurally sane: every emitted statement
+/// is one of the forms the exporter writes, and classical conditions only
+/// reference declared one-bit registers.
+#[test]
+fn goldens_are_wellformed() {
+    for name in ["teleportation", "grover3", "ghz3", "qft4"] {
+        let text = std::fs::read_to_string(golden_path(name)).unwrap();
+        assert!(text.starts_with("OPENQASM 2.0;\n"), "{name}");
+        let cregs = text.lines().filter(|l| l.starts_with("creg")).count();
+        for line in text.lines().filter(|l| l.starts_with("if(")) {
+            let reg: usize = line["if(c".len()..line.find("==").unwrap()]
+                .parse()
+                .unwrap_or_else(|_| panic!("{name}: bad condition {line}"));
+            assert!(reg < cregs, "{name}: condition on undeclared creg: {line}");
+        }
+    }
+}
