@@ -1,0 +1,220 @@
+//! Optimizer effectiveness: gate counts before/after each pipeline, the
+//! compile-time cost of running it, and the end-to-end speedup it buys on
+//! a state-vector workload where every removed gate is a 2^20-amplitude
+//! sweep saved.
+//!
+//! Not a criterion bench: each circuit is optimized once per level and the
+//! mixed workload is executed through the engine with the optimizer off
+//! and on. Run modes:
+//!
+//! * default — full shot counts, report only;
+//! * `BENCH_QUICK=1` — tiny shot counts plus hard asserts (the default
+//!   pipeline must remove gates from the mixed workload and from at least
+//!   three catalog circuits), used as the CI smoke.
+//!
+//! Every run rewrites `BENCH_opt.json` at the repo root so CI archives a
+//! machine-readable snapshot of optimizer effectiveness alongside the
+//! serving and kernel baselines.
+
+use std::time::{Duration, Instant};
+
+use quipper::classical::synth;
+use quipper::{Circ, Qubit};
+use quipper_algorithms::bwt::{bwt_circuit, Flavor, WeldedTree};
+use quipper_algorithms::cl::mod_const_dag;
+use quipper_circuit::BCircuit;
+use quipper_exec::{Engine, EngineConfig, Job, OptLevel};
+use quipper_opt::{optimize, OptReport};
+use quipper_serve::catalog::Catalog;
+
+/// A 20-qubit mixed workload with realistic redundancy: mergeable rotation
+/// runs, Hadamard pairs straddling diagonal gates, and an uncompute tail
+/// that mirrors the compute prefix. The optimizer should collapse a large
+/// fraction; the rest (the CNOT ladder, the T layer) is irreducible.
+fn mixed_workload(n: usize, layers: usize) -> BCircuit {
+    Circ::build(&vec![false; n], |c, qs: Vec<Qubit>| {
+        for layer in 0..layers {
+            for (i, &q) in qs.iter().enumerate() {
+                c.hadamard(q);
+                // A run of three Z-rotations on one wire: merges to one.
+                c.rot("exp(-i%Z)", 0.11 * (i + 1) as f64, q);
+                c.rot("exp(-i%Z)", 0.07, q);
+                c.rot("exp(-i%Z)", -0.07, q);
+                c.hadamard(q);
+            }
+            for w in qs.windows(2) {
+                c.cnot(w[1], w[0]);
+            }
+            // H · Z-diagonal · H sandwiches: the outer pair cannot cancel,
+            // but the T and its adjoint straddling a commuting CZ can.
+            let (a, b) = (qs[layer % n], qs[(layer + 1) % n]);
+            c.gate_t(a);
+            c.gate_ctrl(quipper::GateName::Z, a, &b);
+            c.gate_inv(quipper::GateName::T, a);
+        }
+        qs.into_iter().map(|q| c.measure(q)).collect::<Vec<_>>()
+    })
+}
+
+struct OptMeasurement {
+    name: String,
+    level: OptLevel,
+    gates_before: u128,
+    gates_after: u128,
+    rewrites: u64,
+    compile: Duration,
+}
+
+fn measure(name: &str, bc: &BCircuit, level: OptLevel) -> OptMeasurement {
+    let start = Instant::now();
+    let (optimized, report): (BCircuit, OptReport) = optimize(bc, level);
+    let compile = start.elapsed();
+    optimized.validate().expect("optimized circuit validates");
+    OptMeasurement {
+        name: name.to_string(),
+        level,
+        gates_before: report.gates_before(),
+        gates_after: report.gates_after(),
+        rewrites: report.rewrites(),
+        compile,
+    }
+}
+
+/// Wall time for `shots` shots of `bc` through an engine pinned to
+/// `level`: best of two runs, so one scheduling hiccup doesn't skew the
+/// off/on comparison. The second run hits the engine's plan cache, which
+/// is the steady state a server sees.
+fn run_workload(bc: &BCircuit, level: OptLevel, shots: u64) -> Duration {
+    let engine = Engine::with_config(EngineConfig {
+        opt: level,
+        ..EngineConfig::default()
+    });
+    let mut best = Duration::MAX;
+    for _ in 0..2 {
+        let start = Instant::now();
+        let result = engine
+            .run(&Job::new(bc).inputs(vec![false; 20]).shots(shots).seed(42))
+            .expect("workload runs");
+        assert_eq!(result.report.shots, shots);
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let (workload_layers, workload_shots) = if quick { (2, 2) } else { (4, 8) };
+
+    let catalog = Catalog::new();
+    let mut circuits: Vec<(String, BCircuit)> = catalog
+        .names()
+        .iter()
+        .filter_map(|name| {
+            catalog
+                .get(name)
+                .map(|bc| (name.to_string(), (*bc).clone()))
+        })
+        .collect();
+    // Example circuits with redundancy the catalog lacks: the welded-tree
+    // walk (adjacent inverse pairs from its compute/uncompute structure)
+    // and a synthesized modular oracle (constant-control simplification).
+    circuits.push((
+        "bwt-orthodox".to_string(),
+        bwt_circuit(WeldedTree::new(1, [0b0, 0b1]), 1, 0.35, Flavor::Orthodox),
+    ));
+    let mod_dag = mod_const_dag(4, 3);
+    circuits.push((
+        "mod-oracle".to_string(),
+        Circ::build(&vec![false; 4], |c, xs: Vec<Qubit>| {
+            let outs = synth::synthesize_clean(c, &mod_dag, &xs);
+            (xs, outs)
+        }),
+    ));
+    let workload = mixed_workload(20, workload_layers);
+    circuits.push(("mixed-20q".to_string(), workload.clone()));
+
+    let mut results: Vec<OptMeasurement> = Vec::new();
+    for (name, bc) in &circuits {
+        for level in [OptLevel::Default, OptLevel::Aggressive] {
+            results.push(measure(name, bc, level));
+        }
+    }
+
+    println!(
+        "{:>16}  {:>10}  {:>10}  {:>10}  {:>8}  {:>10}",
+        "circuit", "level", "before", "after", "rewrites", "compile"
+    );
+    for m in &results {
+        println!(
+            "{:>16}  {:>10}  {:>10}  {:>10}  {:>8}  {:>10.3?}",
+            m.name, m.level, m.gates_before, m.gates_after, m.rewrites, m.compile
+        );
+    }
+
+    // End-to-end: the same 20q workload through the engine, optimizer off
+    // vs on. Removed gates are full state-vector sweeps saved per shot.
+    let off = run_workload(&workload, OptLevel::Off, workload_shots);
+    let on = run_workload(&workload, OptLevel::Default, workload_shots);
+    let speedup = off.as_secs_f64() / on.as_secs_f64().max(1e-9);
+    println!("mixed-20q x{workload_shots} shots: off {off:.3?} / default {on:.3?} ({speedup:.2}x)");
+
+    // Smoke in both modes: the default pipeline must find real reductions.
+    let default_reduced: Vec<&OptMeasurement> = results
+        .iter()
+        .filter(|m| m.level == OptLevel::Default && m.gates_after < m.gates_before)
+        .collect();
+    let workload_delta = results
+        .iter()
+        .find(|m| m.name == "mixed-20q" && m.level == OptLevel::Default)
+        .map(|m| m.gates_before - m.gates_after)
+        .unwrap();
+    assert!(
+        workload_delta > 0,
+        "default pipeline must reduce the 20q mixed workload"
+    );
+    assert!(
+        default_reduced.len() >= 3,
+        "default pipeline should reduce at least 3 circuits, got {}",
+        default_reduced.len()
+    );
+    println!(
+        "smoke check passed ({} circuits reduced at default, workload -{workload_delta} gates)",
+        default_reduced.len()
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_opt.json");
+    let entries: Vec<String> = results
+        .iter()
+        .map(|m| {
+            format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"level\": \"{}\", ",
+                    "\"gates_before\": {}, \"gates_after\": {}, ",
+                    "\"rewrites\": {}, \"compile_ms\": {:.3}}}"
+                ),
+                m.name,
+                m.level,
+                m.gates_before,
+                m.gates_after,
+                m.rewrites,
+                m.compile.as_secs_f64() * 1e3,
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"opt_gate_counts\",\n  \"mode\": \"{}\",\n",
+            "  \"workload\": {{\"name\": \"mixed-20q\", \"shots\": {}, ",
+            "\"off_ms\": {:.3}, \"default_ms\": {:.3}, \"speedup\": {:.3}}},\n",
+            "  \"benches\": [\n{}\n  ]\n}}\n"
+        ),
+        if quick { "quick" } else { "full" },
+        workload_shots,
+        off.as_secs_f64() * 1e3,
+        on.as_secs_f64() * 1e3,
+        speedup,
+        entries.join(",\n")
+    );
+    std::fs::write(path, json).unwrap();
+    println!("wrote BENCH_opt.json");
+}

@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 
 use quipper::{Circ, QCData, Shape};
 use quipper_circuit::BCircuit;
+use quipper_opt::{OptLevel, OptSummary};
 use quipper_sim::{FuseStats, StateVecConfig};
 use quipper_trace::{fmt_duration, names, Phase, TraceSummary, Tracer};
 
@@ -50,6 +51,11 @@ pub struct EngineConfig {
     /// before anything is cached or executed. Defaults to
     /// [`LintGate::DenyErrors`].
     pub lint: LintGate,
+    /// Optimizer level applied when compiling plans (jobs can override it
+    /// per submission via [`Job::opt`]). Defaults to [`OptLevel::Default`]:
+    /// facts-seeded cleanup, cancellation and rotation merging;
+    /// [`OptLevel::Off`] reproduces pre-optimizer plans bit-identically.
+    pub opt: OptLevel,
     /// Tracing sink for spans, cache/routing events and latency metrics.
     /// Defaults to the process-wide [`quipper_trace::tracer`] (disabled until
     /// someone enables it); use [`Tracer::leaked`] for a dedicated sink.
@@ -65,6 +71,7 @@ impl Default for EngineConfig {
             max_qubits: crate::backend::DEFAULT_MAX_QUBITS,
             statevec: StateVecConfig::default(),
             lint: LintGate::default(),
+            opt: OptLevel::default(),
             trace: quipper_trace::tracer(),
         }
     }
@@ -85,6 +92,7 @@ pub struct Job<'a> {
     backend: Option<String>,
     label: String,
     cancel: Option<CancelToken>,
+    opt: Option<OptLevel>,
 }
 
 impl<'a> Job<'a> {
@@ -98,6 +106,7 @@ impl<'a> Job<'a> {
             backend: None,
             label: String::new(),
             cancel: None,
+            opt: None,
         }
     }
 
@@ -140,6 +149,14 @@ impl<'a> Job<'a> {
         self.cancel = Some(token);
         self
     }
+
+    /// Overrides the engine's optimizer level for this job only. Plans are
+    /// cached per `(fingerprint, level)`, so overriding never poisons other
+    /// jobs' cached plans.
+    pub fn opt(mut self, level: OptLevel) -> Self {
+        self.opt = Some(level);
+        self
+    }
 }
 
 /// What the engine did for one job, attached to every [`ExecResult`].
@@ -169,6 +186,9 @@ pub struct ExecReport {
     /// Static-analysis summary of the executed plan (static per plan).
     /// `None` only for reports built outside the engine.
     pub lint: Option<LintSummary>,
+    /// What the optimizer did to the executed plan (static per plan).
+    /// `None` when the plan was compiled at [`OptLevel::Off`].
+    pub opt: Option<OptSummary>,
     /// Trace accounting for this job, when tracing was enabled during it.
     pub trace: Option<TraceSummary>,
 }
@@ -196,6 +216,9 @@ impl fmt::Display for ExecReport {
             self.fuse.gates_in,
             self.route_reason,
         )?;
+        if let Some(opt) = &self.opt {
+            write!(f, " | opt: {opt}")?;
+        }
         if let Some(lint) = &self.lint {
             if !lint.is_empty() {
                 write!(f, " | lint: {lint}")?;
@@ -261,6 +284,9 @@ pub struct EngineStats {
     /// Plan ops dispatched to the dense 2×2 kernel, summed over executed
     /// jobs.
     pub general_ops: u64,
+    /// Gates removed by the optimizer, summed over executed jobs' plans
+    /// (zero when every job ran at [`OptLevel::Off`]).
+    pub opt_gates_removed: u64,
 }
 
 impl fmt::Display for EngineStats {
@@ -272,6 +298,13 @@ impl fmt::Display for EngineStats {
             "plan cache", self.cache_hits, self.cache_misses, self.cached_plans
         )?;
         writeln!(f, "{:<12}{} gates fused away", "fusion", self.fused_gates)?;
+        if self.opt_gates_removed > 0 {
+            writeln!(
+                f,
+                "{:<12}{} gates removed",
+                "optimizer", self.opt_gates_removed
+            )?;
+        }
         writeln!(
             f,
             "{:<12}diagonal {} | permutation {} | general {}",
@@ -296,6 +329,7 @@ pub struct Engine {
     cache: PlanCache,
     workers: usize,
     lint: LintGate,
+    opt: OptLevel,
     trace: &'static Tracer,
     jobs: AtomicU64,
     shots: AtomicU64,
@@ -304,6 +338,7 @@ pub struct Engine {
     diagonal_ops: AtomicU64,
     permutation_ops: AtomicU64,
     general_ops: AtomicU64,
+    opt_gates_removed: AtomicU64,
     backend_jobs: Mutex<HashMap<&'static str, u64>>,
 }
 
@@ -354,6 +389,7 @@ impl Engine {
             cache: PlanCache::new(),
             workers: config.workers.max(1),
             lint: config.lint,
+            opt: config.opt,
             trace: config.trace,
             jobs: AtomicU64::new(0),
             shots: AtomicU64::new(0),
@@ -362,6 +398,7 @@ impl Engine {
             diagonal_ops: AtomicU64::new(0),
             permutation_ops: AtomicU64::new(0),
             general_ops: AtomicU64::new(0),
+            opt_gates_removed: AtomicU64::new(0),
             backend_jobs: Mutex::new(HashMap::new()),
         }
     }
@@ -379,7 +416,22 @@ impl Engine {
     /// Returns [`ExecError::Circuit`] if validation or flattening fails, and
     /// [`ExecError::Lint`] if the circuit fails the engine's lint gate.
     pub fn plan(&self, circuit: &BCircuit) -> Result<Arc<Plan>, ExecError> {
-        Ok(self.cache.get_or_compile_gated(circuit, self.lint)?.0)
+        self.plan_with(circuit, self.opt)
+    }
+
+    /// As [`Engine::plan`], but compiling at an explicit optimizer level
+    /// instead of the engine's configured one.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::plan`].
+    pub fn plan_with(&self, circuit: &BCircuit, level: OptLevel) -> Result<Arc<Plan>, ExecError> {
+        Ok(self.cache.get_or_compile_opt(circuit, self.lint, level)?.0)
+    }
+
+    /// The optimizer level plans compile at unless a job overrides it.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt
     }
 
     /// The engine's plan cache, for hit/miss accounting and eviction.
@@ -393,7 +445,9 @@ impl Engine {
     ///
     /// As for [`Engine::run`], minus execution errors.
     pub fn select_backend(&self, circuit: &BCircuit) -> Result<&'static str, ExecError> {
-        let (plan, _) = self.cache.get_or_compile_gated(circuit, self.lint)?;
+        let (plan, _) = self
+            .cache
+            .get_or_compile_opt(circuit, self.lint, self.opt)?;
         Ok(self.route(&plan, None)?.name())
     }
 
@@ -452,9 +506,11 @@ impl Engine {
         let _job_span = trace.span(Phase::Execute, "engine.job");
 
         let compile_start = Instant::now();
+        let opt_level = job.opt.unwrap_or(self.opt);
         let (plan, cache_hit) = {
             let _span = trace.span(Phase::Compile, "plan.get_or_compile");
-            self.cache.get_or_compile_gated(job.circuit, self.lint)?
+            self.cache
+                .get_or_compile_opt(job.circuit, self.lint, opt_level)?
         };
         let compile = compile_start.elapsed();
         if trace.enabled() {
@@ -523,6 +579,13 @@ impl Engine {
         histogram.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
         let fuse = plan.fuse_stats();
+        let opt_summary = plan.opt.as_ref().map(|r| r.summary());
+        if let Some(opt) = &opt_summary {
+            self.opt_gates_removed.fetch_add(
+                opt.gates_before.saturating_sub(opt.gates_after),
+                Ordering::Relaxed,
+            );
+        }
         self.jobs.fetch_add(1, Ordering::Relaxed);
         self.shots.fetch_add(job.shots, Ordering::Relaxed);
         self.fused_gates
@@ -561,6 +624,7 @@ impl Engine {
                 fuse,
                 route_reason,
                 lint: Some(plan.lint.summary()),
+                opt: opt_summary,
                 trace: trace_summary,
             },
         })
@@ -620,6 +684,7 @@ impl Engine {
             diagonal_ops: self.diagonal_ops.load(Ordering::Relaxed),
             permutation_ops: self.permutation_ops.load(Ordering::Relaxed),
             general_ops: self.general_ops.load(Ordering::Relaxed),
+            opt_gates_removed: self.opt_gates_removed.load(Ordering::Relaxed),
         }
     }
 }
@@ -889,6 +954,7 @@ mod tests {
             },
             route_reason: "universal gate set; peak 9 qubits within state-vector cap".into(),
             lint: None,
+            opt: None,
             trace: None,
         }
     }
@@ -965,6 +1031,7 @@ mod tests {
             diagonal_ops: 24,
             permutation_ops: 30,
             general_ops: 61,
+            opt_gates_removed: 0,
         };
         assert_eq!(
             stats.to_string(),
@@ -974,6 +1041,35 @@ mod tests {
              kernel ops  diagonal 24 | permutation 30 | general 61\n\
              backends    stabilizer=1 statevec=2\n\
              interactive 1"
+        );
+        // The optimizer line only appears once the optimizer removed
+        // something, so `Off`-only workloads render exactly as before.
+        let with_opt = EngineStats {
+            opt_gates_removed: 17,
+            ..stats
+        };
+        assert!(with_opt
+            .to_string()
+            .contains("optimizer   17 gates removed"));
+    }
+
+    #[test]
+    fn exec_report_display_mentions_opt_when_a_level_ran() {
+        let report = ExecReport {
+            opt: Some(OptSummary {
+                level: OptLevel::Default,
+                gates_before: 220,
+                gates_after: 198,
+                rewrites: 11,
+            }),
+            ..sample_report()
+        };
+        assert_eq!(
+            report.to_string(),
+            "  1000 shots on statevec   | plan 0x00000000deadbeef miss | workers 4  | \
+             compile    1.50ms | exec  250.00µs | fused 12/210 | \
+             route: universal gate set; peak 9 qubits within state-vector cap | \
+             opt: default 220->198"
         );
     }
 

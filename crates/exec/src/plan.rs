@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 use quipper_circuit::flatten::inline_all;
 use quipper_circuit::{validate, BCircuit, Circuit};
 use quipper_lint::{LintReport, Severity};
+use quipper_opt::{optimize, OptLevel, OptReport};
 use quipper_sim::{fuse_circuit, FuseStats, FusedCircuit};
 
 use crate::error::ExecError;
@@ -84,9 +85,15 @@ pub struct Plan {
     pub profile: CircuitProfile,
     /// Static-analysis findings for the hierarchical circuit. Always
     /// populated; whether findings block execution is the [`LintGate`]'s
-    /// decision, not the plan's.
+    /// decision, not the plan's. When an optimizer level is active the
+    /// *rewritten* circuit is what gets linted — the gate must judge what
+    /// will actually run.
     pub lint: LintReport,
-    /// How long validation + inlining + profiling + fusion took.
+    /// What the optimizer did, when a level other than
+    /// [`OptLevel::Off`] was active at compile time.
+    pub opt: Option<OptReport>,
+    /// How long validation + optimization + inlining + profiling + fusion
+    /// took.
     pub compile_time: Duration,
 }
 
@@ -97,12 +104,39 @@ impl Plan {
     ///
     /// Returns [`ExecError::Circuit`] if validation or inlining fails.
     pub fn compile(bc: &BCircuit) -> Result<Plan, ExecError> {
+        Plan::compile_with(bc, OptLevel::Off)
+    }
+
+    /// As [`Plan::compile`], but running the `quipper-opt` pipeline at
+    /// `level` between validation and flattening. `OptLevel::Off`
+    /// reproduces the unoptimized pipeline exactly. Lint runs on the
+    /// *optimized* hierarchical circuit, so a [`LintGate`] judges the
+    /// circuit that will actually execute.
+    ///
+    /// # Errors
+    ///
+    /// As [`Plan::compile`].
+    pub fn compile_with(bc: &BCircuit, level: OptLevel) -> Result<Plan, ExecError> {
         let _span = quipper_trace::span(quipper_trace::Phase::Compile, "plan.compile");
         let start = Instant::now();
+        // The plan is keyed by the fingerprint of the circuit *as
+        // submitted* — rewriting must never change which cache slot a
+        // submission lands in.
+        let fingerprint = bc.fingerprint();
         validate::validate(&bc.db, &bc.main)?;
+        let (bc, opt) = match level {
+            OptLevel::Off => (bc.clone(), None),
+            level => {
+                let (optimized, report) = optimize(bc, level);
+                // The rewritten hierarchy must still be well-formed; a pass
+                // bug should surface here, not as a backend panic.
+                validate::validate(&optimized.db, &optimized.main)?;
+                (optimized, Some(report))
+            }
+        };
         // Lint the *hierarchical* circuit (box summaries need the call
         // structure), before flattening discards it.
-        let lint = quipper_lint::lint(bc);
+        let lint = quipper_lint::lint(&bc);
         let flat = inline_all(&bc.db, &bc.main)?;
         let profile = {
             let _span = quipper_trace::span(quipper_trace::Phase::Compile, "profile");
@@ -113,11 +147,12 @@ impl Plan {
             fuse_circuit(&flat)
         };
         Ok(Plan {
-            fingerprint: bc.fingerprint(),
+            fingerprint,
             flat,
             fused,
             profile,
             lint,
+            opt,
             compile_time: start.elapsed(),
         })
     }
@@ -128,11 +163,16 @@ impl Plan {
     }
 }
 
-/// A thread-safe cache of compiled plans keyed by circuit fingerprint, with
-/// hit/miss counters surfaced in execution reports.
+/// A thread-safe cache of compiled plans keyed by circuit fingerprint and
+/// optimizer level, with hit/miss counters surfaced in execution reports.
+///
+/// The level is part of the key because the same circuit compiled at
+/// different levels yields genuinely different plans (different flat gate
+/// streams); a job asking for `Aggressive` must never receive a plan
+/// compiled at `Off`.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: Mutex<HashMap<u64, Arc<Plan>>>,
+    plans: Mutex<HashMap<(u64, OptLevel), Arc<Plan>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -151,7 +191,7 @@ impl PlanCache {
     /// Propagates [`Plan::compile`] errors; failed compilations are not
     /// cached.
     pub fn get_or_compile(&self, bc: &BCircuit) -> Result<(Arc<Plan>, bool), ExecError> {
-        self.get_or_compile_gated(bc, LintGate::Off)
+        self.get_or_compile_opt(bc, LintGate::Off, OptLevel::Off)
     }
 
     /// As [`PlanCache::get_or_compile`], but refusing plans whose lint report
@@ -169,7 +209,23 @@ impl PlanCache {
         bc: &BCircuit,
         gate: LintGate,
     ) -> Result<(Arc<Plan>, bool), ExecError> {
-        let key = bc.fingerprint();
+        self.get_or_compile_opt(bc, gate, OptLevel::Off)
+    }
+
+    /// As [`PlanCache::get_or_compile_gated`], but compiling at the given
+    /// optimizer level. Plans are cached per `(fingerprint, level)`, so
+    /// mixed-level workloads over the same circuit coexist in the cache.
+    ///
+    /// # Errors
+    ///
+    /// As [`PlanCache::get_or_compile_gated`].
+    pub fn get_or_compile_opt(
+        &self,
+        bc: &BCircuit,
+        gate: LintGate,
+        level: OptLevel,
+    ) -> Result<(Arc<Plan>, bool), ExecError> {
+        let key = (bc.fingerprint(), level);
         if let Some(plan) = self.plans.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             let plan = Arc::clone(plan);
@@ -179,7 +235,7 @@ impl PlanCache {
         // Compile outside the lock: plans can be large and compilation is the
         // expensive path. Two threads racing on the same new circuit both
         // compile; the entry is just overwritten with an identical plan.
-        let plan = Arc::new(Plan::compile(bc)?);
+        let plan = Arc::new(Plan::compile_with(bc, level)?);
         gate.check(&plan.lint)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.plans.lock().unwrap().insert(key, Arc::clone(&plan));
@@ -314,6 +370,62 @@ mod tests {
         assert!(!hit);
         assert_eq!(plan.lint.summary().errors, 1);
         assert_eq!(cache.len(), 1);
+    }
+
+    /// A circuit with an obvious cancelling pair, so `Default` provably
+    /// differs from `Off`.
+    fn cancelling_pair() -> BCircuit {
+        Circ::build(&false, |c, q: Qubit| {
+            c.hadamard(q);
+            c.hadamard(q);
+            c.gate_t(q);
+            c.measure(q)
+        })
+    }
+
+    #[test]
+    fn off_level_reproduces_unoptimized_plans_bit_identically() {
+        let bc = cancelling_pair();
+        let plain = Plan::compile(&bc).unwrap();
+        let off = Plan::compile_with(&bc, OptLevel::Off).unwrap();
+        assert_eq!(off.fingerprint, plain.fingerprint);
+        assert_eq!(off.flat, plain.flat);
+        assert_eq!(off.fuse_stats(), plain.fuse_stats());
+        assert!(off.opt.is_none());
+    }
+
+    #[test]
+    fn optimized_plans_shrink_and_carry_the_report() {
+        let bc = cancelling_pair();
+        let off = Plan::compile_with(&bc, OptLevel::Off).unwrap();
+        let opt = Plan::compile_with(&bc, OptLevel::Default).unwrap();
+        assert!(opt.flat.gates.len() < off.flat.gates.len());
+        let report = opt.opt.as_ref().expect("optimized plan carries a report");
+        assert_eq!(report.removed(), 2);
+        // The cache key is the circuit as submitted, not as rewritten.
+        assert_eq!(opt.fingerprint, bc.fingerprint());
+    }
+
+    #[test]
+    fn cache_keys_plans_per_opt_level() {
+        let cache = PlanCache::new();
+        let bc = cancelling_pair();
+        let (off_plan, hit0) = cache
+            .get_or_compile_opt(&bc, LintGate::Off, OptLevel::Off)
+            .unwrap();
+        let (opt_plan, hit1) = cache
+            .get_or_compile_opt(&bc, LintGate::Off, OptLevel::Default)
+            .unwrap();
+        // Same fingerprint, different level: a real compile, not a hit.
+        assert!(!hit0);
+        assert!(!hit1);
+        assert_eq!(cache.len(), 2);
+        assert!(opt_plan.flat.gates.len() < off_plan.flat.gates.len());
+        let (again, hit2) = cache
+            .get_or_compile_opt(&bc, LintGate::Off, OptLevel::Default)
+            .unwrap();
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&opt_plan, &again));
     }
 
     #[test]

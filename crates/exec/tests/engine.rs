@@ -285,8 +285,11 @@ fn deny_warnings_engine_blocks_unprovable_assertions() {
         c.measure_bit(q)
     });
 
+    // With the optimizer off, the circuit is linted as written: both
+    // warnings stand and the strict gate blocks the job.
     let strict = Engine::with_config(EngineConfig {
         lint: LintGate::DenyWarnings,
+        opt: quipper_exec::OptLevel::Off,
         ..EngineConfig::default()
     });
     assert!(matches!(
@@ -294,11 +297,30 @@ fn deny_warnings_engine_blocks_unprovable_assertions() {
         Err(ExecError::Lint(_))
     ));
 
-    // The default gate admits warnings; the job runs and its report carries
-    // the lint summary.
-    let engine = Engine::new();
+    // The default gate admits warnings; the job runs (unoptimized) and its
+    // report carries the lint summary.
+    let engine = Engine::with_config(EngineConfig {
+        opt: quipper_exec::OptLevel::Off,
+        ..EngineConfig::default()
+    });
     let result = engine.run(&Job::new(&bc).shots(10)).unwrap();
     let lint = result.report.lint.expect("engine-built reports carry lint");
     assert_eq!((lint.errors, lint.warnings), (0, 2));
     assert!(result.report.to_string().contains("lint: 0E/2W"));
+
+    // The default optimizer deletes the H·H pair, after which the abstract
+    // domain proves the assertion: the lint gate judges the rewritten
+    // circuit, so even DenyWarnings now admits the job.
+    let strict_opt = Engine::with_config(EngineConfig {
+        lint: LintGate::DenyWarnings,
+        ..EngineConfig::default()
+    });
+    let result = strict_opt.run(&Job::new(&bc).shots(10)).unwrap();
+    let lint = result.report.lint.unwrap();
+    assert_eq!((lint.errors, lint.warnings), (0, 0));
+    let opt = result
+        .report
+        .opt
+        .expect("default level reports the optimizer");
+    assert!(opt.gates_before > opt.gates_after);
 }

@@ -5,7 +5,18 @@
 use proptest::prelude::*;
 use quipper::{Circ, Qubit};
 use quipper_circuit::BCircuit;
-use quipper_exec::{Engine, Job};
+use quipper_exec::{Engine, EngineConfig, Job, OptLevel};
+
+/// Routing is asserted on the circuit *as written*, so the optimizer is
+/// pinned off: at the default level a random Clifford sequence whose first
+/// op is H(0) cancels the leading Hadamard, and the survivor can legally
+/// route to the cheaper classical backend.
+fn routing_engine() -> Engine {
+    Engine::with_config(EngineConfig {
+        opt: OptLevel::Off,
+        ..EngineConfig::default()
+    })
+}
 
 const QUBITS: usize = 3;
 
@@ -117,7 +128,7 @@ proptest! {
         ops in proptest::collection::vec(clifford_op(), 0..14)
     ) {
         let bc = clifford_circuit(&ops);
-        let engine = Engine::new();
+        let engine = routing_engine();
         prop_assert_eq!(engine.select_backend(&bc).unwrap(), "stabilizer");
 
         // Clifford outcome probabilities are multiples of 2^-k, so modest
@@ -140,7 +151,7 @@ proptest! {
         ops in proptest::collection::vec(classical_op(), 0..20)
     ) {
         let bc = classical_circuit(&ops);
-        let engine = Engine::new();
+        let engine = routing_engine();
         prop_assert_eq!(engine.select_backend(&bc).unwrap(), "classical");
 
         let auto = engine.run(&Job::new(&bc).shots(5).seed(3)).unwrap();

@@ -36,6 +36,7 @@ use quipper_circuit::{BCircuit, BoxId, Circuit, Control, Gate, GateName, Wire, W
 
 use crate::diag::Diagnostic;
 use crate::domain::{AbsVal, BExpr};
+use crate::facts::{FactScope, Facts, Redundancy};
 use crate::LintOptions;
 
 /// Rotation families that are diagonal in the computational basis and hence
@@ -112,6 +113,8 @@ pub(crate) struct Analyzer<'a> {
     emit_termination: bool,
     emit_redundancy: bool,
     emit_ancilla: bool,
+    collect_facts: bool,
+    pub facts: Facts,
     pub findings: Vec<Diagnostic>,
     pub proved_terms: usize,
     pub boxes_clean: usize,
@@ -121,7 +124,12 @@ pub(crate) struct Analyzer<'a> {
 
 /// Runs the dataflow passes over `bc`, appending findings and counters to
 /// `report`.
-pub(crate) fn run(bc: &BCircuit, opts: &LintOptions, report: &mut crate::LintReport) {
+pub(crate) fn run(
+    bc: &BCircuit,
+    opts: &LintOptions,
+    report: &mut crate::LintReport,
+    facts: Option<&mut Facts>,
+) {
     let mut a = Analyzer {
         bc,
         summaries: HashMap::new(),
@@ -129,6 +137,8 @@ pub(crate) fn run(bc: &BCircuit, opts: &LintOptions, report: &mut crate::LintRep
         emit_termination: opts.termination,
         emit_redundancy: opts.redundancy,
         emit_ancilla: opts.ancilla,
+        collect_facts: facts.is_some(),
+        facts: Facts::default(),
         findings: Vec::new(),
         proved_terms: 0,
         boxes_clean: 0,
@@ -139,12 +149,21 @@ pub(crate) fn run(bc: &BCircuit, opts: &LintOptions, report: &mut crate::LintRep
         .map(|i| AbsVal::Bool(BExpr::var(i as u32)))
         .collect();
     a.scopes += 1;
-    a.walk("main", &bc.main, inputs, Mode::Emit { is_box: false });
+    a.walk(
+        "main",
+        &bc.main,
+        inputs,
+        Mode::Emit { is_box: false },
+        Some(FactScope::Main),
+    );
     // Lint every box body, even ones unreachable from main: a library of
     // subroutines deserves findings too.
     let ids: Vec<BoxId> = bc.db.iter().map(|(id, _)| id).collect();
     for id in ids {
         a.summary(id, false);
+    }
+    if let Some(facts) = facts {
+        *facts = a.facts;
     }
     report.findings.append(&mut a.findings);
     report.proved_terms += a.proved_terms;
@@ -192,8 +211,17 @@ impl<'a> Analyzer<'a> {
             .map(|i| AbsVal::Bool(BExpr::var(i as u32)))
             .collect();
         self.scopes += 1;
-        let normal = self.walk(&scope, &body, symbolic.clone(), Mode::Emit { is_box: true });
-        let blocked = self.walk(&scope, &body, symbolic, Mode::Blocked);
+        // Facts index into the body *as written*; a reversed body's indices
+        // would mislead a rewriter, so inverted walks record none.
+        let fact_scope = (!inverted).then_some(FactScope::Box(id));
+        let normal = self.walk(
+            &scope,
+            &body,
+            symbolic.clone(),
+            Mode::Emit { is_box: true },
+            fact_scope,
+        );
+        let blocked = self.walk(&scope, &body, symbolic, Mode::Blocked, None);
         self.in_flight.remove(&(id, inverted));
         if normal.clean {
             self.boxes_clean += 1;
@@ -216,6 +244,7 @@ impl<'a> Analyzer<'a> {
         circuit: &Circuit,
         inputs: Vec<AbsVal>,
         mode: Mode,
+        fact_scope: Option<FactScope>,
     ) -> WalkOutcome {
         let mut state: HashMap<Wire, AbsVal> =
             circuit.inputs.iter().map(|&(w, _)| w).zip(inputs).collect();
@@ -241,7 +270,8 @@ impl<'a> Analyzer<'a> {
                     if blocked_region {
                         continue;
                     }
-                    let status = self.resolve_controls(scope, idx, gate, controls, &state, emit);
+                    let status =
+                        self.resolve_controls(scope, idx, gate, controls, &state, emit, fact_scope);
                     apply_unitary(&mut state, name, targets, &status);
                 }
                 Gate::QRot {
@@ -253,7 +283,8 @@ impl<'a> Analyzer<'a> {
                     if blocked_region {
                         continue;
                     }
-                    let status = self.resolve_controls(scope, idx, gate, controls, &state, emit);
+                    let status =
+                        self.resolve_controls(scope, idx, gate, controls, &state, emit, fact_scope);
                     if targets.len() == 1 && DIAGONAL_ROTS.contains(&name.as_ref()) {
                         apply_diagonal(&mut state, targets, &status);
                     } else if targets.len() == 1 {
@@ -266,7 +297,8 @@ impl<'a> Analyzer<'a> {
                     if blocked_region {
                         continue;
                     }
-                    let status = self.resolve_controls(scope, idx, gate, controls, &state, emit);
+                    let status =
+                        self.resolve_controls(scope, idx, gate, controls, &state, emit, fact_scope);
                     apply_diagonal(&mut state, &[], &status);
                 }
                 Gate::QInit { value, wire } | Gate::CInit { value, wire } => {
@@ -336,7 +368,7 @@ impl<'a> Analyzer<'a> {
                     let status = if blocked_region {
                         CtrlStatus::Blocked { witness: Wire(0) }
                     } else {
-                        self.resolve_controls(scope, idx, gate, controls, &state, emit)
+                        self.resolve_controls(scope, idx, gate, controls, &state, emit, fact_scope)
                     };
                     if emit
                         && self.emit_termination
@@ -413,7 +445,9 @@ impl<'a> Analyzer<'a> {
     }
 
     /// Resolves a gate's controls, emitting the no-op-control findings
-    /// (QL031/QL032) when enabled.
+    /// (QL031/QL032) when enabled and recording the matching [`Facts`] when
+    /// a stable scope is available.
+    #[allow(clippy::too_many_arguments)] // mirrors the walk's full context
     fn resolve_controls(
         &mut self,
         scope: &str,
@@ -422,6 +456,7 @@ impl<'a> Analyzer<'a> {
         controls: &[Control],
         state: &HashMap<Wire, AbsVal>,
         emit: bool,
+        fact_scope: Option<FactScope>,
     ) -> CtrlStatus {
         let mut fire: Option<BExpr> = Some(BExpr::constant(true));
         let mut quantum: Vec<Wire> = Vec::new();
@@ -485,6 +520,22 @@ impl<'a> Analyzer<'a> {
                                 if positive { "positive" } else { "negative" }
                             ),
                         ));
+                    }
+                }
+            }
+        }
+        if emit && self.collect_facts {
+            if let Some(fs) = fact_scope {
+                match &status {
+                    CtrlStatus::Blocked { witness } => {
+                        self.facts
+                            .push(fs, idx, Redundancy::NeverFires { witness: *witness });
+                    }
+                    _ => {
+                        if let Some((wire, positive)) = const_true {
+                            self.facts
+                                .push(fs, idx, Redundancy::ConstControl { wire, positive });
+                        }
                     }
                 }
             }

@@ -1,0 +1,166 @@
+//! The control-context pass: structural facts about subroutine bodies and
+//! the call sites that violate them.
+//!
+//! Controls on a boxed call distribute over the body when the call is
+//! flattened, and inversion reverses the body — so a call is only legal if
+//! every gate the body *transitively* reaches supports the operation.
+//! Measurements, discards and classical gates inside a controlled or
+//! reversed call fail at flatten time with a runtime error; this pass
+//! reports them statically, with the offending gate as a witness (QL020,
+//! QL021).
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use quipper_circuit::gate::Controllability;
+use quipper_circuit::{BCircuit, BoxId, Circuit, CircuitDb, Gate};
+
+use crate::diag::Diagnostic;
+
+/// Transitive per-box facts, with a human-readable witness for each.
+struct BoxFacts {
+    /// A gate (possibly in a nested callee) that cannot appear under
+    /// controls.
+    noncontrollable: Option<String>,
+    /// A gate that cannot be reversed.
+    nonreversible: Option<String>,
+}
+
+struct FactsDb<'a> {
+    db: &'a CircuitDb,
+    memo: HashMap<BoxId, Rc<BoxFacts>>,
+    in_flight: HashSet<BoxId>,
+}
+
+impl<'a> FactsDb<'a> {
+    fn facts(&mut self, id: BoxId) -> Rc<BoxFacts> {
+        if let Some(f) = self.memo.get(&id) {
+            return Rc::clone(f);
+        }
+        if !self.in_flight.insert(id) {
+            // Recursive call graph: report nothing rather than guessing.
+            return Rc::new(BoxFacts {
+                noncontrollable: None,
+                nonreversible: None,
+            });
+        }
+        let mut facts = BoxFacts {
+            noncontrollable: None,
+            nonreversible: None,
+        };
+        if let Ok(def) = self.db.get(id) {
+            for gate in &def.circuit.gates {
+                if facts.noncontrollable.is_some() && facts.nonreversible.is_some() {
+                    break;
+                }
+                match gate {
+                    Gate::Subroutine { id: callee, .. } => {
+                        let name = self
+                            .db
+                            .get(*callee)
+                            .map(|d| d.name.clone())
+                            .unwrap_or_else(|_| format!("#{}", callee.0));
+                        let inner = self.facts(*callee);
+                        if facts.noncontrollable.is_none() {
+                            facts.noncontrollable = inner
+                                .noncontrollable
+                                .as_ref()
+                                .map(|w| format!("{w} (via '{name}')"));
+                        }
+                        if facts.nonreversible.is_none() {
+                            facts.nonreversible = inner
+                                .nonreversible
+                                .as_ref()
+                                .map(|w| format!("{w} (via '{name}')"));
+                        }
+                    }
+                    _ => {
+                        if facts.noncontrollable.is_none() && gate_noncontrollable(gate) {
+                            facts.noncontrollable = Some(gate.describe());
+                        }
+                        if facts.nonreversible.is_none() && gate.inverse().is_err() {
+                            facts.nonreversible = Some(gate.describe());
+                        }
+                    }
+                }
+            }
+        }
+        self.in_flight.remove(&id);
+        let f = Rc::new(facts);
+        self.memo.insert(id, Rc::clone(&f));
+        f
+    }
+}
+
+/// Gates that cannot appear inside a controlled region. Classical gates are
+/// nominally `Controllable` in the enum but `with_controls` rejects them
+/// (target-overwrite semantics do not distribute over controls), so they are
+/// treated as non-controllable here too.
+fn gate_noncontrollable(gate: &Gate) -> bool {
+    matches!(gate.controllable(), Controllability::NotControllable)
+        || matches!(gate, Gate::CGate { .. })
+}
+
+/// Scans every call site in `bc` for controlled or inverted calls whose
+/// callee transitively contains a gate the operation cannot handle.
+pub(crate) fn control_pass(bc: &BCircuit, findings: &mut Vec<Diagnostic>) {
+    let mut facts = FactsDb {
+        db: &bc.db,
+        memo: HashMap::new(),
+        in_flight: HashSet::new(),
+    };
+    scan(&mut facts, "main", &bc.main, findings);
+    for (_, def) in bc.db.iter() {
+        scan(&mut facts, &def.name, &def.circuit, findings);
+    }
+}
+
+fn scan(facts: &mut FactsDb<'_>, scope: &str, circuit: &Circuit, findings: &mut Vec<Diagnostic>) {
+    for (idx, gate) in circuit.gates.iter().enumerate() {
+        let Gate::Subroutine {
+            id,
+            inverted,
+            controls,
+            ..
+        } = gate
+        else {
+            continue;
+        };
+        let name = facts
+            .db
+            .get(*id)
+            .map(|d| d.name.clone())
+            .unwrap_or_else(|_| format!("#{}", id.0));
+        let f = facts.facts(*id);
+        if !controls.is_empty() {
+            if let Some(witness) = &f.noncontrollable {
+                findings.push(Diagnostic::new(
+                    "QL020",
+                    scope,
+                    Some(idx),
+                    gate.describe(),
+                    None,
+                    format!(
+                        "controlled call to '{name}' reaches non-controllable {witness}; \
+                         flattening this call will fail"
+                    ),
+                ));
+            }
+        }
+        if *inverted {
+            if let Some(witness) = &f.nonreversible {
+                findings.push(Diagnostic::new(
+                    "QL021",
+                    scope,
+                    Some(idx),
+                    gate.describe(),
+                    None,
+                    format!(
+                        "reversed call to '{name}' reaches irreversible {witness}; \
+                         flattening this call will fail"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,166 +1,123 @@
-//! The control-context pass: structural facts about subroutine bodies and
-//! the call sites that violate them.
+//! Structured redundancy facts: the machine-readable face of QL030–QL032.
 //!
-//! Controls on a boxed call distribute over the body when the call is
-//! flattened, and inversion reverses the body — so a call is only legal if
-//! every gate the body *transitively* reaches supports the operation.
-//! Measurements, discards and classical gates inside a controlled or
-//! reversed call fail at flatten time with a runtime error; this pass
-//! reports them statically, with the offending gate as a witness (QL020,
-//! QL021).
+//! Diagnostics are for humans; optimizers want indices. This module exposes
+//! the redundancy pass's conclusions — cancelling adjacent pairs, constant
+//! controls, statically blocked gates — as plain data keyed by scope and
+//! gate index, so `quipper-opt` (and future passes) consume them directly
+//! instead of string-parsing [`Diagnostic`](crate::Diagnostic) messages.
+//! Facts carry exactly the information needed to act: which gates cancel,
+//! which control to drop, which gate never fires.
+//!
+//! Facts are only recorded for scopes whose indices are stable in the input
+//! IR: `main` and each box body as written. The analyzer also walks
+//! *reversed* box bodies (for inverted call sites), but indices into a
+//! reversed gate list are useless to a rewriter, so those walks record
+//! nothing.
 
-use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use quipper_circuit::{BoxId, Wire};
 
-use quipper_circuit::gate::Controllability;
-use quipper_circuit::{BCircuit, BoxId, Circuit, CircuitDb, Gate};
-
-use crate::diag::Diagnostic;
-
-/// Transitive per-box facts, with a human-readable witness for each.
-struct BoxFacts {
-    /// A gate (possibly in a nested callee) that cannot appear under
-    /// controls.
-    noncontrollable: Option<String>,
-    /// A gate that cannot be reversed.
-    nonreversible: Option<String>,
+/// Where a fact's `gate_index` points: the top-level circuit or a box body.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum FactScope {
+    /// `bc.main.gates`.
+    Main,
+    /// `bc.db.get(id).circuit.gates`.
+    Box(BoxId),
 }
 
-struct FactsDb<'a> {
-    db: &'a CircuitDb,
-    memo: HashMap<BoxId, Rc<BoxFacts>>,
-    in_flight: HashSet<BoxId>,
+/// Why a gate (or one of its controls) is redundant.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Redundancy {
+    /// The gate at `with` (an earlier index in the same scope) is exactly
+    /// this gate's inverse, with no intervening gate touching their wires:
+    /// both can be deleted (QL030).
+    CancelsPair {
+        /// Index of the earlier partner gate.
+        with: usize,
+    },
+    /// This control is statically satisfied on every run and can be dropped
+    /// from the gate (QL031).
+    ConstControl {
+        /// The control wire.
+        wire: Wire,
+        /// Whether the (removable) control is positive.
+        positive: bool,
+    },
+    /// A control is statically violated, so the gate never fires and can be
+    /// deleted outright (QL032).
+    NeverFires {
+        /// A control wire witnessing the violation.
+        witness: Wire,
+    },
 }
 
-impl<'a> FactsDb<'a> {
-    fn facts(&mut self, id: BoxId) -> Rc<BoxFacts> {
-        if let Some(f) = self.memo.get(&id) {
-            return Rc::clone(f);
+/// One redundancy finding in machine-readable form.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Fact {
+    /// Which gate list `gate_index` indexes.
+    pub scope: FactScope,
+    /// The index of the redundant gate in that scope's gate list.
+    pub gate_index: usize,
+    /// Why the gate is redundant.
+    pub reason: Redundancy,
+}
+
+impl Fact {
+    /// The diagnostic code this fact mirrors.
+    pub fn code(&self) -> &'static str {
+        match self.reason {
+            Redundancy::CancelsPair { .. } => "QL030",
+            Redundancy::ConstControl { .. } => "QL031",
+            Redundancy::NeverFires { .. } => "QL032",
         }
-        if !self.in_flight.insert(id) {
-            // Recursive call graph: report nothing rather than guessing.
-            return Rc::new(BoxFacts {
-                noncontrollable: None,
-                nonreversible: None,
-            });
-        }
-        let mut facts = BoxFacts {
-            noncontrollable: None,
-            nonreversible: None,
-        };
-        if let Ok(def) = self.db.get(id) {
-            for gate in &def.circuit.gates {
-                if facts.noncontrollable.is_some() && facts.nonreversible.is_some() {
-                    break;
-                }
-                match gate {
-                    Gate::Subroutine { id: callee, .. } => {
-                        let name = self
-                            .db
-                            .get(*callee)
-                            .map(|d| d.name.clone())
-                            .unwrap_or_else(|_| format!("#{}", callee.0));
-                        let inner = self.facts(*callee);
-                        if facts.noncontrollable.is_none() {
-                            facts.noncontrollable = inner
-                                .noncontrollable
-                                .as_ref()
-                                .map(|w| format!("{w} (via '{name}')"));
-                        }
-                        if facts.nonreversible.is_none() {
-                            facts.nonreversible = inner
-                                .nonreversible
-                                .as_ref()
-                                .map(|w| format!("{w} (via '{name}')"));
-                        }
-                    }
-                    _ => {
-                        if facts.noncontrollable.is_none() && gate_noncontrollable(gate) {
-                            facts.noncontrollable = Some(gate.describe());
-                        }
-                        if facts.nonreversible.is_none() && gate.inverse().is_err() {
-                            facts.nonreversible = Some(gate.describe());
-                        }
-                    }
-                }
-            }
-        }
-        self.in_flight.remove(&id);
-        let f = Rc::new(facts);
-        self.memo.insert(id, Rc::clone(&f));
-        f
     }
 }
 
-/// Gates that cannot appear inside a controlled region. Classical gates are
-/// nominally `Controllable` in the enum but `with_controls` rejects them
-/// (target-overwrite semantics do not distribute over controls), so they are
-/// treated as non-controllable here too.
-fn gate_noncontrollable(gate: &Gate) -> bool {
-    matches!(gate.controllable(), Controllability::NotControllable)
-        || matches!(gate, Gate::CGate { .. })
+/// All redundancy facts for one circuit, sorted by (scope, gate index).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Facts {
+    facts: Vec<Fact>,
 }
 
-/// Scans every call site in `bc` for controlled or inverted calls whose
-/// callee transitively contains a gate the operation cannot handle.
-pub(crate) fn control_pass(bc: &BCircuit, findings: &mut Vec<Diagnostic>) {
-    let mut facts = FactsDb {
-        db: &bc.db,
-        memo: HashMap::new(),
-        in_flight: HashSet::new(),
-    };
-    scan(&mut facts, "main", &bc.main, findings);
-    for (_, def) in bc.db.iter() {
-        scan(&mut facts, &def.name, &def.circuit, findings);
+impl Facts {
+    pub(crate) fn push(&mut self, scope: FactScope, gate_index: usize, reason: Redundancy) {
+        self.facts.push(Fact {
+            scope,
+            gate_index,
+            reason,
+        });
+    }
+
+    pub(crate) fn sort(&mut self) {
+        self.facts.sort_by_key(|f| (f.scope, f.gate_index));
+    }
+
+    /// Every fact, in (scope, gate index) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Fact> {
+        self.facts.iter()
+    }
+
+    /// The facts whose indices point into `scope`'s gate list.
+    pub fn for_scope(&self, scope: FactScope) -> impl Iterator<Item = &Fact> {
+        self.facts.iter().filter(move |f| f.scope == scope)
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the redundancy passes found nothing.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
     }
 }
 
-fn scan(facts: &mut FactsDb<'_>, scope: &str, circuit: &Circuit, findings: &mut Vec<Diagnostic>) {
-    for (idx, gate) in circuit.gates.iter().enumerate() {
-        let Gate::Subroutine {
-            id,
-            inverted,
-            controls,
-            ..
-        } = gate
-        else {
-            continue;
-        };
-        let name = facts
-            .db
-            .get(*id)
-            .map(|d| d.name.clone())
-            .unwrap_or_else(|_| format!("#{}", id.0));
-        let f = facts.facts(*id);
-        if !controls.is_empty() {
-            if let Some(witness) = &f.noncontrollable {
-                findings.push(Diagnostic::new(
-                    "QL020",
-                    scope,
-                    Some(idx),
-                    gate.describe(),
-                    None,
-                    format!(
-                        "controlled call to '{name}' reaches non-controllable {witness}; \
-                         flattening this call will fail"
-                    ),
-                ));
-            }
-        }
-        if *inverted {
-            if let Some(witness) = &f.nonreversible {
-                findings.push(Diagnostic::new(
-                    "QL021",
-                    scope,
-                    Some(idx),
-                    gate.describe(),
-                    None,
-                    format!(
-                        "reversed call to '{name}' reaches irreversible {witness}; \
-                         flattening this call will fail"
-                    ),
-                ));
-            }
-        }
+impl<'a> IntoIterator for &'a Facts {
+    type Item = &'a Fact;
+    type IntoIter = std::slice::Iter<'a, Fact>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.facts.iter()
     }
 }

@@ -52,13 +52,15 @@
 //! ```
 
 mod analyze;
+mod context;
 mod domain;
-mod facts;
 mod structure;
 
 pub mod diag;
+pub mod facts;
 
 pub use diag::{severity_of, Diagnostic, LintReport, LintSummary, Severity, CODES};
+pub use facts::{Fact, FactScope, Facts, Redundancy};
 
 use quipper_circuit::BCircuit;
 
@@ -98,16 +100,43 @@ pub fn lint(bc: &BCircuit) -> LintReport {
 /// deterministic; the run is recorded as a `lint` span in the active
 /// [`quipper_trace`] session, if any.
 pub fn lint_with(bc: &BCircuit, opts: &LintOptions) -> LintReport {
+    run_passes(bc, opts, None)
+}
+
+/// Like [`lint_with`], but additionally returns the redundancy findings
+/// (QL030–QL032) as structured [`Facts`] keyed by scope and gate index, for
+/// consumption by rewrite passes.
+pub fn lint_with_facts(bc: &BCircuit, opts: &LintOptions) -> (LintReport, Facts) {
+    let mut facts = Facts::default();
+    let report = run_passes(bc, opts, Some(&mut facts));
+    facts.sort();
+    (report, facts)
+}
+
+/// The redundancy [`Facts`] alone: runs only the passes that feed
+/// QL030–QL032 and discards the human-readable report. This is the entry
+/// point optimizers use.
+pub fn facts(bc: &BCircuit) -> Facts {
+    let opts = LintOptions {
+        termination: false,
+        ancilla: false,
+        control_context: false,
+        redundancy: true,
+    };
+    lint_with_facts(bc, &opts).1
+}
+
+fn run_passes(bc: &BCircuit, opts: &LintOptions, mut facts: Option<&mut Facts>) -> LintReport {
     let _span = quipper_trace::span(quipper_trace::Phase::Compile, "lint");
     let mut report = LintReport::default();
     if opts.termination || opts.redundancy || opts.ancilla {
-        analyze::run(bc, opts, &mut report);
+        analyze::run(bc, opts, &mut report, facts.as_deref_mut());
     }
     if opts.control_context {
-        facts::control_pass(bc, &mut report.findings);
+        context::control_pass(bc, &mut report.findings);
     }
     if opts.redundancy {
-        structure::redundancy_pass(bc, &mut report.findings);
+        structure::redundancy_pass(bc, &mut report.findings, facts);
     }
     report
         .findings
@@ -303,6 +332,67 @@ mod tests {
             "{r}"
         );
         assert!(codes(&r).contains(&"QL030"));
+    }
+
+    #[test]
+    fn facts_mirror_redundancy_diagnostics() {
+        let bc = Circ::build(&(), |c, ()| {
+            let on = c.qinit_bit(true);
+            let off = c.qinit_bit(false);
+            let t = c.qinit_bit(false);
+            c.cnot(t, on); // const-true control → ConstControl
+            c.cnot(t, off); // blocked control → NeverFires
+            c.hadamard(t);
+            c.hadamard(t); // adjacent pair → CancelsPair
+            c.qdiscard(on);
+            c.qdiscard(off);
+            c.qdiscard(t);
+        });
+        let (report, facts) = lint_with_facts(&bc, &LintOptions::default());
+        // Every fact mirrors a diagnostic with the same code at the same
+        // gate index in main.
+        for fact in &facts {
+            assert_eq!(fact.scope, FactScope::Main);
+            assert!(
+                report
+                    .findings
+                    .iter()
+                    .any(|d| d.code == fact.code() && d.gate_index == Some(fact.gate_index)),
+                "fact {fact:?} has no matching diagnostic"
+            );
+        }
+        let codes: Vec<&str> = facts.iter().map(Fact::code).collect();
+        assert_eq!(codes, ["QL031", "QL032", "QL030"], "{facts:?}");
+        // The cancelling pair points back at its partner.
+        let pair = facts.iter().find(|f| f.code() == "QL030").unwrap();
+        let Redundancy::CancelsPair { with } = pair.reason else {
+            panic!("{pair:?}");
+        };
+        assert_eq!(with + 1, pair.gate_index);
+        // The facts-only entry point agrees with the full run.
+        assert_eq!(super::facts(&bc), facts);
+    }
+
+    #[test]
+    fn facts_are_scoped_to_box_bodies_as_written() {
+        // The pair lives inside a box: its fact must carry the box scope,
+        // with indices into the body as written.
+        let bc = Circ::build(&false, |c, q: Qubit| {
+            c.box_circ("noop", q, |c, q| {
+                c.hadamard(q);
+                c.hadamard(q);
+                q
+            })
+        });
+        let facts = super::facts(&bc);
+        assert_eq!(facts.len(), 1, "{facts:?}");
+        let fact = facts.iter().next().unwrap();
+        let FactScope::Box(id) = fact.scope else {
+            panic!("{fact:?}");
+        };
+        assert_eq!(bc.db.get(id).unwrap().name, "noop");
+        assert_eq!(facts.for_scope(FactScope::Main).count(), 0);
+        assert_eq!(facts.for_scope(fact.scope).count(), 1);
     }
 
     #[test]

@@ -16,18 +16,38 @@ use std::collections::HashMap;
 use quipper_circuit::{BCircuit, Circuit, Control, Gate, Wire};
 
 use crate::diag::Diagnostic;
+use crate::facts::{FactScope, Facts, Redundancy};
 
 /// Sentinel for "this gate already cancelled into an earlier pair".
 const CONSUMED: usize = usize::MAX;
 
-pub(crate) fn redundancy_pass(bc: &BCircuit, findings: &mut Vec<Diagnostic>) {
-    scan("main", &bc.main, findings);
-    for (_, def) in bc.db.iter() {
-        scan(&def.name, &def.circuit, findings);
+pub(crate) fn redundancy_pass(
+    bc: &BCircuit,
+    findings: &mut Vec<Diagnostic>,
+    mut facts: Option<&mut Facts>,
+) {
+    scan(
+        FactScope::Main,
+        "main",
+        &bc.main,
+        findings,
+        facts.as_deref_mut(),
+    );
+    for (id, def) in bc.db.iter() {
+        scan(
+            FactScope::Box(id),
+            &def.name,
+            &def.circuit,
+            findings,
+            facts.as_deref_mut(),
+        );
     }
 }
 
-fn scan(scope: &str, circuit: &Circuit, findings: &mut Vec<Diagnostic>) {
+/// The adjacent gate/adjoint pairs fusion would remove, as `(earlier, later)`
+/// index pairs. Each gate participates in at most one pair.
+pub(crate) fn cancelling_pairs(circuit: &Circuit) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
     // For each wire, the index of the last non-comment gate that touched it.
     let mut last: HashMap<Wire, usize> = HashMap::new();
     for (idx, gate) in circuit.gates.iter().enumerate() {
@@ -55,18 +75,7 @@ fn scan(scope: &str, circuit: &Circuit, findings: &mut Vec<Diagnostic>) {
                 prev_wires.sort_unstable();
                 prev_wires.dedup();
                 if prev_wires == wires && inverse_pair(prev_gate, gate) {
-                    findings.push(Diagnostic::new(
-                        "QL030",
-                        scope,
-                        Some(idx),
-                        gate.describe(),
-                        wires.first().copied().filter(|_| wires.len() == 1),
-                        format!(
-                            "cancels with the adjacent {} at #{p}; the pair is the identity \
-                             and the fuse pass would silently remove it",
-                            prev_gate.describe()
-                        ),
-                    ));
+                    pairs.push((p, idx));
                     consumed = true;
                 }
             }
@@ -74,6 +83,42 @@ fn scan(scope: &str, circuit: &Circuit, findings: &mut Vec<Diagnostic>) {
         let mark = if consumed { CONSUMED } else { idx };
         for w in wires {
             last.insert(w, mark);
+        }
+    }
+    pairs
+}
+
+fn scan(
+    fact_scope: FactScope,
+    scope: &str,
+    circuit: &Circuit,
+    findings: &mut Vec<Diagnostic>,
+    facts: Option<&mut Facts>,
+) {
+    let pairs = cancelling_pairs(circuit);
+    for &(p, idx) in &pairs {
+        let gate = &circuit.gates[idx];
+        let prev_gate = &circuit.gates[p];
+        let mut wires = Vec::new();
+        gate.for_each_wire(&mut |w| wires.push(w));
+        wires.sort_unstable();
+        wires.dedup();
+        findings.push(Diagnostic::new(
+            "QL030",
+            scope,
+            Some(idx),
+            gate.describe(),
+            wires.first().copied().filter(|_| wires.len() == 1),
+            format!(
+                "cancels with the adjacent {} at #{p}; the pair is the identity \
+                 and the fuse pass would silently remove it",
+                prev_gate.describe()
+            ),
+        ));
+    }
+    if let Some(facts) = facts {
+        for (p, idx) in pairs {
+            facts.push(fact_scope, idx, Redundancy::CancelsPair { with: p });
         }
     }
 }

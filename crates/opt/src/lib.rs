@@ -1,0 +1,641 @@
+//! Pass-manager circuit optimizer over the hierarchical circuit IR.
+//!
+//! Quipper (PLDI 2013, §5.4) treats circuits as data to be *transformed*:
+//! the paper's `-f gatecount` pipelines run decomposition and rewriting
+//! passes over circuits far too large to expand. This crate reproduces that
+//! architecture as a [`PassManager`]: an ordered pipeline of scope-local
+//! rewrite passes over [`BCircuit`], each reporting its own gate delta.
+//!
+//! The pipeline (selected by [`OptLevel`]):
+//!
+//! 1. **Facts-seeded cleanup** — consumes the linter's structured
+//!    redundancy facts ([`quipper_lint::facts`], QL030–QL032) instead of
+//!    re-deriving them: deletes statically blocked gates and cancelling
+//!    pairs, drops provably-constant controls.
+//! 2. **Commutation-aware cancellation** — deletes inverse pairs that
+//!    become adjacent after commuting past neighbours
+//!    ([`quipper_circuit::commute`]).
+//! 3. **Rotation merging** — folds runs of same-family rotations on a
+//!    wire into one gate and drops identity rotations and unobservable
+//!    global phases.
+//! 4. **Binary decomposition** (`Aggressive` only) — rewrites to a
+//!    constrained target set where every gate touches at most two wires
+//!    ([`quipper::decompose`]), then re-runs cancellation and merging over
+//!    the expansion.
+//!
+//! Passes preserve hierarchy: a rewrite inside a box body optimizes every
+//! call site at once, which is what makes optimizing trillion-gate
+//! circuits tractable. [`optimize`] is the one-call entry point; it emits
+//! `opt.*` metrics and per-pass `Compile` spans through `quipper-trace`.
+
+mod passes;
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use quipper_circuit::{BCircuit, GateCount};
+use quipper_lint::FactScope;
+use quipper_trace::{names, span, Phase};
+
+/// How hard the optimizer works on a circuit before planning.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum OptLevel {
+    /// No rewriting at all: plans are built from the circuit exactly as
+    /// authored (bit-identical to the pre-optimizer pipeline).
+    Off,
+    /// Facts-seeded cleanup, commutation-aware cancellation and rotation
+    /// merging. Never increases the gate count.
+    #[default]
+    Default,
+    /// Everything in `Default`, then decomposition to the binary target
+    /// set (every gate on at most two wires) with a second cleanup round
+    /// over the expansion. May increase total gates — that is the price
+    /// of the constrained target set.
+    Aggressive,
+}
+
+impl OptLevel {
+    /// The wire-format / CLI name of the level.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OptLevel::Off => "off",
+            OptLevel::Default => "default",
+            OptLevel::Aggressive => "aggressive",
+        }
+    }
+
+    /// Parses the wire-format name back into a level.
+    pub fn parse(s: &str) -> Option<OptLevel> {
+        match s {
+            "off" => Some(OptLevel::Off),
+            "default" => Some(OptLevel::Default),
+            "aggressive" => Some(OptLevel::Aggressive),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One pass's contribution, in hierarchical (multiplied-through-boxes)
+/// gate counts.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PassStats {
+    /// Pass name as it appears in trace spans (`opt.cancel` …).
+    pub name: &'static str,
+    /// Total gates entering the pass.
+    pub gates_before: u128,
+    /// Total gates leaving the pass.
+    pub gates_after: u128,
+    /// Individual rewrites applied (deletions, merges, control drops,
+    /// expansions). A pass can rewrite without shrinking — two rotations
+    /// merging into one is one rewrite, net −1 gate.
+    pub rewrites: u64,
+}
+
+impl PassStats {
+    /// Net gates removed (negative when the pass grew the circuit).
+    pub fn removed(&self) -> i128 {
+        self.gates_before as i128 - self.gates_after as i128
+    }
+}
+
+/// The full result of an optimizer run: per-class counts before and after,
+/// plus per-pass deltas.
+#[derive(Clone, PartialEq, Debug)]
+pub struct OptReport {
+    /// The level the pipeline ran at.
+    pub level: OptLevel,
+    /// One entry per executed pass, in pipeline order.
+    pub passes: Vec<PassStats>,
+    /// Aggregated gate count of the input circuit.
+    pub before: GateCount,
+    /// Aggregated gate count of the optimized circuit.
+    pub after: GateCount,
+    /// Wall time spent in the pipeline.
+    pub elapsed: Duration,
+}
+
+impl OptReport {
+    /// Total gates entering the pipeline.
+    pub fn gates_before(&self) -> u128 {
+        self.before.total()
+    }
+
+    /// Total gates leaving the pipeline.
+    pub fn gates_after(&self) -> u128 {
+        self.after.total()
+    }
+
+    /// Net gates removed by the whole pipeline (negative = grew).
+    pub fn removed(&self) -> i128 {
+        self.gates_before() as i128 - self.gates_after() as i128
+    }
+
+    /// Total rewrites across all passes.
+    pub fn rewrites(&self) -> u64 {
+        self.passes.iter().map(|p| p.rewrites).sum()
+    }
+
+    /// The compact, copyable form carried on execution reports.
+    pub fn summary(&self) -> OptSummary {
+        OptSummary {
+            level: self.level,
+            gates_before: u64::try_from(self.gates_before()).unwrap_or(u64::MAX),
+            gates_after: u64::try_from(self.gates_after()).unwrap_or(u64::MAX),
+            rewrites: self.rewrites(),
+        }
+    }
+}
+
+impl fmt::Display for OptReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "opt({}): {} -> {} gates ({:+}) in {}",
+            self.level,
+            self.gates_before(),
+            self.gates_after(),
+            -self.removed(),
+            quipper_trace::fmt_duration(self.elapsed),
+        )?;
+        for p in &self.passes {
+            writeln!(
+                f,
+                "  {:<14} {:>8} -> {:<8} ({} rewrites)",
+                p.name, p.gates_before, p.gates_after, p.rewrites
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Saturated-to-`u64` digest of an [`OptReport`], small enough to ride on
+/// every `ExecReport`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct OptSummary {
+    /// The level the pipeline ran at.
+    pub level: OptLevel,
+    /// Total gates before, saturated to `u64`.
+    pub gates_before: u64,
+    /// Total gates after, saturated to `u64`.
+    pub gates_after: u64,
+    /// Total rewrites applied.
+    pub rewrites: u64,
+}
+
+impl fmt::Display for OptSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}->{}",
+            self.level, self.gates_before, self.gates_after
+        )
+    }
+}
+
+/// The passes a pipeline can schedule.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum PassKind {
+    FactsCleanup,
+    Cancel,
+    Merge,
+    DecomposeBinary,
+}
+
+impl PassKind {
+    fn name(self) -> &'static str {
+        match self {
+            PassKind::FactsCleanup => "opt.facts",
+            PassKind::Cancel => "opt.cancel",
+            PassKind::Merge => "opt.merge",
+            PassKind::DecomposeBinary => "opt.decompose",
+        }
+    }
+}
+
+/// An ordered pipeline of rewrite passes.
+pub struct PassManager {
+    pipeline: Vec<PassKind>,
+}
+
+impl PassManager {
+    /// The standard pipeline for a level. `Off` is the empty pipeline.
+    pub fn for_level(level: OptLevel) -> PassManager {
+        use PassKind::*;
+        let pipeline = match level {
+            OptLevel::Off => vec![],
+            // The second facts round sees the dataflow that cancellation
+            // and merging exposed (a deleted H·H pair can turn a wire back
+            // into a known constant); the trailing cancel catches pairs
+            // exposed by merges and facts deletions.
+            OptLevel::Default => vec![FactsCleanup, Cancel, Merge, FactsCleanup, Cancel],
+            OptLevel::Aggressive => vec![
+                FactsCleanup,
+                Cancel,
+                Merge,
+                FactsCleanup,
+                Cancel,
+                DecomposeBinary,
+                Cancel,
+                Merge,
+                Cancel,
+            ],
+        };
+        PassManager { pipeline }
+    }
+
+    /// Whether the pipeline schedules no passes.
+    pub fn is_empty(&self) -> bool {
+        self.pipeline.is_empty()
+    }
+
+    /// The scheduled pass names, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.pipeline.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the pipeline, returning the rewritten circuit and one
+    /// [`PassStats`] per executed pass.
+    pub fn run(&self, bc: &BCircuit) -> (BCircuit, Vec<PassStats>) {
+        let mut current = bc.clone();
+        let mut stats = Vec::with_capacity(self.pipeline.len());
+        for &kind in &self.pipeline {
+            let _span = span(Phase::Compile, kind.name());
+            let gates_before = current.gate_count().total();
+            let mut rewrites = 0u64;
+            current = match kind {
+                PassKind::FactsCleanup => passes::facts_cleanup(&current, &mut rewrites),
+                PassKind::Cancel => passes::map_scopes(&current, |_, c| {
+                    passes::cancel_pass(&c.gates, &mut rewrites)
+                }),
+                PassKind::Merge => passes::map_scopes(&current, |scope, c| {
+                    passes::merge_pass(&c.gates, scope == FactScope::Main, &mut rewrites)
+                }),
+                PassKind::DecomposeBinary => {
+                    rewrites = passes::count_wide_gates(&current);
+                    quipper::decompose::decompose(quipper::decompose::GateBase::Binary, &current)
+                }
+            };
+            stats.push(PassStats {
+                name: kind.name(),
+                gates_before,
+                gates_after: current.gate_count().total(),
+                rewrites,
+            });
+        }
+        (current, stats)
+    }
+}
+
+/// Optimizes a circuit at the given level.
+///
+/// `Off` returns a clone of the input untouched (and an empty pass list).
+/// The optimized circuit is structurally valid whenever the input is, and
+/// semantically equivalent up to global phase; the report carries
+/// aggregated gate counts by class before and after, and per-pass deltas.
+pub fn optimize(bc: &BCircuit, level: OptLevel) -> (BCircuit, OptReport) {
+    let start = Instant::now();
+    let _span = span(Phase::Compile, "opt");
+    let before = bc.gate_count();
+    let pm = PassManager::for_level(level);
+    let (out, pass_stats) = if pm.is_empty() {
+        (bc.clone(), Vec::new())
+    } else {
+        pm.run(bc)
+    };
+    let after = if pass_stats.is_empty() {
+        before.clone()
+    } else {
+        out.gate_count()
+    };
+    let report = OptReport {
+        level,
+        passes: pass_stats,
+        before,
+        after,
+        elapsed: start.elapsed(),
+    };
+    quipper_trace::count(
+        names::OPT_GATES_IN,
+        u64::try_from(report.gates_before()).unwrap_or(u64::MAX),
+    );
+    quipper_trace::count(
+        names::OPT_GATES_OUT,
+        u64::try_from(report.gates_after()).unwrap_or(u64::MAX),
+    );
+    quipper_trace::count(
+        names::OPT_REMOVED,
+        u64::try_from(report.removed().max(0)).unwrap_or(u64::MAX),
+    );
+    quipper_trace::count(names::OPT_REWRITES, report.rewrites());
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quipper_circuit::{Circuit, CircuitDb, Control, Gate, GateName, SubDef, Wire, WireType};
+
+    fn q(w: u32) -> (Wire, WireType) {
+        (Wire(w), WireType::Quantum)
+    }
+
+    fn main_only(gates: Vec<Gate>, wires: u32) -> BCircuit {
+        let mut c = Circuit::with_inputs((0..wires).map(q).collect());
+        c.gates = gates;
+        c.outputs = c.inputs.clone();
+        c.recompute_wire_bound();
+        BCircuit {
+            db: CircuitDb::new(),
+            main: c,
+        }
+    }
+
+    fn rz(angle: f64, wire: u32) -> Gate {
+        Gate::QRot {
+            name: "exp(-i%Z)".into(),
+            inverted: false,
+            angle,
+            targets: vec![Wire(wire)],
+            controls: vec![],
+        }
+    }
+
+    #[test]
+    fn off_is_the_identity_pipeline() {
+        let bc = main_only(
+            vec![
+                Gate::unary(GateName::H, Wire(0)),
+                Gate::unary(GateName::H, Wire(0)),
+            ],
+            1,
+        );
+        let (out, report) = optimize(&bc, OptLevel::Off);
+        assert_eq!(out, bc);
+        assert!(report.passes.is_empty());
+        assert_eq!(report.removed(), 0);
+    }
+
+    #[test]
+    fn adjacent_inverse_pairs_cancel() {
+        let bc = main_only(
+            vec![
+                Gate::unary(GateName::H, Wire(0)),
+                Gate::unary(GateName::H, Wire(0)),
+                Gate::cnot(Wire(1), Wire(0)),
+                Gate::cnot(Wire(1), Wire(0)),
+            ],
+            2,
+        );
+        let (out, report) = optimize(&bc, OptLevel::Default);
+        assert!(out.main.gates.is_empty(), "got {:?}", out.main.gates);
+        assert_eq!(report.gates_after(), 0);
+        assert!(report.rewrites() >= 2);
+    }
+
+    #[test]
+    fn cancellation_commutes_past_diagonal_gates() {
+        // T(0) is Z-diagonal on wire 0, as is the CNOT's control there: the
+        // pair of CNOTs cancels through it. The linter's adjacency-only
+        // QL030 cannot see this pair.
+        let bc = main_only(
+            vec![
+                Gate::cnot(Wire(1), Wire(0)),
+                Gate::unary(GateName::T, Wire(0)),
+                Gate::cnot(Wire(1), Wire(0)),
+            ],
+            2,
+        );
+        let (out, _) = optimize(&bc, OptLevel::Default);
+        assert_eq!(out.main.gates, vec![Gate::unary(GateName::T, Wire(0))]);
+    }
+
+    #[test]
+    fn blocking_gates_prevent_unsound_cancellation() {
+        // H Z H is X, not the identity: Z is opaque to H's wire action.
+        let bc = main_only(
+            vec![
+                Gate::unary(GateName::H, Wire(0)),
+                Gate::unary(GateName::Z, Wire(0)),
+                Gate::unary(GateName::H, Wire(0)),
+            ],
+            1,
+        );
+        let (out, report) = optimize(&bc, OptLevel::Default);
+        assert_eq!(out.main.gates.len(), 3);
+        assert_eq!(report.removed(), 0);
+    }
+
+    #[test]
+    fn rotations_merge_and_identities_vanish() {
+        let bc = main_only(
+            vec![
+                rz(0.25, 0),
+                Gate::cnot(Wire(1), Wire(0)), // Z-diagonal on wire 0: transparent
+                rz(-0.25, 0),
+                rz(0.5, 1),
+                rz(0.25, 1),
+            ],
+            2,
+        );
+        let (out, _) = optimize(&bc, OptLevel::Default);
+        assert_eq!(
+            out.main.gates,
+            vec![Gate::cnot(Wire(1), Wire(0)), rz(0.75, 1)]
+        );
+    }
+
+    #[test]
+    fn ry_does_not_drop_at_two_pi() {
+        // Ry(2π) = −I: a global phase that turns relative under controls.
+        let ry = |angle: f64| Gate::QRot {
+            name: "Ry(%)".into(),
+            inverted: false,
+            angle,
+            targets: vec![Wire(0)],
+            controls: vec![],
+        };
+        let tau = std::f64::consts::TAU;
+        let bc = main_only(vec![ry(tau / 2.0), ry(tau / 2.0)], 1);
+        let (out, _) = optimize(&bc, OptLevel::Default);
+        assert_eq!(out.main.gates, vec![ry(tau)]);
+        // At 4π the family really is the identity.
+        let bc = main_only(vec![ry(tau), ry(tau)], 1);
+        let (out, _) = optimize(&bc, OptLevel::Default);
+        assert!(out.main.gates.is_empty());
+    }
+
+    #[test]
+    fn global_phase_drops_in_main_but_not_in_boxes() {
+        let phase = Gate::GPhase {
+            angle: 0.5,
+            controls: vec![],
+        };
+        let bc = main_only(vec![phase.clone()], 1);
+        let (out, _) = optimize(&bc, OptLevel::Default);
+        assert!(out.main.gates.is_empty());
+
+        // Inside a box the phase must survive: a controlled call site
+        // would turn it into a relative phase.
+        let mut db = CircuitDb::new();
+        let mut body = Circuit::with_inputs(vec![q(0)]);
+        body.gates = vec![phase.clone()];
+        body.outputs = body.inputs.clone();
+        let id = db.insert(SubDef {
+            name: "ph".into(),
+            shape: "".into(),
+            circuit: body,
+        });
+        let mut main = Circuit::with_inputs(vec![q(0), q(1)]);
+        main.gates = vec![Gate::Subroutine {
+            id,
+            inverted: false,
+            inputs: vec![Wire(0)],
+            outputs: vec![Wire(0)],
+            controls: vec![Control::positive(Wire(1))],
+            repetitions: 1,
+        }];
+        main.outputs = main.inputs.clone();
+        main.recompute_wire_bound();
+        let bc = BCircuit { db, main };
+        let (out, _) = optimize(&bc, OptLevel::Default);
+        assert_eq!(out.db.get(id).unwrap().circuit.gates, vec![phase]);
+    }
+
+    #[test]
+    fn facts_seeded_cleanup_uses_lint_redundancy() {
+        // An ancilla initialized |1⟩: the control on it is constant-true
+        // (QL031) and a negative control on it never fires (QL032).
+        let a = Wire(1);
+        let bc = main_only(
+            vec![
+                Gate::QInit {
+                    value: true,
+                    wire: a,
+                },
+                Gate::unary(GateName::X, Wire(0))
+                    .with_controls(&[Control::positive(a)])
+                    .unwrap(),
+                Gate::unary(GateName::Z, Wire(0))
+                    .with_controls(&[Control::negative(a)])
+                    .unwrap(),
+                Gate::QTerm {
+                    value: true,
+                    wire: a,
+                },
+            ],
+            1,
+        );
+        let (out, report) = optimize(&bc, OptLevel::Default);
+        assert_eq!(
+            out.main.gates,
+            vec![
+                Gate::QInit {
+                    value: true,
+                    wire: a
+                },
+                Gate::unary(GateName::X, Wire(0)),
+                Gate::QTerm {
+                    value: true,
+                    wire: a
+                },
+            ]
+        );
+        let facts_pass = &report.passes[0];
+        assert_eq!(facts_pass.name, "opt.facts");
+        assert!(facts_pass.rewrites >= 2);
+    }
+
+    #[test]
+    fn box_bodies_optimize_once_for_all_call_sites() {
+        let mut db = CircuitDb::new();
+        let mut body = Circuit::with_inputs(vec![q(0)]);
+        body.gates = vec![
+            Gate::unary(GateName::T, Wire(0)),
+            Gate::unary(GateName::H, Wire(0)),
+            Gate::unary(GateName::H, Wire(0)),
+        ];
+        body.outputs = body.inputs.clone();
+        let id = db.insert(SubDef {
+            name: "b".into(),
+            shape: "".into(),
+            circuit: body,
+        });
+        let mut main = Circuit::with_inputs(vec![q(0)]);
+        main.gates = vec![Gate::Subroutine {
+            id,
+            inverted: false,
+            inputs: vec![Wire(0)],
+            outputs: vec![Wire(0)],
+            controls: vec![],
+            repetitions: 1_000_000,
+        }];
+        main.outputs = main.inputs.clone();
+        let bc = BCircuit { db, main };
+        assert_eq!(bc.gate_count().total(), 3_000_000);
+        let (out, report) = optimize(&bc, OptLevel::Default);
+        assert_eq!(out.db.get(id).unwrap().circuit.gates.len(), 1);
+        assert_eq!(report.gates_after(), 1_000_000);
+        // Ids survived, so the call still resolves.
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn aggressive_decomposes_to_binary_gates() {
+        let bc = main_only(
+            vec![
+                Gate::toffoli(Wire(2), Wire(0), Wire(1)),
+                Gate::unary(GateName::H, Wire(0)),
+            ],
+            3,
+        );
+        let (out, report) = optimize(&bc, OptLevel::Aggressive);
+        out.validate().unwrap();
+        for (_, def) in out.db.iter() {
+            for g in &def.circuit.gates {
+                let mut wires = 0;
+                g.for_each_wire(&mut |_| wires += 1);
+                assert!(wires <= 2, "wide gate survived: {g:?}");
+            }
+        }
+        for g in &out.main.gates {
+            let mut wires = 0;
+            g.for_each_wire(&mut |_| wires += 1);
+            assert!(wires <= 2, "wide gate survived in main: {g:?}");
+        }
+        assert!(report
+            .passes
+            .iter()
+            .any(|p| p.name == "opt.decompose" && p.rewrites >= 1));
+    }
+
+    #[test]
+    fn levels_parse_round_trip() {
+        for level in [OptLevel::Off, OptLevel::Default, OptLevel::Aggressive] {
+            assert_eq!(OptLevel::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(OptLevel::parse("max"), None);
+        assert_eq!(OptLevel::default(), OptLevel::Default);
+    }
+
+    #[test]
+    fn summary_is_compact_and_copy() {
+        let bc = main_only(
+            vec![
+                Gate::unary(GateName::H, Wire(0)),
+                Gate::unary(GateName::H, Wire(0)),
+            ],
+            1,
+        );
+        let (_, report) = optimize(&bc, OptLevel::Default);
+        let s = report.summary();
+        let s2 = s; // Copy
+        assert_eq!(s2.to_string(), "default 2->0");
+        assert_eq!(s.gates_before, 2);
+    }
+}

@@ -1,0 +1,443 @@
+//! The rewrite passes behind the [`PassManager`](crate::PassManager).
+//!
+//! Every pass is scope-local: it rewrites `main` and each box body
+//! independently, never adding, removing or renaming boxes. Because
+//! [`CircuitDb`] assigns ids in insertion order and keys boxes on
+//! `(name, shape)`, rebuilding the database by reinserting the rewritten
+//! bodies in id order reproduces the original ids exactly, so subroutine
+//! calls need no retargeting.
+//!
+//! Soundness note: rewrites inside a box body apply to the body *as
+//! written*. Inverted call sites execute the reversed body, and controlled
+//! call sites push their controls onto every body gate — both distribute
+//! over the rewrites used here (deleting an identity sub-sequence, merging
+//! rotations, dropping a provably-constant control), with one exception:
+//! an *uncontrolled* global phase is only droppable where no caller can
+//! ever control it, i.e. in `main` ([`merge_pass`] takes a flag).
+
+use std::collections::{HashMap, HashSet};
+
+use quipper_circuit::commute::{commutes_with, same_control_set, wire_actions};
+use quipper_circuit::{BCircuit, Circuit, CircuitDb, Gate, SubDef, Wire};
+use quipper_lint::{FactScope, Redundancy};
+
+/// How far a look-back scan walks past commuting gates before giving up.
+/// Bounds worst-case sweep cost at `LOOKBACK * gates` per scope.
+const LOOKBACK: usize = 32;
+
+/// Angle slop below which a rotation is treated as the identity. Exact
+/// cancellations (`θ + (−θ)`, `π/4 · 8`) land on zero or an exact period
+/// multiple; this only absorbs the last few ulps of float error.
+const EPS: f64 = 1e-12;
+
+/// Applies `rewrite` to every scope — each box body, then `main` — and
+/// reassembles a hierarchy with identical box ids.
+pub(crate) fn map_scopes(
+    bc: &BCircuit,
+    mut rewrite: impl FnMut(FactScope, &Circuit) -> Vec<Gate>,
+) -> BCircuit {
+    let mut db = CircuitDb::new();
+    for (id, def) in bc.db.iter() {
+        let mut circuit = Circuit {
+            inputs: def.circuit.inputs.clone(),
+            gates: rewrite(FactScope::Box(id), &def.circuit),
+            outputs: def.circuit.outputs.clone(),
+            wire_bound: def.circuit.wire_bound,
+        };
+        circuit.recompute_wire_bound();
+        let new_id = db.insert(SubDef {
+            name: def.name.clone(),
+            shape: def.shape.clone(),
+            circuit,
+        });
+        debug_assert_eq!(new_id, id, "box ids must survive a scope-local rewrite");
+    }
+    let mut main = Circuit {
+        inputs: bc.main.inputs.clone(),
+        gates: rewrite(FactScope::Main, &bc.main),
+        outputs: bc.main.outputs.clone(),
+        wire_bound: bc.main.wire_bound,
+    };
+    main.recompute_wire_bound();
+    BCircuit { db, main }
+}
+
+// ---------------------------------------------------------------------
+// Facts-seeded cleanup (lint QL030–QL032)
+// ---------------------------------------------------------------------
+
+/// Whether a gate may be deleted outright when a fact proves it redundant.
+/// Subroutine calls are excluded: a pair/never-fires fact about a call is
+/// sound, but deleting calls can orphan box definitions and confuses
+/// resource accounting — leave them to the linter's human-facing report.
+fn deletable(gate: &Gate) -> bool {
+    matches!(
+        gate,
+        Gate::QGate { .. } | Gate::QRot { .. } | Gate::GPhase { .. }
+    )
+}
+
+/// Removes the controls that `drops` proved constant-true.
+fn drop_controls(gate: &Gate, drops: &[(Wire, bool)], rewrites: &mut u64) -> Gate {
+    let mut g = gate.clone();
+    let controls = match &mut g {
+        Gate::QGate { controls, .. }
+        | Gate::QRot { controls, .. }
+        | Gate::GPhase { controls, .. }
+        | Gate::Subroutine { controls, .. } => controls,
+        _ => return g,
+    };
+    for &(wire, positive) in drops {
+        if let Some(pos) = controls
+            .iter()
+            .position(|c| c.wire == wire && c.positive == positive)
+        {
+            controls.remove(pos);
+            *rewrites += 1;
+        }
+    }
+    g
+}
+
+/// Consumes the linter's redundancy facts (QL030 cancelling pairs, QL031
+/// constant controls, QL032 statically blocked gates) and applies them in a
+/// single sweep per scope, so every fact index stays valid while it is
+/// acted on.
+pub(crate) fn facts_cleanup(bc: &BCircuit, rewrites: &mut u64) -> BCircuit {
+    let facts = quipper_lint::facts(bc);
+    if facts.is_empty() {
+        return bc.clone();
+    }
+    map_scopes(bc, |scope, circuit| {
+        let mut delete: HashSet<usize> = HashSet::new();
+        let mut drops: HashMap<usize, Vec<(Wire, bool)>> = HashMap::new();
+        // Blocked gates first: a never-firing gate is deleted regardless of
+        // any pair it participates in.
+        for fact in facts.for_scope(scope) {
+            if let Redundancy::NeverFires { .. } = fact.reason {
+                if deletable(&circuit.gates[fact.gate_index]) {
+                    delete.insert(fact.gate_index);
+                }
+            }
+        }
+        // Cancelling pairs drop both ends, but only when neither end was
+        // already deleted — deleting one survivor of a half-dead pair would
+        // change semantics.
+        for fact in facts.for_scope(scope) {
+            if let Redundancy::CancelsPair { with } = fact.reason {
+                let (a, b) = (with, fact.gate_index);
+                if !delete.contains(&a)
+                    && !delete.contains(&b)
+                    && deletable(&circuit.gates[a])
+                    && deletable(&circuit.gates[b])
+                {
+                    delete.insert(a);
+                    delete.insert(b);
+                }
+            }
+        }
+        for fact in facts.for_scope(scope) {
+            if let Redundancy::ConstControl { wire, positive } = fact.reason {
+                if !delete.contains(&fact.gate_index) {
+                    drops
+                        .entry(fact.gate_index)
+                        .or_default()
+                        .push((wire, positive));
+                }
+            }
+        }
+        let mut gates = Vec::with_capacity(circuit.gates.len());
+        for (idx, gate) in circuit.gates.iter().enumerate() {
+            if delete.contains(&idx) {
+                *rewrites += 1;
+                continue;
+            }
+            match drops.get(&idx) {
+                Some(d) => gates.push(drop_controls(gate, d, rewrites)),
+                None => gates.push(gate.clone()),
+            }
+        }
+        gates
+    })
+}
+
+// ---------------------------------------------------------------------
+// Commutation-aware cancellation
+// ---------------------------------------------------------------------
+
+/// Canonical form for inverse matching: controls sorted, and the inversion
+/// flag cleared on self-inverse named gates (`X⁻¹` *is* `X`).
+fn canon(gate: &Gate) -> Gate {
+    let mut g = gate.clone();
+    match &mut g {
+        Gate::QGate {
+            name,
+            inverted,
+            controls,
+            ..
+        } => {
+            if name.is_self_inverse() {
+                *inverted = false;
+            }
+            controls.sort_unstable();
+        }
+        Gate::QRot { controls, .. } | Gate::GPhase { controls, .. } => controls.sort_unstable(),
+        _ => {}
+    }
+    g
+}
+
+/// Whether `prev · g = I`: `prev`'s inverse equals `g` up to control order.
+fn cancels(prev: &Gate, g: &Gate) -> bool {
+    if !deletable(prev) {
+        return false;
+    }
+    match prev.inverse() {
+        Ok(inv) => canon(&inv) == canon(g),
+        Err(_) => false,
+    }
+}
+
+/// Deletes inverse pairs that become adjacent after commuting one gate of
+/// the pair past provably-commuting neighbours, sweeping to a fixpoint.
+/// Strictly more powerful than the linter's QL030 (which requires the pair
+/// to be wire-adjacent): `T(q1)` between `H(q0) H(q0)` hides nothing, and
+/// a CNOT chain sharing only controls commutes out of the way.
+pub(crate) fn cancel_pass(gates: &[Gate], rewrites: &mut u64) -> Vec<Gate> {
+    let mut current = gates.to_vec();
+    loop {
+        let before = current.len();
+        current = cancel_sweep(current, rewrites);
+        if current.len() == before {
+            return current;
+        }
+    }
+}
+
+fn cancel_sweep(gates: Vec<Gate>, rewrites: &mut u64) -> Vec<Gate> {
+    let mut out: Vec<Gate> = Vec::with_capacity(gates.len());
+    'next: for g in gates {
+        if deletable(&g) {
+            let actions = wire_actions(&g);
+            let mut idx = out.len();
+            let mut steps = 0usize;
+            while idx > 0 && steps < LOOKBACK {
+                idx -= 1;
+                steps += 1;
+                let prev = &out[idx];
+                if matches!(prev, Gate::Comment { .. }) {
+                    continue;
+                }
+                if cancels(prev, &g) {
+                    out.remove(idx);
+                    *rewrites += 1;
+                    continue 'next;
+                }
+                if !commutes_with(&actions, prev) {
+                    break;
+                }
+            }
+        }
+        out.push(g);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rotation / phase merging
+// ---------------------------------------------------------------------
+
+/// The identity period of an angle-additive rotation family, in the same
+/// units the simulator interprets: `exp(-i%Z)` and `R(%)` repeat at 2π,
+/// `Ry(%)` only at 4π (2π is a global −1, which is *relative* under
+/// controls), and `R(2pi/%)`'s parameter is an exponent, not additive.
+fn additive_period(name: &str) -> Option<f64> {
+    match name {
+        "exp(-i%Z)" | "R(%)" => Some(std::f64::consts::TAU),
+        "Ry(%)" => Some(2.0 * std::f64::consts::TAU),
+        _ => None,
+    }
+}
+
+/// The dagger flag folds into the angle for additive families.
+fn signed_angle(angle: f64, inverted: bool) -> f64 {
+    if inverted {
+        -angle
+    } else {
+        angle
+    }
+}
+
+/// Whether `angle` is within [`EPS`] of a multiple of `period`.
+fn is_identity_angle(angle: f64, period: f64) -> bool {
+    let r = angle.rem_euclid(period);
+    r < EPS || period - r < EPS
+}
+
+/// Merges `g` into a matching earlier rotation: same family, same single
+/// target, same control set. Returns `Some(None)` when the sum is the
+/// identity, `Some(Some(m))` to replace the earlier gate with the merged
+/// rotation, `None` when the gates don't merge.
+fn merge_rot(prev: &Gate, g: &Gate, period: f64) -> Option<Option<Gate>> {
+    let (
+        Gate::QRot {
+            name: pn,
+            inverted: pi,
+            angle: pa,
+            targets: pt,
+            controls: pc,
+        },
+        Gate::QRot {
+            name: gn,
+            inverted: gi,
+            angle: ga,
+            targets: gt,
+            controls: gc,
+        },
+    ) = (prev, g)
+    else {
+        return None;
+    };
+    if pn != gn || pt != gt || !same_control_set(pc, gc) {
+        return None;
+    }
+    let sum = signed_angle(*pa, *pi) + signed_angle(*ga, *gi);
+    if is_identity_angle(sum, period) {
+        return Some(None);
+    }
+    Some(Some(Gate::QRot {
+        name: pn.clone(),
+        inverted: false,
+        angle: sum,
+        targets: pt.clone(),
+        controls: pc.clone(),
+    }))
+}
+
+/// [`merge_rot`] for controlled global phases (π units, period 2).
+fn merge_phase(prev: &Gate, g: &Gate) -> Option<Option<Gate>> {
+    let (
+        Gate::GPhase {
+            angle: pa,
+            controls: pc,
+        },
+        Gate::GPhase {
+            angle: ga,
+            controls: gc,
+        },
+    ) = (prev, g)
+    else {
+        return None;
+    };
+    if !same_control_set(pc, gc) {
+        return None;
+    }
+    let sum = pa + ga;
+    if is_identity_angle(sum, 2.0) {
+        return Some(None);
+    }
+    Some(Some(Gate::GPhase {
+        angle: sum,
+        controls: pc.clone(),
+    }))
+}
+
+/// Folds runs of same-family rotations on a wire (commuting past unrelated
+/// gates), drops rotations whose angle reduces to the identity, and — in
+/// `main` only, where no caller can ever attach controls — discards
+/// uncontrolled global phases outright.
+pub(crate) fn merge_pass(gates: &[Gate], in_main: bool, rewrites: &mut u64) -> Vec<Gate> {
+    let mut current = gates.to_vec();
+    loop {
+        let before = current.len();
+        current = merge_sweep(current, in_main, rewrites);
+        if current.len() == before {
+            return current;
+        }
+    }
+}
+
+fn merge_sweep(gates: Vec<Gate>, in_main: bool, rewrites: &mut u64) -> Vec<Gate> {
+    let mut out: Vec<Gate> = Vec::with_capacity(gates.len());
+    'next: for g in gates {
+        let merge: Option<(f64, bool)> = match &g {
+            Gate::QRot {
+                name,
+                inverted,
+                angle,
+                targets,
+                ..
+            } if targets.len() == 1 => additive_period(name.as_ref()).map(|period| {
+                (
+                    period,
+                    is_identity_angle(signed_angle(*angle, *inverted), period),
+                )
+            }),
+            Gate::GPhase { angle, controls } => {
+                if in_main && controls.is_empty() {
+                    // A truly global phase is unobservable.
+                    *rewrites += 1;
+                    continue;
+                }
+                Some((2.0, is_identity_angle(*angle, 2.0)))
+            }
+            _ => None,
+        };
+        if let Some((period, identity)) = merge {
+            if identity {
+                *rewrites += 1;
+                continue;
+            }
+            let actions = wire_actions(&g);
+            let mut idx = out.len();
+            let mut steps = 0usize;
+            while idx > 0 && steps < LOOKBACK {
+                idx -= 1;
+                steps += 1;
+                let prev = &out[idx];
+                if matches!(prev, Gate::Comment { .. }) {
+                    continue;
+                }
+                let merged = match &g {
+                    Gate::GPhase { .. } => merge_phase(prev, &g),
+                    _ => merge_rot(prev, &g, period),
+                };
+                if let Some(replacement) = merged {
+                    out.remove(idx);
+                    *rewrites += 1;
+                    if let Some(m) = replacement {
+                        out.insert(idx, m);
+                    }
+                    continue 'next;
+                }
+                if !commutes_with(&actions, prev) {
+                    break;
+                }
+            }
+        }
+        out.push(g);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decomposition accounting
+// ---------------------------------------------------------------------
+
+/// Counts gates the binary decomposition will have to expand: anything
+/// touching more than two wires. Purely informational (per-pass rewrite
+/// stats); the expansion itself is `quipper::decompose`.
+pub(crate) fn count_wide_gates(bc: &BCircuit) -> u64 {
+    let wide = |c: &Circuit| -> u64 {
+        c.gates
+            .iter()
+            .filter(|g| !matches!(g, Gate::Subroutine { .. } | Gate::Comment { .. }))
+            .filter(|g| {
+                let mut wires = 0u64;
+                g.for_each_wire(&mut |_| wires += 1);
+                wires > 2
+            })
+            .count() as u64
+    };
+    bc.db.iter().map(|(_, def)| wide(&def.circuit)).sum::<u64>() + wide(&bc.main)
+}

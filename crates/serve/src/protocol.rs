@@ -6,8 +6,9 @@
 //! | op        | fields                                                        |
 //! |-----------|---------------------------------------------------------------|
 //! | `submit`  | `circuit` (catalog name), `tenant`, `shots`, `seed`, `label`, |
-//! |           | `priority`, `deadline_ms`, `inputs` (array of 0/1) — all      |
-//! |           | optional except `circuit`                                     |
+//! |           | `priority`, `deadline_ms`, `inputs` (array of 0/1), `opt`     |
+//! |           | (`"off"`/`"default"`/`"aggressive"`, defaults to the engine's |
+//! |           | configured level) — all optional except `circuit`             |
 //! | `status`  | `id`                                                          |
 //! | `result`  | `id` — histogram + report once completed                      |
 //! | `cancel`  | `id`                                                          |
@@ -233,6 +234,16 @@ fn handle_submit(service: &Service, catalog: &Catalog, req: &Json) -> Handled {
     if let Some(ms) = get_u64(req, "deadline_ms") {
         submission = submission.deadline(std::time::Duration::from_millis(ms));
     }
+    if let Some(spec) = req.get("opt").and_then(Json::as_str) {
+        match quipper_exec::OptLevel::parse(spec) {
+            Some(level) => submission = submission.opt(level),
+            None => {
+                return err(&format!(
+                    "unknown opt level {spec:?} (off/default/aggressive)"
+                ))
+            }
+        }
+    }
     match service.submit(submission) {
         Ok(id) => ok(&format!("\"id\":{id}")),
         Err(rejection) => {
@@ -289,7 +300,7 @@ mod tests {
         let resp = handle_ok(
             &service,
             &catalog,
-            r#"{"op":"submit","circuit":"ghz3","tenant":"t","shots":32,"seed":7,"label":"demo"}"#,
+            r#"{"op":"submit","circuit":"ghz3","tenant":"t","shots":32,"seed":7,"label":"demo","opt":"aggressive"}"#,
         );
         let id = resp.get("id").and_then(Json::as_num).unwrap() as u64;
         service.drain();
@@ -327,6 +338,7 @@ mod tests {
             r#"{"missing":"op"}"#,
             r#"{"op":"warp"}"#,
             r#"{"op":"submit","circuit":"nope"}"#,
+            r#"{"op":"submit","circuit":"ghz3","opt":"extreme"}"#,
             r#"{"op":"result","id":999}"#,
         ] {
             let handled = handle_line(&service, &catalog, line);

@@ -28,7 +28,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use quipper_circuit::BCircuit;
-use quipper_exec::{CancelReason, CancelToken, Engine, ExecError, ExecResult, Job};
+use quipper_exec::{CancelReason, CancelToken, Engine, ExecError, ExecResult, Job, OptLevel};
 use quipper_trace::{names, Tracer};
 
 use crate::queue::{AdmissionQueue, QueueEntry};
@@ -62,6 +62,9 @@ pub struct Submission {
     pub deadline: Option<Duration>,
     /// Pin to a named backend instead of auto-routing.
     pub backend: Option<String>,
+    /// Optimizer level for this job; `None` uses the engine's configured
+    /// level.
+    pub opt: Option<OptLevel>,
 }
 
 impl Submission {
@@ -77,6 +80,7 @@ impl Submission {
             priority: 0,
             deadline: None,
             backend: None,
+            opt: None,
         }
     }
 
@@ -113,6 +117,12 @@ impl Submission {
     /// Sets a deadline relative to admission.
     pub fn deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Overrides the engine's optimizer level for this job.
+    pub fn opt(mut self, level: OptLevel) -> Self {
+        self.opt = Some(level);
         self
     }
 }
@@ -647,13 +657,16 @@ fn worker_loop(inner: &Inner) {
             continue;
         }
 
-        // Coalesced compile: one concurrent compile per fingerprint; the
-        // followers wait, then hit the plan cache.
-        let fingerprint = record.submission.circuit.fingerprint();
-        match inner.coalescer.begin(fingerprint) {
+        // Coalesced compile: one concurrent compile per (fingerprint, opt
+        // level) — the plan cache keys plans that way too; the followers
+        // wait, then hit the plan cache.
+        let level = record.submission.opt.unwrap_or(inner.engine.opt_level());
+        let key = record.submission.circuit.fingerprint()
+            ^ (level as u64).wrapping_mul(0x9e3779b97f4a7c15);
+        match inner.coalescer.begin(key) {
             CompileRole::Leader(flight) => {
-                let compiled = inner.engine.plan(&record.submission.circuit);
-                inner.coalescer.finish(fingerprint, &flight);
+                let compiled = inner.engine.plan_with(&record.submission.circuit, level);
+                inner.coalescer.finish(key, &flight);
                 if let Err(e) = compiled {
                     finalize(inner, &record, JobState::Failed(e.to_string()));
                     continue;
@@ -694,6 +707,9 @@ fn run_admitted(inner: &Inner, record: &JobRecord) {
             .cancel_token(record.token.clone());
         if let Some(backend) = &sub.backend {
             job = job.on_backend(backend);
+        }
+        if let Some(level) = sub.opt {
+            job = job.opt(level);
         }
         // Shots run sequentially on this worker: the service parallelizes
         // across jobs, and per-shot seeds make the outcome schedule-free.

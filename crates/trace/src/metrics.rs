@@ -67,6 +67,17 @@ pub mod names {
     /// Max-gauge: admission-queue depth high-water mark.
     pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 
+    /// Gates entering the optimizer pipeline.
+    pub const OPT_GATES_IN: &str = "opt.gates_in";
+    /// Gates leaving the optimizer pipeline.
+    pub const OPT_GATES_OUT: &str = "opt.gates_out";
+    /// Gates removed across all optimizer passes (pipelines that *grow* a
+    /// circuit, e.g. pure decomposition, add nothing here).
+    pub const OPT_REMOVED: &str = "opt.removed";
+    /// Individual rewrites applied (cancellations, merges, control drops,
+    /// decomposition expansions).
+    pub const OPT_REWRITES: &str = "opt.rewrites";
+
     /// State-vector kernel dispatches by class.
     pub const KERNEL_DIAGONAL: &str = "sim.kernel.diagonal";
     pub const KERNEL_PERMUTATION: &str = "sim.kernel.permutation";

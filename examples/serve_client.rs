@@ -87,14 +87,21 @@ fn main() {
         } else {
             ("bob", "teleportation")
         };
+        // Cycle the per-job optimizer level so the batch exercises every
+        // pipeline (and every plan-cache key) the server offers.
+        let opt = ["off", "default", "aggressive"][i % 3];
         // Modest shot counts: a fault-injecting server fails a whole job
         // attempt with probability 1-(1-P)^shots, so shots trade off against
         // the server's --retry-attempts budget.
         let resp = client.call_ok(&format!(
-            r#"{{"op":"submit","circuit":"{circuit}","tenant":"{tenant}","shots":24,"seed":{i},"label":"batch-{i}"}}"#
+            r#"{{"op":"submit","circuit":"{circuit}","tenant":"{tenant}","shots":24,"seed":{i},"label":"batch-{i}","opt":"{opt}"}}"#
         ));
         ids.push(field_u64(&resp, "id"));
     }
+
+    // A bogus optimizer level is refused at the door.
+    let bad = client.call(r#"{"op":"submit","circuit":"ghz5","opt":"extreme"}"#);
+    assert_eq!(bad.get("ok"), Some(&Json::Bool(false)), "{bad:?}");
 
     // One deliberately huge job to cancel mid-flight.
     let victim = field_u64(

@@ -1,0 +1,98 @@
+//! Golden-file tests for OpenQASM 2.0 exports of *optimized* circuits.
+//!
+//! Each named circuit from the serve catalog is run through the aggressive
+//! optimizer pipeline — whose final stages decompose to the binary target
+//! gate set — and the export is compared byte-for-byte against
+//! `tests/golden/<name>.opt.qasm`. Beyond pinning the optimizer's exact
+//! output, the test proves the constrained target set: every quantum
+//! statement in the export names at most two qubits (no `ccx`, no
+//! multi-controlled anything).
+//!
+//! To re-bless after an *intentional* optimizer or exporter change:
+//!
+//! ```text
+//! QASM_BLESS=1 cargo test --test opt_qasm_golden
+//! ```
+
+use std::path::PathBuf;
+
+use quipper_circuit::qasm::to_qasm;
+use quipper_opt::{optimize, OptLevel};
+use quipper_serve::catalog::Catalog;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.opt.qasm"))
+}
+
+/// Number of distinct `q[i]` operands in one QASM statement.
+fn qubit_operands(line: &str) -> usize {
+    line.match_indices("q[").count()
+}
+
+fn check(name: &str) {
+    let catalog = Catalog::new();
+    let circuit = catalog
+        .get(name)
+        .unwrap_or_else(|| panic!("no circuit {name}"));
+    let (optimized, report) = optimize(&circuit, OptLevel::Aggressive);
+    optimized.validate().unwrap();
+    assert_eq!(report.level, OptLevel::Aggressive);
+    let qasm =
+        to_qasm(&optimized).unwrap_or_else(|e| panic!("optimized {name} does not export: {e}"));
+
+    // The binary target set, as exported: no statement may touch three or
+    // more qubits.
+    for line in qasm.lines() {
+        assert!(
+            qubit_operands(line) <= 2,
+            "{name}: statement exceeds the binary gate set: {line}"
+        );
+    }
+
+    let path = golden_path(name);
+    if std::env::var_os("QASM_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &qasm).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with QASM_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        qasm, expected,
+        "optimized {name} drifted from its golden file; if intentional, re-bless with QASM_BLESS=1"
+    );
+}
+
+/// Teleportation: the classically-controlled corrections survive the
+/// optimizer untouched while the unitary prefix is cleaned up.
+#[test]
+fn teleportation_opt_matches_golden() {
+    check("teleportation");
+}
+
+/// Grover over 3 qubits: the oracle's Toffolis decompose into the binary
+/// set, which is what makes the ≤2-operand assertion non-vacuous.
+#[test]
+fn grover3_opt_matches_golden() {
+    check("grover3");
+}
+
+/// GHZ: already binary and irreducible; the export pins that the pipeline
+/// leaves it alone.
+#[test]
+fn ghz3_opt_matches_golden() {
+    check("ghz3");
+}
+
+/// QFT over 4 qubits: the controlled-phase cascade is already binary but
+/// rotation merging sees adjacent diagonal runs.
+#[test]
+fn qft4_opt_matches_golden() {
+    check("qft4");
+}
