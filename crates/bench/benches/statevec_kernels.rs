@@ -1,11 +1,19 @@
-//! Before/after benchmark of the state-vector kernel rewrite: the pre-PR
-//! full-scan implementation (`run_flat_reference`) against the kernel path
-//! (pair-stride iteration, diagonal/permutation specialization, controlled
-//! sub-cube enumeration, single-qubit gate fusion) on three workloads:
+//! Before/after benchmark of the state-vector memory-bandwidth rewrite.
+//! Three executor generations run on each workload:
+//!
+//! * `reference` — the pre-kernel full-scan implementation
+//!   (`run_flat_reference`);
+//! * `pr2` — the first kernel path (pair-stride iteration, kernel classes,
+//!   1q fusion) with the bandwidth features disabled;
+//! * `kernels` — the current path: 2q fusion, cache-blocked gate windows,
+//!   SIMD complex arithmetic, swap relabeling.
+//!
+//! Workloads:
 //!
 //! * `mixed` — a wide mixed-gate circuit (fusible 1q runs, a CNOT ring,
-//!   Toffolis, QFT-style rotations), the ISSUE's 20-qubit acceptance
-//!   workload;
+//!   Toffolis, QFT-style rotations), the acceptance workload, plus a
+//!   24-qubit tier (`mixed24`, full mode only) where the state no longer
+//!   fits in L2 and blocking is what keeps it fed;
 //! * `grover` — the Grover search circuit over an 8-bit oracle;
 //! * `qft_add` — the Fourier-basis adder from `quipper-arith` (`add_tf`),
 //!   whose controlled rotations exercise the diagonal sub-cube kernel.
@@ -14,9 +22,11 @@
 //! full runs, which is the right statistic for a before/after ratio. Env
 //! knobs:
 //!
-//! * `BENCH_QUICK=1` — small widths, fewer iterations, and a hard assert
-//!   that the kernel path is faster (the CI smoke test: the hot path cannot
-//!   silently regress to scan-everything);
+//! * `BENCH_QUICK=1` — small widths, fewer iterations, and hard asserts
+//!   that the kernel path beats the scan path *and* the blocked+SIMD path
+//!   beats the PR 2 kernel path on the mixed workload (the CI smoke);
+//! * `BENCH_ABLATION=1` — also time the mixed workload with blocking off,
+//!   SIMD off, and both off (the numbers quoted in EXPERIMENTS.md);
 //! * `BENCH_STATEVEC_WRITE=1` — rewrite `BENCH_statevec.json` at the repo
 //!   root with the measured numbers.
 
@@ -31,6 +41,7 @@ use quipper_circuit::count::max_alive;
 use quipper_circuit::flatten::inline_all;
 use quipper_circuit::{BCircuit, Circuit};
 use quipper_sim::statevec::{run_flat_reference, run_flat_with, StateVecConfig};
+use quipper_sim::KernelStats;
 
 /// The mixed-gate workload: per layer, an H·T run on every wire (fusible),
 /// a CNOT ring, a Toffoli ladder, and R(2π/2ᵏ) rotations.
@@ -67,22 +78,47 @@ fn qft_add(width: usize) -> BCircuit {
     )
 }
 
+/// The PR 2 kernel configuration: pair-stride kernels and 1q fusion only —
+/// no 2q fusion, no windows, no SIMD, no swap relabeling.
+fn pr2_config() -> StateVecConfig {
+    StateVecConfig {
+        fuse_2q: false,
+        simd: false,
+        window: false,
+        swap_relabel: false,
+        ..StateVecConfig::default()
+    }
+}
+
 struct Measurement {
     name: &'static str,
     qubits: usize,
     gates: usize,
-    reference: Duration,
+    /// Full-scan baseline; `None` on tiers too slow to scan (mixed24).
+    reference: Option<Duration>,
+    pr2: Duration,
     kernels: Duration,
+    stats: KernelStats,
 }
 
 impl Measurement {
-    fn speedup(&self) -> f64 {
-        self.reference.as_secs_f64() / self.kernels.as_secs_f64()
+    fn speedup_vs_reference(&self) -> Option<f64> {
+        self.reference
+            .map(|r| r.as_secs_f64() / self.kernels.as_secs_f64())
+    }
+
+    fn speedup_vs_pr2(&self) -> f64 {
+        self.pr2.as_secs_f64() / self.kernels.as_secs_f64()
     }
 
     /// Gates executed per second on the kernel path.
     fn gate_rate(&self) -> f64 {
         self.gates as f64 / self.kernels.as_secs_f64()
+    }
+
+    /// Kernel dispatches per second for one class count.
+    fn class_rate(&self, dispatches: u64) -> f64 {
+        dispatches as f64 / self.kernels.as_secs_f64()
     }
 }
 
@@ -99,32 +135,60 @@ fn time(iters: usize, mut f: impl FnMut()) -> Duration {
         .unwrap()
 }
 
-fn measure(name: &'static str, bc: &BCircuit, inputs: &[bool], iters: usize) -> Measurement {
+fn measure(
+    name: &'static str,
+    bc: &BCircuit,
+    inputs: &[bool],
+    iters: usize,
+    with_reference: bool,
+) -> Measurement {
     let flat: Circuit = inline_all(&bc.db, &bc.main).unwrap();
     let gates = flat.gates.len();
     let qubits = max_alive(&bc.db, &bc.main).quantum as usize;
-    let reference = time(iters, || {
-        run_flat_reference(&flat, inputs, 1).unwrap();
+    // Prime the allocator and page state at this width before timing
+    // anything, so the first config measured is not charged for fresh-page
+    // faults the later ones avoid.
+    run_flat_with(&flat, inputs, 1, StateVecConfig::default()).unwrap();
+    let reference = with_reference.then(|| {
+        time(iters, || {
+            run_flat_reference(&flat, inputs, 1).unwrap();
+        })
+    });
+    let pr2 = time(iters, || {
+        run_flat_with(&flat, inputs, 1, pr2_config()).unwrap();
     });
     let cfg = StateVecConfig::default();
     let kernels = time(iters, || {
         run_flat_with(&flat, inputs, 1, cfg).unwrap();
     });
+    let stats = run_flat_with(&flat, inputs, 1, cfg)
+        .unwrap()
+        .state
+        .kernel_stats();
     Measurement {
         name,
         qubits,
         gates,
         reference,
+        pr2,
         kernels,
+        stats,
     }
+}
+
+/// Times the mixed workload under one ablated configuration.
+fn ablate(flat: &Circuit, inputs: &[bool], iters: usize, cfg: StateVecConfig) -> Duration {
+    time(iters, || {
+        run_flat_with(flat, inputs, 1, cfg).unwrap();
+    })
 }
 
 /// CI smoke for the observability layer: the *disabled* tracing path must be
 /// a single relaxed atomic load, cheap enough that even one gated call per
-/// gate of the 20-qubit mixed workload would cost under 2% of the PR 2
-/// kernel-path baseline recorded in `BENCH_statevec.json`. Measured as a
-/// per-call microbenchmark × a gate-count bound rather than end-to-end, so
-/// the check is insensitive to host speed (both sides scale together) and to
+/// gate of the 20-qubit mixed workload would cost under 2% of the kernel
+/// baseline recorded in `BENCH_statevec.json`. Measured as a per-call
+/// microbenchmark × a gate-count bound rather than end-to-end, so the check
+/// is insensitive to host speed (both sides scale together) and to
 /// run-to-run noise far below 2%.
 fn tracing_overhead_smoke() {
     use quipper_trace::{names, Phase};
@@ -142,8 +206,8 @@ fn tracing_overhead_smoke() {
     }
     let ns_per_call = start.elapsed().as_secs_f64() * 1e9 / calls as f64;
 
-    // The PR 2 baseline for the full-size mixed workload, read back with the
-    // trace crate's own JSON parser.
+    // The recorded baseline for the full-size mixed workload, read back with
+    // the trace crate's own JSON parser.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_statevec.json");
     let baseline = std::fs::read_to_string(path).expect("BENCH_statevec.json present");
     let doc = quipper_trace::parse_json(&baseline).expect("baseline parses");
@@ -178,8 +242,16 @@ fn tracing_overhead_smoke() {
     );
 }
 
+fn fmt_opt_ms(d: Option<Duration>) -> String {
+    match d {
+        Some(d) => format!("{:.3?}", d),
+        None => "-".into(),
+    }
+}
+
 fn main() {
-    let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let env_on = |k: &str| std::env::var(k).is_ok_and(|v| v != "0" && !v.is_empty());
+    let quick = env_on("BENCH_QUICK");
     // The adder's carry ancillas make its peak width ~5x the operand width,
     // so `add_width` stays small: 3 digits already peaks at 18 live qubits.
     let (mixed_n, mixed_layers, grover_bits, add_width, iters) = if quick {
@@ -191,7 +263,7 @@ fn main() {
     let mut results = Vec::new();
 
     let bc = mixed(mixed_n, mixed_layers);
-    results.push(measure("mixed", &bc, &vec![false; mixed_n], iters));
+    results.push(measure("mixed", &bc, &vec![false; mixed_n], iters, true));
 
     let dag = Dag::build(grover_bits, |_, xs| {
         let mut term = xs[0].clone();
@@ -201,69 +273,200 @@ fn main() {
         vec![term]
     });
     let grover = grover_circuit(&dag, 2);
-    results.push(measure("grover", &grover, &[], iters));
+    results.push(measure("grover", &grover, &[], iters, true));
 
     let bc = qft_add(add_width);
-    results.push(measure("qft_add", &bc, &vec![false; 2 * add_width], iters));
+    results.push(measure(
+        "qft_add",
+        &bc,
+        &vec![false; 2 * add_width],
+        iters,
+        true,
+    ));
+
+    if !quick {
+        // The 24-qubit tier: a 256 MiB state, far past L2, where the
+        // blocked sweep earns its keep. The full scan would dominate the
+        // bench's runtime for a number nobody reads, so it is skipped.
+        let bc = mixed(24, 2);
+        results.push(measure("mixed24", &bc, &[false; 24], 2, false));
+    }
 
     println!(
-        "{:>8}  {:>6}  {:>6}  {:>12}  {:>12}  {:>8}  {:>12}",
-        "bench", "qubits", "gates", "reference", "kernels", "speedup", "gates/s"
+        "{:>8}  {:>6}  {:>6}  {:>12}  {:>12}  {:>12}  {:>9}  {:>12}",
+        "bench", "qubits", "gates", "reference", "pr2", "kernels", "vs pr2", "gates/s"
     );
     for m in &results {
         println!(
-            "{:>8}  {:>6}  {:>6}  {:>12.3?}  {:>12.3?}  {:>7.2}x  {:>12.0}",
+            "{:>8}  {:>6}  {:>6}  {:>12}  {:>12.3?}  {:>12.3?}  {:>8.2}x  {:>12.0}",
             m.name,
             m.qubits,
             m.gates,
-            m.reference,
+            fmt_opt_ms(m.reference),
+            m.pr2,
             m.kernels,
-            m.speedup(),
+            m.speedup_vs_pr2(),
             m.gate_rate()
         );
     }
 
+    // Ablation over the full-size mixed workload: which part of the rewrite
+    // buys what.
+    let mut ablation: Vec<(&'static str, Duration)> = Vec::new();
+    if env_on("BENCH_ABLATION") {
+        let bc = mixed(mixed_n, mixed_layers);
+        let flat = inline_all(&bc.db, &bc.main).unwrap();
+        let inputs = vec![false; mixed_n];
+        let full = StateVecConfig::default();
+        run_flat_with(&flat, &inputs, 1, full).unwrap(); // prime
+        ablation.push(("pr2", ablate(&flat, &inputs, iters, pr2_config())));
+        ablation.push(("full", ablate(&flat, &inputs, iters, full)));
+        ablation.push((
+            "no_window",
+            ablate(
+                &flat,
+                &inputs,
+                iters,
+                StateVecConfig {
+                    window: false,
+                    ..full
+                },
+            ),
+        ));
+        ablation.push((
+            "no_simd",
+            ablate(
+                &flat,
+                &inputs,
+                iters,
+                StateVecConfig {
+                    simd: false,
+                    ..full
+                },
+            ),
+        ));
+        ablation.push((
+            "no_window_no_simd",
+            ablate(
+                &flat,
+                &inputs,
+                iters,
+                StateVecConfig {
+                    window: false,
+                    simd: false,
+                    ..full
+                },
+            ),
+        ));
+        println!("\nablation (mixed, {mixed_n}q):");
+        for (name, d) in &ablation {
+            println!("  {:>18}  {:>12.3?}", name, d);
+        }
+    }
+
     if quick {
         // CI smoke: the kernel path must beat the scan path even on the
-        // small state (the margin widens with width).
+        // small state (the margin widens with width), and the blocked+SIMD
+        // path must beat the PR 2 kernel path.
         let mixed = &results[0];
+        let vs_scan = mixed.speedup_vs_reference().unwrap();
         assert!(
-            mixed.speedup() > 1.2,
-            "kernel path regressed: {:.2}x vs scan on the mixed workload",
-            mixed.speedup()
+            vs_scan > 1.2,
+            "kernel path regressed: {vs_scan:.2}x vs scan on the mixed workload"
+        );
+        // With SIMD forced off (the scalar CI leg) the quick-mode state is
+        // small enough that windowing buys nothing, so only require the
+        // blocked path not to *regress* beyond noise there; the real gate
+        // runs on the SIMD path.
+        let vs_pr2_floor = if quipper_sim::simd::feature_name() == "scalar" {
+            0.85
+        } else {
+            1.0
+        };
+        assert!(
+            mixed.speedup_vs_pr2() > vs_pr2_floor,
+            "blocked+SIMD path regressed below the PR 2 kernel path: {:.2}x on mixed",
+            mixed.speedup_vs_pr2()
         );
         println!(
-            "quick-mode smoke check passed ({:.2}x on mixed)",
-            mixed.speedup()
+            "quick-mode smoke check passed ({:.2}x vs scan, {:.2}x vs pr2 on mixed)",
+            vs_scan,
+            mixed.speedup_vs_pr2()
         );
         tracing_overhead_smoke();
     }
 
-    if std::env::var("BENCH_STATEVEC_WRITE").is_ok_and(|v| v != "0" && !v.is_empty()) {
+    if env_on("BENCH_STATEVEC_WRITE") {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_statevec.json");
         let entries: Vec<String> = results
             .iter()
             .map(|m| {
+                let reference_fields = match (m.reference, m.speedup_vs_reference()) {
+                    (Some(r), Some(s)) => format!(
+                        "\"reference_ms\": {:.3}, \"speedup\": {:.2}, ",
+                        r.as_secs_f64() * 1e3,
+                        s
+                    ),
+                    _ => String::new(),
+                };
                 format!(
                     concat!(
                         "    {{\"name\": \"{}\", \"qubits\": {}, \"gates\": {}, ",
-                        "\"reference_ms\": {:.3}, \"kernels_ms\": {:.3}, ",
-                        "\"speedup\": {:.2}, \"kernel_gate_rate_per_s\": {:.0}}}"
+                        "{}\"pr2_kernels_ms\": {:.3}, \"kernels_ms\": {:.3}, ",
+                        "\"speedup_vs_pr2\": {:.2}, \"kernel_gate_rate_per_s\": {:.0},\n",
+                        "     \"class_dispatches\": {{\"diagonal\": {}, \"permutation\": {}, ",
+                        "\"general\": {}, \"mat4\": {}, \"windows\": {}, \"windowed\": {}}},\n",
+                        "     \"class_rates_per_s\": {{\"diagonal\": {:.0}, ",
+                        "\"permutation\": {:.0}, \"general\": {:.0}, \"mat4\": {:.0}}}}}"
                     ),
                     m.name,
                     m.qubits,
                     m.gates,
-                    m.reference.as_secs_f64() * 1e3,
+                    reference_fields,
+                    m.pr2.as_secs_f64() * 1e3,
                     m.kernels.as_secs_f64() * 1e3,
-                    m.speedup(),
-                    m.gate_rate()
+                    m.speedup_vs_pr2(),
+                    m.gate_rate(),
+                    m.stats.diagonal,
+                    m.stats.permutation,
+                    m.stats.general,
+                    m.stats.mat4,
+                    m.stats.windows,
+                    m.stats.windowed,
+                    m.class_rate(m.stats.diagonal),
+                    m.class_rate(m.stats.permutation),
+                    m.class_rate(m.stats.general),
+                    m.class_rate(m.stats.mat4),
                 )
             })
             .collect();
+        let ablation_json = if ablation.is_empty() {
+            String::new()
+        } else {
+            let rows: Vec<String> = ablation
+                .iter()
+                .map(|(name, d)| {
+                    format!(
+                        "    {{\"config\": \"{}\", \"ms\": {:.3}}}",
+                        name,
+                        d.as_secs_f64() * 1e3
+                    )
+                })
+                .collect();
+            format!(",\n  \"ablation_mixed\": [\n{}\n  ]", rows.join(",\n"))
+        };
+        let cores = std::thread::available_parallelism().map_or(0, usize::from);
         let json = format!(
-            "{{\n  \"bench\": \"statevec_kernels\",\n  \"mode\": \"{}\",\n  \"benches\": [\n{}\n  ]\n}}\n",
+            concat!(
+                "{{\n  \"bench\": \"statevec_kernels\",\n  \"mode\": \"{}\",\n",
+                "  \"machine\": {{\"cores\": {}, \"simd\": \"{}\"}},\n",
+                "  \"benches\": [\n{}\n  ]{}\n}}\n"
+            ),
             if quick { "quick" } else { "full" },
-            entries.join(",\n")
+            cores,
+            quipper_sim::simd::feature_name(),
+            entries.join(",\n"),
+            ablation_json
         );
         std::fs::write(path, json).unwrap();
         println!("wrote BENCH_statevec.json");

@@ -947,6 +947,8 @@ mod tests {
                 gates_in: 210,
                 gates_out: 198,
                 fused_away: 12,
+                fused_2q: 4,
+                windowable: 150,
                 diagonal: 20,
                 permutation: 30,
                 general: 100,

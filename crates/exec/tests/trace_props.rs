@@ -66,6 +66,7 @@ fn threaded_engine() -> Engine {
             threads: 4,
             fuse: true,
             parallel_threshold: 0,
+            ..StateVecConfig::default()
         },
         ..EngineConfig::default()
     })
@@ -91,7 +92,12 @@ proptest! {
 
         let bc = universal_circuit(&ops);
         let flat = inline_all(&bc.db, &bc.main).unwrap();
-        let threaded = StateVecConfig { threads: 4, fuse: true, parallel_threshold: 0 };
+        let threaded = StateVecConfig {
+            threads: 4,
+            fuse: true,
+            parallel_threshold: 0,
+            ..StateVecConfig::default()
+        };
 
         // Baseline with tracing disabled.
         let (hist_off, backend_off) = run_histogram(&bc, seed);

@@ -48,9 +48,12 @@ pub enum OptLevel {
     #[default]
     Default,
     /// Everything in `Default`, then decomposition to the binary target
-    /// set (every gate on at most two wires) with a second cleanup round
-    /// over the expansion. May increase total gates — that is the price
-    /// of the constrained target set.
+    /// set (every gate on at most two wires) with a full cleanup round
+    /// (facts, cancellation, merging) over the expansion. If the
+    /// decomposed-and-cleaned circuit still has more gates than before
+    /// decomposition, the pipeline reverts to the pre-decompose circuit
+    /// (recorded as an `opt.revert` pass), so `Aggressive` never reports
+    /// more gates than `Default`.
     Aggressive,
 }
 
@@ -139,6 +142,13 @@ impl OptReport {
     /// Total rewrites across all passes.
     pub fn rewrites(&self) -> u64 {
         self.passes.iter().map(|p| p.rewrites).sum()
+    }
+
+    /// Whether the pipeline discarded the decomposition because it grew the
+    /// circuit. When true, the output may still contain gates wider than
+    /// the binary target set.
+    pub fn reverted(&self) -> bool {
+        self.passes.iter().any(|p| p.name == "opt.revert")
     }
 
     /// The compact, copyable form carried on execution reports.
@@ -234,6 +244,12 @@ impl PassManager {
             // into a known constant); the trailing cancel catches pairs
             // exposed by merges and facts deletions.
             OptLevel::Default => vec![FactsCleanup, Cancel, Merge, FactsCleanup, Cancel],
+            // The prefix before `DecomposeBinary` is exactly the `Default`
+            // pipeline, so the revert-on-growth snapshot (taken just before
+            // decomposition) is never worse than the `Default` result. The
+            // expansion gets the same full cleanup treatment — including a
+            // facts round, which sees the constants that decomposition's
+            // ancilla plumbing exposes.
             OptLevel::Aggressive => vec![
                 FactsCleanup,
                 Cancel,
@@ -241,8 +257,10 @@ impl PassManager {
                 FactsCleanup,
                 Cancel,
                 DecomposeBinary,
+                FactsCleanup,
                 Cancel,
                 Merge,
+                FactsCleanup,
                 Cancel,
             ],
         };
@@ -264,7 +282,14 @@ impl PassManager {
     pub fn run(&self, bc: &BCircuit) -> (BCircuit, Vec<PassStats>) {
         let mut current = bc.clone();
         let mut stats = Vec::with_capacity(self.pipeline.len());
+        // Pre-decompose snapshot: if decomposition plus its cleanup rounds
+        // end up *larger* than the circuit they started from, keep the
+        // smaller circuit instead.
+        let mut snapshot: Option<(BCircuit, u128)> = None;
         for &kind in &self.pipeline {
+            if kind == PassKind::DecomposeBinary {
+                snapshot = Some((current.clone(), current.gate_count().total()));
+            }
             let _span = span(Phase::Compile, kind.name());
             let gates_before = current.gate_count().total();
             let mut rewrites = 0u64;
@@ -287,6 +312,19 @@ impl PassManager {
                 gates_after: current.gate_count().total(),
                 rewrites,
             });
+        }
+        if let Some((snap, snap_total)) = snapshot {
+            let final_total = current.gate_count().total();
+            if final_total > snap_total {
+                let _span = span(Phase::Compile, "opt.revert");
+                stats.push(PassStats {
+                    name: "opt.revert",
+                    gates_before: final_total,
+                    gates_after: snap_total,
+                    rewrites: 1,
+                });
+                current = snap;
+            }
         }
         (current, stats)
     }
@@ -586,7 +624,7 @@ mod tests {
     }
 
     #[test]
-    fn aggressive_decomposes_to_binary_gates() {
+    fn aggressive_decomposes_to_binary_gates_or_reverts() {
         let bc = main_only(
             vec![
                 Gate::toffoli(Wire(2), Wire(0), Wire(1)),
@@ -596,22 +634,55 @@ mod tests {
         );
         let (out, report) = optimize(&bc, OptLevel::Aggressive);
         out.validate().unwrap();
-        for (_, def) in out.db.iter() {
-            for g in &def.circuit.gates {
-                let mut wires = 0;
-                g.for_each_wire(&mut |_| wires += 1);
-                assert!(wires <= 2, "wide gate survived: {g:?}");
-            }
-        }
-        for g in &out.main.gates {
-            let mut wires = 0;
-            g.for_each_wire(&mut |_| wires += 1);
-            assert!(wires <= 2, "wide gate survived in main: {g:?}");
-        }
         assert!(report
             .passes
             .iter()
             .any(|p| p.name == "opt.decompose" && p.rewrites >= 1));
+        if report.reverted() {
+            // Decomposing one Toffoli grows the circuit, so the pipeline
+            // must hand back the pre-decompose circuit: no worse than
+            // Default on gate count.
+            let (_, default_report) = optimize(&bc, OptLevel::Default);
+            assert!(report.gates_after() <= default_report.gates_after());
+            assert_eq!(out.main.gates.len(), 2);
+        } else {
+            for (_, def) in out.db.iter() {
+                for g in &def.circuit.gates {
+                    let mut wires = 0;
+                    g.for_each_wire(&mut |_| wires += 1);
+                    assert!(wires <= 2, "wide gate survived: {g:?}");
+                }
+            }
+            for g in &out.main.gates {
+                let mut wires = 0;
+                g.for_each_wire(&mut |_| wires += 1);
+                assert!(wires <= 2, "wide gate survived in main: {g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggressive_never_exceeds_default_gate_count() {
+        // A mixed circuit with a wide gate and some cancelable structure.
+        let bc = main_only(
+            vec![
+                Gate::unary(GateName::H, Wire(0)),
+                Gate::toffoli(Wire(2), Wire(0), Wire(1)),
+                Gate::unary(GateName::T, Wire(1)),
+                Gate::toffoli(Wire(2), Wire(0), Wire(1)),
+                Gate::unary(GateName::H, Wire(0)),
+            ],
+            3,
+        );
+        let (_, default_report) = optimize(&bc, OptLevel::Default);
+        let (out, aggressive_report) = optimize(&bc, OptLevel::Aggressive);
+        out.validate().unwrap();
+        assert!(
+            aggressive_report.gates_after() <= default_report.gates_after(),
+            "aggressive ({}) regressed past default ({})",
+            aggressive_report.gates_after(),
+            default_report.gates_after(),
+        );
     }
 
     #[test]

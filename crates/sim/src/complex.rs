@@ -6,7 +6,12 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
 /// A complex number with `f64` components.
+///
+/// `#[repr(C)]` pins the `re, im` field order so a `&[Complex]` can be
+/// reinterpreted as an interleaved `re,im,…` run of `f64`s by the SIMD
+/// kernels in [`crate::simd`].
 #[derive(Copy, Clone, PartialEq, Debug, Default)]
+#[repr(C)]
 pub struct Complex {
     /// Real part.
     pub re: f64,

@@ -34,9 +34,14 @@
 use quipper_circuit::GateName;
 
 use crate::complex::{Complex, I, ONE, ZERO};
+use crate::simd;
 
 /// A 2×2 complex matrix, row-major: `m[row][col]`.
 pub type Mat2 = [[Complex; 2]; 2];
+
+/// A 4×4 complex matrix over two qubit slots, row-major. The basis index is
+/// `(b << 1) | a` where `a` is the *first* slot's bit and `b` the second's.
+pub type Mat4 = [[Complex; 4]; 4];
 
 /// How a 2×2 matrix is executed; see [`classify`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -82,6 +87,16 @@ pub struct KernelStats {
     pub subcube: u64,
     /// Dispatches that fanned out over scoped threads.
     pub threaded: u64,
+    /// Gates applied through the blocked window executor instead of a
+    /// dedicated full-state pass.
+    pub windowed: u64,
+    /// Windows executed (each window is one sweep of the state applying
+    /// `windowed / windows` gates on average).
+    pub windows: u64,
+    /// Dedicated two-qubit 4×4 dispatches (fused 2q runs).
+    pub mat4: u64,
+    /// Swap gates absorbed into slot relabeling (no amplitude traffic).
+    pub relabeled: u64,
 }
 
 impl KernelStats {
@@ -98,6 +113,10 @@ impl KernelStats {
         self.general += other.general;
         self.subcube += other.subcube;
         self.threaded += other.threaded;
+        self.windowed += other.windowed;
+        self.windows += other.windows;
+        self.mat4 += other.mat4;
+        self.relabeled += other.relabeled;
     }
 }
 
@@ -110,14 +129,18 @@ pub struct KernelCtx {
     pub threads: usize,
     /// Minimum amplitude-vector length at which to thread.
     pub min_parallel_amps: usize,
+    /// Whether the vectorized bodies in [`crate::simd`] may run. Only set
+    /// when runtime detection succeeded.
+    pub simd: bool,
 }
 
 impl KernelCtx {
-    /// A context that never threads.
+    /// A context that never threads and never vectorizes.
     pub fn sequential() -> KernelCtx {
         KernelCtx {
             threads: 1,
             min_parallel_amps: usize::MAX,
+            simd: false,
         }
     }
 }
@@ -128,7 +151,7 @@ impl KernelCtx {
 /// each step costs O(1) regardless of how many bits are fixed. Callers OR
 /// in the wanted fixed bits afterwards.
 #[inline]
-fn for_each_subcube(len: usize, fixed: usize, mut f: impl FnMut(usize)) {
+pub(crate) fn for_each_subcube(len: usize, fixed: usize, mut f: impl FnMut(usize)) {
     debug_assert!(len.is_power_of_two());
     debug_assert!(fixed < len);
     let mut i = 0usize;
@@ -143,7 +166,12 @@ fn for_each_subcube(len: usize, fixed: usize, mut f: impl FnMut(usize)) {
 /// `(mask, want)`, or `None` if no index in the chunk satisfies the bits
 /// above the chunk.
 #[inline]
-fn localize(base: usize, len: usize, mask: usize, want: usize) -> Option<(usize, usize)> {
+pub(crate) fn localize(
+    base: usize,
+    len: usize,
+    mask: usize,
+    want: usize,
+) -> Option<(usize, usize)> {
     debug_assert!(len.is_power_of_two());
     debug_assert_eq!(base % len, 0);
     let lo = len - 1;
@@ -160,7 +188,7 @@ fn localize(base: usize, len: usize, mask: usize, want: usize) -> Option<(usize,
 /// Chunks are disjoint `&mut` slices and each is processed with the same
 /// per-pair arithmetic as the sequential path, so the result is
 /// bit-identical regardless of the split.
-fn dispatch(
+pub(crate) fn dispatch(
     amps: &mut [Complex],
     ctx: &KernelCtx,
     min_block: usize,
@@ -203,7 +231,19 @@ pub fn apply_mat2(
 ) {
     match classify(m) {
         KernelClass::Diagonal => {
-            apply_diagonal(amps, slot, m[0][0], m[1][1], mask, want, ctx, stats);
+            // A unit entry on one side means the matrix is a (controlled)
+            // phase on the other: route it to the phase kernel, which
+            // touches only the amplitudes that actually change. T, S, R and
+            // CP/CRz all land here, turning e.g. a controlled-Z ladder into
+            // pure sub-cube phase flips.
+            let bit = 1usize << slot;
+            if m[0][0] == ONE {
+                apply_phase(amps, m[1][1], mask | bit, want | bit, ctx, stats);
+            } else if m[1][1] == ONE {
+                apply_phase(amps, m[0][0], mask | bit, want, ctx, stats);
+            } else {
+                apply_diagonal(amps, slot, m[0][0], m[1][1], mask, want, ctx, stats);
+            }
         }
         KernelClass::Permutation => {
             apply_permutation(amps, slot, m[0][1], m[1][0], mask, want, ctx, stats);
@@ -225,6 +265,7 @@ pub fn apply_general(
 ) {
     let bit = 1usize << slot;
     let m = *m;
+    let simd = ctx.simd;
     stats.general += 1;
     if mask != 0 {
         stats.subcube += 1;
@@ -236,11 +277,7 @@ pub fn apply_general(
         if mask == 0 {
             for block in chunk.chunks_exact_mut(2 * bit) {
                 let (lo, hi) = block.split_at_mut(bit);
-                for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
-                    let (x0, x1) = (*a0, *a1);
-                    *a0 = m[0][0] * x0 + m[0][1] * x1;
-                    *a1 = m[1][0] * x0 + m[1][1] * x1;
-                }
+                simd::pair_update(lo, hi, &m, simd);
             }
         } else {
             for_each_subcube(chunk.len(), mask | bit, |i| {
@@ -271,6 +308,7 @@ pub fn apply_diagonal(
     stats: &mut KernelStats,
 ) {
     let bit = 1usize << slot;
+    let simd = ctx.simd;
     stats.diagonal += 1;
     if mask != 0 {
         stats.subcube += 1;
@@ -283,14 +321,10 @@ pub fn apply_diagonal(
             for block in chunk.chunks_exact_mut(2 * bit) {
                 let (lo, hi) = block.split_at_mut(bit);
                 if d0 != ONE {
-                    for a in lo {
-                        *a = d0 * *a;
-                    }
+                    simd::scale_slice(lo, d0, simd);
                 }
                 if d1 != ONE {
-                    for a in hi {
-                        *a = d1 * *a;
-                    }
+                    simd::scale_slice(hi, d1, simd);
                 }
             }
         } else {
@@ -322,6 +356,7 @@ pub fn apply_permutation(
 ) {
     let bit = 1usize << slot;
     let pure_swap = m01 == ONE && m10 == ONE;
+    let simd = ctx.simd;
     stats.permutation += 1;
     if mask != 0 {
         stats.subcube += 1;
@@ -336,11 +371,7 @@ pub fn apply_permutation(
                 if pure_swap {
                     lo.swap_with_slice(hi);
                 } else {
-                    for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
-                        let (x0, x1) = (*a0, *a1);
-                        *a0 = m01 * x1;
-                        *a1 = m10 * x0;
-                    }
+                    simd::cross_scale(lo, hi, m01, m10, simd);
                 }
             }
         } else {
@@ -372,6 +403,7 @@ pub fn apply_phase(
     ctx: &KernelCtx,
     stats: &mut KernelStats,
 ) {
+    let simd = ctx.simd;
     stats.diagonal += 1;
     if mask != 0 {
         stats.subcube += 1;
@@ -381,9 +413,7 @@ pub fn apply_phase(
             return;
         };
         if mask == 0 {
-            for a in chunk {
-                *a = phase * *a;
-            }
+            simd::scale_slice(chunk, phase, simd);
         } else {
             for_each_subcube(chunk.len(), mask, |i| {
                 let i = i | want;
@@ -470,6 +500,155 @@ pub fn apply_w(
 /// allocation to flip a recycled ancilla into the requested basis state.
 pub fn flip(amps: &mut [Complex], slot: usize, ctx: &KernelCtx, stats: &mut KernelStats) {
     apply_permutation(amps, slot, ONE, ONE, 0, 0, ctx, stats);
+}
+
+/// Classifies a 4×4 matrix: diagonal (all off-diagonal entries exactly
+/// zero) or dense. As with [`classify`], the test is exact so a near-zero
+/// fused product never silently changes results.
+pub fn classify4(m: &Mat4) -> KernelClass {
+    for (r, row) in m.iter().enumerate() {
+        for (c, e) in row.iter().enumerate() {
+            if r != c && !(e.re == 0.0 && e.im == 0.0) {
+                return KernelClass::General;
+            }
+        }
+    }
+    KernelClass::Diagonal
+}
+
+/// The dedicated two-qubit kernel: applies a 4×4 matrix over
+/// `(slot_a, slot_b)` (basis index `(b << 1) | a`) under the control
+/// condition `(i & mask) == want`. Diagonal matrices scale each quadrant in
+/// place; dense matrices do the full 4-amplitude update from a snapshot.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_mat4(
+    amps: &mut [Complex],
+    slot_a: usize,
+    slot_b: usize,
+    m: &Mat4,
+    mask: usize,
+    want: usize,
+    ctx: &KernelCtx,
+    stats: &mut KernelStats,
+) {
+    let (ba, bb) = (1usize << slot_a, 1usize << slot_b);
+    let m = *m;
+    let diagonal = classify4(&m) == KernelClass::Diagonal;
+    stats.mat4 += 1;
+    if diagonal {
+        stats.diagonal += 1;
+    } else {
+        stats.general += 1;
+    }
+    if mask != 0 {
+        stats.subcube += 1;
+    }
+    let threaded = dispatch(amps, ctx, 2 * ba.max(bb), move |base, chunk| {
+        let Some((mask, want)) = localize(base, chunk.len(), mask, want) else {
+            return;
+        };
+        if diagonal {
+            let d = [m[0][0], m[1][1], m[2][2], m[3][3]];
+            for_each_subcube(chunk.len(), mask | ba | bb, |i| {
+                let i00 = i | want;
+                for (k, dk) in d.iter().enumerate() {
+                    if *dk != ONE {
+                        let idx =
+                            i00 | if k & 1 != 0 { ba } else { 0 } | if k & 2 != 0 { bb } else { 0 };
+                        chunk[idx] = *dk * chunk[idx];
+                    }
+                }
+            });
+        } else {
+            for_each_subcube(chunk.len(), mask | ba | bb, |i| {
+                let i00 = i | want;
+                let idx = [i00, i00 | ba, i00 | bb, i00 | ba | bb];
+                let x = [chunk[idx[0]], chunk[idx[1]], chunk[idx[2]], chunk[idx[3]]];
+                for (r, row) in m.iter().enumerate() {
+                    chunk[idx[r]] =
+                        ((row[0] * x[0] + row[1] * x[1]) + row[2] * x[2]) + row[3] * x[3];
+                }
+            });
+        }
+    });
+    if threaded {
+        stats.threaded += 1;
+    }
+}
+
+/// The 4×4 identity matrix.
+pub fn identity4() -> Mat4 {
+    let mut m = [[ZERO; 4]; 4];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = ONE;
+    }
+    m
+}
+
+/// Matrix product `a · b` over two qubits (`b` applies first).
+pub fn matmul4(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut out = [[ZERO; 4]; 4];
+    for r in 0..4 {
+        for c in 0..4 {
+            let mut acc = ZERO;
+            for (k, bk) in b.iter().enumerate() {
+                acc += a[r][k] * bk[c];
+            }
+            out[r][c] = acc;
+        }
+    }
+    out
+}
+
+/// Embeds a 1q matrix into a 4×4 over the pair: it acts on the second slot
+/// when `high`, optionally controlled on the *other* slot being `ctrl`.
+pub fn embed1q(m: &Mat2, high: bool, ctrl: Option<bool>) -> Mat4 {
+    let mut out = [[ZERO; 4]; 4];
+    for other in 0..2usize {
+        let active = ctrl.is_none_or(|v| other == usize::from(v));
+        for (r, mrow) in m.iter().enumerate() {
+            for (c, &mval) in mrow.iter().enumerate() {
+                let (row, col) = if high {
+                    (r * 2 + other, c * 2 + other)
+                } else {
+                    (other * 2 + r, other * 2 + c)
+                };
+                out[row][col] = if active {
+                    mval
+                } else if r == c {
+                    ONE
+                } else {
+                    ZERO
+                };
+            }
+        }
+    }
+    out
+}
+
+/// The 4×4 W matrix (paper Figure 1), oriented so the *first* slot is basis
+/// bit 0: it fixes |00⟩ and |11⟩ and Hadamard-mixes the a=0,b=1 amplitude
+/// (index 2) with the a=1,b=0 amplitude (index 1), matching [`apply_w`].
+pub fn w4() -> Mat4 {
+    let s = Complex::new(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+    let mut m = [[ZERO; 4]; 4];
+    m[0][0] = ONE;
+    m[3][3] = ONE;
+    m[2][2] = s;
+    m[2][1] = s;
+    m[1][2] = s;
+    m[1][1] = -s;
+    m
+}
+
+/// The 4×4 swap matrix (exchanges basis indices 1 and 2).
+pub fn swap4() -> Mat4 {
+    let mut m = [[ZERO; 4]; 4];
+    m[0][0] = ONE;
+    m[1][2] = ONE;
+    m[2][1] = ONE;
+    m[3][3] = ONE;
+    m
 }
 
 /// The matrix of a named single-qubit gate, if it has one.
@@ -775,6 +954,7 @@ mod tests {
         let threaded = KernelCtx {
             threads: 4,
             min_parallel_amps: 1,
+            simd: false,
         };
         let h = single_qubit_matrix(&GateName::H, false).unwrap();
         let t = single_qubit_matrix(&GateName::T, false).unwrap();

@@ -21,12 +21,16 @@ pub mod error;
 pub mod fuse;
 pub mod interactive;
 pub mod kernels;
+pub mod simd;
 pub mod stabilizer;
 pub mod statevec;
+mod window;
 
 pub use classical::{run_classical, run_classical_flat};
 pub use error::SimError;
-pub use fuse::{fuse_circuit, FuseStats, FusedCircuit, FusedOp};
+pub use fuse::{
+    fuse_circuit, fuse_circuit_with, segment_circuit, FuseOptions, FuseStats, FusedCircuit, FusedOp,
+};
 pub use interactive::SimLifter;
 pub use kernels::KernelStats;
 pub use stabilizer::{run_clifford, run_clifford_flat};

@@ -4,6 +4,20 @@
 //! built from Clifford gates (H, S, V, Pauli gates, CNOT, CZ, swap) and
 //! measurements are simulated in polynomial time using the stabilizer
 //! tableau representation, instead of the exponential state vector.
+//!
+//! Two tableau backends implement the same [`Tableau`] contract:
+//!
+//! * [`PackedTableau`] — the production representation. Each qubit column
+//!   stores its X and Z bits for all `2n` tableau rows as `u64` words, so
+//!   every Clifford generator updates 64 rows per instruction, and the
+//!   row-sum broadcast of a random measurement XORs the pivot row into all
+//!   affected rows one *word of rows* at a time. Phase (mod-4) arithmetic
+//!   runs on two bit-planes instead of per-row integers.
+//! * [`BoolTableau`] — the original one-`bool`-per-cell matrix, kept as the
+//!   executable specification the packed form is property-tested against.
+//!
+//! Both consume randomness in the same order, so a run is reproducible
+//! bit-for-bit across backends under the same seed.
 
 use std::collections::HashMap;
 
@@ -15,45 +29,388 @@ use quipper_circuit::{BCircuit, Circuit, Gate, GateName, Wire, WireType};
 
 use crate::error::SimError;
 
-/// A stabilizer tableau over a growable set of qubit slots.
+/// The operations a stabilizer-tableau representation must provide.
 ///
-/// Rows `0..n` are destabilizers, rows `n..2n` stabilizers, following
-/// Aaronson & Gottesman. Bits are stored one `bool` per cell — adequate for
-/// the circuit sizes exercised here.
+/// Rows `0..n` are destabilizers and rows `n..2n` stabilizers, following
+/// Aaronson & Gottesman; `grow` appends one qubit (a fresh `|0⟩` column with
+/// destabilizer `X_q` and stabilizer `Z_q`). Randomness for measurements is
+/// drawn from the caller's RNG so backends stay seed-compatible.
+pub trait Tableau {
+    /// An empty tableau (no qubits).
+    fn empty() -> Self;
+    /// Number of allocated qubit slots.
+    fn n(&self) -> usize;
+    /// Appends a qubit in `|0⟩`; returns its slot index.
+    fn grow(&mut self) -> usize;
+    fn gate_h(&mut self, q: usize);
+    fn gate_s(&mut self, q: usize);
+    fn gate_x(&mut self, q: usize);
+    fn gate_z(&mut self, q: usize);
+    fn gate_cnot(&mut self, ctl: usize, tgt: usize);
+    /// CZ as a native generator (`z_a ^= x_b`, `z_b ^= x_a`,
+    /// `r ^= x_a·x_b·(z_a ⊕ z_b)`).
+    fn gate_cz(&mut self, a: usize, b: usize);
+    /// Swap of two qubits. Implementations may relabel columns directly;
+    /// the default composes three CNOTs (same unitary, so same tableau).
+    fn gate_swap(&mut self, a: usize, b: usize) {
+        self.gate_cnot(a, b);
+        self.gate_cnot(b, a);
+        self.gate_cnot(a, b);
+    }
+    /// Measures slot `q` in the Z basis; returns `(outcome, deterministic)`.
+    /// Draws exactly one bool from `rng` iff the outcome is random.
+    fn measure_slot(&mut self, q: usize, rng: &mut StdRng) -> (bool, bool);
+}
+
+// ---------------------------------------------------------------------------
+// Bit helpers shared by the packed tableau.
+
+#[inline]
+fn bit_get(bits: &[u64], i: usize) -> bool {
+    bits[i / 64] >> (i % 64) & 1 != 0
+}
+
+#[inline]
+fn bit_set(bits: &mut [u64], i: usize, v: bool) {
+    let (w, b) = (i / 64, i % 64);
+    bits[w] = (bits[w] & !(1u64 << b)) | (u64::from(v) << b);
+}
+
+// ---------------------------------------------------------------------------
+// Packed tableau
+
+/// Bit-packed tableau: column-major over qubits, word-parallel over rows.
+///
+/// For qubit column `q`, `x[q]` (and `z[q]`) is a bitset over tableau rows:
+/// destabilizer row `i` lives at bit `i`, stabilizer row `i` at bit
+/// `cap + i`, where `cap` (a multiple of 64) is the current row capacity of
+/// each half. `r` is the sign row-bitset in the same layout. Keeping the
+/// stabilizer half word-aligned at `cap` lets capacity growth relocate it
+/// with whole-word copies.
 #[derive(Clone, Debug)]
-pub struct Stabilizer {
+pub struct PackedTableau {
+    n: usize,
+    /// Row capacity per half (destabilizer / stabilizer); multiple of 64.
+    cap: usize,
+    /// Words per row-bitset: `2 * cap / 64`.
+    words: usize,
+    x: Vec<Vec<u64>>,
+    z: Vec<Vec<u64>>,
+    r: Vec<u64>,
+}
+
+impl PackedTableau {
+    fn relayout(&mut self, new_cap: usize) {
+        let new_words = 2 * new_cap / 64;
+        let (old_lo, new_lo) = (self.cap / 64, new_cap / 64);
+        let used = self.n.div_ceil(64);
+        let move_half = |bits: &Vec<u64>| {
+            let mut out = vec![0u64; new_words];
+            out[..used].copy_from_slice(&bits[..used]);
+            out[new_lo..new_lo + used].copy_from_slice(&bits[old_lo..old_lo + used]);
+            out
+        };
+        for col in self.x.iter_mut().chain(self.z.iter_mut()) {
+            *col = move_half(col);
+        }
+        self.r = move_half(&self.r);
+        self.cap = new_cap;
+        self.words = new_words;
+    }
+
+    /// First stabilizer row with an X bit in column `q`, if any.
+    fn stab_x_pivot(&self, q: usize) -> Option<usize> {
+        let lo = self.cap / 64;
+        for (w, &word) in self.x[q][lo..].iter().enumerate() {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Gathers stabilizer row `s` into row-major (over columns) bitsets.
+    fn gather_stab_row(&self, s: usize, xr: &mut [u64], zr: &mut [u64]) {
+        let bit = self.cap + s;
+        xr.fill(0);
+        zr.fill(0);
+        for k in 0..self.n {
+            if bit_get(&self.x[k], bit) {
+                bit_set(xr, k, true);
+            }
+            if bit_get(&self.z[k], bit) {
+                bit_set(zr, k, true);
+            }
+        }
+    }
+}
+
+impl Tableau for PackedTableau {
+    fn empty() -> Self {
+        PackedTableau {
+            n: 0,
+            cap: 64,
+            words: 2,
+            x: Vec::new(),
+            z: Vec::new(),
+            r: vec![0; 2],
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn grow(&mut self) -> usize {
+        if self.n == self.cap {
+            self.relayout(self.cap * 2);
+        }
+        let q = self.n;
+        self.n += 1;
+        let mut xc = vec![0u64; self.words];
+        bit_set(&mut xc, q, true); // destabilizer X_q
+        let mut zc = vec![0u64; self.words];
+        bit_set(&mut zc, self.cap + q, true); // stabilizer Z_q
+        self.x.push(xc);
+        self.z.push(zc);
+        q
+    }
+
+    fn gate_h(&mut self, q: usize) {
+        let (x, z) = (&mut self.x[q], &mut self.z[q]);
+        for w in 0..self.words {
+            self.r[w] ^= x[w] & z[w];
+            std::mem::swap(&mut x[w], &mut z[w]);
+        }
+    }
+
+    fn gate_s(&mut self, q: usize) {
+        let (x, z) = (&mut self.x[q], &mut self.z[q]);
+        for w in 0..self.words {
+            self.r[w] ^= x[w] & z[w];
+            z[w] ^= x[w];
+        }
+    }
+
+    fn gate_x(&mut self, q: usize) {
+        for w in 0..self.words {
+            self.r[w] ^= self.z[q][w];
+        }
+    }
+
+    fn gate_z(&mut self, q: usize) {
+        for w in 0..self.words {
+            self.r[w] ^= self.x[q][w];
+        }
+    }
+
+    fn gate_cnot(&mut self, ctl: usize, tgt: usize) {
+        debug_assert_ne!(ctl, tgt);
+        // Split borrows: index one column mutably at a time.
+        for w in 0..self.words {
+            let (xa, za) = (self.x[ctl][w], self.z[ctl][w]);
+            let (xb, zb) = (self.x[tgt][w], self.z[tgt][w]);
+            self.r[w] ^= xa & zb & !(xb ^ za);
+            self.x[tgt][w] = xb ^ xa;
+            self.z[ctl][w] = za ^ zb;
+        }
+    }
+
+    fn gate_cz(&mut self, a: usize, b: usize) {
+        debug_assert_ne!(a, b);
+        for w in 0..self.words {
+            let (xa, za) = (self.x[a][w], self.z[a][w]);
+            let (xb, zb) = (self.x[b][w], self.z[b][w]);
+            self.r[w] ^= xa & xb & (za ^ zb);
+            self.z[a][w] = za ^ xb;
+            self.z[b][w] = zb ^ xa;
+        }
+    }
+
+    fn gate_swap(&mut self, a: usize, b: usize) {
+        // Swap is a column relabeling: no phase terms, O(1) per word pair.
+        self.x.swap(a, b);
+        self.z.swap(a, b);
+    }
+
+    fn measure_slot(&mut self, q: usize, rng: &mut StdRng) -> (bool, bool) {
+        match self.stab_x_pivot(q) {
+            Some(s) => {
+                // Random outcome. All rows h ≠ pivot with X in column q get
+                // the pivot row multiplied in; do the mod-4 phase arithmetic
+                // for every such row at once on two bit-planes (s0 = low
+                // bit, s1 = high bit of the per-row phase counter).
+                let outcome = rng.gen::<bool>();
+                let p = self.cap + s;
+                let mut m = self.x[q].clone();
+                bit_set(&mut m, p, false);
+                let rp = bit_get(&self.r, p);
+                let mut s0 = vec![0u64; self.words];
+                let mut s1 = vec![0u64; self.words];
+                for w in 0..self.words {
+                    // Counter starts at 2·r[h] + 2·r[p].
+                    s1[w] = (self.r[w] ^ if rp { !0 } else { 0 }) & m[w];
+                }
+                for k in 0..self.n {
+                    let x1 = bit_get(&self.x[k], p);
+                    let z1 = bit_get(&self.z[k], p);
+                    if !x1 && !z1 {
+                        continue;
+                    }
+                    for w in 0..self.words {
+                        let mw = m[w];
+                        if mw == 0 {
+                            continue;
+                        }
+                        let (x2, z2) = (self.x[k][w], self.z[k][w]);
+                        // Rows whose g-contribution is +1 / −1 for this
+                        // column, given the pivot's (x1, z1).
+                        let (plus, minus) = match (x1, z1) {
+                            (true, true) => (z2 & !x2, x2 & !z2),
+                            (true, false) => (z2 & x2, z2 & !x2),
+                            (false, true) => (x2 & !z2, x2 & z2),
+                            (false, false) => unreachable!(),
+                        };
+                        let (plus, minus) = (plus & mw, minus & mw);
+                        // counter += 1 on `plus` rows, += 3 on `minus` rows.
+                        s1[w] ^= s0[w] & plus;
+                        s0[w] ^= plus;
+                        s1[w] ^= minus & !s0[w];
+                        s0[w] ^= minus;
+                    }
+                }
+                for w in 0..self.words {
+                    // r[h] := (counter ≡ 2 mod 4). Stabilizer rows always
+                    // land on 0 or 2; the destabilizer partner row can end
+                    // odd (it anticommutes with the pivot), and its sign is
+                    // don't-care — mapping odd to 0 matches the reference.
+                    self.r[w] = (self.r[w] & !m[w]) | (s1[w] & !s0[w] & m[w]);
+                }
+                // Broadcast the pivot row into every affected row, one word
+                // of rows per XOR.
+                for k in 0..self.n {
+                    if bit_get(&self.x[k], p) {
+                        for (xw, &mw) in self.x[k].iter_mut().zip(&m) {
+                            *xw ^= mw;
+                        }
+                    }
+                    if bit_get(&self.z[k], p) {
+                        for (zw, &mw) in self.z[k].iter_mut().zip(&m) {
+                            *zw ^= mw;
+                        }
+                    }
+                }
+                // Destabilizer row s := old stabilizer row s; stabilizer
+                // row s := Z_q with sign = outcome.
+                for k in 0..self.n {
+                    let xv = bit_get(&self.x[k], p);
+                    let zv = bit_get(&self.z[k], p);
+                    bit_set(&mut self.x[k], s, xv);
+                    bit_set(&mut self.z[k], s, zv);
+                    bit_set(&mut self.x[k], p, false);
+                    bit_set(&mut self.z[k], p, false);
+                }
+                bit_set(&mut self.z[q], p, true);
+                let old_r = bit_get(&self.r, p);
+                bit_set(&mut self.r, s, old_r);
+                bit_set(&mut self.r, p, outcome);
+                (outcome, false)
+            }
+            None => {
+                // Deterministic outcome: accumulate the product of the
+                // stabilizer rows selected by the destabilizer X bits into a
+                // row-major scratch row, counting ±1 phase contributions
+                // with popcounts.
+                let cw = self.n.div_ceil(64).max(1);
+                let mut sx = vec![0u64; cw];
+                let mut sz = vec![0u64; cw];
+                let mut xr = vec![0u64; cw];
+                let mut zr = vec![0u64; cw];
+                let mut sr = false;
+                for i in 0..self.n {
+                    if !bit_get(&self.x[q], i) {
+                        continue;
+                    }
+                    self.gather_stab_row(i, &mut xr, &mut zr);
+                    let (mut plus, mut minus) = (0i64, 0i64);
+                    for w in 0..cw {
+                        let (x1, z1) = (xr[w], zr[w]);
+                        let (x2, z2) = (sx[w], sz[w]);
+                        let c11 = x1 & z1;
+                        let c10 = x1 & !z1;
+                        let c01 = !x1 & z1;
+                        plus += i64::from((c11 & z2 & !x2).count_ones())
+                            + i64::from((c10 & z2 & x2).count_ones())
+                            + i64::from((c01 & x2 & !z2).count_ones());
+                        minus += i64::from((c11 & x2 & !z2).count_ones())
+                            + i64::from((c10 & z2 & !x2).count_ones())
+                            + i64::from((c01 & x2 & z2).count_ones());
+                    }
+                    let phase =
+                        2 * i64::from(sr) + 2 * i64::from(bit_get(&self.r, self.cap + i)) + plus
+                            - minus;
+                    sr = phase.rem_euclid(4) == 2;
+                    for w in 0..cw {
+                        sx[w] ^= xr[w];
+                        sz[w] ^= zr[w];
+                    }
+                }
+                (sr, true)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bool-matrix reference tableau
+
+/// One-`bool`-per-cell tableau: the executable specification. Kept for
+/// property tests; `x[i][q]`/`z[i][q]` index row `i` (destabilizers then
+/// stabilizers), column `q`.
+#[derive(Clone, Debug)]
+pub struct BoolTableau {
     n: usize,
     x: Vec<Vec<bool>>,
     z: Vec<Vec<bool>>,
     r: Vec<bool>,
-    slots: HashMap<Wire, usize>,
-    free: Vec<(usize, bool)>,
-    classical: HashMap<Wire, bool>,
-    rng: StdRng,
 }
 
-impl Stabilizer {
-    /// Creates an empty tableau.
-    pub fn new(seed: u64) -> Stabilizer {
-        Stabilizer {
+impl BoolTableau {
+    /// The phase-exponent contribution of multiplying Paulis (the `g`
+    /// function of Aaronson & Gottesman).
+    fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+        match (x1, z1) {
+            (false, false) => 0,
+            (true, true) => i32::from(z2) - i32::from(x2),
+            (true, false) => i32::from(z2) * (2 * i32::from(x2) - 1),
+            (false, true) => i32::from(x2) * (1 - 2 * i32::from(z2)),
+        }
+    }
+
+    fn rowsum_into(&mut self, h: usize, i: usize) {
+        let mut phase = 2 * i32::from(self.r[h]) + 2 * i32::from(self.r[i]);
+        for q in 0..self.n {
+            phase += Self::g(self.x[i][q], self.z[i][q], self.x[h][q], self.z[h][q]);
+        }
+        self.r[h] = phase.rem_euclid(4) == 2;
+        for q in 0..self.n {
+            self.x[h][q] ^= self.x[i][q];
+            self.z[h][q] ^= self.z[i][q];
+        }
+    }
+}
+
+impl Tableau for BoolTableau {
+    fn empty() -> Self {
+        BoolTableau {
             n: 0,
             x: Vec::new(),
             z: Vec::new(),
             r: Vec::new(),
-            slots: HashMap::new(),
-            free: Vec::new(),
-            classical: HashMap::new(),
-            rng: StdRng::seed_from_u64(seed),
         }
     }
 
-    /// The value of a classical wire, if set.
-    pub fn classical_value(&self, wire: Wire) -> Option<bool> {
-        self.classical.get(&wire).copied()
-    }
-
-    /// Number of allocated tableau slots.
-    pub fn slots_allocated(&self) -> usize {
+    fn n(&self) -> usize {
         self.n
     }
 
@@ -71,8 +428,6 @@ impl Stabilizer {
         let sx = vec![false; self.n];
         let mut sz = vec![false; self.n];
         sz[q] = true;
-        // Rows currently: [destab(0..n-1), stab(0..n-1)]. Insert destab at
-        // position n-1, stab at end.
         self.x.insert(q, dx);
         self.z.insert(q, dz);
         self.r.insert(q, false);
@@ -81,29 +436,6 @@ impl Stabilizer {
         self.r.push(false);
         q
     }
-
-    fn alloc(&mut self, value: bool) -> usize {
-        if let Some((slot, cur)) = self.free.pop() {
-            if cur != value {
-                self.gate_x(slot);
-            }
-            return slot;
-        }
-        let slot = self.grow();
-        if value {
-            self.gate_x(slot);
-        }
-        slot
-    }
-
-    fn slot_of(&self, wire: Wire) -> Result<usize, SimError> {
-        self.slots
-            .get(&wire)
-            .copied()
-            .ok_or(SimError::UnknownWire { wire })
-    }
-
-    // --- Clifford generators --------------------------------------------
 
     fn gate_h(&mut self, q: usize) {
         for i in 0..2 * self.n {
@@ -120,12 +452,6 @@ impl Stabilizer {
             self.r[i] ^= xi && zi;
             self.z[i][q] = zi ^ xi;
         }
-    }
-
-    fn gate_s_inv(&mut self, q: usize) {
-        self.gate_s(q);
-        self.gate_s(q);
-        self.gate_s(q);
     }
 
     fn gate_x(&mut self, q: usize) {
@@ -150,39 +476,20 @@ impl Stabilizer {
         }
     }
 
-    // --- Measurement -----------------------------------------------------
-
-    /// The phase-exponent contribution of multiplying Paulis (the `g`
-    /// function of Aaronson & Gottesman).
-    fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
-        match (x1, z1) {
-            (false, false) => 0,
-            (true, true) => i32::from(z2) - i32::from(x2),
-            (true, false) => i32::from(z2) * (2 * i32::from(x2) - 1),
-            (false, true) => i32::from(x2) * (1 - 2 * i32::from(z2)),
-        }
+    fn gate_cz(&mut self, a: usize, b: usize) {
+        // CZ = H(b) · CNOT(a→b) · H(b).
+        self.gate_h(b);
+        self.gate_cnot(a, b);
+        self.gate_h(b);
     }
 
-    fn rowsum_into(&mut self, h: usize, i: usize) {
-        let mut phase = 2 * i32::from(self.r[h]) + 2 * i32::from(self.r[i]);
-        for q in 0..self.n {
-            phase += Self::g(self.x[i][q], self.z[i][q], self.x[h][q], self.z[h][q]);
-        }
-        self.r[h] = phase.rem_euclid(4) == 2;
-        for q in 0..self.n {
-            self.x[h][q] ^= self.x[i][q];
-            self.z[h][q] ^= self.z[i][q];
-        }
-    }
-
-    /// Measures slot `q`; returns (outcome, was_deterministic).
-    fn measure_slot(&mut self, q: usize) -> (bool, bool) {
+    fn measure_slot(&mut self, q: usize, rng: &mut StdRng) -> (bool, bool) {
         let n = self.n;
         let p = (n..2 * n).find(|&i| self.x[i][q]);
         match p {
             Some(p) => {
                 // Random outcome.
-                let outcome = self.rng.gen::<bool>();
+                let outcome = rng.gen::<bool>();
                 for i in 0..2 * n {
                     if i != p && self.x[i][q] {
                         self.rowsum_into(i, p);
@@ -224,6 +531,94 @@ impl Stabilizer {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Clifford simulator over a tableau backend
+
+/// Clifford circuit simulator over a pluggable [`Tableau`] backend: wire
+/// bookkeeping, classical bits, slot reuse, and the gate → generator
+/// translation live here; the tableau does the linear algebra.
+#[derive(Clone, Debug)]
+pub struct CliffordSim<T> {
+    tab: T,
+    slots: HashMap<Wire, usize>,
+    free: Vec<(usize, bool)>,
+    classical: HashMap<Wire, bool>,
+    rng: StdRng,
+}
+
+/// The production stabilizer simulator (bit-packed tableau).
+pub type Stabilizer = CliffordSim<PackedTableau>;
+
+impl<T: Tableau> CliffordSim<T> {
+    /// Creates an empty simulator.
+    pub fn new(seed: u64) -> CliffordSim<T> {
+        CliffordSim {
+            tab: T::empty(),
+            slots: HashMap::new(),
+            free: Vec::new(),
+            classical: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The value of a classical wire, if set.
+    pub fn classical_value(&self, wire: Wire) -> Option<bool> {
+        self.classical.get(&wire).copied()
+    }
+
+    /// Number of allocated tableau slots.
+    pub fn slots_allocated(&self) -> usize {
+        self.tab.n()
+    }
+
+    /// Binds a circuit input wire to a fresh value.
+    pub fn add_input(&mut self, wire: Wire, ty: WireType, value: bool) {
+        match ty {
+            WireType::Quantum => {
+                let slot = self.alloc(value);
+                self.slots.insert(wire, slot);
+            }
+            WireType::Classical => {
+                self.classical.insert(wire, value);
+            }
+        }
+    }
+
+    /// Measures an output wire (used for quantum outputs at circuit end).
+    pub fn measure_wire(&mut self, wire: Wire) -> Result<bool, SimError> {
+        let slot = self.slot_of(wire)?;
+        let (v, _) = self.tab.measure_slot(slot, &mut self.rng);
+        Ok(v)
+    }
+
+    fn alloc(&mut self, value: bool) -> usize {
+        if let Some((slot, cur)) = self.free.pop() {
+            if cur != value {
+                self.tab.gate_x(slot);
+            }
+            return slot;
+        }
+        let slot = self.tab.grow();
+        if value {
+            self.tab.gate_x(slot);
+        }
+        slot
+    }
+
+    fn slot_of(&self, wire: Wire) -> Result<usize, SimError> {
+        self.slots
+            .get(&wire)
+            .copied()
+            .ok_or(SimError::UnknownWire { wire })
+    }
+
+    fn gate_s_inv(&mut self, q: usize) {
+        self.tab.gate_s(q);
+        self.tab.gate_s(q);
+        self.tab.gate_s(q);
+    }
 
     /// Executes one gate.
     ///
@@ -251,7 +646,7 @@ impl Stabilizer {
             Gate::QTerm { value, wire } => {
                 let slot = self.slot_of(*wire)?;
                 self.slots.remove(wire);
-                let (outcome, deterministic) = self.measure_slot(slot);
+                let (outcome, deterministic) = self.tab.measure_slot(slot, &mut self.rng);
                 if !deterministic || outcome != *value {
                     return Err(SimError::AssertionFailed {
                         wire: *wire,
@@ -279,9 +674,8 @@ impl Stabilizer {
             Gate::QMeas { wire } => {
                 let slot = self.slot_of(*wire)?;
                 self.slots.remove(wire);
-                let (outcome, _) = self.measure_slot(slot);
-                // Collapse the tableau to the observed outcome if random:
-                // measure_slot already rewrote the stabilizers for the random
+                let (outcome, _) = self.tab.measure_slot(slot, &mut self.rng);
+                // measure_slot already collapsed the tableau for the random
                 // case; for the deterministic case nothing changed.
                 self.classical.insert(*wire, outcome);
                 self.free.push((slot, outcome));
@@ -290,7 +684,7 @@ impl Stabilizer {
             Gate::QDiscard { wire } => {
                 let slot = self.slot_of(*wire)?;
                 self.slots.remove(wire);
-                let (outcome, _) = self.measure_slot(slot);
+                let (outcome, _) = self.tab.measure_slot(slot, &mut self.rng);
                 self.free.push((slot, outcome));
                 Ok(())
             }
@@ -325,36 +719,33 @@ impl Stabilizer {
                 match (name, qctl.len()) {
                     (GateName::X, 0) => {
                         let t = self.slot_of(targets[0])?;
-                        self.gate_x(t);
+                        self.tab.gate_x(t);
                         Ok(())
                     }
                     (GateName::X, 1) => {
                         let t = self.slot_of(targets[0])?;
-                        self.gate_cnot(qctl[0], t);
+                        self.tab.gate_cnot(qctl[0], t);
                         Ok(())
                     }
                     (GateName::Z, 0) => {
                         let t = self.slot_of(targets[0])?;
-                        self.gate_z(t);
+                        self.tab.gate_z(t);
                         Ok(())
                     }
                     (GateName::Z, 1) => {
-                        // CZ = H(t) · CNOT · H(t).
                         let t = self.slot_of(targets[0])?;
-                        self.gate_h(t);
-                        self.gate_cnot(qctl[0], t);
-                        self.gate_h(t);
+                        self.tab.gate_cz(qctl[0], t);
                         Ok(())
                     }
                     (GateName::Y, 0) => {
                         let t = self.slot_of(targets[0])?;
-                        self.gate_z(t);
-                        self.gate_x(t);
+                        self.tab.gate_z(t);
+                        self.tab.gate_x(t);
                         Ok(())
                     }
                     (GateName::H, 0) => {
                         let t = self.slot_of(targets[0])?;
-                        self.gate_h(t);
+                        self.tab.gate_h(t);
                         Ok(())
                     }
                     (GateName::S, 0) => {
@@ -362,28 +753,28 @@ impl Stabilizer {
                         if *inverted {
                             self.gate_s_inv(t);
                         } else {
-                            self.gate_s(t);
+                            self.tab.gate_s(t);
                         }
                         Ok(())
                     }
                     (GateName::V, 0) => {
                         // V = H·S·H exactly; V† = H·S†·H.
                         let t = self.slot_of(targets[0])?;
-                        self.gate_h(t);
+                        self.tab.gate_h(t);
                         if *inverted {
                             self.gate_s_inv(t);
                         } else {
-                            self.gate_s(t);
+                            self.tab.gate_s(t);
                         }
-                        self.gate_h(t);
+                        self.tab.gate_h(t);
                         Ok(())
                     }
                     (GateName::Swap, 0) => {
                         let a = self.slot_of(targets[0])?;
                         let b = self.slot_of(targets[1])?;
-                        self.gate_cnot(a, b);
-                        self.gate_cnot(b, a);
-                        self.gate_cnot(a, b);
+                        if a != b {
+                            self.tab.gate_swap(a, b);
+                        }
                         Ok(())
                     }
                     _ => Err(unsupported(gate)),
@@ -420,23 +811,30 @@ pub fn run_clifford_flat(
     inputs: &[bool],
     seed: u64,
 ) -> Result<Vec<bool>, SimError> {
+    run_clifford_flat_tableau::<PackedTableau>(flat, inputs, seed)
+}
+
+/// [`run_clifford_flat`] over an explicit tableau backend. Backends draw
+/// randomness in the same order, so results are seed-for-seed identical —
+/// the property the packed tableau is tested for against [`BoolTableau`].
+///
+/// # Errors
+///
+/// As for [`run_clifford_flat`].
+pub fn run_clifford_flat_tableau<T: Tableau>(
+    flat: &Circuit,
+    inputs: &[bool],
+    seed: u64,
+) -> Result<Vec<bool>, SimError> {
     if inputs.len() != flat.inputs.len() {
         return Err(SimError::InputArity {
             expected: flat.inputs.len(),
             found: inputs.len(),
         });
     }
-    let mut st = Stabilizer::new(seed);
+    let mut st: CliffordSim<T> = CliffordSim::new(seed);
     for (&(w, t), &v) in flat.inputs.iter().zip(inputs) {
-        match t {
-            WireType::Quantum => {
-                let slot = st.alloc(v);
-                st.slots.insert(w, slot);
-            }
-            WireType::Classical => {
-                st.classical.insert(w, v);
-            }
-        }
+        st.add_input(w, t, v);
     }
     for gate in &flat.gates {
         st.apply(gate)?;
@@ -448,11 +846,7 @@ pub fn run_clifford_flat(
                 st.classical_value(w)
                     .ok_or(SimError::UnknownWire { wire: w })?,
             ),
-            WireType::Quantum => {
-                let slot = st.slot_of(w)?;
-                let (v, _) = st.measure_slot(slot);
-                out.push(v);
-            }
+            WireType::Quantum => out.push(st.measure_wire(w)?),
         }
     }
     Ok(out)
@@ -553,6 +947,28 @@ mod tests {
             let sv = crate::statevec::run(&bc, &[false; 3], seed).unwrap();
             let outs = sv.classical_outputs();
             assert!(outs.iter().all(|&b| b == outs[0]));
+        }
+    }
+
+    /// The tableau keeps working past one word of rows: a 70-qubit GHZ
+    /// chain crosses the 64-row capacity boundary and forces a relayout.
+    #[test]
+    fn ghz_across_word_boundary() {
+        const N: usize = 70;
+        let bc = Circ::build(&vec![false; N], |c, qs: Vec<Qubit>| {
+            c.hadamard(qs[0]);
+            for i in 1..N {
+                c.cnot(qs[i], qs[i - 1]);
+            }
+            c.measure(qs)
+        });
+        for seed in 0..10 {
+            let packed = run_clifford(&bc, &[false; N], seed).unwrap();
+            assert!(packed.iter().all(|&b| b == packed[0]));
+            let flat = inline_all(&bc.db, &bc.main).unwrap();
+            let reference =
+                run_clifford_flat_tableau::<BoolTableau>(&flat, &[false; N], seed).unwrap();
+            assert_eq!(packed, reference, "backends diverge at seed {seed}");
         }
     }
 }

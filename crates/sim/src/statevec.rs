@@ -25,8 +25,10 @@ use quipper_circuit::{BCircuit, Circuit, Control, Gate, GateName, Wire, WireType
 
 use crate::complex::{Complex, ONE, ZERO};
 use crate::error::SimError;
-use crate::fuse::{fuse_circuit, FusedCircuit, FusedOp};
-use crate::kernels::{self, KernelCtx, KernelStats, Mat2};
+use crate::fuse::{fuse_circuit_with, FuseOptions, FusedCircuit, FusedOp};
+use crate::kernels::{self, KernelClass, KernelCtx, KernelStats, Mat2};
+use crate::simd;
+use crate::window::{self, WinGate};
 
 /// Tolerance for assertion checking and renormalization.
 const EPS: f64 = 1e-9;
@@ -43,6 +45,25 @@ pub struct StateVecConfig {
     /// states smaller than `2^parallel_threshold` amplitudes stay
     /// single-threaded (spawn overhead would dominate).
     pub parallel_threshold: u32,
+    /// Whether the run functions additionally collapse pair-confined runs
+    /// into 4×4 products (only meaningful with `fuse`).
+    pub fuse_2q: bool,
+    /// Whether to use the vectorized kernel bodies in [`crate::simd`]
+    /// (subject to runtime feature detection; off = portable scalar).
+    pub simd: bool,
+    /// Whether to execute window segments through the blocked executor
+    /// (one pass over the state per window instead of per gate).
+    pub window: bool,
+    /// log2 of the window block size in amplitudes. The default (10, i.e.
+    /// 1024 amplitudes = 16 KiB) keeps a strip plus the paired strip of a
+    /// high gate within L1d; the tuning sweep in EXPERIMENTS.md picked it.
+    pub window_block_bits: u32,
+    /// Maximum number of distinct high (beyond-block) target bits one
+    /// window may demand; each demanded bit doubles the tile working set.
+    pub window_max_high: u32,
+    /// Whether uncontrolled swaps are absorbed into slot relabeling
+    /// (pure bookkeeping, no amplitude traffic).
+    pub swap_relabel: bool,
 }
 
 impl Default for StateVecConfig {
@@ -53,17 +74,31 @@ impl Default for StateVecConfig {
                 .unwrap_or(1),
             fuse: true,
             parallel_threshold: 18,
+            fuse_2q: true,
+            simd: true,
+            window: true,
+            window_block_bits: 10,
+            window_max_high: 4,
+            swap_relabel: true,
         }
     }
 }
 
 impl StateVecConfig {
-    /// A configuration that runs everything sequentially and unfused.
+    /// A configuration that runs everything sequentially and unfused, with
+    /// every bandwidth optimization (SIMD, windows, relabeling) disabled —
+    /// the per-gate kernel baseline the optimized paths are compared to.
     pub fn sequential() -> StateVecConfig {
         StateVecConfig {
             threads: 1,
             fuse: false,
             parallel_threshold: u32::MAX,
+            fuse_2q: false,
+            simd: false,
+            window: false,
+            window_block_bits: 10,
+            window_max_high: 4,
+            swap_relabel: false,
         }
     }
 }
@@ -130,8 +165,41 @@ impl StateVec {
 
     /// The raw amplitude vector (length `2^live_slots`), for tests and
     /// benchmarks that compare states across execution paths.
+    ///
+    /// The wire→slot assignment is execution-history dependent (allocation
+    /// order, recycling, swap relabeling), so raw vectors from *different*
+    /// circuits or configurations are generally not comparable index by
+    /// index — use [`canonical_amplitudes`](Self::canonical_amplitudes)
+    /// for that.
     pub fn amplitudes(&self) -> &[Complex] {
         &self.amps
+    }
+
+    /// The amplitude vector re-indexed to a canonical basis: live quantum
+    /// wires sorted by wire id become bits 0, 1, … of the index, and freed
+    /// slots (which hold definite parked values) are projected out. Two
+    /// simulations of equivalent circuits agree on this vector up to global
+    /// phase and rounding, regardless of slot assignment or relabeling.
+    pub fn canonical_amplitudes(&self) -> Vec<Complex> {
+        let mut live: Vec<(Wire, usize)> = self.slots.iter().map(|(&w, &s)| (w, s)).collect();
+        live.sort_by_key(|&(w, _)| w);
+        let mut base = 0usize;
+        for &(slot, val) in &self.free {
+            if val {
+                base |= 1usize << slot;
+            }
+        }
+        let mut out = vec![ZERO; 1usize << live.len()];
+        for (j, out_amp) in out.iter_mut().enumerate() {
+            let mut i = base;
+            for (k, &(_, slot)) in live.iter().enumerate() {
+                if j & (1usize << k) != 0 {
+                    i |= 1usize << slot;
+                }
+            }
+            *out_amp = self.amps[i];
+        }
+        out
     }
 
     /// The value of a classical wire, if it has one.
@@ -214,6 +282,7 @@ impl StateVec {
             min_parallel_amps: 1usize
                 .checked_shl(self.config.parallel_threshold)
                 .unwrap_or(usize::MAX),
+            simd: self.config.simd && simd::available(),
         }
     }
 
@@ -347,7 +416,31 @@ impl StateVec {
                 self.apply_mat(slot, mat, mask, want);
                 Ok(())
             }
+            FusedOp::Unitary2q { a, b, mat, .. } => {
+                let sa = self.slot_of(*a)?;
+                let sb = self.slot_of(*b)?;
+                let ctx = self.kernel_ctx();
+                kernels::apply_mat4(&mut self.amps, sa, sb, mat, 0, 0, &ctx, &mut self.stats);
+                Ok(())
+            }
         }
+    }
+
+    /// Exchanges the slots of two live wires: an uncontrolled swap executed
+    /// as pure bookkeeping, with no amplitude traffic.
+    fn relabel_swap(&mut self, wa: Wire, wb: Wire) -> Result<(), SimError> {
+        let sa = self.slot_of(wa)?;
+        let sb = self.slot_of(wb)?;
+        self.slots.insert(wa, sb);
+        self.slots.insert(wb, sa);
+        self.stats.relabeled += 1;
+        Ok(())
+    }
+
+    /// Whether an uncontrolled swap should relabel instead of moving
+    /// amplitudes.
+    fn relabels(&self, mask: usize) -> bool {
+        mask == 0 && self.config.swap_relabel && !self.reference
     }
 
     /// Executes a single gate. Subroutine calls must be inlined first (see
@@ -427,6 +520,9 @@ impl StateVec {
                 };
                 match name {
                     GateName::Swap => {
+                        if self.relabels(mask) {
+                            return self.relabel_swap(targets[0], targets[1]);
+                        }
                         let a = self.slot_of(targets[0])?;
                         let b = self.slot_of(targets[1])?;
                         if self.reference {
@@ -547,6 +643,292 @@ impl StateVec {
             }),
         }
     }
+
+    /// Executes a window segment (a run of ops [`crate::fuse`] marked
+    /// window-eligible) through the blocked executor: ops are resolved to
+    /// slot space and buffered, and each full buffer is applied in one pass
+    /// over the state. Two-slot gates reaching above the block boundary,
+    /// and over-budget high demands, flush the buffer and fall back to the
+    /// per-gate kernels.
+    fn exec_segment(&mut self, ops: &[FusedOp]) -> Result<(), SimError> {
+        let block = (1usize << self.config.window_block_bits.min(62)).min(self.amps.len());
+        let max_high = self.config.window_max_high as usize;
+        let mut win: Vec<WinGate> = Vec::new();
+        let mut demanded = 0usize;
+        for op in ops {
+            match self.resolve_win(op, block)? {
+                Resolved::Skip => {}
+                Resolved::Relabel(wa, wb) => {
+                    // Pure bookkeeping for *future* resolution; buffered
+                    // gates hold already-resolved slots, so no flush.
+                    self.relabel_swap(wa, wb)?;
+                }
+                Resolved::Fallback => {
+                    self.flush_window(&mut win, &mut demanded);
+                    self.apply_fused(op)?;
+                }
+                Resolved::Win(g) => {
+                    let d = g.demand(block);
+                    if d != 0 && demanded & d == 0 && demanded.count_ones() as usize >= max_high {
+                        self.flush_window(&mut win, &mut demanded);
+                        if max_high == 0 {
+                            let ctx = self.kernel_ctx();
+                            self.apply_win_standalone(g, &ctx);
+                            continue;
+                        }
+                    }
+                    demanded |= d;
+                    win.push(g);
+                }
+            }
+        }
+        self.flush_window(&mut win, &mut demanded);
+        Ok(())
+    }
+
+    /// Applies and clears the buffered window. A single-gate window skips
+    /// the executor — one gate gets no reuse out of a blocked sweep.
+    fn flush_window(&mut self, win: &mut Vec<WinGate>, demanded: &mut usize) {
+        *demanded = 0;
+        if win.is_empty() {
+            return;
+        }
+        let ctx = self.kernel_ctx();
+        if win.len() == 1 {
+            let g = win.pop().unwrap();
+            self.apply_win_standalone(g, &ctx);
+            return;
+        }
+        window::execute(
+            &mut self.amps,
+            win,
+            self.config.window_block_bits,
+            &ctx,
+            &mut self.stats,
+        );
+        win.clear();
+    }
+
+    /// Applies one resolved gate through the ordinary full-state kernels.
+    fn apply_win_standalone(&mut self, g: WinGate, ctx: &KernelCtx) {
+        match g {
+            WinGate::Phase { k, mask, want } => {
+                kernels::apply_phase(&mut self.amps, k, mask, want, ctx, &mut self.stats);
+            }
+            WinGate::Diag {
+                slot,
+                d0,
+                d1,
+                mask,
+                want,
+            } => {
+                kernels::apply_diagonal(
+                    &mut self.amps,
+                    slot,
+                    d0,
+                    d1,
+                    mask,
+                    want,
+                    ctx,
+                    &mut self.stats,
+                );
+            }
+            WinGate::Perm {
+                slot,
+                m01,
+                m10,
+                mask,
+                want,
+            } => {
+                kernels::apply_permutation(
+                    &mut self.amps,
+                    slot,
+                    m01,
+                    m10,
+                    mask,
+                    want,
+                    ctx,
+                    &mut self.stats,
+                );
+            }
+            WinGate::Dense {
+                slot,
+                m,
+                mask,
+                want,
+            } => {
+                kernels::apply_general(&mut self.amps, slot, &m, mask, want, ctx, &mut self.stats);
+            }
+            WinGate::Swap2 { a, b, mask, want } => {
+                kernels::apply_swap(&mut self.amps, a, b, mask, want, ctx, &mut self.stats);
+            }
+            WinGate::W2 { a, b, mask, want } => {
+                kernels::apply_w(
+                    &mut self.amps,
+                    a,
+                    b,
+                    false,
+                    mask,
+                    want,
+                    ctx,
+                    &mut self.stats,
+                );
+            }
+            WinGate::Mat4g {
+                a,
+                b,
+                m,
+                mask,
+                want,
+            } => {
+                kernels::apply_mat4(&mut self.amps, a, b, &m, mask, want, ctx, &mut self.stats);
+            }
+        }
+    }
+
+    /// Resolves one window-eligible op to slot space.
+    fn resolve_win(&self, op: &FusedOp, block: usize) -> Result<Resolved, SimError> {
+        match op {
+            FusedOp::Unitary1q {
+                wire,
+                controls,
+                mat,
+                ..
+            } => {
+                let Some((mask, want)) = self.resolve_controls(controls)? else {
+                    return Ok(Resolved::Skip);
+                };
+                let slot = self.slot_of(*wire)?;
+                Ok(Resolved::Win(win_1q(slot, mat, mask, want)))
+            }
+            FusedOp::Unitary2q { a, b, mat, .. } => {
+                let sa = self.slot_of(*a)?;
+                let sb = self.slot_of(*b)?;
+                if (1usize << sa.max(sb)) >= block {
+                    return Ok(Resolved::Fallback);
+                }
+                Ok(Resolved::Win(WinGate::Mat4g {
+                    a: sa,
+                    b: sb,
+                    m: Box::new(*mat),
+                    mask: 0,
+                    want: 0,
+                }))
+            }
+            FusedOp::Gate(g) => match g {
+                Gate::Comment { .. } => Ok(Resolved::Skip),
+                Gate::GPhase { angle, controls } => {
+                    let Some((mask, want)) = self.resolve_controls(controls)? else {
+                        return Ok(Resolved::Skip);
+                    };
+                    let k = Complex::cis(std::f64::consts::PI * angle);
+                    Ok(Resolved::Win(WinGate::Phase { k, mask, want }))
+                }
+                Gate::QGate {
+                    name: GateName::Swap,
+                    targets,
+                    controls,
+                    ..
+                } => {
+                    let Some((mask, want)) = self.resolve_controls(controls)? else {
+                        return Ok(Resolved::Skip);
+                    };
+                    if self.relabels(mask) {
+                        return Ok(Resolved::Relabel(targets[0], targets[1]));
+                    }
+                    let a = self.slot_of(targets[0])?;
+                    let b = self.slot_of(targets[1])?;
+                    if (1usize << a.max(b)) >= block {
+                        return Ok(Resolved::Fallback);
+                    }
+                    Ok(Resolved::Win(WinGate::Swap2 { a, b, mask, want }))
+                }
+                Gate::QGate {
+                    name: GateName::W,
+                    targets,
+                    controls,
+                    ..
+                } => {
+                    let Some((mask, want)) = self.resolve_controls(controls)? else {
+                        return Ok(Resolved::Skip);
+                    };
+                    let a = self.slot_of(targets[0])?;
+                    let b = self.slot_of(targets[1])?;
+                    if (1usize << a.max(b)) >= block {
+                        return Ok(Resolved::Fallback);
+                    }
+                    Ok(Resolved::Win(WinGate::W2 { a, b, mask, want }))
+                }
+                _ => {
+                    let Some((wire, m, controls)) = crate::fuse::unary_matrix(g) else {
+                        return Ok(Resolved::Fallback);
+                    };
+                    let Some((mask, want)) = self.resolve_controls(controls)? else {
+                        return Ok(Resolved::Skip);
+                    };
+                    let slot = self.slot_of(wire)?;
+                    Ok(Resolved::Win(win_1q(slot, &m, mask, want)))
+                }
+            },
+        }
+    }
+}
+
+/// What a window-eligible op resolved to.
+enum Resolved {
+    /// No-op here (comment, or an unsatisfied classical control).
+    Skip,
+    /// An uncontrolled swap absorbed into slot bookkeeping.
+    Relabel(Wire, Wire),
+    /// Cannot join a window (two-slot gate above the block boundary);
+    /// apply through the ordinary per-gate path.
+    Fallback,
+    /// A resolved window gate.
+    Win(WinGate),
+}
+
+/// Builds the window gate for a 1q matrix on a resolved slot, with the
+/// same diagonal→phase folding as [`kernels::apply_mat2`].
+fn win_1q(slot: usize, m: &Mat2, mask: usize, want: usize) -> WinGate {
+    let bit = 1usize << slot;
+    match kernels::classify(m) {
+        KernelClass::Diagonal => {
+            if m[0][0] == ONE {
+                WinGate::Phase {
+                    k: m[1][1],
+                    mask: mask | bit,
+                    want: want | bit,
+                }
+            } else if m[1][1] == ONE {
+                WinGate::Phase {
+                    k: m[0][0],
+                    mask: mask | bit,
+                    want,
+                }
+            } else {
+                WinGate::Diag {
+                    slot,
+                    d0: m[0][0],
+                    d1: m[1][1],
+                    mask,
+                    want,
+                }
+            }
+        }
+        KernelClass::Permutation => WinGate::Perm {
+            slot,
+            m01: m[0][1],
+            m10: m[1][0],
+            mask,
+            want,
+        },
+        KernelClass::General => WinGate::Dense {
+            slot,
+            m: *m,
+            mask,
+            want,
+        },
+    }
 }
 
 /// The result of running a circuit to completion.
@@ -633,7 +1015,13 @@ pub fn run_flat_with(
     config: StateVecConfig,
 ) -> Result<RunResult, SimError> {
     if config.fuse {
-        let fused = fuse_circuit(flat);
+        let fused = fuse_circuit_with(
+            flat,
+            FuseOptions {
+                merge_1q: true,
+                merge_2q: config.fuse_2q,
+            },
+        );
         return run_fused(&fused, inputs, seed, config);
     }
     if inputs.len() != flat.inputs.len() {
@@ -669,6 +1057,10 @@ fn publish_kernel_metrics(sv: &StateVec) {
     m.add(quipper_trace::names::KERNEL_GENERAL, stats.general);
     m.add(quipper_trace::names::KERNEL_SUBCUBE, stats.subcube);
     m.add(quipper_trace::names::KERNEL_THREADED, stats.threaded);
+    m.add(quipper_trace::names::KERNEL_WINDOWED, stats.windowed);
+    m.add(quipper_trace::names::KERNEL_WINDOWS, stats.windows);
+    m.add(quipper_trace::names::KERNEL_MAT4, stats.mat4);
+    m.add(quipper_trace::names::KERNEL_RELABELED, stats.relabeled);
 }
 
 /// Runs a pre-fused circuit for one shot. Shot loops fuse once (or take the
@@ -693,8 +1085,27 @@ pub fn run_fused(
     for (&(w, t), &v) in fused.inputs.iter().zip(inputs) {
         sv.add_input(w, t, v);
     }
-    for op in &fused.ops {
-        sv.apply_fused(op)?;
+    if sv.config.window {
+        // Walk the op stream, executing planned window segments through the
+        // blocked executor and everything between them per-gate.
+        let mut i = 0;
+        let mut next_seg = 0;
+        while i < fused.ops.len() {
+            if let Some(seg) = fused.segments.get(next_seg) {
+                if seg.start == i {
+                    sv.exec_segment(&fused.ops[seg.start..seg.end])?;
+                    i = seg.end;
+                    next_seg += 1;
+                    continue;
+                }
+            }
+            sv.apply_fused(&fused.ops[i])?;
+            i += 1;
+        }
+    } else {
+        for op in &fused.ops {
+            sv.apply_fused(op)?;
+        }
     }
     publish_kernel_metrics(&sv);
     Ok(RunResult {
@@ -995,7 +1406,13 @@ pub fn sample_outputs(
         });
     }
     let config = StateVecConfig::default();
-    let fused = fuse_circuit(&flat);
+    let fused = fuse_circuit_with(
+        &flat,
+        FuseOptions {
+            merge_1q: true,
+            merge_2q: config.fuse_2q,
+        },
+    );
     for shot in 0..shots {
         let r = run_fused(&fused, inputs, seed0 + shot, config)?;
         let mut key = Vec::with_capacity(r.outputs.len());

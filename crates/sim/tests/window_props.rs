@@ -1,29 +1,34 @@
-//! Property tests of the state-vector kernel layer: the optimized execution
-//! paths must agree with the pre-kernel full-scan reference.
+//! Property tests of the blocked window executor and the SIMD kernel
+//! bodies: the bandwidth-optimized paths must agree with the full-scan
+//! reference.
 //!
-//! Three paths, two contracts:
+//! Two contracts, mirroring `kernel_props`:
 //!
-//! * **Kernels, sequential** (pair-stride + specialization + sub-cube, no
-//!   fusion) and **kernels, threaded** perform the same floating-point
-//!   operations per pair as the scan, so their final amplitudes must compare
-//!   *equal* (`==`, which treats −0.0 and +0.0 as equal — the one place the
-//!   paths legitimately differ).
-//! * **Fusion** replaces gate runs with matrix products, which rounds
-//!   differently, so the fused path is held to 1e-9 amplitude closeness and
-//!   exact histogram equality on measured circuits.
+//! * **Unfused windows are bit-identical.** [`segment_circuit`] plans
+//!   window segments without merging any matrices, so the blocked executor
+//!   performs gate-for-gate the same arithmetic as the scan — sequential,
+//!   threaded, and SIMD results must compare `==` (the SIMD bodies are
+//!   constructed to reproduce scalar `Complex` products exactly: no FMA).
+//!   Block size and the high-bit budget are *part of the random input*, so
+//!   tiny blocks force the high-gate strip-pairing and flush paths.
+//! * **The full default path** (1q+2q fusion, windows, SIMD, swap
+//!   relabeling) rounds differently through matrix products, so it is held
+//!   to 1e-9 closeness on canonical amplitudes and exact histogram
+//!   equality on measured circuits.
 
 use proptest::prelude::*;
 use quipper::{Circ, Qubit};
 use quipper_circuit::flatten::inline_all;
 use quipper_circuit::{BCircuit, Circuit};
-use quipper_sim::statevec::{run_flat_reference, run_flat_with, StateVecConfig};
+use quipper_sim::segment_circuit;
+use quipper_sim::statevec::{run_flat_reference, run_flat_with, run_fused, StateVecConfig};
 
-const QUBITS: usize = 5;
+const QUBITS: usize = 6;
 
-/// One random instruction over a small register, spanning every kernel
-/// class: diagonal (S, T, Z, R), permutation (X, Y), general (H, V, Ry),
-/// two-qubit specials (Swap, W), controlled forms, a global phase, and a
-/// scoped ancilla (exercising slot recycling and sub-cube controls).
+/// One random instruction spanning every window-gate shape: phase-folded
+/// diagonals (S, T, R, controlled T), dense 1q (H, V, Ry), permutations
+/// (X, Y, CNOT, Toffoli), the two-qubit specials (Swap, CSwap, W), global
+/// phases, and a scoped ancilla for slot recycling.
 #[derive(Clone, Copy, Debug)]
 enum Op {
     H(usize),
@@ -68,10 +73,7 @@ fn op() -> impl Strategy<Value = Op> {
     ]
 }
 
-/// Builds the random circuit; ops whose wires coincide are skipped. When
-/// `measured`, every qubit is measured at the end (so the circuit can be
-/// sampled); otherwise the qubits stay quantum and the final amplitudes are
-/// compared directly.
+/// Builds the random circuit; ops whose wires coincide are skipped.
 fn circuit(ops: &[Op], measured: bool) -> BCircuit {
     let mut c = Circ::new();
     let qs: Vec<Qubit> = (0..QUBITS).map(|_| c.qinit_bit(false)).collect();
@@ -130,6 +132,22 @@ fn flat_of(bc: &BCircuit) -> Circuit {
     inline_all(&bc.db, &bc.main).unwrap()
 }
 
+/// A window configuration with merging left to the caller: `bits` and
+/// `high` are deliberately tiny so a 6-qubit state spans many blocks and
+/// the strip-pairing, per-strip-phase, flush, and standalone paths all
+/// fire.
+fn window_config(bits: u32, high: u32, simd: bool, threads: usize) -> StateVecConfig {
+    StateVecConfig {
+        threads,
+        parallel_threshold: if threads > 1 { 0 } else { u32::MAX },
+        simd,
+        window: true,
+        window_block_bits: bits,
+        window_max_high: high,
+        ..StateVecConfig::sequential()
+    }
+}
+
 fn assert_amps_equal(a: &quipper_sim::StateVec, b: &quipper_sim::StateVec, what: &str) {
     let (xa, xb) = (a.amplitudes(), b.amplitudes());
     assert_eq!(xa.len(), xb.len(), "{what}: state sizes differ");
@@ -146,78 +164,104 @@ fn assert_amps_equal(a: &quipper_sim::StateVec, b: &quipper_sim::StateVec, what:
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Sequential kernels (no fusion) are bit-identical to the full-scan
-    /// reference: same pairs, same arithmetic, different iteration scheme.
+    /// The blocked executor over unmerged segments is bit-identical to the
+    /// scan, for every block size from "everything is a high gate" up.
     #[test]
-    fn sequential_kernels_are_bit_identical_to_scan(
-        ops in proptest::collection::vec(op(), 1..40)
+    fn windowed_execution_is_bit_identical_to_scan(
+        ops in proptest::collection::vec(op(), 1..40),
+        bits in 0u32..5,
+        high in 0u32..3,
     ) {
         let flat = flat_of(&circuit(&ops, false));
         let reference = run_flat_reference(&flat, &[], 7).unwrap();
-        let cfg = StateVecConfig { fuse: false, ..StateVecConfig::sequential() };
-        let kernels = run_flat_with(&flat, &[], 7, cfg).unwrap();
-        assert_amps_equal(&reference.state, &kernels.state, "sequential kernels");
+        let fused = segment_circuit(&flat);
+        let cfg = window_config(bits, high, false, 1);
+        let windowed = run_fused(&fused, &[], 7, cfg).unwrap();
+        assert_amps_equal(&reference.state, &windowed.state, "windowed kernels");
     }
 
-    /// Threaded kernels are bit-identical too: chunks are disjoint and the
-    /// per-pair arithmetic is unchanged.
+    /// The SIMD kernel bodies reproduce the scalar complex products exactly
+    /// (no FMA contraction), so the windowed SIMD path is bit-identical
+    /// too. On hosts without AVX2 this degrades to the scalar path and the
+    /// test still holds.
     #[test]
-    fn threaded_kernels_are_bit_identical_to_scan(
-        ops in proptest::collection::vec(op(), 1..40)
+    fn simd_windowed_execution_is_bit_identical_to_scan(
+        ops in proptest::collection::vec(op(), 1..40),
+        bits in 0u32..5,
+        high in 0u32..3,
     ) {
         let flat = flat_of(&circuit(&ops, false));
         let reference = run_flat_reference(&flat, &[], 11).unwrap();
-        let cfg = StateVecConfig {
-            threads: 4,
-            parallel_threshold: 0,
-            ..StateVecConfig::sequential()
-        };
-        let threaded = run_flat_with(&flat, &[], 11, cfg).unwrap();
-        assert_amps_equal(&reference.state, &threaded.state, "threaded kernels");
+        let fused = segment_circuit(&flat);
+        let cfg = window_config(bits, high, true, 1);
+        let simd = run_fused(&fused, &[], 11, cfg).unwrap();
+        assert_amps_equal(&reference.state, &simd.state, "SIMD windowed kernels");
     }
 
-    /// The fused path agrees with the reference up to matrix-product
-    /// rounding (1e-9 on every amplitude).
+    /// Threading chunks on whole-tile boundaries, so the threaded windowed
+    /// path is bit-identical as well.
     #[test]
-    fn fused_execution_matches_reference_amplitudes(
-        ops in proptest::collection::vec(op(), 1..40)
+    fn threaded_windowed_execution_is_bit_identical_to_scan(
+        ops in proptest::collection::vec(op(), 1..40),
+        bits in 0u32..5,
+        high in 0u32..3,
     ) {
         let flat = flat_of(&circuit(&ops, false));
         let reference = run_flat_reference(&flat, &[], 13).unwrap();
+        let fused = segment_circuit(&flat);
+        let cfg = window_config(bits, high, true, 4);
+        let threaded = run_fused(&fused, &[], 13, cfg).unwrap();
+        assert_amps_equal(&reference.state, &threaded.state, "threaded windowed kernels");
+    }
+
+    /// The full default path — 1q+2q fusion, windows, SIMD, swap
+    /// relabeling — agrees with the reference up to matrix-product rounding
+    /// on *canonical* amplitudes (relabeling permutes the raw storage
+    /// order, canonicalization undoes it).
+    #[test]
+    fn full_default_path_matches_reference_amplitudes(
+        ops in proptest::collection::vec(op(), 1..40),
+    ) {
+        let flat = flat_of(&circuit(&ops, false));
+        let reference = run_flat_reference(&flat, &[], 17).unwrap();
         let cfg = StateVecConfig {
-            fuse: true,
-            ..StateVecConfig::sequential()
+            threads: 1,
+            window_block_bits: 2,
+            window_max_high: 2,
+            ..StateVecConfig::default()
         };
-        let fused = run_flat_with(&flat, &[], 13, cfg).unwrap();
-        let (xa, xb) = (reference.state.amplitudes(), fused.state.amplitudes());
+        let full = run_flat_with(&flat, &[], 17, cfg).unwrap();
+        let (xa, xb) = (
+            reference.state.canonical_amplitudes(),
+            full.state.canonical_amplitudes(),
+        );
         prop_assert_eq!(xa.len(), xb.len());
-        for (i, (x, y)) in xa.iter().zip(xb).enumerate() {
+        for (i, (x, y)) in xa.iter().zip(xb.iter()).enumerate() {
             let d = ((x.re - y.re).powi(2) + (x.im - y.im).powi(2)).sqrt();
             prop_assert!(d < 1e-9, "amplitude {} off by {}: {:?} vs {:?}", i, d, x, y);
         }
     }
 
-    /// On measured circuits the fused + threaded path reproduces the
-    /// reference histogram exactly, seed for seed: fusion flushes at every
-    /// measurement, so the sampled state (and RNG consumption order) is the
-    /// same up to rounding far below the sampling resolution.
+    /// On measured circuits the full default path reproduces the reference
+    /// outputs exactly, seed for seed: windows flush at measurements and
+    /// the surviving rounding noise is far below sampling resolution.
     #[test]
-    fn fused_threaded_histograms_match_reference(
-        ops in proptest::collection::vec(op(), 1..30)
+    fn full_default_path_histograms_match_reference(
+        ops in proptest::collection::vec(op(), 1..30),
     ) {
         let flat = flat_of(&circuit(&ops, true));
         let cfg = StateVecConfig {
-            threads: 4,
-            fuse: true,
-            parallel_threshold: 0,
+            threads: 1,
+            window_block_bits: 2,
+            window_max_high: 2,
             ..StateVecConfig::default()
         };
         for seed in 0..20u64 {
             let reference = run_flat_reference(&flat, &[], seed).unwrap();
-            let fused = run_flat_with(&flat, &[], seed, cfg).unwrap();
+            let full = run_flat_with(&flat, &[], seed, cfg).unwrap();
             prop_assert_eq!(
                 reference.classical_outputs(),
-                fused.classical_outputs(),
+                full.classical_outputs(),
                 "outputs diverge at seed {}",
                 seed
             );

@@ -84,6 +84,14 @@ pub mod names {
     pub const KERNEL_GENERAL: &str = "sim.kernel.general";
     pub const KERNEL_SUBCUBE: &str = "sim.kernel.subcube";
     pub const KERNEL_THREADED: &str = "sim.kernel.threaded";
+    /// Gate applications executed inside blocked windows.
+    pub const KERNEL_WINDOWED: &str = "sim.kernel.windowed";
+    /// Blocked windows flushed.
+    pub const KERNEL_WINDOWS: &str = "sim.kernel.windows";
+    /// Fused two-qubit (4x4) kernel dispatches.
+    pub const KERNEL_MAT4: &str = "sim.kernel.mat4";
+    /// Swap gates absorbed into wire-slot relabeling.
+    pub const KERNEL_RELABELED: &str = "sim.kernel.relabeled";
 
     /// Max-gauge: peak live qubits observed by the state-vector allocator.
     pub const LIVE_QUBITS_PEAK: &str = "sim.live_qubits_peak";
