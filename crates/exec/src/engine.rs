@@ -24,7 +24,7 @@ use quipper::{Circ, QCData, Shape};
 use quipper_circuit::BCircuit;
 use quipper_opt::{OptLevel, OptSummary};
 use quipper_sim::{FuseStats, StateVecConfig};
-use quipper_trace::{fmt_duration, names, Phase, TraceSummary, Tracer};
+use quipper_trace::{fmt_duration, names, Phase, ProfileSummary, TraceSummary, Tracer};
 
 use crate::backend::{
     Backend, ClassicalBackend, CountingBackend, ResourceEstimate, StabilizerBackend,
@@ -191,6 +191,12 @@ pub struct ExecReport {
     pub opt: Option<OptSummary>,
     /// Trace accounting for this job, when tracing was enabled during it.
     pub trace: Option<TraceSummary>,
+    /// Sampling-profiler attribution for this job's state-vector windows,
+    /// when the profiler ([`StateVecConfig::profile`]) and the process-wide
+    /// tracer were both enabled. Computed as a counter delta over the job,
+    /// so concurrent jobs in one process fold into each other's summaries
+    /// (the same caveat as `trace`).
+    pub profile: Option<ProfileSummary>,
 }
 
 impl ExecReport {
@@ -226,6 +232,11 @@ impl fmt::Display for ExecReport {
         }
         if let Some(trace) = &self.trace {
             write!(f, " | trace: {trace}")?;
+        }
+        if let Some(profile) = &self.profile {
+            if !profile.is_empty() {
+                write!(f, " | profile: {profile}")?;
+            }
         }
         Ok(())
     }
@@ -331,6 +342,9 @@ pub struct Engine {
     lint: LintGate,
     opt: OptLevel,
     trace: &'static Tracer,
+    /// Whether the state-vector backend was configured with the sampling
+    /// window profiler; gates the per-job [`ProfileSummary`] delta.
+    profile: bool,
     jobs: AtomicU64,
     shots: AtomicU64,
     interactive_runs: AtomicU64,
@@ -391,6 +405,7 @@ impl Engine {
             lint: config.lint,
             opt: config.opt,
             trace: config.trace,
+            profile: config.statevec.profile,
             jobs: AtomicU64::new(0),
             shots: AtomicU64::new(0),
             interactive_runs: AtomicU64::new(0),
@@ -503,6 +518,10 @@ impl Engine {
     fn run_with_workers(&self, job: &Job, workers: usize) -> Result<ExecResult, ExecError> {
         let trace = self.trace;
         let counts_before = trace.counts();
+        // The state-vector runners publish profiler counters to the
+        // process-wide tracer, so the per-job delta reads from there (not
+        // from `self.trace`, which may be a dedicated sink).
+        let prof_before = (self.profile && quipper_trace::enabled()).then(global_profile_counters);
         let _job_span = trace.span(Phase::Execute, "engine.job");
 
         let compile_start = Instant::now();
@@ -610,6 +629,17 @@ impl Engine {
                 dropped: counts_after.1 - counts_before.1,
             }
         });
+        let profile_summary = prof_before.map(|before| {
+            let after = global_profile_counters();
+            ProfileSummary {
+                windows_sampled: after.windows_sampled - before.windows_sampled,
+                sampled_ns: after.sampled_ns - before.sampled_ns,
+                diagonal_ns: after.diagonal_ns - before.diagonal_ns,
+                permutation_ns: after.permutation_ns - before.permutation_ns,
+                general_ns: after.general_ns - before.general_ns,
+                mat4_ns: after.mat4_ns - before.mat4_ns,
+            }
+        });
 
         Ok(ExecResult {
             histogram,
@@ -626,6 +656,7 @@ impl Engine {
                 lint: Some(plan.lint.summary()),
                 opt: opt_summary,
                 trace: trace_summary,
+                profile: profile_summary,
             },
         })
     }
@@ -717,6 +748,20 @@ fn route_metric(backend: &'static str) -> &'static str {
         "stabilizer" => names::ROUTE_STABILIZER,
         "statevec" => names::ROUTE_STATEVEC,
         _ => names::ROUTE_OTHER,
+    }
+}
+
+/// Current process-wide `sim.profile.*` counter values as a summary; two
+/// readings bracket a job to produce its [`ProfileSummary`] delta.
+fn global_profile_counters() -> ProfileSummary {
+    let m = quipper_trace::tracer().metrics();
+    ProfileSummary {
+        windows_sampled: m.counter(names::PROF_WINDOWS_SAMPLED),
+        sampled_ns: m.counter(names::PROF_SAMPLED_NS),
+        diagonal_ns: m.counter(names::PROF_DIAGONAL_NS),
+        permutation_ns: m.counter(names::PROF_PERMUTATION_NS),
+        general_ns: m.counter(names::PROF_GENERAL_NS),
+        mat4_ns: m.counter(names::PROF_MAT4_NS),
     }
 }
 
@@ -958,6 +1003,7 @@ mod tests {
             lint: None,
             opt: None,
             trace: None,
+            profile: None,
         }
     }
 

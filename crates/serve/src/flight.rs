@@ -1,0 +1,240 @@
+//! Flight recorder: always-on, bounded capture of per-job event timelines.
+//!
+//! Every admitted job carries a [`FlightLog`] that stamps each lifecycle
+//! phase (admit → queue → compile/coalesce → shots → terminal, plus one
+//! stamp per retry) against the job's admission instant. When the job
+//! reaches a terminal state the finished timeline is pushed into the
+//! service's [`FlightRecorder`] — a fixed-capacity ring, so the recorder's
+//! memory is bounded no matter how many jobs flow through. The dump turns
+//! "job 4132 was slow" into an answerable question: the timeline shows
+//! where the time went, phase by phase.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::service::JobId;
+
+/// Lifecycle phase tags used by the recorder. Kept as constants so tests
+/// and the wire protocol agree on spelling.
+pub mod phases {
+    /// Admission decision made; the timeline's epoch.
+    pub const ADMIT: &str = "admit";
+    /// Waiting in the admission queue.
+    pub const QUEUE: &str = "queue";
+    /// Leading a plan compile.
+    pub const COMPILE: &str = "compile";
+    /// Coalesced onto a concurrent identical compile.
+    pub const COALESCE: &str = "coalesce";
+    /// Executing shots (one stamp per attempt).
+    pub const SHOTS: &str = "shots";
+    /// Backing off before a retry attempt.
+    pub const RETRY: &str = "retry";
+}
+
+/// One stamped event in a job's timeline.
+#[derive(Clone, Debug)]
+pub struct FlightEvent {
+    /// Phase tag (see [`phases`]; terminal events use the job state's tag).
+    pub phase: &'static str,
+    /// Offset from the job's admission.
+    pub at: Duration,
+    /// Optional human-readable annotation (attempt number, error text).
+    pub detail: Option<String>,
+}
+
+/// A job's per-lifecycle event log, stamped as the job moves through the
+/// service. Thread-safe: admission, workers, and finalization stamp from
+/// different threads.
+#[derive(Debug)]
+pub struct FlightLog {
+    epoch: Instant,
+    events: Mutex<Vec<FlightEvent>>,
+}
+
+impl Default for FlightLog {
+    fn default() -> Self {
+        FlightLog::new()
+    }
+}
+
+impl FlightLog {
+    /// A fresh log whose epoch is now, pre-stamped with the `admit` phase.
+    pub fn new() -> FlightLog {
+        let log = FlightLog {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        };
+        log.stamp(phases::ADMIT, None);
+        log
+    }
+
+    /// Record `phase` at the current offset.
+    pub fn stamp(&self, phase: &'static str, detail: Option<String>) {
+        self.events.lock().unwrap().push(FlightEvent {
+            phase,
+            at: self.epoch.elapsed(),
+            detail,
+        });
+    }
+
+    /// Time since admission.
+    pub fn elapsed(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    /// Offset of the first stamp of `phase`, if it happened.
+    pub fn first_at(&self, phase: &str) -> Option<Duration> {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|e| e.phase == phase)
+            .map(|e| e.at)
+    }
+
+    /// Snapshot the events stamped so far (in stamp order).
+    pub fn events(&self) -> Vec<FlightEvent> {
+        self.events.lock().unwrap().clone()
+    }
+}
+
+/// A finished (or in-flight) job timeline, as captured by the recorder.
+#[derive(Clone, Debug)]
+pub struct FlightTimeline {
+    pub id: JobId,
+    pub tenant: String,
+    pub label: String,
+    /// Terminal state tag, or the current state for live dumps.
+    pub state: String,
+    /// Stamped events in order. Spans are derived: each event lasts until
+    /// the next one's offset (see [`FlightTimeline::spans`]).
+    pub events: Vec<FlightEvent>,
+}
+
+impl FlightTimeline {
+    /// `(phase, at, duration, detail)` rows: each event's duration runs to
+    /// the next event's offset; the last event gets zero.
+    pub fn spans(&self) -> Vec<(&'static str, Duration, Duration, Option<&str>)> {
+        self.events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let end = self.events.get(i + 1).map_or(e.at, |n| n.at);
+                (e.phase, e.at, end.saturating_sub(e.at), e.detail.as_deref())
+            })
+            .collect()
+    }
+}
+
+/// Fixed-capacity ring of recently finished job timelines.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<Arc<FlightTimeline>>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` timelines (min 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Append a finished timeline, evicting the oldest beyond capacity.
+    pub fn push(&self, timeline: FlightTimeline) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(Arc::new(timeline));
+    }
+
+    /// The most recent `n` timelines, newest last.
+    pub fn recent(&self, n: usize) -> Vec<Arc<FlightTimeline>> {
+        let ring = self.ring.lock().unwrap();
+        ring.iter()
+            .skip(ring.len().saturating_sub(n))
+            .cloned()
+            .collect()
+    }
+
+    /// The most recent timeline for job `id`, if still in the ring.
+    pub fn find(&self, id: JobId) -> Option<Arc<FlightTimeline>> {
+        self.ring
+            .lock()
+            .unwrap()
+            .iter()
+            .rev()
+            .find(|t| t.id == id)
+            .cloned()
+    }
+
+    /// Timelines currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline(id: JobId) -> FlightTimeline {
+        FlightTimeline {
+            id,
+            tenant: "t".into(),
+            label: String::new(),
+            state: "completed".into(),
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_evicts_oldest() {
+        let rec = FlightRecorder::new(3);
+        for id in 1..=5 {
+            rec.push(timeline(id));
+        }
+        assert_eq!(rec.len(), 3);
+        let ids: Vec<_> = rec.recent(10).iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![3, 4, 5]);
+        assert!(rec.find(1).is_none());
+        assert_eq!(rec.find(4).unwrap().id, 4);
+        assert_eq!(rec.recent(2).len(), 2);
+    }
+
+    #[test]
+    fn log_stamps_admit_and_derives_spans() {
+        let log = FlightLog::new();
+        log.stamp(phases::QUEUE, None);
+        log.stamp(phases::COMPILE, None);
+        log.stamp(phases::SHOTS, Some("attempt 1".into()));
+        log.stamp("completed", None);
+        let events = log.events();
+        assert_eq!(events[0].phase, phases::ADMIT);
+        let tl = FlightTimeline {
+            id: 1,
+            tenant: "t".into(),
+            label: String::new(),
+            state: "completed".into(),
+            events,
+        };
+        let spans = tl.spans();
+        assert_eq!(spans.len(), 5);
+        // Offsets are monotone and each span runs to the next offset.
+        for pair in spans.windows(2) {
+            assert!(pair[1].1 >= pair[0].1);
+            assert_eq!(pair[0].1 + pair[0].2, pair[1].1);
+        }
+        assert_eq!(spans[3].3, Some("attempt 1"));
+        assert_eq!(spans.last().unwrap().2, Duration::ZERO);
+    }
+}

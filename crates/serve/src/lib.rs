@@ -27,16 +27,24 @@
 //!   fingerprint).
 //! * [`FaultInjector`] — a backend wrapper with seeded failure probability
 //!   and latency spikes, proving graceful degradation under injected faults.
+//! * **Flight recorder** — every job stamps an always-on lifecycle timeline
+//!   (admit → queue → compile/coalesce → shots → terminal); finished
+//!   timelines land in a bounded [`FlightRecorder`] ring, failed and
+//!   deadline-missed wire results carry theirs inline, and the `flight` op
+//!   dumps them on demand.
 //! * [`protocol`] / [`Server`] — a newline-delimited JSON protocol
-//!   (submit/status/result/cancel/export) over `std::net::TcpListener`,
-//!   served by the `quipper-served` binary.
+//!   (submit/status/result/cancel/export/stats/metrics/flight) over
+//!   `std::net::TcpListener`, served by the `quipper-served` binary.
 //!
 //! Everything observable lands in `quipper-trace` metrics: admissions,
-//! rejections, retries, deadline misses, coalesced compiles, and the
-//! admission-queue depth high-water mark.
+//! rejections, retries, deadline misses, coalesced compiles, the
+//! admission-queue depth high-water mark, and per-tenant latency/queue-wait
+//! histograms with [`SloPolicy`] burn counters — all exportable through the
+//! `metrics` protocol op in JSON Lines or Prometheus text form.
 
 pub mod catalog;
 pub mod fault;
+pub mod flight;
 pub mod protocol;
 pub mod queue;
 pub mod quota;
@@ -45,13 +53,14 @@ pub mod server;
 pub mod service;
 
 pub use fault::{FaultConfig, FaultInjector};
+pub use flight::{FlightEvent, FlightRecorder, FlightTimeline};
 pub use queue::{AdmissionQueue, QueueEntry};
 pub use quota::{QuotaPolicy, TenantQuotas};
 pub use retry::RetryPolicy;
 pub use server::Server;
 pub use service::{
     JobId, JobState, JobStatus, RejectReason, Rejection, Service, ServiceConfig, ServiceStats,
-    Submission,
+    SloPolicy, Submission,
 };
 
 /// SplitMix64: the one-liner generator used for deterministic jitter and

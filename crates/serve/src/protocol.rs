@@ -10,11 +10,16 @@
 //! |           | (`"off"`/`"default"`/`"aggressive"`, defaults to the engine's |
 //! |           | configured level) — all optional except `circuit`             |
 //! | `status`  | `id`                                                          |
-//! | `result`  | `id` — histogram + report once completed                      |
+//! | `result`  | `id` — histogram + report once completed; failed and          |
+//! |           | deadline-missed jobs attach their flight timeline             |
 //! | `cancel`  | `id`                                                          |
 //! | `export`  | `circuit` (catalog name) — OpenQASM 2.0 text                  |
 //! | `list`    | — catalog names                                               |
-//! | `stats`   | — service counters                                            |
+//! | `stats`   | — service + engine counters                                   |
+//! | `metrics` | `format` (`"json"` lines or `"prometheus"` text, default      |
+//! |           | `"json"`) — full metrics-registry snapshot as `text`          |
+//! | `flight`  | `id` (one job's timeline) or `recent` (last N finished,       |
+//! |           | default 8) — flight-recorder dump                             |
 //! | `ping`    | — liveness                                                    |
 //! | `shutdown`| — stop accepting, drain, exit                                 |
 //!
@@ -30,6 +35,7 @@ use std::sync::Arc;
 use quipper_trace::{escape_into, parse_json, Json};
 
 use crate::catalog::Catalog;
+use crate::flight::FlightTimeline;
 use crate::service::{JobState, RejectReason, Service, Submission};
 
 /// The outcome of handling one request line.
@@ -62,6 +68,23 @@ fn err(message: &str) -> Handled {
     }
 }
 
+/// An error response carrying the job's flight timeline, so a failed or
+/// deadline-missed `result` answers "where did the time go" in one round
+/// trip.
+fn err_with_flight(service: &Service, id: u64, message: &str) -> Handled {
+    let mut response = String::from("{\"ok\":false,\"error\":\"");
+    escape_into(&mut response, message);
+    response.push('"');
+    if let Some(timeline) = service.flight(id) {
+        let _ = write!(response, ",\"flight\":{}", flight_json(&timeline));
+    }
+    response.push('}');
+    Handled {
+        response,
+        shutdown: false,
+    }
+}
+
 fn quoted(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -86,6 +109,36 @@ fn get_u64(req: &Json, key: &str) -> Option<u64> {
     req.get(key).and_then(Json::as_num).map(|n| n as u64)
 }
 
+/// One flight timeline as a JSON object: identity, terminal/current state,
+/// and the stamped events with derived span durations in microseconds.
+fn flight_json(timeline: &FlightTimeline) -> String {
+    let mut out = format!(
+        "{{\"id\":{},\"tenant\":{},\"label\":{},\"state\":{},\"events\":[",
+        timeline.id,
+        quoted(&timeline.tenant),
+        quoted(&timeline.label),
+        quoted(&timeline.state),
+    );
+    for (i, (phase, at, dur, detail)) in timeline.spans().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"phase\":{},\"at_us\":{},\"dur_us\":{}",
+            quoted(phase),
+            at.as_micros(),
+            dur.as_micros(),
+        );
+        if let Some(detail) = detail {
+            let _ = write!(out, ",\"detail\":{}", quoted(detail));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Handles one request line against the service and catalog. Pure with
 /// respect to I/O: the caller owns the socket.
 pub fn handle_line(service: &Service, catalog: &Catalog, line: &str) -> Handled {
@@ -108,7 +161,9 @@ pub fn handle_line(service: &Service, catalog: &Catalog, line: &str) -> Handled 
             ok(&format!(
                 "\"submitted\":{},\"admitted\":{},\"rejected\":{},\"completed\":{},\
                  \"failed\":{},\"cancelled\":{},\"deadline_misses\":{},\"retries\":{},\
-                 \"coalesced\":{}",
+                 \"coalesced\":{},\"engine_cache_hits\":{},\"engine_cache_misses\":{},\
+                 \"engine_cached_plans\":{},\"engine_fused_gates\":{},\
+                 \"engine_opt_gates_removed\":{}",
                 s.submitted,
                 s.admitted,
                 s.rejected_queue_full + s.rejected_quota,
@@ -118,8 +173,42 @@ pub fn handle_line(service: &Service, catalog: &Catalog, line: &str) -> Handled 
                 s.deadline_misses,
                 s.retries,
                 s.coalesced_compiles,
+                s.engine_cache_hits,
+                s.engine_cache_misses,
+                s.engine_cached_plans,
+                s.engine_fused_gates,
+                s.engine_opt_gates_removed,
             ))
         }
+        "metrics" => {
+            let format = req.get("format").and_then(Json::as_str).unwrap_or("json");
+            let snapshot = service.metrics_snapshot();
+            let text = match format {
+                "json" => quipper_trace::to_metrics_json_lines(&snapshot),
+                "prometheus" => quipper_trace::to_prometheus_text(&snapshot),
+                other => {
+                    return err(&format!(
+                        "unknown metrics format {other:?} (json/prometheus)"
+                    ))
+                }
+            };
+            ok(&format!(
+                "\"format\":{},\"text\":{}",
+                quoted(format),
+                quoted(&text)
+            ))
+        }
+        "flight" => match get_u64(&req, "id") {
+            Some(id) => match service.flight(id) {
+                None => err(&format!("no flight timeline for job id {id}")),
+                Some(timeline) => ok(&format!("\"flights\":[{}]", flight_json(&timeline))),
+            },
+            None => {
+                let n = get_u64(&req, "recent").unwrap_or(8).min(1024) as usize;
+                let rows: Vec<String> = service.flights(n).iter().map(|t| flight_json(t)).collect();
+                ok(&format!("\"flights\":[{}]", rows.join(",")))
+            }
+        },
         "shutdown" => Handled {
             response: "{\"ok\":true,\"stopping\":true}".to_string(),
             shutdown: true,
@@ -178,7 +267,12 @@ pub fn handle_line(service: &Service, catalog: &Catalog, line: &str) -> Handled 
                             result.report.shots,
                         ))
                     }
-                    JobState::Failed(detail) => err(&format!("job {id} failed: {detail}")),
+                    JobState::Failed(detail) => {
+                        err_with_flight(service, id, &format!("job {id} failed: {detail}"))
+                    }
+                    JobState::DeadlineExceeded => {
+                        err_with_flight(service, id, &format!("job {id} missed its deadline"))
+                    }
                     state => err(&format!("job {id} is {}, no result", state.tag())),
                 },
             },

@@ -31,6 +31,7 @@ use quipper_circuit::BCircuit;
 use quipper_exec::{CancelReason, CancelToken, Engine, ExecError, ExecResult, Job, OptLevel};
 use quipper_trace::{names, Tracer};
 
+use crate::flight::{phases, FlightLog, FlightRecorder, FlightTimeline};
 use crate::queue::{AdmissionQueue, QueueEntry};
 use crate::quota::{QuotaPolicy, TenantQuotas};
 use crate::retry::RetryPolicy;
@@ -216,10 +217,49 @@ struct JobRecord {
     token: CancelToken,
     state: Mutex<JobState>,
     attempts: AtomicU32,
+    /// Lifecycle timeline for the flight recorder; epoch = admission.
+    flight: FlightLog,
+}
+
+/// Per-tenant end-to-end latency SLO thresholds. A job "burns" its
+/// tenant's SLO when admission-to-terminal latency exceeds the threshold;
+/// checks and burns land in the `serve.slo.*` labeled counters.
+#[derive(Clone, Debug, Default)]
+pub struct SloPolicy {
+    /// Threshold applied to tenants without an override; `None` disables
+    /// SLO accounting for them.
+    pub default_threshold: Option<Duration>,
+    /// Per-tenant overrides, first match wins.
+    pub tenants: Vec<(String, Duration)>,
+}
+
+impl SloPolicy {
+    /// A policy holding every tenant to `threshold` unless overridden.
+    pub fn with_default(threshold: Duration) -> SloPolicy {
+        SloPolicy {
+            default_threshold: Some(threshold),
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Adds (or tightens) a per-tenant override.
+    pub fn tenant(mut self, name: impl Into<String>, threshold: Duration) -> Self {
+        self.tenants.push((name.into(), threshold));
+        self
+    }
+
+    /// The threshold governing `tenant`, if any.
+    pub fn threshold_for(&self, tenant: &str) -> Option<Duration> {
+        self.tenants
+            .iter()
+            .find(|(name, _)| name == tenant)
+            .map(|&(_, d)| d)
+            .or(self.default_threshold)
+    }
 }
 
 /// Tuning for [`Service::start`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Worker threads draining the queue (each runs one job at a time).
     pub workers: usize,
@@ -230,6 +270,12 @@ pub struct ServiceConfig {
     pub quota: QuotaPolicy,
     /// Transient-fault retry policy.
     pub retry: RetryPolicy,
+    /// Per-tenant latency SLO thresholds; default has no thresholds, so
+    /// nothing is checked or burned.
+    pub slo: SloPolicy,
+    /// Flight-recorder capacity: how many finished job timelines the
+    /// bounded ring retains.
+    pub flight_capacity: usize,
     /// Tracing sink for service metrics; defaults to the process-wide
     /// tracer.
     pub trace: &'static Tracer,
@@ -245,12 +291,16 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             quota: QuotaPolicy::default(),
             retry: RetryPolicy::default(),
+            slo: SloPolicy::default(),
+            flight_capacity: 256,
             trace: quipper_trace::tracer(),
         }
     }
 }
 
-/// Cumulative service counters, snapshot via [`Service::stats`].
+/// Cumulative service counters, snapshot via [`Service::stats`]. Includes
+/// the engine-level counters (plan cache, fusion, optimizer) so the wire
+/// `stats` op reports the whole stack, not just admission accounting.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     pub submitted: u64,
@@ -263,6 +313,16 @@ pub struct ServiceStats {
     pub deadline_misses: u64,
     pub retries: u64,
     pub coalesced_compiles: u64,
+    /// Engine plan-cache hits.
+    pub engine_cache_hits: u64,
+    /// Engine plan-cache misses (compilations).
+    pub engine_cache_misses: u64,
+    /// Distinct plans currently cached by the engine.
+    pub engine_cached_plans: u64,
+    /// Gates eliminated by single-qubit fusion across executed plans.
+    pub engine_fused_gates: u64,
+    /// Gates removed by the optimizer across executed plans.
+    pub engine_opt_gates_removed: u64,
 }
 
 impl ServiceStats {
@@ -289,10 +349,20 @@ impl fmt::Display for ServiceStats {
             "{:<12}{} completed / {} failed / {} cancelled / {} deadline-missed",
             "terminal", self.completed, self.failed, self.cancelled, self.deadline_misses,
         )?;
-        write!(
+        writeln!(
             f,
             "{:<12}{} retries, {} coalesced compiles",
             "engine", self.retries, self.coalesced_compiles,
+        )?;
+        write!(
+            f,
+            "{:<12}{} hits / {} misses / {} cached, {} fused, {} opt-removed",
+            "plan cache",
+            self.engine_cache_hits,
+            self.engine_cache_misses,
+            self.engine_cached_plans,
+            self.engine_fused_gates,
+            self.engine_opt_gates_removed,
         )
     }
 }
@@ -361,6 +431,8 @@ struct Inner {
     queue: AdmissionQueue,
     quotas: TenantQuotas,
     retry: RetryPolicy,
+    slo: SloPolicy,
+    flight: FlightRecorder,
     trace: &'static Tracer,
     jobs: Mutex<HashMap<JobId, Arc<JobRecord>>>,
     next_id: AtomicU64,
@@ -387,6 +459,8 @@ impl Service {
             queue: AdmissionQueue::new(config.queue_capacity, config.trace),
             quotas: TenantQuotas::new(config.quota),
             retry: config.retry,
+            slo: config.slo,
+            flight: FlightRecorder::new(config.flight_capacity),
             trace: config.trace,
             jobs: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
@@ -451,6 +525,7 @@ impl Service {
             token: token.clone(),
             state: Mutex::new(JobState::Queued),
             attempts: AtomicU32::new(0),
+            flight: FlightLog::new(),
             submission,
         });
         let entry = QueueEntry {
@@ -479,6 +554,7 @@ impl Service {
                 retry_after,
             });
         }
+        record.flight.stamp(phases::QUEUE, None);
         inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
         if inner.trace.enabled() {
             inner.trace.metrics().add(names::SERVE_ADMIT, 1);
@@ -523,13 +599,11 @@ impl Service {
             match &*state {
                 JobState::Queued => {
                     record.token.cancel();
+                    // Claim the job under the lock so the worker that pops
+                    // its entry skips it, then finalize outside the lock.
                     *state = JobState::Cancelled;
                     drop(state);
-                    inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-                    if inner.trace.enabled() {
-                        inner.trace.metrics().add(names::SERVE_CANCELLED, 1);
-                    }
-                    finish_active(inner);
+                    finalize(inner, &record, JobState::Cancelled);
                 }
                 JobState::Running => {
                     // The worker observes the fired token and finalizes.
@@ -541,9 +615,10 @@ impl Service {
         self.status(id)
     }
 
-    /// Cumulative counters.
+    /// Cumulative counters, service-level merged with the engine's.
     pub fn stats(&self) -> ServiceStats {
         let c = &self.inner.counters;
+        let engine = self.inner.engine.stats();
         ServiceStats {
             submitted: c.submitted.load(Ordering::Relaxed),
             admitted: c.admitted.load(Ordering::Relaxed),
@@ -555,7 +630,41 @@ impl Service {
             deadline_misses: c.deadline_misses.load(Ordering::Relaxed),
             retries: c.retries.load(Ordering::Relaxed),
             coalesced_compiles: c.coalesced_compiles.load(Ordering::Relaxed),
+            engine_cache_hits: engine.cache_hits,
+            engine_cache_misses: engine.cache_misses,
+            engine_cached_plans: engine.cached_plans as u64,
+            engine_fused_gates: engine.fused_gates,
+            engine_opt_gates_removed: engine.opt_gates_removed,
         }
+    }
+
+    /// A point-in-time snapshot of the service's metrics registry (the
+    /// tracing sink configured in [`ServiceConfig`]), for the exposition
+    /// encoders. Empty until tracing is enabled.
+    pub fn metrics_snapshot(&self) -> quipper_trace::MetricsSnapshot {
+        self.inner.trace.metrics().snapshot()
+    }
+
+    /// The job's flight timeline: live (current state) for known jobs,
+    /// else the recorder ring's copy. `None` for unknown/evicted ids.
+    pub fn flight(&self, id: JobId) -> Option<FlightTimeline> {
+        if let Some(record) = self.inner.jobs.lock().unwrap().get(&id) {
+            let state = record.state.lock().unwrap().tag().to_string();
+            return Some(FlightTimeline {
+                id,
+                tenant: record.tenant.clone(),
+                label: record.label.clone(),
+                state,
+                events: record.flight.events(),
+            });
+        }
+        self.inner.flight.find(id).map(|t| (*t).clone())
+    }
+
+    /// The most recent `n` finished timelines from the flight recorder,
+    /// newest last.
+    pub fn flights(&self, n: usize) -> Vec<Arc<FlightTimeline>> {
+        self.inner.flight.recent(n)
     }
 
     /// Blocks until every admitted job has reached a terminal state.
@@ -600,22 +709,69 @@ fn finish_active(inner: &Inner) {
     }
 }
 
-/// Finalize a job into a terminal state, bumping counters and metrics.
+/// Finalize a job into a terminal state: set the state, bump counters and
+/// metrics (including per-tenant SLO accounting), and hand the finished
+/// timeline to the flight recorder.
 fn finalize(inner: &Inner, record: &JobRecord, state: JobState) {
     debug_assert!(state.is_terminal());
     let (counter, metric) = match &state {
         JobState::Completed(_) => (&inner.counters.completed, names::SERVE_COMPLETED),
-        JobState::Failed(_) => (&inner.counters.failed, names::SERVE_COMPLETED),
+        JobState::Failed(_) => (&inner.counters.failed, names::SERVE_FAILED),
         JobState::Cancelled => (&inner.counters.cancelled, names::SERVE_CANCELLED),
         JobState::DeadlineExceeded => (&inner.counters.deadline_misses, names::SERVE_DEADLINE_MISS),
         _ => unreachable!(),
     };
-    let is_failed = matches!(state, JobState::Failed(_));
+    let tag = state.tag();
+    let detail = match &state {
+        JobState::Failed(err) => Some(err.clone()),
+        _ => None,
+    };
+    record.flight.stamp(tag, detail);
+    let latency = record.flight.elapsed();
     *record.state.lock().unwrap() = state;
     counter.fetch_add(1, Ordering::Relaxed);
-    if inner.trace.enabled() && !is_failed {
-        inner.trace.metrics().add(metric, 1);
+    if inner.trace.enabled() {
+        let metrics = inner.trace.metrics();
+        metrics.add(metric, 1);
+        let latency_us = latency.as_micros() as u64;
+        // Queue wait ends when a worker picks the job up (compile or
+        // coalesce stamp); jobs that die queued waited their whole life.
+        let queue_wait = record
+            .flight
+            .first_at(phases::COMPILE)
+            .or_else(|| record.flight.first_at(phases::COALESCE))
+            .unwrap_or(latency);
+        let tenant = record.tenant.as_str();
+        metrics.observe_labeled(
+            names::SERVE_JOB_LATENCY_US,
+            &[("tenant", tenant), ("state", tag)],
+            latency_us,
+        );
+        metrics.observe_labeled(
+            names::SERVE_QUEUE_WAIT_US,
+            &[("tenant", tenant)],
+            queue_wait.as_micros() as u64,
+        );
+        let attempts = record.attempts.load(Ordering::Relaxed) as u64;
+        metrics.observe_labeled(
+            names::SERVE_JOB_RETRIES,
+            &[("tenant", tenant), ("state", tag)],
+            attempts.saturating_sub(1),
+        );
+        if let Some(threshold) = inner.slo.threshold_for(tenant) {
+            metrics.add_labeled(names::SLO_CHECKED, &[("tenant", tenant)], 1);
+            if latency > threshold {
+                metrics.add_labeled(names::SLO_MISS, &[("tenant", tenant)], 1);
+            }
+        }
     }
+    inner.flight.push(FlightTimeline {
+        id: record.id,
+        tenant: record.tenant.clone(),
+        label: record.label.clone(),
+        state: tag.to_string(),
+        events: record.flight.events(),
+    });
     finish_active(inner);
 }
 
@@ -665,6 +821,7 @@ fn worker_loop(inner: &Inner) {
             ^ (level as u64).wrapping_mul(0x9e3779b97f4a7c15);
         match inner.coalescer.begin(key) {
             CompileRole::Leader(flight) => {
+                record.flight.stamp(phases::COMPILE, None);
                 let compiled = inner.engine.plan_with(&record.submission.circuit, level);
                 inner.coalescer.finish(key, &flight);
                 if let Err(e) = compiled {
@@ -673,6 +830,7 @@ fn worker_loop(inner: &Inner) {
                 }
             }
             CompileRole::Coalesced => {
+                record.flight.stamp(phases::COALESCE, None);
                 inner
                     .counters
                     .coalesced_compiles
@@ -699,6 +857,9 @@ fn run_admitted(inner: &Inner, record: &JobRecord) {
     let sub = &record.submission;
     loop {
         let attempt = record.attempts.fetch_add(1, Ordering::Relaxed) + 1;
+        record
+            .flight
+            .stamp(phases::SHOTS, Some(format!("attempt {attempt}")));
         let mut job = Job::new(&sub.circuit)
             .inputs(sub.inputs.clone())
             .shots(sub.shots)
@@ -723,6 +884,7 @@ fn run_admitted(inner: &Inner, record: &JobRecord) {
                 return;
             }
             Err(e) if e.is_transient() && inner.retry.should_retry(attempt) => {
+                record.flight.stamp(phases::RETRY, Some(e.to_string()));
                 inner.counters.retries.fetch_add(1, Ordering::Relaxed);
                 if inner.trace.enabled() {
                     inner.trace.metrics().add(names::SERVE_RETRY, 1);

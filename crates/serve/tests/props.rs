@@ -96,6 +96,7 @@ proptest! {
                     cap: Duration::from_millis(1),
                 },
                 trace: quipper_trace::tracer(),
+                ..ServiceConfig::default()
             },
         );
         let id = service
@@ -137,6 +138,7 @@ proptest! {
                 quota: QuotaPolicy::unlimited(),
                 retry: RetryPolicy::default(),
                 trace: quipper_trace::tracer(),
+                ..ServiceConfig::default()
             },
         );
         let submit = || {

@@ -82,6 +82,7 @@ fn hundred_job_faulted_mixed_tenant_load_loses_nothing() {
                 cap: Duration::from_millis(4),
             },
             trace,
+            ..ServiceConfig::default()
         },
     );
 
@@ -175,6 +176,7 @@ fn deadline_stops_shot_execution_mid_job() {
             quota: QuotaPolicy::unlimited(),
             retry: RetryPolicy::default(),
             trace,
+            ..ServiceConfig::default()
         },
     );
 
@@ -228,6 +230,7 @@ fn cancel_stops_a_running_job_mid_execution() {
             quota: QuotaPolicy::unlimited(),
             retry: RetryPolicy::default(),
             trace,
+            ..ServiceConfig::default()
         },
     );
 
@@ -277,6 +280,7 @@ fn full_queue_rejects_with_retry_hint() {
             quota: QuotaPolicy::unlimited(),
             retry: RetryPolicy::default(),
             trace,
+            ..ServiceConfig::default()
         },
     );
 
@@ -331,6 +335,7 @@ fn quota_rejections_are_per_tenant_with_hints() {
             },
             retry: RetryPolicy::default(),
             trace,
+            ..ServiceConfig::default()
         },
     );
 
@@ -374,6 +379,7 @@ fn identical_concurrent_jobs_share_one_compile_and_agree() {
             quota: QuotaPolicy::unlimited(),
             retry: RetryPolicy::default(),
             trace,
+            ..ServiceConfig::default()
         },
     );
 

@@ -35,8 +35,8 @@ pub use interactive::SimLifter;
 pub use kernels::KernelStats;
 pub use stabilizer::{run_clifford, run_clifford_flat};
 pub use statevec::{
-    run, run_flat, run_flat_reference, run_flat_with, run_fused, RunResult, StateVec,
-    StateVecConfig,
+    run, run_flat, run_flat_reference, run_flat_with, run_fused, ProfileStats, RunResult, StateVec,
+    StateVecConfig, PROFILE_SAMPLE_EVERY,
 };
 
 // Send/Sync audit: the `quipper-exec` engine shares flattened circuits

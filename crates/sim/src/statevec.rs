@@ -64,7 +64,18 @@ pub struct StateVecConfig {
     /// Whether uncontrolled swaps are absorbed into slot relabeling
     /// (pure bookkeeping, no amplitude traffic).
     pub swap_relabel: bool,
+    /// Whether the blocked window executor samples wall time: every
+    /// [`PROFILE_SAMPLE_EVERY`]th multi-gate window is timed and its
+    /// elapsed time attributed to gate classes proportionally to the
+    /// window's per-class gate counts (see [`ProfileStats`]). Timing only —
+    /// amplitudes are bit-identical with the profiler on or off.
+    pub profile: bool,
 }
+
+/// Sampling interval of the window profiler: one in this many flushed
+/// multi-gate windows is wall-clock timed when
+/// [`StateVecConfig::profile`] is set.
+pub const PROFILE_SAMPLE_EVERY: u64 = 8;
 
 impl Default for StateVecConfig {
     fn default() -> StateVecConfig {
@@ -80,6 +91,7 @@ impl Default for StateVecConfig {
             window_block_bits: 10,
             window_max_high: 4,
             swap_relabel: true,
+            profile: false,
         }
     }
 }
@@ -99,6 +111,55 @@ impl StateVecConfig {
             window_block_bits: 10,
             window_max_high: 4,
             swap_relabel: false,
+            profile: false,
+        }
+    }
+}
+
+/// Per-run accumulator of the sampling window profiler (see
+/// [`StateVecConfig::profile`]): how many windows were timed, total
+/// sampled wall time, and that time attributed per gate class. Published
+/// into the global metrics registry as the `sim.profile.*` counters by the
+/// run functions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProfileStats {
+    /// Multi-gate windows that were wall-clock timed.
+    pub windows_sampled: u64,
+    /// Total sampled wall time, ns.
+    pub sampled_ns: u64,
+    /// Sampled time attributed to `[diagonal, permutation, general, mat4]`
+    /// gates, in that order, proportionally to each sampled window's
+    /// per-class gate counts (integer division truncates, so the class sum
+    /// can undershoot `sampled_ns` by at most 3ns per window).
+    pub class_ns: [u64; 4],
+}
+
+/// Profiler attribution class of a buffered window gate. `Mat4g` is
+/// attributed to the fused-2q class wholesale (its diagonal specialization
+/// shares the mat4 sweep, so splitting it would misstate bandwidth).
+fn prof_class(g: &WinGate) -> usize {
+    match g {
+        WinGate::Phase { .. } | WinGate::Diag { .. } => 0,
+        WinGate::Perm { .. } | WinGate::Swap2 { .. } => 1,
+        WinGate::Dense { .. } | WinGate::W2 { .. } => 2,
+        WinGate::Mat4g { .. } => 3,
+    }
+}
+
+impl ProfileStats {
+    fn attribute(&mut self, win: &[WinGate], elapsed_ns: u64) {
+        self.windows_sampled += 1;
+        self.sampled_ns += elapsed_ns;
+        let mut counts = [0u64; 4];
+        for g in win {
+            counts[prof_class(g)] += 1;
+        }
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return;
+        }
+        for (slot, &c) in self.class_ns.iter_mut().zip(&counts) {
+            *slot += elapsed_ns * c / total;
         }
     }
 }
@@ -116,6 +177,9 @@ pub struct StateVec {
     rng: StdRng,
     config: StateVecConfig,
     stats: KernelStats,
+    prof: ProfileStats,
+    /// Windows flushed since the last profiler sample (profiling only).
+    prof_tick: u64,
     /// When set, unitary updates use the full-scan reference path instead
     /// of the kernels.
     reference: bool,
@@ -139,6 +203,8 @@ impl StateVec {
             rng: StdRng::seed_from_u64(seed),
             config,
             stats: KernelStats::default(),
+            prof: ProfileStats::default(),
+            prof_tick: 0,
             reference: false,
         }
     }
@@ -161,6 +227,12 @@ impl StateVec {
     /// Kernel dispatch counters accumulated so far.
     pub fn kernel_stats(&self) -> KernelStats {
         self.stats
+    }
+
+    /// Sampling-profiler accumulators so far (all zero unless
+    /// [`StateVecConfig::profile`] is set and windows executed).
+    pub fn profile_stats(&self) -> ProfileStats {
+        self.prof
     }
 
     /// The raw amplitude vector (length `2^live_slots`), for tests and
@@ -699,6 +771,20 @@ impl StateVec {
             self.apply_win_standalone(g, &ctx);
             return;
         }
+        // Sampling profiler: one window in PROFILE_SAMPLE_EVERY is timed.
+        // Timing wraps the identical executor call, so amplitudes are
+        // bit-identical with the profiler on or off.
+        let sample = if self.config.profile {
+            self.prof_tick += 1;
+            self.prof_tick.is_multiple_of(PROFILE_SAMPLE_EVERY)
+        } else {
+            false
+        };
+        let started = if sample {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         window::execute(
             &mut self.amps,
             win,
@@ -706,6 +792,9 @@ impl StateVec {
             &ctx,
             &mut self.stats,
         );
+        if let Some(t0) = started {
+            self.prof.attribute(win, t0.elapsed().as_nanos() as u64);
+        }
         win.clear();
     }
 
@@ -1061,6 +1150,18 @@ fn publish_kernel_metrics(sv: &StateVec) {
     m.add(quipper_trace::names::KERNEL_WINDOWS, stats.windows);
     m.add(quipper_trace::names::KERNEL_MAT4, stats.mat4);
     m.add(quipper_trace::names::KERNEL_RELABELED, stats.relabeled);
+    let prof = sv.profile_stats();
+    if prof.windows_sampled > 0 {
+        m.add(
+            quipper_trace::names::PROF_WINDOWS_SAMPLED,
+            prof.windows_sampled,
+        );
+        m.add(quipper_trace::names::PROF_SAMPLED_NS, prof.sampled_ns);
+        m.add(quipper_trace::names::PROF_DIAGONAL_NS, prof.class_ns[0]);
+        m.add(quipper_trace::names::PROF_PERMUTATION_NS, prof.class_ns[1]);
+        m.add(quipper_trace::names::PROF_GENERAL_NS, prof.class_ns[2]);
+        m.add(quipper_trace::names::PROF_MAT4_NS, prof.class_ns[3]);
+    }
 }
 
 /// Runs a pre-fused circuit for one shot. Shot loops fuse once (or take the
@@ -1358,6 +1459,57 @@ mod tests {
         assert_eq!(s.diagonal, 1);
         assert_eq!(s.permutation, 1);
         assert_eq!(s.general, 1);
+    }
+
+    /// Long windowed workload driving the sampling profiler: amplitudes
+    /// are bit-identical with the profiler on or off, and the sampler
+    /// times exactly one window in [`PROFILE_SAMPLE_EVERY`].
+    #[test]
+    fn profiler_is_bit_identical_and_samples_windows() {
+        let bc = Circ::build(
+            &(false, false, false, false),
+            |c, (a, b, d, e): (Qubit, Qubit, Qubit, Qubit)| {
+                for _ in 0..120 {
+                    c.hadamard(a);
+                    c.gate_t(b);
+                    c.cnot(b, a);
+                    c.hadamard(d);
+                    c.gate_s(e);
+                    c.toffoli(e, a, d);
+                }
+                (a, b, d, e)
+            },
+        );
+        let flat = inline_all(&bc.db, &bc.main).unwrap();
+        // A one-amplitude block with a one-bit high budget forces a flush
+        // every time a second distinct dense/permutation target shows up,
+        // so the workload sheds plenty of multi-gate windows.
+        let base_cfg = StateVecConfig {
+            threads: 1,
+            window_block_bits: 0,
+            window_max_high: 1,
+            ..StateVecConfig::default()
+        };
+        let prof_cfg = StateVecConfig {
+            profile: true,
+            ..base_cfg
+        };
+        let base = run_flat_with(&flat, &[false; 4], 5, base_cfg).unwrap();
+        let prof = run_flat_with(&flat, &[false; 4], 5, prof_cfg).unwrap();
+        assert_eq!(
+            base.state.amplitudes(),
+            prof.state.amplitudes(),
+            "profiler must not perturb amplitudes"
+        );
+
+        assert_eq!(base.state.profile_stats(), ProfileStats::default());
+        let stats = prof.state.kernel_stats();
+        let p = prof.state.profile_stats();
+        assert!(stats.windows >= PROFILE_SAMPLE_EVERY, "workload too small");
+        assert_eq!(p.windows_sampled, stats.windows / PROFILE_SAMPLE_EVERY);
+        assert!(p.windows_sampled > 0);
+        // Attribution never exceeds the sampled total (truncating division).
+        assert!(p.class_ns.iter().sum::<u64>() <= p.sampled_ns);
     }
 }
 

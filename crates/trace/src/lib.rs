@@ -22,13 +22,17 @@
 //! relaxed atomic load — cheap enough to leave in the amplitude kernels.
 
 mod export;
+mod expose;
 mod json;
 mod metrics;
 pub mod report;
 
 pub use export::{to_chrome_trace, to_json_lines};
+pub use expose::{sanitize_metric_name, to_metrics_json_lines, to_prometheus_text};
 pub use json::{escape_into, parse as parse_json, Json};
-pub use metrics::{names, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use metrics::{
+    fmt_labels, names, Histogram, HistogramSnapshot, LabelSet, Metrics, MetricsSnapshot,
+};
 
 use std::borrow::Cow;
 use std::cell::RefCell;
@@ -454,6 +458,70 @@ impl fmt::Display for TraceSummary {
         } else {
             write!(f, "{} events", self.events)
         }
+    }
+}
+
+/// Per-job sampling-profiler accounting, carried on `ExecReport`. Wall
+/// time from sampled state-vector windows, attributed to gate classes
+/// proportionally to each window's per-class gate counts (see
+/// `names::PROF_*`). All figures are deltas over one job.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProfileSummary {
+    /// Blocked windows whose execution was wall-clock sampled.
+    pub windows_sampled: u64,
+    /// Total sampled wall time, ns.
+    pub sampled_ns: u64,
+    /// Sampled time attributed to diagonal (phase-only) gates, ns.
+    pub diagonal_ns: u64,
+    /// Sampled time attributed to permutation gates, ns.
+    pub permutation_ns: u64,
+    /// Sampled time attributed to general dense 1q gates, ns.
+    pub general_ns: u64,
+    /// Sampled time attributed to fused two-qubit (4x4) kernels, ns.
+    pub mat4_ns: u64,
+}
+
+impl ProfileSummary {
+    /// Whether any window was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.windows_sampled == 0
+    }
+
+    /// `(class name, attributed ns)` rows in descending time order.
+    pub fn by_class(&self) -> Vec<(&'static str, u64)> {
+        let mut rows = vec![
+            ("diagonal", self.diagonal_ns),
+            ("permutation", self.permutation_ns),
+            ("general", self.general_ns),
+            ("mat4", self.mat4_ns),
+        ];
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        rows
+    }
+}
+
+impl fmt::Display for ProfileSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} windows sampled, {}",
+            self.windows_sampled,
+            fmt_duration(Duration::from_nanos(self.sampled_ns))
+        )?;
+        let mut wrote_class = false;
+        for (class, ns) in self.by_class() {
+            if ns == 0 {
+                continue;
+            }
+            write!(
+                f,
+                "{} {class} {}",
+                if wrote_class { "," } else { ":" },
+                fmt_duration(Duration::from_nanos(ns))
+            )?;
+            wrote_class = true;
+        }
+        Ok(())
     }
 }
 

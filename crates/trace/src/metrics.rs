@@ -62,10 +62,26 @@ pub mod names {
     pub const SERVE_COALESCED: &str = "serve.coalesced";
     /// Jobs completed successfully by the service.
     pub const SERVE_COMPLETED: &str = "serve.completed";
+    /// Jobs that exhausted retries and finished in a failed state.
+    pub const SERVE_FAILED: &str = "serve.failed";
     /// Transient faults injected by the fault-injection harness.
     pub const SERVE_FAULTS_INJECTED: &str = "serve.faults_injected";
     /// Max-gauge: admission-queue depth high-water mark.
     pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+
+    /// End-to-end job latency (admit → terminal), µs. Labeled by tenant
+    /// and terminal state.
+    pub const SERVE_JOB_LATENCY_US: &str = "serve.job_latency_us";
+    /// Time spent waiting in the admission queue, µs. Labeled by tenant.
+    pub const SERVE_QUEUE_WAIT_US: &str = "serve.queue_wait_us";
+    /// Retry attempts consumed per job. Labeled by tenant and terminal
+    /// state.
+    pub const SERVE_JOB_RETRIES: &str = "serve.job_retries";
+    /// Jobs checked against a configured latency SLO. Labeled by tenant.
+    pub const SLO_CHECKED: &str = "serve.slo.checked";
+    /// Jobs whose end-to-end latency exceeded the tenant's SLO threshold
+    /// (the burn counter). Labeled by tenant.
+    pub const SLO_MISS: &str = "serve.slo.miss";
 
     /// Gates entering the optimizer pipeline.
     pub const OPT_GATES_IN: &str = "opt.gates_in";
@@ -95,6 +111,73 @@ pub mod names {
 
     /// Max-gauge: peak live qubits observed by the state-vector allocator.
     pub const LIVE_QUBITS_PEAK: &str = "sim.live_qubits_peak";
+
+    /// Sampling profiler: blocked windows whose execution was timed.
+    pub const PROF_WINDOWS_SAMPLED: &str = "sim.profile.windows_sampled";
+    /// Sampling profiler: total wall time across sampled windows, ns.
+    pub const PROF_SAMPLED_NS: &str = "sim.profile.sampled_ns";
+    /// Sampling profiler: sampled wall time attributed to each gate class
+    /// (proportional to the window's per-class gate counts), ns.
+    pub const PROF_DIAGONAL_NS: &str = "sim.profile.diagonal_ns";
+    pub const PROF_PERMUTATION_NS: &str = "sim.profile.permutation_ns";
+    pub const PROF_GENERAL_NS: &str = "sim.profile.general_ns";
+    pub const PROF_MAT4_NS: &str = "sim.profile.mat4_ns";
+
+    /// Every canonical metric name above, for exposition lint: each name
+    /// here must appear in both encoder outputs when registered.
+    pub const ALL: &[&str] = &[
+        GATES_EMITTED,
+        BOXES_BUILT,
+        FUSE_GATES_IN,
+        FUSE_GATES_OUT,
+        FUSE_FUSED_AWAY,
+        CACHE_HIT,
+        CACHE_MISS,
+        ROUTE_CLASSICAL,
+        ROUTE_STABILIZER,
+        ROUTE_STATEVEC,
+        ROUTE_OTHER,
+        SHOT_LATENCY_US,
+        PEAK_QUBITS,
+        SHOTS_RUN,
+        EXEC_CANCELLED,
+        SERVE_ADMIT,
+        SERVE_REJECT_FULL,
+        SERVE_REJECT_QUOTA,
+        SERVE_RETRY,
+        SERVE_DEADLINE_MISS,
+        SERVE_CANCELLED,
+        SERVE_COALESCED,
+        SERVE_COMPLETED,
+        SERVE_FAILED,
+        SERVE_FAULTS_INJECTED,
+        SERVE_QUEUE_DEPTH,
+        SERVE_JOB_LATENCY_US,
+        SERVE_QUEUE_WAIT_US,
+        SERVE_JOB_RETRIES,
+        SLO_CHECKED,
+        SLO_MISS,
+        OPT_GATES_IN,
+        OPT_GATES_OUT,
+        OPT_REMOVED,
+        OPT_REWRITES,
+        KERNEL_DIAGONAL,
+        KERNEL_PERMUTATION,
+        KERNEL_GENERAL,
+        KERNEL_SUBCUBE,
+        KERNEL_THREADED,
+        KERNEL_WINDOWED,
+        KERNEL_WINDOWS,
+        KERNEL_MAT4,
+        KERNEL_RELABELED,
+        LIVE_QUBITS_PEAK,
+        PROF_WINDOWS_SAMPLED,
+        PROF_SAMPLED_NS,
+        PROF_DIAGONAL_NS,
+        PROF_PERMUTATION_NS,
+        PROF_GENERAL_NS,
+        PROF_MAT4_NS,
+    ];
 }
 
 const BUCKETS: usize = 32;
@@ -158,6 +241,60 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Quantile estimate `q ∈ (0, 1]`: the exclusive upper bound of the
+    /// bucket holding the observation of rank `⌈q·count⌉`. With
+    /// power-of-two buckets the estimate is conservative — the true value
+    /// is `< quantile(q)` and `≥ quantile(q)/2` (or exactly 0 for the zero
+    /// bucket). Returns 0 with no observations.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(upper, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return upper;
+            }
+        }
+        self.buckets.last().map_or(0, |b| b.0)
+    }
+
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.9)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile estimate.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+/// A sorted `(key, value)` label set identifying one series of a labeled
+/// instrument. Kept sorted by key so the same logical labels always map to
+/// the same series regardless of argument order at the call site.
+pub type LabelSet = Vec<(String, String)>;
+
+fn label_set(labels: &[(&str, &str)]) -> LabelSet {
+    let mut set: LabelSet = labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    set.sort();
+    set
 }
 
 /// Lazily-registered named instruments.
@@ -166,6 +303,8 @@ pub struct Metrics {
     counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
     maxes: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    labeled_counters: Mutex<BTreeMap<(&'static str, LabelSet), Arc<AtomicU64>>>,
+    labeled_histograms: Mutex<BTreeMap<(&'static str, LabelSet), Arc<Histogram>>>,
 }
 
 impl Metrics {
@@ -225,6 +364,59 @@ impl Metrics {
             .map(|h| h.snapshot())
     }
 
+    /// Add `n` to the labeled counter series `name{labels}`. Label order
+    /// at the call site does not matter — sets are sorted by key.
+    pub fn add_labeled(&self, name: &'static str, labels: &[(&str, &str)], n: u64) {
+        let key = (name, label_set(labels));
+        let handle = Arc::clone(
+            self.labeled_counters
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_default(),
+        );
+        handle.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of the labeled counter series (0 if never touched).
+    pub fn labeled_counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let set = label_set(labels);
+        self.labeled_counters
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|((n, ls), _)| *n == name && *ls == set)
+            .map_or(0, |(_, c)| c.load(Ordering::Relaxed))
+    }
+
+    /// Record `value` into the labeled histogram series `name{labels}`.
+    pub fn observe_labeled(&self, name: &'static str, labels: &[(&str, &str)], value: u64) {
+        let key = (name, label_set(labels));
+        let handle = Arc::clone(
+            self.labeled_histograms
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_default(),
+        );
+        handle.observe(value);
+    }
+
+    /// Snapshot of the labeled histogram series, if it exists.
+    pub fn labeled_histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<HistogramSnapshot> {
+        let set = label_set(labels);
+        self.labeled_histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|((n, ls), _)| *n == name && *ls == set)
+            .map(|(_, h)| h.snapshot())
+    }
+
     /// Snapshot every instrument for reporting.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -249,6 +441,20 @@ impl Metrics {
                 .iter()
                 .map(|(&k, v)| (k, v.snapshot()))
                 .collect(),
+            labeled_counters: self
+                .labeled_counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            labeled_histograms: self
+                .labeled_histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
         }
     }
 }
@@ -259,6 +465,26 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<&'static str, u64>,
     pub maxes: BTreeMap<&'static str, u64>,
     pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
+    pub labeled_counters: BTreeMap<(&'static str, LabelSet), u64>,
+    pub labeled_histograms: BTreeMap<(&'static str, LabelSet), HistogramSnapshot>,
+}
+
+/// Render a label set as `{k=v,k2=v2}`, or the empty string when empty.
+pub fn fmt_labels(labels: &LabelSet) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out.push('}');
+    out
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -284,6 +510,20 @@ impl fmt::Display for MetricsSnapshot {
                 h.count,
                 h.mean(),
                 h.buckets.last().map_or(0, |b| b.0),
+            )?;
+        }
+        for ((name, labels), v) in &self.labeled_counters {
+            writeln!(f, "{name}{}  {v}", fmt_labels(labels))?;
+        }
+        for ((name, labels), h) in &self.labeled_histograms {
+            writeln!(
+                f,
+                "{name}{}  n={} mean={:.1} p50<={} p99<={}",
+                fmt_labels(labels),
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p99(),
             )?;
         }
         Ok(())
@@ -324,5 +564,122 @@ mod tests {
             vec![(0, 1), (2, 2), (4, 1), (1024, 1), (1 << 20, 1)]
         );
         assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_zero() {
+        let h = HistogramSnapshot::default();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.p999(), 0);
+    }
+
+    #[test]
+    fn quantile_single_sample_hits_its_bucket_at_every_quantile() {
+        let m = Metrics::new();
+        m.observe("h", 900); // bucket [512, 1024)
+        let h = m.histogram("h").unwrap();
+        for q in [0.001, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 1024, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_exact_power_of_two_lands_in_next_bucket() {
+        let m = Metrics::new();
+        // An exact boundary value 2^k belongs to [2^k, 2^(k+1)), so its
+        // reported bound is 2^(k+1), while 2^k - 1 reports 2^k.
+        m.observe("h", 1024);
+        assert_eq!(m.histogram("h").unwrap().p50(), 2048);
+        let m2 = Metrics::new();
+        m2.observe("h", 1023);
+        assert_eq!(m2.histogram("h").unwrap().p50(), 1024);
+    }
+
+    #[test]
+    fn quantile_rank_selection_across_buckets() {
+        let m = Metrics::new();
+        // 90 small values in [1,2), 9 in [512,1024), 1 in [2^19, 2^20).
+        for _ in 0..90 {
+            m.observe("lat", 1);
+        }
+        for _ in 0..9 {
+            m.observe("lat", 600);
+        }
+        m.observe("lat", 1 << 19);
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count, 100);
+        assert_eq!(h.p50(), 2); // rank 50 of 100 → first bucket
+        assert_eq!(h.p90(), 2); // rank 90 still inside the first bucket
+        assert_eq!(h.quantile(0.91), 1024); // rank 91 → second bucket
+        assert_eq!(h.p99(), 1024); // rank 99 → second bucket
+        assert_eq!(h.quantile(1.0), 1 << 20); // rank 100 → last bucket
+        assert_eq!(h.p999(), 1 << 20); // rank ⌈99.9⌉ = 100
+    }
+
+    #[test]
+    fn quantile_zero_bucket_reports_zero() {
+        let m = Metrics::new();
+        for _ in 0..10 {
+            m.observe("z", 0);
+        }
+        let h = m.histogram("z").unwrap();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn quantile_saturated_top_bucket() {
+        let m = Metrics::new();
+        // Anything with bit length ≥ 31 saturates the last bucket, whose
+        // reported bound is 2^31.
+        m.observe("big", u64::MAX);
+        m.observe("big", 1u64 << 40);
+        m.observe("big", (1u64 << 31) - 1); // exactly the last bucket's span
+        let h = m.histogram("big").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets, vec![(1u64 << 31, 3)]);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(h.quantile(q), 1u64 << 31, "q={q}");
+        }
+        // The sum still carries the true total even though the buckets
+        // saturate.
+        assert_eq!(h.sum, u64::MAX.wrapping_add((1 << 40) + ((1 << 31) - 1)));
+    }
+
+    #[test]
+    fn labeled_counters_are_per_series_and_order_insensitive() {
+        let m = Metrics::new();
+        m.add_labeled("jobs", &[("tenant", "a"), ("state", "ok")], 2);
+        m.add_labeled("jobs", &[("state", "ok"), ("tenant", "a")], 3);
+        m.add_labeled("jobs", &[("tenant", "b"), ("state", "ok")], 7);
+        assert_eq!(
+            m.labeled_counter("jobs", &[("tenant", "a"), ("state", "ok")]),
+            5
+        );
+        assert_eq!(
+            m.labeled_counter("jobs", &[("tenant", "b"), ("state", "ok")]),
+            7
+        );
+        assert_eq!(
+            m.labeled_counter("jobs", &[("tenant", "c"), ("state", "ok")]),
+            0
+        );
+        let snap = m.snapshot();
+        assert_eq!(snap.labeled_counters.len(), 2);
+    }
+
+    #[test]
+    fn labeled_histograms_snapshot_with_quantiles() {
+        let m = Metrics::new();
+        for v in [10, 20, 3000] {
+            m.observe_labeled("lat", &[("tenant", "a")], v);
+        }
+        m.observe_labeled("lat", &[("tenant", "b")], 1);
+        let a = m.labeled_histogram("lat", &[("tenant", "a")]).unwrap();
+        assert_eq!(a.count, 3);
+        assert_eq!(a.p99(), 4096);
+        let b = m.labeled_histogram("lat", &[("tenant", "b")]).unwrap();
+        assert_eq!(b.count, 1);
+        assert!(m.labeled_histogram("lat", &[("tenant", "z")]).is_none());
     }
 }

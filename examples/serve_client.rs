@@ -188,6 +188,86 @@ fn main() {
         field_u64(&stats, "cancelled"),
         field_u64(&stats, "retries"),
     );
+    println!(
+        "plan cache: {} hits / {} misses / {} cached plans",
+        field_u64(&stats, "engine_cache_hits"),
+        field_u64(&stats, "engine_cache_misses"),
+        field_u64(&stats, "engine_cached_plans"),
+    );
     assert_eq!(field_u64(&stats, "failed"), 0, "no job may be lost");
+
+    // The metrics op must answer in both exposition formats; the JSON Lines
+    // body feeds the per-tenant latency table below. (The registry is empty
+    // unless the server runs with --trace / --metrics-dump.)
+    let prom = client.call_ok(r#"{"op":"metrics","format":"prometheus"}"#);
+    let prom_text = prom.get("text").and_then(Json::as_str).unwrap();
+    let metrics = client.call_ok(r#"{"op":"metrics","format":"json"}"#);
+    let rows: Vec<Json> = metrics
+        .get("text")
+        .and_then(Json::as_str)
+        .unwrap()
+        .lines()
+        .map(|l| parse_json(l).expect("metrics line parses"))
+        .collect();
+    let latency_rows: Vec<&Json> = rows
+        .iter()
+        .filter(|r| r.get("name").and_then(Json::as_str) == Some("serve.job_latency_us"))
+        .collect();
+    if latency_rows.is_empty() {
+        println!("per-tenant latency: no data (server running without --trace)");
+    } else {
+        assert!(
+            prom_text.contains("serve_job_latency_us"),
+            "prometheus exposition must agree with json lines"
+        );
+        println!("per-tenant job latency (us):");
+        println!(
+            "{:<10} {:<20} {:>6} {:>10} {:>10}",
+            "tenant", "state", "jobs", "p50", "p99"
+        );
+        for row in latency_rows {
+            let label = |k| {
+                row.get("labels")
+                    .and_then(|l| l.get(k))
+                    .and_then(Json::as_str)
+                    .unwrap_or("-")
+            };
+            println!(
+                "{:<10} {:<20} {:>6} {:>10} {:>10}",
+                label("tenant"),
+                label("state"),
+                field_u64(row, "count"),
+                field_u64(row, "p50"),
+                field_u64(row, "p99"),
+            );
+        }
+    }
+
+    // The flight recorder keeps the recent job timelines; print the last
+    // few so "where did the time go" is answerable from the client.
+    let flights = client.call_ok(r#"{"op":"flight","recent":3}"#);
+    for timeline in flights.get("flights").and_then(Json::as_arr).unwrap() {
+        let phases: Vec<String> = timeline
+            .get("events")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|e| {
+                format!(
+                    "{}+{}us",
+                    e.get("phase").and_then(Json::as_str).unwrap(),
+                    field_u64(e, "dur_us")
+                )
+            })
+            .collect();
+        println!(
+            "flight job {} [{}] {}: {}",
+            field_u64(timeline, "id"),
+            timeline.get("tenant").and_then(Json::as_str).unwrap(),
+            timeline.get("state").and_then(Json::as_str).unwrap(),
+            phases.join(" -> ")
+        );
+    }
+
     println!("serve client: all checks passed");
 }

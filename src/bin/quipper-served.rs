@@ -37,7 +37,11 @@ OPTIONS:
                        permanent (default 4); raise alongside --fault-prob —
                        a fault can hit any shot, so a whole job attempt
                        fails with probability 1-(1-P)^shots
+  --slo-us MICROS      per-tenant end-to-end latency SLO threshold; burns
+                       land in the serve.slo.* counters (default: none)
   --trace              enable quipper-trace metrics, printed on exit
+  --metrics-dump       implies --trace; on exit, dump the full metrics
+                       registry as JSON Lines and Prometheus text
   -h, --help           this text";
 
 struct Options {
@@ -47,7 +51,9 @@ struct Options {
     fault_prob: f64,
     fault_seed: u64,
     retry_attempts: Option<u32>,
+    slo_us: Option<u64>,
     trace: bool,
+    metrics_dump: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -58,7 +64,9 @@ fn parse_args() -> Result<Options, String> {
         fault_prob: 0.0,
         fault_seed: 0,
         retry_attempts: None,
+        slo_us: None,
         trace: false,
+        metrics_dump: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -94,7 +102,15 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("--retry-attempts: {e}"))?,
                 )
             }
+            "--slo-us" => {
+                opts.slo_us = Some(
+                    value("--slo-us")?
+                        .parse()
+                        .map_err(|e| format!("--slo-us: {e}"))?,
+                )
+            }
             "--trace" => opts.trace = true,
+            "--metrics-dump" => opts.metrics_dump = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -114,7 +130,7 @@ fn main() -> ExitCode {
         }
     };
 
-    if opts.trace {
+    if opts.trace || opts.metrics_dump {
         quipper_trace::tracer().set_enabled(true);
     }
 
@@ -137,6 +153,10 @@ fn main() -> ExitCode {
     if let Some(attempts) = opts.retry_attempts {
         service_config.retry.max_attempts = attempts.max(1);
     }
+    if let Some(us) = opts.slo_us {
+        service_config.slo =
+            quipper_serve::SloPolicy::with_default(std::time::Duration::from_micros(us));
+    }
     let service = Arc::new(Service::start(engine, service_config));
     let server = match Server::start(&opts.addr, Arc::clone(&service), Arc::new(Catalog::new())) {
         Ok(server) => server,
@@ -154,6 +174,13 @@ fn main() -> ExitCode {
     println!("{}", service.stats());
     if opts.trace {
         print!("{}", quipper_trace::tracer().metrics().snapshot());
+    }
+    if opts.metrics_dump {
+        let snapshot = quipper_trace::tracer().metrics().snapshot();
+        println!("--- metrics (json lines) ---");
+        print!("{}", quipper_trace::to_metrics_json_lines(&snapshot));
+        println!("--- metrics (prometheus) ---");
+        print!("{}", quipper_trace::to_prometheus_text(&snapshot));
     }
     ExitCode::SUCCESS
 }
