@@ -28,9 +28,10 @@ use quipper_opt::{optimize, OptReport};
 use quipper_serve::catalog::Catalog;
 
 /// A 20-qubit mixed workload with realistic redundancy: mergeable rotation
-/// runs, Hadamard pairs straddling diagonal gates, and an uncompute tail
-/// that mirrors the compute prefix. The optimizer should collapse a large
-/// fraction; the rest (the CNOT ladder, the T layer) is irreducible.
+/// runs, Hadamard pairs straddling diagonal gates, phase-polynomial T terms
+/// only parity tracking can fold, and an uncompute tail that mirrors the
+/// compute prefix. The optimizer should collapse a large fraction; the rest
+/// (the CNOT ladder, one T per parity term) is irreducible.
 fn mixed_workload(n: usize, layers: usize) -> BCircuit {
     Circ::build(&vec![false; n], |c, qs: Vec<Qubit>| {
         for layer in 0..layers {
@@ -51,6 +52,15 @@ fn mixed_workload(n: usize, layers: usize) -> BCircuit {
             c.gate_t(a);
             c.gate_ctrl(quipper::GateName::Z, a, &b);
             c.gate_inv(quipper::GateName::T, a);
+            // A phase-polynomial merge no commute-based pass can see: the
+            // outer T's act on the same parity (the CNOT pair restores wire
+            // b), but the X-type action on b blocks structural commuting,
+            // so only `opt.phasepoly` folds them into one S.
+            c.gate_t(b);
+            c.cnot(b, a);
+            c.gate_t(b);
+            c.cnot(b, a);
+            c.gate_t(b);
         }
         qs.into_iter().map(|q| c.measure(q)).collect::<Vec<_>>()
     })
@@ -61,6 +71,10 @@ struct OptMeasurement {
     level: OptLevel,
     gates_before: u128,
     gates_after: u128,
+    t_before: u128,
+    t_after: u128,
+    twoq_before: u128,
+    twoq_after: u128,
     rewrites: u64,
     compile: Duration,
 }
@@ -75,6 +89,10 @@ fn measure(name: &str, bc: &BCircuit, level: OptLevel) -> OptMeasurement {
         level,
         gates_before: report.gates_before(),
         gates_after: report.gates_after(),
+        t_before: report.before.t_count(),
+        t_after: report.after.t_count(),
+        twoq_before: report.before.two_qubit(),
+        twoq_after: report.after.two_qubit(),
         rewrites: report.rewrites(),
         compile,
     }
@@ -130,6 +148,23 @@ fn main() {
             (xs, outs)
         }),
     ));
+    // A pure phase-polynomial specimen: T-count reduction with no
+    // structural redundancy for the older passes to claim.
+    circuits.push((
+        "t-merge".to_string(),
+        Circ::build(&vec![false; 3], |c, qs: Vec<Qubit>| {
+            c.hadamard(qs[0]);
+            c.hadamard(qs[1]);
+            c.gate_t(qs[0]);
+            c.cnot(qs[2], qs[0]);
+            c.gate_t(qs[0]);
+            c.gate_t(qs[1]);
+            c.cnot(qs[2], qs[1]);
+            c.gate_inv(quipper::GateName::T, qs[1]);
+            c.cnot(qs[2], qs[1]);
+            qs.into_iter().map(|q| c.measure(q)).collect::<Vec<_>>()
+        }),
+    ));
     let workload = mixed_workload(20, workload_layers);
     circuits.push(("mixed-20q".to_string(), workload.clone()));
 
@@ -141,13 +176,20 @@ fn main() {
     }
 
     println!(
-        "{:>16}  {:>10}  {:>10}  {:>10}  {:>8}  {:>10}",
-        "circuit", "level", "before", "after", "rewrites", "compile"
+        "{:>16}  {:>10}  {:>10}  {:>10}  {:>11}  {:>11}  {:>8}  {:>10}",
+        "circuit", "level", "before", "after", "T", "2q", "rewrites", "compile"
     );
     for m in &results {
         println!(
-            "{:>16}  {:>10}  {:>10}  {:>10}  {:>8}  {:>10.3?}",
-            m.name, m.level, m.gates_before, m.gates_after, m.rewrites, m.compile
+            "{:>16}  {:>10}  {:>10}  {:>10}  {:>11}  {:>11}  {:>8}  {:>10.3?}",
+            m.name,
+            m.level,
+            m.gates_before,
+            m.gates_after,
+            format!("{}->{}", m.t_before, m.t_after),
+            format!("{}->{}", m.twoq_before, m.twoq_after),
+            m.rewrites,
+            m.compile
         );
     }
 
@@ -177,9 +219,43 @@ fn main() {
         "default pipeline should reduce at least 3 circuits, got {}",
         default_reduced.len()
     );
+    // Phase-polynomial smoke: the new pass must strictly reduce T-count on
+    // at least two circuits, and on the mixed workload it must beat the
+    // pre-phasepoly baseline pipeline without growing the total.
+    let t_reduced: Vec<&OptMeasurement> = results
+        .iter()
+        .filter(|m| m.level == OptLevel::Default && m.t_after < m.t_before)
+        .collect();
+    assert!(
+        t_reduced.len() >= 2,
+        "default pipeline should strictly reduce T-count on at least 2 circuits, got {}",
+        t_reduced.len()
+    );
+    let (baseline_out, _) = quipper_opt::PassManager::baseline_default().run(&workload);
+    let baseline_counts = baseline_out.gate_count();
+    let workload_default = results
+        .iter()
+        .find(|m| m.name == "mixed-20q" && m.level == OptLevel::Default)
+        .unwrap();
+    assert!(
+        workload_default.t_after < baseline_counts.t_count(),
+        "default pipeline T-count ({}) must beat the cancel/merge baseline ({})",
+        workload_default.t_after,
+        baseline_counts.t_count()
+    );
+    assert!(
+        workload_default.gates_after <= baseline_counts.total(),
+        "default pipeline total ({}) must be no worse than the baseline ({})",
+        workload_default.gates_after,
+        baseline_counts.total()
+    );
     println!(
-        "smoke check passed ({} circuits reduced at default, workload -{workload_delta} gates)",
-        default_reduced.len()
+        "smoke check passed ({} circuits reduced at default, {} with lower T-count, \
+         workload -{workload_delta} gates, T {} vs baseline {})",
+        default_reduced.len(),
+        t_reduced.len(),
+        workload_default.t_after,
+        baseline_counts.t_count()
     );
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_opt.json");
@@ -190,12 +266,18 @@ fn main() {
                 concat!(
                     "    {{\"name\": \"{}\", \"level\": \"{}\", ",
                     "\"gates_before\": {}, \"gates_after\": {}, ",
+                    "\"t_before\": {}, \"t_after\": {}, ",
+                    "\"twoq_before\": {}, \"twoq_after\": {}, ",
                     "\"rewrites\": {}, \"compile_ms\": {:.3}}}"
                 ),
                 m.name,
                 m.level,
                 m.gates_before,
                 m.gates_after,
+                m.t_before,
+                m.t_after,
+                m.twoq_before,
+                m.twoq_after,
                 m.rewrites,
                 m.compile.as_secs_f64() * 1e3,
             )

@@ -207,6 +207,45 @@ impl GateCount {
             .map(|(_, n)| n)
             .sum()
     }
+
+    /// Number of T and T† gates, with any controls — the resource that
+    /// dominates fault-tolerant execution cost and that the phase-polynomial
+    /// optimizer pass tries to reduce.
+    pub fn t_count(&self) -> u128 {
+        self.counts
+            .iter()
+            .filter(|(c, _)| {
+                matches!(
+                    c.kind,
+                    ClassKind::Unitary {
+                        name: crate::gate::GateName::T,
+                        ..
+                    }
+                )
+            })
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Number of unitaries touching two or more wires: controlled gates plus
+    /// uncontrolled multi-target primitives (Swap, W). Named gates of unknown
+    /// arity are counted as single-target, so for exotic multi-target customs
+    /// this is a lower bound.
+    pub fn two_qubit(&self) -> u128 {
+        self.counts
+            .iter()
+            .filter(|(c, _)| {
+                let targets = match &c.kind {
+                    ClassKind::Unitary { name, .. } => name.fixed_arity().unwrap_or(1),
+                    ClassKind::Rot { .. } => 1,
+                    ClassKind::GPhase => 0,
+                    _ => return false,
+                };
+                targets + usize::from(c.pos) + usize::from(c.neg) >= 2
+            })
+            .map(|(_, n)| n)
+            .sum()
+    }
 }
 
 impl fmt::Display for GateCount {
@@ -790,5 +829,25 @@ mod depth_tests {
         c.gates.push(Gate::cnot(Wire(1), Wire(0)));
         c.gates.push(Gate::unary(GateName::H, Wire(1)));
         assert_eq!(depth(&CircuitDb::new(), &c), 5);
+    }
+
+    #[test]
+    fn t_count_and_two_qubit_count() {
+        let mut c = Circuit::with_inputs(vec![q(0), q(1), q(2)]);
+        c.gates.push(Gate::unary(GateName::T, Wire(0)));
+        c.gates.push(Gate::QGate {
+            name: GateName::T,
+            inverted: true,
+            targets: vec![Wire(1)],
+            controls: vec![],
+        });
+        c.gates.push(Gate::unary(GateName::H, Wire(2)));
+        c.gates.push(Gate::cnot(Wire(1), Wire(0)));
+        c.gates.push(Gate::toffoli(Wire(2), Wire(0), Wire(1)));
+        let gc = count(&CircuitDb::new(), &c);
+        // T and T† both contribute to the T-count; H does not.
+        assert_eq!(gc.t_count(), 2);
+        // The CNOT and the Toffoli each touch at least two wires.
+        assert_eq!(gc.two_qubit(), 2);
     }
 }

@@ -40,6 +40,7 @@ pub mod error;
 pub mod fingerprint;
 pub mod flatten;
 pub mod gate;
+pub mod pauli;
 pub mod print;
 pub mod qasm;
 pub mod resources;

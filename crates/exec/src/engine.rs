@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 
 use quipper::{Circ, QCData, Shape};
 use quipper_circuit::BCircuit;
-use quipper_opt::{OptLevel, OptSummary};
+use quipper_opt::{OptLevel, OptSummary, PassStats};
 use quipper_sim::{FuseStats, StateVecConfig};
 use quipper_trace::{fmt_duration, names, Phase, ProfileSummary, TraceSummary, Tracer};
 
@@ -189,6 +189,10 @@ pub struct ExecReport {
     /// What the optimizer did to the executed plan (static per plan).
     /// `None` when the plan was compiled at [`OptLevel::Off`].
     pub opt: Option<OptSummary>,
+    /// Per-pass optimizer deltas for the executed plan, in pipeline order
+    /// (static per plan). `None` when the plan was compiled at
+    /// [`OptLevel::Off`], or for reports built outside the engine.
+    pub opt_passes: Option<Vec<PassStats>>,
     /// Trace accounting for this job, when tracing was enabled during it.
     pub trace: Option<TraceSummary>,
     /// Sampling-profiler attribution for this job's state-vector windows,
@@ -655,6 +659,7 @@ impl Engine {
                 route_reason,
                 lint: Some(plan.lint.summary()),
                 opt: opt_summary,
+                opt_passes: plan.opt.as_ref().map(|r| r.passes.clone()),
                 trace: trace_summary,
                 profile: profile_summary,
             },
@@ -1002,6 +1007,7 @@ mod tests {
             route_reason: "universal gate set; peak 9 qubits within state-vector cap".into(),
             lint: None,
             opt: None,
+            opt_passes: None,
             trace: None,
             profile: None,
         }

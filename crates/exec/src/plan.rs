@@ -401,7 +401,9 @@ mod tests {
         let opt = Plan::compile_with(&bc, OptLevel::Default).unwrap();
         assert!(opt.flat.gates.len() < off.flat.gates.len());
         let report = opt.opt.as_ref().expect("optimized plan carries a report");
-        assert_eq!(report.removed(), 2);
+        // H·H cancels (−2), and the terminal T is absorbed into the
+        // measurement by the Clifford-push pass (−1).
+        assert_eq!(report.removed(), 3);
         // The cache key is the circuit as submitted, not as rewritten.
         assert_eq!(opt.fingerprint, bc.fingerprint());
     }

@@ -40,8 +40,12 @@ fn universal_op() -> impl Strategy<Value = UniversalOp> {
 fn universal_circuit(ops: &[UniversalOp]) -> BCircuit {
     let mut c = Circ::new();
     let qs: Vec<Qubit> = (0..QUBITS).map(|_| c.qinit_bit(false)).collect();
+    // An H·T·H sandwich pins a non-Clifford gate that no optimizer pass can
+    // remove (the T sits alone in its phase region and an opaque H separates
+    // it from the measurements), so the plan always routes to statevec.
     c.hadamard(qs[0]);
     c.gate_t(qs[0]);
+    c.hadamard(qs[0]);
     for &op in ops {
         match op {
             UniversalOp::H(a) => c.hadamard(qs[a]),

@@ -79,6 +79,26 @@ pub const CODES: &[(&str, Severity, &str)] = &[
         Severity::Warning,
         "gate can never fire: a control is statically blocked",
     ),
+    (
+        "QL040",
+        Severity::Note,
+        "measurement outcome is provably deterministic (stabilizer flow)",
+    ),
+    (
+        "QL041",
+        Severity::Warning,
+        "Clifford-conjugated gate pair cancels to the identity",
+    ),
+    (
+        "QL042",
+        Severity::Note,
+        "subroutine body contributes only a global phase",
+    ),
+    (
+        "QL043",
+        Severity::Note,
+        "phase-polynomial term sums to the identity",
+    ),
 ];
 
 /// The severity of a code from [`CODES`] (unknown codes are warnings).

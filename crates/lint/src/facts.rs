@@ -49,6 +49,15 @@ pub enum Redundancy {
         /// A control wire witnessing the violation.
         witness: Wire,
     },
+    /// The Pauli gate at `with` (an earlier index in the same scope),
+    /// conjugated through every intervening gate, lands *exactly* (sign
+    /// included) on this gate, so deleting both preserves the operator
+    /// (QL041). Pairs recorded here never interleave with each other or
+    /// with `CancelsPair` intervals, so the consumer may delete any subset.
+    ConjugatePair {
+        /// Index of the earlier partner gate.
+        with: usize,
+    },
 }
 
 /// One redundancy finding in machine-readable form.
@@ -69,6 +78,7 @@ impl Fact {
             Redundancy::CancelsPair { .. } => "QL030",
             Redundancy::ConstControl { .. } => "QL031",
             Redundancy::NeverFires { .. } => "QL032",
+            Redundancy::ConjugatePair { .. } => "QL041",
         }
     }
 }

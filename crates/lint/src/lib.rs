@@ -54,6 +54,7 @@
 mod analyze;
 mod context;
 mod domain;
+mod pauli;
 mod structure;
 
 pub mod diag;
@@ -76,6 +77,9 @@ pub struct LintOptions {
     pub control_context: bool,
     /// Cancelling pairs and no-op controls (`QL030`–`QL032`).
     pub redundancy: bool,
+    /// Pauli-flow analysis: deterministic measurements, Clifford-conjugated
+    /// pairs, phase-only boxes, identity phase terms (`QL040`–`QL043`).
+    pub pauli: bool,
 }
 
 impl Default for LintOptions {
@@ -85,6 +89,7 @@ impl Default for LintOptions {
             ancilla: true,
             control_context: true,
             redundancy: true,
+            pauli: true,
         }
     }
 }
@@ -122,6 +127,7 @@ pub fn facts(bc: &BCircuit) -> Facts {
         ancilla: false,
         control_context: false,
         redundancy: true,
+        pauli: true,
     };
     lint_with_facts(bc, &opts).1
 }
@@ -134,6 +140,9 @@ fn run_passes(bc: &BCircuit, opts: &LintOptions, mut facts: Option<&mut Facts>) 
     }
     if opts.control_context {
         context::control_pass(bc, &mut report.findings);
+    }
+    if opts.pauli {
+        pauli::pauli_pass(bc, &mut report.findings, facts.as_deref_mut());
     }
     if opts.redundancy {
         structure::redundancy_pass(bc, &mut report.findings, facts);

@@ -1,0 +1,64 @@
+//! Consistency lint for diagnostic codes, mirroring the metric-name lint in
+//! `quipper-trace`: every `QL0xx` code referenced anywhere in this crate's
+//! sources is registered (exactly once, with a severity) in the
+//! [`quipper_lint::CODES`] table, and every registered code is actually
+//! produced somewhere outside the table itself. A half-landed code — emitted
+//! but unregistered (falling back to the default Warning severity), or
+//! registered but dead — fails the build.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+/// Every `QL0dd` token in `text` (docs and string literals alike).
+fn collect_codes(text: &str, into: &mut BTreeSet<String>) {
+    let bytes = text.as_bytes();
+    for i in 0..bytes.len().saturating_sub(4) {
+        if &bytes[i..i + 3] == b"QL0"
+            && bytes[i + 3].is_ascii_digit()
+            && bytes[i + 4].is_ascii_digit()
+        {
+            into.insert(text[i..i + 5].to_string());
+        }
+    }
+}
+
+#[test]
+fn referenced_codes_and_the_registry_agree() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut referenced = BTreeSet::new();
+    let mut scanned = 0;
+    for entry in fs::read_dir(&src).expect("read src/") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs")
+            && path.file_name().is_some_and(|n| n != "diag.rs")
+        {
+            collect_codes(
+                &fs::read_to_string(&path).expect("read source"),
+                &mut referenced,
+            );
+            scanned += 1;
+        }
+    }
+    assert!(scanned >= 6, "source scan looks broken: {scanned} files");
+
+    let mut registered = BTreeSet::new();
+    for &(code, _, _) in quipper_lint::CODES {
+        assert!(
+            registered.insert(code.to_string()),
+            "{code} appears more than once in diag::CODES"
+        );
+    }
+
+    let unregistered: Vec<_> = referenced.difference(&registered).collect();
+    assert!(
+        unregistered.is_empty(),
+        "codes referenced in crates/lint sources but missing from diag::CODES \
+         (they would lint at the default Warning severity): {unregistered:?}"
+    );
+    let dead: Vec<_> = registered.difference(&referenced).collect();
+    assert!(
+        dead.is_empty(),
+        "codes registered in diag::CODES but never referenced by any pass: {dead:?}"
+    );
+}

@@ -18,10 +18,20 @@
 //! 3. **Rotation merging** — folds runs of same-family rotations on a
 //!    wire into one gate and drops identity rotations and unobservable
 //!    global phases.
-//! 4. **Binary decomposition** (`Aggressive` only) — rewrites to a
+//! 4. **Phase-polynomial re-synthesis** — merges phase gates acting on the
+//!    same parity function across {CNOT, X, Swap} regions
+//!    ([`quipper_circuit::pauli::phase_groups`]), cutting T-count where
+//!    adjacency-based merging cannot.
+//! 5. **Clifford pushing** — deletes terminal diagonal gates absorbed by
+//!    measurements and discards (the measurement-frame absorption).
+//! 6. **Binary decomposition** (`Aggressive` only) — rewrites to a
 //!    constrained target set where every gate touches at most two wires
-//!    ([`quipper::decompose`]), then re-runs cancellation and merging over
+//!    ([`quipper::decompose`]), then re-runs the cleanup passes over
 //!    the expansion.
+//!
+//! A whole-pipeline revert guard hands back the untouched input if the
+//! final circuit somehow ends up larger (recorded as an `opt.revert` pass),
+//! so no level ever reports more gates than it was given.
 //!
 //! Passes preserve hierarchy: a rewrite inside a box body optimizes every
 //! call site at once, which is what makes optimizing trillion-gate
@@ -43,8 +53,9 @@ pub enum OptLevel {
     /// No rewriting at all: plans are built from the circuit exactly as
     /// authored (bit-identical to the pre-optimizer pipeline).
     Off,
-    /// Facts-seeded cleanup, commutation-aware cancellation and rotation
-    /// merging. Never increases the gate count.
+    /// Facts-seeded cleanup, commutation-aware cancellation, rotation
+    /// merging, phase-polynomial re-synthesis and Clifford pushing. Never
+    /// increases the gate count.
     #[default]
     Default,
     /// Everything in `Default`, then decomposition to the binary target
@@ -214,6 +225,8 @@ enum PassKind {
     FactsCleanup,
     Cancel,
     Merge,
+    PhasePoly,
+    CliffordPush,
     DecomposeBinary,
 }
 
@@ -223,6 +236,8 @@ impl PassKind {
             PassKind::FactsCleanup => "opt.facts",
             PassKind::Cancel => "opt.cancel",
             PassKind::Merge => "opt.merge",
+            PassKind::PhasePoly => "opt.phasepoly",
+            PassKind::CliffordPush => "opt.clifford_push",
             PassKind::DecomposeBinary => "opt.decompose",
         }
     }
@@ -239,11 +254,22 @@ impl PassManager {
         use PassKind::*;
         let pipeline = match level {
             OptLevel::Off => vec![],
-            // The second facts round sees the dataflow that cancellation
-            // and merging exposed (a deleted H·H pair can turn a wire back
-            // into a known constant); the trailing cancel catches pairs
-            // exposed by merges and facts deletions.
-            OptLevel::Default => vec![FactsCleanup, Cancel, Merge, FactsCleanup, Cancel],
+            // Phase-polynomial re-synthesis runs after merging (merging
+            // normalizes adjacent runs first, phasepoly catches the
+            // non-adjacent same-parity remainder); Clifford pushing then
+            // strips what became terminal. The second facts round sees the
+            // dataflow those deletions exposed (a deleted H·H pair can turn
+            // a wire back into a known constant); the trailing cancel
+            // catches pairs exposed by merges and facts deletions.
+            OptLevel::Default => vec![
+                FactsCleanup,
+                Cancel,
+                Merge,
+                PhasePoly,
+                CliffordPush,
+                FactsCleanup,
+                Cancel,
+            ],
             // The prefix before `DecomposeBinary` is exactly the `Default`
             // pipeline, so the revert-on-growth snapshot (taken just before
             // decomposition) is never worse than the `Default` result. The
@@ -254,17 +280,32 @@ impl PassManager {
                 FactsCleanup,
                 Cancel,
                 Merge,
+                PhasePoly,
+                CliffordPush,
                 FactsCleanup,
                 Cancel,
                 DecomposeBinary,
                 FactsCleanup,
                 Cancel,
                 Merge,
+                PhasePoly,
+                CliffordPush,
                 FactsCleanup,
                 Cancel,
             ],
         };
         PassManager { pipeline }
+    }
+
+    /// The PR 6-era `Default` pipeline — cleanup, cancellation and merging
+    /// only, without phase-polynomial re-synthesis or Clifford pushing.
+    /// Kept as a benchmarking baseline so T-count improvements from the
+    /// newer passes are measured against a fixed reference.
+    pub fn baseline_default() -> PassManager {
+        use PassKind::*;
+        PassManager {
+            pipeline: vec![FactsCleanup, Cancel, Merge, FactsCleanup, Cancel],
+        }
     }
 
     /// Whether the pipeline schedules no passes.
@@ -280,6 +321,7 @@ impl PassManager {
     /// Runs the pipeline, returning the rewritten circuit and one
     /// [`PassStats`] per executed pass.
     pub fn run(&self, bc: &BCircuit) -> (BCircuit, Vec<PassStats>) {
+        let input_total = bc.gate_count().total();
         let mut current = bc.clone();
         let mut stats = Vec::with_capacity(self.pipeline.len());
         // Pre-decompose snapshot: if decomposition plus its cleanup rounds
@@ -301,6 +343,28 @@ impl PassManager {
                 PassKind::Merge => passes::map_scopes(&current, |scope, c| {
                     passes::merge_pass(&c.gates, scope == FactScope::Main, &mut rewrites)
                 }),
+                PassKind::PhasePoly => {
+                    let (mut merged, mut removed) = (0u64, 0u64);
+                    let out = passes::map_scopes(&current, |_, c| {
+                        passes::phasepoly_pass(c, &mut rewrites, &mut merged, &mut removed)
+                    });
+                    quipper_trace::count(names::OPT_PHASEPOLY_MERGED, merged);
+                    quipper_trace::count(names::OPT_PHASEPOLY_REMOVED, removed);
+                    out
+                }
+                PassKind::CliffordPush => {
+                    let mut absorbed = 0u64;
+                    let out = passes::map_scopes(&current, |scope, c| {
+                        passes::clifford_push_pass(
+                            &c.gates,
+                            scope == FactScope::Main,
+                            &mut rewrites,
+                            &mut absorbed,
+                        )
+                    });
+                    quipper_trace::count(names::OPT_CLIFFORD_ABSORBED, absorbed);
+                    out
+                }
                 PassKind::DecomposeBinary => {
                     rewrites = passes::count_wide_gates(&current);
                     quipper::decompose::decompose(quipper::decompose::GateBase::Binary, &current)
@@ -325,6 +389,22 @@ impl PassManager {
                 });
                 current = snap;
             }
+        }
+        // Whole-pipeline guard: no run may hand back more gates than it was
+        // given. The non-decompose passes individually never grow, so this
+        // only fires on pathological inputs — but the invariant is cheap to
+        // enforce unconditionally.
+        let final_total = current.gate_count().total();
+        if final_total > input_total {
+            let _span = span(Phase::Compile, "opt.revert");
+            stats.push(PassStats {
+                name: "opt.revert",
+                gates_before: final_total,
+                gates_after: input_total,
+                rewrites: 1,
+            });
+            quipper_trace::count(names::OPT_REVERTED, 1);
+            current = bc.clone();
         }
         (current, stats)
     }
@@ -683,6 +763,153 @@ mod tests {
             aggressive_report.gates_after(),
             default_report.gates_after(),
         );
+    }
+
+    #[test]
+    fn phasepoly_merges_rotations_across_cnots() {
+        // T(0) · CNOT(1←0) · T(0): the CNOT's control leaves wire 0's
+        // parity unchanged, so the two T's share one phase-polynomial term
+        // and fuse into a single S — invisible to adjacency-based merging.
+        let bc = main_only(
+            vec![
+                Gate::unary(GateName::T, Wire(0)),
+                Gate::cnot(Wire(1), Wire(0)),
+                Gate::unary(GateName::T, Wire(0)),
+            ],
+            2,
+        );
+        let (out, report) = optimize(&bc, OptLevel::Default);
+        assert_eq!(
+            out.main.gates,
+            vec![
+                Gate::unary(GateName::S, Wire(0)),
+                Gate::cnot(Wire(1), Wire(0)),
+            ]
+        );
+        assert!(report
+            .passes
+            .iter()
+            .any(|p| p.name == "opt.phasepoly" && p.rewrites >= 1));
+    }
+
+    #[test]
+    fn phasepoly_deletes_identity_terms() {
+        // T · CNOT · T†: the same parity term sums to zero — both phases
+        // vanish. (The cancel pass can also reach this one by commuting
+        // through the Z-diagonal CNOT control; the pipeline result is what
+        // matters.)
+        let tdg = Gate::QGate {
+            name: GateName::T,
+            inverted: true,
+            targets: vec![Wire(0)],
+            controls: vec![],
+        };
+        let bc = main_only(
+            vec![
+                Gate::unary(GateName::T, Wire(0)),
+                Gate::cnot(Wire(1), Wire(0)),
+                tdg,
+            ],
+            2,
+        );
+        let (out, _) = optimize(&bc, OptLevel::Default);
+        assert_eq!(out.main.gates, vec![Gate::cnot(Wire(1), Wire(0))]);
+    }
+
+    #[test]
+    fn clifford_push_absorbs_terminal_diagonals_into_measurement() {
+        // S and T are Z-diagonal: ahead of a computational-basis
+        // measurement they only add unobservable per-branch phases. The H
+        // is not diagonal and must survive.
+        let bc = main_only(
+            vec![
+                Gate::unary(GateName::H, Wire(0)),
+                Gate::unary(GateName::S, Wire(0)),
+                Gate::unary(GateName::T, Wire(0)),
+                Gate::QMeas { wire: Wire(0) },
+            ],
+            1,
+        );
+        let (out, report) = optimize(&bc, OptLevel::Default);
+        assert_eq!(
+            out.main.gates,
+            vec![
+                Gate::unary(GateName::H, Wire(0)),
+                Gate::QMeas { wire: Wire(0) },
+            ]
+        );
+        assert!(report
+            .passes
+            .iter()
+            .any(|p| p.name == "opt.clifford_push" && p.rewrites >= 1));
+    }
+
+    #[test]
+    fn clifford_push_absorbs_anything_before_a_discard() {
+        // The X is arbitrary on wire 1, but wire 1 is discarded with
+        // nothing else touching it — the action is traced out. Wire 0's
+        // measurement blocks nothing here because the X doesn't touch it.
+        let bc = main_only(
+            vec![
+                Gate::unary(GateName::H, Wire(0)),
+                Gate::unary(GateName::X, Wire(1)),
+                Gate::QMeas { wire: Wire(0) },
+                Gate::QDiscard { wire: Wire(1) },
+            ],
+            2,
+        );
+        let (out, _) = optimize(&bc, OptLevel::Default);
+        assert_eq!(
+            out.main.gates,
+            vec![
+                Gate::unary(GateName::H, Wire(0)),
+                Gate::QMeas { wire: Wire(0) },
+                Gate::QDiscard { wire: Wire(1) },
+            ]
+        );
+    }
+
+    #[test]
+    fn clifford_push_keeps_gates_a_survivor_depends_on() {
+        // The X on the measured wire is NOT diagonal: deleting it would
+        // flip the outcome distribution. It must survive.
+        let bc = main_only(
+            vec![
+                Gate::unary(GateName::X, Wire(0)),
+                Gate::QMeas { wire: Wire(0) },
+            ],
+            1,
+        );
+        let (out, _) = optimize(&bc, OptLevel::Default);
+        assert_eq!(out.main.gates.len(), 2);
+    }
+
+    #[test]
+    fn conjugated_pairs_from_lint_facts_are_deleted() {
+        // Z · H · X: lint's Pauli-flow (QL041) proves the outer pair
+        // cancels through the H; the facts cleanup consumes it.
+        let bc = main_only(
+            vec![
+                Gate::unary(GateName::Z, Wire(0)),
+                Gate::unary(GateName::H, Wire(0)),
+                Gate::unary(GateName::X, Wire(0)),
+            ],
+            1,
+        );
+        let (out, _) = optimize(&bc, OptLevel::Default);
+        assert_eq!(out.main.gates, vec![Gate::unary(GateName::H, Wire(0))]);
+    }
+
+    #[test]
+    fn baseline_pipeline_lacks_the_new_passes() {
+        let baseline = PassManager::baseline_default();
+        let names = baseline.pass_names();
+        assert!(!names.contains(&"opt.phasepoly"));
+        assert!(!names.contains(&"opt.clifford_push"));
+        // ... while the current Default has both.
+        let current = PassManager::for_level(OptLevel::Default).pass_names();
+        assert!(current.contains(&"opt.phasepoly"));
+        assert!(current.contains(&"opt.clifford_push"));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use quipper_circuit::commute::{commutes_with, same_control_set, wire_actions};
+use quipper_circuit::commute::{commutes_with, same_control_set, wire_actions, WireAction};
 use quipper_circuit::{BCircuit, Circuit, CircuitDb, Gate, SubDef, Wire};
 use quipper_lint::{FactScope, Redundancy};
 
@@ -122,18 +122,23 @@ pub(crate) fn facts_cleanup(bc: &BCircuit, rewrites: &mut u64) -> BCircuit {
         }
         // Cancelling pairs drop both ends, but only when neither end was
         // already deleted — deleting one survivor of a half-dead pair would
-        // change semantics.
+        // change semantics. Clifford-conjugated pairs (QL041) are deleted
+        // under the same rule; the linter guarantees the recorded pair
+        // intervals never interleave, so deleting any subset composes.
         for fact in facts.for_scope(scope) {
-            if let Redundancy::CancelsPair { with } = fact.reason {
-                let (a, b) = (with, fact.gate_index);
-                if !delete.contains(&a)
-                    && !delete.contains(&b)
-                    && deletable(&circuit.gates[a])
-                    && deletable(&circuit.gates[b])
-                {
-                    delete.insert(a);
-                    delete.insert(b);
-                }
+            let (Redundancy::CancelsPair { with } | Redundancy::ConjugatePair { with }) =
+                fact.reason
+            else {
+                continue;
+            };
+            let (a, b) = (with, fact.gate_index);
+            if !delete.contains(&a)
+                && !delete.contains(&b)
+                && deletable(&circuit.gates[a])
+                && deletable(&circuit.gates[b])
+            {
+                delete.insert(a);
+                delete.insert(b);
             }
         }
         for fact in facts.for_scope(scope) {
@@ -416,6 +421,177 @@ fn merge_sweep(gates: Vec<Gate>, in_main: bool, rewrites: &mut u64) -> Vec<Gate>
             }
         }
         out.push(g);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Clifford pushing into measurements and discards
+// ---------------------------------------------------------------------
+
+/// What a wire's remaining future consists of, walking backward.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum AbsorbKind {
+    /// Only computational-basis-diagonal gates, then a measurement (or a
+    /// discard behind further diagonal gates): a Z-diagonal action here
+    /// commutes through to the boundary and becomes an unobservable
+    /// per-branch phase.
+    Meas,
+    /// Nothing at all touches the wire until it is discarded: any action
+    /// here is traced out.
+    Discard,
+}
+
+/// Deletes terminal gates whose entire effect is absorbed by measurements
+/// and discards: a gate every wire of which ends in an absorbing boundary,
+/// acting Z-diagonally on each measured wire (arbitrary actions are allowed
+/// only on discard-bound wires). This is the classic "push terminal
+/// Cliffords into the measurement frame", generalized to any diagonal gate.
+///
+/// Sound in box bodies too: a body containing measurements or discards is
+/// already uncontrollable/irreversible, so every call site executes it
+/// as written — except that an *uncontrolled* global phase (which touches
+/// no wires) is only droppable in `main`, exactly as in [`merge_pass`].
+///
+/// Never grows the circuit.
+pub(crate) fn clifford_push_pass(
+    gates: &[Gate],
+    in_main: bool,
+    rewrites: &mut u64,
+    absorbed: &mut u64,
+) -> Vec<Gate> {
+    let mut absorbing: HashMap<Wire, AbsorbKind> = HashMap::new();
+    let mut keep = vec![true; gates.len()];
+    for (idx, gate) in gates.iter().enumerate().rev() {
+        match gate {
+            Gate::Comment { .. } => {}
+            Gate::QMeas { wire } => {
+                absorbing.insert(*wire, AbsorbKind::Meas);
+            }
+            Gate::QDiscard { wire } | Gate::CDiscard { wire } => {
+                absorbing.insert(*wire, AbsorbKind::Discard);
+            }
+            // A boundary into a previous incarnation of the wire id: the
+            // absorption claim must not leak across it.
+            Gate::QInit { wire, .. }
+            | Gate::QTerm { wire, .. }
+            | Gate::CInit { wire, .. }
+            | Gate::CTerm { wire, .. } => {
+                absorbing.remove(wire);
+            }
+            Gate::QGate { .. } | Gate::QRot { .. } | Gate::GPhase { .. } => {
+                let actions = wire_actions(gate);
+                let absorbable = actions.iter().all(|(w, action)| match absorbing.get(w) {
+                    Some(AbsorbKind::Discard) => true,
+                    Some(AbsorbKind::Meas) => *action == WireAction::ZDiagonal,
+                    None => false,
+                }) && (in_main || !actions.is_empty());
+                if absorbable && deletable(gate) {
+                    keep[idx] = false;
+                    *rewrites += 1;
+                    *absorbed += 1;
+                } else {
+                    // The gate stays: earlier gates on its wires must now
+                    // commute through it to reach the boundary, which the
+                    // deletion rule guarantees only for mutually Z-diagonal
+                    // actions.
+                    for (w, action) in &actions {
+                        if *action == WireAction::ZDiagonal {
+                            if let Some(k) = absorbing.get_mut(w) {
+                                *k = AbsorbKind::Meas;
+                            }
+                        } else {
+                            absorbing.remove(w);
+                        }
+                    }
+                }
+            }
+            _ => {
+                // Subroutine calls, classical gates: opaque; every touched
+                // wire loses its absorption claim.
+                gate.for_each_wire(&mut |w| {
+                    absorbing.remove(&w);
+                });
+            }
+        }
+    }
+    gates
+        .iter()
+        .zip(&keep)
+        .filter(|&(_, &k)| k)
+        .map(|(g, _)| g.clone())
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Phase-polynomial re-synthesis of CNOT+phase regions
+// ---------------------------------------------------------------------
+
+/// Re-synthesizes same-parity phase gates within {CNOT, X, Swap, phase}
+/// regions from their phase-polynomial representation (see
+/// [`quipper_circuit::pauli::phase_groups`]): all rotations on one parity
+/// term merge into a single canonical gate sequence at the site of the
+/// group's first member, cutting T-count. A group is only rewritten when
+/// the replacement is strictly shorter than the members it replaces, so the
+/// pass never grows the circuit.
+///
+/// Exact unitary equality (not up to global phase): each member applies a
+/// diagonal phase determined solely by the parity function the wire carries
+/// at that moment, which is the same for every member of a group, so the
+/// product telescopes into the merged gate placed at the first site.
+pub(crate) fn phasepoly_pass(
+    circuit: &Circuit,
+    rewrites: &mut u64,
+    merged: &mut u64,
+    removed: &mut u64,
+) -> Vec<Gate> {
+    use quipper_circuit::pauli::{gates_for_units, PhaseFamily};
+
+    let groups = quipper_circuit::pauli::phase_groups(circuit);
+    let mut delete: HashSet<usize> = HashSet::new();
+    // Replacement gates to splice in *before* the gate at each index.
+    let mut splice: HashMap<usize, Vec<Gate>> = HashMap::new();
+    for g in &groups {
+        if g.members.len() < 2 {
+            continue;
+        }
+        let replacement: Vec<Gate> = match &g.family {
+            PhaseFamily::Named => gates_for_units(g.units, g.wire),
+            PhaseFamily::Rot(name) => {
+                let period = additive_period(name).unwrap_or(f64::INFINITY);
+                if is_identity_angle(g.angle, period) {
+                    Vec::new()
+                } else {
+                    vec![Gate::QRot {
+                        name: name.clone(),
+                        inverted: false,
+                        angle: g.angle,
+                        targets: vec![g.wire],
+                        controls: vec![],
+                    }]
+                }
+            }
+        };
+        if replacement.len() >= g.members.len() {
+            continue;
+        }
+        *rewrites += 1;
+        *merged += 1;
+        *removed += (g.members.len() - replacement.len()) as u64;
+        delete.extend(g.members.iter().copied());
+        splice.insert(g.members[0], replacement);
+    }
+    if delete.is_empty() {
+        return circuit.gates.clone();
+    }
+    let mut out = Vec::with_capacity(circuit.gates.len());
+    for (idx, gate) in circuit.gates.iter().enumerate() {
+        if let Some(repl) = splice.remove(&idx) {
+            out.extend(repl);
+        }
+        if !delete.contains(&idx) {
+            out.push(gate.clone());
+        }
     }
     out
 }

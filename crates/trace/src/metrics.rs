@@ -93,6 +93,23 @@ pub mod names {
     /// Individual rewrites applied (cancellations, merges, control drops,
     /// decomposition expansions).
     pub const OPT_REWRITES: &str = "opt.rewrites";
+    /// Phase-polynomial pass: same-parity rotation groups merged.
+    pub const OPT_PHASEPOLY_MERGED: &str = "opt.phasepoly.merged";
+    /// Phase-polynomial pass: phase gates removed by re-synthesis.
+    pub const OPT_PHASEPOLY_REMOVED: &str = "opt.phasepoly.removed";
+    /// Clifford-push pass: terminal gates absorbed into measurements or
+    /// discards.
+    pub const OPT_CLIFFORD_ABSORBED: &str = "opt.clifford_push.absorbed";
+    /// Whole-pipeline reverts: runs whose result was discarded because the
+    /// optimized circuit ended up larger than the input.
+    pub const OPT_REVERTED: &str = "opt.reverted";
+
+    /// Pauli-flow lint: stabilizer generators seeded from initializations.
+    pub const LINT_PAULI_GENERATORS: &str = "lint.pauli.generators";
+    /// Pauli-flow lint: measurements proved deterministic (QL040).
+    pub const LINT_PAULI_DET_MEAS: &str = "lint.pauli.det_meas";
+    /// Pauli-flow lint: Clifford-conjugated cancelling pairs found (QL041).
+    pub const LINT_PAULI_CONJ_PAIRS: &str = "lint.pauli.conj_pairs";
 
     /// State-vector kernel dispatches by class.
     pub const KERNEL_DIAGONAL: &str = "sim.kernel.diagonal";
@@ -161,6 +178,13 @@ pub mod names {
         OPT_GATES_OUT,
         OPT_REMOVED,
         OPT_REWRITES,
+        OPT_PHASEPOLY_MERGED,
+        OPT_PHASEPOLY_REMOVED,
+        OPT_CLIFFORD_ABSORBED,
+        OPT_REVERTED,
+        LINT_PAULI_GENERATORS,
+        LINT_PAULI_DET_MEAS,
+        LINT_PAULI_CONJ_PAIRS,
         KERNEL_DIAGONAL,
         KERNEL_PERMUTATION,
         KERNEL_GENERAL,
@@ -533,6 +557,45 @@ impl fmt::Display for MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Every `pub const` in the `names` module must be listed in
+    /// [`names::ALL`], or the exposition lint silently stops covering it.
+    /// Parses this very file, so adding a constant without registering it
+    /// fails the build.
+    #[test]
+    fn every_name_constant_is_in_all() {
+        let src = include_str!("metrics.rs");
+        let mut declared = Vec::new();
+        for line in src.lines() {
+            let t = line.trim();
+            if t == "pub const ALL: &[&str] = &[" {
+                break; // constants below feed ALL itself
+            }
+            if let Some(rest) = t.strip_prefix("pub const ") {
+                if let Some((_, value)) = rest.split_once("&str = \"") {
+                    if let Some(name) = value.strip_suffix("\";") {
+                        declared.push(name);
+                    }
+                }
+            }
+        }
+        assert!(
+            declared.len() >= 50,
+            "name-constant scan looks broken: {declared:?}"
+        );
+        for name in &declared {
+            assert!(
+                names::ALL.contains(name),
+                "names::{name:?} is declared but missing from names::ALL — \
+                 the exposition lint will not cover it"
+            );
+        }
+        assert_eq!(
+            declared.len(),
+            names::ALL.len(),
+            "names::ALL lists a metric with no declared constant"
+        );
+    }
 
     #[test]
     fn counters_and_maxes() {

@@ -87,12 +87,17 @@ fn report_json(name: &str, report: &OptReport) {
     println!(
         "{{\"kind\":\"circuit\",\"name\":\"{name}\",\"level\":\"{}\",\
          \"gates_before\":{},\"gates_after\":{},\"removed\":{},\"rewrites\":{},\
+         \"t_before\":{},\"t_after\":{},\"twoq_before\":{},\"twoq_after\":{},\
          \"passes\":[{}]}}",
         report.level,
         report.gates_before(),
         report.gates_after(),
         report.removed(),
         report.rewrites(),
+        report.before.t_count(),
+        report.after.t_count(),
+        report.before.two_qubit(),
+        report.after.two_qubit(),
         passes.join(","),
     );
 }
@@ -108,10 +113,14 @@ fn optimize_one(name: &str, bc: &BCircuit, opts: &Options) -> OptReport {
             0.0
         };
         println!(
-            "{name:<16}{:>10} -> {:<10}{:>+8}  ({pct:.1}%)  {} rewrites",
+            "{name:<16}{:>10} -> {:<10}{:>+8}  ({pct:.1}%)  T {:>4} -> {:<4} 2q {:>4} -> {:<4} {} rewrites",
             report.gates_before(),
             report.gates_after(),
             -report.removed(),
+            report.before.t_count(),
+            report.after.t_count(),
+            report.before.two_qubit(),
+            report.after.two_qubit(),
             report.rewrites(),
         );
     }
@@ -144,8 +153,8 @@ fn main() -> ExitCode {
 
     if !opts.json {
         println!(
-            "{:<16}{:>10}    {:<10}{:>8}  level: {}",
-            "circuit", "before", "after", "delta", opts.level
+            "{:<16}{:>10}    {:<10}{:>8}  {:<27}level: {}",
+            "circuit", "before", "after", "delta", "T-count / 2q-count", opts.level
         );
     }
     let mut selected = 0usize;

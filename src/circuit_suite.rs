@@ -29,6 +29,8 @@ pub fn suite() -> Vec<SuiteEntry> {
         ("grover3", grover3),
         ("qft4", qft4),
         ("bwt-orthodox", bwt_orthodox),
+        ("ghz-syndrome", ghz_syndrome),
+        ("t-merge", t_merge),
     ]
 }
 
@@ -119,4 +121,45 @@ fn qft4() -> BCircuit {
 /// One timestep of the orthodox welded-tree walk on a depth-1 tree.
 fn bwt_orthodox() -> BCircuit {
     bwt_circuit(WeldedTree::new(1, [0b0, 0b1]), 1, 0.35, Flavor::Orthodox)
+}
+
+/// GHZ-3 preparation plus a parity-syndrome ancilla whose measurement is
+/// provably deterministic by stabilizer flow — the lint suite's QL040
+/// exemplar (the data measurements stay genuinely random).
+fn ghz_syndrome() -> BCircuit {
+    // Qubits are qinit'd (not open inputs) so the stabilizer walker has
+    // seeded generators to flow through the preparation.
+    Circ::build(&(), |c, ()| {
+        let qs: Vec<Qubit> = (0..3).map(|_| c.qinit_bit(false)).collect();
+        c.hadamard(qs[0]);
+        for w in qs.windows(2) {
+            c.cnot(w[1], w[0]);
+        }
+        let anc = c.qinit_bit(false);
+        c.cnot(anc, qs[0]);
+        c.cnot(anc, qs[1]);
+        let syndrome = c.measure(anc);
+        let data = qs.into_iter().map(|q| c.measure(q)).collect::<Vec<_>>();
+        (syndrome, data)
+    })
+}
+
+/// Z-rotations separated by CNOTs on the same phase-polynomial term: the
+/// optimizer's `opt.phasepoly` pass merges each T·…·T pair into an S and
+/// deletes the T·…·T† term outright.
+fn t_merge() -> BCircuit {
+    Circ::build(&vec![false; 3], |c, qs: Vec<Qubit>| {
+        c.hadamard(qs[0]);
+        c.hadamard(qs[1]);
+        // T ... T on qs[0] across CNOTs it controls: merges to S.
+        c.gate_t(qs[0]);
+        c.cnot(qs[2], qs[0]);
+        c.gate_t(qs[0]);
+        // T ... T† on qs[1]: sums to the identity term.
+        c.gate_t(qs[1]);
+        c.cnot(qs[2], qs[1]);
+        c.gate_inv(quipper::GateName::T, qs[1]);
+        c.cnot(qs[2], qs[1]);
+        qs.into_iter().map(|q| c.measure(q)).collect::<Vec<_>>()
+    })
 }
