@@ -43,6 +43,7 @@ pub mod gate;
 pub mod pauli;
 pub mod print;
 pub mod qasm;
+pub mod qelib;
 pub mod resources;
 pub mod reverse;
 pub mod validate;

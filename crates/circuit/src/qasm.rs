@@ -23,6 +23,8 @@ use crate::circuit::{BCircuit, Circuit};
 use crate::error::CircuitError;
 use crate::flatten::inline_all;
 use crate::gate::{Gate, GateName};
+use crate::qelib;
+use crate::qelib::format_angle;
 use crate::wire::{Control, Wire};
 
 /// Lowers a hierarchical circuit to OpenQASM 2.0.
@@ -260,27 +262,29 @@ fn emit_gate(s: &mut String, gate: &Gate, alloc: &mut Alloc) -> Result<(), Circu
             let t = alloc.get(targets[0])?;
             let sign = if *inverted { -1.0 } else { 1.0 };
             let o = open_controls(s, controls, alloc)?;
-            let slots = &o.slots;
-            let line = match (&**name, slots.len()) {
-                ("exp(-i%Z)", 0) => format!("rz({}) q[{t}];", 2.0 * sign * angle),
-                ("exp(-i%Z)", 1) => {
-                    format!("crz({}) q[{}],q[{t}];", 2.0 * sign * angle, slots[0])
-                }
-                ("R(%)", 0) => format!("u1({}) q[{t}];", sign * angle),
-                ("R(%)", 1) => format!("cu1({}) q[{}],q[{t}];", sign * angle, slots[0]),
-                ("R(2pi/%)", 0) => {
-                    let phase = 2.0 * std::f64::consts::PI / f64::powf(2.0, *angle);
-                    format!("u1({}) q[{t}];", sign * phase)
-                }
-                ("R(2pi/%)", 1) => {
-                    let phase = 2.0 * std::f64::consts::PI / f64::powf(2.0, *angle);
-                    format!("cu1({}) q[{}],q[{t}];", sign * phase, slots[0])
-                }
-                ("Ry(%)", 0) => format!("ry({}) q[{t}];", sign * angle),
-                ("Ry(%)", 1) => format!("cry({}) q[{}],q[{t}];", sign * angle, slots[0]),
-                _ => return Err(unsupported(gate)),
+            // R(2pi/%) carries its parameter as a power-of-two exponent; fold
+            // it to the concrete phase so the shared table (which only deals
+            // in radian-parameter families) covers it as R(%).
+            let (family, angle) = if &**name == qelib::FAMILY_R2PI {
+                (
+                    qelib::FAMILY_R,
+                    2.0 * std::f64::consts::PI / f64::powf(2.0, *angle),
+                )
+            } else {
+                (&**name, *angle)
             };
-            let _ = writeln!(s, "{}{line}", o.cond);
+            let (mnemonic, scale) =
+                qelib::rotation_mnemonic(family, o.slots.len()).ok_or_else(|| unsupported(gate))?;
+            let mut args = String::new();
+            for slot in &o.slots {
+                let _ = write!(args, "q[{slot}],");
+            }
+            let _ = writeln!(
+                s,
+                "{}{mnemonic}({}) {args}q[{t}];",
+                o.cond,
+                format_angle(sign * angle / scale),
+            );
             close_controls(s, &o.flipped);
             Ok(())
         }
@@ -294,25 +298,10 @@ fn emit_gate(s: &mut String, gate: &Gate, alloc: &mut Alloc) -> Result<(), Circu
             let slots = &o.slots;
             let t0 = alloc.get(targets[0])?;
             let line = match (name, slots.len()) {
-                (GateName::X, 0) => format!("x q[{t0}];"),
-                (GateName::X, 1) => format!("cx q[{}],q[{t0}];", slots[0]),
-                (GateName::X, 2) => format!("ccx q[{}],q[{}],q[{t0}];", slots[0], slots[1]),
-                (GateName::Y, 0) => format!("y q[{t0}];"),
-                (GateName::Y, 1) => format!("cy q[{}],q[{t0}];", slots[0]),
-                (GateName::Z, 0) => format!("z q[{t0}];"),
-                (GateName::Z, 1) => format!("cz q[{}],q[{t0}];", slots[0]),
-                (GateName::H, 0) => format!("h q[{t0}];"),
-                (GateName::H, 1) => format!("ch q[{}],q[{t0}];", slots[0]),
-                (GateName::S, 0) => {
-                    format!("{} q[{t0}];", if *inverted { "sdg" } else { "s" })
-                }
-                (GateName::T, 0) => {
-                    format!("{} q[{t0}];", if *inverted { "tdg" } else { "t" })
-                }
                 (GateName::V, 0) => {
                     // √X = Rx(π/2) up to global phase.
                     let a = if *inverted { -1.0 } else { 1.0 };
-                    format!("rx({}) q[{t0}];", a * std::f64::consts::FRAC_PI_2)
+                    format!("rx({}) q[{t0}];", format_angle(a * qelib::RX_V_ANGLE))
                 }
                 (GateName::V, 1) => {
                     // Controlled-√X: cu3 with the Rx angles plus the phase
@@ -332,14 +321,6 @@ fn emit_gate(s: &mut String, gate: &Gate, alloc: &mut Alloc) -> Result<(), Circu
                     );
                     format!("u1({}) q[{}];", a * std::f64::consts::FRAC_PI_4, slots[0])
                 }
-                (GateName::Swap, 0) => {
-                    let t1 = alloc.get(targets[1])?;
-                    format!("swap q[{t0}],q[{t1}];")
-                }
-                (GateName::Swap, 1) => {
-                    let t1 = alloc.get(targets[1])?;
-                    format!("cswap q[{}],q[{t0}],q[{t1}];", slots[0])
-                }
                 (GateName::W, 0) => {
                     // W = CX(b; a) · CH(a; b) · CX(b; a). Three statements, so
                     // a classical condition cannot cover it.
@@ -351,7 +332,22 @@ fn emit_gate(s: &mut String, gate: &Gate, alloc: &mut Alloc) -> Result<(), Circu
                     let _ = writeln!(s, "ch q[{t1}],q[{t0}];");
                     format!("cx q[{t0}],q[{t1}];")
                 }
-                _ => return Err(unsupported(gate)),
+                _ => {
+                    // Everything else goes through the shared qelib table:
+                    // control slots first, then targets, matching OpenQASM
+                    // argument order.
+                    let mnemonic = qelib::unitary_mnemonic(name, *inverted, slots.len())
+                        .ok_or_else(|| unsupported(gate))?;
+                    let mut args = String::new();
+                    for slot in slots {
+                        let _ = write!(args, "q[{slot}],");
+                    }
+                    let _ = write!(args, "q[{t0}]");
+                    for t in &targets[1..] {
+                        let _ = write!(args, ",q[{}]", alloc.get(*t)?);
+                    }
+                    format!("{mnemonic} {args};")
+                }
             };
             let _ = writeln!(s, "{}{line}", o.cond);
             close_controls(s, &o.flipped);

@@ -1,0 +1,275 @@
+//! The shared `qelib1.inc` gate table.
+//!
+//! Both directions of the OpenQASM bridge consume this module: the exporter
+//! ([`crate::qasm`]) maps IR gates to mnemonics, and the `quipper-qasm`
+//! parser maps mnemonics back to IR gates. Keeping the mnemonic ↔ IR
+//! correspondence (and the angle formatting) in one table is what makes
+//! `export ∘ parse` a byte-for-byte fixpoint on exporter output: neither
+//! direction can drift without the other noticing.
+//!
+//! Each [`QelibDef`] records a mnemonic's arity — `params` angle
+//! parameters, then `controls` control qubits, then `targets` target
+//! qubits, in OpenQASM argument order — plus a [`QelibKind`] describing
+//! the IR form. Rotation families carry a `scale` relating the IR
+//! parameter to the OpenQASM angle: `ir_angle = qasm_angle · scale`
+//! (equivalently `qasm_angle = ir_angle / scale`), exact in both
+//! directions because every scale is a power of two.
+
+use crate::gate::GateName;
+
+/// How one qelib mnemonic corresponds to the circuit IR.
+#[derive(Clone, PartialEq, Debug)]
+pub enum QelibKind {
+    /// A primitive unitary: `x`, `sdg`, `ccx`, `swap`, …
+    Unitary {
+        /// IR gate name.
+        name: GateName,
+        /// Whether the mnemonic is the *inverse* of the IR gate (`sdg`,
+        /// `tdg`). Self-inverse gates always use `false`.
+        inverted: bool,
+    },
+    /// A rotation family: `rz`/`crz` ↦ `exp(-i%Z)`, `u1`/`cu1` ↦ `R(%)`,
+    /// `ry`/`cry` ↦ `Ry(%)`.
+    Rot {
+        /// IR rotation family name.
+        family: &'static str,
+        /// `ir_angle = qasm_angle · scale`.
+        scale: f64,
+    },
+    /// `rx`/`crx`: at ±π/2 this is the IR's V = √X (up to global phase);
+    /// other angles decompose as H·Rz·H.
+    RxFamily,
+    /// `u2(φ,λ) = u3(π/2,φ,λ)`.
+    U2Family,
+    /// `u3(θ,φ,λ)` (and the OpenQASM built-in `U`): exactly
+    /// `R(φ) · Ry(θ) · R(λ)` in the IR's rotation families, applied
+    /// right-to-left (λ first).
+    U3Family,
+    /// The identity (`id`, `u0`): no IR gate at all.
+    Identity,
+}
+
+/// One mnemonic of the shared gate set.
+#[derive(Clone, PartialEq, Debug)]
+pub struct QelibDef {
+    /// The OpenQASM mnemonic.
+    pub mnemonic: &'static str,
+    /// Number of angle parameters.
+    pub params: usize,
+    /// Number of leading control qubits.
+    pub controls: usize,
+    /// Number of trailing target qubits.
+    pub targets: usize,
+    /// The IR correspondence.
+    pub kind: QelibKind,
+}
+
+const fn unitary(
+    mnemonic: &'static str,
+    controls: usize,
+    targets: usize,
+    name: GateName,
+    inverted: bool,
+) -> QelibDef {
+    QelibDef {
+        mnemonic,
+        params: 0,
+        controls,
+        targets,
+        kind: QelibKind::Unitary { name, inverted },
+    }
+}
+
+const fn rot(
+    mnemonic: &'static str,
+    controls: usize,
+    family: &'static str,
+    scale: f64,
+) -> QelibDef {
+    QelibDef {
+        mnemonic,
+        params: 1,
+        controls,
+        targets: 1,
+        kind: QelibKind::Rot { family, scale },
+    }
+}
+
+/// IR rotation family of `rz`: `exp(-i%Z)` with parameter θ/2.
+pub const FAMILY_RZ: &str = "exp(-i%Z)";
+/// IR rotation family of `u1`/`cu1`: the phase gate `R(%)` = diag(1, e^{iθ}).
+pub const FAMILY_R: &str = "R(%)";
+/// IR rotation family of `ry`/`cry`.
+pub const FAMILY_RY: &str = "Ry(%)";
+/// IR rotation family `R(2pi/%)` (QFT-style power-of-two phases). The
+/// exporter folds it to [`FAMILY_R`] before consulting the table; the
+/// parser never produces it.
+pub const FAMILY_R2PI: &str = "R(2pi/%)";
+
+/// The `rx` angle that is the IR's V = √X (up to global phase).
+pub const RX_V_ANGLE: f64 = std::f64::consts::FRAC_PI_2;
+
+/// The shared gate set: standard `qelib1.inc` plus the controlled forms
+/// the exporter emits (`cry`, `cswap` are in modern qelib revisions).
+pub const TABLE: &[QelibDef] = &[
+    unitary("x", 0, 1, GateName::X, false),
+    unitary("y", 0, 1, GateName::Y, false),
+    unitary("z", 0, 1, GateName::Z, false),
+    unitary("h", 0, 1, GateName::H, false),
+    unitary("s", 0, 1, GateName::S, false),
+    unitary("sdg", 0, 1, GateName::S, true),
+    unitary("t", 0, 1, GateName::T, false),
+    unitary("tdg", 0, 1, GateName::T, true),
+    unitary("cx", 1, 1, GateName::X, false),
+    unitary("cy", 1, 1, GateName::Y, false),
+    unitary("cz", 1, 1, GateName::Z, false),
+    unitary("ch", 1, 1, GateName::H, false),
+    unitary("ccx", 2, 1, GateName::X, false),
+    unitary("swap", 0, 2, GateName::Swap, false),
+    unitary("cswap", 1, 2, GateName::Swap, false),
+    rot("rz", 0, FAMILY_RZ, 0.5),
+    rot("crz", 1, FAMILY_RZ, 0.5),
+    rot("ry", 0, FAMILY_RY, 1.0),
+    rot("cry", 1, FAMILY_RY, 1.0),
+    rot("u1", 0, FAMILY_R, 1.0),
+    rot("cu1", 1, FAMILY_R, 1.0),
+    QelibDef {
+        mnemonic: "rx",
+        params: 1,
+        controls: 0,
+        targets: 1,
+        kind: QelibKind::RxFamily,
+    },
+    QelibDef {
+        mnemonic: "crx",
+        params: 1,
+        controls: 1,
+        targets: 1,
+        kind: QelibKind::RxFamily,
+    },
+    QelibDef {
+        mnemonic: "u2",
+        params: 2,
+        controls: 0,
+        targets: 1,
+        kind: QelibKind::U2Family,
+    },
+    QelibDef {
+        mnemonic: "u3",
+        params: 3,
+        controls: 0,
+        targets: 1,
+        kind: QelibKind::U3Family,
+    },
+    QelibDef {
+        mnemonic: "cu3",
+        params: 3,
+        controls: 1,
+        targets: 1,
+        kind: QelibKind::U3Family,
+    },
+    QelibDef {
+        mnemonic: "id",
+        params: 0,
+        controls: 0,
+        targets: 1,
+        kind: QelibKind::Identity,
+    },
+    QelibDef {
+        mnemonic: "u0",
+        params: 1,
+        controls: 0,
+        targets: 1,
+        kind: QelibKind::Identity,
+    },
+];
+
+/// Looks up a mnemonic in the shared table.
+pub fn find(mnemonic: &str) -> Option<&'static QelibDef> {
+    TABLE.iter().find(|d| d.mnemonic == mnemonic)
+}
+
+/// Export direction: the mnemonic for a primitive unitary with the given
+/// control count, or `None` if the gate set has no such form.
+///
+/// The `inverted` flag is normalized for self-inverse gates, so `H†`
+/// resolves to `h`.
+pub fn unitary_mnemonic(name: &GateName, inverted: bool, controls: usize) -> Option<&'static str> {
+    let inv = inverted && !name.is_self_inverse();
+    TABLE
+        .iter()
+        .find(|d| {
+            d.controls == controls
+                && matches!(&d.kind, QelibKind::Unitary { name: n, inverted: i }
+                    if n == name && *i == inv)
+        })
+        .map(|d| d.mnemonic)
+}
+
+/// Export direction: the `(mnemonic, scale)` for a rotation family with
+/// the given control count (`qasm_angle = ir_angle / scale`).
+pub fn rotation_mnemonic(family: &str, controls: usize) -> Option<(&'static str, f64)> {
+    TABLE.iter().find_map(|d| match &d.kind {
+        QelibKind::Rot { family: f, scale } if *f == family && d.controls == controls => {
+            Some((d.mnemonic, *scale))
+        }
+        _ => None,
+    })
+}
+
+/// Formats an angle the way the exporter prints it: Rust's shortest
+/// round-trip `f64` display, so `parse(format_angle(x)) == x` bit-exactly.
+pub fn format_angle(angle: f64) -> String {
+    format!("{angle}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut names: Vec<&str> = TABLE.iter().map(|d| d.mnemonic).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn export_lookups_agree_with_the_table() {
+        assert_eq!(unitary_mnemonic(&GateName::X, false, 2), Some("ccx"));
+        assert_eq!(unitary_mnemonic(&GateName::S, true, 0), Some("sdg"));
+        // Self-inverse normalization: H† is still h.
+        assert_eq!(unitary_mnemonic(&GateName::H, true, 0), Some("h"));
+        assert_eq!(unitary_mnemonic(&GateName::S, true, 1), None);
+        assert_eq!(rotation_mnemonic(FAMILY_RZ, 1), Some(("crz", 0.5)));
+        assert_eq!(rotation_mnemonic(FAMILY_R, 0), Some(("u1", 1.0)));
+        assert_eq!(rotation_mnemonic(FAMILY_RY, 2), None);
+    }
+
+    #[test]
+    fn scales_are_exact_in_both_directions() {
+        for def in TABLE {
+            if let QelibKind::Rot { scale, .. } = def.kind {
+                // Powers of two only: the qasm↔ir angle conversion must be
+                // bit-exact or the round-trip fixpoint breaks.
+                assert_eq!(scale.log2().fract(), 0.0, "{}", def.mnemonic);
+            }
+        }
+    }
+
+    #[test]
+    fn angle_formatting_round_trips() {
+        for x in [
+            std::f64::consts::FRAC_PI_2,
+            -std::f64::consts::FRAC_PI_2,
+            0.7,
+            -0.7,
+            1e-9,
+            12345.678,
+        ] {
+            assert_eq!(format_angle(x).parse::<f64>().unwrap(), x);
+        }
+    }
+}

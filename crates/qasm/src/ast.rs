@@ -1,0 +1,165 @@
+//! Abstract syntax for the accepted OpenQASM subset.
+//!
+//! Everything carries a [`Span`] so semantic diagnostics point at source,
+//! not at the lowered IR. The parser guarantees structural sanity only;
+//! name resolution, arity checks and angle folding happen in
+//! [`crate::lower`].
+
+use crate::diag::Span;
+
+/// A whole source file.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Declared `OPENQASM` version, if a header was present and readable.
+    pub version: Option<(u32, u32)>,
+    /// Top-level statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement with its source position.
+#[derive(Clone, Debug)]
+pub struct Stmt {
+    /// What it is.
+    pub kind: StmtKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Statement forms.
+#[derive(Clone, Debug)]
+pub enum StmtKind {
+    /// `include "qelib1.inc";`
+    Include {
+        /// The literal path.
+        path: String,
+    },
+    /// `qreg q[3];` or QASM-3 `qubit[3] q;` / `qubit q;`
+    QReg {
+        /// Register name.
+        name: String,
+        /// Number of qubits.
+        size: u64,
+    },
+    /// `creg c[3];` or QASM-3 `bit[3] c;` / `bit c;`
+    CReg {
+        /// Register name.
+        name: String,
+        /// Number of bits.
+        size: u64,
+    },
+    /// `gate name(params) qubits { body }`
+    GateDef {
+        /// Gate name.
+        name: String,
+        /// Angle parameter names.
+        params: Vec<String>,
+        /// Formal qubit names.
+        qubits: Vec<String>,
+        /// Body: gate calls and barriers only (the parser rejects the rest).
+        body: Vec<Stmt>,
+    },
+    /// `opaque name(params) qubits;` — declared but not lowerable.
+    Opaque {
+        /// Gate name.
+        name: String,
+        /// Number of angle parameters.
+        params: usize,
+        /// Number of qubit arguments.
+        qubits: usize,
+    },
+    /// `barrier args;` — accepted, validated, and dropped (no IR form).
+    Barrier {
+        /// Arguments (registers or single qubits).
+        args: Vec<Arg>,
+    },
+    /// `reset q[0];` or `reset q;`
+    Reset {
+        /// Target (register form broadcasts).
+        arg: Arg,
+    },
+    /// `measure q[0] -> c[0];` (or QASM-3 `c[0] = measure q[0];`)
+    Measure {
+        /// Source qubit(s).
+        src: Arg,
+        /// Destination bit(s).
+        dst: Arg,
+    },
+    /// A gate application, including `U`, `CX` and `gphase`.
+    Gate(GateCall),
+    /// `if (c == 1) stmt`
+    If {
+        /// Condition register name.
+        creg: String,
+        /// Span of the register name (for resolution diagnostics).
+        creg_span: Span,
+        /// Comparison value.
+        value: u64,
+        /// The conditioned statement.
+        body: Box<Stmt>,
+    },
+}
+
+/// A gate application.
+#[derive(Clone, Debug)]
+pub struct GateCall {
+    /// Gate name.
+    pub name: String,
+    /// Span of the name.
+    pub name_span: Span,
+    /// Angle parameter expressions.
+    pub params: Vec<Expr>,
+    /// Qubit arguments.
+    pub args: Vec<Arg>,
+}
+
+/// A register reference, optionally indexed: `q`, `q[2]`.
+#[derive(Clone, Debug)]
+pub struct Arg {
+    /// Register name (or gate-body formal).
+    pub name: String,
+    /// `Some(i)` for `name[i]`, `None` for the whole register.
+    pub index: Option<u64>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// An angle expression (folded at lowering time).
+#[derive(Clone, Debug)]
+pub struct Expr {
+    /// Node.
+    pub kind: ExprKind,
+    /// Source position.
+    pub span: Span,
+}
+
+/// Expression nodes.
+#[derive(Clone, Debug)]
+pub enum ExprKind {
+    /// Numeric literal.
+    Num(f64),
+    /// The constant `pi`.
+    Pi,
+    /// A gate parameter reference (only valid inside gate bodies).
+    Ident(String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Built-in function call: `sin`, `cos`, `tan`, `exp`, `ln`, `sqrt`.
+    Call(&'static str, Box<Expr>),
+}
+
+/// Binary operators, standard precedence (`^` binds tightest, right-assoc).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `^`
+    Pow,
+}

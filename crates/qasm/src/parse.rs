@@ -1,0 +1,794 @@
+//! Recursive-descent parser with statement-level error recovery.
+//!
+//! Internal parse functions return `Result<T, ()>` where `Err(())` means
+//! *a diagnostic has already been recorded*; the statement loop recovers
+//! by skipping to the next `;` (or `}` / end of input) and continues, so
+//! one malformed statement yields one focused diagnostic instead of a
+//! cascade.
+
+use crate::ast::{Arg, BinOp, Expr, ExprKind, GateCall, Program, Stmt, StmtKind};
+use crate::diag::{Code, Diagnostics, Span};
+use crate::lex::{Tok, Token};
+
+/// Maximum expression/`if` nesting depth. Deeper programs are rejected
+/// with `QP006` instead of risking parser stack exhaustion.
+pub const MAX_DEPTH: usize = 64;
+
+/// Built-in functions usable in angle expressions.
+const FUNCTIONS: &[&str] = &["sin", "cos", "tan", "exp", "ln", "sqrt"];
+
+/// Keywords that start a statement (an identifier that is none of these
+/// starts a gate call or a QASM-3 measure-assign).
+const KEYWORDS: &[&str] = &[
+    "OPENQASM", "include", "qreg", "creg", "qubit", "bit", "gate", "opaque", "barrier", "reset",
+    "measure", "if",
+];
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    diags: &'a mut Diagnostics,
+}
+
+/// Parses a token stream into a [`Program`]. Problems are recorded in
+/// `diags`; the returned program contains every statement that parsed.
+pub fn parse(toks: &[Token], diags: &mut Diagnostics) -> Program {
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        diags,
+    };
+    let mut prog = Program {
+        version: p.header(),
+        ..Default::default()
+    };
+    while !p.at_eof() {
+        if p.at(&Tok::RBrace) {
+            // A stray closing brace at top level.
+            let span = p.span();
+            p.bump();
+            p.diags
+                .error(Code::QP003, span, "unmatched `}`".to_string());
+            continue;
+        }
+        match p.stmt(0) {
+            Ok(Some(stmt)) => prog.stmts.push(stmt),
+            Ok(None) => {}
+            Err(()) => p.recover(),
+        }
+        if p.diags.is_truncated() {
+            break;
+        }
+    }
+    prog
+}
+
+impl<'a> Parser<'a> {
+    fn cur(&self) -> &Token {
+        // The lexer guarantees a trailing Eof token.
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn span(&self) -> Span {
+        self.cur().span
+    }
+
+    fn at_eof(&self) -> bool {
+        self.cur().tok == Tok::Eof
+    }
+
+    fn at(&self, t: &Tok) -> bool {
+        self.cur().tok == *t
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        matches!(&self.cur().tok, Tok::Ident(id) if id == s)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.cur().clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<Span, ()> {
+        if self.at(t) {
+            Ok(self.bump().span)
+        } else {
+            let found = self.cur().tok.describe();
+            self.diags.error(
+                Code::QP003,
+                self.span(),
+                format!("expected {what}, found {found}"),
+            );
+            Err(())
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), ()> {
+        match &self.cur().tok {
+            Tok::Ident(name) => {
+                let name = name.clone();
+                let span = self.bump().span;
+                Ok((name, span))
+            }
+            other => {
+                let found = other.describe();
+                self.diags.error(
+                    Code::QP003,
+                    self.span(),
+                    format!("expected {what}, found {found}"),
+                );
+                Err(())
+            }
+        }
+    }
+
+    fn expect_int(&mut self, what: &str) -> Result<(u64, Span), ()> {
+        match &self.cur().tok {
+            Tok::Int(n) => {
+                let n = *n;
+                let span = self.bump().span;
+                Ok((n, span))
+            }
+            other => {
+                let found = other.describe();
+                self.diags.error(
+                    Code::QP003,
+                    self.span(),
+                    format!("expected {what}, found {found}"),
+                );
+                Err(())
+            }
+        }
+    }
+
+    /// Skips to just past the next `;`, or stops before `}` / end of input.
+    fn recover(&mut self) {
+        loop {
+            match &self.cur().tok {
+                Tok::Eof | Tok::RBrace => return,
+                Tok::Semi => {
+                    self.bump();
+                    return;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn header(&mut self) -> Option<(u32, u32)> {
+        if !self.at_ident("OPENQASM") {
+            self.diags.warning(
+                Code::QP004,
+                self.span(),
+                "missing `OPENQASM` version header",
+            );
+            return None;
+        }
+        let kw_span = self.bump().span;
+        let version = match &self.cur().tok {
+            Tok::Real(x) if *x == 2.0 => Some((2, 0)),
+            Tok::Real(x) if *x == 3.0 => Some((3, 0)),
+            Tok::Int(2) => Some((2, 0)),
+            Tok::Int(3) => Some((3, 0)),
+            other => {
+                let found = other.describe();
+                self.diags.error(
+                    Code::QP004,
+                    self.span(),
+                    format!("unsupported OPENQASM version {found} (2.0 and 3 are accepted)"),
+                );
+                None
+            }
+        };
+        // Consume the version token (even an unsupported one) so the bad
+        // number does not cascade into a `;`-expected syntax error.
+        if !matches!(self.cur().tok, Tok::Semi | Tok::Eof) {
+            self.bump();
+        }
+        if self.expect(&Tok::Semi, "`;` after version header").is_err() {
+            self.recover();
+        }
+        let _ = kw_span;
+        version
+    }
+
+    /// Parses one top-level statement. `Ok(None)` means the statement was
+    /// consumed but produces no AST node.
+    fn stmt(&mut self, depth: usize) -> Result<Option<Stmt>, ()> {
+        let span = self.span();
+        if depth > MAX_DEPTH {
+            self.diags
+                .error(Code::QP006, span, "statements nested too deeply");
+            return Err(());
+        }
+        let Tok::Ident(kw) = &self.cur().tok else {
+            let found = self.cur().tok.describe();
+            self.diags.error(
+                Code::QP003,
+                span,
+                format!("expected a statement, found {found}"),
+            );
+            return Err(());
+        };
+        let kw = kw.clone();
+        match kw.as_str() {
+            "OPENQASM" => {
+                self.bump();
+                self.diags
+                    .error(Code::QP003, span, "duplicate OPENQASM header".to_string());
+                Err(())
+            }
+            "include" => {
+                self.bump();
+                let path = match &self.cur().tok {
+                    Tok::Str(s) => {
+                        let s = s.clone();
+                        self.bump();
+                        s
+                    }
+                    other => {
+                        let found = other.describe();
+                        self.diags.error(
+                            Code::QP003,
+                            self.span(),
+                            format!("expected include path string, found {found}"),
+                        );
+                        return Err(());
+                    }
+                };
+                self.expect(&Tok::Semi, "`;` after include")?;
+                Ok(Some(Stmt {
+                    kind: StmtKind::Include { path },
+                    span,
+                }))
+            }
+            "qreg" | "creg" => {
+                self.bump();
+                let (name, _) = self.expect_ident("register name")?;
+                self.expect(&Tok::LBracket, "`[`")?;
+                let (size, _) = self.expect_int("register size")?;
+                self.expect(&Tok::RBracket, "`]`")?;
+                self.expect(&Tok::Semi, "`;` after register declaration")?;
+                let kind = if kw == "qreg" {
+                    StmtKind::QReg { name, size }
+                } else {
+                    StmtKind::CReg { name, size }
+                };
+                Ok(Some(Stmt { kind, span }))
+            }
+            "qubit" | "bit" => {
+                // QASM-3 spellings: `qubit[3] q;`, `bit c;`.
+                self.bump();
+                let size = if self.at(&Tok::LBracket) {
+                    self.bump();
+                    let (size, _) = self.expect_int("register size")?;
+                    self.expect(&Tok::RBracket, "`]`")?;
+                    size
+                } else {
+                    1
+                };
+                let (name, _) = self.expect_ident("register name")?;
+                self.expect(&Tok::Semi, "`;` after register declaration")?;
+                let kind = if kw == "qubit" {
+                    StmtKind::QReg { name, size }
+                } else {
+                    StmtKind::CReg { name, size }
+                };
+                Ok(Some(Stmt { kind, span }))
+            }
+            "gate" => self.gate_def(span).map(Some),
+            "opaque" => {
+                self.bump();
+                let (name, _) = self.expect_ident("gate name")?;
+                let params = if self.at(&Tok::LParen) {
+                    self.bump();
+                    let list = self.ident_list(true)?;
+                    self.expect(&Tok::RParen, "`)`")?;
+                    list.len()
+                } else {
+                    0
+                };
+                let qubits = self.ident_list(false)?.len();
+                self.expect(&Tok::Semi, "`;` after opaque declaration")?;
+                Ok(Some(Stmt {
+                    kind: StmtKind::Opaque {
+                        name,
+                        params,
+                        qubits,
+                    },
+                    span,
+                }))
+            }
+            "barrier" => {
+                self.bump();
+                let args = self.arg_list()?;
+                self.expect(&Tok::Semi, "`;` after barrier")?;
+                Ok(Some(Stmt {
+                    kind: StmtKind::Barrier { args },
+                    span,
+                }))
+            }
+            "reset" => {
+                self.bump();
+                let arg = self.arg()?;
+                self.expect(&Tok::Semi, "`;` after reset")?;
+                Ok(Some(Stmt {
+                    kind: StmtKind::Reset { arg },
+                    span,
+                }))
+            }
+            "measure" => {
+                self.bump();
+                let src = self.arg()?;
+                self.expect(&Tok::Arrow, "`->` after measure source")?;
+                let dst = self.arg()?;
+                self.expect(&Tok::Semi, "`;` after measure")?;
+                Ok(Some(Stmt {
+                    kind: StmtKind::Measure { src, dst },
+                    span,
+                }))
+            }
+            "if" => {
+                self.bump();
+                self.expect(&Tok::LParen, "`(` after if")?;
+                let (creg, creg_span) = self.expect_ident("classical register name")?;
+                self.expect(&Tok::EqEq, "`==`")?;
+                let (value, _) = self.expect_int("comparison value")?;
+                self.expect(&Tok::RParen, "`)` after if condition")?;
+                let body = match self.stmt(depth + 1)? {
+                    Some(stmt) => stmt,
+                    None => {
+                        self.diags.error(
+                            Code::QP003,
+                            span,
+                            "if requires a conditioned statement".to_string(),
+                        );
+                        return Err(());
+                    }
+                };
+                Ok(Some(Stmt {
+                    kind: StmtKind::If {
+                        creg,
+                        creg_span,
+                        value,
+                        body: Box::new(body),
+                    },
+                    span,
+                }))
+            }
+            _ => self.ident_stmt(span).map(Some),
+        }
+    }
+
+    /// A statement starting with a non-keyword identifier: a gate call, or
+    /// the QASM-3 `c[0] = measure q[0];` form.
+    fn ident_stmt(&mut self, span: Span) -> Result<Stmt, ()> {
+        let (name, name_span) = self.expect_ident("gate name")?;
+        if self.at(&Tok::LBracket) || self.at(&Tok::Assign) {
+            // `dst[i] = measure src;` — measure-assign.
+            let index = if self.at(&Tok::LBracket) {
+                self.bump();
+                let (i, _) = self.expect_int("index")?;
+                self.expect(&Tok::RBracket, "`]`")?;
+                Some(i)
+            } else {
+                None
+            };
+            let dst = Arg {
+                name,
+                index,
+                span: name_span,
+            };
+            self.expect(&Tok::Assign, "`=`")?;
+            if !self.at_ident("measure") {
+                let found = self.cur().tok.describe();
+                self.diags.error(
+                    Code::QP003,
+                    self.span(),
+                    format!("expected `measure` after `=`, found {found}"),
+                );
+                return Err(());
+            }
+            self.bump();
+            let src = self.arg()?;
+            self.expect(&Tok::Semi, "`;` after measure")?;
+            return Ok(Stmt {
+                kind: StmtKind::Measure { src, dst },
+                span,
+            });
+        }
+        let params = if self.at(&Tok::LParen) {
+            self.bump();
+            let params = if self.at(&Tok::RParen) {
+                Vec::new()
+            } else {
+                self.expr_list()?
+            };
+            self.expect(&Tok::RParen, "`)` after gate parameters")?;
+            params
+        } else {
+            Vec::new()
+        };
+        let args = if self.at(&Tok::Semi) {
+            Vec::new()
+        } else {
+            self.arg_list()?
+        };
+        self.expect(&Tok::Semi, "`;` after gate application")?;
+        Ok(Stmt {
+            kind: StmtKind::Gate(GateCall {
+                name,
+                name_span,
+                params,
+                args,
+            }),
+            span,
+        })
+    }
+
+    fn gate_def(&mut self, span: Span) -> Result<Stmt, ()> {
+        self.bump();
+        let (name, _) = self.expect_ident("gate name")?;
+        let params = if self.at(&Tok::LParen) {
+            self.bump();
+            let list = self.ident_list(true)?;
+            self.expect(&Tok::RParen, "`)`")?;
+            list
+        } else {
+            Vec::new()
+        };
+        let qubits = self.ident_list(false)?;
+        self.expect(&Tok::LBrace, "`{` to open the gate body")?;
+        let mut body = Vec::new();
+        loop {
+            if self.at(&Tok::RBrace) {
+                self.bump();
+                break;
+            }
+            if self.at_eof() {
+                self.diags.error(
+                    Code::QP003,
+                    self.span(),
+                    "unterminated gate body (missing `}`)".to_string(),
+                );
+                return Err(());
+            }
+            let stmt_span = self.span();
+            let allowed = match &self.cur().tok {
+                // Gate bodies may contain only gate applications and
+                // barriers (OpenQASM 2.0 §"gate" production).
+                Tok::Ident(id) => !KEYWORDS.contains(&id.as_str()) || id == "barrier",
+                _ => false,
+            };
+            if !allowed {
+                self.diags.error(
+                    Code::QP112,
+                    stmt_span,
+                    "only gate applications and barriers are allowed in a gate body".to_string(),
+                );
+                self.recover();
+                continue;
+            }
+            let parsed = if self.at_ident("barrier") {
+                self.bump();
+                let args = self.arg_list().and_then(|args| {
+                    self.expect(&Tok::Semi, "`;` after barrier")?;
+                    Ok(args)
+                });
+                args.map(|args| Stmt {
+                    kind: StmtKind::Barrier { args },
+                    span: stmt_span,
+                })
+            } else {
+                self.ident_stmt(stmt_span)
+            };
+            match parsed {
+                Ok(stmt) => body.push(stmt),
+                Err(()) => self.recover(),
+            }
+            if self.diags.is_truncated() {
+                return Err(());
+            }
+        }
+        Ok(Stmt {
+            kind: StmtKind::GateDef {
+                name,
+                params,
+                qubits,
+                body,
+            },
+            span,
+        })
+    }
+
+    /// `ident (, ident)*` — with `allow_empty` the list may be absent.
+    fn ident_list(&mut self, allow_empty: bool) -> Result<Vec<String>, ()> {
+        let mut out = Vec::new();
+        if allow_empty && !matches!(self.cur().tok, Tok::Ident(_)) {
+            return Ok(out);
+        }
+        loop {
+            let (name, _) = self.expect_ident("identifier")?;
+            out.push(name);
+            if self.at(&Tok::Comma) {
+                self.bump();
+            } else {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn arg(&mut self) -> Result<Arg, ()> {
+        let (name, span) = self.expect_ident("register")?;
+        let index = if self.at(&Tok::LBracket) {
+            self.bump();
+            let (i, _) = self.expect_int("index")?;
+            self.expect(&Tok::RBracket, "`]`")?;
+            Some(i)
+        } else {
+            None
+        };
+        Ok(Arg { name, index, span })
+    }
+
+    fn arg_list(&mut self) -> Result<Vec<Arg>, ()> {
+        let mut out = vec![self.arg()?];
+        while self.at(&Tok::Comma) {
+            self.bump();
+            out.push(self.arg()?);
+        }
+        Ok(out)
+    }
+
+    fn expr_list(&mut self) -> Result<Vec<Expr>, ()> {
+        let mut out = vec![self.expr(0)?];
+        while self.at(&Tok::Comma) {
+            self.bump();
+            out.push(self.expr(0)?);
+        }
+        Ok(out)
+    }
+
+    /// Additive precedence level.
+    fn expr(&mut self, depth: usize) -> Result<Expr, ()> {
+        if depth > MAX_DEPTH {
+            self.diags
+                .error(Code::QP006, self.span(), "expression nested too deeply");
+            return Err(());
+        }
+        let mut lhs = self.term(depth + 1)?;
+        loop {
+            let op = match self.cur().tok {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let span = self.bump().span;
+            let rhs = self.term(depth + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
+        }
+    }
+
+    fn term(&mut self, depth: usize) -> Result<Expr, ()> {
+        let mut lhs = self.factor(depth + 1)?;
+        loop {
+            let op = match self.cur().tok {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            let span = self.bump().span;
+            let rhs = self.factor(depth + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
+        }
+    }
+
+    /// `^` is right-associative and binds tighter than `*`.
+    fn factor(&mut self, depth: usize) -> Result<Expr, ()> {
+        let base = self.atom(depth + 1)?;
+        if self.at(&Tok::Caret) {
+            let span = self.bump().span;
+            let exp = self.factor(depth + 1)?;
+            return Ok(Expr {
+                kind: ExprKind::Bin(BinOp::Pow, Box::new(base), Box::new(exp)),
+                span,
+            });
+        }
+        Ok(base)
+    }
+
+    fn atom(&mut self, depth: usize) -> Result<Expr, ()> {
+        if depth > MAX_DEPTH {
+            self.diags
+                .error(Code::QP006, self.span(), "expression nested too deeply");
+            return Err(());
+        }
+        let span = self.span();
+        match &self.cur().tok {
+            Tok::Int(n) => {
+                let v = *n as f64;
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::Num(v),
+                    span,
+                })
+            }
+            Tok::Real(x) => {
+                let v = *x;
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::Num(v),
+                    span,
+                })
+            }
+            Tok::Minus => {
+                self.bump();
+                let inner = self.atom(depth + 1)?;
+                Ok(Expr {
+                    kind: ExprKind::Neg(Box::new(inner)),
+                    span,
+                })
+            }
+            Tok::LParen => {
+                self.bump();
+                let inner = self.expr(depth + 1)?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(Expr {
+                    kind: inner.kind,
+                    span,
+                })
+            }
+            Tok::Ident(id) => {
+                let id = id.clone();
+                self.bump();
+                if id == "pi" {
+                    return Ok(Expr {
+                        kind: ExprKind::Pi,
+                        span,
+                    });
+                }
+                if self.at(&Tok::LParen) {
+                    let Some(f) = FUNCTIONS.iter().find(|f| **f == id) else {
+                        self.diags.error(
+                            Code::QP114,
+                            span,
+                            format!("unknown function `{id}` in expression"),
+                        );
+                        return Err(());
+                    };
+                    self.bump();
+                    let inner = self.expr(depth + 1)?;
+                    self.expect(&Tok::RParen, "`)` after function argument")?;
+                    return Ok(Expr {
+                        kind: ExprKind::Call(f, Box::new(inner)),
+                        span,
+                    });
+                }
+                Ok(Expr {
+                    kind: ExprKind::Ident(id),
+                    span,
+                })
+            }
+            other => {
+                let found = other.describe();
+                self.diags.error(
+                    Code::QP003,
+                    span,
+                    format!("expected an expression, found {found}"),
+                );
+                Err(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn parse_src(src: &str) -> (Program, Diagnostics) {
+        let mut diags = Diagnostics::new();
+        let toks = lex(src, &mut diags);
+        let prog = parse(&toks, &mut diags);
+        (prog, diags)
+    }
+
+    #[test]
+    fn parses_the_standard_prelude() {
+        let (prog, ds) = parse_src(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\n",
+        );
+        assert!(ds.is_empty(), "{ds}");
+        assert_eq!(prog.version, Some((2, 0)));
+        assert_eq!(prog.stmts.len(), 5);
+    }
+
+    #[test]
+    fn parses_qasm3_spellings() {
+        let (prog, ds) = parse_src(
+            "OPENQASM 3;\nqubit[2] q;\nbit[2] c;\nU(pi/2,0,pi) q[0];\ngphase(pi/4);\nc[0] = measure q[0];\n",
+        );
+        assert!(ds.is_empty(), "{ds}");
+        assert_eq!(prog.version, Some((3, 0)));
+        assert!(matches!(
+            prog.stmts[0].kind,
+            StmtKind::QReg { ref name, size: 2 } if name == "q"
+        ));
+        assert!(matches!(
+            prog.stmts.last().unwrap().kind,
+            StmtKind::Measure { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_header_is_a_warning() {
+        let (_, ds) = parse_src("qreg q[1];\nh q[0];\n");
+        assert!(!ds.has_errors());
+        assert_eq!(ds.iter().next().unwrap().code, Code::QP004);
+    }
+
+    #[test]
+    fn bad_version_is_an_error() {
+        let (_, ds) = parse_src("OPENQASM 7.5;\n");
+        assert!(ds.iter().any(|d| d.code == Code::QP004 && ds.has_errors()));
+    }
+
+    #[test]
+    fn recovery_is_per_statement() {
+        let (prog, ds) = parse_src("OPENQASM 2.0;\nqreg q[;\nh q[0];\n");
+        // The broken declaration yields one diagnostic; the following
+        // statement still parses.
+        assert!(ds.has_errors());
+        assert_eq!(prog.stmts.len(), 1);
+    }
+
+    #[test]
+    fn deep_expressions_hit_the_cap() {
+        let mut src = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nrz(");
+        for _ in 0..200 {
+            src.push('(');
+        }
+        src.push('1');
+        for _ in 0..200 {
+            src.push(')');
+        }
+        src.push_str(") q[0];\n");
+        let (_, ds) = parse_src(&src);
+        assert!(ds.iter().any(|d| d.code == Code::QP006), "{ds}");
+    }
+
+    #[test]
+    fn gate_bodies_reject_measure() {
+        let (_, ds) = parse_src("OPENQASM 2.0;\ngate bad a { measure a -> c[0]; }\n");
+        assert!(ds.iter().any(|d| d.code == Code::QP112), "{ds}");
+    }
+
+    #[test]
+    fn if_wraps_a_statement() {
+        let (prog, ds) = parse_src(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\ncreg c[1];\nif(c==1) x q[0];\n",
+        );
+        assert!(ds.is_empty(), "{ds}");
+        let StmtKind::If {
+            value, ref body, ..
+        } = prog.stmts.last().unwrap().kind
+        else {
+            panic!("expected if");
+        };
+        assert_eq!(value, 1);
+        assert!(matches!(body.kind, StmtKind::Gate(_)));
+    }
+}

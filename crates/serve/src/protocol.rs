@@ -5,15 +5,18 @@
 //!
 //! | op        | fields                                                        |
 //! |-----------|---------------------------------------------------------------|
-//! | `submit`  | `circuit` (catalog name), `tenant`, `shots`, `seed`, `label`, |
+//! | `submit`  | `circuit` (catalog name) *or* `qasm` (inline OpenQASM 2.0     |
+//! |           | source, size-capped; rejected with span-anchored `QP###`      |
+//! |           | `diagnostics`), plus `tenant`, `shots`, `seed`, `label`,      |
 //! |           | `priority`, `deadline_ms`, `inputs` (array of 0/1), `opt`     |
 //! |           | (`"off"`/`"default"`/`"aggressive"`, defaults to the engine's |
-//! |           | configured level) — all optional except `circuit`             |
+//! |           | configured level) — all optional except circuit/qasm          |
 //! | `status`  | `id`                                                          |
 //! | `result`  | `id` — histogram + report once completed; failed and          |
 //! |           | deadline-missed jobs attach their flight timeline             |
 //! | `cancel`  | `id`                                                          |
-//! | `export`  | `circuit` (catalog name) — OpenQASM 2.0 text                  |
+//! | `export`  | `circuit` (catalog name) *or* `qasm` (inline source, parsed   |
+//! |           | and re-emitted canonically) — OpenQASM 2.0 text               |
 //! | `list`    | — catalog names                                               |
 //! | `stats`   | — service + engine counters                                   |
 //! | `metrics` | `format` (`"json"` lines or `"prometheus"` text, default      |
@@ -214,9 +217,13 @@ pub fn handle_line(service: &Service, catalog: &Catalog, line: &str) -> Handled 
             shutdown: true,
         },
         "submit" => handle_submit(service, catalog, &req),
-        "export" => match req.get("circuit").and_then(Json::as_str) {
-            None => err("export needs a \"circuit\" (see op \"list\")"),
-            Some(name) => match catalog.get(name) {
+        "export" => match (
+            req.get("circuit").and_then(Json::as_str),
+            req.get("qasm").and_then(Json::as_str),
+        ) {
+            (Some(_), Some(_)) => err("export takes \"circuit\" or \"qasm\", not both"),
+            (None, None) => err("export needs a \"circuit\" (see op \"list\") or inline \"qasm\""),
+            (Some(name), None) => match catalog.get(name) {
                 None => err(&format!("unknown circuit {name:?} (see op \"list\")")),
                 Some(circuit) => match quipper_circuit::qasm::to_qasm(&circuit) {
                     Ok(qasm) => ok(&format!(
@@ -226,6 +233,15 @@ pub fn handle_line(service: &Service, catalog: &Catalog, line: &str) -> Handled 
                     )),
                     Err(e) => err(&format!("{name} does not export: {e}")),
                 },
+            },
+            // Canonicalization: parse the client's text and re-emit it in
+            // the exporter's dialect (idempotent on its own output).
+            (None, Some(source)) => match ingest_qasm(source) {
+                Ok(bc) => match quipper_circuit::qasm::to_qasm(&bc) {
+                    Ok(qasm) => ok(&format!("\"circuit\":\"qasm\",\"qasm\":{}", quoted(&qasm))),
+                    Err(e) => err(&format!("submitted qasm does not re-export: {e}")),
+                },
+                Err(handled) => handled,
             },
         },
         "status" => match get_u64(&req, "id") {
@@ -292,17 +308,89 @@ pub fn handle_line(service: &Service, catalog: &Catalog, line: &str) -> Handled 
     }
 }
 
+/// Wire-level cap on inline OpenQASM submissions: bounded work per request
+/// line, well under the library's own ingestion cap.
+pub const MAX_QASM_BYTES: usize = 256 * 1024;
+
+/// Renders a diagnostics collection as a JSON array of
+/// `{code, severity, line, col, message}` objects.
+fn diagnostics_json(diags: &quipper_qasm::Diagnostics) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"code\":{},\"severity\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+            quoted(d.code.as_str()),
+            quoted(d.severity.label()),
+            d.span.line,
+            d.span.col,
+            quoted(&d.message),
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Rejects an inline-QASM request with the full diagnostics list, so
+/// clients can render span-anchored errors without another round trip.
+fn err_with_diagnostics(message: &str, diags: &quipper_qasm::Diagnostics) -> Handled {
+    let mut response = String::from("{\"ok\":false,\"error\":\"");
+    escape_into(&mut response, message);
+    let _ = write!(response, "\",\"diagnostics\":{}", diagnostics_json(diags));
+    response.push('}');
+    Handled {
+        response,
+        shutdown: false,
+    }
+}
+
+/// Parses an inline OpenQASM submission into a circuit, or a ready-made
+/// error response. Every parse failure is a structured rejection — client
+/// bytes can never panic the server.
+fn ingest_qasm(source: &str) -> Result<Arc<quipper_circuit::BCircuit>, Handled> {
+    if source.len() > MAX_QASM_BYTES {
+        return Err(err(&format!(
+            "inline qasm is {} bytes; the wire cap is {MAX_QASM_BYTES}",
+            source.len()
+        )));
+    }
+    match quipper_qasm::compile(source) {
+        Ok(bc) => Ok(Arc::new(bc)),
+        Err(diags) => {
+            let errors = diags.count(quipper_qasm::Severity::Error);
+            Err(err_with_diagnostics(
+                &format!("qasm rejected with {errors} error(s)"),
+                &diags,
+            ))
+        }
+    }
+}
+
 fn handle_submit(service: &Service, catalog: &Catalog, req: &Json) -> Handled {
-    let name = match req.get("circuit").and_then(Json::as_str) {
-        Some(name) => name,
-        None => return err("submit needs a \"circuit\" (see op \"list\")"),
-    };
-    let circuit = match catalog.get(name) {
-        Some(circuit) => circuit,
-        None => return err(&format!("unknown circuit {name:?} (see op \"list\")")),
+    let name_field = req.get("circuit").and_then(Json::as_str);
+    let qasm_field = req.get("qasm").and_then(Json::as_str);
+    let (name, circuit, default_inputs) = match (name_field, qasm_field) {
+        (Some(_), Some(_)) => return err("submit takes \"circuit\" or \"qasm\", not both"),
+        (None, None) => {
+            return err("submit needs a \"circuit\" (see op \"list\") or inline \"qasm\"")
+        }
+        (Some(name), None) => match catalog.get(name) {
+            Some(circuit) => (name, circuit, catalog.input_arity(name).unwrap_or(0)),
+            None => return err(&format!("unknown circuit {name:?} (see op \"list\")")),
+        },
+        (None, Some(source)) => match ingest_qasm(source) {
+            Ok(bc) => {
+                let arity = bc.main.inputs.len();
+                ("qasm", bc, arity)
+            }
+            Err(handled) => return handled,
+        },
     };
     let inputs = match req.get("inputs") {
-        None => vec![false; catalog.input_arity(name).unwrap_or(0)],
+        None => vec![false; default_inputs],
         Some(value) => match value.as_arr() {
             None => return err("\"inputs\" must be an array of 0/1"),
             Some(items) => items
@@ -455,6 +543,99 @@ mod tests {
         assert!(qasm.starts_with("OPENQASM 2.0;\n"));
         // The dynamic-lifting corrections survive the wire format.
         assert!(qasm.contains("if(c1==1) x q[2];"), "{qasm}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn inline_qasm_submission_runs_end_to_end() {
+        let (service, catalog) = fixture();
+        // GHZ on 3 ancillas, measured: the job goes through the same
+        // lint/optimize/cache pipeline as catalog circuits.
+        let qasm = "OPENQASM 2.0;\\ninclude \\\"qelib1.inc\\\";\\nqreg q[3];\\ncreg c[3];\\nreset q;\\nh q[0];\\ncx q[0],q[1];\\ncx q[1],q[2];\\nmeasure q -> c;\\n";
+        let resp = handle_ok(
+            &service,
+            &catalog,
+            &format!(
+                r#"{{"op":"submit","qasm":"{qasm}","tenant":"t","shots":16,"seed":3,"opt":"aggressive"}}"#
+            ),
+        );
+        let id = resp.get("id").and_then(Json::as_num).unwrap() as u64;
+        service.drain();
+        let status = handle_ok(
+            &service,
+            &catalog,
+            &format!(r#"{{"op":"status","id":{id}}}"#),
+        );
+        assert_eq!(
+            status.get("state").and_then(Json::as_str),
+            Some("completed")
+        );
+        // Default label for inline submissions.
+        assert_eq!(status.get("label").and_then(Json::as_str), Some("qasm"));
+        let result = handle_ok(
+            &service,
+            &catalog,
+            &format!(r#"{{"op":"result","id":{id}}}"#),
+        );
+        let hist = result.get("histogram").and_then(Json::as_arr).unwrap();
+        let total: u64 = hist
+            .iter()
+            .map(|e| e.get("count").and_then(Json::as_num).unwrap() as u64)
+            .sum();
+        assert_eq!(total, 16);
+        assert!(hist.len() <= 2, "GHZ collapses to all-zeros/all-ones");
+        service.shutdown();
+    }
+
+    #[test]
+    fn bad_qasm_is_rejected_with_coded_diagnostics() {
+        let (service, catalog) = fixture();
+        let handled = handle_line(
+            &service,
+            &catalog,
+            r#"{"op":"submit","qasm":"OPENQASM 2.0;\nqreg q[1];\nfrob q[0];\n"}"#,
+        );
+        let json = parse_json(&handled.response).unwrap();
+        assert_eq!(json.get("ok"), Some(&Json::Bool(false)));
+        let diags = json.get("diagnostics").and_then(Json::as_arr).unwrap();
+        assert!(diags
+            .iter()
+            .any(|d| d.get("code").and_then(Json::as_str) == Some("QP103")));
+        assert!(diags
+            .iter()
+            .all(|d| d.get("line").and_then(Json::as_num).is_some()));
+        // Both sources at once is ambiguous.
+        let handled = handle_line(
+            &service,
+            &catalog,
+            r#"{"op":"submit","circuit":"ghz3","qasm":"OPENQASM 2.0;"}"#,
+        );
+        let json = parse_json(&handled.response).unwrap();
+        assert_eq!(json.get("ok"), Some(&Json::Bool(false)));
+        service.shutdown();
+    }
+
+    #[test]
+    fn export_canonicalizes_inline_qasm() {
+        let (service, catalog) = fixture();
+        // Lowercase gates without the include, QASM-3 spellings: the
+        // canonical form normalizes all of it.
+        let resp = handle_ok(
+            &service,
+            &catalog,
+            r#"{"op":"export","qasm":"OPENQASM 3;\nqubit[2] q;\nU(0,0,3.141592653589793) q[0];\nCX q[0],q[1];\n"}"#,
+        );
+        let qasm = resp.get("qasm").and_then(Json::as_str).unwrap();
+        assert!(qasm.starts_with("OPENQASM 2.0;\n"), "{qasm}");
+        assert!(qasm.contains("cx q[0],q[1];"), "{qasm}");
+        // Canonicalization is idempotent: exporting the canonical text
+        // again returns it unchanged.
+        let again = handle_ok(
+            &service,
+            &catalog,
+            &format!(r#"{{"op":"export","qasm":{}}}"#, super::quoted(qasm)),
+        );
+        assert_eq!(again.get("qasm").and_then(Json::as_str), Some(qasm));
         service.shutdown();
     }
 

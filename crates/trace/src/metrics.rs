@@ -140,6 +140,17 @@ pub mod names {
     pub const PROF_GENERAL_NS: &str = "sim.profile.general_ns";
     pub const PROF_MAT4_NS: &str = "sim.profile.mat4_ns";
 
+    /// OpenQASM ingestion: programs submitted to the parser.
+    pub const QASM_PROGRAMS: &str = "qasm.parse.programs";
+    /// OpenQASM ingestion: programs that lowered to a valid circuit.
+    pub const QASM_ACCEPTED: &str = "qasm.parse.accepted";
+    /// OpenQASM ingestion: error diagnostics produced.
+    pub const QASM_DIAG_ERROR: &str = "qasm.parse.diag_error";
+    /// OpenQASM ingestion: warning diagnostics produced.
+    pub const QASM_DIAG_WARNING: &str = "qasm.parse.diag_warning";
+    /// OpenQASM ingestion: wall time from source bytes to lowered IR, µs.
+    pub const QASM_PARSE_US: &str = "qasm.parse.parse_us";
+
     /// Every canonical metric name above, for exposition lint: each name
     /// here must appear in both encoder outputs when registered.
     pub const ALL: &[&str] = &[
@@ -201,6 +212,11 @@ pub mod names {
         PROF_PERMUTATION_NS,
         PROF_GENERAL_NS,
         PROF_MAT4_NS,
+        QASM_PROGRAMS,
+        QASM_ACCEPTED,
+        QASM_DIAG_ERROR,
+        QASM_DIAG_WARNING,
+        QASM_PARSE_US,
     ];
 }
 

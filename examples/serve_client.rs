@@ -180,6 +180,75 @@ fn main() {
         qasm.lines().count()
     );
 
+    // Ingestion, the other direction: submit raw OpenQASM text the server
+    // has never seen. It passes the same lint gate, optimizer, and plan
+    // cache as catalog jobs.
+    let bell = "OPENQASM 2.0;\\ninclude \\\"qelib1.inc\\\";\\nqreg q[2];\\ncreg c[2];\\nreset q;\\nh q[0];\\ncx q[0],q[1];\\nmeasure q -> c;\\n";
+    let resp = client.call_ok(&format!(
+        r#"{{"op":"submit","qasm":"{bell}","tenant":"carol","shots":24,"seed":11,"label":"inline-bell","opt":"aggressive"}}"#
+    ));
+    let inline_id = field_u64(&resp, "id");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = client.call_ok(&format!(r#"{{"op":"status","id":{inline_id}}}"#));
+        match status.get("state").and_then(Json::as_str).unwrap() {
+            "completed" => break,
+            "queued" | "running" => {
+                assert!(Instant::now() < deadline, "inline qasm job stuck");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("inline qasm job ended {other}: {status:?}"),
+        }
+    }
+    let result = client.call_ok(&format!(r#"{{"op":"result","id":{inline_id}}}"#));
+    let hist = result.get("histogram").and_then(Json::as_arr).unwrap();
+    let total: u64 = hist.iter().map(|e| field_u64(e, "count")).sum();
+    assert_eq!(total, 24, "inline qasm job lost shots");
+    assert!(
+        hist.len() <= 2,
+        "Bell pair must collapse to 00/11: {hist:?}"
+    );
+    println!(
+        "inline qasm job {inline_id} completed ({} patterns)",
+        hist.len()
+    );
+
+    // Malformed submissions come back as span-anchored QP diagnostics,
+    // never a dropped connection.
+    let bad_qasm =
+        client.call(r#"{"op":"submit","qasm":"OPENQASM 2.0;\nqreg q[1];\nfrob q[0];\n"}"#);
+    assert_eq!(bad_qasm.get("ok"), Some(&Json::Bool(false)), "{bad_qasm:?}");
+    let diags = bad_qasm.get("diagnostics").and_then(Json::as_arr).unwrap();
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.get("code").and_then(Json::as_str) == Some("QP103")),
+        "{diags:?}"
+    );
+    println!("malformed qasm rejected with {} diagnostic(s)", diags.len());
+
+    // Canonicalization round trip: exporting client text re-emits it in
+    // the server's dialect, and that dialect is a fixpoint.
+    let canon = client.call_ok(&format!(r#"{{"op":"export","qasm":"{bell}"}}"#));
+    let canon_text = canon
+        .get("qasm")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert!(canon_text.starts_with("OPENQASM 2.0;\n"), "{canon_text}");
+    let mut requoted = String::new();
+    quipper_trace::escape_into(&mut requoted, &canon_text);
+    let again = client.call_ok(&format!(r#"{{"op":"export","qasm":"{requoted}"}}"#));
+    assert_eq!(
+        again.get("qasm").and_then(Json::as_str),
+        Some(canon_text.as_str()),
+        "canonical form must be a fixpoint"
+    );
+    println!(
+        "inline qasm canonicalizes to {} lines",
+        canon_text.lines().count()
+    );
+
     let stats = client.call_ok(r#"{"op":"stats"}"#);
     println!(
         "server stats: {} admitted, {} completed, {} cancelled, {} retries",

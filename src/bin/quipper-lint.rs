@@ -29,6 +29,8 @@ USAGE: quipper-lint [OPTIONS]
 OPTIONS:
   --list             print the suite's circuit names and exit
   --only NAME        lint only this circuit (repeatable)
+  --qasm FILE        also lint an OpenQASM file (repeatable); parse errors
+                     are reported with their QP codes and count as failures
   --deny LEVEL       fail on findings at or above LEVEL: errors | warnings
                      (default: errors)
   --allow CODE       drop findings with this code, e.g. --allow QL030
@@ -42,6 +44,7 @@ struct Options {
     deny: Severity,
     allow: Vec<String>,
     only: Vec<String>,
+    qasm: Vec<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -51,6 +54,7 @@ fn parse_args() -> Result<Options, String> {
         deny: Severity::Error,
         allow: Vec::new(),
         only: Vec::new(),
+        qasm: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -71,6 +75,10 @@ fn parse_args() -> Result<Options, String> {
             "--only" => match args.next() {
                 Some(name) => opts.only.push(name),
                 None => return Err("--only expects a circuit name".into()),
+            },
+            "--qasm" => match args.next() {
+                Some(path) => opts.qasm.push(path),
+                None => return Err("--qasm expects a file path".into()),
             },
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -144,6 +152,46 @@ fn main() -> ExitCode {
         selected += 1;
         let (_, failed) = lint_one(name, &build(), &opts);
         failures += usize::from(failed);
+    }
+    for path in &opts.qasm {
+        selected += 1;
+        let source = match std::fs::read_to_string(path) {
+            Ok(source) => source,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        match quipper_qasm::compile(&source) {
+            Ok(bc) => {
+                let (_, failed) = lint_one(path, &bc, &opts);
+                failures += usize::from(failed);
+            }
+            Err(diags) => {
+                // Parse/lowering rejections always fail, whatever --deny
+                // says: there is no circuit to lint.
+                if opts.json {
+                    println!("{{\"kind\":\"circuit\",\"name\":\"{path}\"}}");
+                    for d in diags.iter() {
+                        println!(
+                            "{{\"code\":\"{}\",\"severity\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+                            d.code.as_str(),
+                            d.severity.label(),
+                            d.span.line,
+                            d.span.col,
+                            d.message.replace('\\', "\\\\").replace('"', "\\\""),
+                        );
+                    }
+                } else {
+                    println!("{path}: does not parse — FAIL");
+                    for d in diags.iter() {
+                        println!("  {d}");
+                    }
+                }
+                failures += 1;
+            }
+        }
     }
     if !opts.json {
         println!(

@@ -29,6 +29,8 @@ USAGE: quipper-opt [OPTIONS]
 OPTIONS:
   --list             print the suite's circuit names and exit
   --only NAME        optimize only this circuit (repeatable)
+  --qasm FILE        also optimize an OpenQASM file (repeatable); files
+                     that do not parse report their QP codes and fail
   --level LEVEL      pipeline to run: off | default | aggressive
                      (default: default)
   --json             emit JSON Lines instead of the pretty table
@@ -39,6 +41,7 @@ struct Options {
     json: bool,
     level: OptLevel,
     only: Vec<String>,
+    qasm: Vec<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -47,6 +50,7 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         level: OptLevel::Default,
         only: Vec::new(),
+        qasm: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -62,6 +66,10 @@ fn parse_args() -> Result<Options, String> {
             "--only" => match args.next() {
                 Some(name) => opts.only.push(name),
                 None => return Err("--only expects a circuit name".into()),
+            },
+            "--qasm" => match args.next() {
+                Some(path) => opts.qasm.push(path),
+                None => return Err("--qasm expects a file path".into()),
             },
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -169,6 +177,32 @@ fn main() -> ExitCode {
         total_before += report.gates_before();
         total_after += report.gates_after();
     }
+    let mut parse_failures = 0usize;
+    for path in &opts.qasm {
+        let source = match std::fs::read_to_string(path) {
+            Ok(source) => source,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                parse_failures += 1;
+                continue;
+            }
+        };
+        match quipper_qasm::compile(&source) {
+            Ok(bc) => {
+                selected += 1;
+                let report = optimize_one(path, &bc, &opts);
+                total_before += report.gates_before();
+                total_after += report.gates_after();
+            }
+            Err(diags) => {
+                eprintln!("error: {path} does not parse:");
+                for d in diags.iter() {
+                    eprintln!("  {d}");
+                }
+                parse_failures += 1;
+            }
+        }
+    }
     if !opts.json {
         println!(
             "{selected} circuit{} optimized at --level {}: {total_before} -> {total_after} gates",
@@ -176,5 +210,9 @@ fn main() -> ExitCode {
             opts.level,
         );
     }
-    ExitCode::SUCCESS
+    if parse_failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

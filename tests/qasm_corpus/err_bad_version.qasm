@@ -1,0 +1,4 @@
+// expect: QP004
+OPENQASM 7.5;
+// The unsupported version is consumed cleanly: no QP003 cascade.
+qreg q[1];

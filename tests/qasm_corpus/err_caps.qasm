@@ -1,0 +1,3 @@
+// expect: QP115
+OPENQASM 2.0;
+qreg q[65536];

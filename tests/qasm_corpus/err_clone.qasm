@@ -1,0 +1,5 @@
+// expect: QP106
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+cx q[1],q[1];

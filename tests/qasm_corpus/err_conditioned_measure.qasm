@@ -1,0 +1,6 @@
+// expect: QP112
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+creg c[1];
+if(c==0) measure q[0] -> c[0];

@@ -1,0 +1,4 @@
+// expect: QP105
+OPENQASM 2.0;
+qreg q[2];
+creg q[1];

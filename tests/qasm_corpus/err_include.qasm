@@ -1,0 +1,4 @@
+// expect: QP113
+OPENQASM 2.0;
+include "mylib.inc";
+qreg q[1];

@@ -1,0 +1,6 @@
+// expect: QP107
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[3];
+measure q -> c;

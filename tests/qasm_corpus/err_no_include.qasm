@@ -1,0 +1,5 @@
+// expect: QP103
+// qelib1 mnemonics without the include are unknown gates.
+OPENQASM 2.0;
+qreg q[1];
+h q[0];

@@ -1,0 +1,5 @@
+// expect: QP110
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+rz(1/0) q[0];

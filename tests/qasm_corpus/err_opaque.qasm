@@ -1,0 +1,5 @@
+// expect: QP109
+OPENQASM 2.0;
+opaque oracle a,b;
+qreg q[2];
+oracle q[0],q[1];

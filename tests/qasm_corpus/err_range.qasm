@@ -1,0 +1,5 @@
+// expect: QP102
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[2];

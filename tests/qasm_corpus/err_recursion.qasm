@@ -1,0 +1,7 @@
+// expect: QP006
+OPENQASM 2.0;
+include "qelib1.inc";
+gate spin a { twirl a; }
+gate twirl a { spin a; }
+qreg q[1];
+spin q[0];

@@ -1,0 +1,4 @@
+// expect: QP001,QP003
+OPENQASM 2.0;
+qreg q[1];
+@#$ q[0];

@@ -1,0 +1,6 @@
+// expect: QP003
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+h q[0]
+h q[0];;

@@ -1,0 +1,5 @@
+// expect: QP101
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+h r[0];

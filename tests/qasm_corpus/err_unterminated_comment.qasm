@@ -1,0 +1,4 @@
+// expect: QP002
+OPENQASM 2.0;
+qreg q[1];
+/* this comment never ends

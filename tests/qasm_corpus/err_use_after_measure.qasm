@@ -1,0 +1,7 @@
+// expect: QP108
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+creg c[1];
+measure q[0] -> c[0];
+h q[0];

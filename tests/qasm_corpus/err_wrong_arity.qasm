@@ -1,0 +1,6 @@
+// expect: QP104
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+cx q[0];
+rz q[0];

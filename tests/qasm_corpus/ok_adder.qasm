@@ -1,0 +1,18 @@
+// expect: ok
+// Cuccaro-style ripple adder fragment built from user gates: exercises
+// gate definitions, nested calls, and boxed lowering.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; }
+gate unmaj a,b,c { ccx a,b,c; cx c,a; cx a,b; }
+qreg a[2];
+qreg b[2];
+qreg cin[1];
+creg out[2];
+x a[0];
+x b[1];
+majority cin[0],b[0],a[0];
+majority a[0],b[1],a[1];
+unmaj a[0],b[1],a[1];
+unmaj cin[0],b[0],a[0];
+measure b -> out;

@@ -1,0 +1,13 @@
+// expect: ok
+// Whole-register operands broadcast per the spec: single registers map
+// element-wise, mixed single-qubit operands repeat.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+qreg anc[1];
+creg c[3];
+h q;
+cx q, anc[0];
+barrier q, anc;
+reset anc;
+measure q -> c;

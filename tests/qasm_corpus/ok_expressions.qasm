@@ -1,0 +1,15 @@
+// expect: ok
+// Angle arithmetic: precedence, right-assoc power, functions, pi.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+rz(pi/2 + pi/4*2 - 1) q[0];
+ry(sin(pi/6)) q[0];
+u1(2^3^0.5) q[1];
+u3(pi/2, -pi/4, sqrt(2)) q[0];
+u2(0, pi) q[1];
+rx(pi/2) q[0];
+rx(0.25) q[1];
+crx(cos(0.5) + 1e-3) q[0], q[1];
+cu3(ln(exp(1)), tan(0.1), 0.0) q[1], q[0];
+id q[0];

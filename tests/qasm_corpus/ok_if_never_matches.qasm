@@ -1,0 +1,8 @@
+// expect: ok,QP111
+// Condition value exceeds the register range: warn and drop.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+creg c[1];
+measure q[0] -> c[0];
+if(c==3) x q[0];

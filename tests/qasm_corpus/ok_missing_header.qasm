@@ -1,0 +1,5 @@
+// expect: ok,QP004
+// A missing OPENQASM header is tolerated with a warning.
+include "qelib1.inc";
+qreg q[1];
+h q[0];

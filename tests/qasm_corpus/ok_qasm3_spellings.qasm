@@ -1,0 +1,12 @@
+// expect: ok
+// QASM-3 spellings the ingester accepts: qubit[n]/bit[n] declarations,
+// assignment-form measurement, gphase.
+OPENQASM 3;
+include "stdgates.inc";
+qubit[2] q;
+bit[2] c;
+h q[0];
+cx q[0], q[1];
+gphase(pi/8);
+c[0] = measure q[0];
+c[1] = measure q[1];

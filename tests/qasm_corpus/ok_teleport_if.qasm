@@ -1,0 +1,17 @@
+// expect: ok
+// Classical feedback: measurement results condition later corrections.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg m0[1];
+creg m1[1];
+reset q[1];
+reset q[2];
+h q[1];
+cx q[1],q[2];
+cx q[0],q[1];
+h q[0];
+measure q[0] -> m0[0];
+measure q[1] -> m1[0];
+if(m1==1) x q[2];
+if(m0==1) z q[2];
